@@ -1,0 +1,66 @@
+// Command fpbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	fpbench [-scale quick|default|paper] [-csv] [experiment ...]
+//
+// With no experiment arguments it runs the full suite in paper order.
+// Experiment IDs: table2, fig3b, fig10, fig11, fig12, fig13, fig14,
+// fig15, fig16, fig17, fig18, fig19, ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	scale := flag.String("scale", "default", "workload scale: quick, default, or paper")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range harness.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	p, err := harness.ParamsFor(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = []string{"table2", "fig3b", "fig10", "fig11", "fig12", "fig13",
+			"fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "ablation"}
+	}
+	fmt.Printf("# fpB+-Tree reproduction — scale=%s\n\n", p.Name)
+	for _, id := range ids {
+		start := time.Now()
+		tables, err := harness.Run(id, p)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		for _, t := range tables {
+			if *csv {
+				fmt.Printf("# %s: %s\n", t.ID, t.Title)
+				t.CSV(os.Stdout)
+				fmt.Println()
+			} else {
+				t.Fprint(os.Stdout)
+			}
+		}
+		fmt.Printf("# %s completed in %v\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpbench:", err)
+	os.Exit(1)
+}

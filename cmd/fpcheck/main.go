@@ -1,0 +1,173 @@
+// Command fpcheck is a randomized structural verifier: it drives every
+// index variant with seeded random operation streams (including
+// duplicate-heavy mixes), cross-checks results against a reference
+// model and against each other, and validates structural invariants
+// after every batch. Exit status 0 means all runs passed.
+//
+// Usage:
+//
+//	fpcheck [-rounds N] [-ops N] [-keys N] [-seed S] [-page BYTES]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	fpbtree "repro"
+)
+
+func main() {
+	rounds := flag.Int("rounds", 4, "independent random runs per variant")
+	ops := flag.Int("ops", 10000, "operations per run")
+	keys := flag.Int("keys", 20000, "initial bulkloaded keys")
+	seed := flag.Int64("seed", 0, "base seed (0 = time-derived)")
+	page := flag.Int("page", 8<<10, "page size in bytes")
+	flag.Parse()
+
+	if *seed == 0 {
+		*seed = time.Now().UnixNano()
+	}
+	fmt.Printf("fpcheck: %d rounds x %d ops, %d keys, %dKB pages, seed %d\n",
+		*rounds, *ops, *keys, *page>>10, *seed)
+
+	failures := 0
+	for _, v := range []fpbtree.Variant{
+		fpbtree.DiskOptimized, fpbtree.MicroIndex, fpbtree.DiskFirst, fpbtree.CacheFirst,
+	} {
+		for r := 0; r < *rounds; r++ {
+			s := *seed + int64(r)*7919
+			if err := runOne(v, *page, *keys, *ops, s); err != nil {
+				fmt.Printf("FAIL %-16s round %d (seed %d): %v\n", v, r, s, err)
+				failures++
+			} else {
+				fmt.Printf("ok   %-16s round %d\n", v, r)
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("fpcheck: %d failures\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("fpcheck: all runs passed")
+}
+
+func runOne(v fpbtree.Variant, page, keys, ops int, seed int64) error {
+	tr, err := fpbtree.New(
+		fpbtree.WithVariant(v),
+		fpbtree.WithPageSize(page),
+		fpbtree.WithBufferPages(keys/8+16384),
+	)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Reference multiset (duplicates allowed).
+	ref := map[fpbtree.Key]int{}
+	entries := make([]fpbtree.Entry, keys)
+	for i := range entries {
+		k := fpbtree.Key(i)*3 + 1
+		entries[i] = fpbtree.Entry{Key: k, TID: k + 7}
+		ref[k]++
+	}
+	if err := tr.Bulkload(entries, 0.6+rng.Float64()*0.4); err != nil {
+		return err
+	}
+
+	maxKey := fpbtree.Key(keys*3 + 100)
+	for i := 0; i < ops; i++ {
+		k := fpbtree.Key(rng.Intn(int(maxKey)))/3*3 + 1 // collides often: duplicates
+		switch rng.Intn(5) {
+		case 0, 1:
+			if err := tr.Insert(k, k+7); err != nil {
+				return fmt.Errorf("insert %d: %w", k, err)
+			}
+			ref[k]++
+		case 2:
+			ok, err := tr.Delete(k)
+			if err != nil {
+				return fmt.Errorf("delete %d: %w", k, err)
+			}
+			if ok != (ref[k] > 0) {
+				return fmt.Errorf("delete(%d) = %v, reference count %d", k, ok, ref[k])
+			}
+			if ok {
+				ref[k]--
+			}
+		case 3:
+			_, ok, err := tr.Search(k)
+			if err != nil {
+				return fmt.Errorf("search %d: %w", k, err)
+			}
+			if ok != (ref[k] > 0) {
+				return fmt.Errorf("search(%d) = %v, reference count %d", k, ok, ref[k])
+			}
+		case 4:
+			lo := fpbtree.Key(rng.Intn(int(maxKey)))
+			hi := lo + fpbtree.Key(rng.Intn(3000))
+			want := 0
+			for kk, c := range ref {
+				if kk >= lo && kk <= hi {
+					want += c
+				}
+			}
+			n, err := tr.RangeScan(lo, hi, nil)
+			if err != nil {
+				return fmt.Errorf("scan [%d,%d]: %w", lo, hi, err)
+			}
+			if n != want {
+				return fmt.Errorf("scan [%d,%d] = %d entries, reference %d", lo, hi, n, want)
+			}
+			rn, err := tr.RangeScanReverse(lo, hi, nil)
+			if err != nil {
+				return fmt.Errorf("reverse scan [%d,%d]: %w", lo, hi, err)
+			}
+			if rn != n {
+				return fmt.Errorf("reverse scan [%d,%d] = %d, forward %d", lo, hi, rn, n)
+			}
+		}
+		if i%2500 == 2499 {
+			if err := tr.CheckInvariants(); err != nil {
+				return fmt.Errorf("invariants after op %d: %w", i, err)
+			}
+		}
+	}
+
+	// Final: full scan equals the reference multiset, in order.
+	var keysSorted []fpbtree.Key
+	total := 0
+	for k, c := range ref {
+		if c > 0 {
+			keysSorted = append(keysSorted, k)
+			total += c
+		}
+	}
+	sort.Slice(keysSorted, func(i, j int) bool { return keysSorted[i] < keysSorted[j] })
+	seen := map[fpbtree.Key]int{}
+	var prev fpbtree.Key
+	n, err := tr.RangeScan(0, 1<<31, func(k fpbtree.Key, tid fpbtree.TupleID) bool {
+		if k < prev {
+			err := fmt.Errorf("scan order regressed at %d", k)
+			panic(err)
+		}
+		prev = k
+		seen[k]++
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if n != total {
+		return fmt.Errorf("final scan saw %d entries, reference %d", n, total)
+	}
+	for _, k := range keysSorted {
+		if seen[k] != ref[k] {
+			return fmt.Errorf("key %d: scan saw %d, reference %d", k, seen[k], ref[k])
+		}
+	}
+	return tr.CheckInvariants()
+}

@@ -1,0 +1,140 @@
+// Command fptree is an interactive inspector for the index structures:
+// it builds a tree, runs an operation mix, validates invariants, and
+// prints structure and simulation statistics.
+//
+// Usage:
+//
+//	fptree [-variant disk-first|cache-first|disk-optimized|micro] \
+//	       [-keys N] [-fill F] [-page BYTES] [-disks N] \
+//	       [-searches N] [-inserts N] [-deletes N] [-scan SPAN]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	fpbtree "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	variant := flag.String("variant", "disk-first", "index organization")
+	keys := flag.Int("keys", 1000000, "bulkloaded keys")
+	fill := flag.Float64("fill", 1.0, "bulkload fill factor")
+	page := flag.Int("page", 16<<10, "page size in bytes")
+	disks := flag.Int("disks", 0, "simulated disks (0 = memory resident)")
+	searches := flag.Int("searches", 2000, "random searches to run")
+	inserts := flag.Int("inserts", 2000, "random inserts to run")
+	deletes := flag.Int("deletes", 2000, "random deletes to run")
+	scan := flag.Int("scan", 100000, "range scan span in entries (0 = skip)")
+	flag.Parse()
+
+	v, err := parseVariant(*variant)
+	if err != nil {
+		fatal(err)
+	}
+	opts := []fpbtree.Option{
+		fpbtree.WithVariant(v),
+		fpbtree.WithPageSize(*page),
+		fpbtree.WithBufferPages(*keys/(*page/512) + 8192),
+	}
+	if *disks > 0 {
+		opts = append(opts, fpbtree.WithDisks(*disks))
+	}
+	tr, err := fpbtree.New(opts...)
+	if err != nil {
+		fatal(err)
+	}
+
+	g := workload.New(time.Now().UnixNano())
+	start := time.Now()
+	if err := tr.Bulkload(g.BulkEntries(*keys), *fill); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: bulkloaded %d keys at %.0f%% in %v\n", tr.Name(), *keys, *fill*100, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  height=%d pages=%d (%.1f MB)\n", tr.Height(), tr.PageCount(), float64(tr.PageCount())*float64(*page)/1e6)
+
+	tr.ColdCaches()
+	s0 := tr.Stats()
+	for _, k := range g.SearchKeys(*keys, *searches) {
+		if _, ok, err := tr.Search(k); err != nil || !ok {
+			fatal(fmt.Errorf("search(%d) = %v, %v", k, ok, err))
+		}
+	}
+	report(tr, "search", *searches, s0)
+
+	s0 = tr.Stats()
+	for _, e := range g.InsertEntries(*keys, *inserts) {
+		if err := tr.Insert(e.Key, e.TID); err != nil {
+			fatal(err)
+		}
+	}
+	report(tr, "insert", *inserts, s0)
+
+	s0 = tr.Stats()
+	del, err := g.DeleteKeys(*keys, *deletes)
+	if err != nil {
+		fatal(err)
+	}
+	for _, k := range del {
+		if _, err := tr.Delete(k); err != nil {
+			fatal(err)
+		}
+	}
+	report(tr, "delete", *deletes, s0)
+
+	if *scan > 0 && *scan <= *keys {
+		s0 = tr.Stats()
+		scans, err := g.RangeScans(*keys, *scan, 1)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := tr.RangeScan(scans[0].Start, scans[0].End, nil)
+		if err != nil {
+			fatal(err)
+		}
+		report(tr, fmt.Sprintf("scan of %d entries", n), 1, s0)
+	}
+
+	if err := tr.CheckInvariants(); err != nil {
+		fatal(fmt.Errorf("invariant violation: %w", err))
+	}
+	fmt.Println("invariants: ok")
+	if st, ok, err := tr.SpaceStats(); err != nil {
+		fatal(err)
+	} else if ok {
+		fmt.Printf("space: %d pages (%d leaf, %d node, %d overflow), leaf utilization %.1f%%\n",
+			st.Pages, st.LeafPages, st.NodePages, st.OtherPages, st.Utilization*100)
+	}
+}
+
+func report(tr *fpbtree.Tree, op string, n int, before fpbtree.Stats) {
+	s := tr.Stats()
+	cyc := s.SimCycles - before.SimCycles
+	fmt.Printf("  %-24s %8.0f sim-cycles/op  (misses/op %.1f, prefetches/op %.1f, buffer misses %d)\n",
+		op+":", float64(cyc)/float64(n),
+		float64(s.CacheMisses-before.CacheMisses)/float64(n),
+		float64(s.Prefetches-before.Prefetches)/float64(n),
+		s.BufferMisses-before.BufferMisses)
+}
+
+func parseVariant(s string) (fpbtree.Variant, error) {
+	switch s {
+	case "disk-first", "df":
+		return fpbtree.DiskFirst, nil
+	case "cache-first", "cf":
+		return fpbtree.CacheFirst, nil
+	case "disk-optimized", "bptree":
+		return fpbtree.DiskOptimized, nil
+	case "micro", "micro-indexing":
+		return fpbtree.MicroIndex, nil
+	}
+	return 0, fmt.Errorf("unknown variant %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fptree:", err)
+	os.Exit(1)
+}

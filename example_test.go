@@ -1,0 +1,58 @@
+package fpbtree_test
+
+import (
+	"fmt"
+	"log"
+
+	fpbtree "repro"
+)
+
+// Example builds a disk-first fpB+-Tree and runs the basic operations.
+func Example() {
+	tree, err := fpbtree.New(fpbtree.WithVariant(fpbtree.DiskFirst))
+	if err != nil {
+		log.Fatal(err)
+	}
+	entries := make([]fpbtree.Entry, 100000)
+	for i := range entries {
+		k := fpbtree.Key(i)*2 + 1
+		entries[i] = fpbtree.Entry{Key: k, TID: k + 7}
+	}
+	if err := tree.Bulkload(entries, 1.0); err != nil {
+		log.Fatal(err)
+	}
+	tid, ok, _ := tree.Search(101)
+	fmt.Println(tid, ok)
+
+	n, _ := tree.RangeScan(1, 19, nil)
+	fmt.Println(n)
+	// Output:
+	// 108 true
+	// 10
+}
+
+// ExampleTree_RangeScanReverse shows a descending scan.
+func ExampleTree_RangeScanReverse() {
+	tree, _ := fpbtree.New(fpbtree.WithVariant(fpbtree.CacheFirst))
+	for k := fpbtree.Key(1); k <= 5; k++ {
+		if err := tree.Insert(k*10, k); err != nil {
+			log.Fatal(err)
+		}
+	}
+	tree.RangeScanReverse(20, 40, func(k fpbtree.Key, tid fpbtree.TupleID) bool {
+		fmt.Println(k, tid)
+		return true
+	})
+	// Output:
+	// 40 4
+	// 30 3
+	// 20 2
+}
+
+// ExampleRunExperiment regenerates one of the paper's tables.
+func ExampleRunExperiment() {
+	ids := fpbtree.ExperimentIDs()
+	fmt.Println(len(ids) >= 13)
+	// Output:
+	// true
+}

@@ -1,0 +1,88 @@
+// Mixed: an OLTP-style workload (searches, inserts, deletes, short
+// scans) run against all four index organizations, comparing simulated
+// CPU time — the §4.2 story in one program: fpB+-Trees keep the
+// baselines' search performance while avoiding their page-wide data
+// movement on updates.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	fpbtree "repro"
+)
+
+const (
+	keys = 500_000
+	fill = 0.8
+	ops  = 20_000
+)
+
+func main() {
+	fmt.Printf("OLTP mix: %d ops (50%% search, 30%% insert, 15%% delete, 5%% short scan) over %d keys at %.0f%%\n\n",
+		ops, keys, fill*100)
+	fmt.Printf("%-24s %14s %14s %12s %12s\n", "variant", "sim Mcycles", "cycles/op", "misses/op", "pages")
+
+	var baseline float64
+	for _, v := range []fpbtree.Variant{
+		fpbtree.DiskOptimized, fpbtree.MicroIndex, fpbtree.DiskFirst, fpbtree.CacheFirst,
+	} {
+		cycles, misses, pages := run(v)
+		if baseline == 0 {
+			baseline = cycles
+		}
+		fmt.Printf("%-24s %14.1f %14.0f %12.1f %12d   (%.1fx)\n",
+			v.String(), cycles/1e6, cycles/ops, misses/ops, pages, baseline/cycles)
+	}
+}
+
+func run(v fpbtree.Variant) (cycles, misses float64, pages int) {
+	tree, err := fpbtree.New(fpbtree.WithVariant(v), fpbtree.WithBufferPages(32768))
+	if err != nil {
+		log.Fatal(err)
+	}
+	entries := make([]fpbtree.Entry, keys)
+	for i := range entries {
+		k := fpbtree.Key(i)*4 + 1
+		entries[i] = fpbtree.Entry{Key: k, TID: k}
+	}
+	if err := tree.Bulkload(entries, fill); err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	tree.ColdCaches()
+	before := tree.Stats()
+	for i := 0; i < ops; i++ {
+		switch r := rng.Intn(100); {
+		case r < 50: // search a loaded key
+			k := fpbtree.Key(rng.Intn(keys))*4 + 1
+			if _, _, err := tree.Search(k); err != nil {
+				log.Fatal(err)
+			}
+		case r < 80: // insert a fresh key (odd offset 3: no collisions)
+			k := fpbtree.Key(rng.Intn(keys*2))*4 + 3
+			if err := tree.Insert(k, k); err != nil {
+				log.Fatal(err)
+			}
+		case r < 95: // delete
+			k := fpbtree.Key(rng.Intn(keys))*4 + 1
+			if _, err := tree.Delete(k); err != nil {
+				log.Fatal(err)
+			}
+		default: // short range scan (~200 entries)
+			start := fpbtree.Key(rng.Intn(keys))*4 + 1
+			if _, err := tree.RangeScan(start, start+800, nil); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	after := tree.Stats()
+	if err := tree.CheckInvariants(); err != nil {
+		log.Fatalf("%s: %v", v, err)
+	}
+	return float64(after.SimCycles - before.SimCycles),
+		float64(after.CacheMisses - before.CacheMisses),
+		tree.PageCount()
+}

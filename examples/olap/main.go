@@ -1,0 +1,26 @@
+// Olap: the §4.3.3 DB2 experiment as a runnable demo — an index-only
+// SELECT COUNT(*) scan executed with parallel scan processes and a pool
+// of I/O prefetchers fed by the jump-pointer array. Regenerates both
+// Figure 19 panels through the public experiment API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	fpbtree "repro"
+)
+
+func main() {
+	fmt.Println("DB2-style index-only COUNT(*) scan (Figure 19)")
+	fmt.Println("Three execution strategies: synchronous reads, JPA-fed prefetcher")
+	fmt.Println("pool, and the in-memory upper bound.")
+	fmt.Println()
+	if err := fpbtree.RunExperiment("fig19", "default", os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Expected shape (paper): the prefetch curve approaches the in-memory")
+	fmt.Println("bound by ~8 prefetchers, a 2.5-5x improvement over no prefetching,")
+	fmt.Println("and tracks the in-memory curve as the SMP degree grows.")
+}

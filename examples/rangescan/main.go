@@ -1,0 +1,92 @@
+// Rangescan: the paper's headline I/O result in miniature — a
+// nonclustered-index range scan over a simulated 10-disk array, with
+// and without jump-pointer-array prefetching (§2.2, Figure 18).
+//
+// The same scan runs on a traditional disk-optimized B+-Tree and on
+// both fpB+-Tree variants; the virtual elapsed time shows how
+// prefetching leaf pages through the jump-pointer array overlaps disk
+// latencies across the array.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fpbtree "repro"
+)
+
+const (
+	keys  = 500_000
+	disks = 10
+	span  = 200_000 // entries per scan
+)
+
+func buildTree(v fpbtree.Variant, jpa bool) *fpbtree.Tree {
+	opts := []fpbtree.Option{
+		fpbtree.WithVariant(v),
+		fpbtree.WithDisks(disks),
+		fpbtree.WithBufferPages(8192),
+	}
+	if !jpa {
+		opts = append(opts, fpbtree.WithoutJPA())
+	}
+	tree, err := fpbtree.New(opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	entries := make([]fpbtree.Entry, keys)
+	for i := range entries {
+		k := fpbtree.Key(i)*2 + 1
+		entries[i] = fpbtree.Entry{Key: k, TID: k}
+	}
+	// Bulkload at 100%, then insert another 10% so leaf pages are no
+	// longer laid out sequentially — the "mature index" scenario where
+	// sequential readahead cannot help and the JPA shines.
+	if err := tree.Bulkload(entries, 1.0); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < keys/10; i++ {
+		k := fpbtree.Key(i*20) + 10 // even keys: never collide
+		if err := tree.Insert(k, k); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := tree.DropBufferPool(); err != nil {
+		log.Fatal(err)
+	}
+	return tree
+}
+
+func scanTime(tree *fpbtree.Tree) (ms float64, entries int) {
+	start := tree.Stats().IOClockMicros
+	n, err := tree.RangeScan(100_001, 100_001+2*fpbtree.Key(span), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return float64(tree.Stats().IOClockMicros-start) / 1000, n
+}
+
+func main() {
+	fmt.Printf("range scan of ~%d entries over %d simulated disks (mature index)\n\n", span, disks)
+	type cfg struct {
+		name string
+		v    fpbtree.Variant
+		jpa  bool
+	}
+	var baseline float64
+	for _, c := range []cfg{
+		{"disk-optimized B+tree (no prefetch)", fpbtree.DiskOptimized, false},
+		{"disk-first fpB+tree + JPA prefetch", fpbtree.DiskFirst, true},
+		{"cache-first fpB+tree + JPA prefetch", fpbtree.CacheFirst, true},
+	} {
+		tree := buildTree(c.v, c.jpa)
+		ms, n := scanTime(tree)
+		if baseline == 0 {
+			baseline = ms
+		}
+		fmt.Printf("%-38s %9.1f ms  (%d entries, speedup %.1fx)\n", c.name, ms, n, baseline/ms)
+	}
+	fmt.Println("\nThe fpB+-Trees locate the range's end page first, then keep a")
+	fmt.Println("window of leaf pages in flight via the jump-pointer array, so")
+	fmt.Println("the ten disks service reads concurrently instead of one at a time.")
+}

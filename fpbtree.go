@@ -1,0 +1,300 @@
+// Package fpbtree is the public API of this reproduction of "Fractal
+// Prefetching B+-Trees: Optimizing Both Cache and Disk Performance"
+// (Chen, Gibbons, Mowry, Valentin — SIGMOD 2002).
+//
+// A Tree is an index over 4-byte keys and tuple IDs that can be built
+// in any of the paper's four structures: the two fpB+-Tree variants
+// (disk-first and cache-first), the traditional disk-optimized B+-Tree,
+// and the micro-indexing baseline. Trees run against a buffer pool and
+// a simulated memory hierarchy/disk array, so both CPU-cache behaviour
+// (simulated cycles) and I/O behaviour (buffer misses, virtual elapsed
+// time) are observable — exactly the two axes the paper optimizes.
+//
+// Quick start:
+//
+//	t, _ := fpbtree.New(fpbtree.WithVariant(fpbtree.DiskFirst))
+//	t.Bulkload(entries, 1.0)
+//	tid, ok, _ := t.Search(42)
+//	t.RangeScan(100, 200, func(k fpbtree.Key, tid fpbtree.TupleID) bool { return true })
+package fpbtree
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bptree"
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/disksim"
+	"repro/internal/harness"
+	"repro/internal/idx"
+	"repro/internal/memsim"
+	"repro/internal/microindex"
+)
+
+// Key is a 4-byte index key.
+type Key = idx.Key
+
+// TupleID identifies an indexed tuple.
+type TupleID = idx.TupleID
+
+// Entry is a key with its tuple ID.
+type Entry = idx.Entry
+
+// Variant selects the index organization.
+type Variant int
+
+// The four structures evaluated in the paper (§4.1).
+const (
+	// DiskFirst embeds cache-optimized in-page trees in disk pages
+	// (§3.1) — the paper's general recommendation.
+	DiskFirst Variant = iota
+	// CacheFirst places cache-optimized nodes into pages (§3.2) —
+	// recommended when the index is mostly memory resident.
+	CacheFirst
+	// DiskOptimized is the traditional page-as-node baseline.
+	DiskOptimized
+	// MicroIndex is Lomet's micro-indexing organization.
+	MicroIndex
+)
+
+func (v Variant) String() string {
+	switch v {
+	case DiskFirst:
+		return "disk-first"
+	case CacheFirst:
+		return "cache-first"
+	case DiskOptimized:
+		return "disk-optimized"
+	case MicroIndex:
+		return "micro-indexing"
+	}
+	return "unknown"
+}
+
+// Options configure New.
+type Options struct {
+	Variant  Variant
+	PageSize int // bytes; default 16 KB
+	// BufferPages is the buffer pool size in frames; default 8192.
+	BufferPages int
+	// Disks > 0 backs the tree with a simulated disk array of that many
+	// spindles; 0 keeps pages in memory with zero I/O latency.
+	Disks int
+	// DisableJPA turns off jump-pointer-array range-scan prefetching
+	// (it is on by default for the fpB+-Tree variants).
+	DisableJPA bool
+	// PrefetchWindow is the number of leaf pages a scan keeps in
+	// flight; 0 means the default (16).
+	PrefetchWindow int
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// WithVariant selects the index organization.
+func WithVariant(v Variant) Option { return func(o *Options) { o.Variant = v } }
+
+// WithPageSize sets the disk page size in bytes (4–32 KB in the paper).
+func WithPageSize(bytes int) Option { return func(o *Options) { o.PageSize = bytes } }
+
+// WithBufferPages sets the buffer pool capacity in frames.
+func WithBufferPages(n int) Option { return func(o *Options) { o.BufferPages = n } }
+
+// WithDisks backs the tree with a simulated array of n disks.
+func WithDisks(n int) Option { return func(o *Options) { o.Disks = n } }
+
+// WithoutJPA disables jump-pointer-array prefetching.
+func WithoutJPA() Option { return func(o *Options) { o.DisableJPA = true } }
+
+// WithPrefetchWindow sets the scan prefetch depth.
+func WithPrefetchWindow(n int) Option { return func(o *Options) { o.PrefetchWindow = n } }
+
+// Tree is an fpB+-Tree (or baseline) with its substrate.
+type Tree struct {
+	index idx.Index
+	pool  *buffer.Pool
+	model *memsim.Model
+	array *disksim.Array
+	opts  Options
+}
+
+// Stats is a point-in-time snapshot of simulation counters.
+type Stats struct {
+	// SimCycles is total simulated CPU time, with its Figure 3(b)
+	// breakdown.
+	SimCycles, BusyCycles, CacheStallCycles, OtherStallCycles uint64
+	// CacheMisses counts simulated memory fetches; Prefetches counts
+	// prefetch-issued line fetches.
+	CacheMisses, Prefetches uint64
+	// BufferGets/Hits/Misses count buffer pool activity; PageReads is
+	// total physical reads (demand + prefetch).
+	BufferGets, BufferHits, BufferMisses, PageReads uint64
+	// IOClockMicros is the virtual I/O clock (meaningful with disks).
+	IOClockMicros uint64
+}
+
+// New builds an empty tree.
+func New(options ...Option) (*Tree, error) {
+	o := Options{PageSize: 16 << 10, BufferPages: 8192}
+	for _, fn := range options {
+		fn(&o)
+	}
+	if o.PageSize <= 0 || o.PageSize%memsim.LineSize != 0 {
+		return nil, fmt.Errorf("fpbtree: page size %d must be a positive multiple of %d", o.PageSize, memsim.LineSize)
+	}
+	if o.BufferPages <= 0 {
+		return nil, fmt.Errorf("fpbtree: need a positive buffer pool size")
+	}
+	var store buffer.Store
+	var array *disksim.Array
+	if o.Disks > 0 {
+		var err error
+		array, err = disksim.New(disksim.DefaultConfig(o.Disks, o.PageSize))
+		if err != nil {
+			return nil, err
+		}
+		store = buffer.NewDiskStore(array)
+	} else {
+		store = buffer.NewMemStore(o.PageSize)
+	}
+	mm := memsim.NewDefault()
+	pool := buffer.NewPool(store, o.BufferPages)
+	pool.AttachModel(mm)
+
+	jpa := !o.DisableJPA
+	var index idx.Index
+	var err error
+	switch o.Variant {
+	case DiskFirst:
+		index, err = core.NewDiskFirst(core.DiskFirstConfig{
+			Pool: pool, Model: mm, EnableJPA: jpa, PrefetchWindow: o.PrefetchWindow,
+		})
+	case CacheFirst:
+		index, err = core.NewCacheFirst(core.CacheFirstConfig{
+			Pool: pool, Model: mm, EnableJPA: jpa, PrefetchWindow: o.PrefetchWindow,
+		})
+	case DiskOptimized:
+		index, err = bptree.New(bptree.Config{
+			Pool: pool, Model: mm, EnableJPA: jpa, PrefetchWindow: o.PrefetchWindow,
+		})
+	case MicroIndex:
+		index, err = microindex.New(microindex.Config{Pool: pool, Model: mm})
+	default:
+		err = fmt.Errorf("fpbtree: unknown variant %d", o.Variant)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{index: index, pool: pool, model: mm, array: array, opts: o}, nil
+}
+
+// Variant reports the tree's organization.
+func (t *Tree) Variant() Variant { return t.opts.Variant }
+
+// Name reports a human-readable structure name.
+func (t *Tree) Name() string { return t.index.Name() }
+
+// Bulkload builds the tree from entries sorted by ascending key, with
+// nodes filled to the given factor in (0, 1].
+func (t *Tree) Bulkload(entries []Entry, fill float64) error {
+	return t.index.Bulkload(entries, fill)
+}
+
+// Search returns the tuple ID stored under key.
+func (t *Tree) Search(key Key) (TupleID, bool, error) { return t.index.Search(key) }
+
+// Insert adds an entry.
+func (t *Tree) Insert(key Key, tid TupleID) error { return t.index.Insert(key, tid) }
+
+// Delete removes one entry with the given key (lazy deletion).
+func (t *Tree) Delete(key Key) (bool, error) { return t.index.Delete(key) }
+
+// RangeScan visits entries with startKey <= key <= endKey in order,
+// prefetching leaf pages and leaf nodes through the jump-pointer arrays
+// when enabled. A nil fn counts matching entries.
+func (t *Tree) RangeScan(startKey, endKey Key, fn func(Key, TupleID) bool) (int, error) {
+	return t.index.RangeScan(startKey, endKey, fn)
+}
+
+// RangeScanReverse visits the same range in descending key order
+// (reverse scans, as DB2's index structures support; §4.3.3).
+func (t *Tree) RangeScanReverse(startKey, endKey Key, fn func(Key, TupleID) bool) (int, error) {
+	return t.index.RangeScanReverse(startKey, endKey, fn)
+}
+
+// Height reports the number of page levels (node levels for the
+// cache-first variant).
+func (t *Tree) Height() int { return t.index.Height() }
+
+// PageCount reports the pages the index occupies.
+func (t *Tree) PageCount() int { return t.index.PageCount() }
+
+// CheckInvariants validates the tree's structural invariants.
+func (t *Tree) CheckInvariants() error { return t.index.CheckInvariants() }
+
+// Stats returns the current simulation counters.
+func (t *Tree) Stats() Stats {
+	ms := t.model.Stats()
+	ps := t.pool.Stats()
+	return Stats{
+		SimCycles:        ms.Cycles,
+		BusyCycles:       ms.Busy,
+		CacheStallCycles: ms.DataStall,
+		OtherStallCycles: ms.OtherStall,
+		CacheMisses:      ms.MemFetches,
+		Prefetches:       ms.Prefetches,
+		BufferGets:       ps.Gets,
+		BufferHits:       ps.Hits,
+		BufferMisses:     ps.DemandMisses,
+		PageReads:        ps.DemandMisses + ps.PrefetchIssue,
+		IOClockMicros:    t.pool.Clock(),
+	}
+}
+
+// SpaceStats reports page usage detail for the fpB+-Tree variants
+// (ok=false for the baselines, which expose only PageCount).
+func (t *Tree) SpaceStats() (core.SpaceStats, bool, error) {
+	switch ix := t.index.(type) {
+	case *core.DiskFirst:
+		st, err := ix.SpaceStats()
+		return st, true, err
+	case *core.CacheFirst:
+		st, err := ix.SpaceStats()
+		return st, true, err
+	}
+	return core.SpaceStats{}, false, nil
+}
+
+// ColdCaches empties the simulated CPU caches (the paper clears caches
+// before each measured phase).
+func (t *Tree) ColdCaches() { t.model.ColdCaches() }
+
+// DropBufferPool flushes and empties the buffer pool (the paper clears
+// it before I/O measurements).
+func (t *Tree) DropBufferPool() error { return t.pool.DropAll() }
+
+// ResetBufferStats zeroes the buffer pool counters.
+func (t *Tree) ResetBufferStats() { t.pool.ResetStats() }
+
+// ExperimentIDs lists the paper experiments that RunExperiment accepts
+// (fig3b, fig10..fig19, table2, ablation).
+func ExperimentIDs() []string { return harness.IDs() }
+
+// RunExperiment regenerates one of the paper's tables or figures at the
+// given scale ("quick", "default", or "paper") and writes the result
+// tables to w.
+func RunExperiment(id, scale string, w io.Writer) error {
+	p, err := harness.ParamsFor(scale)
+	if err != nil {
+		return err
+	}
+	tables, err := harness.Run(id, p)
+	if err != nil {
+		return err
+	}
+	for _, tab := range tables {
+		tab.Fprint(w)
+	}
+	return nil
+}

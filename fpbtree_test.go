@@ -1,0 +1,149 @@
+package fpbtree
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func allVariants() []Variant {
+	return []Variant{DiskFirst, CacheFirst, DiskOptimized, MicroIndex}
+}
+
+func TestFacadeLifecycle(t *testing.T) {
+	for _, v := range allVariants() {
+		t.Run(v.String(), func(t *testing.T) {
+			tr, err := New(WithVariant(v), WithPageSize(4<<10), WithBufferPages(16384))
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := workload.New(1)
+			es := g.BulkEntries(20000)
+			if err := tr.Bulkload(es, 0.8); err != nil {
+				t.Fatal(err)
+			}
+			if tid, ok, err := tr.Search(es[777].Key); err != nil || !ok || tid != es[777].TID {
+				t.Fatalf("search: %v %v %v", tid, ok, err)
+			}
+			if err := tr.Insert(es[777].Key+1, 99); err != nil {
+				t.Fatal(err)
+			}
+			if ok, err := tr.Delete(es[777].Key + 1); err != nil || !ok {
+				t.Fatalf("delete: %v %v", ok, err)
+			}
+			n, err := tr.RangeScan(es[100].Key, es[199].Key, nil)
+			if err != nil || n != 100 {
+				t.Fatalf("scan: n=%d err=%v", n, err)
+			}
+			var lastK Key
+			rn, err := tr.RangeScanReverse(es[100].Key, es[199].Key, func(k Key, _ TupleID) bool {
+				if lastK != 0 && k >= lastK {
+					t.Fatalf("reverse scan not descending: %d then %d", lastK, k)
+				}
+				lastK = k
+				return true
+			})
+			if err != nil || rn != 100 {
+				t.Fatalf("reverse scan: n=%d err=%v", rn, err)
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			if tr.Height() < 1 || tr.PageCount() < 1 {
+				t.Fatalf("height=%d pages=%d", tr.Height(), tr.PageCount())
+			}
+			s := tr.Stats()
+			if s.SimCycles == 0 || s.BufferGets == 0 {
+				t.Fatalf("stats not accumulating: %+v", s)
+			}
+		})
+	}
+}
+
+func TestFacadeOptionValidation(t *testing.T) {
+	if _, err := New(WithPageSize(1000)); err == nil {
+		t.Fatal("accepted unaligned page size")
+	}
+	if _, err := New(WithBufferPages(0)); err == nil {
+		t.Fatal("accepted zero buffer pool")
+	}
+	if _, err := New(WithVariant(Variant(99))); err == nil {
+		t.Fatal("accepted unknown variant")
+	}
+}
+
+func TestFacadeDiskBacked(t *testing.T) {
+	tr, err := New(WithVariant(DiskFirst), WithDisks(4), WithBufferPages(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := workload.New(2)
+	if err := tr.Bulkload(g.BulkEntries(100000), 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.DropBufferPool(); err != nil {
+		t.Fatal(err)
+	}
+	tr.ResetBufferStats()
+	if _, ok, err := tr.Search(2001); err != nil || !ok {
+		t.Fatalf("search: %v %v", ok, err)
+	}
+	s := tr.Stats()
+	if s.BufferMisses == 0 {
+		t.Fatal("cold search should miss the buffer pool")
+	}
+	if s.IOClockMicros == 0 {
+		t.Fatal("virtual I/O time should advance on disk reads")
+	}
+}
+
+func TestFacadeJPAImprovesScanIO(t *testing.T) {
+	scanTime := func(jpa bool) uint64 {
+		opts := []Option{WithVariant(DiskFirst), WithDisks(8), WithBufferPages(2048)}
+		if !jpa {
+			opts = append(opts, WithoutJPA())
+		}
+		tr, err := New(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := workload.New(3)
+		if err := tr.Bulkload(g.BulkEntries(200000), 1.0); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.DropBufferPool(); err != nil {
+			t.Fatal(err)
+		}
+		before := tr.Stats().IOClockMicros
+		if _, err := tr.RangeScan(1, 200001, nil); err != nil {
+			t.Fatal(err)
+		}
+		return tr.Stats().IOClockMicros - before
+	}
+	plain := scanTime(false)
+	pf := scanTime(true)
+	if pf*2 > plain {
+		t.Fatalf("JPA scan should be at least 2x faster: %d vs %d", pf, plain)
+	}
+}
+
+func TestRunExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment("table2", "quick", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "704B") {
+		t.Fatalf("table2 output missing expected value: %s", buf.String())
+	}
+	if err := RunExperiment("nope", "quick", &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := RunExperiment("table2", "nope", &buf); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+	if len(ExperimentIDs()) < 12 {
+		t.Fatalf("experiment registry too small: %v", ExperimentIDs())
+	}
+}

@@ -1,0 +1,238 @@
+package bptree
+
+import (
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/disksim"
+	"repro/internal/idx"
+	"repro/internal/memsim"
+	"repro/internal/treetest"
+)
+
+func factory(jpa bool) treetest.Factory {
+	return func(t *testing.T, env *treetest.Env) idx.Index {
+		tr, err := New(Config{Pool: env.Pool, Model: env.Model, EnableJPA: jpa})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+}
+
+func TestConformance4K(t *testing.T)  { treetest.Run(t, 4<<10, factory(false)) }
+func TestConformance16K(t *testing.T) { treetest.Run(t, 16<<10, factory(false)) }
+func TestConformanceJPA(t *testing.T) { treetest.Run(t, 8<<10, factory(true)) }
+
+func TestCapacityMatchesPaperExample(t *testing.T) {
+	// §3: "an 8KB page can hold over 1000 entries" with 4-byte keys
+	// and 4-byte pointers.
+	env := treetest.NewEnv(8<<10, 64)
+	tr, err := New(Config{Pool: env.Pool, Model: env.Model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Cap() < 1000 {
+		t.Fatalf("8KB page capacity = %d, want > 1000", tr.Cap())
+	}
+}
+
+func TestBinarySearchTouchesManyLines(t *testing.T) {
+	// The paper's motivating observation: a binary search over a
+	// page-wide array touches ~log2(n) distinct cache lines.
+	env := treetest.NewEnv(8<<10, 4096)
+	tr, _ := New(Config{Pool: env.Pool, Model: env.Model})
+	es := treetest.GenEntries(100000, 10, 2)
+	if err := tr.Bulkload(es, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	env.Model.ColdCaches()
+	before := env.Model.Stats()
+	if _, ok, _ := tr.Search(es[71].Key); !ok {
+		t.Fatal("search failed")
+	}
+	d := env.Model.Stats().Sub(before)
+	// Two levels at ~1000 fan-out: expect on the order of 7-20 misses.
+	if d.MemFetches < 6 {
+		t.Fatalf("expected many cache misses for page-wide binary search, got %d", d.MemFetches)
+	}
+	if d.Prefetches != 0 {
+		t.Fatalf("baseline tree must not prefetch, issued %d", d.Prefetches)
+	}
+}
+
+func TestBulkloadHeights(t *testing.T) {
+	env := treetest.NewEnv(4<<10, 65536)
+	tr, _ := New(Config{Pool: env.Pool, Model: env.Model})
+	cap := tr.Cap()
+
+	if err := tr.Bulkload(treetest.GenEntries(cap, 1, 1), 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() != 1 {
+		t.Fatalf("height = %d, want 1 for exactly one page", tr.Height())
+	}
+	if err := tr.Bulkload(treetest.GenEntries(cap+1, 1, 1), 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() != 2 {
+		t.Fatalf("height = %d, want 2", tr.Height())
+	}
+	if tr.PageCount() != 3 {
+		t.Fatalf("pages = %d, want 3 (two leaves + root)", tr.PageCount())
+	}
+}
+
+func TestBulkloadFreesOldPages(t *testing.T) {
+	env := treetest.NewEnv(4<<10, 65536)
+	tr, _ := New(Config{Pool: env.Pool, Model: env.Model})
+	if err := tr.Bulkload(treetest.GenEntries(10000, 1, 2), 1.0); err != nil {
+		t.Fatal(err)
+	}
+	first := tr.PageCount()
+	if err := tr.Bulkload(treetest.GenEntries(10000, 1, 2), 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.PageCount(); got != first {
+		t.Fatalf("page count changed across rebulkload: %d -> %d", first, got)
+	}
+	if got := int(env.Pool.MaxPageID()); got != first {
+		t.Fatalf("rebulkload leaked pages: max pid %d, pages %d", got, first)
+	}
+}
+
+func TestSpaceUtilization(t *testing.T) {
+	env := treetest.NewEnv(16<<10, 65536)
+	tr, _ := New(Config{Pool: env.Pool, Model: env.Model})
+	const n = 200000
+	if err := tr.Bulkload(treetest.GenEntries(n, 1, 2), 1.0); err != nil {
+		t.Fatal(err)
+	}
+	minLeaves := (n + tr.Cap() - 1) / tr.Cap()
+	if got := tr.PageCount(); got > minLeaves+minLeaves/tr.Cap()+3 {
+		t.Fatalf("page count %d too high for %d leaves", got, minLeaves)
+	}
+}
+
+func TestJPAPrefetchReducesScanIOTime(t *testing.T) {
+	build := func(jpa bool) (*Tree, *buffer.Pool, *disksim.Array) {
+		arr, err := disksim.New(disksim.DefaultConfig(8, 4<<10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := buffer.NewPool(buffer.NewDiskStore(arr), 512)
+		mm := memsim.NewDefault()
+		pool.AttachModel(mm)
+		tr, err := New(Config{Pool: pool, Model: mm, EnableJPA: jpa, PrefetchWindow: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Bulkload(treetest.GenEntries(120000, 10, 2), 1.0); err != nil {
+			t.Fatal(err)
+		}
+		if err := pool.DropAll(); err != nil {
+			t.Fatal(err)
+		}
+		arr.Reset()
+		return tr, pool, arr
+	}
+
+	scanMicros := func(jpa bool) uint64 {
+		tr, pool, _ := build(jpa)
+		start := pool.Clock()
+		n, err := tr.RangeScan(10, 10+2*100000, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < 100000 {
+			t.Fatalf("scan visited %d entries", n)
+		}
+		return pool.Clock() - start
+	}
+
+	plain := scanMicros(false)
+	pf := scanMicros(true)
+	if pf*2 > plain {
+		t.Fatalf("JPA prefetch should speed the scan at least 2x on 8 disks: plain=%dµs pf=%dµs", plain, pf)
+	}
+}
+
+func TestJPADoesNotOvershoot(t *testing.T) {
+	arr, err := disksim.New(disksim.DefaultConfig(4, 4<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := buffer.NewPool(buffer.NewDiskStore(arr), 2048)
+	mm := memsim.NewDefault()
+	tr, err := New(Config{Pool: pool, Model: mm, EnableJPA: true, PrefetchWindow: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := treetest.GenEntries(50000, 10, 2)
+	if err := tr.Bulkload(es, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	pool.ResetStats()
+
+	// A short range spanning ~2 leaf pages must not prefetch far past
+	// the end page even with a large window.
+	startIdx := 10000
+	endIdx := startIdx + tr.Cap() // about two pages
+	if _, err := tr.RangeScan(es[startIdx].Key, es[endIdx].Key, nil); err != nil {
+		t.Fatal(err)
+	}
+	s := pool.Stats()
+	if s.PrefetchIssue > 4 {
+		t.Fatalf("short scan prefetched %d pages; overshooting", s.PrefetchIssue)
+	}
+}
+
+func TestSearchIOCountsMatchHeight(t *testing.T) {
+	// Figure 17 methodology: clear the pool, run searches, count misses.
+	arr, err := disksim.New(disksim.DefaultConfig(2, 8<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := buffer.NewPool(buffer.NewDiskStore(arr), 4096)
+	mm := memsim.NewDefault()
+	tr, err := New(Config{Pool: pool, Model: mm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := treetest.GenEntries(300000, 10, 2)
+	if err := tr.Bulkload(es, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	pool.ResetStats()
+	if _, ok, _ := tr.Search(es[1234].Key); !ok {
+		t.Fatal("search failed")
+	}
+	if got, want := int(pool.Stats().DemandMisses), tr.Height(); got != want {
+		t.Fatalf("first cold search missed %d pages, want height %d", got, want)
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	env := treetest.NewEnv(4<<10, 8192)
+	tr, _ := New(Config{Pool: env.Pool, Model: env.Model})
+	for i := 0; i < 2000; i++ {
+		if err := tr.Insert(42, uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := tr.RangeScan(42, 42, nil); n != 2000 {
+		t.Fatalf("scan of duplicate key sees %d, want 2000", n)
+	}
+	if _, ok, _ := tr.Search(42); !ok {
+		t.Fatal("duplicate key not found")
+	}
+}

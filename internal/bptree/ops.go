@@ -1,0 +1,370 @@
+package bptree
+
+import (
+	"repro/internal/buffer"
+	"repro/internal/idx"
+)
+
+// Bulkload implements idx.Index. Pages are packed left to right to the
+// fill factor (the last page of a level takes the remainder); sibling
+// links and — when JPA is enabled — jump-pointer chains are threaded at
+// every level, matching the DB2 implementation of §4.3.3. Bulkload does
+// not charge the memory model: the paper clears all caches after
+// loading and before measuring.
+func (t *Tree) Bulkload(entries []idx.Entry, fill float64) error {
+	if err := idx.CheckFill(fill); err != nil {
+		return err
+	}
+	if err := idx.ValidateSorted(entries); err != nil {
+		return err
+	}
+	if err := t.freeAll(); err != nil {
+		return err
+	}
+	per := int(fill * float64(t.cap))
+	if per < 1 {
+		per = 1
+	}
+	if per > t.cap {
+		per = t.cap
+	}
+
+	// Leaf level.
+	type ref struct {
+		min idx.Key
+		pid uint32
+	}
+	var level []ref
+	var prev *buffer.Page
+	if len(entries) == 0 {
+		pg, err := t.pool.NewPage()
+		if err != nil {
+			return err
+		}
+		setType(pg.Data, pageLeaf)
+		t.pool.Unpin(pg, true)
+		level = append(level, ref{0, pg.ID})
+	}
+	for i := 0; i < len(entries); i += per {
+		j := i + per
+		if j > len(entries) {
+			j = len(entries)
+		}
+		pg, err := t.pool.NewPage()
+		if err != nil {
+			return err
+		}
+		d := pg.Data
+		setType(d, pageLeaf)
+		setCount(d, j-i)
+		for n, e := range entries[i:j] {
+			t.setKey(d, n, e.Key)
+			t.setPtr(d, n, e.TID)
+		}
+		if prev != nil {
+			setNext(prev.Data, pg.ID)
+			setPrev(d, prev.ID)
+			t.pool.Unpin(prev, true)
+		}
+		prev = pg
+		level = append(level, ref{entries[i].Key, pg.ID})
+	}
+	if prev != nil {
+		t.pool.Unpin(prev, true)
+	}
+	t.firstLeaf = level[0].pid
+	t.height = 1
+
+	// Internal levels.
+	for len(level) > 1 {
+		var up []ref
+		prev = nil
+		for i := 0; i < len(level); i += per {
+			j := i + per
+			if j > len(level) {
+				j = len(level)
+			}
+			// Avoid a singleton top page when the remainder is 1 and
+			// this is the would-be root level.
+			pg, err := t.pool.NewPage()
+			if err != nil {
+				return err
+			}
+			d := pg.Data
+			setType(d, pageInternal)
+			setLevel(d, byte(t.height))
+			setCount(d, j-i)
+			for n, r := range level[i:j] {
+				t.setKey(d, n, r.min)
+				t.setPtr(d, n, r.pid)
+			}
+			if prev != nil {
+				setNext(prev.Data, pg.ID)
+				setPrev(d, prev.ID)
+				setJPNext(prev.Data, pg.ID)
+				t.pool.Unpin(prev, true)
+			}
+			prev = pg
+			up = append(up, ref{level[i].min, pg.ID})
+		}
+		if prev != nil {
+			t.pool.Unpin(prev, true)
+		}
+		level = up
+		t.height++
+	}
+	t.root = level[0].pid
+	return nil
+}
+
+// freeAll releases every page of the current tree back to the pool.
+func (t *Tree) freeAll() error {
+	if t.root == 0 {
+		return nil
+	}
+	pid := t.root
+	for lvl := t.height - 1; lvl >= 0; lvl-- {
+		// Remember the leftmost child before freeing this level.
+		var childFirst uint32
+		cur := pid
+		for cur != 0 {
+			pg, err := t.pool.Get(cur)
+			if err != nil {
+				return err
+			}
+			next := pNext(pg.Data)
+			if lvl > 0 && childFirst == 0 && pCount(pg.Data) > 0 {
+				childFirst = t.ptr(pg.Data, 0)
+			}
+			t.pool.Unpin(pg, false)
+			if err := t.pool.FreePage(cur); err != nil {
+				return err
+			}
+			cur = next
+		}
+		pid = childFirst
+	}
+	t.root, t.height, t.firstLeaf = 0, 0, 0
+	return nil
+}
+
+// Search implements idx.Index. The descent uses strictly-less
+// comparisons and then walks forward across the (possibly page-
+// spanning) run of duplicates, so an exact match is found even when
+// deletions have hollowed out later duplicates (separators are only
+// lower bounds).
+func (t *Tree) Search(k idx.Key) (idx.TupleID, bool, error) {
+	pg, slot, found, err := t.findFirst(k)
+	if err != nil || !found {
+		return 0, false, err
+	}
+	tid := t.readPtr(pg, slot)
+	t.pool.Unpin(pg, false)
+	return tid, true, nil
+}
+
+// findFirst locates the first entry with key == k, returning its pinned
+// page and slot (the caller unpins), or found=false.
+func (t *Tree) findFirst(k idx.Key) (*buffer.Page, int, bool, error) {
+	if t.root == 0 {
+		return nil, 0, false, nil
+	}
+	pid, err := t.leafFor(k)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	for pid != 0 {
+		pg, err := t.pool.Get(pid)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		t.touchHeader(pg)
+		slot := t.searchPageLT(pg, k) + 1
+		n := pCount(pg.Data)
+		if slot < n {
+			t.mm.Access(pg.Addr+uint64(t.keyOff(slot)), idx.KeySize)
+			if t.key(pg.Data, slot) == k {
+				return pg, slot, true, nil
+			}
+			t.pool.Unpin(pg, false)
+			return nil, 0, false, nil
+		}
+		// Every entry in this page is < k (or the page is empty):
+		// the run may start in the next page.
+		next := pNext(pg.Data)
+		t.pool.Unpin(pg, false)
+		pid = next
+	}
+	return nil, 0, false, nil
+}
+
+// Insert implements idx.Index.
+func (t *Tree) Insert(k idx.Key, tid idx.TupleID) error {
+	if t.root == 0 {
+		pg, err := t.pool.NewPage()
+		if err != nil {
+			return err
+		}
+		setType(pg.Data, pageLeaf)
+		t.pool.Unpin(pg, true)
+		t.root, t.firstLeaf, t.height = pg.ID, pg.ID, 1
+	}
+	split, sepKey, newPID, err := t.insertInto(t.root, t.height-1, k, tid)
+	if err != nil {
+		return err
+	}
+	if !split {
+		return nil
+	}
+	// Grow a new root.
+	oldRoot := t.root
+	old, err := t.pool.Get(oldRoot)
+	if err != nil {
+		return err
+	}
+	oldMin := t.key(old.Data, 0)
+	t.pool.Unpin(old, false)
+	rootPg, err := t.pool.NewPage()
+	if err != nil {
+		return err
+	}
+	d := rootPg.Data
+	setType(d, pageInternal)
+	setLevel(d, byte(t.height))
+	setCount(d, 2)
+	t.setKey(d, 0, oldMin)
+	t.setPtr(d, 0, oldRoot)
+	t.setKey(d, 1, sepKey)
+	t.setPtr(d, 1, newPID)
+	t.pool.Unpin(rootPg, true)
+	t.root = rootPg.ID
+	t.height++
+	return nil
+}
+
+// insertInto inserts (k, p) into the subtree rooted at pid (at the given
+// level; p is a tuple ID at level 0 and a child page ID above). If the
+// page splits, it returns the separator and new page for the caller to
+// install.
+func (t *Tree) insertInto(pid uint32, lvl int, k idx.Key, p uint32) (bool, idx.Key, uint32, error) {
+	pg, err := t.pool.Get(pid)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	t.touchHeader(pg)
+	slot, _ := t.searchPage(pg, k)
+
+	if lvl > 0 {
+		cslot := slot
+		dirty := false
+		if cslot < 0 {
+			// k is below every separator: descend leftmost, lowering
+			// its separator so separators remain true lower bounds.
+			cslot = 0
+			t.setKey(pg.Data, 0, k)
+			t.mm.Access(pg.Addr+uint64(t.keyOff(0)), idx.KeySize)
+			dirty = true
+		}
+		child := t.readPtr(pg, cslot)
+		t.pool.Unpin(pg, dirty)
+		childSplit, sepKey, newPID, err := t.insertInto(child, lvl-1, k, p)
+		if err != nil || !childSplit {
+			return false, 0, 0, err
+		}
+		// Re-fix the page and install the separator.
+		k, p = sepKey, newPID
+		pg, err = t.pool.Get(pid)
+		if err != nil {
+			return false, 0, 0, err
+		}
+		slot, _ = t.searchPage(pg, k)
+	}
+
+	if pCount(pg.Data) < t.cap {
+		t.insertAt(pg, slot+1, k, p)
+		t.pool.Unpin(pg, true)
+		return false, 0, 0, nil
+	}
+
+	sep, newPID, err := t.splitPage(pg)
+	if err != nil {
+		t.pool.Unpin(pg, true)
+		return false, 0, 0, err
+	}
+	if k >= sep {
+		np, err2 := t.pool.Get(newPID)
+		if err2 != nil {
+			t.pool.Unpin(pg, true)
+			return false, 0, 0, err2
+		}
+		s, _ := t.searchPage(np, k)
+		t.insertAt(np, s+1, k, p)
+		t.pool.Unpin(np, true)
+	} else {
+		s, _ := t.searchPage(pg, k)
+		t.insertAt(pg, s+1, k, p)
+	}
+	t.pool.Unpin(pg, true)
+	return true, sep, newPID, nil
+}
+
+// splitPage moves the upper half of pg to a new page, threading sibling
+// and jump-pointer links, and returns the separator (the new page's
+// minimum key).
+func (t *Tree) splitPage(pg *buffer.Page) (idx.Key, uint32, error) {
+	d := pg.Data
+	n := pCount(d)
+	mid := n / 2
+	np, err := t.pool.NewPage()
+	if err != nil {
+		return 0, 0, err
+	}
+	nd := np.Data
+	setType(nd, pType(d))
+	setLevel(nd, pLevel(d))
+	moved := n - mid
+	copy(nd[t.keyOff(0):t.keyOff(moved)], d[t.keyOff(mid):t.keyOff(n)])
+	copy(nd[t.ptrOff(0):t.ptrOff(moved)], d[t.ptrOff(mid):t.ptrOff(n)])
+	t.mm.CopyBetween(np.Addr+uint64(t.keyOff(0)), pg.Addr+uint64(t.keyOff(mid)), moved*idx.KeySize)
+	t.mm.CopyBetween(np.Addr+uint64(t.ptrOff(0)), pg.Addr+uint64(t.ptrOff(mid)), moved*idx.PageIDSize)
+	setCount(nd, moved)
+	setCount(d, mid)
+
+	// Sibling links.
+	right := pNext(d)
+	setNext(nd, right)
+	setPrev(nd, pg.ID)
+	setNext(d, np.ID)
+	if right != 0 {
+		rp, err := t.pool.Get(right)
+		if err != nil {
+			t.pool.Unpin(np, true)
+			return 0, 0, err
+		}
+		setPrev(rp.Data, np.ID)
+		t.pool.Unpin(rp, true)
+	}
+	// Jump-pointer chain (kept on every internal level, like the DB2
+	// implementation which links all levels).
+	if pType(d) == pageInternal {
+		setJPNext(nd, pJPNext(d))
+		setJPNext(d, np.ID)
+	}
+	sep := t.key(nd, 0)
+	newPID := np.ID
+	t.pool.Unpin(np, true)
+	return sep, newPID, nil
+}
+
+// Delete implements idx.Index: lazy deletion (§3.1.2) — the entry's
+// array slot is closed up, but underflowed pages are never merged.
+// Like Search, it removes the first entry of a duplicate run.
+func (t *Tree) Delete(k idx.Key) (bool, error) {
+	pg, slot, found, err := t.findFirst(k)
+	if err != nil || !found {
+		return false, err
+	}
+	t.removeAt(pg, slot)
+	t.pool.Unpin(pg, true)
+	return true, nil
+}

@@ -1,0 +1,106 @@
+package buffer
+
+import "testing"
+
+// TestClockSecondChance verifies the CLOCK property: a page referenced
+// after its ref bit was cleared survives the next eviction pass, while
+// an untouched page is evicted.
+func TestClockSecondChance(t *testing.T) {
+	p := newMemPool(3)
+	var pids []uint32
+	for i := 0; i < 3; i++ {
+		pg, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pids = append(pids, pg.ID)
+		p.Unpin(pg, true)
+	}
+	// First allocation sweeps: clears every ref bit, then evicts the
+	// first cold frame (pids[0]).
+	d, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(d, true)
+	if p.Contains(pids[0]) {
+		t.Fatal("expected the first page to be evicted by the sweep")
+	}
+	// Re-reference pids[2]: its bit is set again, so the next eviction
+	// must take pids[1] (bit still clear) and give pids[2] its second
+	// chance.
+	g, err := p.Get(pids[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(g, false)
+	e, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(e, true)
+	if !p.Contains(pids[2]) {
+		t.Fatal("referenced page lost its second chance")
+	}
+	if p.Contains(pids[1]) {
+		t.Fatal("unreferenced page should have been evicted")
+	}
+}
+
+// TestClockRotation: allocations cycle through all unpinned frames
+// rather than thrashing one.
+func TestClockRotation(t *testing.T) {
+	p := newMemPool(4)
+	var pids []uint32
+	for i := 0; i < 12; i++ {
+		pg, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pids = append(pids, pg.ID)
+		p.Unpin(pg, true)
+	}
+	// The last frames' worth of pages should be resident.
+	resident := 0
+	for _, pid := range pids[len(pids)-4:] {
+		if p.Contains(pid) {
+			resident++
+		}
+	}
+	if resident < 2 {
+		t.Fatalf("only %d of the most recent pages resident", resident)
+	}
+	if p.ResidentPages() != 4 {
+		t.Fatalf("resident = %d, want 4", p.ResidentPages())
+	}
+}
+
+// TestEvictionWritesBackDirtyOnly: clean pages are dropped without a
+// store write.
+func TestEvictionWritesBackDirtyOnly(t *testing.T) {
+	p := newMemPool(2)
+	a, _ := p.NewPage()
+	p.Unpin(a, true) // dirty
+	b, _ := p.NewPage()
+	p.Unpin(b, true)
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	base := p.Stats().DirtyWrites
+	// Re-read a (clean now), then force eviction churn.
+	g, _ := p.Get(a.ID)
+	p.Unpin(g, false)
+	for i := 0; i < 3; i++ {
+		pg, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(pg, true)
+	}
+	// a was clean: evicting it must not have written it again, but the
+	// dirty new pages do get written on eviction.
+	s := p.Stats()
+	if s.DirtyWrites == base {
+		t.Fatal("dirty new pages should have been written on eviction")
+	}
+}

@@ -1,0 +1,350 @@
+package buffer
+
+import (
+	"fmt"
+
+	"repro/internal/memsim"
+)
+
+// Stats counts pool activity. DemandMisses is the Figure 17 metric:
+// page reads triggered by a Get that found neither a resident nor an
+// in-flight frame.
+type Stats struct {
+	Gets          uint64
+	Hits          uint64
+	DemandMisses  uint64
+	PrefetchIssue uint64 // prefetch reads issued to the store
+	PrefetchHits  uint64 // Gets satisfied by a previously prefetched frame
+	Evictions     uint64
+	DirtyWrites   uint64
+}
+
+// Page is a pinned page handle. Data aliases the frame's buffer and is
+// valid until Unpin.
+type Page struct {
+	ID   uint32
+	Data []byte
+	// Addr is the page's simulated base address for memsim charging.
+	Addr memsim.Addr
+
+	frame int
+}
+
+// Pool is a CLOCK-replacement buffer pool over a Store.
+type Pool struct {
+	store    Store
+	pageSize int
+	frames   []frame
+	table    map[uint32]int
+	hand     int
+	clock    uint64 // virtual microseconds
+	mm       *memsim.Model
+	space    *memsim.AddressSpace
+
+	nextPID  uint32
+	freePIDs []uint32
+
+	stats Stats
+}
+
+type frame struct {
+	pid     uint32
+	data    []byte
+	pin     int
+	dirty   bool
+	ref     bool
+	valid   bool
+	readyAt uint64 // virtual completion time of the read that filled it
+}
+
+// NewPool creates a pool with the given number of frames.
+func NewPool(store Store, frames int) *Pool {
+	if frames <= 0 {
+		panic("buffer: pool needs at least one frame")
+	}
+	p := &Pool{
+		store:    store,
+		pageSize: store.PageSize(),
+		frames:   make([]frame, frames),
+		table:    make(map[uint32]int, frames),
+		space:    memsim.NewAddressSpace(store.PageSize()),
+		nextPID:  1, // page 0 is the nil page
+	}
+	for i := range p.frames {
+		p.frames[i].data = make([]byte, p.pageSize)
+	}
+	return p
+}
+
+// AttachModel makes the pool charge buffer-manager instruction overhead
+// (memsim.CostBufferFix per Get) to mm, reproducing footnote 4's "extra
+// busy time ... due to buffer pool management".
+func (p *Pool) AttachModel(mm *memsim.Model) { p.mm = mm }
+
+// Space returns the pool's simulated address space.
+func (p *Pool) Space() *memsim.AddressSpace { return p.space }
+
+// PageSize returns the page size in bytes.
+func (p *Pool) PageSize() int { return p.pageSize }
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// ResetStats zeroes the counters.
+func (p *Pool) ResetStats() { p.stats = Stats{} }
+
+// Clock returns the pool's virtual time in microseconds.
+func (p *Pool) Clock() uint64 { return p.clock }
+
+// AddDelay advances virtual time by d microseconds of consumer-side
+// work (e.g. per-page CPU cost during a scan).
+func (p *Pool) AddDelay(d uint64) { p.clock += d }
+
+// AllocPageID reserves a fresh page ID (reusing freed ones first).
+func (p *Pool) AllocPageID() uint32 {
+	if n := len(p.freePIDs); n > 0 {
+		pid := p.freePIDs[n-1]
+		p.freePIDs = p.freePIDs[:n-1]
+		return pid
+	}
+	pid := p.nextPID
+	p.nextPID++
+	return pid
+}
+
+// MaxPageID returns the highest page ID ever allocated (for iteration
+// by invariant checkers).
+func (p *Pool) MaxPageID() uint32 { return p.nextPID - 1 }
+
+// victim selects a frame via the CLOCK algorithm, evicting its current
+// occupant if necessary.
+func (p *Pool) victim() (int, error) {
+	for pass := 0; pass < 2*len(p.frames)+1; pass++ {
+		f := &p.frames[p.hand]
+		i := p.hand
+		p.hand = (p.hand + 1) % len(p.frames)
+		if !f.valid {
+			return i, nil
+		}
+		if f.pin > 0 {
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		if err := p.evict(i); err != nil {
+			return 0, err
+		}
+		return i, nil
+	}
+	return 0, errPoolExhausted(len(p.frames))
+}
+
+func (p *Pool) evict(i int) error {
+	f := &p.frames[i]
+	if f.dirty {
+		// Delayed write-back: the write is issued at the current time
+		// but the consumer does not wait for it.
+		if _, err := p.store.WritePage(f.pid, f.data, p.clock); err != nil {
+			return err
+		}
+		p.stats.DirtyWrites++
+	}
+	delete(p.table, f.pid)
+	f.valid = false
+	f.dirty = false
+	p.stats.Evictions++
+	return nil
+}
+
+func (p *Pool) fixBusy() {
+	if p.mm != nil {
+		p.mm.Busy(memsim.CostBufferFix)
+	}
+}
+
+// Get pins page pid, reading it from the store on a miss, and advances
+// the virtual clock to the read's completion.
+func (p *Pool) Get(pid uint32) (*Page, error) {
+	if pid == 0 {
+		return nil, fmt.Errorf("buffer: Get of nil page")
+	}
+	p.stats.Gets++
+	p.fixBusy()
+	if i, ok := p.table[pid]; ok {
+		f := &p.frames[i]
+		f.pin++
+		f.ref = true
+		if f.readyAt > p.clock {
+			// In-flight prefetch: wait for it.
+			p.clock = f.readyAt
+		}
+		if f.readyAt > 0 {
+			p.stats.PrefetchHits++
+			f.readyAt = 0
+		} else {
+			p.stats.Hits++
+		}
+		return &Page{ID: pid, Data: f.data, Addr: p.space.PageAddr(pid), frame: i}, nil
+	}
+	i, err := p.victim()
+	if err != nil {
+		return nil, err
+	}
+	f := &p.frames[i]
+	done, err := p.store.ReadPage(pid, f.data, p.clock)
+	if err != nil {
+		return nil, err
+	}
+	p.clock = done
+	f.pid = pid
+	f.pin = 1
+	f.ref = true
+	f.valid = true
+	f.dirty = false
+	f.readyAt = 0
+	p.table[pid] = i
+	p.stats.DemandMisses++
+	return &Page{ID: pid, Data: f.data, Addr: p.space.PageAddr(pid), frame: i}, nil
+}
+
+// Prefetch issues an asynchronous read for pid if it is not already
+// resident or in flight. A later Get waits only for the remaining
+// service time.
+func (p *Pool) Prefetch(pid uint32) error {
+	if pid == 0 {
+		return nil
+	}
+	if _, ok := p.table[pid]; ok {
+		return nil
+	}
+	i, err := p.victim()
+	if err != nil {
+		return err
+	}
+	f := &p.frames[i]
+	done, err := p.store.ReadPage(pid, f.data, p.clock)
+	if err != nil {
+		return err
+	}
+	f.pid = pid
+	f.pin = 0
+	f.ref = true
+	f.valid = true
+	f.dirty = false
+	f.readyAt = done
+	p.table[pid] = i
+	p.stats.PrefetchIssue++
+	return nil
+}
+
+// Contains reports whether pid is resident (or in flight) without
+// touching replacement state.
+func (p *Pool) Contains(pid uint32) bool {
+	_, ok := p.table[pid]
+	return ok
+}
+
+// NewPage allocates a fresh page, pinned and zeroed, without a store
+// read.
+func (p *Pool) NewPage() (*Page, error) {
+	pid := p.AllocPageID()
+	i, err := p.victim()
+	if err != nil {
+		p.freePIDs = append(p.freePIDs, pid)
+		return nil, err
+	}
+	f := &p.frames[i]
+	for j := range f.data {
+		f.data[j] = 0
+	}
+	f.pid = pid
+	f.pin = 1
+	f.ref = true
+	f.valid = true
+	f.dirty = true
+	f.readyAt = 0
+	p.table[pid] = i
+	return &Page{ID: pid, Data: f.data, Addr: p.space.PageAddr(pid), frame: i}, nil
+}
+
+// Unpin releases a pinned page, optionally marking it dirty.
+func (p *Pool) Unpin(pg *Page, dirty bool) {
+	f := &p.frames[pg.frame]
+	if !f.valid || f.pid != pg.ID || f.pin <= 0 {
+		panic(fmt.Sprintf("buffer: bad Unpin of page %d", pg.ID))
+	}
+	f.pin--
+	if dirty {
+		f.dirty = true
+	}
+}
+
+// FreePage returns an unpinned page to the allocator and drops its frame.
+func (p *Pool) FreePage(pid uint32) error {
+	if i, ok := p.table[pid]; ok {
+		f := &p.frames[i]
+		if f.pin > 0 {
+			return fmt.Errorf("buffer: FreePage of pinned page %d", pid)
+		}
+		delete(p.table, pid)
+		f.valid = false
+		f.dirty = false
+	}
+	p.freePIDs = append(p.freePIDs, pid)
+	return nil
+}
+
+// FlushAll writes every dirty frame back to the store (pages stay
+// resident).
+func (p *Pool) FlushAll() error {
+	for i := range p.frames {
+		f := &p.frames[i]
+		if f.valid && f.dirty {
+			if _, err := p.store.WritePage(f.pid, f.data, p.clock); err != nil {
+				return err
+			}
+			f.dirty = false
+			p.stats.DirtyWrites++
+		}
+	}
+	return nil
+}
+
+// DropAll flushes and then evicts every unpinned frame — the paper's
+// "buffer pool was cleared before every experiment". It fails if any
+// page is still pinned.
+func (p *Pool) DropAll() error {
+	for i := range p.frames {
+		if p.frames[i].valid && p.frames[i].pin > 0 {
+			return fmt.Errorf("buffer: DropAll with page %d pinned", p.frames[i].pid)
+		}
+	}
+	if err := p.FlushAll(); err != nil {
+		return err
+	}
+	for i := range p.frames {
+		f := &p.frames[i]
+		if f.valid {
+			delete(p.table, f.pid)
+			f.valid = false
+		}
+	}
+	return nil
+}
+
+// PinnedCount reports the number of currently pinned frames (leak
+// detection in tests).
+func (p *Pool) PinnedCount() int {
+	n := 0
+	for i := range p.frames {
+		if p.frames[i].valid && p.frames[i].pin > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ResidentPages reports how many valid frames the pool holds.
+func (p *Pool) ResidentPages() int { return len(p.table) }

@@ -1,0 +1,314 @@
+package buffer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/disksim"
+	"repro/internal/memsim"
+)
+
+func newMemPool(frames int) *Pool {
+	return NewPool(NewMemStore(4096), frames)
+}
+
+func TestNewPageIsZeroedAndPinned(t *testing.T) {
+	p := newMemPool(4)
+	pg, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.ID == 0 {
+		t.Fatal("allocated the nil page ID")
+	}
+	for _, b := range pg.Data {
+		if b != 0 {
+			t.Fatal("new page not zeroed")
+		}
+	}
+	if p.PinnedCount() != 1 {
+		t.Fatalf("pinned count = %d", p.PinnedCount())
+	}
+	p.Unpin(pg, true)
+	if p.PinnedCount() != 0 {
+		t.Fatal("unpin did not release")
+	}
+}
+
+func TestDataSurvivesEviction(t *testing.T) {
+	p := newMemPool(2)
+	pg, _ := p.NewPage()
+	pid := pg.ID
+	pg.Data[17] = 0xAB
+	p.Unpin(pg, true)
+
+	// Force eviction by cycling more pages than frames.
+	for i := 0; i < 4; i++ {
+		q, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(q, true)
+	}
+	if p.Contains(pid) {
+		t.Fatal("page should have been evicted")
+	}
+	pg2, err := p.Get(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Unpin(pg2, false)
+	if pg2.Data[17] != 0xAB {
+		t.Fatal("dirty data lost across eviction")
+	}
+}
+
+func TestGetCountsHitsAndMisses(t *testing.T) {
+	p := newMemPool(4)
+	pg, _ := p.NewPage()
+	pid := pg.ID
+	p.Unpin(pg, true)
+	p.ResetStats()
+
+	g1, _ := p.Get(pid)
+	p.Unpin(g1, false)
+	g2, _ := p.Get(pid)
+	p.Unpin(g2, false)
+	s := p.Stats()
+	if s.Hits != 2 || s.DemandMisses != 0 {
+		t.Fatalf("stats after resident gets: %+v", s)
+	}
+	if err := p.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	g3, _ := p.Get(pid)
+	p.Unpin(g3, false)
+	if s := p.Stats(); s.DemandMisses != 1 {
+		t.Fatalf("expected a demand miss after DropAll: %+v", s)
+	}
+}
+
+func TestPinnedPagesAreNotEvicted(t *testing.T) {
+	p := newMemPool(2)
+	a, _ := p.NewPage()
+	b, _ := p.NewPage()
+	p.Unpin(b, true)
+	// Frame for a stays pinned; allocating more pages must reuse only b's frame.
+	for i := 0; i < 3; i++ {
+		q, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(q, true)
+	}
+	if !p.Contains(a.ID) {
+		t.Fatal("pinned page was evicted")
+	}
+	p.Unpin(a, false)
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	p := newMemPool(2)
+	a, _ := p.NewPage()
+	b, _ := p.NewPage()
+	if _, err := p.NewPage(); err == nil {
+		t.Fatal("expected exhaustion error with all frames pinned")
+	}
+	p.Unpin(a, false)
+	p.Unpin(b, false)
+	if _, err := p.NewPage(); err != nil {
+		t.Fatalf("pool should recover after unpin: %v", err)
+	}
+}
+
+func TestGetNilPageFails(t *testing.T) {
+	p := newMemPool(2)
+	if _, err := p.Get(0); err == nil {
+		t.Fatal("Get(0) should fail")
+	}
+}
+
+func TestFreePageReuse(t *testing.T) {
+	p := newMemPool(4)
+	pg, _ := p.NewPage()
+	pid := pg.ID
+	p.Unpin(pg, false)
+	if err := p.FreePage(pid); err != nil {
+		t.Fatal(err)
+	}
+	pg2, _ := p.NewPage()
+	defer p.Unpin(pg2, false)
+	if pg2.ID != pid {
+		t.Fatalf("freed page ID not reused: got %d want %d", pg2.ID, pid)
+	}
+}
+
+func TestFreePinnedPageFails(t *testing.T) {
+	p := newMemPool(4)
+	pg, _ := p.NewPage()
+	if err := p.FreePage(pg.ID); err == nil {
+		t.Fatal("freeing a pinned page should fail")
+	}
+	p.Unpin(pg, false)
+}
+
+func TestPrefetchHidesLatency(t *testing.T) {
+	arr, err := disksim.New(disksim.DefaultConfig(4, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewDiskStore(arr)
+	p := NewPool(store, 64)
+
+	var pids []uint32
+	for i := 0; i < 8; i++ {
+		pg, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pids = append(pids, pg.ID)
+		p.Unpin(pg, true)
+	}
+	if err := p.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	arr.Reset()
+
+	// Synchronous pass.
+	start := p.Clock()
+	for _, pid := range pids {
+		pg, err := p.Get(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(pg, false)
+	}
+	syncTime := p.Clock() - start
+
+	if err := p.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	arr.Reset()
+
+	// Prefetched pass.
+	start = p.Clock()
+	for _, pid := range pids {
+		if err := p.Prefetch(pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, pid := range pids {
+		pg, err := p.Get(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(pg, false)
+	}
+	parTime := p.Clock() - start
+
+	if parTime*2 > syncTime {
+		t.Fatalf("prefetch pass not faster: sync=%d par=%d", syncTime, parTime)
+	}
+	s := p.Stats()
+	if s.PrefetchIssue != 8 || s.PrefetchHits != 8 {
+		t.Fatalf("prefetch accounting: %+v", s)
+	}
+}
+
+func TestPrefetchOfResidentPageIsNoop(t *testing.T) {
+	p := newMemPool(4)
+	pg, _ := p.NewPage()
+	p.Unpin(pg, false)
+	p.ResetStats()
+	if err := p.Prefetch(pg.ID); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().PrefetchIssue != 0 {
+		t.Fatal("prefetch of resident page issued a read")
+	}
+}
+
+func TestAttachModelChargesBusy(t *testing.T) {
+	p := newMemPool(4)
+	mm := memsim.NewDefault()
+	p.AttachModel(mm)
+	pg, _ := p.NewPage()
+	p.Unpin(pg, false)
+	before := mm.Stats().Busy
+	g, _ := p.Get(pg.ID)
+	p.Unpin(g, false)
+	if mm.Stats().Busy-before != memsim.CostBufferFix {
+		t.Fatalf("Get charged %d busy cycles, want %d", mm.Stats().Busy-before, memsim.CostBufferFix)
+	}
+}
+
+func TestDropAllFailsWithPinnedPage(t *testing.T) {
+	p := newMemPool(4)
+	pg, _ := p.NewPage()
+	if err := p.DropAll(); err == nil {
+		t.Fatal("DropAll should fail with a pinned page")
+	}
+	p.Unpin(pg, false)
+}
+
+func TestPageAddrStable(t *testing.T) {
+	p := newMemPool(2)
+	pg, _ := p.NewPage()
+	pid := pg.ID
+	addr := pg.Addr
+	p.Unpin(pg, true)
+	for i := 0; i < 4; i++ {
+		q, _ := p.NewPage()
+		p.Unpin(q, true)
+	}
+	pg2, _ := p.Get(pid)
+	defer p.Unpin(pg2, false)
+	if pg2.Addr != addr {
+		t.Fatalf("page address changed across eviction: %d -> %d", addr, pg2.Addr)
+	}
+}
+
+// TestPoolMatchesShadowStore writes random bytes to random pages through
+// the pool and verifies reads always observe the latest write, under
+// heavy eviction pressure (2 frames).
+func TestPoolMatchesShadowStore(t *testing.T) {
+	f := func(ops []struct {
+		Page byte
+		Val  byte
+	}) bool {
+		p := newMemPool(2)
+		shadow := map[uint32]byte{}
+		ids := map[byte]uint32{}
+		for _, op := range ops {
+			pidKey := op.Page % 8
+			pid, ok := ids[pidKey]
+			if !ok {
+				pg, err := p.NewPage()
+				if err != nil {
+					return false
+				}
+				ids[pidKey] = pg.ID
+				pid = pg.ID
+				pg.Data[0] = op.Val
+				shadow[pid] = op.Val
+				p.Unpin(pg, true)
+				continue
+			}
+			pg, err := p.Get(pid)
+			if err != nil {
+				return false
+			}
+			if pg.Data[0] != shadow[pid] {
+				p.Unpin(pg, false)
+				return false
+			}
+			pg.Data[0] = op.Val
+			shadow[pid] = op.Val
+			p.Unpin(pg, true)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

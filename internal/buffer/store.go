@@ -1,0 +1,116 @@
+// Package buffer implements the buffer-pool substrate shared by every
+// disk-resident index in the reproduction: fixed-size frames, CLOCK
+// page replacement (§4.1), pin/unpin with delayed write-back of dirty
+// pages, explicit page prefetching, page allocation, and the hit/miss
+// accounting used by the search I/O experiments (Figure 17).
+//
+// The pool is single-threaded by design: the paper's simulations run
+// one operation stream at a time, and virtual time (microseconds) is
+// carried on the pool's clock rather than on goroutines.
+package buffer
+
+import (
+	"fmt"
+
+	"repro/internal/disksim"
+)
+
+// Store is the backing storage a pool reads pages from and writes pages
+// to. Implementations carry their own notion of virtual service time:
+// a request issued at virtual time now completes at the returned time.
+type Store interface {
+	// ReadPage fills dst with the contents of page pid.
+	ReadPage(pid uint32, dst []byte, now uint64) (done uint64, err error)
+	// WritePage persists src as the contents of page pid.
+	WritePage(pid uint32, src []byte, now uint64) (done uint64, err error)
+	// PageSize is the fixed page size in bytes.
+	PageSize() int
+}
+
+// MemStore is a Store with zero service time, used by the cache
+// experiments (where the entire tree is memory resident and only CPU
+// cache behaviour matters).
+type MemStore struct {
+	pageSize int
+	pages    map[uint32][]byte
+}
+
+// NewMemStore creates an empty zero-latency store.
+func NewMemStore(pageSize int) *MemStore {
+	return &MemStore{pageSize: pageSize, pages: make(map[uint32][]byte)}
+}
+
+// PageSize implements Store.
+func (s *MemStore) PageSize() int { return s.pageSize }
+
+// ReadPage implements Store. Reading a never-written page yields zeros,
+// matching a freshly formatted extent.
+func (s *MemStore) ReadPage(pid uint32, dst []byte, now uint64) (uint64, error) {
+	if p, ok := s.pages[pid]; ok {
+		copy(dst, p)
+	} else {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	return now, nil
+}
+
+// WritePage implements Store.
+func (s *MemStore) WritePage(pid uint32, src []byte, now uint64) (uint64, error) {
+	p, ok := s.pages[pid]
+	if !ok {
+		p = make([]byte, s.pageSize)
+		s.pages[pid] = p
+	}
+	copy(p, src)
+	return now, nil
+}
+
+// PageCount reports how many distinct pages have been written.
+func (s *MemStore) PageCount() int { return len(s.pages) }
+
+// DiskStore is a Store backed by a simulated disk array. Page contents
+// are kept in memory; timing comes from the array's queueing model.
+type DiskStore struct {
+	mem   *MemStore
+	array *disksim.Array
+}
+
+// NewDiskStore creates a store over the given array.
+func NewDiskStore(array *disksim.Array) *DiskStore {
+	return &DiskStore{
+		mem:   NewMemStore(array.Config().PageBytes),
+		array: array,
+	}
+}
+
+// Array exposes the underlying disk array (for stats and reset).
+func (s *DiskStore) Array() *disksim.Array { return s.array }
+
+// PageSize implements Store.
+func (s *DiskStore) PageSize() int { return s.mem.pageSize }
+
+// ReadPage implements Store.
+func (s *DiskStore) ReadPage(pid uint32, dst []byte, now uint64) (uint64, error) {
+	if _, err := s.mem.ReadPage(pid, dst, now); err != nil {
+		return now, err
+	}
+	return s.array.Read(pid, now), nil
+}
+
+// WritePage implements Store.
+func (s *DiskStore) WritePage(pid uint32, src []byte, now uint64) (uint64, error) {
+	if _, err := s.mem.WritePage(pid, src, now); err != nil {
+		return now, err
+	}
+	return s.array.Write(pid, now), nil
+}
+
+var _ Store = (*MemStore)(nil)
+var _ Store = (*DiskStore)(nil)
+
+// errPoolExhausted is returned when every frame is pinned.
+func errPoolExhausted(frames int) error {
+	return fmt.Errorf("buffer: all %d frames pinned; pool exhausted", frames)
+}

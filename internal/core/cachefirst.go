@@ -1,0 +1,351 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/idx"
+	"repro/internal/jparray"
+	"repro/internal/memsim"
+	"repro/internal/sizing"
+)
+
+// Cache-first fpB+-Tree (§3.2). Nodes have one size (s cache lines,
+// Table 2); pointers are full ⟨pageID, in-page offset⟩ pairs. Leaf
+// nodes live in leaf-only pages; nonleaf nodes are placed aggressively
+// with their parents (full in-page subtree plus bitmap-spread underflow
+// filling, §3.2.1/§3.2.2); leaf parents that do not fit with their
+// parent go to overflow pages.
+//
+// Node layout (s*64 bytes):
+//
+//	header 8 B: count u16 | nextPID u32 | nextOff u16  (sibling, leaves)
+//	leaf:    keys 4*capL | tuple IDs 4*capL
+//	nonleaf: keys 4*capN | child pageIDs 4*capN | child offsets 2*capN
+//
+// Page header (line 0):
+//
+//	off 0 kind      byte (1 = leaf page, 2 = node page, 3 = overflow)
+//	off 2 nNodes    u16
+//	off 4 nextFree  u16 (bump frontier, lines)
+//	off 6 freeHead  u16 (free slot chain; a free slot stores the next
+//	      free slot's line in its first two bytes)
+//	off 8 topOff    u16 (node pages: line of the page's top-level node)
+//	off 10 backPID  u32, off 14 backOff u16 (leaf pages: pointer to the
+//	      parent node of the page's first leaf node, §3.2.2)
+const (
+	cfOffKind     = 0
+	cfOffNNodes   = 2
+	cfOffNextFree = 4
+	cfOffFreeHead = 6
+	cfOffTop      = 8
+	cfOffBackPID  = 10
+	cfOffBackOff  = 14
+
+	cfPageLeaf     = 1
+	cfPageNode     = 2
+	cfPageOverflow = 3
+
+	cfNodeHdr = sizing.CacheFirstNodeHeader // 8
+)
+
+// ptr is a full cache-first node pointer: a page and a line offset.
+type ptr struct {
+	pid uint32
+	off int
+}
+
+var nilPtr = ptr{}
+
+func (p ptr) isNil() bool { return p.pid == 0 }
+
+// CacheFirstConfig configures a CacheFirst tree.
+type CacheFirstConfig struct {
+	Pool  *buffer.Pool
+	Model *memsim.Model
+	// NodeBytes overrides the Table 2 node size (0 = paper selection).
+	NodeBytes int
+	// EnableJPA turns on external jump-pointer-array I/O prefetching
+	// and in-page cache prefetching for range scans.
+	EnableJPA bool
+	// PrefetchWindow is how many leaf pages a scan keeps in flight;
+	// 0 means 16.
+	PrefetchWindow int
+	// NoUnderflowFill disables the §3.2.2 bitmap-spread placement of
+	// underflow children with their parent (ablation: every non-full-
+	// subtree child goes to its own page or overflow).
+	NoUnderflowFill bool
+}
+
+// CacheFirst is a cache-first fpB+-Tree.
+type CacheFirst struct {
+	pool *buffer.Pool
+	mm   *memsim.Model
+
+	pageSize  int
+	pageLines int
+	s         int // node size in lines
+	capL      int
+	capN      int
+	perPage   int // node slots per page
+	fanout    int // leaf entries per leaf page
+
+	root   ptr
+	height int // node levels
+	first  ptr // leftmost leaf node
+
+	jpaOn    bool
+	pfWindow int
+	jpa      *jparray.Array // leaf page IDs in key order
+
+	pages       map[uint32]byte // page kind registry (the space map)
+	overflowCur uint32          // overflow page currently being filled
+	noUnderfill bool            // ablation: disable bitmap-spread filling
+}
+
+// NewCacheFirst creates an empty tree.
+func NewCacheFirst(cfg CacheFirstConfig) (*CacheFirst, error) {
+	if cfg.Pool == nil || cfg.Model == nil {
+		return nil, fmt.Errorf("core: Pool and Model are required")
+	}
+	ps := cfg.Pool.PageSize()
+	nb := cfg.NodeBytes
+	if nb == 0 {
+		c, err := sizing.CacheFirstFor(ps, sizing.DefaultParams())
+		if err != nil {
+			return nil, err
+		}
+		nb = c.NodeBytes
+	}
+	if nb <= 0 || nb%lineSize != 0 {
+		return nil, fmt.Errorf("core: node size %d must be a positive line multiple", nb)
+	}
+	s := nb / lineSize
+	perPage := sizing.CacheFirstNodesPerPage(ps, s)
+	if perPage < 2 {
+		return nil, fmt.Errorf("core: node size %d too large for %d-byte pages", nb, ps)
+	}
+	pf := cfg.PrefetchWindow
+	if pf <= 0 {
+		pf = 16
+	}
+	return &CacheFirst{
+		pool:        cfg.Pool,
+		mm:          cfg.Model,
+		pageSize:    ps,
+		pageLines:   ps / lineSize,
+		s:           s,
+		capL:        sizing.CacheFirstLeafCap(s),
+		capN:        sizing.CacheFirstNonleafCap(s),
+		perPage:     perPage,
+		fanout:      perPage * sizing.CacheFirstLeafCap(s),
+		jpaOn:       cfg.EnableJPA,
+		pfWindow:    pf,
+		jpa:         jparray.New(),
+		pages:       make(map[uint32]byte),
+		noUnderfill: cfg.NoUnderflowFill,
+	}, nil
+}
+
+// Name implements idx.Index.
+func (t *CacheFirst) Name() string { return "cache-first fpB+tree" }
+
+// Height implements idx.Index.
+func (t *CacheFirst) Height() int { return t.height }
+
+// PageCount implements idx.Index: every page the tree has allocated
+// (node, leaf, and overflow pages), mirroring Figure 16's space metric.
+func (t *CacheFirst) PageCount() int { return len(t.pages) }
+
+// NodeBytes reports the node size in bytes.
+func (t *CacheFirst) NodeBytes() int { return t.s * lineSize }
+
+// Fanout reports leaf entries per leaf page.
+func (t *CacheFirst) Fanout() int { return t.fanout }
+
+// --- page header accessors ---
+
+func cfKind(d []byte) byte          { return d[cfOffKind] }
+func cfNNodes(d []byte) int         { return int(le.Uint16(d[cfOffNNodes:])) }
+func cfNextFree(d []byte) int       { return int(le.Uint16(d[cfOffNextFree:])) }
+func cfFreeHead(d []byte) int       { return int(le.Uint16(d[cfOffFreeHead:])) }
+func cfTop(d []byte) int            { return int(le.Uint16(d[cfOffTop:])) }
+func cfSetKind(d []byte, v byte)    { d[cfOffKind] = v }
+func cfSetNNodes(d []byte, v int)   { le.PutUint16(d[cfOffNNodes:], uint16(v)) }
+func cfSetNextFree(d []byte, v int) { le.PutUint16(d[cfOffNextFree:], uint16(v)) }
+func cfSetFreeHead(d []byte, v int) { le.PutUint16(d[cfOffFreeHead:], uint16(v)) }
+func cfSetTop(d []byte, v int)      { le.PutUint16(d[cfOffTop:], uint16(v)) }
+func cfBack(d []byte) ptr {
+	return ptr{le.Uint32(d[cfOffBackPID:]), int(le.Uint16(d[cfOffBackOff:]))}
+}
+func cfSetBack(d []byte, p ptr) {
+	le.PutUint32(d[cfOffBackPID:], p.pid)
+	le.PutUint16(d[cfOffBackOff:], uint16(p.off))
+}
+
+// --- node accessors (off is the node's line number in its page) ---
+
+func (t *CacheFirst) cCount(d []byte, off int) int { return int(le.Uint16(d[nodeBase(off):])) }
+func (t *CacheFirst) cSetCount(d []byte, off, v int) {
+	le.PutUint16(d[nodeBase(off):], uint16(v))
+}
+func (t *CacheFirst) cNextLeaf(d []byte, off int) ptr {
+	return ptr{le.Uint32(d[nodeBase(off)+2:]), int(le.Uint16(d[nodeBase(off)+6:]))}
+}
+func (t *CacheFirst) cSetNextLeaf(d []byte, off int, p ptr) {
+	le.PutUint32(d[nodeBase(off)+2:], p.pid)
+	le.PutUint16(d[nodeBase(off)+6:], uint16(p.off))
+}
+
+func (t *CacheFirst) cKeyPos(off, i int) int            { return nodeBase(off) + cfNodeHdr + 4*i }
+func (t *CacheFirst) cKey(d []byte, off, i int) idx.Key { return le.Uint32(d[t.cKeyPos(off, i):]) }
+func (t *CacheFirst) cSetKey(d []byte, off, i int, k idx.Key) {
+	le.PutUint32(d[t.cKeyPos(off, i):], k)
+}
+
+// leaf tuple IDs
+func (t *CacheFirst) cTidPos(off, i int) int                { return nodeBase(off) + cfNodeHdr + 4*t.capL + 4*i }
+func (t *CacheFirst) cTid(d []byte, off, i int) idx.TupleID { return le.Uint32(d[t.cTidPos(off, i):]) }
+func (t *CacheFirst) cSetTid(d []byte, off, i int, v idx.TupleID) {
+	le.PutUint32(d[t.cTidPos(off, i):], v)
+}
+
+// nonleaf child pointers
+func (t *CacheFirst) cPidPos(off, i int) int { return nodeBase(off) + cfNodeHdr + 4*t.capN + 4*i }
+func (t *CacheFirst) cOffPos(off, i int) int { return nodeBase(off) + cfNodeHdr + 8*t.capN + 2*i }
+func (t *CacheFirst) cChild(d []byte, off, i int) ptr {
+	return ptr{le.Uint32(d[t.cPidPos(off, i):]), int(le.Uint16(d[t.cOffPos(off, i):]))}
+}
+func (t *CacheFirst) cSetChild(d []byte, off, i int, p ptr) {
+	le.PutUint32(d[t.cPidPos(off, i):], p.pid)
+	le.PutUint16(d[t.cOffPos(off, i):], uint16(p.off))
+}
+
+// --- space management ---
+
+// newPage allocates and registers a page of the given kind.
+func (t *CacheFirst) newPage(kind byte) (*buffer.Page, error) {
+	pg, err := t.pool.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	cfSetKind(pg.Data, kind)
+	cfSetNextFree(pg.Data, 1)
+	t.pages[pg.ID] = kind
+	return pg, nil
+}
+
+// allocSlot takes a node slot in the page; returns 0 if full.
+func (t *CacheFirst) allocSlot(d []byte) int {
+	if h := cfFreeHead(d); h != 0 {
+		next := int(le.Uint16(d[nodeBase(h):]))
+		cfSetFreeHead(d, next)
+		t.zeroSlot(d, h)
+		cfSetNNodes(d, cfNNodes(d)+1)
+		return h
+	}
+	nf := cfNextFree(d)
+	if nf+t.s > t.pageLines {
+		return 0
+	}
+	cfSetNextFree(d, nf+t.s)
+	t.zeroSlot(d, nf)
+	cfSetNNodes(d, cfNNodes(d)+1)
+	return nf
+}
+
+func (t *CacheFirst) zeroSlot(d []byte, off int) {
+	base := nodeBase(off)
+	for i := base; i < base+t.s*lineSize; i++ {
+		d[i] = 0
+	}
+}
+
+// freeSlot returns a slot to the page's free chain.
+func (t *CacheFirst) freeSlot(d []byte, off int) {
+	le.PutUint16(d[nodeBase(off):], uint16(cfFreeHead(d)))
+	cfSetFreeHead(d, off)
+	cfSetNNodes(d, cfNNodes(d)-1)
+}
+
+// hasSlot reports whether the page can take another node.
+func (t *CacheFirst) hasSlot(d []byte) bool {
+	return cfFreeHead(d) != 0 || cfNextFree(d)+t.s <= t.pageLines
+}
+
+// allocOverflowSlot finds (or creates) an overflow page with a free
+// slot and allocates from it.
+func (t *CacheFirst) allocOverflowSlot() (ptr, error) {
+	if t.overflowCur != 0 {
+		pg, err := t.pool.Get(t.overflowCur)
+		if err != nil {
+			return nilPtr, err
+		}
+		if off := t.allocSlot(pg.Data); off != 0 {
+			t.pool.Unpin(pg, true)
+			return ptr{t.overflowCur, off}, nil
+		}
+		t.pool.Unpin(pg, false)
+	}
+	pg, err := t.newPage(cfPageOverflow)
+	if err != nil {
+		return nilPtr, err
+	}
+	t.overflowCur = pg.ID
+	off := t.allocSlot(pg.Data)
+	t.pool.Unpin(pg, true)
+	return ptr{pg.ID, off}, nil
+}
+
+// --- charged access helpers ---
+
+// visitNode prefetches all lines of a node (pB+-Tree discipline).
+func (t *CacheFirst) visitNode(pg *buffer.Page, off int) {
+	t.mm.Prefetch(pg.Addr+uint64(nodeBase(off)), t.s*lineSize)
+	t.mm.Busy(memsim.CostNodeVisit)
+	t.mm.Access(pg.Addr+uint64(nodeBase(off)), cfNodeHdr)
+}
+
+// probe reads and compares one key at a byte position in the page.
+func (t *CacheFirst) probe(pg *buffer.Page, pos int) idx.Key {
+	t.mm.Access(pg.Addr+uint64(pos), 4)
+	t.mm.Busy(memsim.CostCompare)
+	t.mm.Other(memsim.CostComparePenalty)
+	return le.Uint32(pg.Data[pos:])
+}
+
+// searchNode binary searches node off for the largest slot with key <=
+// k (lt: < k); exact reports equality. Works for both node kinds (keys
+// are at the same offsets).
+func (t *CacheFirst) searchNode(pg *buffer.Page, off int, k idx.Key, lt bool) (int, bool) {
+	lo, hi := 0, t.cCount(pg.Data, off)
+	exact := false
+	for lo < hi {
+		mid := (lo + hi) / 2
+		mk := t.probe(pg, t.cKeyPos(off, mid))
+		if mk < k || (!lt && mk == k) {
+			lo = mid + 1
+			if mk == k {
+				exact = true
+			}
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1, exact
+}
+
+// getPage pins a page, reusing cur if it is already the right one.
+// Returns the page and whether it was newly pinned.
+func (t *CacheFirst) getPage(cur *buffer.Page, pid uint32) (*buffer.Page, bool, error) {
+	if cur != nil && cur.ID == pid {
+		// Same page: §3.2.2's "directly access the node in the page
+		// without retrieving the page from the buffer manager".
+		return cur, false, nil
+	}
+	pg, err := t.pool.Get(pid)
+	if err != nil {
+		return nil, false, err
+	}
+	return pg, true, nil
+}

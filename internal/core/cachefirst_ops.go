@@ -1,0 +1,429 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/idx"
+)
+
+// Search implements idx.Index. The descent follows full ⟨page, offset⟩
+// pointers; when a child lives in the same page as its parent, the node
+// is accessed directly without another buffer-manager fix (§3.2.2).
+// Point lookups descend with strictly-less comparisons and walk forward
+// over the duplicate run, so exact matches survive deletions among
+// duplicates.
+func (t *CacheFirst) Search(k idx.Key) (idx.TupleID, bool, error) {
+	pg, at, slot, found, err := t.findFirst(k)
+	if err != nil || !found {
+		return 0, false, err
+	}
+	t.mm.Access(pg.Addr+uint64(t.cTidPos(at.off, slot)), 4)
+	tid := t.cTid(pg.Data, at.off, slot)
+	t.pool.Unpin(pg, false)
+	return tid, true, nil
+}
+
+// findFirst locates the first entry with key == k, returning its pinned
+// page plus node pointer and slot, or found=false.
+func (t *CacheFirst) findFirst(k idx.Key) (*buffer.Page, ptr, int, bool, error) {
+	if t.root.isNil() {
+		return nil, nilPtr, 0, false, nil
+	}
+	cur, err := t.leafNodeFor(k, true)
+	if err != nil {
+		return nil, nilPtr, 0, false, err
+	}
+	var pg *buffer.Page
+	for !cur.isNil() {
+		npg, pinned, err := t.getPage(pg, cur.pid)
+		if err != nil {
+			if pg != nil {
+				t.pool.Unpin(pg, false)
+			}
+			return nil, nilPtr, 0, false, err
+		}
+		if pinned && pg != nil {
+			t.pool.Unpin(pg, false)
+		}
+		pg = npg
+		t.visitNode(pg, cur.off)
+		slot, _ := t.searchNode(pg, cur.off, k, true)
+		slot++
+		if slot < t.cCount(pg.Data, cur.off) {
+			t.mm.Access(pg.Addr+uint64(t.cKeyPos(cur.off, slot)), 4)
+			if t.cKey(pg.Data, cur.off, slot) == k {
+				return pg, cur, slot, true, nil
+			}
+			t.pool.Unpin(pg, false)
+			return nil, nilPtr, 0, false, nil
+		}
+		cur = t.cNextLeaf(pg.Data, cur.off)
+	}
+	if pg != nil {
+		t.pool.Unpin(pg, false)
+	}
+	return nil, nilPtr, 0, false, nil
+}
+
+// Insert implements idx.Index using preemptive splitting: a full node
+// encountered on the descent is split immediately (its parent has a
+// free entry by induction). When a node split needs a slot and the page
+// has none, the page itself is split (leaf pages: second half of the
+// leaf nodes moves out, §3.2.2; node pages: half of the top node's
+// in-page subtrees relocate, the Figure 9(c) maneuver) and the insert
+// restarts from the root, since node addresses may have changed.
+func (t *CacheFirst) Insert(k idx.Key, tid idx.TupleID) error {
+	if t.root.isNil() {
+		pg, err := t.newPage(cfPageLeaf)
+		if err != nil {
+			return err
+		}
+		off := t.allocSlot(pg.Data)
+		t.pool.Unpin(pg, true)
+		t.jpa.Append(pg.ID)
+		t.root = ptr{pg.ID, off}
+		t.first = t.root
+		t.height = 1
+	}
+
+	for attempt := 0; ; attempt++ {
+		if attempt > 64 {
+			return fmt.Errorf("core: cache-first insert of %d did not converge", k)
+		}
+		restart, err := t.insertOnce(k, tid)
+		if err != nil {
+			return err
+		}
+		if !restart {
+			return nil
+		}
+	}
+}
+
+// insertOnce performs one descent. It returns restart=true when a page
+// split invalidated node addresses mid-descent.
+func (t *CacheFirst) insertOnce(k idx.Key, tid idx.TupleID) (bool, error) {
+	// Grow the root first if it is full.
+	if err := t.maybeGrowRoot(); err != nil {
+		return false, err
+	}
+
+	cur := t.root
+	var pg *buffer.Page
+	release := func() {
+		if pg != nil {
+			t.pool.Unpin(pg, true)
+			pg = nil
+		}
+	}
+	for lvl := t.height - 1; lvl > 0; lvl-- {
+		npg, pinned, err := t.getPage(pg, cur.pid)
+		if err != nil {
+			release()
+			return false, err
+		}
+		if pinned && pg != nil {
+			t.pool.Unpin(pg, true)
+		}
+		pg = npg
+		t.visitNode(pg, cur.off)
+		slot, _ := t.searchNode(pg, cur.off, k, false)
+		if slot < 0 {
+			slot = 0
+			if t.cKey(pg.Data, cur.off, 0) > k {
+				t.cSetKey(pg.Data, cur.off, 0, k)
+				t.mm.Access(pg.Addr+uint64(t.cKeyPos(cur.off, 0)), 4)
+			}
+		}
+		child := t.cChild(pg.Data, cur.off, slot)
+
+		// Preemptive split of a full child.
+		full, cpg, err := t.childFull(pg, child, lvl-1)
+		if err != nil {
+			release()
+			return false, err
+		}
+		if full {
+			sep, right, restart, err := t.splitChild(pg, cur, slot, cpg, child, lvl-1)
+			if cpg != nil && cpg != pg {
+				t.pool.Unpin(cpg, true)
+			}
+			if err != nil || restart {
+				release()
+				return restart, err
+			}
+			if k >= sep {
+				child = right
+			}
+		} else if cpg != nil && cpg != pg {
+			t.pool.Unpin(cpg, false)
+		}
+		cur = child
+	}
+
+	npg, pinned, err := t.getPage(pg, cur.pid)
+	if err != nil {
+		release()
+		return false, err
+	}
+	if pinned && pg != nil {
+		t.pool.Unpin(pg, true)
+	}
+	pg = npg
+	t.visitNode(pg, cur.off)
+	t.leafInsert(pg, cur.off, k, tid)
+	t.pool.Unpin(pg, true)
+	return false, nil
+}
+
+// childFull reports whether the child node is full, returning its page
+// pinned (or pg itself when the child shares the parent's page).
+func (t *CacheFirst) childFull(pg *buffer.Page, child ptr, childLvl int) (bool, *buffer.Page, error) {
+	cpg, _, err := t.getPage(pg, child.pid)
+	if err != nil {
+		return false, nil, err
+	}
+	cap := t.capN
+	if childLvl == 0 {
+		cap = t.capL
+	}
+	return t.cCount(cpg.Data, child.off) >= cap, cpg, nil
+}
+
+// maybeGrowRoot adds a level when the root node is full.
+func (t *CacheFirst) maybeGrowRoot() error {
+	pg, err := t.pool.Get(t.root.pid)
+	if err != nil {
+		return err
+	}
+	cap := t.capN
+	if t.height == 1 {
+		cap = t.capL
+	}
+	if t.cCount(pg.Data, t.root.off) < cap {
+		t.pool.Unpin(pg, false)
+		return nil
+	}
+	oldMin := t.cKey(pg.Data, t.root.off, 0)
+	// Place the new root: in the old root's page if that is a node page
+	// with a slot, else as the top node of a fresh node page.
+	var at ptr
+	if cfKind(pg.Data) == cfPageNode && t.hasSlot(pg.Data) {
+		off := t.allocSlot(pg.Data)
+		at = ptr{pg.ID, off}
+		cfSetTop(pg.Data, off)
+		t.cSetCount(pg.Data, off, 1)
+		t.cSetKey(pg.Data, off, 0, oldMin)
+		t.cSetChild(pg.Data, off, 0, t.root)
+		t.pool.Unpin(pg, true)
+	} else {
+		t.pool.Unpin(pg, false)
+		np, err := t.newPage(cfPageNode)
+		if err != nil {
+			return err
+		}
+		off := t.allocSlot(np.Data)
+		at = ptr{np.ID, off}
+		cfSetTop(np.Data, off)
+		t.cSetCount(np.Data, off, 1)
+		t.cSetKey(np.Data, off, 0, oldMin)
+		t.cSetChild(np.Data, off, 0, t.root)
+		t.pool.Unpin(np, true)
+	}
+	if t.height == 1 {
+		// The new root is the tree's first leaf parent: record it as
+		// the leaf page's back pointer (§3.2.2).
+		lp, err := t.pool.Get(t.root.pid)
+		if err != nil {
+			return err
+		}
+		cfSetBack(lp.Data, at)
+		t.pool.Unpin(lp, true)
+	}
+	t.root = at
+	t.height++
+	return nil
+}
+
+// splitChild splits the full child at (cpg, child) whose parent entry
+// is (pg, parent, slot). childLvl 0 = leaf, 1 = leaf parent. Returns
+// the separator and the new right node, or restart=true if a page
+// split invalidated addresses.
+func (t *CacheFirst) splitChild(pg *buffer.Page, parent ptr, slot int, cpg *buffer.Page, child ptr, childLvl int) (idx.Key, ptr, bool, error) {
+	var right ptr
+	var rpg *buffer.Page
+
+	switch {
+	case childLvl == 0:
+		// Leaf: sibling in the same leaf page, else split the page.
+		if off := t.allocSlot(cpg.Data); off != 0 {
+			right = ptr{child.pid, off}
+			rpg = cpg
+		} else {
+			if err := t.splitLeafPage(child.pid); err != nil {
+				return 0, nilPtr, false, err
+			}
+			return 0, nilPtr, true, nil
+		}
+	case childLvl == 1:
+		// Leaf parent: the new node may come from overflow pages.
+		at, err := t.allocOverflowSlot()
+		if err != nil {
+			return 0, nilPtr, false, err
+		}
+		right = at
+		if rpg, err = t.pool.Get(at.pid); err != nil {
+			return 0, nilPtr, false, err
+		}
+		defer t.pool.Unpin(rpg, true)
+	default:
+		// Other nonleaf: same page; else split the node page (Fig. 9c)
+		// and restart; if nothing in the page is relocatable, fall back
+		// to Figure 9(b): the sibling tops a fresh node page.
+		if off := t.allocSlot(cpg.Data); off != 0 {
+			right = ptr{child.pid, off}
+			rpg = cpg
+		} else {
+			ok, err := t.splitNodePage(child.pid)
+			if err != nil {
+				return 0, nilPtr, false, err
+			}
+			if ok {
+				return 0, nilPtr, true, nil
+			}
+			np, err := t.newPage(cfPageNode)
+			if err != nil {
+				return 0, nilPtr, false, err
+			}
+			off := t.allocSlot(np.Data)
+			cfSetTop(np.Data, off)
+			right = ptr{np.ID, off}
+			rpg = np
+			defer t.pool.Unpin(np, true)
+		}
+	}
+
+	// Move the upper half of child to right.
+	cd, rd := cpg.Data, rpg.Data
+	cnt := t.cCount(cd, child.off)
+	mid := cnt / 2
+	moved := cnt - mid
+	if childLvl == 0 {
+		copy(rd[t.cKeyPos(right.off, 0):t.cKeyPos(right.off, moved)], cd[t.cKeyPos(child.off, mid):t.cKeyPos(child.off, cnt)])
+		copy(rd[t.cTidPos(right.off, 0):t.cTidPos(right.off, moved)], cd[t.cTidPos(child.off, mid):t.cTidPos(child.off, cnt)])
+		t.mm.CopyBetween(rpg.Addr+uint64(t.cKeyPos(right.off, 0)), cpg.Addr+uint64(t.cKeyPos(child.off, mid)), moved*4)
+		t.mm.CopyBetween(rpg.Addr+uint64(t.cTidPos(right.off, 0)), cpg.Addr+uint64(t.cTidPos(child.off, mid)), moved*4)
+		// Leaf sibling chain.
+		t.cSetNextLeaf(rd, right.off, t.cNextLeaf(cd, child.off))
+		t.cSetNextLeaf(cd, child.off, right)
+	} else {
+		copy(rd[t.cKeyPos(right.off, 0):t.cKeyPos(right.off, moved)], cd[t.cKeyPos(child.off, mid):t.cKeyPos(child.off, cnt)])
+		copy(rd[t.cPidPos(right.off, 0):t.cPidPos(right.off, moved)], cd[t.cPidPos(child.off, mid):t.cPidPos(child.off, cnt)])
+		copy(rd[t.cOffPos(right.off, 0):t.cOffPos(right.off, moved)], cd[t.cOffPos(child.off, mid):t.cOffPos(child.off, cnt)])
+		t.mm.CopyBetween(rpg.Addr+uint64(t.cKeyPos(right.off, 0)), cpg.Addr+uint64(t.cKeyPos(child.off, mid)), moved*4)
+		t.mm.CopyBetween(rpg.Addr+uint64(t.cPidPos(right.off, 0)), cpg.Addr+uint64(t.cPidPos(child.off, mid)), moved*6)
+		if childLvl == 1 {
+			// Leaf-parent sibling chain (drives leaf-page splits).
+			t.cSetNextLeaf(rd, right.off, t.cNextLeaf(cd, child.off))
+			t.cSetNextLeaf(cd, child.off, right)
+			if err := t.fixBackPointersAfterParentSplit(cd, child, rd, right, mid, cnt); err != nil {
+				return 0, nilPtr, false, err
+			}
+		}
+	}
+	t.cSetCount(cd, child.off, mid)
+	t.cSetCount(rd, right.off, moved)
+	sep := t.cKey(rd, right.off, 0)
+
+	// Install the separator into the (non-full) parent.
+	t.installChild(pg, parent, slot+1, sep, right)
+	return sep, right, false, nil
+}
+
+// installChild inserts (k, child) at position pos of the nonleaf parent.
+func (t *CacheFirst) installChild(pg *buffer.Page, parent ptr, pos int, k idx.Key, child ptr) {
+	d := pg.Data
+	cnt := t.cCount(d, parent.off)
+	if moved := cnt - pos; moved > 0 {
+		copy(d[t.cKeyPos(parent.off, pos+1):t.cKeyPos(parent.off, cnt+1)], d[t.cKeyPos(parent.off, pos):t.cKeyPos(parent.off, cnt)])
+		copy(d[t.cPidPos(parent.off, pos+1):t.cPidPos(parent.off, cnt+1)], d[t.cPidPos(parent.off, pos):t.cPidPos(parent.off, cnt)])
+		copy(d[t.cOffPos(parent.off, pos+1):t.cOffPos(parent.off, cnt+1)], d[t.cOffPos(parent.off, pos):t.cOffPos(parent.off, cnt)])
+		t.mm.Copy(pg.Addr+uint64(t.cKeyPos(parent.off, pos)), moved*4)
+		t.mm.Copy(pg.Addr+uint64(t.cPidPos(parent.off, pos)), moved*6)
+	}
+	t.cSetKey(d, parent.off, pos, k)
+	t.cSetChild(d, parent.off, pos, child)
+	t.cSetCount(d, parent.off, cnt+1)
+}
+
+// leafInsert writes (k, tid) into the (non-full) leaf node.
+func (t *CacheFirst) leafInsert(pg *buffer.Page, off int, k idx.Key, tid idx.TupleID) {
+	d := pg.Data
+	slot, _ := t.searchNode(pg, off, k, false)
+	pos := slot + 1
+	cnt := t.cCount(d, off)
+	if moved := cnt - pos; moved > 0 {
+		copy(d[t.cKeyPos(off, pos+1):t.cKeyPos(off, cnt+1)], d[t.cKeyPos(off, pos):t.cKeyPos(off, cnt)])
+		copy(d[t.cTidPos(off, pos+1):t.cTidPos(off, cnt+1)], d[t.cTidPos(off, pos):t.cTidPos(off, cnt)])
+		t.mm.Copy(pg.Addr+uint64(t.cKeyPos(off, pos)), moved*4)
+		t.mm.Copy(pg.Addr+uint64(t.cTidPos(off, pos)), moved*4)
+	}
+	t.cSetKey(d, off, pos, k)
+	t.cSetTid(d, off, pos, tid)
+	t.cSetCount(d, off, cnt+1)
+	t.mm.Access(pg.Addr+uint64(t.cKeyPos(off, pos)), 4)
+	t.mm.Access(pg.Addr+uint64(t.cTidPos(off, pos)), 4)
+}
+
+// fixBackPointersAfterParentSplit repairs leaf-page back pointers after
+// the children [mid, cnt) of a split leaf parent moved under `right`:
+// a leaf page whose first node's parent moved must point at the new
+// parent. A page's first node is under the old parent iff one of the
+// remaining children [0, mid) also points into that page (leaf pages
+// cover contiguous key ranges).
+func (t *CacheFirst) fixBackPointersAfterParentSplit(cd []byte, child ptr, rd []byte, right ptr, mid, cnt int) error {
+	keptPages := make(map[uint32]bool, mid)
+	for i := 0; i < mid; i++ {
+		keptPages[t.cChild(cd, child.off, i).pid] = true
+	}
+	seen := make(map[uint32]bool)
+	for i := 0; i < cnt-mid; i++ {
+		cp := t.cChild(rd, right.off, i)
+		if seen[cp.pid] || keptPages[cp.pid] {
+			continue
+		}
+		seen[cp.pid] = true
+		lp, err := t.pool.Get(cp.pid)
+		if err != nil {
+			return err
+		}
+		if cfBack(lp.Data) == child {
+			cfSetBack(lp.Data, right)
+			t.pool.Unpin(lp, true)
+		} else {
+			t.pool.Unpin(lp, false)
+		}
+	}
+	return nil
+}
+
+// Delete implements idx.Index (lazy deletion); removes the first entry
+// of a duplicate run.
+func (t *CacheFirst) Delete(k idx.Key) (bool, error) {
+	pg, cur, slot, found, err := t.findFirst(k)
+	if err != nil || !found {
+		return false, err
+	}
+	d := pg.Data
+	cnt := t.cCount(d, cur.off)
+	if moved := cnt - slot - 1; moved > 0 {
+		copy(d[t.cKeyPos(cur.off, slot):t.cKeyPos(cur.off, cnt-1)], d[t.cKeyPos(cur.off, slot+1):t.cKeyPos(cur.off, cnt)])
+		copy(d[t.cTidPos(cur.off, slot):t.cTidPos(cur.off, cnt-1)], d[t.cTidPos(cur.off, slot+1):t.cTidPos(cur.off, cnt)])
+		t.mm.Copy(pg.Addr+uint64(t.cKeyPos(cur.off, slot)), moved*4)
+		t.mm.Copy(pg.Addr+uint64(t.cTidPos(cur.off, slot)), moved*4)
+	}
+	t.cSetCount(d, cur.off, cnt-1)
+	t.pool.Unpin(pg, true)
+	return true, nil
+}

@@ -1,0 +1,401 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/buffer"
+)
+
+// pageSlots returns the live node offsets of a page (slot order).
+func (t *CacheFirst) pageSlots(d []byte) []int {
+	free := make(map[int]bool)
+	for off := cfFreeHead(d); off != 0; off = int(le.Uint16(d[nodeBase(off):])) {
+		free[off] = true
+	}
+	var offs []int
+	for off := 1; off+t.s <= cfNextFree(d); off += t.s {
+		if !free[off] {
+			offs = append(offs, off)
+		}
+	}
+	return offs
+}
+
+// leafNodesInChainOrder returns a leaf page's nodes in key (chain)
+// order: the node chain enters the page once and visits its nodes
+// consecutively, so the first node is the one no in-page node points to.
+func (t *CacheFirst) leafNodesInChainOrder(pg *buffer.Page) ([]int, error) {
+	offs := t.pageSlots(pg.Data)
+	if len(offs) == 0 {
+		return nil, nil
+	}
+	pointed := make(map[int]bool)
+	for _, off := range offs {
+		if nx := t.cNextLeaf(pg.Data, off); nx.pid == pg.ID {
+			pointed[nx.off] = true
+		}
+	}
+	first := -1
+	for _, off := range offs {
+		if !pointed[off] {
+			if first != -1 {
+				return nil, fmt.Errorf("core: leaf page %d chain has two heads", pg.ID)
+			}
+			first = off
+		}
+	}
+	if first == -1 {
+		return nil, fmt.Errorf("core: leaf page %d chain is cyclic", pg.ID)
+	}
+	ordered := make([]int, 0, len(offs))
+	for off := first; ; {
+		ordered = append(ordered, off)
+		nx := t.cNextLeaf(pg.Data, off)
+		if nx.pid != pg.ID {
+			break
+		}
+		off = nx.off
+	}
+	if len(ordered) != len(offs) {
+		return nil, fmt.Errorf("core: leaf page %d chain covers %d of %d nodes", pg.ID, len(ordered), len(offs))
+	}
+	return ordered, nil
+}
+
+// splitLeafPage moves the second half of the page's leaf nodes (in key
+// order) to a new leaf page (§3.2.2), fixing the leaf chain, the
+// parents' child pointers (walked from the page's back pointer through
+// the leaf-parent sibling links), the pages' back pointers, and the
+// external jump-pointer array.
+func (t *CacheFirst) splitLeafPage(pid uint32) error {
+	pg, err := t.pool.Get(pid)
+	if err != nil {
+		return err
+	}
+	defer t.pool.Unpin(pg, true)
+	nodes, err := t.leafNodesInChainOrder(pg)
+	if err != nil {
+		return err
+	}
+	if len(nodes) < 2 {
+		return fmt.Errorf("core: cannot split leaf page %d with %d nodes", pid, len(nodes))
+	}
+	mid := len(nodes) / 2
+	moved := nodes[mid:]
+
+	np, err := t.newPage(cfPageLeaf)
+	if err != nil {
+		return err
+	}
+	defer t.pool.Unpin(np, true)
+
+	// Copy the moved nodes and free their old slots.
+	mapping := make(map[int]ptr, len(moved))
+	newOffs := make([]int, len(moved))
+	for i, off := range moved {
+		noff := t.allocSlot(np.Data)
+		if noff == 0 {
+			return fmt.Errorf("core: fresh leaf page %d filled up during split", np.ID)
+		}
+		copy(np.Data[nodeBase(noff):nodeBase(noff)+t.s*lineSize], pg.Data[nodeBase(off):nodeBase(off)+t.s*lineSize])
+		mapping[off] = ptr{np.ID, noff}
+		newOffs[i] = noff
+	}
+	t.mm.CopyBetween(np.Addr+lineSize, pg.Addr+uint64(nodeBase(moved[0])), len(moved)*t.s*lineSize)
+
+	// Rewrite the intra-page chain among the moved nodes; the last
+	// moved node keeps its old next (it pointed outside the page).
+	for i := 0; i+1 < len(moved); i++ {
+		t.cSetNextLeaf(np.Data, newOffs[i], ptr{np.ID, newOffs[i+1]})
+	}
+	// The last unmoved node now points at the first moved node's new home.
+	t.cSetNextLeaf(pg.Data, nodes[mid-1], mapping[moved[0]])
+
+	// Fix parents by walking the leaf-parent chain from the page's
+	// back pointer; every moved node has exactly one parent entry.
+	remaining := len(moved)
+	cur := cfBack(pg.Data)
+	if cur.isNil() {
+		// Stale or never-set back pointer: recover by walking the
+		// whole leaf-parent chain from the left.
+		cur = t.firstLeafParent()
+	}
+	var newBack ptr
+	retried := false
+	for remaining > 0 {
+		if cur.isNil() {
+			if !retried {
+				retried = true
+				cur = t.firstLeafParent()
+				continue
+			}
+			return fmt.Errorf("core: leaf-parent walk exhausted with %d pointers unfixed (page %d)", remaining, pid)
+		}
+		ppg, err := t.pool.Get(cur.pid)
+		if err != nil {
+			return err
+		}
+		cnt := t.cCount(ppg.Data, cur.off)
+		dirty := false
+		for i := 0; i < cnt; i++ {
+			cp := t.cChild(ppg.Data, cur.off, i)
+			if cp.pid != pid {
+				continue
+			}
+			if nw, ok := mapping[cp.off]; ok {
+				t.cSetChild(ppg.Data, cur.off, i, nw)
+				dirty = true
+				remaining--
+				if nw.off == newOffs[0] && newBack.isNil() {
+					newBack = cur // parent of the new page's first node
+				}
+			}
+		}
+		next := t.cNextLeaf(ppg.Data, cur.off)
+		t.pool.Unpin(ppg, dirty)
+		cur = next
+	}
+	cfSetBack(np.Data, newBack)
+
+	// Free the old slots after parent fixes (mapping used old offsets).
+	for _, off := range moved {
+		t.freeSlot(pg.Data, off)
+	}
+
+	if t.first.pid == pid {
+		if _, wasMoved := mapping[t.first.off]; wasMoved {
+			t.first = mapping[t.first.off]
+		}
+	}
+	return t.jpa.InsertAfter(pid, np.ID)
+}
+
+// nodeIsLeafParent reports whether a nonleaf node's children are leaf
+// nodes (they live in leaf pages).
+func (t *CacheFirst) nodeIsLeafParent(d []byte, off int) bool {
+	if t.cCount(d, off) == 0 {
+		return false
+	}
+	return t.pages[t.cChild(d, off, 0).pid] == cfPageLeaf
+}
+
+// splitNodePage makes room in a full node page by relocating the
+// second-half in-page subtrees of the page's top node to a fresh node
+// page — the Figure 9(c) maneuver, factored so that the triggering node
+// split retries against the freed slots. All pointers into moved nodes
+// come from within the moved set or from the top node itself, except
+// leaf-page back pointers and the leaf-parent sibling chain, which are
+// repaired explicitly.
+func (t *CacheFirst) splitNodePage(pid uint32) (bool, error) {
+	pg, err := t.pool.Get(pid)
+	if err != nil {
+		return false, err
+	}
+	defer t.pool.Unpin(pg, true)
+	d := pg.Data
+	top := cfTop(d)
+	cnt := t.cCount(d, top)
+
+	// Entries of the top node whose children are in this page, from the
+	// second half onwards, are relocation candidates.
+	type cand struct {
+		entry int
+		child ptr
+	}
+	var cands []cand
+	for i := 0; i < cnt; i++ {
+		cp := t.cChild(d, top, i)
+		if cp.pid == pid && cp.off != top {
+			cands = append(cands, cand{i, cp})
+		}
+	}
+	if len(cands) == 0 {
+		// Nothing relocatable (e.g. a page that itself was created by a
+		// relocation): the caller falls back to Figure 9(b) placement.
+		return false, nil
+	}
+	move := cands[len(cands)/2:]
+	if len(move) == 0 {
+		move = cands
+	}
+
+	np, err := t.newPage(cfPageNode)
+	if err != nil {
+		return false, err
+	}
+	defer t.pool.Unpin(np, true)
+
+	// Collect each subtree's nodes (in-page descendants only).
+	var subtree func(off int, out *[]int)
+	subtree = func(off int, out *[]int) {
+		*out = append(*out, off)
+		if t.nodeIsLeafParent(d, off) {
+			return
+		}
+		c := t.cCount(d, off)
+		for i := 0; i < c; i++ {
+			cp := t.cChild(d, off, i)
+			if cp.pid == pid {
+				subtree(cp.off, out)
+			}
+		}
+	}
+	var movedOffs []int
+	for _, m := range move {
+		subtree(m.child.off, &movedOffs)
+	}
+	sort.Ints(movedOffs)
+
+	mapping := make(map[int]int, len(movedOffs))
+	for _, off := range movedOffs {
+		noff := t.allocSlot(np.Data)
+		if noff == 0 {
+			return false, fmt.Errorf("core: relocation overflowed fresh page %d", np.ID)
+		}
+		copy(np.Data[nodeBase(noff):nodeBase(noff)+t.s*lineSize], d[nodeBase(off):nodeBase(off)+t.s*lineSize])
+		mapping[off] = noff
+	}
+	t.mm.CopyBetween(np.Addr+lineSize, pg.Addr+lineSize, len(movedOffs)*t.s*lineSize)
+	cfSetTop(np.Data, mapping[move[0].child.off])
+
+	// Translate sibling links among moved leaf parents first, so the
+	// on-disk chain never dangles into freed slots.
+	for _, off := range movedOffs {
+		noff := mapping[off]
+		if t.nodeIsLeafParent(np.Data, noff) {
+			if nx := t.cNextLeaf(np.Data, noff); nx.pid == pid {
+				if m2, ok := mapping[nx.off]; ok {
+					t.cSetNextLeaf(np.Data, noff, ptr{np.ID, m2})
+				}
+			}
+		}
+	}
+
+	// Rewrite pointers: top-node entries, and in-page child pointers of
+	// moved nodes. Also repair leaf-page back pointers and the
+	// leaf-parent chain for moved leaf parents.
+	for _, m := range move {
+		t.cSetChild(d, top, m.entry, ptr{np.ID, mapping[m.child.off]})
+	}
+	for _, off := range movedOffs {
+		noff := mapping[off]
+		wasLP := t.nodeIsLeafParent(np.Data, noff)
+		c := t.cCount(np.Data, noff)
+		if !wasLP {
+			for i := 0; i < c; i++ {
+				cp := t.cChild(np.Data, noff, i)
+				if cp.pid == pid {
+					t.cSetChild(np.Data, noff, i, ptr{np.ID, mapping[cp.off]})
+				}
+			}
+			continue
+		}
+		// Moved leaf parent: fix back pointers of its children's pages
+		// and its predecessor's sibling link.
+		old := ptr{pid, off}
+		nw := ptr{np.ID, noff}
+		for i := 0; i < c; i++ {
+			cp := t.cChild(np.Data, noff, i)
+			lp, err := t.pool.Get(cp.pid)
+			if err != nil {
+				return false, err
+			}
+			if cfBack(lp.Data) == old {
+				cfSetBack(lp.Data, nw)
+				t.pool.Unpin(lp, true)
+			} else {
+				t.pool.Unpin(lp, false)
+			}
+		}
+		if err := t.fixLeafParentChainLink(old, nw, mapping, pid, np.ID); err != nil {
+			return false, err
+		}
+	}
+
+	for _, off := range movedOffs {
+		t.freeSlot(d, off)
+	}
+	return true, nil
+}
+
+// fixLeafParentChainLink repoints the sibling link that targeted a
+// moved leaf parent. The predecessor is found from the moved node's
+// first child: the leaf page holding it knows (via its back pointer or
+// by walking from the tree root) a nearby chain position. We walk the
+// leaf-parent chain from the parent of the leaf page's first node until
+// we find the link to fix; predecessors of moved nodes are at most a
+// few links away.
+func (t *CacheFirst) fixLeafParentChainLink(old, nw ptr, mapping map[int]int, oldPID, newPID uint32) error {
+	// Locate a chain position at or before old: the back pointer of
+	// old's first child's page.
+	fpg, err := t.pool.Get(nw.pid)
+	if err != nil {
+		return err
+	}
+	firstChild := t.cChild(fpg.Data, nw.off, 0)
+	t.pool.Unpin(fpg, false)
+	lpg, err := t.pool.Get(firstChild.pid)
+	if err != nil {
+		return err
+	}
+	cur := cfBack(lpg.Data)
+	t.pool.Unpin(lpg, false)
+	// Normalize a stale back pointer into the moved set.
+	if cur.pid == oldPID {
+		if noff, ok := mapping[cur.off]; ok {
+			cur = ptr{newPID, noff}
+		}
+	}
+	if cur == nw || cur == old {
+		// old was the back parent itself: nothing points at it from
+		// before in a way we can reach; the chain link to old is owned
+		// by its predecessor, found by scanning from the tree's
+		// leftmost leaf parent only if needed. Walk forward instead.
+		cur = t.firstLeafParent()
+	}
+	for steps := 0; !cur.isNil() && steps < 1<<20; steps++ {
+		ppg, err := t.pool.Get(cur.pid)
+		if err != nil {
+			return err
+		}
+		nx := t.cNextLeaf(ppg.Data, cur.off)
+		if nx == old {
+			t.cSetNextLeaf(ppg.Data, cur.off, nw)
+			t.pool.Unpin(ppg, true)
+			return nil
+		}
+		t.pool.Unpin(ppg, false)
+		// Follow, translating links into the moved set.
+		if nx.pid == oldPID {
+			if noff, ok := mapping[nx.off]; ok {
+				nx = ptr{newPID, noff}
+			}
+		}
+		if nx.isNil() {
+			break
+		}
+		cur = nx
+	}
+	// No link targeted old (it may be the chain head or already
+	// repaired via the mapping); nothing to fix.
+	return nil
+}
+
+// firstLeafParent descends leftmost from the root to node level 1.
+func (t *CacheFirst) firstLeafParent() ptr {
+	if t.height < 2 {
+		return nilPtr
+	}
+	cur := t.root
+	for lvl := t.height - 1; lvl > 1; lvl-- {
+		pg, err := t.pool.Get(cur.pid)
+		if err != nil {
+			return nilPtr
+		}
+		next := t.cChild(pg.Data, cur.off, 0)
+		t.pool.Unpin(pg, false)
+		cur = next
+	}
+	return cur
+}

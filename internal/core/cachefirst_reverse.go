@@ -1,0 +1,115 @@
+package core
+
+import (
+	"repro/internal/buffer"
+	"repro/internal/idx"
+	"repro/internal/memsim"
+)
+
+// RangeScanReverse implements idx.Index for the cache-first tree. Leaf
+// nodes are chained forward only, but leaf pages cover contiguous key
+// ranges and the external jump-pointer array orders them — so the scan
+// walks pages backwards through the JPA, consuming each page's node
+// chain in reverse; predecessor pages are prefetched through the same
+// reverse iteration when JPA prefetching is enabled.
+func (t *CacheFirst) RangeScanReverse(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error) {
+	if t.root.isNil() || startKey > endKey {
+		return 0, nil
+	}
+	endAt, err := t.leafNodeFor(endKey, false)
+	if err != nil {
+		return 0, err
+	}
+	// Leaf pages of the range in reverse order, from the JPA.
+	var pids []uint32
+	if err := t.jpa.IterateReverse(endAt.pid, func(pid uint32) bool {
+		pids = append(pids, pid)
+		return true // bounded below by the startKey check during the scan
+	}); err != nil {
+		return 0, err
+	}
+
+	count := 0
+	first := true
+	pfNext := 0
+	for pageIdx, pid := range pids {
+		if t.jpaOn {
+			for pfNext < len(pids) && pfNext <= pageIdx+t.pfWindow {
+				if err := t.pool.Prefetch(pids[pfNext]); err != nil {
+					return count, err
+				}
+				pfNext++
+			}
+		}
+		pg, err := t.pool.Get(pid)
+		if err != nil {
+			return count, err
+		}
+		t.touchPageHeader(pg)
+		if t.jpaOn {
+			t.mm.Prefetch(pg.Addr+lineSize, (cfNextFree(pg.Data)-1)*lineSize)
+		}
+		done, n, err := t.reverseScanPage(pg, startKey, endKey, first, endAt, fn)
+		count += n
+		t.pool.Unpin(pg, false)
+		if err != nil || done {
+			return count, err
+		}
+		first = false
+	}
+	return count, nil
+}
+
+// reverseScanPage consumes one leaf page's nodes in reverse chain
+// order. done reports that the scan crossed below startKey or fn
+// stopped it.
+func (t *CacheFirst) reverseScanPage(pg *buffer.Page, startKey, endKey idx.Key, first bool, endAt ptr, fn func(idx.Key, idx.TupleID) bool) (bool, int, error) {
+	offs, err := t.leafNodesInChainOrder(pg)
+	if err != nil {
+		return true, 0, err
+	}
+	oi := len(offs) - 1
+	i := -1
+	if first {
+		for j, o := range offs {
+			if o == endAt.off {
+				oi = j
+				break
+			}
+		}
+		t.visitNode(pg, endAt.off)
+		slot, _ := t.searchNode(pg, endAt.off, endKey, false)
+		i = slot
+	}
+	count := 0
+	d := pg.Data
+	for ; oi >= 0; oi-- {
+		off := offs[oi]
+		if !t.jpaOn {
+			t.visitNode(pg, off)
+		} else {
+			t.mm.Access(pg.Addr+uint64(nodeBase(off)), cfNodeHdr)
+			t.mm.Busy(memsim.CostNodeVisit)
+		}
+		if i < 0 {
+			i = t.cCount(d, off) - 1
+		}
+		for ; i >= 0; i-- {
+			t.mm.Access(pg.Addr+uint64(t.cKeyPos(off, i)), 4)
+			k := t.cKey(d, off, i)
+			if k < startKey {
+				return true, count, nil
+			}
+			if k > endKey {
+				continue
+			}
+			t.mm.Access(pg.Addr+uint64(t.cTidPos(off, i)), 4)
+			t.mm.Busy(memsim.CostEntryVisit)
+			count++
+			if fn != nil && !fn(k, t.cTid(d, off, i)) {
+				return true, count, nil
+			}
+		}
+	}
+	return false, count, nil
+}

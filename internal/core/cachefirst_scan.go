@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/idx"
+	"repro/internal/memsim"
+)
+
+// RangeScan implements idx.Index. With JPA enabled (§3.3): leaf pages
+// in the range are prefetched through the external jump-pointer array
+// (never past the end page), and on entering a leaf page its node
+// region is prefetched using the page's slot structure, so entry
+// consumption runs at pipelined-miss latency.
+func (t *CacheFirst) RangeScan(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error) {
+	if t.root.isNil() || startKey > endKey {
+		return 0, nil
+	}
+	cur, err := t.leafNodeFor(startKey, true)
+	if err != nil {
+		return 0, err
+	}
+	var pids []uint32
+	if t.jpaOn {
+		endLeaf, err := t.leafNodeFor(endKey, false)
+		if err != nil {
+			return 0, err
+		}
+		if err := t.jpa.Iterate(cur.pid, func(pid uint32) bool {
+			pids = append(pids, pid)
+			return pid != endLeaf.pid
+		}); err != nil {
+			return 0, err
+		}
+	}
+
+	count := 0
+	pfNext, pageIdx := 0, -1
+	var pg *buffer.Page
+	var lastPID uint32
+	first := true
+	for !cur.isNil() {
+		if cur.pid != lastPID {
+			if t.jpaOn {
+				for pfNext < len(pids) && pfNext <= pageIdx+1+t.pfWindow {
+					if err := t.pool.Prefetch(pids[pfNext]); err != nil {
+						return count, err
+					}
+					pfNext++
+				}
+			}
+			if pg != nil {
+				t.pool.Unpin(pg, false)
+			}
+			if pg, err = t.pool.Get(cur.pid); err != nil {
+				return count, err
+			}
+			lastPID = cur.pid
+			pageIdx++
+			t.touchPageHeader(pg)
+			if t.jpaOn {
+				// Cache-granularity prefetch of the page's node slots.
+				t.mm.Prefetch(pg.Addr+lineSize, (cfNextFree(pg.Data)-1)*lineSize)
+			}
+		}
+		if !t.jpaOn {
+			t.visitNode(pg, cur.off)
+		} else {
+			t.mm.Access(pg.Addr+uint64(nodeBase(cur.off)), cfNodeHdr)
+			t.mm.Busy(memsim.CostNodeVisit)
+		}
+		d := pg.Data
+		i := 0
+		if first {
+			slot, _ := t.searchNode(pg, cur.off, startKey, true)
+			i = slot + 1
+			first = false
+		}
+		cnt := t.cCount(d, cur.off)
+		for ; i < cnt; i++ {
+			t.mm.Access(pg.Addr+uint64(t.cKeyPos(cur.off, i)), 4)
+			k := t.cKey(d, cur.off, i)
+			if k > endKey {
+				t.pool.Unpin(pg, false)
+				return count, nil
+			}
+			if k < startKey {
+				continue
+			}
+			t.mm.Access(pg.Addr+uint64(t.cTidPos(cur.off, i)), 4)
+			t.mm.Busy(memsim.CostEntryVisit)
+			tid := t.cTid(d, cur.off, i)
+			count++
+			if fn != nil && !fn(k, tid) {
+				t.pool.Unpin(pg, false)
+				return count, nil
+			}
+		}
+		cur = t.cNextLeaf(d, cur.off)
+	}
+	if pg != nil {
+		t.pool.Unpin(pg, false)
+	}
+	return count, nil
+}
+
+func (t *CacheFirst) touchPageHeader(pg *buffer.Page) {
+	t.mm.Access(pg.Addr, 16)
+	t.mm.Busy(memsim.CostNodeVisit)
+}
+
+// leafNodeFor descends to the leaf node for k (lt selects strictly-less
+// descent).
+func (t *CacheFirst) leafNodeFor(k idx.Key, lt bool) (ptr, error) {
+	cur := t.root
+	var pg *buffer.Page
+	for lvl := t.height - 1; lvl > 0; lvl-- {
+		npg, pinned, err := t.getPage(pg, cur.pid)
+		if err != nil {
+			if pg != nil {
+				t.pool.Unpin(pg, false)
+			}
+			return nilPtr, err
+		}
+		if pinned && pg != nil {
+			t.pool.Unpin(pg, false)
+		}
+		pg = npg
+		t.visitNode(pg, cur.off)
+		slot, _ := t.searchNode(pg, cur.off, k, lt)
+		if slot < 0 {
+			slot = 0
+		}
+		cur = t.cChild(pg.Data, cur.off, slot)
+		if cur.isNil() {
+			t.pool.Unpin(pg, false)
+			return nilPtr, fmt.Errorf("core: nil child during cache-first descent")
+		}
+	}
+	if pg != nil {
+		t.pool.Unpin(pg, false)
+	}
+	return cur, nil
+}

@@ -1,0 +1,445 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/idx"
+)
+
+// Bulkload implements idx.Index (uncharged, like all bulkloads here).
+// Leaf pages spread their entries across all in-page leaf nodes so that
+// insertions are likely to find empty slots; nonleaf pages pack entries
+// into one in-page leaf node after another (§3.1.2).
+func (t *DiskFirst) Bulkload(entries []idx.Entry, fill float64) error {
+	if err := idx.CheckFill(fill); err != nil {
+		return err
+	}
+	if err := idx.ValidateSorted(entries); err != nil {
+		return err
+	}
+	if err := t.freeAll(); err != nil {
+		return err
+	}
+	per := int(fill * float64(t.fanout))
+	if per < 1 {
+		per = 1
+	}
+	if per > t.fanout {
+		per = t.fanout
+	}
+
+	type ref struct {
+		min idx.Key
+		pid uint32
+	}
+	makeLevel := func(prs []pair, lvl int, spread bool) ([]ref, error) {
+		var out []ref
+		var prev *buffer.Page
+		for i := 0; i < len(prs) || (len(prs) == 0 && i == 0); i += per {
+			j := i + per
+			if j > len(prs) {
+				j = len(prs)
+			}
+			pg, err := t.pool.NewPage()
+			if err != nil {
+				return nil, err
+			}
+			typ := byte(dfPageLeaf)
+			if lvl > 0 {
+				typ = dfPageNonleaf
+			}
+			dfSetType(pg.Data, typ)
+			dfSetLevel(pg.Data, byte(lvl))
+			if err := t.buildInPage(pg.Data, prs[i:j], spread); err != nil {
+				t.pool.Unpin(pg, true)
+				return nil, err
+			}
+			if prev != nil {
+				dfSetNextPage(prev.Data, pg.ID)
+				dfSetJPNext(prev.Data, pg.ID)
+				dfSetPrevPage(pg.Data, prev.ID)
+				t.pool.Unpin(prev, true)
+			}
+			prev = pg
+			var mn idx.Key
+			if j > i {
+				mn = prs[i].key
+			}
+			out = append(out, ref{mn, pg.ID})
+			if len(prs) == 0 {
+				break
+			}
+		}
+		if prev != nil {
+			t.pool.Unpin(prev, true)
+		}
+		return out, nil
+	}
+
+	prs := make([]pair, len(entries))
+	for i, e := range entries {
+		prs[i] = pair{e.Key, e.TID}
+	}
+	level, err := makeLevel(prs, 0, true)
+	if err != nil {
+		return err
+	}
+	t.firstLeaf = level[0].pid
+	t.height = 1
+	for len(level) > 1 {
+		prs = prs[:0]
+		for _, r := range level {
+			prs = append(prs, pair{r.min, r.pid})
+		}
+		if level, err = makeLevel(prs, t.height, false); err != nil {
+			return err
+		}
+		t.height++
+	}
+	t.root = level[0].pid
+	return nil
+}
+
+// freeAll returns the tree's pages to the pool.
+func (t *DiskFirst) freeAll() error {
+	if t.root == 0 {
+		return nil
+	}
+	pid := t.root
+	for lvl := t.height - 1; lvl >= 0; lvl-- {
+		var childFirst uint32
+		cur := pid
+		for cur != 0 {
+			pg, err := t.pool.Get(cur)
+			if err != nil {
+				return err
+			}
+			next := dfNextPage(pg.Data)
+			if lvl > 0 && childFirst == 0 {
+				if fl := dfFirstLeaf(pg.Data); fl != 0 && t.lCount(pg.Data, fl) > 0 {
+					childFirst = t.lPtr(pg.Data, fl, 0)
+				}
+			}
+			t.pool.Unpin(pg, false)
+			if err := t.pool.FreePage(cur); err != nil {
+				return err
+			}
+			cur = next
+		}
+		pid = childFirst
+	}
+	t.root, t.height, t.firstLeaf = 0, 0, 0
+	return nil
+}
+
+// Search implements idx.Index: two-granularity descent (§3.1.2). Point
+// lookups descend with strictly-less comparisons and walk forward over
+// the duplicate run (which may span in-page nodes and pages), so exact
+// matches survive deletions among duplicates.
+func (t *DiskFirst) Search(k idx.Key) (idx.TupleID, bool, error) {
+	pg, off, slot, found, err := t.findFirst(k)
+	if err != nil || !found {
+		return 0, false, err
+	}
+	t.mm.Access(pg.Addr+uint64(t.lPtrPos(off, slot)), 4)
+	tid := t.lPtr(pg.Data, off, slot)
+	t.pool.Unpin(pg, false)
+	return tid, true, nil
+}
+
+// findFirst locates the first entry with key == k, returning its pinned
+// page plus (in-page node, slot), or found=false.
+func (t *DiskFirst) findFirst(k idx.Key) (*buffer.Page, int, int, bool, error) {
+	if t.root == 0 {
+		return nil, 0, 0, false, nil
+	}
+	pid, err := t.leafPageFor(k, true)
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	first := true
+	for pid != 0 {
+		pg, err := t.pool.Get(pid)
+		if err != nil {
+			return nil, 0, 0, false, err
+		}
+		t.touchHeader(pg)
+		if dfEntries(pg.Data) == 0 {
+			// Lazy deletion can leave empty pages; skip them without
+			// walking their in-page leaf chain.
+			next := dfNextPage(pg.Data)
+			t.pool.Unpin(pg, false)
+			pid = next
+			first = false
+			continue
+		}
+		var off int
+		if first {
+			off = t.descendInPage(pg, k, true, nil)
+			first = false
+		} else {
+			off = dfFirstLeaf(pg.Data)
+		}
+		for off != 0 {
+			t.visitLeaf(pg, off)
+			slot, _ := t.searchLeafNode(pg, off, k, true)
+			slot++
+			if slot < t.lCount(pg.Data, off) {
+				t.mm.Access(pg.Addr+uint64(t.lKeyPos(off, slot)), 4)
+				if t.lKey(pg.Data, off, slot) == k {
+					return pg, off, slot, true, nil
+				}
+				t.pool.Unpin(pg, false)
+				return nil, 0, 0, false, nil
+			}
+			off = t.lNext(pg.Data, off)
+		}
+		next := dfNextPage(pg.Data)
+		t.pool.Unpin(pg, false)
+		pid = next
+	}
+	return nil, 0, 0, false, nil
+}
+
+// Insert implements idx.Index.
+func (t *DiskFirst) Insert(k idx.Key, tid idx.TupleID) error {
+	if t.root == 0 {
+		pg, err := t.pool.NewPage()
+		if err != nil {
+			return err
+		}
+		dfSetType(pg.Data, dfPageLeaf)
+		if err := t.buildInPage(pg.Data, nil, true); err != nil {
+			t.pool.Unpin(pg, true)
+			return err
+		}
+		t.pool.Unpin(pg, true)
+		t.root, t.firstLeaf, t.height = pg.ID, pg.ID, 1
+	}
+	split, sepKey, newPID, err := t.insertInto(t.root, t.height-1, k, tid)
+	if err != nil {
+		return err
+	}
+	if !split {
+		return nil
+	}
+	// Grow a new root page.
+	old, err := t.pool.Get(t.root)
+	if err != nil {
+		return err
+	}
+	oldMin := t.pageMinKey(old.Data)
+	t.pool.Unpin(old, false)
+	rootPg, err := t.pool.NewPage()
+	if err != nil {
+		return err
+	}
+	dfSetType(rootPg.Data, dfPageNonleaf)
+	dfSetLevel(rootPg.Data, byte(t.height))
+	if err := t.buildInPage(rootPg.Data, []pair{{oldMin, t.root}, {sepKey, newPID}}, false); err != nil {
+		t.pool.Unpin(rootPg, true)
+		return err
+	}
+	t.pool.Unpin(rootPg, true)
+	t.root = rootPg.ID
+	t.height++
+	return nil
+}
+
+// pageMinKey reads the first entry key of a page (its min separator).
+func (t *DiskFirst) pageMinKey(d []byte) idx.Key {
+	for off := dfFirstLeaf(d); off != 0; off = t.lNext(d, off) {
+		if t.lCount(d, off) > 0 {
+			return t.lKey(d, off, 0)
+		}
+	}
+	return 0
+}
+
+func (t *DiskFirst) insertInto(pid uint32, lvl int, k idx.Key, p uint32) (bool, idx.Key, uint32, error) {
+	pg, err := t.pool.Get(pid)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	t.touchHeader(pg)
+
+	if lvl > 0 {
+		child, lowered := t.childForInsert(pg, k)
+		t.pool.Unpin(pg, lowered)
+		childSplit, sepKey, newPID, err := t.insertInto(child, lvl-1, k, p)
+		if err != nil || !childSplit {
+			return false, 0, 0, err
+		}
+		k, p = sepKey, newPID
+		pg, err = t.pool.Get(pid)
+		if err != nil {
+			return false, 0, 0, err
+		}
+	}
+
+	if t.inPageInsert(pg, k, p) {
+		t.pool.Unpin(pg, true)
+		return false, 0, 0, nil
+	}
+
+	// No in-page space. §3.1.2: if the page still has plenty of free
+	// entry slots (more than one empty slot per in-page leaf node),
+	// reorganize the in-page tree; otherwise split the page.
+	n := dfEntries(pg.Data)
+	if n < t.fanout-t.leafNodes {
+		t.reorganizePage(pg)
+		if !t.inPageInsert(pg, k, p) {
+			t.pool.Unpin(pg, true)
+			return false, 0, 0, fmt.Errorf("core: insert failed after reorganizing page %d (%d entries)", pid, n)
+		}
+		t.pool.Unpin(pg, true)
+		return false, 0, 0, nil
+	}
+
+	sep, newPID, err := t.splitPage(pg)
+	if err != nil {
+		t.pool.Unpin(pg, true)
+		return false, 0, 0, err
+	}
+	var target *buffer.Page
+	if k >= sep {
+		np, err2 := t.pool.Get(newPID)
+		if err2 != nil {
+			t.pool.Unpin(pg, true)
+			return false, 0, 0, err2
+		}
+		target = np
+	} else {
+		target = pg
+	}
+	if !t.inPageInsert(target, k, p) {
+		if target != pg {
+			t.pool.Unpin(target, true)
+		}
+		t.pool.Unpin(pg, true)
+		return false, 0, 0, fmt.Errorf("core: insert failed after splitting page %d", pid)
+	}
+	if target != pg {
+		t.pool.Unpin(target, true)
+	}
+	t.pool.Unpin(pg, true)
+	return true, sep, newPID, nil
+}
+
+// childForInsert descends a nonleaf page for an insertion, lowering the
+// page's minimum separator when k falls below it (so page-level
+// separators remain true lower bounds), and returns the child page ID.
+func (t *DiskFirst) childForInsert(pg *buffer.Page, k idx.Key) (uint32, bool) {
+	d := pg.Data
+	lowered := false
+	var path inPath
+	leafOff := t.descendInPage(pg, k, false, &path)
+	t.visitLeaf(pg, leafOff)
+	slot, _ := t.searchLeafNode(pg, leafOff, k, false)
+	if slot < 0 {
+		slot = 0
+		if t.lCount(d, leafOff) > 0 && t.lKey(d, leafOff, 0) > k {
+			t.lSetKey(d, leafOff, 0, k)
+			t.mm.Access(pg.Addr+uint64(t.lKeyPos(leafOff, 0)), 4)
+			lowered = true
+			for i, noff := range path.offs {
+				if path.slots[i] == 0 && t.nCount(d, noff) > 0 && t.nKey(d, noff, 0) > k {
+					t.nSetKey(d, noff, 0, k)
+				}
+			}
+		}
+	}
+	t.mm.Access(pg.Addr+uint64(t.lPtrPos(leafOff, slot)), 4)
+	return t.lPtr(d, leafOff, slot), lowered
+}
+
+// reorganizePage rebuilds the page's in-page tree from its entries
+// (spreading them), charging a whole-page data movement.
+func (t *DiskFirst) reorganizePage(pg *buffer.Page) {
+	entries := t.collectEntries(pg.Data)
+	used := dfNextFree(pg.Data) * lineSize
+	spread := dfType(pg.Data) == dfPageLeaf
+	// Reorganization reads every entry once and writes it to its new
+	// slot in the same (cache-resident-by-then) page.
+	t.mm.Copy(pg.Addr+lineSize, used-lineSize)
+	if err := t.buildInPage(pg.Data, entries, spread); err != nil {
+		panic(fmt.Sprintf("core: reorganize failed: %v", err))
+	}
+}
+
+// splitPage moves the upper half of the page's entries to a new page,
+// rebuilding both in-page trees (§3.1.2), and returns the separator and
+// new page ID.
+func (t *DiskFirst) splitPage(pg *buffer.Page) (idx.Key, uint32, error) {
+	entries := t.collectEntries(pg.Data)
+	mid := len(entries) / 2
+	np, err := t.pool.NewPage()
+	if err != nil {
+		return 0, 0, err
+	}
+	dfSetType(np.Data, dfType(pg.Data))
+	dfSetLevel(np.Data, dfLevel(pg.Data))
+	// Leaf pages spread so subsequent inserts find slots; nonleaf pages
+	// pack (§3.1.2).
+	spread := dfType(pg.Data) == dfPageLeaf
+
+	// Charge: copy the moved half of the in-page leaf nodes to the new
+	// page and rebuild both pages' (much smaller) nonleaf structure —
+	// §3.1.2's "copying half of the in-page leaf nodes to a new page
+	// and then rebuilding the two in-page trees".
+	t.mm.CopyBetween(np.Addr+lineSize, pg.Addr+lineSize, (len(entries)-mid)*8)
+	nonleafBytes := (t.leafNodes/t.capN + 1) * t.w * lineSize
+	t.mm.Copy(pg.Addr+lineSize, nonleafBytes)
+	t.mm.Copy(np.Addr+lineSize, nonleafBytes)
+
+	right := dfNextPage(pg.Data)
+	if err := t.buildInPage(np.Data, entries[mid:], spread); err != nil {
+		t.pool.Unpin(np, true)
+		return 0, 0, err
+	}
+	if err := t.buildInPage(pg.Data, entries[:mid], spread); err != nil {
+		t.pool.Unpin(np, true)
+		return 0, 0, err
+	}
+	// Thread page-level sibling and jump-pointer links.
+	dfSetNextPage(np.Data, right)
+	dfSetJPNext(np.Data, right)
+	dfSetPrevPage(np.Data, pg.ID)
+	dfSetNextPage(pg.Data, np.ID)
+	dfSetJPNext(pg.Data, np.ID)
+	if right != 0 {
+		rp, err := t.pool.Get(right)
+		if err != nil {
+			t.pool.Unpin(np, true)
+			return 0, 0, err
+		}
+		dfSetPrevPage(rp.Data, np.ID)
+		t.pool.Unpin(rp, true)
+	}
+	sep := entries[mid].key
+	newPID := np.ID
+	t.pool.Unpin(np, true)
+	return sep, newPID, nil
+}
+
+// Delete implements idx.Index (lazy); removes the first entry of a
+// duplicate run.
+func (t *DiskFirst) Delete(k idx.Key) (bool, error) {
+	pg, off, slot, found, err := t.findFirst(k)
+	if err != nil || !found {
+		return false, err
+	}
+	d := pg.Data
+	cnt := t.lCount(d, off)
+	if moved := cnt - slot - 1; moved > 0 {
+		copy(d[t.lKeyPos(off, slot):t.lKeyPos(off, cnt-1)], d[t.lKeyPos(off, slot+1):t.lKeyPos(off, cnt)])
+		copy(d[t.lPtrPos(off, slot):t.lPtrPos(off, cnt-1)], d[t.lPtrPos(off, slot+1):t.lPtrPos(off, cnt)])
+		t.mm.Copy(pg.Addr+uint64(t.lKeyPos(off, slot)), moved*4)
+		t.mm.Copy(pg.Addr+uint64(t.lPtrPos(off, slot)), moved*4)
+	}
+	t.lSetCount(d, off, cnt-1)
+	dfSetEntries(d, dfEntries(d)-1)
+	t.pool.Unpin(pg, true)
+	return true, nil
+}

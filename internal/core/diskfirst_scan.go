@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/idx"
+	"repro/internal/memsim"
+)
+
+// RangeScan implements idx.Index. With JPA enabled (§3.3):
+//
+//   - I/O granularity: the in-page leaf nodes of leaf-parent pages form
+//     a jump-pointer array over the leaf pages (sibling links within a
+//     page are node offsets; across pages they live in page headers).
+//     The scan locates the range's end page first so prefetching never
+//     overshoots, then keeps PrefetchWindow leaf pages in flight.
+//
+//   - Cache granularity: on entering a leaf page the scan prefetches
+//     the page's in-page nodes (the used line region), so consuming
+//     entries proceeds at pipelined- rather than full-miss latency.
+func (t *DiskFirst) RangeScan(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error) {
+	if t.root == 0 || startKey > endKey {
+		return 0, nil
+	}
+	startLeaf, err := t.leafPageFor(startKey, true)
+	if err != nil {
+		return 0, err
+	}
+	var pids []uint32
+	if t.jpa && t.height > 1 {
+		endLeaf, err := t.leafPageFor(endKey, false)
+		if err != nil {
+			return 0, err
+		}
+		if pids, err = t.leafPagesBetween(startKey, startLeaf, endLeaf); err != nil {
+			return 0, err
+		}
+	}
+
+	count := 0
+	pfNext, pageIdx := 0, 0
+	pid := startLeaf
+	first := true
+	for pid != 0 {
+		if t.jpa {
+			for pfNext < len(pids) && pfNext <= pageIdx+t.pfWindow {
+				if err := t.pool.Prefetch(pids[pfNext]); err != nil {
+					return count, err
+				}
+				pfNext++
+			}
+		}
+		pg, err := t.pool.Get(pid)
+		if err != nil {
+			return count, err
+		}
+		t.touchHeader(pg)
+		d := pg.Data
+		if t.jpa {
+			// Cache-granularity prefetch of the page's node region.
+			t.mm.Prefetch(pg.Addr+lineSize, (dfNextFree(d)-1)*lineSize)
+		}
+		off := dfFirstLeaf(d)
+		i := 0
+		if first {
+			off = t.descendInPage(pg, startKey, true, nil)
+			t.visitLeaf(pg, off)
+			slot, _ := t.searchLeafNode(pg, off, startKey, true)
+			i = slot + 1
+			first = false
+		}
+		for off != 0 {
+			if !t.jpa {
+				t.visitLeaf(pg, off)
+			} else {
+				t.mm.Access(pg.Addr+uint64(nodeBase(off)), dfLeafHdr)
+				t.mm.Busy(memsim.CostNodeVisit)
+			}
+			cnt := t.lCount(d, off)
+			for ; i < cnt; i++ {
+				t.mm.Access(pg.Addr+uint64(t.lKeyPos(off, i)), 4)
+				k := t.lKey(d, off, i)
+				if k > endKey {
+					t.pool.Unpin(pg, false)
+					return count, nil
+				}
+				if k < startKey {
+					continue
+				}
+				t.mm.Access(pg.Addr+uint64(t.lPtrPos(off, i)), 4)
+				t.mm.Busy(memsim.CostEntryVisit)
+				tid := t.lPtr(d, off, i)
+				count++
+				if fn != nil && !fn(k, tid) {
+					t.pool.Unpin(pg, false)
+					return count, nil
+				}
+			}
+			off = t.lNext(d, off)
+			i = 0
+		}
+		next := dfNextPage(d)
+		t.pool.Unpin(pg, false)
+		pid = next
+		pageIdx++
+	}
+	return count, nil
+}
+
+// leafPageFor descends to the leaf page for k (lt: strictly-less
+// descent for scan starts).
+func (t *DiskFirst) leafPageFor(k idx.Key, lt bool) (uint32, error) {
+	pid := t.root
+	for lvl := t.height - 1; lvl > 0; lvl-- {
+		pg, err := t.pool.Get(pid)
+		if err != nil {
+			return 0, err
+		}
+		t.touchHeader(pg)
+		child := t.inPageChildFor(pg, k, lt)
+		t.pool.Unpin(pg, false)
+		if child == 0 {
+			return 0, fmt.Errorf("core: nil child during descent")
+		}
+		pid = child
+	}
+	return pid, nil
+}
+
+// leafPagesBetween collects leaf page IDs from startLeaf through
+// endLeaf by walking the in-page leaf-node chains of the leaf-parent
+// pages (the I/O jump-pointer array).
+func (t *DiskFirst) leafPagesBetween(startKey idx.Key, startLeaf, endLeaf uint32) ([]uint32, error) {
+	pid := t.root
+	for lvl := t.height - 1; lvl > 1; lvl-- {
+		pg, err := t.pool.Get(pid)
+		if err != nil {
+			return nil, err
+		}
+		t.touchHeader(pg)
+		child := t.inPageChildFor(pg, startKey, true)
+		t.pool.Unpin(pg, false)
+		pid = child
+	}
+	var pids []uint32
+	started := false
+	for pid != 0 {
+		pg, err := t.pool.Get(pid)
+		if err != nil {
+			return nil, err
+		}
+		d := pg.Data
+		t.touchHeader(pg)
+		for off := dfFirstLeaf(d); off != 0; off = t.lNext(d, off) {
+			t.mm.Access(pg.Addr+uint64(nodeBase(off)), dfLeafHdr)
+			cnt := t.lCount(d, off)
+			for i := 0; i < cnt; i++ {
+				child := t.lPtr(d, off, i)
+				if child == startLeaf {
+					started = true
+				}
+				if started {
+					t.mm.Access(pg.Addr+uint64(t.lPtrPos(off, i)), 4)
+					pids = append(pids, child)
+					if child == endLeaf {
+						if t.overshoot {
+							// Ablation: keep collecting a full window
+							// past the end page.
+							overshootLeft := t.pfWindow
+							for j := i + 1; j < cnt && overshootLeft > 0; j++ {
+								pids = append(pids, t.lPtr(d, off, j))
+								overshootLeft--
+							}
+						}
+						t.pool.Unpin(pg, false)
+						return pids, nil
+					}
+				}
+			}
+		}
+		next := dfJPNext(d)
+		t.pool.Unpin(pg, false)
+		pid = next
+	}
+	return pids, nil
+}
+
+// PageCount implements idx.Index.
+func (t *DiskFirst) PageCount() int {
+	if t.root == 0 {
+		return 0
+	}
+	total := 0
+	pid := t.root
+	for lvl := t.height - 1; lvl >= 0; lvl-- {
+		var childFirst uint32
+		cur := pid
+		for cur != 0 {
+			pg, err := t.pool.Get(cur)
+			if err != nil {
+				return -1
+			}
+			if lvl > 0 && childFirst == 0 {
+				childFirst = t.pageFirstChild(pg.Data)
+			}
+			next := dfNextPage(pg.Data)
+			t.pool.Unpin(pg, false)
+			total++
+			cur = next
+		}
+		pid = childFirst
+	}
+	return total
+}
+
+func (t *DiskFirst) pageFirstChild(d []byte) uint32 {
+	for off := dfFirstLeaf(d); off != 0; off = t.lNext(d, off) {
+		if t.lCount(d, off) > 0 {
+			return t.lPtr(d, off, 0)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,78 @@
+package core
+
+// SpaceStats describes how a tree uses its pages — the inputs to the
+// paper's space-overhead metric (Figure 16) plus utilization detail.
+type SpaceStats struct {
+	Pages      int // total pages (the Figure 16 numerator)
+	LeafPages  int
+	NodePages  int // nonleaf pages (cache-first: aggressive-placement pages)
+	OtherPages int // cache-first overflow pages
+	Entries    int // entries stored in leaves
+	// Utilization is Entries / (LeafPages * per-page entry capacity).
+	Utilization float64
+}
+
+// SpaceStats walks the tree and reports page usage.
+func (t *DiskFirst) SpaceStats() (SpaceStats, error) {
+	var st SpaceStats
+	if t.root == 0 {
+		return st, nil
+	}
+	pid := t.root
+	for lvl := t.height - 1; lvl >= 0; lvl-- {
+		var childFirst uint32
+		cur := pid
+		for cur != 0 {
+			pg, err := t.pool.Get(cur)
+			if err != nil {
+				return st, err
+			}
+			st.Pages++
+			if lvl == 0 {
+				st.LeafPages++
+				st.Entries += dfEntries(pg.Data)
+			} else {
+				st.NodePages++
+				if childFirst == 0 {
+					childFirst = t.pageFirstChild(pg.Data)
+				}
+			}
+			next := dfNextPage(pg.Data)
+			t.pool.Unpin(pg, false)
+			cur = next
+		}
+		pid = childFirst
+	}
+	if st.LeafPages > 0 {
+		st.Utilization = float64(st.Entries) / float64(st.LeafPages*t.fanout)
+	}
+	return st, nil
+}
+
+// SpaceStats reports page usage from the cache-first space map.
+func (t *CacheFirst) SpaceStats() (SpaceStats, error) {
+	var st SpaceStats
+	for pid, kind := range t.pages {
+		st.Pages++
+		switch kind {
+		case cfPageLeaf:
+			st.LeafPages++
+			pg, err := t.pool.Get(pid)
+			if err != nil {
+				return st, err
+			}
+			for _, off := range t.pageSlots(pg.Data) {
+				st.Entries += t.cCount(pg.Data, off)
+			}
+			t.pool.Unpin(pg, false)
+		case cfPageNode:
+			st.NodePages++
+		default:
+			st.OtherPages++
+		}
+	}
+	if st.LeafPages > 0 {
+		st.Utilization = float64(st.Entries) / float64(st.LeafPages*t.fanout)
+	}
+	return st, nil
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/treetest"
+)
+
+func TestDiskFirstSpaceStats(t *testing.T) {
+	env := treetest.NewEnv(16<<10, 65536)
+	tr, err := NewDiskFirst(DiskFirstConfig{Pool: env.Pool, Model: env.Model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	if err := tr.Bulkload(treetest.GenEntries(n, 1, 2), 0.8); err != nil {
+		t.Fatal(err)
+	}
+	st, err := tr.SpaceStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != n {
+		t.Fatalf("entries = %d, want %d", st.Entries, n)
+	}
+	if st.Pages != tr.PageCount() {
+		t.Fatalf("pages = %d, PageCount = %d", st.Pages, tr.PageCount())
+	}
+	if st.LeafPages+st.NodePages != st.Pages || st.OtherPages != 0 {
+		t.Fatalf("page kinds inconsistent: %+v", st)
+	}
+	if st.Utilization < 0.75 || st.Utilization > 0.85 {
+		t.Fatalf("utilization %.2f, expected ~0.80", st.Utilization)
+	}
+}
+
+func TestCacheFirstSpaceStats(t *testing.T) {
+	env := treetest.NewEnv(16<<10, 65536)
+	tr, err := NewCacheFirst(CacheFirstConfig{Pool: env.Pool, Model: env.Model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500000
+	if err := tr.Bulkload(treetest.GenEntries(n, 1, 2), 1.0); err != nil {
+		t.Fatal(err)
+	}
+	st, err := tr.SpaceStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != n {
+		t.Fatalf("entries = %d, want %d", st.Entries, n)
+	}
+	if st.Pages != tr.PageCount() {
+		t.Fatalf("pages = %d, PageCount = %d", st.Pages, tr.PageCount())
+	}
+	if st.OtherPages == 0 {
+		t.Fatal("expected overflow pages for leaf parents at this scale")
+	}
+	if st.Utilization < 0.95 {
+		t.Fatalf("100%% bulkload utilization = %.2f", st.Utilization)
+	}
+}

@@ -1,0 +1,277 @@
+// Package db2sim reproduces the §4.3.3 DB2 experiment: an index-only
+// SELECT COUNT(*) range scan executed by M parallel scan processes (the
+// SMP degree) over a pool of P I/O prefetcher processes, with the
+// jump-pointer array supplying the leaf page addresses to prefetch.
+//
+// The substrate is the same virtual-time disk array as the Origin
+// experiments (internal/disksim); scan and prefetcher processes are
+// simulated as interleaved state machines picked by earliest virtual
+// time, which reproduces the queueing structure of DB2's I/O servers:
+//
+//   - NoPrefetch: each scan process reads its partition's leaf pages
+//     synchronously, one at a time.
+//   - Prefetch: scan processes publish page requests (up to Window
+//     ahead of consumption) that the P prefetchers service; a scan
+//     process waits only if its next page has not yet arrived.
+//   - InMemory: all leaf pages are already buffered — the upper-bound
+//     curve in Figure 19.
+package db2sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/disksim"
+)
+
+// Mode selects the execution strategy.
+type Mode int
+
+// Execution strategies (the three curves of Figure 19).
+const (
+	NoPrefetch Mode = iota
+	Prefetch
+	InMemory
+)
+
+func (m Mode) String() string {
+	switch m {
+	case NoPrefetch:
+		return "no prefetch"
+	case Prefetch:
+		return "with prefetch"
+	case InMemory:
+		return "in memory"
+	}
+	return "unknown"
+}
+
+// Config describes the table/index and platform.
+type Config struct {
+	// LeafPages is the number of index leaf pages the scan covers.
+	LeafPages int
+	// Disks is the number of spindles (the paper's machine has 80).
+	Disks int
+	// PageBytes is the I/O unit.
+	PageBytes int
+	// CPUPerPageMicros is the scan process's per-page work (counting
+	// entries for COUNT(*)).
+	CPUPerPageMicros uint64
+	// Window is how many pages ahead of consumption each scan process
+	// keeps requested.
+	Window int
+	// BatchPages is how many JPA-supplied page addresses a prefetcher
+	// dispatches concurrently per trip (DB2's prefetch quantum). The
+	// jump-pointer array is what makes batches possible: a synchronous
+	// scan learns each leaf page's address only from its predecessor.
+	BatchPages int
+	// ShuffleFrac scrambles this fraction of the leaf-page order,
+	// modeling a mature index whose pages were split out of sequence.
+	ShuffleFrac float64
+	// Seed drives the shuffle.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's setup at a laptop-friendly scale.
+func DefaultConfig() Config {
+	return Config{
+		LeafPages:        16000,
+		Disks:            80,
+		PageBytes:        16 << 10,
+		CPUPerPageMicros: 2400,
+		Window:           256,
+		BatchPages:       16,
+		ShuffleFrac:      0.3,
+		Seed:             1,
+	}
+}
+
+// Result reports one scan execution.
+type Result struct {
+	Micros   uint64 // elapsed virtual time
+	Reads    uint64 // physical page reads
+	SeqReads uint64 // reads that hit the disks' sequential fast path
+}
+
+// Seconds returns the elapsed time in seconds.
+func (r Result) Seconds() float64 { return float64(r.Micros) / 1e6 }
+
+// Run executes the scan with the given SMP degree and prefetcher count.
+func Run(cfg Config, smp, prefetchers int, mode Mode) (Result, error) {
+	if cfg.LeafPages <= 0 || smp <= 0 {
+		return Result{}, fmt.Errorf("db2sim: need pages and at least one scan process")
+	}
+	if mode == Prefetch && prefetchers <= 0 {
+		return Result{}, fmt.Errorf("db2sim: prefetch mode needs prefetchers")
+	}
+	arr, err := disksim.New(disksim.DefaultConfig(cfg.Disks, cfg.PageBytes))
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Leaf page IDs in scan (key) order, partially shuffled to model a
+	// mature index.
+	pages := make([]uint32, cfg.LeafPages)
+	for i := range pages {
+		pages[i] = uint32(i + 1)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	swaps := int(cfg.ShuffleFrac * float64(cfg.LeafPages) / 2)
+	for i := 0; i < swaps; i++ {
+		a, b := rng.Intn(len(pages)), rng.Intn(len(pages))
+		pages[a], pages[b] = pages[b], pages[a]
+	}
+
+	// Partition contiguous chunks across the scan processes (DB2 range
+	// partitioning of the scan).
+	parts := make([][]uint32, smp)
+	chunk := (len(pages) + smp - 1) / smp
+	for i := 0; i < smp; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if lo > len(pages) {
+			lo = len(pages)
+		}
+		if hi > len(pages) {
+			hi = len(pages)
+		}
+		parts[i] = pages[lo:hi]
+	}
+
+	switch mode {
+	case InMemory:
+		var max uint64
+		for _, p := range parts {
+			if t := uint64(len(p)) * cfg.CPUPerPageMicros; t > max {
+				max = t
+			}
+		}
+		return Result{Micros: max}, nil
+	case NoPrefetch:
+		return runNoPrefetch(arr, parts, cfg), nil
+	case Prefetch:
+		return runPrefetch(arr, parts, cfg, prefetchers), nil
+	}
+	return Result{}, fmt.Errorf("db2sim: unknown mode %d", mode)
+}
+
+// runNoPrefetch interleaves synchronous readers by earliest virtual time.
+func runNoPrefetch(arr *disksim.Array, parts [][]uint32, cfg Config) Result {
+	clocks := make([]uint64, len(parts))
+	next := make([]int, len(parts))
+	for {
+		c := -1
+		for i := range parts {
+			if next[i] < len(parts[i]) && (c == -1 || clocks[i] < clocks[c]) {
+				c = i
+			}
+		}
+		if c == -1 {
+			break
+		}
+		done := arr.ReadStream(parts[c][next[c]], c, clocks[c])
+		clocks[c] = done + cfg.CPUPerPageMicros
+		next[c]++
+	}
+	var max uint64
+	for _, t := range clocks {
+		if t > max {
+			max = t
+		}
+	}
+	s := arr.Stats()
+	return Result{Micros: max, Reads: s.Reads, SeqReads: s.SeqReads}
+}
+
+// runPrefetch simulates P prefetcher processes servicing page requests
+// published by the scan processes up to Window ahead of consumption.
+func runPrefetch(arr *disksim.Array, parts [][]uint32, cfg Config, prefetchers int) Result {
+	type consumer struct {
+		clock    uint64
+		consumed int
+		issued   int
+	}
+	cons := make([]consumer, len(parts))
+	pf := make([]uint64, prefetchers) // prefetcher clocks
+	ready := make(map[uint32]uint64, cfg.LeafPages)
+
+	batch := cfg.BatchPages
+	if batch < 1 {
+		batch = 1
+	}
+	issueEligible := func() {
+		for {
+			// Pick the scan process with the most prefetch headroom.
+			best := -1
+			for i := range cons {
+				if cons[i].issued < len(parts[i]) && cons[i].issued < cons[i].consumed+cfg.Window {
+					if best == -1 || cons[i].issued-cons[i].consumed < cons[best].issued-cons[best].consumed {
+						best = i
+					}
+				}
+			}
+			if best == -1 {
+				return
+			}
+			// Earliest-available prefetcher takes a batch of page
+			// addresses from the jump-pointer array and dispatches the
+			// reads concurrently (they land on distinct disks), then
+			// blocks until the last completes.
+			p := 0
+			for j := 1; j < prefetchers; j++ {
+				if pf[j] < pf[p] {
+					p = j
+				}
+			}
+			start := pf[p]
+			if cons[best].clock > start {
+				start = cons[best].clock
+			}
+			var last uint64
+			for b := 0; b < batch; b++ {
+				c := &cons[best]
+				if c.issued >= len(parts[best]) || c.issued >= c.consumed+cfg.Window {
+					break
+				}
+				page := parts[best][c.issued]
+				done := arr.ReadStream(page, best, start)
+				ready[page] = done
+				if done > last {
+					last = done
+				}
+				c.issued++
+			}
+			pf[p] = last
+		}
+	}
+
+	for {
+		issueEligible()
+		// Consume: earliest-clock scan process with work left.
+		c := -1
+		for i := range cons {
+			if cons[i].consumed < len(parts[i]) && (c == -1 || cons[i].clock < cons[c].clock) {
+				c = i
+			}
+		}
+		if c == -1 {
+			break
+		}
+		page := parts[c][cons[c].consumed]
+		if r, ok := ready[page]; ok {
+			if r > cons[c].clock {
+				cons[c].clock = r
+			}
+		}
+		cons[c].clock += cfg.CPUPerPageMicros
+		cons[c].consumed++
+	}
+	var max uint64
+	for i := range cons {
+		if cons[i].clock > max {
+			max = cons[i].clock
+		}
+	}
+	s := arr.Stats()
+	return Result{Micros: max, Reads: s.Reads, SeqReads: s.SeqReads}
+}

@@ -1,0 +1,129 @@
+package db2sim
+
+import "testing"
+
+func smallCfg() Config {
+	cfg := DefaultConfig()
+	cfg.LeafPages = 2000
+	return cfg
+}
+
+func TestModesOrdering(t *testing.T) {
+	cfg := smallCfg()
+	mem, err := Run(cfg, 9, 0, InMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := Run(cfg, 9, 8, Prefetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := Run(cfg, 9, 0, NoPrefetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(mem.Micros <= pf.Micros && pf.Micros <= np.Micros) {
+		t.Fatalf("expected mem <= prefetch <= noprefetch: %d %d %d", mem.Micros, pf.Micros, np.Micros)
+	}
+	if np.Micros < pf.Micros*3/2 {
+		t.Fatalf("prefetch speedup too small: np=%d pf=%d", np.Micros, pf.Micros)
+	}
+}
+
+func TestMorePrefetchersHelp(t *testing.T) {
+	cfg := smallCfg()
+	prev := uint64(1 << 62)
+	improved := false
+	for _, p := range []int{1, 2, 4, 8} {
+		r, err := Run(cfg, 9, p, Prefetch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Micros > prev {
+			t.Fatalf("%d prefetchers slower than fewer: %d > %d", p, r.Micros, prev)
+		}
+		if r.Micros < prev {
+			improved = true
+		}
+		prev = r.Micros
+	}
+	if !improved {
+		t.Fatal("prefetcher count had no effect at all")
+	}
+}
+
+func TestMoreSMPHelpsTowardInMemory(t *testing.T) {
+	cfg := smallCfg()
+	var last uint64
+	for _, m := range []int{1, 3, 9} {
+		r, err := Run(cfg, m, 8, Prefetch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last != 0 && r.Micros > last {
+			t.Fatalf("SMP %d slower than smaller degree: %d > %d", m, r.Micros, last)
+		}
+		last = r.Micros
+	}
+	mem, _ := Run(cfg, 9, 0, InMemory)
+	pf, _ := Run(cfg, 9, 12, Prefetch)
+	if pf.Micros > mem.Micros*2 {
+		t.Fatalf("12 prefetchers should approach the in-memory bound: pf=%d mem=%d", pf.Micros, mem.Micros)
+	}
+}
+
+func TestAllPagesRead(t *testing.T) {
+	cfg := smallCfg()
+	for _, mode := range []Mode{NoPrefetch, Prefetch} {
+		r, err := Run(cfg, 4, 4, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(r.Reads) != cfg.LeafPages {
+			t.Fatalf("%v: read %d pages, want %d", mode, r.Reads, cfg.LeafPages)
+		}
+	}
+	mem, _ := Run(cfg, 4, 0, InMemory)
+	if mem.Reads != 0 {
+		t.Fatal("in-memory mode performed I/O")
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	cfg := smallCfg()
+	if _, err := Run(cfg, 0, 1, NoPrefetch); err == nil {
+		t.Fatal("accepted zero scan processes")
+	}
+	if _, err := Run(cfg, 1, 0, Prefetch); err == nil {
+		t.Fatal("accepted prefetch mode without prefetchers")
+	}
+	bad := cfg
+	bad.LeafPages = 0
+	if _, err := Run(bad, 1, 1, NoPrefetch); err == nil {
+		t.Fatal("accepted zero pages")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := smallCfg()
+	a, _ := Run(cfg, 9, 8, Prefetch)
+	b, _ := Run(cfg, 9, 8, Prefetch)
+	if a != b {
+		t.Fatalf("nondeterministic results: %+v vs %+v", a, b)
+	}
+}
+
+func TestShuffleSlowsScan(t *testing.T) {
+	ordered := smallCfg()
+	ordered.ShuffleFrac = 0
+	scrambled := smallCfg()
+	scrambled.ShuffleFrac = 1.0
+	a, _ := Run(ordered, 4, 8, Prefetch)
+	b, _ := Run(scrambled, 4, 8, Prefetch)
+	if b.Micros <= a.Micros {
+		t.Fatalf("scrambled leaf order should be slower: %d vs %d", b.Micros, a.Micros)
+	}
+	if b.SeqReads >= a.SeqReads {
+		t.Fatalf("scrambled order should hit the sequential path less: %d vs %d", b.SeqReads, a.SeqReads)
+	}
+}

@@ -1,0 +1,199 @@
+package disksim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func cfg4() Config { return DefaultConfig(4, 16<<10) }
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{Disks: 0, PageBytes: 1, TransferBytesPerMicro: 1}); err == nil {
+		t.Fatal("accepted zero disks")
+	}
+	if _, err := New(Config{Disks: 1, PageBytes: 0, TransferBytesPerMicro: 1}); err == nil {
+		t.Fatal("accepted zero page size")
+	}
+	if _, err := New(Config{Disks: 1, PageBytes: 1, TransferBytesPerMicro: 0}); err == nil {
+		t.Fatal("accepted zero transfer rate")
+	}
+}
+
+func TestRandomReadCost(t *testing.T) {
+	a, _ := New(cfg4())
+	done := a.Read(1, 0)
+	want := uint64(8000 + 4000 + (16<<10)/40)
+	if done != want {
+		t.Fatalf("random read done at %d, want %d", done, want)
+	}
+}
+
+func TestSameDiskReadsQueue(t *testing.T) {
+	a, _ := New(cfg4())
+	d1 := a.Read(1, 0)
+	d2 := a.Read(5, 0) // page 5 also on disk 1
+	if d2 <= d1 {
+		t.Fatalf("second read to same disk should queue: %d then %d", d1, d2)
+	}
+}
+
+func TestDifferentDisksOverlap(t *testing.T) {
+	a, _ := New(cfg4())
+	d1 := a.Read(1, 0)
+	d2 := a.Read(2, 0)
+	if d1 != d2 {
+		t.Fatalf("reads to distinct idle disks should complete together: %d vs %d", d1, d2)
+	}
+}
+
+func TestSequentialFastPath(t *testing.T) {
+	a, _ := New(cfg4())
+	first := a.Read(1, 0)
+	second := a.Read(5, first) // next stripe on the same disk
+	transfer := uint64((16 << 10) / 40)
+	if second-first != transfer {
+		t.Fatalf("sequential read cost %d, want transfer-only %d", second-first, transfer)
+	}
+	if a.Stats().SeqReads != 1 {
+		t.Fatalf("sequential read not counted: %+v", a.Stats())
+	}
+}
+
+func TestNonSequentialAfterGapSeeks(t *testing.T) {
+	a, _ := New(cfg4())
+	first := a.Read(1, 0)
+	second := a.Read(9, first) // skips a stripe: not sequential
+	if second-first == uint64((16<<10)/40) {
+		t.Fatal("gap read should pay seek+rotation")
+	}
+}
+
+func TestPrefetchOverlapSpeedsScan(t *testing.T) {
+	// A scan of N pages striped over D disks: synchronous reads take
+	// ~N*service; issuing all reads up front and consuming in order
+	// takes ~N/D*service. This is the core of Figure 18.
+	const pages = 200
+	syncTime := scanTime(t, 10, pages, false)
+	parTime := scanTime(t, 10, pages, true)
+	if parTime*5 > syncTime {
+		t.Fatalf("prefetching should be at least 5x faster on 10 disks: sync=%d par=%d", syncTime, parTime)
+	}
+}
+
+// scanTime scans `pages` scattered pages over `disks` disks, either
+// synchronously or with all prefetches issued ahead.
+func scanTime(t *testing.T, disks int, pages uint32, prefetch bool) uint64 {
+	t.Helper()
+	a, err := New(DefaultConfig(disks, 16<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scatter: multiply the stripe index so the sequential path never hits.
+	pid := func(i uint32) uint32 { return i*7 + 3 }
+	var clock uint64
+	if prefetch {
+		done := make([]uint64, pages)
+		for i := uint32(0); i < pages; i++ {
+			done[i] = a.Read(pid(i), 0)
+		}
+		for i := uint32(0); i < pages; i++ {
+			if done[i] > clock {
+				clock = done[i]
+			}
+		}
+	} else {
+		for i := uint32(0); i < pages; i++ {
+			clock = a.Read(pid(i), clock)
+		}
+	}
+	return clock
+}
+
+func TestSpeedupScalesWithDisks(t *testing.T) {
+	base := scanTime(t, 1, 200, true)
+	prev := base
+	for _, d := range []int{2, 4, 8} {
+		cur := scanTime(t, d, 200, true)
+		if cur >= prev {
+			t.Fatalf("no speedup going to %d disks: %d -> %d", d, prev, cur)
+		}
+		prev = cur
+	}
+	if sp := float64(base) / float64(prev); sp < 6 {
+		t.Fatalf("8-disk speedup %.1f, want near-linear (>6)", sp)
+	}
+}
+
+func TestQueueDepthAt(t *testing.T) {
+	a, _ := New(cfg4())
+	if a.QueueDepthAt(1, 0) != 0 {
+		t.Fatal("idle disk reported queue depth")
+	}
+	done := a.Read(1, 0)
+	if got := a.QueueDepthAt(1, 0); got != done {
+		t.Fatalf("queue depth %d, want %d", got, done)
+	}
+	if got := a.QueueDepthAt(1, done+5); got != 0 {
+		t.Fatalf("queue depth after completion = %d", got)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	a, _ := New(cfg4())
+	a.Read(1, 0)
+	a.Write(2, 0)
+	a.Reset()
+	if s := a.Stats(); s != (Stats{}) {
+		t.Fatalf("stats not cleared: %+v", s)
+	}
+	if a.QueueDepthAt(1, 0) != 0 {
+		t.Fatal("queues not cleared")
+	}
+}
+
+func TestWriteAndReadShareDevice(t *testing.T) {
+	a, _ := New(cfg4())
+	w := a.Write(1, 0)
+	r := a.Read(5, 0)
+	if r <= w {
+		t.Fatalf("read should queue behind write on same disk: w=%d r=%d", w, r)
+	}
+}
+
+// TestCompletionMonotonicPerDisk: completions on one disk never go
+// backwards regardless of issue order.
+func TestCompletionMonotonicPerDisk(t *testing.T) {
+	f := func(pids []uint16, issue []uint16) bool {
+		a, _ := New(cfg4())
+		last := make(map[int]uint64)
+		for i, p := range pids {
+			var now uint64
+			if i < len(issue) {
+				now = uint64(issue[i])
+			}
+			pid := uint32(p)%1000 + 1
+			done := a.Read(pid, now)
+			d := a.DiskOf(pid)
+			if done < last[d] || done < now {
+				return false
+			}
+			last[d] = done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBusyMicrosAccounted(t *testing.T) {
+	a, _ := New(cfg4())
+	a.Read(1, 0)
+	a.Read(2, 0)
+	if a.Stats().BusyMicros == 0 {
+		t.Fatal("busy time not accumulated")
+	}
+	if a.Stats().Reads != 2 {
+		t.Fatalf("reads = %d, want 2", a.Stats().Reads)
+	}
+}

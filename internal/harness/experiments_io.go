@@ -1,0 +1,611 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/db2sim"
+	"repro/internal/disksim"
+	"repro/internal/idx"
+	"repro/internal/memsim"
+	"repro/internal/microindex"
+	"repro/internal/sizing"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("table2", table2)
+	register("fig16", fig16)
+	register("fig17", fig17)
+	register("fig18", fig18)
+	register("fig19", fig19)
+	register("ablation", ablations)
+}
+
+// buildDiskFirstWidths constructs a disk-first tree with explicit
+// in-page node widths (Figure 11).
+func buildDiskFirstWidths(env *Env, nonleafB, leafB int) (*core.DiskFirst, error) {
+	return core.NewDiskFirst(core.DiskFirstConfig{
+		Pool: env.Pool, Model: env.Model,
+		NonleafBytes: nonleafB, LeafBytes: leafB,
+	})
+}
+
+// buildCacheFirstWidth constructs a cache-first tree with an explicit
+// node size (Figure 11).
+func buildCacheFirstWidth(env *Env, nodeB int) (*core.CacheFirst, error) {
+	return core.NewCacheFirst(core.CacheFirstConfig{
+		Pool: env.Pool, Model: env.Model, NodeBytes: nodeB,
+	})
+}
+
+// buildMicroIndexWidth constructs a micro-indexing tree with an
+// explicit sub-array size (Figure 11's third panel).
+func buildMicroIndexWidth(env *Env, subarrayBytes int) (idx.Index, error) {
+	return microindex.New(microindex.Config{
+		Pool: env.Pool, Model: env.Model, SubarrayBytes: subarrayBytes,
+	})
+}
+
+// table2 regenerates the optimal width selections.
+func table2(p Params) ([]*Table, error) {
+	prm := sizing.DefaultParams()
+	t := &Table{
+		ID:      "table2",
+		Title:   "optimal width selections (4B keys, T1=150, Tnext=10)",
+		Columns: []string{"page", "DF nonleaf", "DF leaf", "DF fanout", "DF cost", "CF node", "CF fanout", "CF cost", "MI subarray", "MI fanout", "MI cost"},
+	}
+	for _, ps := range p.PageSizes {
+		df, err := sizing.OptimizeDiskFirst(ps, prm)
+		if err != nil {
+			return nil, err
+		}
+		cf, err := sizing.OptimizeCacheFirst(ps, prm)
+		if err != nil {
+			return nil, err
+		}
+		mi, err := sizing.OptimizeMicroIndex(ps, prm)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%dKB", ps>>10),
+			fmt.Sprintf("%dB", df.NonleafLines*sizing.LineSize),
+			fmt.Sprintf("%dB", df.LeafLines*sizing.LineSize),
+			fmt.Sprint(df.PageFanout), fmt.Sprintf("%.2f", df.CostRatio),
+			fmt.Sprintf("%dB", cf.NodeBytes), fmt.Sprint(cf.PageFanout), fmt.Sprintf("%.2f", cf.CostRatio),
+			fmt.Sprintf("%dB", mi.SubarrayBytes), fmt.Sprint(mi.PageFanout), fmt.Sprintf("%.2f", mi.CostRatio),
+		)
+	}
+	t.Notes = append(t.Notes,
+		"paper Table 2 disk-first: 64/384B@4K, 192/256B@8K, 192/512B@16K, 256/832B@32K (fanouts 470/961/1953/4017)",
+		"paper Table 2 cache-first: 576B/576B/704B/640B (fanouts 497/994/2001/4029)",
+		"paper Table 2 micro-indexing: 128B/192B/320B/320B (fanouts 496/1008/2032/4064)")
+	return []*Table{t}, nil
+}
+
+// matureTree bulkloads `bulk` keys at 100% and inserts `inserts` more
+// (interleaved into the key space), the §4.3 "mature tree" methodology.
+func matureTree(tr idx.Index, g *workload.Gen, bulk, inserts int) error {
+	if err := tr.Bulkload(g.BulkEntries(bulk), 1.0); err != nil {
+		return err
+	}
+	for _, e := range g.InsertEntries(bulk, inserts) {
+		if err := tr.Insert(e.Key, e.TID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fig16 reproduces the space-overhead comparison.
+func fig16(p Params) ([]*Table, error) {
+	a := &Table{
+		ID:      "fig16",
+		Title:   fmt.Sprintf("space overhead after 100%% bulkload of %d keys (%%)", p.Keys),
+		Columns: []string{"page", "disk-first", "cache-first"},
+	}
+	b := &Table{
+		ID:      "fig16",
+		Title:   fmt.Sprintf("space overhead, mature trees (%d bulk + %d inserts) (%%)", p.MatureBulk, p.MatureInserts),
+		Columns: []string{"page", "disk-first", "cache-first"},
+	}
+	overhead := func(kind TreeKind, ps, bulk, inserts int) (string, error) {
+		env := NewCacheEnv(ps, (bulk+inserts)*3)
+		base, err := BuildTree(KindDiskOptimized, env, false)
+		if err != nil {
+			return "", err
+		}
+		if err := matureTree(base, workload.New(42), bulk, inserts); err != nil {
+			return "", err
+		}
+		env2 := NewCacheEnv(ps, (bulk+inserts)*3)
+		tr, err := BuildTree(kind, env2, false)
+		if err != nil {
+			return "", err
+		}
+		if err := matureTree(tr, workload.New(42), bulk, inserts); err != nil {
+			return "", err
+		}
+		ov := 100 * (float64(tr.PageCount())/float64(base.PageCount()) - 1)
+		return fmt.Sprintf("%.1f", ov), nil
+	}
+	for _, ps := range p.PageSizes {
+		df, err := overhead(KindDiskFirst, ps, p.Keys, 0)
+		if err != nil {
+			return nil, err
+		}
+		cf, err := overhead(KindCacheFirst, ps, p.Keys, 0)
+		if err != nil {
+			return nil, err
+		}
+		a.AddRow(fmt.Sprintf("%dKB", ps>>10), df, cf)
+
+		df, err = overhead(KindDiskFirst, ps, p.MatureBulk, p.MatureInserts)
+		if err != nil {
+			return nil, err
+		}
+		cf, err = overhead(KindCacheFirst, ps, p.MatureBulk, p.MatureInserts)
+		if err != nil {
+			return nil, err
+		}
+		b.AddRow(fmt.Sprintf("%dKB", ps>>10), df, cf)
+	}
+	a.Notes = append(a.Notes, "paper: disk-first < 9%, cache-first < 5% after bulkload")
+	b.Notes = append(b.Notes, "paper: mature cache-first can grow to ~36%; disk-first stays < 9%")
+	return []*Table{a, b}, nil
+}
+
+// ioEnv builds a disk-backed environment for the search I/O experiment.
+func ioEnv(pageSize, frames, disks int) (*Env, *disksim.Array, error) {
+	arr, err := disksim.New(disksim.DefaultConfig(disks, pageSize))
+	if err != nil {
+		return nil, nil, err
+	}
+	mm := memsim.NewDefault()
+	pool := buffer.NewPool(buffer.NewDiskStore(arr), frames)
+	pool.AttachModel(mm)
+	return &Env{Pool: pool, Model: mm}, arr, nil
+}
+
+// fig17 reproduces search I/O: buffer-pool misses for Ops random
+// searches after clearing the pool, bulkloaded and mature trees.
+func fig17(p Params) ([]*Table, error) {
+	kinds := []TreeKind{KindDiskOptimized, KindDiskFirst, KindCacheFirst}
+	mk := func(title string) *Table {
+		t := &Table{ID: "fig17", Title: title, Columns: []string{"page"}}
+		for _, k := range kinds {
+			t.Columns = append(t.Columns, k.String())
+		}
+		t.Columns = append(t.Columns, "cache-first vs disk-opt")
+		return t
+	}
+	run := func(kind TreeKind, ps, bulk, inserts int) (uint64, error) {
+		// Frames sized to hold the whole tree: the experiment counts
+		// cold misses, not capacity misses, and clears the pool first.
+		frames := (bulk+inserts)/(ps/40) + 512
+		env, _, err := ioEnv(ps, frames, 4)
+		if err != nil {
+			return 0, err
+		}
+		tr, err := BuildTree(kind, env, false)
+		if err != nil {
+			return 0, err
+		}
+		g := workload.New(42)
+		var fill = 1.0
+		if err := tr.Bulkload(g.BulkEntries(bulk), fill); err != nil {
+			return 0, err
+		}
+		inserted := g.InsertEntries(bulk, inserts)
+		for _, e := range inserted {
+			if err := tr.Insert(e.Key, e.TID); err != nil {
+				return 0, err
+			}
+		}
+		if err := env.Pool.DropAll(); err != nil {
+			return 0, err
+		}
+		env.Pool.ResetStats()
+		// Search random keys across the whole population (bulkloaded
+		// and inserted alike), as the paper's random searches do.
+		keys := g.SearchKeys(bulk, p.Ops)
+		if len(inserted) > 0 {
+			for i := 1; i < len(keys); i += 2 {
+				keys[i] = inserted[(i*2654435761)%len(inserted)].Key
+			}
+		}
+		for _, k := range keys {
+			if _, ok, err := tr.Search(k); err != nil || !ok {
+				return 0, fmt.Errorf("fig17: search(%d)=%v,%v", k, ok, err)
+			}
+		}
+		return env.Pool.Stats().DemandMisses, nil
+	}
+
+	a := mk(fmt.Sprintf("search I/O after bulkload, %d keys, %d searches (page misses)", p.BigKeys, p.Ops))
+	b := mk(fmt.Sprintf("search I/O, mature trees (%d bulk + %d inserts), %d searches (page misses)", p.MatureBulk, p.MatureInserts, p.Ops))
+	addRow := func(t *Table, ps, bulk, inserts int) error {
+		row := []string{fmt.Sprintf("%dKB", ps>>10)}
+		var disk, cf uint64
+		for _, kind := range kinds {
+			m, err := run(kind, ps, bulk, inserts)
+			if err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprint(m))
+			if kind == KindDiskOptimized {
+				disk = m
+			}
+			if kind == KindCacheFirst {
+				cf = m
+			}
+		}
+		row = append(row, ratio(cf, disk))
+		t.AddRow(row...)
+		return nil
+	}
+	for _, ps := range p.PageSizes {
+		if err := addRow(a, ps, p.BigKeys, 0); err != nil {
+			return nil, err
+		}
+		if err := addRow(b, ps, p.MatureBulk, p.MatureInserts); err != nil {
+			return nil, err
+		}
+	}
+	a.Notes = append(a.Notes,
+		"paper: disk-first within 3% of disk-optimized; cache-first up to 25% more reads at 4KB, converging as pages grow")
+	return []*Table{a, b}, nil
+}
+
+// fig18 reproduces range-scan I/O on the simulated Origin disk array:
+// mature trees, measuring virtual elapsed time.
+func fig18(p Params) ([]*Table, error) {
+	type scanTree struct {
+		name string
+		jpa  bool
+		kind TreeKind
+	}
+	trees := []scanTree{
+		{"B+tree", false, KindDiskOptimized},
+		{"fpB+tree", true, KindDiskFirst},
+	}
+	build := func(st scanTree, disks int) (idx.Index, *Env, *workload.Gen, error) {
+		frames := (p.Fig18Bulk+p.Fig18Inserts)/(16<<10/40) + 1024
+		env, arr, err := ioEnv(16<<10, frames, disks)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		tr, err := BuildTree(st.kind, env, st.jpa)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		g := workload.New(p.Seed)
+		if err := matureTree(tr, g, p.Fig18Bulk, p.Fig18Inserts); err != nil {
+			return nil, nil, nil, err
+		}
+		if err := env.Pool.DropAll(); err != nil {
+			return nil, nil, nil, err
+		}
+		arr.Reset()
+		return tr, env, g, nil
+	}
+	scanOnce := func(tr idx.Index, env *Env, g *workload.Gen, span int) (float64, error) {
+		const trials = 3
+		var total uint64
+		scans, err := g.RangeScans(p.Fig18Bulk, span, trials)
+		if err != nil {
+			return 0, err
+		}
+		for _, sc := range scans {
+			if err := env.Pool.DropAll(); err != nil {
+				return 0, err
+			}
+			start := env.Pool.Clock()
+			if _, err := tr.RangeScan(sc.Start, sc.End, nil); err != nil {
+				return 0, err
+			}
+			total += env.Pool.Clock() - start
+		}
+		return float64(total) / trials / 1000, nil // ms
+	}
+
+	a := &Table{
+		ID:      "fig18",
+		Title:   fmt.Sprintf("range scan I/O vs range size, 10 disks, mature tree %d+%d keys (ms)", p.Fig18Bulk, p.Fig18Inserts),
+		Columns: []string{"entries", "B+tree", "fpB+tree", "speedup"},
+	}
+	{
+		base, benv, bg, err := build(trees[0], 10)
+		if err != nil {
+			return nil, err
+		}
+		fp, fenv, fg, err := build(trees[1], 10)
+		if err != nil {
+			return nil, err
+		}
+		for _, span := range p.Fig18Spans {
+			bt, err := scanOnce(base, benv, bg, span)
+			if err != nil {
+				return nil, err
+			}
+			ft, err := scanOnce(fp, fenv, fg, span)
+			if err != nil {
+				return nil, err
+			}
+			a.AddRow(fmt.Sprint(span), fmt.Sprintf("%.1f", bt), fmt.Sprintf("%.1f", ft), fmt.Sprintf("%.2f", bt/ft))
+		}
+	}
+	a.Notes = append(a.Notes, "paper: indistinguishable on 1-2 page ranges; 1.9x at 1e4; 6.2-6.9x on 1e6-1e7")
+
+	b := &Table{
+		ID:      "fig18",
+		Title:   fmt.Sprintf("large range scan (%d entries) vs #disks (seconds)", p.Fig18BigSpan),
+		Columns: []string{"disks", "B+tree", "fpB+tree", "fp speedup vs 1 disk"},
+	}
+	var fp1 float64
+	for _, disks := range p.Fig18Disks {
+		base, benv, bg, err := build(trees[0], disks)
+		if err != nil {
+			return nil, err
+		}
+		fp, fenv, fg, err := build(trees[1], disks)
+		if err != nil {
+			return nil, err
+		}
+		bt, err := scanOnce(base, benv, bg, p.Fig18BigSpan)
+		if err != nil {
+			return nil, err
+		}
+		ft, err := scanOnce(fp, fenv, fg, p.Fig18BigSpan)
+		if err != nil {
+			return nil, err
+		}
+		if disks == p.Fig18Disks[0] {
+			fp1 = ft
+		}
+		b.AddRow(fmt.Sprint(disks), fmt.Sprintf("%.2f", bt/1000), fmt.Sprintf("%.2f", ft/1000),
+			fmt.Sprintf("%.2f", fp1/ft))
+	}
+	b.Notes = append(b.Notes, "paper: near-linear speedup, 6.9x at 10 disks; B+tree flat (no overlap)")
+	return []*Table{a, b}, nil
+}
+
+// fig19 reproduces the DB2 experiment.
+func fig19(p Params) ([]*Table, error) {
+	cfg := p.DB2
+	a := &Table{
+		ID:      "fig19",
+		Title:   fmt.Sprintf("DB2-style COUNT(*) scan vs #prefetchers (SMP degree 9, %d leaf pages) (s)", cfg.LeafPages),
+		Columns: []string{"prefetchers", "no prefetch", "with prefetch", "in memory"},
+	}
+	np, err := db2sim.Run(cfg, 9, 0, db2sim.NoPrefetch)
+	if err != nil {
+		return nil, err
+	}
+	mem, err := db2sim.Run(cfg, 9, 0, db2sim.InMemory)
+	if err != nil {
+		return nil, err
+	}
+	for _, pf := range []int{1, 2, 3, 4, 6, 8, 10, 12} {
+		r, err := db2sim.Run(cfg, 9, pf, db2sim.Prefetch)
+		if err != nil {
+			return nil, err
+		}
+		a.AddRow(fmt.Sprint(pf), fmt.Sprintf("%.2f", np.Seconds()),
+			fmt.Sprintf("%.2f", r.Seconds()), fmt.Sprintf("%.2f", mem.Seconds()))
+	}
+	a.Notes = append(a.Notes, "paper: prefetching approaches the in-memory bound by ~8 prefetchers; 2.5-5x overall")
+
+	b := &Table{
+		ID:      "fig19",
+		Title:   fmt.Sprintf("DB2-style COUNT(*) scan vs SMP degree (8 prefetchers, %d leaf pages) (s)", cfg.LeafPages),
+		Columns: []string{"smp", "no prefetch", "with prefetch", "in memory"},
+	}
+	for _, smp := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9} {
+		npr, err := db2sim.Run(cfg, smp, 0, db2sim.NoPrefetch)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := db2sim.Run(cfg, smp, 8, db2sim.Prefetch)
+		if err != nil {
+			return nil, err
+		}
+		memr, err := db2sim.Run(cfg, smp, 0, db2sim.InMemory)
+		if err != nil {
+			return nil, err
+		}
+		b.AddRow(fmt.Sprint(smp), fmt.Sprintf("%.2f", npr.Seconds()),
+			fmt.Sprintf("%.2f", pr.Seconds()), fmt.Sprintf("%.2f", memr.Seconds()))
+	}
+	b.Notes = append(b.Notes, "paper: with prefetching, throughput tracks the in-memory curve as SMP degree grows")
+	return []*Table{a, b}, nil
+}
+
+// ablations measures the design choices DESIGN.md calls out.
+func ablations(p Params) ([]*Table, error) {
+	var out []*Table
+
+	// 1. In-page offsets (2B) vs full pointers (4B) in disk-first
+	// nonleaf in-page nodes: analytic fan-out effect.
+	t1 := &Table{
+		ID:      "ablation",
+		Title:   "disk-first in-page offsets (2B) vs full pointers (4B): nonleaf node capacity",
+		Columns: []string{"nonleaf node", "cap with 2B offsets", "cap with 4B pointers", "loss%"},
+	}
+	for _, w := range []int{1, 2, 3, 4} {
+		withOff := sizing.DiskFirstNonleafCap(w)
+		withPtr := (w*sizing.LineSize - sizing.DiskFirstNonleafHeader) / 8
+		t1.AddRow(fmt.Sprintf("%dB", w*64), fmt.Sprint(withOff), fmt.Sprint(withPtr),
+			fmt.Sprintf("%.0f", 100*(1-float64(withPtr)/float64(withOff))))
+	}
+	out = append(out, t1)
+
+	// 1b. Two in-page node sizes (w != x) vs a single size: search cost
+	// at 16 KB with the selected (192B, 512B) pair against forced
+	// uniform sizes.
+	{
+		t := &Table{
+			ID:      "ablation",
+			Title:   fmt.Sprintf("disk-first two node sizes vs one (16KB, %d keys): search Mcycles", p.Keys),
+			Columns: []string{"widths (nonleaf/leaf)", "Mcycles", "page fanout"},
+		}
+		for _, wx := range [][2]int{{192, 512}, {192, 192}, {512, 512}} {
+			env := NewCacheEnv(16<<10, p.Keys)
+			tr, err := buildDiskFirstWidths(env, wx[0], wx[1])
+			if err != nil {
+				return nil, err
+			}
+			g := workload.New(p.Seed)
+			if err := tr.Bulkload(g.BulkEntries(p.Keys), 1.0); err != nil {
+				return nil, err
+			}
+			c, err := searchCycles(env, tr, g.SearchKeys(p.Keys, p.Ops))
+			if err != nil {
+				return nil, err
+			}
+			label := fmt.Sprintf("%dB/%dB", wx[0], wx[1])
+			if wx == [2]int{192, 512} {
+				label += " (selected)"
+			}
+			t.AddRow(label, mcycles(c), fmt.Sprint(tr.Fanout()))
+		}
+		t.Notes = append(t.Notes, "two sizes buy fan-out without hurting search: the 3.1.1 rationale")
+		out = append(out, t)
+	}
+
+	// 2. Overshoot avoidance: prefetches issued for a short scan.
+	{
+		t := &Table{
+			ID:      "ablation",
+			Title:   "range-scan overshoot: prefetch issues for a ~2-page scan (16KB, 10 disks)",
+			Columns: []string{"variant", "pages prefetched", "virtual ms"},
+		}
+		for _, overshoot := range []bool{false, true} {
+			frames := p.MatureBulk/(16<<10/40) + 512
+			env, arr, err := ioEnv(16<<10, frames, 10)
+			if err != nil {
+				return nil, err
+			}
+			tr, err := core.NewDiskFirst(core.DiskFirstConfig{
+				Pool: env.Pool, Model: env.Model, EnableJPA: true,
+				PrefetchWindow: 32, NoOvershootProtection: overshoot,
+			})
+			if err != nil {
+				return nil, err
+			}
+			g := workload.New(p.Seed)
+			if err := tr.Bulkload(g.BulkEntries(p.MatureBulk), 1.0); err != nil {
+				return nil, err
+			}
+			if err := env.Pool.DropAll(); err != nil {
+				return nil, err
+			}
+			arr.Reset()
+			env.Pool.ResetStats()
+			span := tr.Fanout() * 2
+			scans, err := g.RangeScans(p.MatureBulk, span, 5)
+			if err != nil {
+				return nil, err
+			}
+			start := env.Pool.Clock()
+			for _, sc := range scans {
+				if _, err := tr.RangeScan(sc.Start, sc.End, nil); err != nil {
+					return nil, err
+				}
+			}
+			elapsed := env.Pool.Clock() - start
+			name := "end-page check (paper)"
+			if overshoot {
+				name = "naive window (overshoots)"
+			}
+			t.AddRow(name, fmt.Sprint(env.Pool.Stats().PrefetchIssue), fmt.Sprintf("%.1f", float64(elapsed)/1000))
+		}
+		t.Notes = append(t.Notes, "paper §2.2: overshooting is costly at page granularity; fpB+trees search the end key first")
+		out = append(out, t)
+	}
+
+	// 3. Cache-first bitmap-spread underflow filling vs none: search
+	// buffer fixes per lookup.
+	{
+		t := &Table{
+			ID:      "ablation",
+			Title:   fmt.Sprintf("cache-first underflow filling: buffer fixes per search (%d keys, 16KB)", p.Keys),
+			Columns: []string{"variant", "gets per search", "pages"},
+		}
+		for _, noFill := range []bool{false, true} {
+			env := NewCacheEnv(16<<10, p.Keys)
+			tr, err := core.NewCacheFirst(core.CacheFirstConfig{
+				Pool: env.Pool, Model: env.Model, NoUnderflowFill: noFill,
+			})
+			if err != nil {
+				return nil, err
+			}
+			g := workload.New(p.Seed)
+			if err := tr.Bulkload(g.BulkEntries(p.Keys), 1.0); err != nil {
+				return nil, err
+			}
+			env.Pool.ResetStats()
+			keys := g.SearchKeys(p.Keys, p.Ops)
+			for _, k := range keys {
+				if _, ok, err := tr.Search(k); err != nil || !ok {
+					return nil, fmt.Errorf("ablation search: %v %v", ok, err)
+				}
+			}
+			name := "bitmap spread (paper)"
+			if noFill {
+				name = "no underflow filling"
+			}
+			t.AddRow(name, fmt.Sprintf("%.2f", float64(env.Pool.Stats().Gets)/float64(len(keys))),
+				fmt.Sprint(tr.PageCount()))
+		}
+		out = append(out, t)
+	}
+
+	// 4. JPA prefetch-window sensitivity for the fig18 scan.
+	{
+		t := &Table{
+			ID:      "ablation",
+			Title:   fmt.Sprintf("JPA prefetch window vs scan time (%d-entry scan, 10 disks) (ms)", p.ScanSpan),
+			Columns: []string{"window", "virtual ms"},
+		}
+		for _, win := range []int{1, 2, 4, 8, 16, 32, 64} {
+			frames := p.MatureBulk/(16<<10/40) + 512
+			env, arr, err := ioEnv(16<<10, frames, 10)
+			if err != nil {
+				return nil, err
+			}
+			tr, err := core.NewDiskFirst(core.DiskFirstConfig{
+				Pool: env.Pool, Model: env.Model, EnableJPA: true, PrefetchWindow: win,
+			})
+			if err != nil {
+				return nil, err
+			}
+			g := workload.New(p.Seed)
+			if err := tr.Bulkload(g.BulkEntries(p.MatureBulk), 1.0); err != nil {
+				return nil, err
+			}
+			if err := env.Pool.DropAll(); err != nil {
+				return nil, err
+			}
+			arr.Reset()
+			span := p.ScanSpan
+			if span > p.MatureBulk {
+				span = p.MatureBulk / 2
+			}
+			scans, err := g.RangeScans(p.MatureBulk, span, 3)
+			if err != nil {
+				return nil, err
+			}
+			start := env.Pool.Clock()
+			for _, sc := range scans {
+				if _, err := tr.RangeScan(sc.Start, sc.End, nil); err != nil {
+					return nil, err
+				}
+			}
+			t.AddRow(fmt.Sprint(win), fmt.Sprintf("%.1f", float64(env.Pool.Clock()-start)/1000/3))
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

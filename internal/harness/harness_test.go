@@ -1,0 +1,359 @@
+package harness
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickParams(t *testing.T) Params {
+	t.Helper()
+	p, err := ParamsFor("quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func cell(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tab.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) of %s not numeric: %q", row, col, tab.Title, tab.Rows[row][col])
+	}
+	return v
+}
+
+func TestParamsFor(t *testing.T) {
+	for _, s := range []string{"quick", "default", "paper", ""} {
+		if _, err := ParamsFor(s); err != nil {
+			t.Fatalf("scale %q: %v", s, err)
+		}
+	}
+	if _, err := ParamsFor("bogus"); err == nil {
+		t.Fatal("accepted bogus scale")
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("nope", quickParams(t)); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestIDsRegistered(t *testing.T) {
+	want := []string{"ablation", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig3b", "sec21", "table2"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registered %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registered %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", Columns: []string{"a", "b"}}
+	tab.AddRow("1", "2")
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	if !strings.Contains(buf.String(), "demo") || !strings.Contains(buf.String(), "1") {
+		t.Fatalf("rendering broken: %q", buf.String())
+	}
+	buf.Reset()
+	tab.CSV(&buf)
+	if !strings.HasPrefix(buf.String(), "a,b\n1,2") {
+		t.Fatalf("csv broken: %q", buf.String())
+	}
+}
+
+func TestFig3bShape(t *testing.T) {
+	tabs, err := Run("fig3b", quickParams(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	diskTotal := cell(t, tab, 0, 4)
+	pbTotal := cell(t, tab, 1, 4)
+	if diskTotal != 100 {
+		t.Fatalf("normalization broken: disk total = %v", diskTotal)
+	}
+	if pbTotal >= 60 {
+		t.Fatalf("pB+tree should be well under disk-optimized: %v%%", pbTotal)
+	}
+	diskStall := cell(t, tab, 0, 2)
+	if diskStall < 40 {
+		t.Fatalf("disk-optimized search should be stall-dominated: %v%%", diskStall)
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	tabs, err := Run("table2", quickParams(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	// quick params include 4KB and 16KB rows.
+	if tab.Rows[0][1] != "64B" || tab.Rows[0][2] != "384B" || tab.Rows[0][3] != "470" {
+		t.Fatalf("4KB disk-first row diverges: %v", tab.Rows[0])
+	}
+	if tab.Rows[1][5] != "704B" || tab.Rows[1][6] != "2001" {
+		t.Fatalf("16KB cache-first row diverges: %v", tab.Rows[1])
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	tabs, err := Run("fig10", quickParams(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 2 { // quick scale: 4KB + 16KB panels
+		t.Fatalf("panels = %d", len(tabs))
+	}
+	for _, tab := range tabs {
+		for r := range tab.Rows {
+			disk := cell(t, tab, r, 1)
+			df := cell(t, tab, r, 3)
+			cf := cell(t, tab, r, 4)
+			if df >= disk || cf >= disk {
+				t.Fatalf("%s row %d: fp trees (%v, %v) not faster than disk-optimized (%v)",
+					tab.Title, r, df, cf, disk)
+			}
+			sp := cell(t, tab, r, 5)
+			if sp < 1.05 || sp > 4 {
+				t.Fatalf("%s: search speedup %v outside the plausible band", tab.Title, sp)
+			}
+		}
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	tabs, err := Run("fig12", quickParams(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for r := range tab.Rows {
+		if df := cell(t, tab, r, 3); df >= cell(t, tab, r, 1) {
+			t.Fatalf("fill row %d: disk-first not faster", r)
+		}
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	tabs, err := Run("fig13", quickParams(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 4 {
+		t.Fatalf("panels = %d", len(tabs))
+	}
+	// Panel (a): at 70% full, fpB+trees should beat the baselines by a
+	// wide margin (paper: 14-20x).
+	a := tabs[0]
+	r := 1 // 70%
+	disk := cell(t, a, r, 1)
+	micro := cell(t, a, r, 2)
+	df := cell(t, a, r, 3)
+	if disk < 4*df {
+		t.Fatalf("insert at 70%%: disk=%v df=%v, expected >=4x gap", disk, df)
+	}
+	if micro < 2*df {
+		t.Fatalf("micro-indexing should also be slow on updates: micro=%v df=%v", micro, df)
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	tabs, err := Run("fig14", quickParams(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tabs[0]
+	for r := range a.Rows {
+		if cell(t, a, r, 1) <= cell(t, a, r, 3) {
+			t.Fatalf("delete row %d: disk-optimized not slower than disk-first", r)
+		}
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	tabs, err := Run("fig15", quickParams(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	dfSpeedup := cell(t, tab, 1, 2)
+	cfSpeedup := cell(t, tab, 2, 2)
+	if dfSpeedup < 1.5 || cfSpeedup < 1.5 {
+		t.Fatalf("scan speedups too small: df=%v cf=%v (paper: 4.2 / 3.5)", dfSpeedup, cfSpeedup)
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	tabs, err := Run("fig16", quickParams(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tabs[0]
+	for r := range a.Rows {
+		df := cell(t, a, r, 1)
+		cf := cell(t, a, r, 2)
+		if df < -1 || df > 20 {
+			t.Fatalf("disk-first bulkload overhead %v%% implausible", df)
+		}
+		if cf < -1 || cf > 20 {
+			t.Fatalf("cache-first bulkload overhead %v%% implausible", cf)
+		}
+	}
+	b := tabs[1]
+	for r := range b.Rows {
+		if cf := cell(t, b, r, 2); cf > 80 {
+			t.Fatalf("mature cache-first overhead %v%% runaway", cf)
+		}
+	}
+}
+
+func TestFig17Shape(t *testing.T) {
+	tabs, err := Run("fig17", quickParams(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tabs[0]
+	for r := range a.Rows {
+		disk := cell(t, a, r, 1)
+		df := cell(t, a, r, 2)
+		if df > disk*1.10 {
+			t.Fatalf("disk-first search I/O %v vs %v: should be within ~3%%", df, disk)
+		}
+		rel := cell(t, a, r, 4)
+		if rel > 1.6 {
+			t.Fatalf("cache-first search I/O blowup %vx", rel)
+		}
+	}
+}
+
+func TestFig18Shape(t *testing.T) {
+	tabs, err := Run("fig18", quickParams(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tabs[0]
+	last := a.Rows[len(a.Rows)-1]
+	sp, _ := strconv.ParseFloat(last[3], 64)
+	if sp < 3 {
+		t.Fatalf("large-range scan speedup %v, want >3 on 10 disks", sp)
+	}
+	small, _ := strconv.ParseFloat(a.Rows[0][3], 64)
+	if small > 2 {
+		t.Fatalf("tiny ranges should be nearly indistinguishable, got %vx", small)
+	}
+	b := tabs[1]
+	first, _ := strconv.ParseFloat(b.Rows[0][2], 64)
+	lastT, _ := strconv.ParseFloat(b.Rows[len(b.Rows)-1][2], 64)
+	if lastT >= first {
+		t.Fatalf("fp scan should get faster with more disks: %v -> %v", first, lastT)
+	}
+}
+
+func TestFig19Shape(t *testing.T) {
+	tabs, err := Run("fig19", quickParams(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tabs[0]
+	firstPf := cell(t, a, 0, 2)
+	lastPf := cell(t, a, len(a.Rows)-1, 2)
+	np := cell(t, a, 0, 1)
+	mem := cell(t, a, 0, 3)
+	if lastPf >= firstPf {
+		t.Fatalf("more prefetchers should help: %v -> %v", firstPf, lastPf)
+	}
+	if np/lastPf < 2 {
+		t.Fatalf("prefetch speedup %v, paper reports 2.5-5x", np/lastPf)
+	}
+	if lastPf > mem*2.5 {
+		t.Fatalf("prefetch should approach the in-memory bound: %v vs %v", lastPf, mem)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	tabs, err := Run("ablation", quickParams(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 5 {
+		t.Fatalf("ablation panels = %d", len(tabs))
+	}
+	// Overshoot ablation: the naive window must prefetch more pages.
+	ov := tabs[2]
+	paperPf, _ := strconv.ParseFloat(ov.Rows[0][1], 64)
+	naivePf, _ := strconv.ParseFloat(ov.Rows[1][1], 64)
+	if naivePf <= paperPf {
+		t.Fatalf("naive windowing should overshoot: %v vs %v pages", naivePf, paperPf)
+	}
+	// Window sensitivity: wide window faster than window=1.
+	win := tabs[4]
+	w1, _ := strconv.ParseFloat(win.Rows[0][1], 64)
+	wN, _ := strconv.ParseFloat(win.Rows[len(win.Rows)-1][1], 64)
+	if wN >= w1 {
+		t.Fatalf("wider prefetch window should be faster: %v -> %v", w1, wN)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	tabs, err := Run("fig11", quickParams(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 3 {
+		t.Fatalf("fig11 panels = %d, want 3", len(tabs))
+	}
+	// In every panel, the paper-selected width must be within 15% of
+	// the best width at the largest tree size (paper: within 2-5%).
+	selected := map[int]int{0: 3, 1: 4, 2: 4} // column index of the selected width
+	for pi, tab := range tabs {
+		row := tab.Rows[len(tab.Rows)-1]
+		best := 1e18
+		for c := 1; c < len(row); c++ {
+			if v := cell(t, tab, len(tab.Rows)-1, c); v < best {
+				best = v
+			}
+		}
+		sel := cell(t, tab, len(tab.Rows)-1, selected[pi])
+		if sel > best*1.15 {
+			t.Fatalf("panel %d (%s): selected width %.2f vs best %.2f", pi, tab.Title, sel, best)
+		}
+	}
+}
+
+func TestSec21Shape(t *testing.T) {
+	tabs, err := Run("sec21", quickParams(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Multipage nodes must not make latency worse...
+	lat1 := cell(t, tab, 0, 2)
+	lat4 := cell(t, tab, 2, 2)
+	if lat4 > lat1*1.05 {
+		t.Fatalf("4-page nodes should not raise single-search latency: %v vs %v", lat4, lat1)
+	}
+	// ...but must cost OLTP throughput (the paper's point).
+	thr1 := cell(t, tab, 0, 3)
+	thr4 := cell(t, tab, 2, 3)
+	if thr4 >= thr1*0.8 {
+		t.Fatalf("4-page nodes should hurt throughput: %v vs %v searches/s", thr4, thr1)
+	}
+}

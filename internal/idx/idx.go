@@ -1,0 +1,110 @@
+// Package idx defines the shared vocabulary of the fpB+-Tree library:
+// key, page and tuple identifier types, index entries, and the Index
+// interface that every tree implementation (disk-optimized B+-Tree,
+// micro-indexing, disk-first fpB+-Tree, cache-first fpB+-Tree) satisfies.
+//
+// Following the paper (§4.1), keys, page IDs and tuple IDs are all
+// 4 bytes wide, and in-page offsets are 2 bytes.
+package idx
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Key is a fixed-size 4-byte index key.
+type Key = uint32
+
+// PageID identifies a disk page. Zero is reserved as the nil page.
+type PageID = uint32
+
+// TupleID identifies a tuple in the (unmaterialized) base relation.
+type TupleID = uint32
+
+// NilPage is the reserved invalid page ID.
+const NilPage PageID = 0
+
+// Sizes of the on-page encodings, in bytes.
+const (
+	KeySize     = 4
+	PageIDSize  = 4
+	TupleIDSize = 4
+	OffsetSize  = 2
+)
+
+// Entry is a key together with the tuple it indexes.
+type Entry struct {
+	Key Key
+	TID TupleID
+}
+
+// Index is the common interface of all four evaluated index structures.
+//
+// All methods that touch pages may perform (simulated) I/O through the
+// buffer pool and charge (simulated) cache traffic to the memory model
+// the tree was constructed with.
+type Index interface {
+	// Name identifies the structure in experiment output.
+	Name() string
+
+	// Bulkload builds the index from entries sorted by ascending key,
+	// filling nodes to the given factor in (0, 1]. It replaces any
+	// previous contents.
+	Bulkload(entries []Entry, fill float64) error
+
+	// Search returns the tuple ID for key, and whether it was found.
+	Search(key Key) (TupleID, bool, error)
+
+	// Insert adds an entry. Duplicate keys are permitted; the paper's
+	// workloads use unique keys.
+	Insert(key Key, tid TupleID) error
+
+	// Delete removes one entry with the given key (lazy deletion:
+	// underflowed nodes are not merged, per §3.1.2/§4.2.3).
+	Delete(key Key) (bool, error)
+
+	// RangeScan visits all entries with startKey <= key <= endKey in
+	// ascending key order, calling fn for each; if fn returns false the
+	// scan stops early. It returns the number of entries visited.
+	RangeScan(startKey, endKey Key, fn func(Key, TupleID) bool) (int, error)
+
+	// RangeScanReverse visits the same entries in descending key
+	// order (DB2's index structures support reverse scans, §4.3.3;
+	// sibling links are maintained in both directions).
+	RangeScanReverse(startKey, endKey Key, fn func(Key, TupleID) bool) (int, error)
+
+	// Height reports the number of page levels in the tree.
+	Height() int
+
+	// PageCount reports the number of pages the index occupies
+	// (the numerator of the paper's space-overhead metric, Figure 16).
+	PageCount() int
+
+	// CheckInvariants validates structural invariants (ordering,
+	// fan-out bounds, sibling links, reachability) and returns a
+	// descriptive error on the first violation.
+	CheckInvariants() error
+}
+
+// SortEntries sorts entries ascending by key (stable on TID for equal keys).
+func SortEntries(entries []Entry) {
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+}
+
+// ValidateSorted returns an error unless entries are in ascending key order.
+func ValidateSorted(entries []Entry) error {
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Key < entries[i-1].Key {
+			return fmt.Errorf("entries out of order at %d: %d < %d", i, entries[i].Key, entries[i-1].Key)
+		}
+	}
+	return nil
+}
+
+// CheckFill validates a bulkload fill factor.
+func CheckFill(fill float64) error {
+	if fill <= 0 || fill > 1 {
+		return fmt.Errorf("bulkload fill factor %v out of range (0, 1]", fill)
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package idx
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSortEntries(t *testing.T) {
+	es := []Entry{{5, 50}, {1, 10}, {3, 30}, {1, 11}}
+	SortEntries(es)
+	if err := ValidateSorted(es); err != nil {
+		t.Fatal(err)
+	}
+	// Stability: equal keys keep their relative order.
+	if es[0].TID != 10 || es[1].TID != 11 {
+		t.Fatalf("sort not stable: %+v", es)
+	}
+}
+
+func TestValidateSorted(t *testing.T) {
+	if err := ValidateSorted(nil); err != nil {
+		t.Fatal("nil should validate")
+	}
+	if err := ValidateSorted([]Entry{{2, 0}, {2, 1}, {3, 0}}); err != nil {
+		t.Fatal("duplicates are allowed")
+	}
+	if err := ValidateSorted([]Entry{{3, 0}, {2, 0}}); err == nil {
+		t.Fatal("descending should fail")
+	}
+}
+
+func TestCheckFill(t *testing.T) {
+	for _, f := range []float64{0.01, 0.6, 1.0} {
+		if err := CheckFill(f); err != nil {
+			t.Fatalf("fill %v rejected: %v", f, err)
+		}
+	}
+	for _, f := range []float64{0, -1, 1.01} {
+		if err := CheckFill(f); err == nil {
+			t.Fatalf("fill %v accepted", f)
+		}
+	}
+}
+
+func TestSortEntriesRandom(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		es := make([]Entry, n)
+		for i := range es {
+			es[i] = Entry{Key: uint32(rng.Intn(50)), TID: uint32(i)}
+		}
+		SortEntries(es)
+		return ValidateSorted(es) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeConstants(t *testing.T) {
+	// §4.1: 4-byte keys, page IDs, tuple IDs; 2-byte in-page offsets.
+	if KeySize != 4 || PageIDSize != 4 || TupleIDSize != 4 || OffsetSize != 2 {
+		t.Fatal("encoding widths diverge from the paper")
+	}
+	if NilPage != 0 {
+		t.Fatal("nil page must be zero")
+	}
+}

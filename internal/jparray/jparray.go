@@ -1,0 +1,202 @@
+// Package jparray implements the external jump-pointer array of the
+// pB+-Tree paper, used by cache-first fpB+-Trees for range-scan I/O
+// prefetching (§3.3): a chunked linked list of leaf page IDs kept in
+// key order, with position hints so a page can locate (and split) its
+// chunk in O(chunk) time. Chunks are left half-empty on split so
+// insertions rarely cascade.
+package jparray
+
+import "fmt"
+
+// chunkCap is the number of page IDs per chunk.
+const chunkCap = 64
+
+type chunk struct {
+	ids  []uint32
+	next *chunk
+	prev *chunk
+}
+
+// Array is a jump-pointer array over page IDs. The zero value is not
+// usable; construct with New.
+type Array struct {
+	head, tail *chunk
+	pos        map[uint32]*chunk // hint: page ID -> its chunk
+	n          int
+}
+
+// New creates an empty array.
+func New() *Array {
+	return &Array{pos: make(map[uint32]*chunk)}
+}
+
+// Len reports the number of page IDs stored.
+func (a *Array) Len() int { return a.n }
+
+// Chunks reports the number of chunks (space accounting).
+func (a *Array) Chunks() int {
+	c, n := a.head, 0
+	for c != nil {
+		n++
+		c = c.next
+	}
+	return n
+}
+
+// Append adds pid at the end (bulkload path).
+func (a *Array) Append(pid uint32) {
+	if a.tail == nil || len(a.tail.ids) >= chunkCap {
+		c := &chunk{ids: make([]uint32, 0, chunkCap), prev: a.tail}
+		if a.tail != nil {
+			a.tail.next = c
+		} else {
+			a.head = c
+		}
+		a.tail = c
+	}
+	a.tail.ids = append(a.tail.ids, pid)
+	a.pos[pid] = a.tail
+	a.n++
+}
+
+// InsertAfter places newPID immediately after afterPID (leaf page
+// split). It splits full chunks in half, as the pB+-Tree paper
+// prescribes, so steady-state insertion cost stays O(chunkCap).
+func (a *Array) InsertAfter(afterPID, newPID uint32) error {
+	c, ok := a.pos[afterPID]
+	if !ok {
+		return fmt.Errorf("jparray: page %d not present", afterPID)
+	}
+	i := indexOf(c.ids, afterPID)
+	if i < 0 {
+		return fmt.Errorf("jparray: stale hint for page %d", afterPID)
+	}
+	if len(c.ids) >= chunkCap {
+		// Split the chunk in half.
+		mid := len(c.ids) / 2
+		nc := &chunk{ids: make([]uint32, 0, chunkCap), next: c.next, prev: c}
+		nc.ids = append(nc.ids, c.ids[mid:]...)
+		c.ids = c.ids[:mid]
+		if nc.next != nil {
+			nc.next.prev = nc
+		} else {
+			a.tail = nc
+		}
+		c.next = nc
+		for _, id := range nc.ids {
+			a.pos[id] = nc
+		}
+		if i >= mid {
+			c = nc
+			i -= mid
+		}
+	}
+	c.ids = append(c.ids, 0)
+	copy(c.ids[i+2:], c.ids[i+1:])
+	c.ids[i+1] = newPID
+	a.pos[newPID] = c
+	a.n++
+	return nil
+}
+
+// Remove deletes pid (page deallocation).
+func (a *Array) Remove(pid uint32) error {
+	c, ok := a.pos[pid]
+	if !ok {
+		return fmt.Errorf("jparray: page %d not present", pid)
+	}
+	i := indexOf(c.ids, pid)
+	if i < 0 {
+		return fmt.Errorf("jparray: stale hint for page %d", pid)
+	}
+	c.ids = append(c.ids[:i], c.ids[i+1:]...)
+	delete(a.pos, pid)
+	a.n--
+	if len(c.ids) == 0 {
+		if c.prev != nil {
+			c.prev.next = c.next
+		} else {
+			a.head = c.next
+		}
+		if c.next != nil {
+			c.next.prev = c.prev
+		} else {
+			a.tail = c.prev
+		}
+	}
+	return nil
+}
+
+// Contains reports whether pid is present.
+func (a *Array) Contains(pid uint32) bool {
+	_, ok := a.pos[pid]
+	return ok
+}
+
+// Iterate calls fn for each page ID starting at startPID (inclusive),
+// in order, until fn returns false or the array ends. It returns an
+// error if startPID is absent.
+func (a *Array) Iterate(startPID uint32, fn func(pid uint32) bool) error {
+	c, ok := a.pos[startPID]
+	if !ok {
+		return fmt.Errorf("jparray: page %d not present", startPID)
+	}
+	i := indexOf(c.ids, startPID)
+	for c != nil {
+		for ; i < len(c.ids); i++ {
+			if !fn(c.ids[i]) {
+				return nil
+			}
+		}
+		c = c.next
+		i = 0
+	}
+	return nil
+}
+
+// IterateReverse calls fn for each page ID starting at startPID
+// (inclusive) going backwards, until fn returns false or the array's
+// beginning. It returns an error if startPID is absent.
+func (a *Array) IterateReverse(startPID uint32, fn func(pid uint32) bool) error {
+	c, ok := a.pos[startPID]
+	if !ok {
+		return fmt.Errorf("jparray: page %d not present", startPID)
+	}
+	i := indexOf(c.ids, startPID)
+	for c != nil {
+		for ; i >= 0; i-- {
+			if !fn(c.ids[i]) {
+				return nil
+			}
+		}
+		c = c.prev
+		if c != nil {
+			i = len(c.ids) - 1
+		}
+	}
+	return nil
+}
+
+// All returns every page ID in order (testing and invariant checks).
+func (a *Array) All() []uint32 {
+	out := make([]uint32, 0, a.n)
+	for c := a.head; c != nil; c = c.next {
+		out = append(out, c.ids...)
+	}
+	return out
+}
+
+// Reset empties the array.
+func (a *Array) Reset() {
+	a.head, a.tail, a.n = nil, nil, 0
+	a.pos = make(map[uint32]*chunk)
+}
+
+func indexOf(ids []uint32, pid uint32) int {
+	for i, id := range ids {
+		if id == pid {
+			return i
+		}
+	}
+	return -1
+}

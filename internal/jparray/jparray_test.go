@@ -1,0 +1,198 @@
+package jparray
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendAndAll(t *testing.T) {
+	a := New()
+	for i := uint32(1); i <= 200; i++ {
+		a.Append(i)
+	}
+	ids := a.All()
+	if len(ids) != 200 || a.Len() != 200 {
+		t.Fatalf("len = %d/%d", len(ids), a.Len())
+	}
+	for i, id := range ids {
+		if id != uint32(i+1) {
+			t.Fatalf("order broken at %d: %d", i, id)
+		}
+	}
+	if a.Chunks() < 200/chunkCap {
+		t.Fatalf("chunks = %d", a.Chunks())
+	}
+}
+
+func TestInsertAfter(t *testing.T) {
+	a := New()
+	for i := uint32(1); i <= 100; i++ {
+		a.Append(i * 10)
+	}
+	if err := a.InsertAfter(500, 505); err != nil {
+		t.Fatal(err)
+	}
+	ids := a.All()
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatalf("order broken: %d after %d", ids[i], ids[i-1])
+		}
+	}
+	if !a.Contains(505) {
+		t.Fatal("inserted id missing")
+	}
+	if err := a.InsertAfter(9999, 1); err == nil {
+		t.Fatal("insert after absent id should fail")
+	}
+}
+
+func TestInsertAfterSplitsFullChunks(t *testing.T) {
+	a := New()
+	for i := uint32(0); i < chunkCap; i++ {
+		a.Append(i*10 + 10)
+	}
+	before := a.Chunks()
+	if err := a.InsertAfter(10, 15); err != nil {
+		t.Fatal(err)
+	}
+	if a.Chunks() != before+1 {
+		t.Fatalf("full chunk should split: %d -> %d chunks", before, a.Chunks())
+	}
+	ids := a.All()
+	if len(ids) != chunkCap+1 {
+		t.Fatalf("len = %d", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatalf("order broken at %d", i)
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	a := New()
+	for i := uint32(1); i <= 10; i++ {
+		a.Append(i)
+	}
+	if err := a.Remove(5); err != nil {
+		t.Fatal(err)
+	}
+	if a.Contains(5) || a.Len() != 9 {
+		t.Fatal("remove failed")
+	}
+	if err := a.Remove(5); err == nil {
+		t.Fatal("double remove should fail")
+	}
+	for i := uint32(1); i <= 10; i++ {
+		if i != 5 {
+			if err := a.Remove(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if a.Len() != 0 || a.Chunks() != 0 {
+		t.Fatalf("empty array has %d ids, %d chunks", a.Len(), a.Chunks())
+	}
+}
+
+func TestIterate(t *testing.T) {
+	a := New()
+	for i := uint32(1); i <= 300; i++ {
+		a.Append(i)
+	}
+	var got []uint32
+	err := a.Iterate(150, func(pid uint32) bool {
+		got = append(got, pid)
+		return len(got) < 20
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 20 || got[0] != 150 || got[19] != 169 {
+		t.Fatalf("iterate window wrong: %v", got)
+	}
+	if err := a.Iterate(999, func(uint32) bool { return true }); err == nil {
+		t.Fatal("iterate from absent id should fail")
+	}
+}
+
+// TestMatchesReferenceSlice drives the array against a plain slice with
+// random ordered inserts and removals.
+func TestMatchesReferenceSlice(t *testing.T) {
+	f := func(seed int64, opCount uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New()
+		var ref []uint32
+		next := uint32(1)
+		a.Append(next)
+		ref = append(ref, next)
+		next++
+		for op := 0; op < int(opCount)+20; op++ {
+			switch {
+			case len(ref) > 0 && rng.Intn(4) == 0:
+				i := rng.Intn(len(ref))
+				if err := a.Remove(ref[i]); err != nil {
+					return false
+				}
+				ref = append(ref[:i], ref[i+1:]...)
+			case len(ref) > 0:
+				i := rng.Intn(len(ref))
+				if err := a.InsertAfter(ref[i], next); err != nil {
+					return false
+				}
+				tail := append([]uint32{next}, ref[i+1:]...)
+				ref = append(ref[:i+1:i+1], tail...)
+				next++
+			default:
+				a.Append(next)
+				ref = append(ref, next)
+				next++
+			}
+		}
+		got := a.All()
+		if len(got) != len(ref) {
+			return false
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIterateReverse(t *testing.T) {
+	a := New()
+	for i := uint32(1); i <= 300; i++ {
+		a.Append(i)
+	}
+	var got []uint32
+	if err := a.IterateReverse(150, func(pid uint32) bool {
+		got = append(got, pid)
+		return len(got) < 20
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 20 || got[0] != 150 || got[19] != 131 {
+		t.Fatalf("reverse window wrong: %v", got)
+	}
+	// Full reverse from the tail crosses chunk boundaries.
+	got = got[:0]
+	if err := a.IterateReverse(300, func(pid uint32) bool {
+		got = append(got, pid)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 300 || got[0] != 300 || got[299] != 1 {
+		t.Fatalf("full reverse wrong: len=%d", len(got))
+	}
+	if err := a.IterateReverse(999, func(uint32) bool { return true }); err == nil {
+		t.Fatal("reverse from absent id should fail")
+	}
+}

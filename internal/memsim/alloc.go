@@ -1,0 +1,42 @@
+package memsim
+
+// AddressSpace assigns simulated addresses. Disk pages live in a flat
+// region addressed by page ID (mirroring a buffer pool whose frames are
+// contiguous), and memory-resident structures (pB+-Tree nodes, external
+// jump-pointer array chunks) are bump-allocated from a separate heap
+// region, cache-line aligned.
+type AddressSpace struct {
+	pageSize uint64
+	heapNext Addr
+}
+
+// heapBase places the memory-resident heap far above any page address.
+const heapBase Addr = 1 << 44
+
+// NewAddressSpace creates an address space for pages of the given size.
+func NewAddressSpace(pageSize int) *AddressSpace {
+	if pageSize <= 0 || pageSize%LineSize != 0 {
+		panic("memsim: page size must be a positive multiple of the line size")
+	}
+	return &AddressSpace{pageSize: uint64(pageSize), heapNext: heapBase}
+}
+
+// PageAddr returns the base address of page pid.
+func (a *AddressSpace) PageAddr(pid uint32) Addr {
+	return uint64(pid) * a.pageSize
+}
+
+// PageSize returns the page size this space was built for.
+func (a *AddressSpace) PageSize() int { return int(a.pageSize) }
+
+// Alloc returns a cache-line-aligned simulated address for a
+// memory-resident object of the given size.
+func (a *AddressSpace) Alloc(size int) Addr {
+	if size <= 0 {
+		size = 1
+	}
+	addr := a.heapNext
+	sz := (uint64(size) + LineSize - 1) &^ uint64(LineSize-1)
+	a.heapNext += sz
+	return addr
+}

@@ -1,0 +1,74 @@
+package memsim
+
+// cache is a set-associative cache keyed by cache-line address. Each
+// resident line carries a ready cycle: lines fetched by a prefetch are
+// installed immediately but are not usable until ready, modeling an
+// in-flight fill.
+type cache struct {
+	setMask  uint64
+	assoc    int
+	tags     []uint64 // sets * assoc; 0 means empty
+	ready    []uint64
+	lastUsed []uint64 // for LRU within a set
+	tick     uint64
+}
+
+// newCache builds a cache of the given total size and associativity over
+// LineSize-byte lines. size must be a power of two multiple of
+// LineSize*assoc.
+func newCache(size, assoc int) *cache {
+	sets := size / (LineSize * assoc)
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("memsim: cache set count must be a positive power of two")
+	}
+	return &cache{
+		setMask:  uint64(sets - 1),
+		assoc:    assoc,
+		tags:     make([]uint64, sets*assoc),
+		ready:    make([]uint64, sets*assoc),
+		lastUsed: make([]uint64, sets*assoc),
+	}
+}
+
+// lookup returns the slot index of line if resident, else -1.
+// line is a cache-line address (byte address >> lineShift).
+func (c *cache) lookup(line uint64) int {
+	base := int(line&c.setMask) * c.assoc
+	tag := line + 1 // +1 so that 0 can mean "empty"
+	for i := 0; i < c.assoc; i++ {
+		if c.tags[base+i] == tag {
+			c.tick++
+			c.lastUsed[base+i] = c.tick
+			return base + i
+		}
+	}
+	return -1
+}
+
+// insert installs line with the given ready cycle, evicting the
+// least-recently-used slot in its set, and returns the slot index.
+func (c *cache) insert(line, ready uint64) int {
+	base := int(line&c.setMask) * c.assoc
+	victim := base
+	for i := 1; i < c.assoc; i++ {
+		if c.lastUsed[base+i] < c.lastUsed[victim] {
+			victim = base + i
+		}
+	}
+	c.tick++
+	c.tags[victim] = line + 1
+	c.ready[victim] = ready
+	c.lastUsed[victim] = c.tick
+	return victim
+}
+
+// invalidateAll empties the cache (used to model a cold cache between
+// experiment phases, as the paper clears caches before measurements).
+func (c *cache) invalidateAll() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.ready[i] = 0
+		c.lastUsed[i] = 0
+	}
+	c.tick = 0
+}

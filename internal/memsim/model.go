@@ -1,0 +1,273 @@
+// Package memsim provides a deterministic simulation of the memory
+// hierarchy used in the paper's cache-performance experiments (Table 1):
+// a 1 GHz processor with a 64 KB 2-way L1 data cache, a 2 MB
+// direct-mapped unified L2, 64-byte cache lines, a 150-cycle full miss
+// latency (T1), a 15-cycle L2 hit latency, and memory bandwidth of one
+// access per 10 cycles — which also yields the 10-cycle pipelined-miss
+// latency (Tnext) that prefetching exploits.
+//
+// Index structures run against *simulated addresses* (assigned by an
+// AddressSpace) rather than real pointers: Go exposes no prefetch
+// intrinsics and the runtime controls object layout, so hardware
+// counters cannot reproduce the paper's controlled experiments. Every
+// tree reports the lines it touches (Access), the lines it prefetches
+// (Prefetch), the bytes it shifts during array movement (Copy), and its
+// computation (Busy/Other); the model converts those into a cycle count
+// broken down as in Figure 3(b) into busy time, data-cache stalls, and
+// other stalls.
+package memsim
+
+import "fmt"
+
+// LineSize is the cache line (and prefetch) granularity in bytes.
+const LineSize = 64
+
+const lineShift = 6
+
+// Addr is a simulated byte address.
+type Addr = uint64
+
+// Config holds the memory-hierarchy parameters of Table 1.
+type Config struct {
+	L1Size  int // bytes
+	L1Assoc int
+	L2Size  int // bytes
+	L2Assoc int
+
+	L2HitLatency uint64 // cycles, L1 miss that hits in L2
+	MemLatency   uint64 // T1: cycles for a full miss to memory
+	MemPipeline  uint64 // Tnext: cycles between pipelined memory accesses
+}
+
+// DefaultConfig returns the Table 1 parameters.
+func DefaultConfig() Config {
+	return Config{
+		L1Size:       64 << 10,
+		L1Assoc:      2,
+		L2Size:       2 << 20,
+		L2Assoc:      1,
+		L2HitLatency: 15,
+		MemLatency:   150,
+		MemPipeline:  10,
+	}
+}
+
+// Costs of modeled computation, in cycles. These calibrate the "busy"
+// and "other stall" components of the Figure 3(b) breakdown; the cache
+// component is produced by the hierarchy model itself.
+const (
+	// CostCompare is charged per key comparison (compare + branch +
+	// index arithmetic in a binary or sequential search).
+	CostCompare = 4
+	// CostComparePenalty approximates branch-misprediction and other
+	// pipeline stalls per comparison ("other stalls").
+	CostComparePenalty = 3
+	// CostNodeVisit is the per-node bookkeeping overhead (bounds setup,
+	// issuing prefetches, child dereference).
+	CostNodeVisit = 24
+	// CostBufferFix models the buffer-pool fix/unfix instruction
+	// overhead per page access of a disk-resident tree (footnote 4).
+	CostBufferFix = 350
+	// CostPerLineCopied is the instruction overhead per cache line of
+	// data movement (the memory traffic itself is charged via Copy).
+	CostPerLineCopied = 6
+	// CostEntryVisit is charged per entry consumed by a range scan.
+	CostEntryVisit = 2
+)
+
+// Stats is a snapshot of the model's counters.
+type Stats struct {
+	Cycles     uint64 // total simulated cycles
+	Busy       uint64
+	DataStall  uint64
+	OtherStall uint64
+
+	Accesses   uint64 // line accesses
+	L1Hits     uint64
+	L2Hits     uint64
+	MemFetches uint64 // demand fetches from memory
+	Prefetches uint64 // prefetch fetches issued to memory
+}
+
+// Sub returns the counter deltas s − t.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		Cycles:     s.Cycles - t.Cycles,
+		Busy:       s.Busy - t.Busy,
+		DataStall:  s.DataStall - t.DataStall,
+		OtherStall: s.OtherStall - t.OtherStall,
+		Accesses:   s.Accesses - t.Accesses,
+		L1Hits:     s.L1Hits - t.L1Hits,
+		L2Hits:     s.L2Hits - t.L2Hits,
+		MemFetches: s.MemFetches - t.MemFetches,
+		Prefetches: s.Prefetches - t.Prefetches,
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("cycles=%d (busy=%d dstall=%d ostall=%d) acc=%d l1hit=%d l2hit=%d mem=%d pf=%d",
+		s.Cycles, s.Busy, s.DataStall, s.OtherStall, s.Accesses, s.L1Hits, s.L2Hits, s.MemFetches, s.Prefetches)
+}
+
+// Model simulates the memory hierarchy and accumulates a cycle count.
+// The zero value is not usable; construct with New.
+type Model struct {
+	cfg Config
+	l1  *cache
+	l2  *cache
+
+	now     uint64 // current simulated cycle
+	memFree uint64 // earliest cycle the memory system can issue the next fetch
+
+	stats Stats
+}
+
+// New constructs a model with the given configuration.
+func New(cfg Config) *Model {
+	return &Model{
+		cfg: cfg,
+		l1:  newCache(cfg.L1Size, cfg.L1Assoc),
+		l2:  newCache(cfg.L2Size, cfg.L2Assoc),
+	}
+}
+
+// NewDefault constructs a model with the Table 1 configuration.
+func NewDefault() *Model { return New(DefaultConfig()) }
+
+// Stats returns a snapshot of the accumulated counters.
+func (m *Model) Stats() Stats {
+	s := m.stats
+	s.Cycles = m.now
+	return s
+}
+
+// Now returns the current simulated cycle.
+func (m *Model) Now() uint64 { return m.now }
+
+// ColdCaches invalidates both cache levels, modeling the paper's
+// "all caches are cleared before the first search".
+func (m *Model) ColdCaches() {
+	m.l1.invalidateAll()
+	m.l2.invalidateAll()
+}
+
+// Busy advances the clock by c cycles of computation.
+func (m *Model) Busy(c uint64) {
+	m.now += c
+	m.stats.Busy += c
+}
+
+// Other advances the clock by c cycles of non-data-cache stall
+// (branch mispredictions, resource stalls).
+func (m *Model) Other(c uint64) {
+	m.now += c
+	m.stats.OtherStall += c
+}
+
+// issueFetch schedules one line fetch from memory respecting the memory
+// bandwidth (one access per MemPipeline cycles) and returns the cycle at
+// which the line becomes usable.
+func (m *Model) issueFetch() uint64 {
+	issue := m.now
+	if m.memFree > issue {
+		issue = m.memFree
+	}
+	m.memFree = issue + m.cfg.MemPipeline
+	return issue + m.cfg.MemLatency
+}
+
+// touchLine performs one demand access to the line containing addr,
+// stalling the clock as dictated by the hierarchy.
+func (m *Model) touchLine(line uint64) {
+	m.stats.Accesses++
+	start := m.now
+	if slot := m.l1.lookup(line); slot >= 0 {
+		if r := m.l1.ready[slot]; r > m.now {
+			m.now = r // in-flight prefetch: wait for the fill
+		}
+		m.stats.L1Hits++
+		m.stats.DataStall += m.now - start
+		return
+	}
+	if slot := m.l2.lookup(line); slot >= 0 {
+		if r := m.l2.ready[slot]; r > m.now {
+			m.now = r
+		}
+		m.now += m.cfg.L2HitLatency
+		m.l1.insert(line, m.now)
+		m.stats.L2Hits++
+		m.stats.DataStall += m.now - start
+		return
+	}
+	ready := m.issueFetch()
+	m.l2.insert(line, ready)
+	m.l1.insert(line, ready)
+	m.now = ready
+	m.stats.MemFetches++
+	m.stats.DataStall += m.now - start
+}
+
+// Access performs demand reads of the size bytes starting at addr,
+// line by line. Each missing line pays the full (unoverlapped) miss
+// latency: demand accesses are dependent.
+func (m *Model) Access(addr Addr, size int) {
+	if size <= 0 {
+		return
+	}
+	first := addr >> lineShift
+	last := (addr + uint64(size) - 1) >> lineShift
+	for line := first; line <= last; line++ {
+		m.touchLine(line)
+	}
+}
+
+// Prefetch issues non-binding prefetches for the size bytes starting at
+// addr. Prefetched lines are installed in both cache levels with a ready
+// time that respects memory bandwidth; a later Access waits only for the
+// remaining fill latency. Issuing a prefetch does not advance the clock
+// (the issue overhead is part of CostNodeVisit).
+func (m *Model) Prefetch(addr Addr, size int) {
+	if size <= 0 {
+		return
+	}
+	first := addr >> lineShift
+	last := (addr + uint64(size) - 1) >> lineShift
+	for line := first; line <= last; line++ {
+		if m.l1.lookup(line) >= 0 || m.l2.lookup(line) >= 0 {
+			continue
+		}
+		ready := m.issueFetch()
+		m.l2.insert(line, ready)
+		m.l1.insert(line, ready)
+		m.stats.Prefetches++
+	}
+}
+
+// Copy models shifting size bytes within or between arrays (the data
+// movement of inserting into / deleting from a sorted array). The shift
+// distance in such moves is one entry, so the source and destination
+// occupy essentially the same cache lines: the model charges one demand
+// access per line of the source region plus CostPerLineCopied busy
+// cycles per line. Demand misses are serialized, which matches the
+// latency-dominated movement cost observed in the paper (§4.2.2).
+func (m *Model) Copy(addr Addr, size int) {
+	if size <= 0 {
+		return
+	}
+	lines := (int(addr%LineSize) + size + LineSize - 1) / LineSize
+	m.Busy(uint64(lines) * CostPerLineCopied)
+	m.Access(addr, size)
+}
+
+// CopyBetween models copying size bytes from src to dst where the two
+// regions are distinct (e.g. moving half of a page to a freshly
+// allocated page during a split). Both regions are touched.
+func (m *Model) CopyBetween(dst, src Addr, size int) {
+	if size <= 0 {
+		return
+	}
+	lines := (size + LineSize - 1) / LineSize
+	m.Busy(uint64(lines) * CostPerLineCopied)
+	m.Access(src, size)
+	m.Access(dst, size)
+}

@@ -1,0 +1,274 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfigMatchesTable1(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.MemLatency != 150 || cfg.MemPipeline != 10 || cfg.L2HitLatency != 15 {
+		t.Fatalf("latencies diverge from Table 1: %+v", cfg)
+	}
+	if cfg.L1Size != 64<<10 || cfg.L1Assoc != 2 || cfg.L2Size != 2<<20 || cfg.L2Assoc != 1 {
+		t.Fatalf("geometry diverges from Table 1: %+v", cfg)
+	}
+}
+
+func TestColdMissCostsT1(t *testing.T) {
+	m := NewDefault()
+	m.Access(0, 4)
+	s := m.Stats()
+	if s.Cycles != 150 {
+		t.Fatalf("cold miss cost %d cycles, want 150", s.Cycles)
+	}
+	if s.DataStall != 150 || s.MemFetches != 1 {
+		t.Fatalf("unexpected stats: %v", s)
+	}
+}
+
+func TestHitIsFree(t *testing.T) {
+	m := NewDefault()
+	m.Access(0, 4)
+	before := m.Stats()
+	m.Access(8, 4) // same line
+	if d := m.Stats().Sub(before); d.Cycles != 0 || d.L1Hits != 1 {
+		t.Fatalf("L1 hit not free: %v", d)
+	}
+}
+
+func TestPrefetchedNodeCostsT1PlusPipelined(t *testing.T) {
+	// The §3.1 formula: fetching a w-line node whose lines were all
+	// prefetched together costs T1 + (w-1)*Tnext.
+	for w := 1; w <= 8; w++ {
+		m := NewDefault()
+		m.Prefetch(0, w*LineSize)
+		m.Access(0, w*LineSize)
+		want := uint64(150 + (w-1)*10)
+		if got := m.Stats().Cycles; got != want {
+			t.Fatalf("w=%d: got %d cycles, want %d", w, got, want)
+		}
+	}
+}
+
+func TestUnprefetchedMultiLineAccessSerializes(t *testing.T) {
+	m := NewDefault()
+	m.Access(0, 4*LineSize)
+	if got := m.Stats().Cycles; got != 4*150 {
+		t.Fatalf("4 demand misses cost %d, want %d", got, 4*150)
+	}
+}
+
+func TestL2HitLatency(t *testing.T) {
+	m := NewDefault()
+	m.Access(0, 4)
+	// Evict from L1 by filling its set: L1 is 64KB 2-way -> 512 sets,
+	// so addresses 32KB apart map to the same set.
+	m.Access(32<<10, 4)
+	m.Access(64<<10, 4)
+	// Line 0 now evicted from L1 (LRU) but still in the 2MB L2.
+	before := m.Stats()
+	m.Access(0, 4)
+	d := m.Stats().Sub(before)
+	if d.Cycles != 15 || d.L2Hits != 1 {
+		t.Fatalf("expected a 15-cycle L2 hit, got %v", d)
+	}
+}
+
+func TestPrefetchOverlapsWithBusyWork(t *testing.T) {
+	m := NewDefault()
+	m.Prefetch(0, LineSize)
+	m.Busy(150)
+	before := m.Stats()
+	m.Access(0, 4)
+	if d := m.Stats().Sub(before); d.DataStall != 0 {
+		t.Fatalf("fully covered prefetch still stalled %d cycles", d.DataStall)
+	}
+}
+
+func TestPartiallyCoveredPrefetchStallsForRemainder(t *testing.T) {
+	m := NewDefault()
+	m.Prefetch(0, LineSize)
+	m.Busy(100)
+	before := m.Stats()
+	m.Access(0, 4)
+	if d := m.Stats().Sub(before); d.DataStall != 50 {
+		t.Fatalf("stall = %d, want the remaining 50 cycles", d.DataStall)
+	}
+}
+
+func TestPrefetchRespectsMemoryBandwidth(t *testing.T) {
+	m := NewDefault()
+	m.Prefetch(0, 2*LineSize)  // lines ready at 150 and 160
+	m.Prefetch(4096, LineSize) // third fetch issues at cycle 20
+	m.Busy(1)
+	m.Access(4096, 4)
+	// ready = issue(20) + 150 = 170; we accessed at cycle 1.
+	if got := m.Stats().Cycles; got != 170 {
+		t.Fatalf("clock = %d, want 170", got)
+	}
+}
+
+func TestPrefetchOfResidentLineIsNoop(t *testing.T) {
+	m := NewDefault()
+	m.Access(0, 4)
+	before := m.Stats()
+	m.Prefetch(0, LineSize)
+	if d := m.Stats().Sub(before); d.Prefetches != 0 {
+		t.Fatalf("prefetch of resident line issued a fetch")
+	}
+}
+
+func TestColdCaches(t *testing.T) {
+	m := NewDefault()
+	m.Access(0, 4)
+	m.ColdCaches()
+	before := m.Stats()
+	m.Access(0, 4)
+	if d := m.Stats().Sub(before); d.MemFetches != 1 {
+		t.Fatalf("access after ColdCaches should miss: %v", d)
+	}
+}
+
+func TestDirectMappedL2Conflicts(t *testing.T) {
+	m := NewDefault()
+	m.Access(0, 4)
+	m.Access(2<<20, 4) // same L2 set (2MB direct-mapped), different L1 set? 2MB apart -> same L1 set too; evicts line 0 from L2
+	m.Access(4<<20, 4)
+	before := m.Stats()
+	m.Access(0, 4)
+	d := m.Stats().Sub(before)
+	if d.MemFetches != 1 {
+		t.Fatalf("conflicting line should have been evicted from L2: %v", d)
+	}
+}
+
+func TestCopyChargesPerLine(t *testing.T) {
+	m := NewDefault()
+	m.Copy(0, 4*LineSize)
+	s := m.Stats()
+	if s.Busy != 4*CostPerLineCopied {
+		t.Fatalf("busy = %d, want %d", s.Busy, 4*CostPerLineCopied)
+	}
+	if s.MemFetches != 4 {
+		t.Fatalf("mem fetches = %d, want 4", s.MemFetches)
+	}
+}
+
+func TestCopyUnaligned(t *testing.T) {
+	m := NewDefault()
+	m.Copy(60, 8) // straddles two lines
+	if s := m.Stats(); s.MemFetches != 2 || s.Busy != 2*CostPerLineCopied {
+		t.Fatalf("unaligned copy stats: %v", s)
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	m := NewDefault()
+	m.Access(0, 4)
+	a := m.Stats()
+	m.Busy(7)
+	m.Other(3)
+	d := m.Stats().Sub(a)
+	if d.Busy != 7 || d.OtherStall != 3 || d.Cycles != 10 {
+		t.Fatalf("delta = %v", d)
+	}
+}
+
+func TestBreakdownComponentsSumToCycles(t *testing.T) {
+	m := NewDefault()
+	m.Prefetch(0, 8*LineSize)
+	m.Busy(40)
+	m.Access(0, 8*LineSize)
+	m.Other(5)
+	m.Copy(1<<20, 3*LineSize)
+	s := m.Stats()
+	if s.Busy+s.DataStall+s.OtherStall != s.Cycles {
+		t.Fatalf("breakdown does not sum: %v", s)
+	}
+}
+
+func TestAddressSpace(t *testing.T) {
+	as := NewAddressSpace(8192)
+	if as.PageAddr(0) != 0 || as.PageAddr(3) != 3*8192 {
+		t.Fatalf("page addresses wrong")
+	}
+	a := as.Alloc(10)
+	b := as.Alloc(100)
+	if a%LineSize != 0 || b%LineSize != 0 {
+		t.Fatalf("heap allocations not line aligned: %d %d", a, b)
+	}
+	if b <= a || b-a < LineSize {
+		t.Fatalf("allocations overlap: %d %d", a, b)
+	}
+	if a < heapBase {
+		t.Fatalf("heap allocation below heap base")
+	}
+}
+
+func TestAddressSpacePanicsOnBadPageSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for unaligned page size")
+		}
+	}()
+	NewAddressSpace(1000)
+}
+
+// TestCacheMatchesReferenceLRU cross-checks the set-associative cache
+// against a straightforward map+slice LRU reference model.
+func TestCacheMatchesReferenceLRU(t *testing.T) {
+	const size, assoc = 4096, 2
+	sets := size / (LineSize * assoc)
+
+	f := func(seq []uint16) bool {
+		c := newCache(size, assoc)
+		ref := make(map[int][]uint64) // set -> lines, MRU last
+		for _, raw := range seq {
+			line := uint64(raw % 512)
+			set := int(line) % sets
+
+			refHit := false
+			for i, l := range ref[set] {
+				if l == line {
+					ref[set] = append(append(ref[set][:i:i], ref[set][i+1:]...), line)
+					refHit = true
+					break
+				}
+			}
+			if !refHit {
+				if len(ref[set]) == assoc {
+					ref[set] = ref[set][1:]
+				}
+				ref[set] = append(ref[set], line)
+			}
+
+			hit := c.lookup(line) >= 0
+			if !hit {
+				c.insert(line, 0)
+			}
+			if hit != refHit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAccessHit(b *testing.B) {
+	m := NewDefault()
+	m.Access(0, 4)
+	for i := 0; i < b.N; i++ {
+		m.Access(0, 4)
+	}
+}
+
+func BenchmarkAccessMissStream(b *testing.B) {
+	m := NewDefault()
+	for i := 0; i < b.N; i++ {
+		m.Access(uint64(i)*LineSize*33, 4)
+	}
+}

@@ -1,0 +1,134 @@
+package microindex
+
+import (
+	"testing"
+
+	"repro/internal/idx"
+	"repro/internal/memsim"
+	"repro/internal/treetest"
+)
+
+func factory(t *testing.T, env *treetest.Env) idx.Index {
+	tr, err := New(Config{Pool: env.Pool, Model: env.Model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestConformance4K(t *testing.T)  { treetest.Run(t, 4<<10, factory) }
+func TestConformance16K(t *testing.T) { treetest.Run(t, 16<<10, factory) }
+
+func TestRejectsBadSubarray(t *testing.T) {
+	env := treetest.NewEnv(4<<10, 16)
+	if _, err := New(Config{Pool: env.Pool, Model: env.Model, SubarrayBytes: 100}); err == nil {
+		t.Fatal("accepted non-line-multiple sub-array")
+	}
+}
+
+func TestLayoutIsLineAligned(t *testing.T) {
+	env := treetest.NewEnv(16<<10, 16)
+	tr, err := New(Config{Pool: env.Pool, Model: env.Model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.keyBase%memsim.LineSize != 0 {
+		t.Fatalf("key array not line aligned: offset %d", tr.keyBase)
+	}
+	if tr.keyBase+4*tr.cap > tr.ptrBase {
+		t.Fatal("key and pointer arrays overlap")
+	}
+	if tr.ptrBase+4*tr.cap > 16<<10 {
+		t.Fatal("arrays overflow the page")
+	}
+}
+
+func TestSearchTouchesFewerLinesThanPlainBinarySearch(t *testing.T) {
+	// The micro index should confine key probes to the micro region
+	// plus one sub-array: far fewer distinct lines than a page-wide
+	// binary search (the §3 example: 10 probes -> ~7 misses vs 5).
+	env := treetest.NewEnv(16<<10, 8192)
+	tr, err := New(Config{Pool: env.Pool, Model: env.Model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := treetest.GenEntries(300000, 10, 2)
+	if err := tr.Bulkload(es, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	env.Model.ColdCaches()
+	before := env.Model.Stats()
+	if _, ok, _ := tr.Search(es[123456].Key); !ok {
+		t.Fatal("search failed")
+	}
+	d := env.Model.Stats().Sub(before)
+	if d.Prefetches == 0 {
+		t.Fatal("micro-indexing should prefetch the micro index and sub-arrays")
+	}
+	if d.MemFetches > 4 {
+		t.Fatalf("micro-indexed search demanded %d unprefetched lines", d.MemFetches)
+	}
+}
+
+func TestUpdateCostDominatedByArrayMovement(t *testing.T) {
+	// §4.2.2: micro-indexing "suffers from the same effect" as
+	// disk-optimized trees on updates. An insert into a 70%-full tree
+	// must cost far more than a search.
+	env := treetest.NewEnv(16<<10, 8192)
+	tr, err := New(Config{Pool: env.Pool, Model: env.Model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := treetest.GenEntries(200000, 10, 4)
+	if err := tr.Bulkload(es, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	const trials = 50
+	b0 := env.Model.Stats()
+	for i := 0; i < trials; i++ {
+		env.Model.ColdCaches()
+		if _, ok, _ := tr.Search(es[(i*3947)%len(es)].Key); !ok {
+			t.Fatal("search failed")
+		}
+	}
+	searchCost := env.Model.Stats().Sub(b0).Cycles / trials
+
+	b1 := env.Model.Stats()
+	for i := 0; i < trials; i++ {
+		env.Model.ColdCaches()
+		// Odd keys: never collide with the stride-4 bulkloaded keys.
+		if err := tr.Insert(uint32(i*7919)*4+101, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	insertCost := env.Model.Stats().Sub(b1).Cycles / trials
+	if insertCost < 3*searchCost {
+		t.Fatalf("insert (%d cycles) should dwarf search (%d cycles)", insertCost, searchCost)
+	}
+}
+
+func TestMicroIndexConsistencyAfterChurn(t *testing.T) {
+	env := treetest.NewEnv(4<<10, 8192)
+	tr, err := New(Config{Pool: env.Pool, Model: env.Model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := treetest.GenEntries(5000, 100, 4)
+	if err := tr.Bulkload(es, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		k := uint32(i*7%30000)*4 + 101 // odd offsets: never collide with bulkloaded keys
+		if err := tr.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			if _, err := tr.Delete(es[i%len(es)].Key); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,577 @@
+package microindex
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/idx"
+	"repro/internal/memsim"
+)
+
+// Bulkload implements idx.Index (uncharged, like the other trees).
+func (t *Tree) Bulkload(entries []idx.Entry, fill float64) error {
+	if err := idx.CheckFill(fill); err != nil {
+		return err
+	}
+	if err := idx.ValidateSorted(entries); err != nil {
+		return err
+	}
+	if err := t.freeAll(); err != nil {
+		return err
+	}
+	per := int(fill * float64(t.cap))
+	if per < 1 {
+		per = 1
+	}
+	if per > t.cap {
+		per = t.cap
+	}
+	type ref struct {
+		min idx.Key
+		pid uint32
+	}
+	fillPage := func(typ byte, lvl int, ks []idx.Key, ps []uint32, prev *buffer.Page) (*buffer.Page, error) {
+		pg, err := t.pool.NewPage()
+		if err != nil {
+			return nil, err
+		}
+		d := pg.Data
+		setType(d, typ)
+		setLevel(d, byte(lvl))
+		setCount(d, len(ks))
+		for n := range ks {
+			t.setKey(d, n, ks[n])
+			t.setPtr(d, n, ps[n])
+		}
+		for s := 0; s < t.subCount(len(ks)); s++ {
+			le.PutUint32(d[t.microOff+4*s:], ks[s*t.keysPerSub])
+		}
+		if prev != nil {
+			setNext(prev.Data, pg.ID)
+			setPrev(d, prev.ID)
+			t.pool.Unpin(prev, true)
+		}
+		return pg, nil
+	}
+
+	var level []ref
+	var prev *buffer.Page
+	if len(entries) == 0 {
+		pg, err := fillPage(pageLeaf, 0, nil, nil, nil)
+		if err != nil {
+			return err
+		}
+		t.pool.Unpin(pg, true)
+		level = append(level, ref{0, pg.ID})
+	}
+	var ks []idx.Key
+	var ps []uint32
+	for i := 0; i < len(entries); i += per {
+		j := i + per
+		if j > len(entries) {
+			j = len(entries)
+		}
+		ks, ps = ks[:0], ps[:0]
+		for _, e := range entries[i:j] {
+			ks = append(ks, e.Key)
+			ps = append(ps, e.TID)
+		}
+		pg, err := fillPage(pageLeaf, 0, ks, ps, prev)
+		if err != nil {
+			return err
+		}
+		prev = pg
+		level = append(level, ref{entries[i].Key, pg.ID})
+	}
+	if prev != nil {
+		t.pool.Unpin(prev, true)
+	}
+	t.firstLeaf = level[0].pid
+	t.height = 1
+
+	for len(level) > 1 {
+		var up []ref
+		prev = nil
+		for i := 0; i < len(level); i += per {
+			j := i + per
+			if j > len(level) {
+				j = len(level)
+			}
+			ks, ps = ks[:0], ps[:0]
+			for _, r := range level[i:j] {
+				ks = append(ks, r.min)
+				ps = append(ps, r.pid)
+			}
+			pg, err := fillPage(pageInternal, t.height, ks, ps, prev)
+			if err != nil {
+				return err
+			}
+			prev = pg
+			up = append(up, ref{level[i].min, pg.ID})
+		}
+		if prev != nil {
+			t.pool.Unpin(prev, true)
+		}
+		level = up
+		t.height++
+	}
+	t.root = level[0].pid
+	return nil
+}
+
+func (t *Tree) freeAll() error {
+	if t.root == 0 {
+		return nil
+	}
+	pid := t.root
+	for lvl := t.height - 1; lvl >= 0; lvl-- {
+		var childFirst uint32
+		cur := pid
+		for cur != 0 {
+			pg, err := t.pool.Get(cur)
+			if err != nil {
+				return err
+			}
+			next := pNext(pg.Data)
+			if lvl > 0 && childFirst == 0 && pCount(pg.Data) > 0 {
+				childFirst = t.ptr(pg.Data, 0)
+			}
+			t.pool.Unpin(pg, false)
+			if err := t.pool.FreePage(cur); err != nil {
+				return err
+			}
+			cur = next
+		}
+		pid = childFirst
+	}
+	t.root, t.height, t.firstLeaf = 0, 0, 0
+	return nil
+}
+
+// Search implements idx.Index: strictly-less descent plus a forward
+// walk over the duplicate run (see bptree.Search for the rationale).
+func (t *Tree) Search(k idx.Key) (idx.TupleID, bool, error) {
+	pg, slot, found, err := t.findFirst(k)
+	if err != nil || !found {
+		return 0, false, err
+	}
+	tid := t.readPtr(pg, slot)
+	t.pool.Unpin(pg, false)
+	return tid, true, nil
+}
+
+// findFirst locates the first entry with key == k, returning its pinned
+// page and slot, or found=false.
+func (t *Tree) findFirst(k idx.Key) (*buffer.Page, int, bool, error) {
+	if t.root == 0 {
+		return nil, 0, false, nil
+	}
+	pid := t.root
+	for lvl := t.height - 1; lvl > 0; lvl-- {
+		pg, err := t.pool.Get(pid)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		t.touchHeader(pg)
+		slot, _ := t.searchPage(pg, k, true)
+		if slot < 0 {
+			slot = 0
+		}
+		child := t.readPtr(pg, slot)
+		t.pool.Unpin(pg, false)
+		pid = child
+	}
+	for pid != 0 {
+		pg, err := t.pool.Get(pid)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		t.touchHeader(pg)
+		slot, _ := t.searchPage(pg, k, true)
+		slot++
+		n := pCount(pg.Data)
+		if slot < n {
+			t.mm.Access(pg.Addr+uint64(t.keyOff(slot)), 4)
+			if t.key(pg.Data, slot) == k {
+				return pg, slot, true, nil
+			}
+			t.pool.Unpin(pg, false)
+			return nil, 0, false, nil
+		}
+		next := pNext(pg.Data)
+		t.pool.Unpin(pg, false)
+		pid = next
+	}
+	return nil, 0, false, nil
+}
+
+// Insert implements idx.Index: the disk-optimized insertion algorithm
+// plus micro-index rebuilds (§4.1).
+func (t *Tree) Insert(k idx.Key, tid idx.TupleID) error {
+	if t.root == 0 {
+		pg, err := t.pool.NewPage()
+		if err != nil {
+			return err
+		}
+		setType(pg.Data, pageLeaf)
+		t.pool.Unpin(pg, true)
+		t.root, t.firstLeaf, t.height = pg.ID, pg.ID, 1
+	}
+	split, sepKey, newPID, err := t.insertInto(t.root, t.height-1, k, tid)
+	if err != nil {
+		return err
+	}
+	if !split {
+		return nil
+	}
+	oldRoot := t.root
+	old, err := t.pool.Get(oldRoot)
+	if err != nil {
+		return err
+	}
+	oldMin := t.key(old.Data, 0)
+	t.pool.Unpin(old, false)
+	rootPg, err := t.pool.NewPage()
+	if err != nil {
+		return err
+	}
+	d := rootPg.Data
+	setType(d, pageInternal)
+	setLevel(d, byte(t.height))
+	setCount(d, 2)
+	t.setKey(d, 0, oldMin)
+	t.setPtr(d, 0, oldRoot)
+	t.setKey(d, 1, sepKey)
+	t.setPtr(d, 1, newPID)
+	le.PutUint32(d[t.microOff:], oldMin)
+	t.pool.Unpin(rootPg, true)
+	t.root = rootPg.ID
+	t.height++
+	return nil
+}
+
+func (t *Tree) insertInto(pid uint32, lvl int, k idx.Key, p uint32) (bool, idx.Key, uint32, error) {
+	pg, err := t.pool.Get(pid)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	t.touchHeader(pg)
+	slot, _ := t.searchPage(pg, k, false)
+
+	if lvl > 0 {
+		cslot := slot
+		dirty := false
+		if cslot < 0 {
+			cslot = 0
+			t.setKey(pg.Data, 0, k)
+			t.rebuildMicro(pg, 0)
+			dirty = true
+		}
+		child := t.readPtr(pg, cslot)
+		t.pool.Unpin(pg, dirty)
+		childSplit, sepKey, newPID, err := t.insertInto(child, lvl-1, k, p)
+		if err != nil || !childSplit {
+			return false, 0, 0, err
+		}
+		k, p = sepKey, newPID
+		pg, err = t.pool.Get(pid)
+		if err != nil {
+			return false, 0, 0, err
+		}
+		slot, _ = t.searchPage(pg, k, false)
+	}
+
+	if pCount(pg.Data) < t.cap {
+		t.insertAt(pg, slot+1, k, p)
+		t.pool.Unpin(pg, true)
+		return false, 0, 0, nil
+	}
+	sep, newPID, err := t.splitPage(pg)
+	if err != nil {
+		t.pool.Unpin(pg, true)
+		return false, 0, 0, err
+	}
+	if k >= sep {
+		np, err2 := t.pool.Get(newPID)
+		if err2 != nil {
+			t.pool.Unpin(pg, true)
+			return false, 0, 0, err2
+		}
+		s, _ := t.searchPage(np, k, false)
+		t.insertAt(np, s+1, k, p)
+		t.pool.Unpin(np, true)
+	} else {
+		s, _ := t.searchPage(pg, k, false)
+		t.insertAt(pg, s+1, k, p)
+	}
+	t.pool.Unpin(pg, true)
+	return true, sep, newPID, nil
+}
+
+func (t *Tree) splitPage(pg *buffer.Page) (idx.Key, uint32, error) {
+	d := pg.Data
+	n := pCount(d)
+	mid := n / 2
+	np, err := t.pool.NewPage()
+	if err != nil {
+		return 0, 0, err
+	}
+	nd := np.Data
+	setType(nd, pType(d))
+	setLevel(nd, d[offLevel])
+	moved := n - mid
+	copy(nd[t.keyOff(0):t.keyOff(moved)], d[t.keyOff(mid):t.keyOff(n)])
+	copy(nd[t.ptrOff(0):t.ptrOff(moved)], d[t.ptrOff(mid):t.ptrOff(n)])
+	t.mm.CopyBetween(np.Addr+uint64(t.keyOff(0)), pg.Addr+uint64(t.keyOff(mid)), moved*4)
+	t.mm.CopyBetween(np.Addr+uint64(t.ptrOff(0)), pg.Addr+uint64(t.ptrOff(mid)), moved*4)
+	setCount(nd, moved)
+	setCount(d, mid)
+	t.rebuildMicro(pg, 0)
+	t.rebuildMicro(np, 0)
+
+	right := pNext(d)
+	setNext(nd, right)
+	setPrev(nd, pg.ID)
+	setNext(d, np.ID)
+	if right != 0 {
+		rp, err := t.pool.Get(right)
+		if err != nil {
+			t.pool.Unpin(np, true)
+			return 0, 0, err
+		}
+		setPrev(rp.Data, np.ID)
+		t.pool.Unpin(rp, true)
+	}
+	sep := t.key(nd, 0)
+	newPID := np.ID
+	t.pool.Unpin(np, true)
+	return sep, newPID, nil
+}
+
+// Delete implements idx.Index (lazy); removes the first entry of a
+// duplicate run.
+func (t *Tree) Delete(k idx.Key) (bool, error) {
+	pg, slot, found, err := t.findFirst(k)
+	if err != nil || !found {
+		return false, err
+	}
+	t.removeAt(pg, slot)
+	t.pool.Unpin(pg, true)
+	return true, nil
+}
+
+// RangeScan implements idx.Index. The paper notes micro-indexing's scan
+// behaviour matches disk-optimized B+-Trees, so no prefetching is done.
+func (t *Tree) RangeScan(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error) {
+	if t.root == 0 || startKey > endKey {
+		return 0, nil
+	}
+	pid := t.root
+	for lvl := t.height - 1; lvl > 0; lvl-- {
+		pg, err := t.pool.Get(pid)
+		if err != nil {
+			return 0, err
+		}
+		t.touchHeader(pg)
+		slot, _ := t.searchPage(pg, startKey, true)
+		if slot < 0 {
+			slot = 0
+		}
+		child := t.readPtr(pg, slot)
+		t.pool.Unpin(pg, false)
+		pid = child
+	}
+	count := 0
+	first := true
+	for pid != 0 {
+		pg, err := t.pool.Get(pid)
+		if err != nil {
+			return count, err
+		}
+		t.touchHeader(pg)
+		n := pCount(pg.Data)
+		i := 0
+		if first {
+			s, _ := t.searchPage(pg, startKey, true)
+			i = s + 1
+			first = false
+		}
+		for ; i < n; i++ {
+			t.mm.Access(pg.Addr+uint64(t.keyOff(i)), 4)
+			k := t.key(pg.Data, i)
+			if k > endKey {
+				t.pool.Unpin(pg, false)
+				return count, nil
+			}
+			if k < startKey {
+				continue
+			}
+			t.mm.Access(pg.Addr+uint64(t.ptrOff(i)), 4)
+			t.mm.Busy(memsim.CostEntryVisit)
+			tid := t.ptr(pg.Data, i)
+			count++
+			if fn != nil && !fn(k, tid) {
+				t.pool.Unpin(pg, false)
+				return count, nil
+			}
+		}
+		next := pNext(pg.Data)
+		t.pool.Unpin(pg, false)
+		pid = next
+	}
+	return count, nil
+}
+
+// PageCount implements idx.Index.
+func (t *Tree) PageCount() int {
+	if t.root == 0 {
+		return 0
+	}
+	total := 0
+	pid := t.root
+	for lvl := t.height - 1; lvl >= 0; lvl-- {
+		var childFirst uint32
+		cur := pid
+		for cur != 0 {
+			pg, err := t.pool.Get(cur)
+			if err != nil {
+				return -1
+			}
+			total++
+			if lvl > 0 && childFirst == 0 && pCount(pg.Data) > 0 {
+				childFirst = t.ptr(pg.Data, 0)
+			}
+			next := pNext(pg.Data)
+			t.pool.Unpin(pg, false)
+			cur = next
+		}
+		pid = childFirst
+	}
+	return total
+}
+
+// CheckInvariants implements idx.Index: the bptree invariants plus
+// micro-index consistency (every populated micro slot equals the first
+// key of its sub-array).
+func (t *Tree) CheckInvariants() error {
+	if t.root == 0 {
+		return nil
+	}
+	var leaves []uint32
+	if err := t.checkSubtree(t.root, t.height-1, nil, nil, &leaves); err != nil {
+		return err
+	}
+	pid := t.firstLeaf
+	i := 0
+	var prevID uint32
+	var lastKey idx.Key
+	haveLast := false
+	for pid != 0 {
+		if i >= len(leaves) || leaves[i] != pid {
+			return fmt.Errorf("microindex: leaf chain diverges at %d", i)
+		}
+		pg, err := t.pool.Get(pid)
+		if err != nil {
+			return err
+		}
+		if pPrev(pg.Data) != prevID {
+			t.pool.Unpin(pg, false)
+			return fmt.Errorf("microindex: bad prev link at page %d", pid)
+		}
+		n := pCount(pg.Data)
+		for j := 0; j < n; j++ {
+			k := t.key(pg.Data, j)
+			if haveLast && k < lastKey {
+				t.pool.Unpin(pg, false)
+				return fmt.Errorf("microindex: keys regress across leaf chain")
+			}
+			lastKey, haveLast = k, true
+		}
+		prevID = pid
+		next := pNext(pg.Data)
+		t.pool.Unpin(pg, false)
+		pid = next
+		i++
+	}
+	if i != len(leaves) {
+		return fmt.Errorf("microindex: leaf chain has %d pages, tree has %d", i, len(leaves))
+	}
+	return nil
+}
+
+func (t *Tree) checkSubtree(pid uint32, lvl int, lo, hi *idx.Key, leaves *[]uint32) error {
+	pg, err := t.pool.Get(pid)
+	if err != nil {
+		return err
+	}
+	d := pg.Data
+	n := pCount(d)
+	release := func() { t.pool.Unpin(pg, false) }
+	if n > t.cap {
+		release()
+		return fmt.Errorf("microindex: page %d overflows", pid)
+	}
+	if lvl > 0 && n == 0 {
+		release()
+		return fmt.Errorf("microindex: empty internal page %d", pid)
+	}
+	for j := 0; j < n; j++ {
+		k := t.key(d, j)
+		if j > 0 && k < t.key(d, j-1) {
+			release()
+			return fmt.Errorf("microindex: page %d unsorted at %d", pid, j)
+		}
+		if lo != nil && k < *lo {
+			release()
+			return fmt.Errorf("microindex: page %d key %d below bound %d", pid, k, *lo)
+		}
+		if hi != nil && k > *hi {
+			release()
+			return fmt.Errorf("microindex: page %d key %d above bound %d", pid, k, *hi)
+		}
+	}
+	// Micro-index consistency.
+	for s := 0; s < t.subCount(n); s++ {
+		if got, want := t.microKey(d, s), t.key(d, s*t.keysPerSub); got != want {
+			release()
+			return fmt.Errorf("microindex: page %d micro slot %d = %d, want %d", pid, s, got, want)
+		}
+	}
+	if lvl == 0 {
+		*leaves = append(*leaves, pid)
+		release()
+		return nil
+	}
+	type childRef struct {
+		pid    uint32
+		lo, hi *idx.Key
+	}
+	children := make([]childRef, n)
+	for j := 0; j < n; j++ {
+		sep := t.key(d, j)
+		lob := &sep
+		if j == 0 {
+			lob = lo
+		}
+		var hib *idx.Key
+		if j+1 < n {
+			nk := t.key(d, j+1)
+			hib = &nk
+		} else {
+			hib = hi
+		}
+		children[j] = childRef{t.ptr(d, j), lob, hib}
+	}
+	release()
+	for _, c := range children {
+		if c.pid == 0 {
+			return fmt.Errorf("microindex: page %d has nil child", pid)
+		}
+		if err := t.checkSubtree(c.pid, lvl-1, c.lo, c.hi, leaves); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var _ idx.Index = (*Tree)(nil)

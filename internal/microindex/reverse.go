@@ -1,0 +1,68 @@
+package microindex
+
+import (
+	"repro/internal/idx"
+	"repro/internal/memsim"
+)
+
+// RangeScanReverse implements idx.Index: descending-order scan via the
+// leaf pages' prev links (no prefetching, matching this structure's
+// forward scan).
+func (t *Tree) RangeScanReverse(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error) {
+	if t.root == 0 || startKey > endKey {
+		return 0, nil
+	}
+	pid := t.root
+	for lvl := t.height - 1; lvl > 0; lvl-- {
+		pg, err := t.pool.Get(pid)
+		if err != nil {
+			return 0, err
+		}
+		t.touchHeader(pg)
+		slot, _ := t.searchPage(pg, endKey, false)
+		if slot < 0 {
+			slot = 0
+		}
+		child := t.readPtr(pg, slot)
+		t.pool.Unpin(pg, false)
+		pid = child
+	}
+	count := 0
+	first := true
+	for pid != 0 {
+		pg, err := t.pool.Get(pid)
+		if err != nil {
+			return count, err
+		}
+		t.touchHeader(pg)
+		i := pCount(pg.Data) - 1
+		if first {
+			slot, _ := t.searchPage(pg, endKey, false)
+			i = slot
+			first = false
+		}
+		for ; i >= 0; i-- {
+			t.mm.Access(pg.Addr+uint64(t.keyOff(i)), 4)
+			k := t.key(pg.Data, i)
+			if k < startKey {
+				t.pool.Unpin(pg, false)
+				return count, nil
+			}
+			if k > endKey {
+				continue
+			}
+			t.mm.Access(pg.Addr+uint64(t.ptrOff(i)), 4)
+			t.mm.Busy(memsim.CostEntryVisit)
+			tid := t.ptr(pg.Data, i)
+			count++
+			if fn != nil && !fn(k, tid) {
+				t.pool.Unpin(pg, false)
+				return count, nil
+			}
+		}
+		prev := pPrev(pg.Data)
+		t.pool.Unpin(pg, false)
+		pid = prev
+	}
+	return count, nil
+}

@@ -1,0 +1,416 @@
+// Package pbtree implements the memory-resident prefetching B+-Tree
+// (pB+-Tree) of Chen, Gibbons & Mowry (SIGMOD 2001), which the paper
+// uses both as the cache-optimized comparison point in Figure 3(b) and
+// as the model for fpB+-Tree in-page trees. Nodes are several cache
+// lines wide (w, default 8 lines = 512 B) and every line of a node is
+// prefetched before the node is searched, so fetching a node costs
+// T1 + (w-1)*Tnext instead of w*T1.
+//
+// Nodes are ordinary Go structs carrying *simulated* addresses; all
+// cache traffic is charged to a memsim.Model (see memsim's package
+// comment for why).
+package pbtree
+
+import (
+	"fmt"
+
+	"repro/internal/idx"
+	"repro/internal/memsim"
+)
+
+const nodeHeader = 8 // simulated bytes of per-node control info
+
+// Config configures a Tree.
+type Config struct {
+	// Model receives simulated cache traffic. Required.
+	Model *memsim.Model
+	// Space assigns simulated node addresses. Required.
+	Space *memsim.AddressSpace
+	// NodeLines is the node width w in cache lines; 0 means 8 (the
+	// width the pB+-Tree paper tunes for this memory system).
+	NodeLines int
+	// PrefetchWindow is how many leaf nodes a range scan keeps in
+	// flight through the leaf-parent jump-pointer chain; 0 means 8.
+	PrefetchWindow int
+}
+
+// Tree is a memory-resident pB+-Tree.
+type Tree struct {
+	mm    *memsim.Model
+	space *memsim.AddressSpace
+
+	nodeBytes int
+	cap       int // entries per node (4 B key + 4 B pointer)
+	pfWindow  int
+
+	root   *node
+	height int
+	first  *node // leftmost leaf
+	nodes  int
+}
+
+type node struct {
+	addr     memsim.Addr
+	leaf     bool
+	keys     []idx.Key
+	tids     []idx.TupleID // leaves
+	children []*node       // internal nodes
+	next     *node         // right sibling (same level)
+	prev     *node         // leaves only
+}
+
+// New creates an empty tree.
+func New(cfg Config) (*Tree, error) {
+	if cfg.Model == nil || cfg.Space == nil {
+		return nil, fmt.Errorf("pbtree: Model and Space are required")
+	}
+	w := cfg.NodeLines
+	if w <= 0 {
+		w = 8
+	}
+	pf := cfg.PrefetchWindow
+	if pf <= 0 {
+		pf = 8
+	}
+	nb := w * memsim.LineSize
+	return &Tree{
+		mm:        cfg.Model,
+		space:     cfg.Space,
+		nodeBytes: nb,
+		cap:       (nb - nodeHeader) / (idx.KeySize + idx.TupleIDSize),
+		pfWindow:  pf,
+	}, nil
+}
+
+// Name implements idx.Index.
+func (t *Tree) Name() string { return "pB+tree (memory-resident)" }
+
+// Height implements idx.Index.
+func (t *Tree) Height() int { return t.height }
+
+// PageCount implements idx.Index. The tree is memory resident and
+// occupies no disk pages; NodeCount reports its size instead.
+func (t *Tree) PageCount() int { return 0 }
+
+// NodeCount reports the number of allocated nodes.
+func (t *Tree) NodeCount() int { return t.nodes }
+
+// Cap reports the per-node entry capacity.
+func (t *Tree) Cap() int { return t.cap }
+
+func (t *Tree) newNode(leaf bool) *node {
+	t.nodes++
+	n := &node{addr: t.space.Alloc(t.nodeBytes), leaf: leaf}
+	n.keys = make([]idx.Key, 0, t.cap)
+	if leaf {
+		n.tids = make([]idx.TupleID, 0, t.cap)
+	} else {
+		n.children = make([]*node, 0, t.cap)
+	}
+	return n
+}
+
+func (t *Tree) keyAddr(n *node, i int) memsim.Addr {
+	return n.addr + nodeHeader + uint64(idx.KeySize*i)
+}
+
+func (t *Tree) ptrAddr(n *node, i int) memsim.Addr {
+	return n.addr + nodeHeader + uint64(idx.KeySize*t.cap) + uint64(4*i)
+}
+
+// visit prefetches all lines of a node (the pB+-Tree access discipline)
+// and charges the per-node overhead.
+func (t *Tree) visit(n *node) {
+	t.mm.Prefetch(n.addr, t.nodeBytes)
+	t.mm.Busy(memsim.CostNodeVisit)
+	t.mm.Access(n.addr, nodeHeader)
+}
+
+func (t *Tree) probe(n *node, i int) idx.Key {
+	t.mm.Access(t.keyAddr(n, i), idx.KeySize)
+	t.mm.Busy(memsim.CostCompare)
+	t.mm.Other(memsim.CostComparePenalty)
+	return n.keys[i]
+}
+
+// searchLE returns the largest slot with key <= k (-1 if none) and
+// whether that key equals k.
+func (t *Tree) searchLE(n *node, k idx.Key) (int, bool) {
+	lo, hi := 0, len(n.keys)
+	exact := false
+	for lo < hi {
+		mid := (lo + hi) / 2
+		mk := t.probe(n, mid)
+		if mk <= k {
+			lo = mid + 1
+			if mk == k {
+				exact = true
+			}
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1, exact
+}
+
+// searchLT returns the largest slot with key < k (-1 if none).
+func (t *Tree) searchLT(n *node, k idx.Key) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.probe(n, mid) < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+// Bulkload implements idx.Index (no model charges; see bptree.Bulkload).
+func (t *Tree) Bulkload(entries []idx.Entry, fill float64) error {
+	if err := idx.CheckFill(fill); err != nil {
+		return err
+	}
+	if err := idx.ValidateSorted(entries); err != nil {
+		return err
+	}
+	t.root, t.first, t.height, t.nodes = nil, nil, 0, 0
+	per := int(fill * float64(t.cap))
+	if per < 1 {
+		per = 1
+	}
+	if per > t.cap {
+		per = t.cap
+	}
+
+	var level []*node
+	if len(entries) == 0 {
+		level = []*node{t.newNode(true)}
+	}
+	var prev *node
+	for i := 0; i < len(entries); i += per {
+		j := i + per
+		if j > len(entries) {
+			j = len(entries)
+		}
+		n := t.newNode(true)
+		for _, e := range entries[i:j] {
+			n.keys = append(n.keys, e.Key)
+			n.tids = append(n.tids, e.TID)
+		}
+		if prev != nil {
+			prev.next = n
+			n.prev = prev
+		}
+		prev = n
+		level = append(level, n)
+	}
+	t.first = level[0]
+	t.height = 1
+	for len(level) > 1 {
+		var up []*node
+		prev = nil
+		for i := 0; i < len(level); i += per {
+			j := i + per
+			if j > len(level) {
+				j = len(level)
+			}
+			n := t.newNode(false)
+			for _, c := range level[i:j] {
+				n.keys = append(n.keys, c.keys[0])
+				n.children = append(n.children, c)
+			}
+			if prev != nil {
+				prev.next = n
+			}
+			prev = n
+			up = append(up, n)
+		}
+		level = up
+		t.height++
+	}
+	t.root = level[0]
+	return nil
+}
+
+// Search implements idx.Index: strictly-less descent plus a forward
+// walk over the duplicate run, so an exact match is found even when
+// deletions have hollowed out later duplicates.
+func (t *Tree) Search(k idx.Key) (idx.TupleID, bool, error) {
+	n, slot := t.findFirst(k)
+	if n == nil {
+		return 0, false, nil
+	}
+	t.mm.Access(t.ptrAddr(n, slot), 4)
+	return n.tids[slot], true, nil
+}
+
+// findFirst locates the first entry with key == k, or returns nil.
+func (t *Tree) findFirst(k idx.Key) (*node, int) {
+	n := t.root
+	if n == nil {
+		return nil, 0
+	}
+	for !n.leaf {
+		t.visit(n)
+		slot := t.searchLT(n, k)
+		if slot < 0 {
+			slot = 0
+		}
+		n = n.children[slot]
+	}
+	for n != nil {
+		t.visit(n)
+		slot := t.searchLT(n, k) + 1
+		if slot < len(n.keys) {
+			t.mm.Access(t.keyAddr(n, slot), idx.KeySize)
+			if n.keys[slot] == k {
+				return n, slot
+			}
+			return nil, 0
+		}
+		n = n.next
+	}
+	return nil, 0
+}
+
+// Insert implements idx.Index.
+func (t *Tree) Insert(k idx.Key, tid idx.TupleID) error {
+	if t.root == nil {
+		n := t.newNode(true)
+		t.root, t.first, t.height = n, n, 1
+	}
+	sep, right := t.insertInto(t.root, k, tid)
+	if right == nil {
+		return nil
+	}
+	nr := t.newNode(false)
+	nr.keys = append(nr.keys, t.root.keys[0], sep)
+	nr.children = append(nr.children, t.root, right)
+	t.root = nr
+	t.height++
+	return nil
+}
+
+func (t *Tree) insertInto(n *node, k idx.Key, tid idx.TupleID) (idx.Key, *node) {
+	t.visit(n)
+	if !n.leaf {
+		slot, _ := t.searchLE(n, k)
+		if slot < 0 {
+			slot = 0
+			n.keys[0] = k // keep separators as true lower bounds
+			t.mm.Access(t.keyAddr(n, 0), idx.KeySize)
+		}
+		sep, right := t.insertInto(n.children[slot], k, tid)
+		if right == nil {
+			return 0, nil
+		}
+		return t.insertChild(n, sep, right)
+	}
+	return t.insertLeaf(n, k, tid)
+}
+
+func (t *Tree) insertLeaf(n *node, k idx.Key, tid idx.TupleID) (idx.Key, *node) {
+	if len(n.keys) < t.cap {
+		t.placeLeaf(n, k, tid)
+		return 0, nil
+	}
+	// Split.
+	mid := len(n.keys) / 2
+	r := t.newNode(true)
+	r.keys = append(r.keys, n.keys[mid:]...)
+	r.tids = append(r.tids, n.tids[mid:]...)
+	moved := len(n.keys) - mid
+	t.mm.CopyBetween(t.keyAddr(r, 0), t.keyAddr(n, mid), moved*idx.KeySize)
+	t.mm.CopyBetween(t.ptrAddr(r, 0), t.ptrAddr(n, mid), moved*4)
+	n.keys = n.keys[:mid]
+	n.tids = n.tids[:mid]
+	r.next = n.next
+	if r.next != nil {
+		r.next.prev = r
+	}
+	r.prev = n
+	n.next = r
+	sep := r.keys[0]
+	if k >= sep {
+		t.placeLeaf(r, k, tid)
+	} else {
+		t.placeLeaf(n, k, tid)
+	}
+	return sep, r
+}
+
+func (t *Tree) placeLeaf(n *node, k idx.Key, tid idx.TupleID) {
+	slot, _ := t.searchLE(n, k)
+	pos := slot + 1
+	n.keys = append(n.keys, 0)
+	copy(n.keys[pos+1:], n.keys[pos:])
+	n.keys[pos] = k
+	n.tids = append(n.tids, 0)
+	copy(n.tids[pos+1:], n.tids[pos:])
+	n.tids[pos] = tid
+	if moved := len(n.keys) - 1 - pos; moved > 0 {
+		t.mm.Copy(t.keyAddr(n, pos), moved*idx.KeySize)
+		t.mm.Copy(t.ptrAddr(n, pos), moved*4)
+	}
+	t.mm.Access(t.keyAddr(n, pos), idx.KeySize)
+	t.mm.Access(t.ptrAddr(n, pos), 4)
+}
+
+// insertChild installs (sep, right) into internal node n, splitting n
+// if needed.
+func (t *Tree) insertChild(n *node, sep idx.Key, right *node) (idx.Key, *node) {
+	place := func(m *node, sep idx.Key, right *node) {
+		slot, _ := t.searchLE(m, sep)
+		pos := slot + 1
+		m.keys = append(m.keys, 0)
+		copy(m.keys[pos+1:], m.keys[pos:])
+		m.keys[pos] = sep
+		m.children = append(m.children, nil)
+		copy(m.children[pos+1:], m.children[pos:])
+		m.children[pos] = right
+		if moved := len(m.keys) - 1 - pos; moved > 0 {
+			t.mm.Copy(t.keyAddr(m, pos), moved*idx.KeySize)
+			t.mm.Copy(t.ptrAddr(m, pos), moved*4)
+		}
+	}
+	if len(n.keys) < t.cap {
+		place(n, sep, right)
+		return 0, nil
+	}
+	mid := len(n.keys) / 2
+	r := t.newNode(false)
+	r.keys = append(r.keys, n.keys[mid:]...)
+	r.children = append(r.children, n.children[mid:]...)
+	moved := len(n.keys) - mid
+	t.mm.CopyBetween(t.keyAddr(r, 0), t.keyAddr(n, mid), moved*idx.KeySize)
+	t.mm.CopyBetween(t.ptrAddr(r, 0), t.ptrAddr(n, mid), moved*4)
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid]
+	r.next = n.next
+	n.next = r
+	rsep := r.keys[0]
+	if sep >= rsep {
+		place(r, sep, right)
+	} else {
+		place(n, sep, right)
+	}
+	return rsep, r
+}
+
+// Delete implements idx.Index (lazy deletion); removes the first entry
+// of a duplicate run.
+func (t *Tree) Delete(k idx.Key) (bool, error) {
+	n, slot := t.findFirst(k)
+	if n == nil {
+		return false, nil
+	}
+	if moved := len(n.keys) - slot - 1; moved > 0 {
+		t.mm.Copy(t.keyAddr(n, slot), moved*idx.KeySize)
+		t.mm.Copy(t.ptrAddr(n, slot), moved*4)
+	}
+	n.keys = append(n.keys[:slot], n.keys[slot+1:]...)
+	n.tids = append(n.tids[:slot], n.tids[slot+1:]...)
+	return true, nil
+}

@@ -1,0 +1,68 @@
+package pbtree
+
+import (
+	"repro/internal/idx"
+	"repro/internal/memsim"
+)
+
+// RangeScanReverse implements idx.Index: descending-order scan over the
+// doubly linked leaf chain, prefetching predecessor leaves through the
+// prev links.
+func (t *Tree) RangeScanReverse(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error) {
+	if t.root == nil || startKey > endKey {
+		return 0, nil
+	}
+	n := t.root
+	for !n.leaf {
+		t.visit(n)
+		slot, _ := t.searchLE(n, endKey)
+		if slot < 0 {
+			slot = 0
+		}
+		n = n.children[slot]
+	}
+
+	// Prefetch state over the prev chain.
+	pf := n
+	issued, consumed := 0, 0
+	prefetchBack := func() {
+		for pf != nil && issued < consumed+t.pfWindow {
+			t.mm.Prefetch(pf.addr, t.nodeBytes)
+			issued++
+			pf = pf.prev
+		}
+	}
+
+	count := 0
+	first := true
+	for n != nil {
+		prefetchBack()
+		t.mm.Busy(memsim.CostNodeVisit)
+		t.mm.Access(n.addr, nodeHeader)
+		i := len(n.keys) - 1
+		if first {
+			slot, _ := t.searchLE(n, endKey)
+			i = slot
+			first = false
+		}
+		for ; i >= 0; i-- {
+			t.mm.Access(t.keyAddr(n, i), idx.KeySize)
+			k := n.keys[i]
+			if k < startKey {
+				return count, nil
+			}
+			if k > endKey {
+				continue
+			}
+			t.mm.Access(t.ptrAddr(n, i), 4)
+			t.mm.Busy(memsim.CostEntryVisit)
+			count++
+			if fn != nil && !fn(k, n.tids[i]) {
+				return count, nil
+			}
+		}
+		n = n.prev
+		consumed++
+	}
+	return count, nil
+}

@@ -1,0 +1,178 @@
+package pbtree
+
+import (
+	"fmt"
+
+	"repro/internal/idx"
+	"repro/internal/memsim"
+)
+
+// RangeScan implements idx.Index. Leaf nodes ahead of the scan are
+// prefetched through the internal jump-pointer array — the leaf-parent
+// sibling chain (§2.2, Figure 2) — keeping PrefetchWindow leaves in
+// flight.
+func (t *Tree) RangeScan(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error) {
+	if t.root == nil || startKey > endKey {
+		return 0, nil
+	}
+	// Descend to the start leaf, remembering the leaf parent for the
+	// jump-pointer prefetcher.
+	n := t.root
+	var parent *node
+	var parentSlot int
+	for !n.leaf {
+		t.visit(n)
+		slot := t.searchLT(n, startKey)
+		if slot < 0 {
+			slot = 0
+		}
+		parent, parentSlot = n, slot
+		n = n.children[slot]
+	}
+
+	// Jump-pointer prefetch state: (parent, slot) of the next leaf to
+	// prefetch. On a one-level tree there are no parents.
+	pfParent, pfSlot := parent, parentSlot
+	issued, consumed := 0, 0
+	prefetchAhead := func() {
+		for pfParent != nil && issued < consumed+t.pfWindow {
+			if pfSlot >= len(pfParent.children) {
+				pfParent = pfParent.next
+				pfSlot = 0
+				continue
+			}
+			leaf := pfParent.children[pfSlot]
+			if len(leaf.keys) > 0 && leaf.keys[0] > endKey {
+				// Overshoot avoidance: never prefetch past the end key.
+				pfParent = nil
+				return
+			}
+			t.mm.Prefetch(leaf.addr, t.nodeBytes)
+			pfSlot++
+			issued++
+		}
+	}
+
+	count := 0
+	first := true
+	for n != nil {
+		prefetchAhead()
+		t.mm.Busy(memsim.CostNodeVisit)
+		t.mm.Access(n.addr, nodeHeader)
+		i := 0
+		if first {
+			i = t.searchLT(n, startKey) + 1
+			first = false
+		}
+		for ; i < len(n.keys); i++ {
+			t.mm.Access(t.keyAddr(n, i), idx.KeySize)
+			k := n.keys[i]
+			if k > endKey {
+				return count, nil
+			}
+			if k < startKey {
+				continue
+			}
+			t.mm.Access(t.ptrAddr(n, i), 4)
+			t.mm.Busy(memsim.CostEntryVisit)
+			count++
+			if fn != nil && !fn(k, n.tids[i]) {
+				return count, nil
+			}
+		}
+		n = n.next
+		consumed++
+	}
+	return count, nil
+}
+
+// CheckInvariants implements idx.Index.
+func (t *Tree) CheckInvariants() error {
+	if t.root == nil {
+		return nil
+	}
+	var leaves []*node
+	if err := t.checkNode(t.root, t.height-1, nil, nil, &leaves); err != nil {
+		return err
+	}
+	// Leaf chain must match in-order leaves.
+	cur := t.first
+	i := 0
+	var last idx.Key
+	have := false
+	var prev *node
+	for cur != nil {
+		if i >= len(leaves) || leaves[i] != cur {
+			return fmt.Errorf("pbtree: leaf chain diverges at %d", i)
+		}
+		if cur.prev != prev {
+			return fmt.Errorf("pbtree: bad prev link at leaf %d", i)
+		}
+		for _, k := range cur.keys {
+			if have && k < last {
+				return fmt.Errorf("pbtree: keys regress across leaf chain")
+			}
+			last, have = k, true
+		}
+		prev = cur
+		cur = cur.next
+		i++
+	}
+	if i != len(leaves) {
+		return fmt.Errorf("pbtree: leaf chain has %d nodes, tree has %d", i, len(leaves))
+	}
+	return nil
+}
+
+func (t *Tree) checkNode(n *node, lvl int, lo, hi *idx.Key, leaves *[]*node) error {
+	if len(n.keys) > t.cap {
+		return fmt.Errorf("pbtree: node overflows capacity: %d > %d", len(n.keys), t.cap)
+	}
+	if n.leaf != (lvl == 0) {
+		return fmt.Errorf("pbtree: leaf flag wrong at level %d", lvl)
+	}
+	for j, k := range n.keys {
+		if j > 0 && k < n.keys[j-1] {
+			return fmt.Errorf("pbtree: node keys unsorted")
+		}
+		if lo != nil && k < *lo {
+			return fmt.Errorf("pbtree: key %d below bound %d", k, *lo)
+		}
+		if hi != nil && k > *hi {
+			return fmt.Errorf("pbtree: key %d above bound %d", k, *hi)
+		}
+	}
+	if n.leaf {
+		if len(n.tids) != len(n.keys) {
+			return fmt.Errorf("pbtree: leaf tid count mismatch")
+		}
+		*leaves = append(*leaves, n)
+		return nil
+	}
+	if len(n.children) != len(n.keys) {
+		return fmt.Errorf("pbtree: child count mismatch")
+	}
+	if len(n.children) == 0 {
+		return fmt.Errorf("pbtree: empty internal node")
+	}
+	for j := range n.children {
+		sep := n.keys[j]
+		lob := &sep
+		if j == 0 {
+			lob = lo
+		}
+		var hib *idx.Key
+		if j+1 < len(n.keys) {
+			nk := n.keys[j+1]
+			hib = &nk
+		} else {
+			hib = hi
+		}
+		if err := t.checkNode(n.children[j], lvl-1, lob, hib, leaves); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var _ idx.Index = (*Tree)(nil)

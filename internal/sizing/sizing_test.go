@@ -1,0 +1,214 @@
+package sizing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var pageSizes = []int{4 << 10, 8 << 10, 16 << 10, 32 << 10}
+
+func TestCapacityFormulasMatchTable2Arithmetic(t *testing.T) {
+	// Spot checks derived from Table 2 and the §3.2.1 worked example.
+	if got := DiskFirstNonleafCap(3); got != 31 { // 192 B
+		t.Fatalf("192B nonleaf cap = %d, want 31", got)
+	}
+	if got := DiskFirstLeafCap(8); got != 63 { // 512 B
+		t.Fatalf("512B leaf cap = %d, want 63", got)
+	}
+	if got := CacheFirstLeafCap(11); got != 87 { // 704 B
+		t.Fatalf("704B cache-first leaf cap = %d, want 87", got)
+	}
+	if got := CacheFirstNonleafCap(11); got != 69 { // §3.2.1: "69 children"
+		t.Fatalf("704B cache-first nonleaf cap = %d, want 69", got)
+	}
+	if got := CacheFirstNodesPerPage(16<<10, 11); got != 23 { // "a page can hold only 23 nodes"
+		t.Fatalf("704B nodes per 16KB page = %d, want 23", got)
+	}
+}
+
+// TestPaperWidthsReproduceTable2Fanouts verifies that our layout math,
+// applied to the paper's published widths, yields exactly the Table 2
+// page fan-outs.
+func TestPaperWidthsReproduceTable2Fanouts(t *testing.T) {
+	p := DefaultParams()
+	wantDF := map[int]int{4 << 10: 470, 8 << 10: 961, 16 << 10: 1953, 32 << 10: 4017}
+	wantCF := map[int]int{4 << 10: 497, 8 << 10: 994, 16 << 10: 2001, 32 << 10: 4029}
+	for _, ps := range pageSizes {
+		df, err := DiskFirstFor(ps, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if df.PageFanout != wantDF[ps] {
+			t.Errorf("%dKB disk-first fan-out = %d, want %d", ps>>10, df.PageFanout, wantDF[ps])
+		}
+		cf, err := CacheFirstFor(ps, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cf.PageFanout != wantCF[ps] {
+			t.Errorf("%dKB cache-first fan-out = %d, want %d", ps>>10, cf.PageFanout, wantCF[ps])
+		}
+	}
+}
+
+// TestOptimizerAgreesWithPaper: the independent enumeration selects the
+// paper's exact widths everywhere except 16 KB disk-first, where it
+// finds a near-tie (192/576 B, fan-out 1988 vs the paper's 1953, a 1.8%
+// difference recorded in EXPERIMENTS.md).
+func TestOptimizerAgreesWithPaper(t *testing.T) {
+	p := DefaultParams()
+	type df struct{ w, x int }
+	wantDF := map[int]df{
+		4 << 10:  {64, 384},
+		8 << 10:  {192, 256},
+		16 << 10: {192, 576}, // paper: 192/512, see comment above
+		32 << 10: {256, 832},
+	}
+	for _, ps := range pageSizes {
+		c, err := OptimizeDiskFirst(ps, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := wantDF[ps]
+		if c.NonleafLines*LineSize != want.w || c.LeafLines*LineSize != want.x {
+			t.Errorf("%dKB disk-first selection = %d/%d B, want %d/%d B",
+				ps>>10, c.NonleafLines*LineSize, c.LeafLines*LineSize, want.w, want.x)
+		}
+		if c.CostRatio > 1.10 {
+			t.Errorf("%dKB disk-first cost ratio %.3f exceeds goal G", ps>>10, c.CostRatio)
+		}
+	}
+	wantCF := map[int]int{4 << 10: 576, 8 << 10: 576, 16 << 10: 704, 32 << 10: 640}
+	for _, ps := range pageSizes {
+		c, err := OptimizeCacheFirst(ps, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.NodeBytes != wantCF[ps] {
+			t.Errorf("%dKB cache-first selection = %d B, want %d B", ps>>10, c.NodeBytes, wantCF[ps])
+		}
+	}
+}
+
+// TestMicroIndexNearPaper: micro-index fan-outs land within 1% of the
+// published values (the paper's criteria produce near-ties between
+// adjacent sub-array sizes).
+func TestMicroIndexNearPaper(t *testing.T) {
+	p := DefaultParams()
+	want := map[int]int{4 << 10: 496, 8 << 10: 1008, 16 << 10: 2032, 32 << 10: 4064}
+	for _, ps := range pageSizes {
+		c, err := OptimizeMicroIndex(ps, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := math.Abs(float64(c.PageFanout-want[ps])) / float64(want[ps]); diff > 0.01 {
+			t.Errorf("%dKB micro-index fan-out %d differs from paper %d by %.1f%%",
+				ps>>10, c.PageFanout, want[ps], diff*100)
+		}
+		if c.CostRatio > 1.10 {
+			t.Errorf("%dKB micro-index cost ratio %.3f exceeds goal G", ps>>10, c.CostRatio)
+		}
+	}
+}
+
+func TestDiskFirstLayoutRestrictsRoot(t *testing.T) {
+	// 32 KB with (256 B, 832 B): root capacity is 42 but only 39 leaves
+	// fit — the Figure 7(a) restricted-root case.
+	levels, root, leaves := DiskFirstLayout(32<<10, 4, 13)
+	if levels != 2 || root != 39 || leaves != 39 {
+		t.Fatalf("layout = L%d root=%d leaves=%d, want L2 root=39 leaves=39", levels, root, leaves)
+	}
+	if DiskFirstNonleafCap(4) <= 39 {
+		t.Fatal("test premise broken: root should be capacity-restricted")
+	}
+}
+
+func TestDiskFirstLayoutThreeLevels(t *testing.T) {
+	// Force a three-level in-page tree: tiny nodes in a big page.
+	levels, _, leaves := DiskFirstLayout(32<<10, 1, 1)
+	if levels != 3 {
+		t.Fatalf("expected 3 levels for 64B nodes in 32KB page, got %d (leaves=%d)", levels, leaves)
+	}
+	capN := DiskFirstNonleafCap(1)
+	if leaves <= capN {
+		t.Fatalf("3-level tree should exceed a single root's fan-out: %d <= %d", leaves, capN)
+	}
+}
+
+func TestNodeFetchCostFormula(t *testing.T) {
+	p := DefaultParams()
+	if c := p.nodeFetchCost(1); c != 150 {
+		t.Fatalf("1-line fetch = %v", c)
+	}
+	if c := p.nodeFetchCost(8); c != 150+7*10 {
+		t.Fatalf("8-line fetch = %v", c)
+	}
+}
+
+func TestOptimizeErrorsOnTinyPage(t *testing.T) {
+	if _, err := OptimizeDiskFirst(64, DefaultParams()); err == nil {
+		t.Fatal("expected error for 64-byte page")
+	}
+}
+
+// TestLayoutFitsInPage: for any page size and widths, the computed
+// layout never exceeds the page's line budget.
+func TestLayoutFitsInPage(t *testing.T) {
+	f := func(psel, wsel, xsel uint8) bool {
+		ps := pageSizes[int(psel)%len(pageSizes)]
+		w := int(wsel)%16 + 1
+		x := int(xsel)%16 + 1
+		levels, root, leaves := DiskFirstLayout(ps, w, x)
+		if levels == 0 {
+			return true
+		}
+		lines := ps/LineSize - PageHeaderLines
+		var used int
+		switch levels {
+		case 1:
+			used = x
+		case 2:
+			used = w + leaves*x
+		case 3:
+			used = w + root*w + leaves*x
+		}
+		return used <= lines
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMicroIndexFanoutFits: the fan-out formula never overflows the page.
+func TestMicroIndexFanoutFits(t *testing.T) {
+	f := func(psel, msel uint8) bool {
+		ps := pageSizes[int(psel)%len(pageSizes)]
+		m := int(msel)%16 + 1
+		n, subs := MicroIndexFanout(ps, m)
+		if n == 0 {
+			return true
+		}
+		microBytes := ((subs*4 + LineSize - 1) / LineSize) * LineSize
+		if 8*n+microBytes > ps-LineSize {
+			return false
+		}
+		keysPerSub := m * LineSize / 4
+		return subs == (n+keysPerSub-1)/keysPerSub
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostRatiosWithinSlack(t *testing.T) {
+	p := DefaultParams()
+	for _, ps := range pageSizes {
+		if c, err := OptimizeDiskFirst(ps, p); err != nil || c.CostRatio > 1.1 {
+			t.Errorf("disk-first %d: ratio %.3f err %v", ps, c.CostRatio, err)
+		}
+		if c, err := OptimizeCacheFirst(ps, p); err != nil || c.CostRatio > 1.1 {
+			t.Errorf("cache-first %d: ratio %.3f err %v", ps, c.CostRatio, err)
+		}
+	}
+}

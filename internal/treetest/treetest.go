@@ -1,0 +1,633 @@
+// Package treetest provides a conformance suite run against every index
+// implementation in the repository. Each tree is exercised against a
+// reference model (a sorted slice + map) with bulkloads, point
+// operations, range scans, and randomized operation sequences, with
+// structural invariants checked along the way.
+package treetest
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/idx"
+	"repro/internal/memsim"
+)
+
+// Env bundles the substrate a tree needs.
+type Env struct {
+	Pool  *buffer.Pool
+	Model *memsim.Model
+}
+
+// NewEnv builds a memory-backed environment (zero I/O latency) with
+// enough frames for small and mid-sized trees.
+func NewEnv(pageSize, frames int) *Env {
+	mm := memsim.NewDefault()
+	pool := buffer.NewPool(buffer.NewMemStore(pageSize), frames)
+	pool.AttachModel(mm)
+	return &Env{Pool: pool, Model: mm}
+}
+
+// Factory builds a fresh index over an environment.
+type Factory func(t *testing.T, env *Env) idx.Index
+
+// GenEntries produces n entries with distinct keys spaced stride apart
+// starting at base, in sorted order. TID = key + 7 so lookups are
+// verifiable.
+func GenEntries(n int, base, stride uint32) []idx.Entry {
+	es := make([]idx.Entry, n)
+	for i := range es {
+		k := base + uint32(i)*stride
+		es[i] = idx.Entry{Key: k, TID: k + 7}
+	}
+	return es
+}
+
+// Run executes the full conformance suite.
+func Run(t *testing.T, pageSize int, factory Factory) {
+	t.Run("EmptyTree", func(t *testing.T) { testEmpty(t, pageSize, factory) })
+	t.Run("BulkloadSearch", func(t *testing.T) { testBulkloadSearch(t, pageSize, factory) })
+	t.Run("BulkloadFillFactors", func(t *testing.T) { testFillFactors(t, pageSize, factory) })
+	t.Run("InsertSearch", func(t *testing.T) { testInsertSearch(t, pageSize, factory) })
+	t.Run("InsertIntoBulkloaded", func(t *testing.T) { testInsertIntoBulkloaded(t, pageSize, factory) })
+	t.Run("Delete", func(t *testing.T) { testDelete(t, pageSize, factory) })
+	t.Run("RangeScan", func(t *testing.T) { testRangeScan(t, pageSize, factory) })
+	t.Run("RangeScanEdges", func(t *testing.T) { testRangeScanEdges(t, pageSize, factory) })
+	t.Run("RangeScanReverse", func(t *testing.T) { testRangeScanReverse(t, pageSize, factory) })
+	t.Run("RandomOps", func(t *testing.T) { testRandomOps(t, pageSize, factory) })
+	t.Run("DuplicateChurn", func(t *testing.T) { testDuplicateChurn(t, pageSize, factory) })
+	t.Run("SequentialInsertGrowth", func(t *testing.T) { testSequentialInserts(t, pageSize, factory) })
+	t.Run("BulkloadErrors", func(t *testing.T) { testBulkloadErrors(t, pageSize, factory) })
+	t.Run("RebulkloadReleasesPages", func(t *testing.T) { testRebulkload(t, pageSize, factory) })
+	t.Run("PinLeaks", func(t *testing.T) { testPinLeaks(t, pageSize, factory) })
+}
+
+func testEmpty(t *testing.T, pageSize int, factory Factory) {
+	env := NewEnv(pageSize, 4096)
+	tr := factory(t, env)
+	if _, ok, err := tr.Search(42); err != nil || ok {
+		t.Fatalf("empty search: ok=%v err=%v", ok, err)
+	}
+	if ok, err := tr.Delete(42); err != nil || ok {
+		t.Fatalf("empty delete: ok=%v err=%v", ok, err)
+	}
+	if n, err := tr.RangeScan(0, 100, nil); err != nil || n != 0 {
+		t.Fatalf("empty scan: n=%d err=%v", n, err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("empty invariants: %v", err)
+	}
+}
+
+func testBulkloadSearch(t *testing.T, pageSize int, factory Factory) {
+	env := NewEnv(pageSize, 8192)
+	tr := factory(t, env)
+	es := GenEntries(20000, 10, 3)
+	if err := tr.Bulkload(es, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after bulkload: %v", err)
+	}
+	if h := tr.Height(); h < 1 {
+		t.Fatalf("height = %d", h)
+	}
+	for i := 0; i < len(es); i += 97 {
+		tid, ok, err := tr.Search(es[i].Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || tid != es[i].TID {
+			t.Fatalf("search(%d) = (%d,%v), want (%d,true)", es[i].Key, tid, ok, es[i].TID)
+		}
+	}
+	// Absent keys (between the stride-3 keys).
+	for i := 1; i < len(es); i += 131 {
+		if _, ok, _ := tr.Search(es[i].Key + 1); ok {
+			t.Fatalf("found absent key %d", es[i].Key+1)
+		}
+	}
+	if _, ok, _ := tr.Search(0); ok {
+		t.Fatal("found key below the key space")
+	}
+	if _, ok, _ := tr.Search(1 << 30); ok {
+		t.Fatal("found key above the key space")
+	}
+}
+
+func testFillFactors(t *testing.T, pageSize int, factory Factory) {
+	for _, fill := range []float64{0.6, 0.7, 0.8, 0.9, 1.0} {
+		env := NewEnv(pageSize, 8192)
+		tr := factory(t, env)
+		es := GenEntries(5000, 5, 2)
+		if err := tr.Bulkload(es, fill); err != nil {
+			t.Fatalf("fill %v: %v", fill, err)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("fill %v invariants: %v", fill, err)
+		}
+		for i := 0; i < len(es); i += 203 {
+			if _, ok, _ := tr.Search(es[i].Key); !ok {
+				t.Fatalf("fill %v: lost key %d", fill, es[i].Key)
+			}
+		}
+		n, err := tr.RangeScan(0, 1<<31, nil)
+		if err != nil || n != len(es) {
+			t.Fatalf("fill %v: full scan %d entries, want %d (err %v)", fill, n, len(es), err)
+		}
+	}
+}
+
+func testInsertSearch(t *testing.T, pageSize int, factory Factory) {
+	env := NewEnv(pageSize, 8192)
+	tr := factory(t, env)
+	rng := rand.New(rand.NewSource(7))
+	keys := rng.Perm(8000)
+	for _, k := range keys {
+		key := uint32(k)*2 + 2
+		if err := tr.Insert(key, key+7); err != nil {
+			t.Fatalf("insert %d: %v", key, err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after inserts: %v", err)
+	}
+	for _, k := range keys[:500] {
+		key := uint32(k)*2 + 2
+		tid, ok, err := tr.Search(key)
+		if err != nil || !ok || tid != key+7 {
+			t.Fatalf("search(%d) = (%d,%v,%v)", key, tid, ok, err)
+		}
+		if _, ok, _ := tr.Search(key + 1); ok {
+			t.Fatalf("found absent odd key %d", key+1)
+		}
+	}
+}
+
+func testInsertIntoBulkloaded(t *testing.T, pageSize int, factory Factory) {
+	for _, fill := range []float64{0.7, 1.0} {
+		env := NewEnv(pageSize, 16384)
+		tr := factory(t, env)
+		es := GenEntries(10000, 10, 4)
+		if err := tr.Bulkload(es, fill); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(11))
+		inserted := map[uint32]uint32{}
+		for i := 0; i < 3000; i++ {
+			// Bulkloaded keys are ≡ 2 (mod 4); odd keys never collide.
+			key := uint32(rng.Intn(40000))*4 + 13
+			if _, dup := inserted[key]; dup {
+				continue
+			}
+			inserted[key] = key + 7
+			if err := tr.Insert(key, key+7); err != nil {
+				t.Fatalf("fill %v insert %d: %v", fill, key, err)
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("fill %v invariants: %v", fill, err)
+		}
+		for k, tid := range inserted {
+			got, ok, err := tr.Search(k)
+			if err != nil || !ok || got != tid {
+				t.Fatalf("fill %v: inserted key %d -> (%d,%v,%v)", fill, k, got, ok, err)
+			}
+		}
+		for i := 0; i < len(es); i += 57 {
+			if _, ok, _ := tr.Search(es[i].Key); !ok {
+				t.Fatalf("fill %v: bulkloaded key %d lost after inserts", fill, es[i].Key)
+			}
+		}
+		want := len(es) + len(inserted)
+		if n, _ := tr.RangeScan(0, 1<<31, nil); n != want {
+			t.Fatalf("fill %v: scan sees %d entries, want %d", fill, n, want)
+		}
+	}
+}
+
+func testDelete(t *testing.T, pageSize int, factory Factory) {
+	env := NewEnv(pageSize, 8192)
+	tr := factory(t, env)
+	es := GenEntries(6000, 4, 2)
+	if err := tr.Bulkload(es, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(es); i += 2 {
+		ok, err := tr.Delete(es[i].Key)
+		if err != nil || !ok {
+			t.Fatalf("delete(%d) = (%v,%v)", es[i].Key, ok, err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after deletes: %v", err)
+	}
+	for i := range es {
+		_, ok, _ := tr.Search(es[i].Key)
+		if i%2 == 0 && ok {
+			t.Fatalf("deleted key %d still found", es[i].Key)
+		}
+		if i%2 == 1 && !ok {
+			t.Fatalf("surviving key %d lost", es[i].Key)
+		}
+	}
+	if ok, _ := tr.Delete(es[0].Key); ok {
+		t.Fatal("double delete succeeded")
+	}
+	if n, _ := tr.RangeScan(0, 1<<31, nil); n != len(es)/2 {
+		t.Fatalf("scan after deletes sees %d, want %d", n, len(es)/2)
+	}
+}
+
+func testRangeScan(t *testing.T, pageSize int, factory Factory) {
+	env := NewEnv(pageSize, 8192)
+	tr := factory(t, env)
+	es := GenEntries(15000, 100, 5)
+	if err := tr.Bulkload(es, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		a := rng.Intn(len(es))
+		b := a + rng.Intn(len(es)-a)
+		start, end := es[a].Key, es[b].Key
+		var got []idx.Entry
+		n, err := tr.RangeScan(start, end, func(k idx.Key, tid idx.TupleID) bool {
+			got = append(got, idx.Entry{Key: k, TID: tid})
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := es[a : b+1]
+		if n != len(want) || len(got) != len(want) {
+			t.Fatalf("scan [%d,%d] returned %d entries, want %d", start, end, n, len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("scan [%d,%d] entry %d = %+v, want %+v", start, end, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func testRangeScanEdges(t *testing.T, pageSize int, factory Factory) {
+	env := NewEnv(pageSize, 8192)
+	tr := factory(t, env)
+	es := GenEntries(5000, 50, 10)
+	if err := tr.Bulkload(es, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	// Inverted range.
+	if n, _ := tr.RangeScan(100, 50, nil); n != 0 {
+		t.Fatalf("inverted range returned %d", n)
+	}
+	// Single key.
+	if n, _ := tr.RangeScan(es[7].Key, es[7].Key, nil); n != 1 {
+		t.Fatalf("single-key range returned %d", n)
+	}
+	// Range between keys (empty).
+	if n, _ := tr.RangeScan(es[7].Key+1, es[8].Key-1, nil); n != 0 {
+		t.Fatalf("between-keys range returned %d", n)
+	}
+	// Range covering everything.
+	if n, _ := tr.RangeScan(0, 1<<31, nil); n != len(es) {
+		t.Fatalf("full range returned %d, want %d", n, len(es))
+	}
+	// Range starting before the key space.
+	if n, _ := tr.RangeScan(0, es[2].Key, nil); n != 3 {
+		t.Fatalf("prefix range returned %d, want 3", n)
+	}
+	// Range ending after the key space.
+	if n, _ := tr.RangeScan(es[len(es)-3].Key, 1<<31, nil); n != 3 {
+		t.Fatalf("suffix range returned %d, want 3", n)
+	}
+	// Early termination by the callback.
+	seen := 0
+	n, _ := tr.RangeScan(0, 1<<31, func(idx.Key, idx.TupleID) bool {
+		seen++
+		return seen < 10
+	})
+	if n != 10 || seen != 10 {
+		t.Fatalf("early-terminated scan: n=%d seen=%d", n, seen)
+	}
+}
+
+func testRangeScanReverse(t *testing.T, pageSize int, factory Factory) {
+	env := NewEnv(pageSize, 16384)
+	tr := factory(t, env)
+	es := GenEntries(12000, 100, 5)
+	if err := tr.Bulkload(es, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	// Churn so reverse scans cross split boundaries too.
+	for i := 0; i < 2000; i++ {
+		k := uint32(i*31%60000)*5 + 102 // never collides with bulk keys
+		if err := tr.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 12; trial++ {
+		a := rng.Intn(len(es))
+		b := a + rng.Intn(len(es)-a)
+		start, end := es[a].Key, es[b].Key
+		var fwd, rev []idx.Entry
+		if _, err := tr.RangeScan(start, end, func(k idx.Key, tid idx.TupleID) bool {
+			fwd = append(fwd, idx.Entry{Key: k, TID: tid})
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		n, err := tr.RangeScanReverse(start, end, func(k idx.Key, tid idx.TupleID) bool {
+			rev = append(rev, idx.Entry{Key: k, TID: tid})
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(fwd) || len(rev) != len(fwd) {
+			t.Fatalf("reverse scan [%d,%d] saw %d entries, forward saw %d", start, end, n, len(fwd))
+		}
+		for i := range fwd {
+			if rev[len(rev)-1-i] != fwd[i] {
+				t.Fatalf("reverse scan order mismatch at %d", i)
+			}
+		}
+	}
+	// Edges: inverted range, early termination.
+	if n, _ := tr.RangeScanReverse(100, 50, nil); n != 0 {
+		t.Fatalf("inverted reverse range returned %d", n)
+	}
+	seen := 0
+	n, _ := tr.RangeScanReverse(0, 1<<31, func(idx.Key, idx.TupleID) bool {
+		seen++
+		return seen < 7
+	})
+	if n != 7 || seen != 7 {
+		t.Fatalf("early-terminated reverse scan: n=%d seen=%d", n, seen)
+	}
+}
+
+func testRandomOps(t *testing.T, pageSize int, factory Factory) {
+	env := NewEnv(pageSize, 16384)
+	tr := factory(t, env)
+	ref := map[uint32]uint32{}
+	rng := rand.New(rand.NewSource(99))
+
+	// Start from a bulkloaded tree like the paper's workloads do.
+	es := GenEntries(2000, 1000, 8)
+	if err := tr.Bulkload(es, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range es {
+		ref[e.Key] = e.TID
+	}
+
+	for op := 0; op < 6000; op++ {
+		k := uint32(rng.Intn(30000)) + 1
+		switch rng.Intn(4) {
+		case 0, 1: // insert
+			if _, exists := ref[k]; exists {
+				continue
+			}
+			ref[k] = k + 7
+			if err := tr.Insert(k, k+7); err != nil {
+				t.Fatalf("op %d insert %d: %v", op, k, err)
+			}
+		case 2: // delete
+			_, exists := ref[k]
+			ok, err := tr.Delete(k)
+			if err != nil {
+				t.Fatalf("op %d delete %d: %v", op, k, err)
+			}
+			if ok != exists {
+				t.Fatalf("op %d delete %d: got %v, want %v", op, k, ok, exists)
+			}
+			delete(ref, k)
+		case 3: // search
+			tid, ok, err := tr.Search(k)
+			if err != nil {
+				t.Fatalf("op %d search %d: %v", op, k, err)
+			}
+			want, exists := ref[k]
+			if ok != exists || (ok && tid != want) {
+				t.Fatalf("op %d search %d: got (%d,%v), want (%d,%v)", op, k, tid, ok, want, exists)
+			}
+		}
+		if op%1500 == 1499 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("op %d invariants: %v", op, err)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("final invariants: %v", err)
+	}
+	// Final full scan must equal the reference in order and content.
+	keys := make([]uint32, 0, len(ref))
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	i := 0
+	n, err := tr.RangeScan(0, 1<<31, func(k idx.Key, tid idx.TupleID) bool {
+		if i < len(keys) && (k != keys[i] || tid != ref[k]) {
+			t.Fatalf("scan mismatch at %d: got (%d,%d), want (%d,%d)", i, k, tid, keys[i], ref[keys[i]])
+		}
+		i++
+		return true
+	})
+	if err != nil || n != len(keys) {
+		t.Fatalf("final scan: n=%d want %d err=%v", n, len(keys), err)
+	}
+}
+
+// testDuplicateChurn drives a duplicate-heavy insert/delete/search mix
+// against a multiset reference. Duplicate runs span nodes and pages, so
+// this exercises the strictly-less descent of the point operations.
+func testDuplicateChurn(t *testing.T, pageSize int, factory Factory) {
+	env := NewEnv(pageSize, 16384)
+	tr := factory(t, env)
+	counts := map[uint32]int{}
+	total := 0
+	rng := rand.New(rand.NewSource(31))
+	const keySpace = 40 // tiny key space => huge duplicate runs
+	for op := 0; op < 8000; op++ {
+		k := uint32(rng.Intn(keySpace))*3 + 5
+		switch rng.Intn(3) {
+		case 0: // insert another duplicate
+			if err := tr.Insert(k, k+7); err != nil {
+				t.Fatalf("op %d insert: %v", op, err)
+			}
+			counts[k]++
+			total++
+		case 1: // delete one instance
+			ok, err := tr.Delete(k)
+			if err != nil {
+				t.Fatalf("op %d delete: %v", op, err)
+			}
+			if ok != (counts[k] > 0) {
+				t.Fatalf("op %d delete(%d) = %v with count %d", op, k, ok, counts[k])
+			}
+			if ok {
+				counts[k]--
+				total--
+			}
+		case 2: // search
+			_, ok, err := tr.Search(k)
+			if err != nil {
+				t.Fatalf("op %d search: %v", op, err)
+			}
+			if ok != (counts[k] > 0) {
+				t.Fatalf("op %d search(%d) = %v with count %d", op, k, ok, counts[k])
+			}
+		}
+		if op%2000 == 1999 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("op %d invariants: %v", op, err)
+			}
+		}
+	}
+	// The scan must see exactly counts[k] instances of each key.
+	seen := map[uint32]int{}
+	n, err := tr.RangeScan(0, 1<<31, func(k idx.Key, tid idx.TupleID) bool {
+		if tid != k+7 {
+			t.Fatalf("scan tid mismatch for %d: %d", k, tid)
+		}
+		seen[k]++
+		return true
+	})
+	if err != nil || n != total {
+		t.Fatalf("scan n=%d want %d err=%v", n, total, err)
+	}
+	for k, c := range counts {
+		if seen[k] != c {
+			t.Fatalf("key %d: scan saw %d, reference has %d", k, seen[k], c)
+		}
+	}
+}
+
+func testSequentialInserts(t *testing.T, pageSize int, factory Factory) {
+	env := NewEnv(pageSize, 16384)
+	tr := factory(t, env)
+	const n = 12000
+	for i := 1; i <= n; i++ {
+		if err := tr.Insert(uint32(i), uint32(i)+7); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := tr.RangeScan(0, 1<<31, nil); got != n {
+		t.Fatalf("scan sees %d, want %d", got, n)
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("tree did not grow: height %d", tr.Height())
+	}
+	// Reverse-sequential as well.
+	env2 := NewEnv(pageSize, 16384)
+	tr2 := factory(t, env2)
+	for i := n; i >= 1; i-- {
+		if err := tr2.Insert(uint32(i), uint32(i)+7); err != nil {
+			t.Fatalf("reverse insert %d: %v", i, err)
+		}
+	}
+	if err := tr2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := tr2.RangeScan(0, 1<<31, nil); got != n {
+		t.Fatalf("reverse scan sees %d, want %d", got, n)
+	}
+}
+
+func testBulkloadErrors(t *testing.T, pageSize int, factory Factory) {
+	env := NewEnv(pageSize, 4096)
+	tr := factory(t, env)
+	if err := tr.Bulkload(GenEntries(10, 1, 1), 0); err == nil {
+		t.Fatal("accepted zero fill factor")
+	}
+	if err := tr.Bulkload(GenEntries(10, 1, 1), 1.5); err == nil {
+		t.Fatal("accepted fill factor > 1")
+	}
+	bad := []idx.Entry{{Key: 5, TID: 1}, {Key: 3, TID: 2}}
+	if err := tr.Bulkload(bad, 1.0); err == nil {
+		t.Fatal("accepted unsorted entries")
+	}
+	// Empty bulkload must produce a working empty tree.
+	if err := tr.Bulkload(nil, 1.0); err != nil {
+		t.Fatalf("empty bulkload: %v", err)
+	}
+	if _, ok, err := tr.Search(1); err != nil || ok {
+		t.Fatalf("search in empty bulkloaded tree: %v %v", ok, err)
+	}
+	if err := tr.Insert(9, 16); err != nil {
+		t.Fatalf("insert into empty bulkloaded tree: %v", err)
+	}
+	if tid, ok, _ := tr.Search(9); !ok || tid != 16 {
+		t.Fatal("insert after empty bulkload lost")
+	}
+}
+
+// testRebulkload verifies that bulkloading over an existing tree frees
+// the old pages (no page-ID leak across reloads).
+func testRebulkload(t *testing.T, pageSize int, factory Factory) {
+	env := NewEnv(pageSize, 16384)
+	tr := factory(t, env)
+	es := GenEntries(8000, 3, 2)
+	if err := tr.Bulkload(es, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if tr.PageCount() == 0 {
+		t.Skip("memory-resident structure: no pages to account")
+	}
+	first := tr.PageCount()
+	maxPID := env.Pool.MaxPageID()
+	for round := 0; round < 3; round++ {
+		if err := tr.Bulkload(es, 1.0); err != nil {
+			t.Fatal(err)
+		}
+		if got := tr.PageCount(); got != first {
+			t.Fatalf("round %d: page count changed %d -> %d", round, first, got)
+		}
+	}
+	if got := env.Pool.MaxPageID(); got != maxPID {
+		t.Fatalf("rebulkload leaked page IDs: %d -> %d", maxPID, got)
+	}
+	if _, ok, err := tr.Search(es[123].Key); err != nil || !ok {
+		t.Fatalf("search after rebulkload: %v %v", ok, err)
+	}
+}
+
+func testPinLeaks(t *testing.T, pageSize int, factory Factory) {
+	env := NewEnv(pageSize, 4096)
+	tr := factory(t, env)
+	es := GenEntries(3000, 10, 3)
+	if err := tr.Bulkload(es, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		k := es[(i*37)%len(es)].Key
+		if _, _, err := tr.Search(k); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Insert(k+1, k); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.Delete(k + 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.RangeScan(k, k+500, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if n := env.Pool.PinnedCount(); n != 0 {
+		t.Fatalf("%d pages left pinned", n)
+	}
+}

@@ -1,0 +1,111 @@
+// Package workload generates the deterministic workloads of §4:
+// bulkload key sets (unique random keys), random search/insert/delete
+// streams drawn from (or disjoint from) the loaded keys, and range-scan
+// specifications of a fixed entry width, all from seeded generators so
+// every experiment is reproducible run to run.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/idx"
+)
+
+// Gen produces workloads over a key universe.
+type Gen struct {
+	rng *rand.Rand
+}
+
+// New creates a generator with the given seed.
+func New(seed int64) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed))}
+}
+
+// BulkEntries returns n sorted entries with distinct keys. Keys are
+// k*2+1 for a random-free layout choice — odd, so MissingKeys (even)
+// never collide — with TID = key+7 for verification.
+func (g *Gen) BulkEntries(n int) []idx.Entry {
+	es := make([]idx.Entry, n)
+	for i := range es {
+		k := uint32(i)*2 + 1
+		es[i] = idx.Entry{Key: k, TID: k + 7}
+	}
+	return es
+}
+
+// SearchKeys returns m keys drawn uniformly from the bulkloaded key
+// space (all present).
+func (g *Gen) SearchKeys(n, m int) []idx.Key {
+	out := make([]idx.Key, m)
+	for i := range out {
+		out[i] = uint32(g.rng.Intn(n))*2 + 1
+	}
+	return out
+}
+
+// MissingKeys returns m keys guaranteed absent (even keys).
+func (g *Gen) MissingKeys(n, m int) []idx.Key {
+	out := make([]idx.Key, m)
+	for i := range out {
+		out[i] = uint32(g.rng.Intn(n)) * 2
+	}
+	return out
+}
+
+// InsertEntries returns m new entries with keys disjoint from the
+// bulkloaded set and from each other (even keys, sampled without
+// replacement).
+func (g *Gen) InsertEntries(n, m int) []idx.Entry {
+	seen := make(map[uint32]bool, m)
+	out := make([]idx.Entry, 0, m)
+	for len(out) < m {
+		k := uint32(g.rng.Intn(2*n+2*m)) * 2
+		if k == 0 || seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, idx.Entry{Key: k, TID: k + 7})
+	}
+	return out
+}
+
+// DeleteKeys returns m distinct present keys to delete.
+func (g *Gen) DeleteKeys(n, m int) ([]idx.Key, error) {
+	if m > n {
+		return nil, fmt.Errorf("workload: cannot delete %d of %d keys", m, n)
+	}
+	seen := make(map[uint32]bool, m)
+	out := make([]idx.Key, 0, m)
+	for len(out) < m {
+		k := uint32(g.rng.Intn(n))*2 + 1
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// RangeSpec is one range scan request.
+type RangeSpec struct {
+	Start, End idx.Key
+	Entries    int // expected number of entries in [Start, End]
+}
+
+// RangeScans returns `count` scans each spanning precisely `span`
+// entries of the bulkloaded key space (the Figure 15/18 workload:
+// random start keys, fixed-width ranges).
+func (g *Gen) RangeScans(n, span, count int) ([]RangeSpec, error) {
+	if span > n {
+		return nil, fmt.Errorf("workload: span %d exceeds key count %d", span, n)
+	}
+	out := make([]RangeSpec, count)
+	for i := range out {
+		a := g.rng.Intn(n - span + 1)
+		b := a + span - 1
+		out[i] = RangeSpec{Start: uint32(a)*2 + 1, End: uint32(b)*2 + 1, Entries: span}
+	}
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/idx"
+)
+
+func TestBulkEntriesSortedUnique(t *testing.T) {
+	g := New(1)
+	es := g.BulkEntries(10000)
+	if err := idx.ValidateSorted(es); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(es); i++ {
+		if es[i].Key == es[i-1].Key {
+			t.Fatal("duplicate bulk key")
+		}
+	}
+	for _, e := range es {
+		if e.Key%2 != 1 || e.TID != e.Key+7 {
+			t.Fatalf("bad entry %+v", e)
+		}
+	}
+}
+
+func TestSearchKeysArePresent(t *testing.T) {
+	g := New(2)
+	present := map[uint32]bool{}
+	for _, e := range g.BulkEntries(1000) {
+		present[e.Key] = true
+	}
+	for _, k := range g.SearchKeys(1000, 500) {
+		if !present[k] {
+			t.Fatalf("search key %d not in bulk set", k)
+		}
+	}
+}
+
+func TestMissingKeysAreAbsent(t *testing.T) {
+	g := New(3)
+	present := map[uint32]bool{}
+	for _, e := range g.BulkEntries(1000) {
+		present[e.Key] = true
+	}
+	for _, k := range g.MissingKeys(1000, 500) {
+		if present[k] {
+			t.Fatalf("missing key %d collides", k)
+		}
+	}
+}
+
+func TestInsertEntriesDisjoint(t *testing.T) {
+	g := New(4)
+	present := map[uint32]bool{}
+	for _, e := range g.BulkEntries(1000) {
+		present[e.Key] = true
+	}
+	ins := g.InsertEntries(1000, 800)
+	if len(ins) != 800 {
+		t.Fatalf("got %d inserts", len(ins))
+	}
+	seen := map[uint32]bool{}
+	for _, e := range ins {
+		if present[e.Key] || seen[e.Key] {
+			t.Fatalf("insert key %d collides", e.Key)
+		}
+		seen[e.Key] = true
+	}
+}
+
+func TestDeleteKeysDistinctPresent(t *testing.T) {
+	g := New(5)
+	ks, err := g.DeleteKeys(1000, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint32]bool{}
+	for _, k := range ks {
+		if k%2 != 1 || seen[k] {
+			t.Fatalf("bad delete key %d", k)
+		}
+		seen[k] = true
+	}
+	if _, err := g.DeleteKeys(10, 20); err == nil {
+		t.Fatal("over-deletion accepted")
+	}
+}
+
+func TestRangeScansSpanExactly(t *testing.T) {
+	g := New(6)
+	scans, err := g.RangeScans(100000, 5000, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scans {
+		// Keys are i*2+1, so a span of m entries covers 2(m-1) key units.
+		if sc.End-sc.Start != uint32(2*(5000-1)) {
+			t.Fatalf("span wrong: %d..%d", sc.Start, sc.End)
+		}
+		if sc.Entries != 5000 {
+			t.Fatalf("entries = %d", sc.Entries)
+		}
+	}
+	if _, err := g.RangeScans(10, 20, 1); err == nil {
+		t.Fatal("oversized span accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := New(42).SearchKeys(1000, 100)
+	b := New(42).SearchKeys(1000, 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("generator not deterministic")
+		}
+	}
+}
