@@ -2,26 +2,49 @@
 //
 // Usage:
 //
-//	fpbench [-scale quick|default|paper] [-csv] [experiment ...]
+//	fpbench [-scale quick|default|paper] [-csv] [-parallel] [-benchjson FILE] [experiment ...]
 //
 // With no experiment arguments it runs the full suite in paper order.
 // Experiment IDs: table2, fig3b, fig10, fig11, fig12, fig13, fig14,
 // fig15, fig16, fig17, fig18, fig19, ablation.
+//
+// -parallel fans each experiment's cells over one worker per CPU; the
+// tables are identical to a serial run. -benchjson FILE times every
+// experiment both serially and in parallel and writes the wall-clock
+// comparison as JSON (e.g. BENCH_1.json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/harness"
 )
 
+type benchEntry struct {
+	ID              string  `json:"id"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+}
+
+type benchReport struct {
+	Scale       string       `json:"scale"`
+	Workers     int          `json:"workers"`
+	CPUs        int          `json:"cpus"`
+	Experiments []benchEntry `json:"experiments"`
+}
+
 func main() {
 	scale := flag.String("scale", "default", "workload scale: quick, default, or paper")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	parallel := flag.Bool("parallel", false, "run experiment cells on one worker per CPU")
+	benchJSON := flag.String("benchjson", "", "time each experiment serially and in parallel, write JSON to this file")
 	flag.Parse()
 
 	if *list {
@@ -35,28 +58,78 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *parallel {
+		p.Workers = harness.DefaultWorkers()
+	}
 	ids := flag.Args()
 	if len(ids) == 0 {
 		ids = []string{"table2", "fig3b", "fig10", "fig11", "fig12", "fig13",
 			"fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "ablation"}
 	}
 	fmt.Printf("# fpB+-Tree reproduction — scale=%s\n\n", p.Name)
+
+	if *benchJSON != "" {
+		report := benchReport{Scale: p.Name, Workers: harness.DefaultWorkers(), CPUs: runtime.NumCPU()}
+		for _, id := range ids {
+			serial := p
+			serial.Workers = 1
+			start := time.Now()
+			tables, err := harness.Run(id, serial)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", id, err))
+			}
+			serialDur := time.Since(start)
+
+			par := p
+			par.Workers = harness.DefaultWorkers()
+			start = time.Now()
+			if _, err := harness.Run(id, par); err != nil {
+				fatal(fmt.Errorf("%s (parallel): %w", id, err))
+			}
+			parallelDur := time.Since(start)
+
+			printTables(tables, *csv)
+			fmt.Printf("# %s: serial %v, parallel %v (%d workers)\n\n",
+				id, serialDur.Round(time.Millisecond), parallelDur.Round(time.Millisecond), par.Workers)
+			report.Experiments = append(report.Experiments, benchEntry{
+				ID:              id,
+				SerialSeconds:   serialDur.Seconds(),
+				ParallelSeconds: parallelDur.Seconds(),
+				Speedup:         serialDur.Seconds() / parallelDur.Seconds(),
+			})
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*benchJSON, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# wrote %s\n", *benchJSON)
+		return
+	}
+
 	for _, id := range ids {
 		start := time.Now()
 		tables, err := harness.Run(id, p)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", id, err))
 		}
-		for _, t := range tables {
-			if *csv {
-				fmt.Printf("# %s: %s\n", t.ID, t.Title)
-				t.CSV(os.Stdout)
-				fmt.Println()
-			} else {
-				t.Fprint(os.Stdout)
-			}
-		}
+		printTables(tables, *csv)
 		fmt.Printf("# %s completed in %v\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func printTables(tables []*harness.Table, csv bool) {
+	for _, t := range tables {
+		if csv {
+			fmt.Printf("# %s: %s\n", t.ID, t.Title)
+			t.CSV(os.Stdout)
+			fmt.Println()
+		} else {
+			t.Fprint(os.Stdout)
+		}
 	}
 }
 

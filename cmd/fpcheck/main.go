@@ -1,8 +1,10 @@
 // Command fpcheck is a randomized structural verifier: it drives every
 // index variant with seeded random operation streams (including
 // duplicate-heavy mixes), cross-checks results against a reference
-// model and against each other, and validates structural invariants
-// after every batch. Exit status 0 means all runs passed.
+// model and against each other, validates structural invariants after
+// every batch, and differentially checks SearchBatch against per-key
+// Search on the keys the stream has touched. Exit status 0 means all
+// runs passed.
 //
 // Usage:
 //
@@ -78,9 +80,43 @@ func runOne(v fpbtree.Variant, page, keys, ops int, seed int64) error {
 		return err
 	}
 
+	// Keys the stream touches, batched up for the SearchBatch
+	// differential (so batches mix present, deleted, and absent keys).
+	var pending []fpbtree.Key
+	var batchOut []fpbtree.SearchResult
+	checkBatch := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		var err error
+		batchOut, err = tr.SearchBatchInto(pending, batchOut[:0])
+		if err != nil {
+			return fmt.Errorf("SearchBatch of %d keys: %w", len(pending), err)
+		}
+		for i, k := range pending {
+			tid, ok, err := tr.Search(k)
+			if err != nil {
+				return fmt.Errorf("search %d during batch check: %w", k, err)
+			}
+			got := batchOut[i]
+			if got.Found != ok || (ok && got.TID != tid) {
+				return fmt.Errorf("SearchBatch[%d] for key %d = (%d,%v), Search says (%d,%v)",
+					i, k, got.TID, got.Found, tid, ok)
+			}
+		}
+		pending = pending[:0]
+		return nil
+	}
+
 	maxKey := fpbtree.Key(keys*3 + 100)
 	for i := 0; i < ops; i++ {
 		k := fpbtree.Key(rng.Intn(int(maxKey)))/3*3 + 1 // collides often: duplicates
+		pending = append(pending, k)
+		if len(pending) >= 256 {
+			if err := checkBatch(); err != nil {
+				return fmt.Errorf("after op %d: %w", i, err)
+			}
+		}
 		switch rng.Intn(5) {
 		case 0, 1:
 			if err := tr.Insert(k, k+7); err != nil {
@@ -135,6 +171,10 @@ func runOne(v fpbtree.Variant, page, keys, ops int, seed int64) error {
 				return fmt.Errorf("invariants after op %d: %w", i, err)
 			}
 		}
+	}
+
+	if err := checkBatch(); err != nil {
+		return fmt.Errorf("final batch check: %w", err)
 	}
 
 	// Final: full scan equals the reference multiset, in order.

@@ -41,6 +41,9 @@ type TupleID = idx.TupleID
 // Entry is a key with its tuple ID.
 type Entry = idx.Entry
 
+// SearchResult is the per-key outcome of a SearchBatch.
+type SearchResult = idx.SearchResult
+
 // Variant selects the index organization.
 type Variant int
 
@@ -203,6 +206,22 @@ func (t *Tree) Bulkload(entries []Entry, fill float64) error {
 
 // Search returns the tuple ID stored under key.
 func (t *Tree) Search(key Key) (TupleID, bool, error) { return t.index.Search(key) }
+
+// SearchBatch looks up every key at once, returning one result per key
+// in key order. Disk-resident variants sort the batch internally and
+// descend level-wise, pinning each distinct page once per level and
+// prefetching the next level's pages, so large batches do far fewer
+// buffer-pool operations than per-key Search loops.
+func (t *Tree) SearchBatch(keys []Key) ([]SearchResult, error) {
+	return t.index.SearchBatch(keys, nil)
+}
+
+// SearchBatchInto is the allocation-conscious form of SearchBatch: it
+// appends the results to out (reallocating only when out lacks
+// capacity) and returns the extended slice.
+func (t *Tree) SearchBatchInto(keys []Key, out []SearchResult) ([]SearchResult, error) {
+	return t.index.SearchBatch(keys, out)
+}
 
 // Insert adds an entry.
 func (t *Tree) Insert(key Key, tid TupleID) error { return t.index.Insert(key, tid) }

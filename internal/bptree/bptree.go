@@ -75,6 +75,8 @@ type Tree struct {
 
 	jpa      bool
 	pfWindow int
+
+	batch idx.BatchScratch
 }
 
 // New creates an empty tree over the pool.
@@ -138,13 +140,13 @@ func (t *Tree) setPtr(d []byte, i int, v uint32)  { le.PutUint32(d[t.ptrOff(i):]
 // --- simulated-cache-charged access paths ---
 
 // header touch: the first line of the page.
-func (t *Tree) touchHeader(pg *buffer.Page) {
+func (t *Tree) touchHeader(pg buffer.Page) {
 	t.mm.Access(pg.Addr, 16)
 	t.mm.Busy(memsim.CostNodeVisit)
 }
 
 // probeKey reads key i charging one probe.
-func (t *Tree) probeKey(pg *buffer.Page, i int) idx.Key {
+func (t *Tree) probeKey(pg buffer.Page, i int) idx.Key {
 	t.mm.Access(pg.Addr+uint64(t.keyOff(i)), idx.KeySize)
 	t.mm.Busy(memsim.CostCompare)
 	t.mm.Other(memsim.CostComparePenalty)
@@ -152,7 +154,7 @@ func (t *Tree) probeKey(pg *buffer.Page, i int) idx.Key {
 }
 
 // readPtr reads pointer i charging the access.
-func (t *Tree) readPtr(pg *buffer.Page, i int) uint32 {
+func (t *Tree) readPtr(pg buffer.Page, i int) uint32 {
 	t.mm.Access(pg.Addr+uint64(t.ptrOff(i)), idx.PageIDSize)
 	return t.ptr(pg.Data, i)
 }
@@ -160,7 +162,7 @@ func (t *Tree) readPtr(pg *buffer.Page, i int) uint32 {
 // searchPage binary searches for the largest slot whose key is <= k;
 // returns -1 if all keys are greater. exact reports whether the slot
 // key equals k.
-func (t *Tree) searchPage(pg *buffer.Page, k idx.Key) (slot int, exact bool) {
+func (t *Tree) searchPage(pg buffer.Page, k idx.Key) (slot int, exact bool) {
 	lo, hi := 0, pCount(pg.Data) // invariant: key[lo-1] <= k < key[hi]
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -180,7 +182,7 @@ func (t *Tree) searchPage(pg *buffer.Page, k idx.Key) (slot int, exact bool) {
 // searchPageLT binary searches for the largest slot whose key is
 // strictly less than k (-1 if none). Range scans descend with this so
 // that duplicates equal to a separator are not skipped.
-func (t *Tree) searchPageLT(pg *buffer.Page, k idx.Key) int {
+func (t *Tree) searchPageLT(pg buffer.Page, k idx.Key) int {
 	lo, hi := 0, pCount(pg.Data)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -196,7 +198,7 @@ func (t *Tree) searchPageLT(pg *buffer.Page, k idx.Key) int {
 // insertAt shifts entries [pos, count) right one slot and writes the new
 // entry, charging the array data movement the paper identifies as the
 // dominant insertion cost (§4.2.2).
-func (t *Tree) insertAt(pg *buffer.Page, pos int, k idx.Key, p uint32) {
+func (t *Tree) insertAt(pg buffer.Page, pos int, k idx.Key, p uint32) {
 	d := pg.Data
 	n := pCount(d)
 	if n >= t.cap {
@@ -217,7 +219,7 @@ func (t *Tree) insertAt(pg *buffer.Page, pos int, k idx.Key, p uint32) {
 
 // removeAt shifts entries left over slot pos (lazy deletion's data
 // movement).
-func (t *Tree) removeAt(pg *buffer.Page, pos int) {
+func (t *Tree) removeAt(pg buffer.Page, pos int) {
 	d := pg.Data
 	n := pCount(d)
 	if moved := n - pos - 1; moved > 0 {

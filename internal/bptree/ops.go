@@ -35,7 +35,7 @@ func (t *Tree) Bulkload(entries []idx.Entry, fill float64) error {
 		pid uint32
 	}
 	var level []ref
-	var prev *buffer.Page
+	var prev buffer.Page
 	if len(entries) == 0 {
 		pg, err := t.pool.NewPage()
 		if err != nil {
@@ -61,7 +61,7 @@ func (t *Tree) Bulkload(entries []idx.Entry, fill float64) error {
 			t.setKey(d, n, e.Key)
 			t.setPtr(d, n, e.TID)
 		}
-		if prev != nil {
+		if prev.Valid() {
 			setNext(prev.Data, pg.ID)
 			setPrev(d, prev.ID)
 			t.pool.Unpin(prev, true)
@@ -69,7 +69,7 @@ func (t *Tree) Bulkload(entries []idx.Entry, fill float64) error {
 		prev = pg
 		level = append(level, ref{entries[i].Key, pg.ID})
 	}
-	if prev != nil {
+	if prev.Valid() {
 		t.pool.Unpin(prev, true)
 	}
 	t.firstLeaf = level[0].pid
@@ -78,7 +78,7 @@ func (t *Tree) Bulkload(entries []idx.Entry, fill float64) error {
 	// Internal levels.
 	for len(level) > 1 {
 		var up []ref
-		prev = nil
+		prev = buffer.Page{}
 		for i := 0; i < len(level); i += per {
 			j := i + per
 			if j > len(level) {
@@ -98,7 +98,7 @@ func (t *Tree) Bulkload(entries []idx.Entry, fill float64) error {
 				t.setKey(d, n, r.min)
 				t.setPtr(d, n, r.pid)
 			}
-			if prev != nil {
+			if prev.Valid() {
 				setNext(prev.Data, pg.ID)
 				setPrev(d, prev.ID)
 				setJPNext(prev.Data, pg.ID)
@@ -107,7 +107,7 @@ func (t *Tree) Bulkload(entries []idx.Entry, fill float64) error {
 			prev = pg
 			up = append(up, ref{level[i].min, pg.ID})
 		}
-		if prev != nil {
+		if prev.Valid() {
 			t.pool.Unpin(prev, true)
 		}
 		level = up
@@ -165,18 +165,18 @@ func (t *Tree) Search(k idx.Key) (idx.TupleID, bool, error) {
 
 // findFirst locates the first entry with key == k, returning its pinned
 // page and slot (the caller unpins), or found=false.
-func (t *Tree) findFirst(k idx.Key) (*buffer.Page, int, bool, error) {
+func (t *Tree) findFirst(k idx.Key) (buffer.Page, int, bool, error) {
 	if t.root == 0 {
-		return nil, 0, false, nil
+		return buffer.Page{}, 0, false, nil
 	}
 	pid, err := t.leafFor(k)
 	if err != nil {
-		return nil, 0, false, err
+		return buffer.Page{}, 0, false, err
 	}
 	for pid != 0 {
 		pg, err := t.pool.Get(pid)
 		if err != nil {
-			return nil, 0, false, err
+			return buffer.Page{}, 0, false, err
 		}
 		t.touchHeader(pg)
 		slot := t.searchPageLT(pg, k) + 1
@@ -187,7 +187,7 @@ func (t *Tree) findFirst(k idx.Key) (*buffer.Page, int, bool, error) {
 				return pg, slot, true, nil
 			}
 			t.pool.Unpin(pg, false)
-			return nil, 0, false, nil
+			return buffer.Page{}, 0, false, nil
 		}
 		// Every entry in this page is < k (or the page is empty):
 		// the run may start in the next page.
@@ -195,7 +195,7 @@ func (t *Tree) findFirst(k idx.Key) (*buffer.Page, int, bool, error) {
 		t.pool.Unpin(pg, false)
 		pid = next
 	}
-	return nil, 0, false, nil
+	return buffer.Page{}, 0, false, nil
 }
 
 // Insert implements idx.Index.
@@ -311,7 +311,7 @@ func (t *Tree) insertInto(pid uint32, lvl int, k idx.Key, p uint32) (bool, idx.K
 // splitPage moves the upper half of pg to a new page, threading sibling
 // and jump-pointer links, and returns the separator (the new page's
 // minimum key).
-func (t *Tree) splitPage(pg *buffer.Page) (idx.Key, uint32, error) {
+func (t *Tree) splitPage(pg buffer.Page) (idx.Key, uint32, error) {
 	d := pg.Data
 	n := pCount(d)
 	mid := n / 2

@@ -19,8 +19,10 @@ type Stats struct {
 	DirtyWrites   uint64
 }
 
-// Page is a pinned page handle. Data aliases the frame's buffer and is
-// valid until Unpin.
+// Page is a pinned page handle, passed by value so that pinning never
+// heap-allocates. Data aliases the frame's buffer and is valid until
+// Unpin. The zero Page is the invalid sentinel (page ID 0 is the nil
+// page).
 type Page struct {
 	ID   uint32
 	Data []byte
@@ -30,16 +32,34 @@ type Page struct {
 	frame int
 }
 
+// Valid reports whether pg refers to a pinned page (the zero Page does
+// not).
+func (pg Page) Valid() bool { return pg.ID != 0 }
+
+// fastSize is the size of the direct-mapped pid→frame fast path in
+// front of the frame table. Must be a power of two.
+const fastSize = 128
+
+type fastEnt struct {
+	pid uint32
+	idx int32
+}
+
 // Pool is a CLOCK-replacement buffer pool over a Store.
 type Pool struct {
 	store    Store
 	pageSize int
 	frames   []frame
 	table    map[uint32]int
-	hand     int
-	clock    uint64 // virtual microseconds
-	mm       *memsim.Model
-	space    *memsim.AddressSpace
+	// fast is a direct-mapped cache of recent table lookups (hot root /
+	// upper-level pages hit here without touching the map). Entries are
+	// validated against the frame before use, so stale ones are
+	// harmless and need no explicit invalidation.
+	fast  [fastSize]fastEnt
+	hand  int
+	clock uint64 // virtual microseconds
+	mm    *memsim.Model
+	space *memsim.AddressSpace
 
 	nextPID  uint32
 	freePIDs []uint32
@@ -154,9 +174,15 @@ func (p *Pool) evict(i int) error {
 	delete(p.table, f.pid)
 	f.valid = false
 	f.dirty = false
+	// A reused frame must never inherit the in-flight completion time
+	// of its prior occupant.
+	f.readyAt = 0
 	p.stats.Evictions++
 	return nil
 }
+
+// FrameCount returns the pool's capacity in frames.
+func (p *Pool) FrameCount() int { return len(p.frames) }
 
 func (p *Pool) fixBusy() {
 	if p.mm != nil {
@@ -166,36 +192,31 @@ func (p *Pool) fixBusy() {
 
 // Get pins page pid, reading it from the store on a miss, and advances
 // the virtual clock to the read's completion.
-func (p *Pool) Get(pid uint32) (*Page, error) {
+func (p *Pool) Get(pid uint32) (Page, error) {
 	if pid == 0 {
-		return nil, fmt.Errorf("buffer: Get of nil page")
+		return Page{}, fmt.Errorf("buffer: Get of nil page")
 	}
 	p.stats.Gets++
 	p.fixBusy()
+	// Direct-mapped fast path: a stale entry fails the frame validation
+	// and falls through to the map.
+	if fe := &p.fast[pid&(fastSize-1)]; fe.pid == pid {
+		if i := int(fe.idx); i < len(p.frames) && p.frames[i].valid && p.frames[i].pid == pid {
+			return p.pinHit(pid, i), nil
+		}
+	}
 	if i, ok := p.table[pid]; ok {
-		f := &p.frames[i]
-		f.pin++
-		f.ref = true
-		if f.readyAt > p.clock {
-			// In-flight prefetch: wait for it.
-			p.clock = f.readyAt
-		}
-		if f.readyAt > 0 {
-			p.stats.PrefetchHits++
-			f.readyAt = 0
-		} else {
-			p.stats.Hits++
-		}
-		return &Page{ID: pid, Data: f.data, Addr: p.space.PageAddr(pid), frame: i}, nil
+		p.fast[pid&(fastSize-1)] = fastEnt{pid: pid, idx: int32(i)}
+		return p.pinHit(pid, i), nil
 	}
 	i, err := p.victim()
 	if err != nil {
-		return nil, err
+		return Page{}, err
 	}
 	f := &p.frames[i]
 	done, err := p.store.ReadPage(pid, f.data, p.clock)
 	if err != nil {
-		return nil, err
+		return Page{}, err
 	}
 	p.clock = done
 	f.pid = pid
@@ -205,8 +226,27 @@ func (p *Pool) Get(pid uint32) (*Page, error) {
 	f.dirty = false
 	f.readyAt = 0
 	p.table[pid] = i
+	p.fast[pid&(fastSize-1)] = fastEnt{pid: pid, idx: int32(i)}
 	p.stats.DemandMisses++
-	return &Page{ID: pid, Data: f.data, Addr: p.space.PageAddr(pid), frame: i}, nil
+	return Page{ID: pid, Data: f.data, Addr: p.space.PageAddr(pid), frame: i}, nil
+}
+
+// pinHit pins the resident (or in-flight) frame i holding pid.
+func (p *Pool) pinHit(pid uint32, i int) Page {
+	f := &p.frames[i]
+	f.pin++
+	f.ref = true
+	if f.readyAt > p.clock {
+		// In-flight prefetch: wait for it.
+		p.clock = f.readyAt
+	}
+	if f.readyAt > 0 {
+		p.stats.PrefetchHits++
+		f.readyAt = 0
+	} else {
+		p.stats.Hits++
+	}
+	return Page{ID: pid, Data: f.data, Addr: p.space.PageAddr(pid), frame: i}
 }
 
 // Prefetch issues an asynchronous read for pid if it is not already
@@ -239,6 +279,29 @@ func (p *Pool) Prefetch(pid uint32) error {
 	return nil
 }
 
+// PrefetchRun issues prefetches for a run of page IDs, skipping nil
+// pages and adjacent duplicates, and capping issuance below the pool
+// capacity so a large batch cannot flood the pool and evict its own
+// prefetches before they are consumed.
+func (p *Pool) PrefetchRun(pids []uint32) error {
+	budget := len(p.frames) - 4
+	var last uint32
+	for _, pid := range pids {
+		if pid == 0 || pid == last {
+			continue
+		}
+		last = pid
+		if budget <= 0 {
+			return nil
+		}
+		budget--
+		if err := p.Prefetch(pid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Contains reports whether pid is resident (or in flight) without
 // touching replacement state.
 func (p *Pool) Contains(pid uint32) bool {
@@ -248,12 +311,12 @@ func (p *Pool) Contains(pid uint32) bool {
 
 // NewPage allocates a fresh page, pinned and zeroed, without a store
 // read.
-func (p *Pool) NewPage() (*Page, error) {
+func (p *Pool) NewPage() (Page, error) {
 	pid := p.AllocPageID()
 	i, err := p.victim()
 	if err != nil {
 		p.freePIDs = append(p.freePIDs, pid)
-		return nil, err
+		return Page{}, err
 	}
 	f := &p.frames[i]
 	for j := range f.data {
@@ -266,11 +329,12 @@ func (p *Pool) NewPage() (*Page, error) {
 	f.dirty = true
 	f.readyAt = 0
 	p.table[pid] = i
-	return &Page{ID: pid, Data: f.data, Addr: p.space.PageAddr(pid), frame: i}, nil
+	p.fast[pid&(fastSize-1)] = fastEnt{pid: pid, idx: int32(i)}
+	return Page{ID: pid, Data: f.data, Addr: p.space.PageAddr(pid), frame: i}, nil
 }
 
 // Unpin releases a pinned page, optionally marking it dirty.
-func (p *Pool) Unpin(pg *Page, dirty bool) {
+func (p *Pool) Unpin(pg Page, dirty bool) {
 	f := &p.frames[pg.frame]
 	if !f.valid || f.pid != pg.ID || f.pin <= 0 {
 		panic(fmt.Sprintf("buffer: bad Unpin of page %d", pg.ID))
@@ -291,6 +355,7 @@ func (p *Pool) FreePage(pid uint32) error {
 		delete(p.table, pid)
 		f.valid = false
 		f.dirty = false
+		f.readyAt = 0
 	}
 	p.freePIDs = append(p.freePIDs, pid)
 	return nil
@@ -329,6 +394,7 @@ func (p *Pool) DropAll() error {
 		if f.valid {
 			delete(p.table, f.pid)
 			f.valid = false
+			f.readyAt = 0
 		}
 	}
 	return nil

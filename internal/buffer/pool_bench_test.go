@@ -1,0 +1,226 @@
+package buffer
+
+import (
+	"testing"
+
+	"repro/internal/disksim"
+)
+
+func newDiskPool(t testing.TB, frames, disks int) *Pool {
+	t.Helper()
+	arr, err := disksim.New(disksim.DefaultConfig(disks, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewPool(NewDiskStore(arr), frames)
+}
+
+// frameOf looks up the frame currently holding pid (white-box).
+func frameOf(t *testing.T, p *Pool, pid uint32) *frame {
+	t.Helper()
+	i, ok := p.table[pid]
+	if !ok {
+		t.Fatalf("page %d not resident", pid)
+	}
+	return &p.frames[i]
+}
+
+// TestEvictClearsReadyAt is the regression test for stale in-flight
+// completion times: a frame that held a prefetched-but-never-consumed
+// page must not carry its readyAt into the next occupant, which would
+// stall an unrelated Get and count a phantom prefetch hit.
+func TestEvictClearsReadyAt(t *testing.T) {
+	p := newDiskPool(t, 2, 1)
+
+	// Materialize two pages on disk.
+	a, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(a, true)
+	b, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(b, true)
+	if err := p.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Prefetch A: its frame is in flight with a future completion time.
+	if err := p.Prefetch(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if f := frameOf(t, p, a.ID); f.readyAt <= p.Clock() {
+		t.Fatalf("prefetch should be in flight: readyAt=%d clock=%d", f.readyAt, p.Clock())
+	}
+
+	// Evict the in-flight frame without ever consuming the prefetch.
+	if err := p.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.frames {
+		if p.frames[i].readyAt != 0 {
+			t.Fatalf("frame %d kept stale readyAt=%d after DropAll", i, p.frames[i].readyAt)
+		}
+	}
+
+	// Same through the CLOCK eviction path.
+	if err := p.Prefetch(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	pgB, err := p.Get(b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(pgB, false)
+	pgB2, err := p.Get(b.ID) // force A's frame through victim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(pgB2, false)
+	for i := range p.frames {
+		f := &p.frames[i]
+		if !f.valid && f.readyAt != 0 {
+			t.Fatalf("evicted frame %d kept stale readyAt=%d", i, f.readyAt)
+		}
+	}
+
+	// And through FreePage.
+	if err := p.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Prefetch(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.FreePage(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.frames {
+		if !p.frames[i].valid && p.frames[i].readyAt != 0 {
+			t.Fatalf("freed frame %d kept stale readyAt=%d", i, p.frames[i].readyAt)
+		}
+	}
+
+	// A phantom prefetch hit would show up here: B was never prefetched,
+	// so re-getting it must count plain hits only.
+	before := p.Stats()
+	pg, err := p.Get(b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(pg, false)
+	pg, err = p.Get(b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(pg, false)
+	d := p.Stats()
+	if d.PrefetchHits != before.PrefetchHits {
+		t.Fatalf("phantom prefetch hit: %d -> %d", before.PrefetchHits, d.PrefetchHits)
+	}
+}
+
+// TestFastPathCollisions drives pages whose IDs collide in the
+// direct-mapped fast path and checks every Get still resolves to the
+// right page.
+func TestFastPathCollisions(t *testing.T) {
+	p := newMemPool(600)
+	var pids []uint32
+	for i := 0; i < 3; i++ {
+		pg, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Data[0] = byte(pg.ID)
+		p.Unpin(pg, true)
+		pids = append(pids, pg.ID)
+		// Burn page IDs so the next allocation collides in the fast path
+		// (same pid mod fastSize).
+		for j := 1; j < fastSize; j++ {
+			q, err := p.NewPage()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Unpin(q, false)
+		}
+	}
+	for round := 0; round < 4; round++ {
+		for _, pid := range pids {
+			pg, err := p.Get(pid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pg.ID != pid || pg.Data[0] != byte(pid) {
+				t.Fatalf("fast path returned wrong page: want %d, got %d (tag %d)", pid, pg.ID, pg.Data[0])
+			}
+			p.Unpin(pg, false)
+		}
+	}
+}
+
+// TestPoolGetHitAllocs asserts the allocation-free hot path: pinning
+// and unpinning a resident page must not allocate.
+func TestPoolGetHitAllocs(t *testing.T) {
+	p := newMemPool(16)
+	pg, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid := pg.ID
+	p.Unpin(pg, false)
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		pg, err := p.Get(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(pg, false)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Get+Unpin allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func BenchmarkPoolGetHit(b *testing.B) {
+	p := newMemPool(16)
+	pg, err := p.NewPage()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pid := pg.ID
+	p.Unpin(pg, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pg, err := p.Get(pid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Unpin(pg, false)
+	}
+}
+
+// BenchmarkPoolGetHitSpread exercises the map fallback: more hot pages
+// than direct-mapped slots.
+func BenchmarkPoolGetHitSpread(b *testing.B) {
+	p := newMemPool(2 * fastSize)
+	pids := make([]uint32, fastSize+fastSize/2)
+	for i := range pids {
+		pg, err := p.NewPage()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pids[i] = pg.ID
+		p.Unpin(pg, false)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pg, err := p.Get(pids[i%len(pids)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Unpin(pg, false)
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/idx"
+	"repro/internal/memsim"
+)
+
+// bulkloadedDiskFirst builds a disk-first tree over n sequential keys
+// on a memory-backed pool big enough to hold it.
+func bulkloadedDiskFirst(tb testing.TB, n, pageSize, frames int) (*DiskFirst, *buffer.Pool) {
+	tb.Helper()
+	mm := memsim.NewDefault()
+	pool := buffer.NewPool(buffer.NewMemStore(pageSize), frames)
+	pool.AttachModel(mm)
+	tr, err := NewDiskFirst(DiskFirstConfig{Pool: pool, Model: mm})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	es := make([]idx.Entry, n)
+	for i := range es {
+		k := uint32(i)*2 + 2
+		es[i] = idx.Entry{Key: k, TID: k + 7}
+	}
+	if err := tr.Bulkload(es, 1.0); err != nil {
+		tb.Fatal(err)
+	}
+	return tr, pool
+}
+
+// batchKeys picks nk uniformly random present keys from an n-key tree
+// (fixed seed), in unsorted order with possible repeats — the OLTP
+// batch shape the level-wise descent amortizes.
+func batchKeys(n, nk int) []idx.Key {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]idx.Key, nk)
+	for i := range keys {
+		keys[i] = uint32(rng.Intn(n))*2 + 2
+	}
+	return keys
+}
+
+// TestSearchBatchFewerGets is the headline acceptance check: a batched
+// search of 1024 keys over a bulkloaded 1M-key disk-first tree must do
+// at least 4x fewer buffer-pool Gets than 1024 sequential searches,
+// because each level pins each distinct page once for the whole batch.
+func TestSearchBatchFewerGets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-key bulkload")
+	}
+	const n, nk = 1_000_000, 1024
+	tr, pool := bulkloadedDiskFirst(t, n, 16<<10, 4096)
+	keys := batchKeys(n, nk)
+
+	before := pool.Stats().Gets
+	for _, k := range keys {
+		tid, ok, err := tr.Search(k)
+		if err != nil || !ok || tid != k+7 {
+			t.Fatalf("search(%d) = (%d,%v,%v)", k, tid, ok, err)
+		}
+	}
+	seqGets := pool.Stats().Gets - before
+
+	before = pool.Stats().Gets
+	res, err := tr.SearchBatch(keys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchGets := pool.Stats().Gets - before
+
+	for i, k := range keys {
+		if !res[i].Found || res[i].TID != k+7 {
+			t.Fatalf("batch result %d for key %d = %+v", i, k, res[i])
+		}
+	}
+	if batchGets == 0 || seqGets < 4*batchGets {
+		t.Fatalf("batched search did %d Gets vs %d sequential: want >= 4x fewer", batchGets, seqGets)
+	}
+	t.Logf("sequential %d Gets, batched %d Gets (%.1fx fewer)", seqGets, batchGets, float64(seqGets)/float64(batchGets))
+	if pool.PinnedCount() != 0 {
+		t.Fatalf("%d pages left pinned", pool.PinnedCount())
+	}
+}
+
+// TestSearchBatchAllocs asserts the second acceptance check: a warm
+// batched search with a reused result slice performs zero heap
+// allocations per call.
+func TestSearchBatchAllocs(t *testing.T) {
+	const n, nk = 100_000, 256
+	tr, _ := bulkloadedDiskFirst(t, n, 16<<10, 4096)
+	keys := batchKeys(n, nk)
+	out := make([]idx.SearchResult, 0, nk)
+
+	// Warm the pool, the batch scratch, and the result slice.
+	var err error
+	out, err = tr.SearchBatch(keys, out[:0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		out, err = tr.SearchBatch(keys, out[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm SearchBatch allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func BenchmarkSearchSequential(b *testing.B) {
+	const n, nk = 300_000, 1024
+	tr, _ := bulkloadedDiskFirst(b, n, 16<<10, 4096)
+	keys := batchKeys(n, nk)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range keys {
+			if _, ok, err := tr.Search(k); err != nil || !ok {
+				b.Fatalf("search(%d) = %v, %v", k, ok, err)
+			}
+		}
+	}
+}
+
+func BenchmarkSearchBatch(b *testing.B) {
+	const n, nk = 300_000, 1024
+	tr, _ := bulkloadedDiskFirst(b, n, 16<<10, 4096)
+	keys := batchKeys(n, nk)
+	out := make([]idx.SearchResult, 0, nk)
+	var err error
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err = tr.SearchBatch(keys, out[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

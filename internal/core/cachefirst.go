@@ -101,6 +101,8 @@ type CacheFirst struct {
 	pages       map[uint32]byte // page kind registry (the space map)
 	overflowCur uint32          // overflow page currently being filled
 	noUnderfill bool            // ablation: disable bitmap-spread filling
+
+	batch idx.BatchScratch
 }
 
 // NewCacheFirst creates an empty tree.
@@ -224,10 +226,10 @@ func (t *CacheFirst) cSetChild(d []byte, off, i int, p ptr) {
 // --- space management ---
 
 // newPage allocates and registers a page of the given kind.
-func (t *CacheFirst) newPage(kind byte) (*buffer.Page, error) {
+func (t *CacheFirst) newPage(kind byte) (buffer.Page, error) {
 	pg, err := t.pool.NewPage()
 	if err != nil {
-		return nil, err
+		return buffer.Page{}, err
 	}
 	cfSetKind(pg.Data, kind)
 	cfSetNextFree(pg.Data, 1)
@@ -300,14 +302,14 @@ func (t *CacheFirst) allocOverflowSlot() (ptr, error) {
 // --- charged access helpers ---
 
 // visitNode prefetches all lines of a node (pB+-Tree discipline).
-func (t *CacheFirst) visitNode(pg *buffer.Page, off int) {
+func (t *CacheFirst) visitNode(pg buffer.Page, off int) {
 	t.mm.Prefetch(pg.Addr+uint64(nodeBase(off)), t.s*lineSize)
 	t.mm.Busy(memsim.CostNodeVisit)
 	t.mm.Access(pg.Addr+uint64(nodeBase(off)), cfNodeHdr)
 }
 
 // probe reads and compares one key at a byte position in the page.
-func (t *CacheFirst) probe(pg *buffer.Page, pos int) idx.Key {
+func (t *CacheFirst) probe(pg buffer.Page, pos int) idx.Key {
 	t.mm.Access(pg.Addr+uint64(pos), 4)
 	t.mm.Busy(memsim.CostCompare)
 	t.mm.Other(memsim.CostComparePenalty)
@@ -317,7 +319,7 @@ func (t *CacheFirst) probe(pg *buffer.Page, pos int) idx.Key {
 // searchNode binary searches node off for the largest slot with key <=
 // k (lt: < k); exact reports equality. Works for both node kinds (keys
 // are at the same offsets).
-func (t *CacheFirst) searchNode(pg *buffer.Page, off int, k idx.Key, lt bool) (int, bool) {
+func (t *CacheFirst) searchNode(pg buffer.Page, off int, k idx.Key, lt bool) (int, bool) {
 	lo, hi := 0, t.cCount(pg.Data, off)
 	exact := false
 	for lo < hi {
@@ -337,15 +339,15 @@ func (t *CacheFirst) searchNode(pg *buffer.Page, off int, k idx.Key, lt bool) (i
 
 // getPage pins a page, reusing cur if it is already the right one.
 // Returns the page and whether it was newly pinned.
-func (t *CacheFirst) getPage(cur *buffer.Page, pid uint32) (*buffer.Page, bool, error) {
-	if cur != nil && cur.ID == pid {
+func (t *CacheFirst) getPage(cur buffer.Page, pid uint32) (buffer.Page, bool, error) {
+	if cur.Valid() && cur.ID == pid {
 		// Same page: §3.2.2's "directly access the node in the page
 		// without retrieving the page from the buffer manager".
 		return cur, false, nil
 	}
 	pg, err := t.pool.Get(pid)
 	if err != nil {
-		return nil, false, err
+		return buffer.Page{}, false, err
 	}
 	return pg, true, nil
 }

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/idx"
+)
+
+// SearchBatch implements idx.Index. The frontier is a ⟨page, offset⟩
+// pair per key; keys whose current nodes share a page share one
+// buffer-pool Get, keys landing in the same node share its cache-line
+// prefetch (visitNode), and the next level's distinct pages are
+// prefetched before descending.
+func (t *CacheFirst) SearchBatch(keys []idx.Key, out []idx.SearchResult) ([]idx.SearchResult, error) {
+	base := len(out)
+	out = idx.GrowResults(out, len(keys))
+	if t.root.isNil() || len(keys) == 0 {
+		return out, nil
+	}
+	s := &t.batch
+	s.Prepare(keys)
+	n := len(keys)
+	for i := 0; i < n; i++ {
+		s.Cur[i] = t.root.pid
+		s.CurOff[i] = int32(t.root.off)
+	}
+
+	// Node-level descent (leafNodeFor, batched).
+	for lvl := t.height - 1; lvl > 0; lvl-- {
+		for i := 0; i < n; {
+			pid := s.Cur[i]
+			pg, err := t.pool.Get(pid)
+			if err != nil {
+				return out, err
+			}
+			j := i
+			lastOff := int32(-1)
+			for ; j < n && s.Cur[j] == pid; j++ {
+				off := s.CurOff[j]
+				if off != lastOff {
+					// One node visit (and line prefetch) per distinct
+					// node in the group.
+					t.visitNode(pg, int(off))
+					lastOff = off
+				}
+				k := keys[s.Ord[j]]
+				slot, _ := t.searchNode(pg, int(off), k, true)
+				if slot < 0 {
+					slot = 0
+				}
+				child := t.cChild(pg.Data, int(off), slot)
+				if child.isNil() {
+					t.pool.Unpin(pg, false)
+					return out, fmt.Errorf("core: nil child during batched cache-first descent")
+				}
+				s.Next[j] = child.pid
+				s.NextOff[j] = int32(child.off)
+			}
+			t.pool.Unpin(pg, false)
+			i = j
+		}
+		s.SwapLevels()
+		if err := t.pool.PrefetchRun(s.Cur); err != nil {
+			return out, err
+		}
+	}
+
+	// Leaf phase: one Get per distinct landing page; per key, replay
+	// findFirst's walk over the leaf-node chain.
+	for i := 0; i < n; {
+		pid := s.Cur[i]
+		pg, err := t.pool.Get(pid)
+		if err != nil {
+			return out, err
+		}
+		j := i
+		for ; j < n && s.Cur[j] == pid; j++ {
+			ki := s.Ord[j]
+			at := ptr{pid, int(s.CurOff[j])}
+			tid, found, err := t.resolveLeaf(pg, at, keys[ki])
+			if err != nil {
+				t.pool.Unpin(pg, false)
+				return out, err
+			}
+			out[base+int(ki)] = idx.SearchResult{TID: tid, Found: found}
+		}
+		t.pool.Unpin(pg, false)
+		i = j
+	}
+	return out, nil
+}
+
+// resolveLeaf finishes a search for k from leaf node at, whose page pg
+// is pinned by the caller (and unpinned by it); chain steps into other
+// pages pin and release as findFirst does.
+func (t *CacheFirst) resolveLeaf(pg buffer.Page, at ptr, k idx.Key) (idx.TupleID, bool, error) {
+	cur := at
+	cpg := pg
+	owned := false
+	unpin := func() {
+		if owned {
+			t.pool.Unpin(cpg, false)
+		}
+	}
+	for !cur.isNil() {
+		if cpg.ID != cur.pid {
+			npg, err := t.pool.Get(cur.pid)
+			if err != nil {
+				unpin()
+				return 0, false, err
+			}
+			unpin()
+			cpg = npg
+			owned = true
+		}
+		t.visitNode(cpg, cur.off)
+		slot, _ := t.searchNode(cpg, cur.off, k, true)
+		slot++
+		if slot < t.cCount(cpg.Data, cur.off) {
+			t.mm.Access(cpg.Addr+uint64(t.cKeyPos(cur.off, slot)), 4)
+			if t.cKey(cpg.Data, cur.off, slot) == k {
+				t.mm.Access(cpg.Addr+uint64(t.cTidPos(cur.off, slot)), 4)
+				tid := t.cTid(cpg.Data, cur.off, slot)
+				unpin()
+				return tid, true, nil
+			}
+			unpin()
+			return 0, false, nil
+		}
+		cur = t.cNextLeaf(cpg.Data, cur.off)
+	}
+	unpin()
+	return 0, false, nil
+}

@@ -48,16 +48,16 @@ func (t *CacheFirst) Bulkload(entries []idx.Entry, fill float64) error {
 		at  ptr
 	}
 	var leaves []leafRef
-	var pg *buffer.Page
+	var pg buffer.Page
 	var prevLeaf ptr
 	flushPage := func() {
-		if pg != nil {
+		if pg.Valid() {
 			t.pool.Unpin(pg, true)
-			pg = nil
+			pg = buffer.Page{}
 		}
 	}
 	placeLeaf := func(es []idx.Entry) error {
-		if pg == nil || !t.hasSlot(pg.Data) {
+		if !pg.Valid() || !t.hasSlot(pg.Data) {
 			flushPage()
 			var err error
 			if pg, err = t.newPage(cfPageLeaf); err != nil {
@@ -313,8 +313,8 @@ func (t *CacheFirst) placeSubtree(levels []cfLevel, lvl, si, fullLevels, underfl
 
 // setLeafNext writes the sibling pointer of the leaf node at `from`,
 // reusing curPg when it is already pinned.
-func (t *CacheFirst) setLeafNext(from, to ptr, curPg *buffer.Page) error {
-	if curPg != nil && curPg.ID == from.pid {
+func (t *CacheFirst) setLeafNext(from, to ptr, curPg buffer.Page) error {
+	if curPg.Valid() && curPg.ID == from.pid {
 		t.cSetNextLeaf(curPg.Data, from.off, to)
 		return nil
 	}

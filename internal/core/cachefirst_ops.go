@@ -26,24 +26,24 @@ func (t *CacheFirst) Search(k idx.Key) (idx.TupleID, bool, error) {
 
 // findFirst locates the first entry with key == k, returning its pinned
 // page plus node pointer and slot, or found=false.
-func (t *CacheFirst) findFirst(k idx.Key) (*buffer.Page, ptr, int, bool, error) {
+func (t *CacheFirst) findFirst(k idx.Key) (buffer.Page, ptr, int, bool, error) {
 	if t.root.isNil() {
-		return nil, nilPtr, 0, false, nil
+		return buffer.Page{}, nilPtr, 0, false, nil
 	}
 	cur, err := t.leafNodeFor(k, true)
 	if err != nil {
-		return nil, nilPtr, 0, false, err
+		return buffer.Page{}, nilPtr, 0, false, err
 	}
-	var pg *buffer.Page
+	var pg buffer.Page
 	for !cur.isNil() {
 		npg, pinned, err := t.getPage(pg, cur.pid)
 		if err != nil {
-			if pg != nil {
+			if pg.Valid() {
 				t.pool.Unpin(pg, false)
 			}
-			return nil, nilPtr, 0, false, err
+			return buffer.Page{}, nilPtr, 0, false, err
 		}
-		if pinned && pg != nil {
+		if pinned && pg.Valid() {
 			t.pool.Unpin(pg, false)
 		}
 		pg = npg
@@ -56,14 +56,14 @@ func (t *CacheFirst) findFirst(k idx.Key) (*buffer.Page, ptr, int, bool, error) 
 				return pg, cur, slot, true, nil
 			}
 			t.pool.Unpin(pg, false)
-			return nil, nilPtr, 0, false, nil
+			return buffer.Page{}, nilPtr, 0, false, nil
 		}
 		cur = t.cNextLeaf(pg.Data, cur.off)
 	}
-	if pg != nil {
+	if pg.Valid() {
 		t.pool.Unpin(pg, false)
 	}
-	return nil, nilPtr, 0, false, nil
+	return buffer.Page{}, nilPtr, 0, false, nil
 }
 
 // Insert implements idx.Index using preemptive splitting: a full node
@@ -110,11 +110,11 @@ func (t *CacheFirst) insertOnce(k idx.Key, tid idx.TupleID) (bool, error) {
 	}
 
 	cur := t.root
-	var pg *buffer.Page
+	var pg buffer.Page
 	release := func() {
-		if pg != nil {
+		if pg.Valid() {
 			t.pool.Unpin(pg, true)
-			pg = nil
+			pg = buffer.Page{}
 		}
 	}
 	for lvl := t.height - 1; lvl > 0; lvl-- {
@@ -123,7 +123,7 @@ func (t *CacheFirst) insertOnce(k idx.Key, tid idx.TupleID) (bool, error) {
 			release()
 			return false, err
 		}
-		if pinned && pg != nil {
+		if pinned && pg.Valid() {
 			t.pool.Unpin(pg, true)
 		}
 		pg = npg
@@ -146,7 +146,7 @@ func (t *CacheFirst) insertOnce(k idx.Key, tid idx.TupleID) (bool, error) {
 		}
 		if full {
 			sep, right, restart, err := t.splitChild(pg, cur, slot, cpg, child, lvl-1)
-			if cpg != nil && cpg != pg {
+			if cpg.Valid() && cpg.ID != pg.ID {
 				t.pool.Unpin(cpg, true)
 			}
 			if err != nil || restart {
@@ -156,7 +156,7 @@ func (t *CacheFirst) insertOnce(k idx.Key, tid idx.TupleID) (bool, error) {
 			if k >= sep {
 				child = right
 			}
-		} else if cpg != nil && cpg != pg {
+		} else if cpg.Valid() && cpg.ID != pg.ID {
 			t.pool.Unpin(cpg, false)
 		}
 		cur = child
@@ -167,7 +167,7 @@ func (t *CacheFirst) insertOnce(k idx.Key, tid idx.TupleID) (bool, error) {
 		release()
 		return false, err
 	}
-	if pinned && pg != nil {
+	if pinned && pg.Valid() {
 		t.pool.Unpin(pg, true)
 	}
 	pg = npg
@@ -179,10 +179,10 @@ func (t *CacheFirst) insertOnce(k idx.Key, tid idx.TupleID) (bool, error) {
 
 // childFull reports whether the child node is full, returning its page
 // pinned (or pg itself when the child shares the parent's page).
-func (t *CacheFirst) childFull(pg *buffer.Page, child ptr, childLvl int) (bool, *buffer.Page, error) {
+func (t *CacheFirst) childFull(pg buffer.Page, child ptr, childLvl int) (bool, buffer.Page, error) {
 	cpg, _, err := t.getPage(pg, child.pid)
 	if err != nil {
-		return false, nil, err
+		return false, buffer.Page{}, err
 	}
 	cap := t.capN
 	if childLvl == 0 {
@@ -250,9 +250,9 @@ func (t *CacheFirst) maybeGrowRoot() error {
 // is (pg, parent, slot). childLvl 0 = leaf, 1 = leaf parent. Returns
 // the separator and the new right node, or restart=true if a page
 // split invalidated addresses.
-func (t *CacheFirst) splitChild(pg *buffer.Page, parent ptr, slot int, cpg *buffer.Page, child ptr, childLvl int) (idx.Key, ptr, bool, error) {
+func (t *CacheFirst) splitChild(pg buffer.Page, parent ptr, slot int, cpg buffer.Page, child ptr, childLvl int) (idx.Key, ptr, bool, error) {
 	var right ptr
-	var rpg *buffer.Page
+	var rpg buffer.Page
 
 	switch {
 	case childLvl == 0:
@@ -342,7 +342,7 @@ func (t *CacheFirst) splitChild(pg *buffer.Page, parent ptr, slot int, cpg *buff
 }
 
 // installChild inserts (k, child) at position pos of the nonleaf parent.
-func (t *CacheFirst) installChild(pg *buffer.Page, parent ptr, pos int, k idx.Key, child ptr) {
+func (t *CacheFirst) installChild(pg buffer.Page, parent ptr, pos int, k idx.Key, child ptr) {
 	d := pg.Data
 	cnt := t.cCount(d, parent.off)
 	if moved := cnt - pos; moved > 0 {
@@ -358,7 +358,7 @@ func (t *CacheFirst) installChild(pg *buffer.Page, parent ptr, pos int, k idx.Ke
 }
 
 // leafInsert writes (k, tid) into the (non-full) leaf node.
-func (t *CacheFirst) leafInsert(pg *buffer.Page, off int, k idx.Key, tid idx.TupleID) {
+func (t *CacheFirst) leafInsert(pg buffer.Page, off int, k idx.Key, tid idx.TupleID) {
 	d := pg.Data
 	slot, _ := t.searchNode(pg, off, k, false)
 	pos := slot + 1

@@ -25,7 +25,7 @@ func (t *CacheFirst) pageSlots(d []byte) []int {
 // leafNodesInChainOrder returns a leaf page's nodes in key (chain)
 // order: the node chain enters the page once and visits its nodes
 // consecutively, so the first node is the one no in-page node points to.
-func (t *CacheFirst) leafNodesInChainOrder(pg *buffer.Page) ([]int, error) {
+func (t *CacheFirst) leafNodesInChainOrder(pg buffer.Page) ([]int, error) {
 	offs := t.pageSlots(pg.Data)
 	if len(offs) == 0 {
 		return nil, nil

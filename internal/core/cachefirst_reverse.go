@@ -63,7 +63,7 @@ func (t *CacheFirst) RangeScanReverse(startKey, endKey idx.Key, fn func(idx.Key,
 // reverseScanPage consumes one leaf page's nodes in reverse chain
 // order. done reports that the scan crossed below startKey or fn
 // stopped it.
-func (t *CacheFirst) reverseScanPage(pg *buffer.Page, startKey, endKey idx.Key, first bool, endAt ptr, fn func(idx.Key, idx.TupleID) bool) (bool, int, error) {
+func (t *CacheFirst) reverseScanPage(pg buffer.Page, startKey, endKey idx.Key, first bool, endAt ptr, fn func(idx.Key, idx.TupleID) bool) (bool, int, error) {
 	offs, err := t.leafNodesInChainOrder(pg)
 	if err != nil {
 		return true, 0, err

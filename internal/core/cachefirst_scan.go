@@ -37,7 +37,7 @@ func (t *CacheFirst) RangeScan(startKey, endKey idx.Key, fn func(idx.Key, idx.Tu
 
 	count := 0
 	pfNext, pageIdx := 0, -1
-	var pg *buffer.Page
+	var pg buffer.Page
 	var lastPID uint32
 	first := true
 	for !cur.isNil() {
@@ -50,7 +50,7 @@ func (t *CacheFirst) RangeScan(startKey, endKey idx.Key, fn func(idx.Key, idx.Tu
 					pfNext++
 				}
 			}
-			if pg != nil {
+			if pg.Valid() {
 				t.pool.Unpin(pg, false)
 			}
 			if pg, err = t.pool.Get(cur.pid); err != nil {
@@ -99,13 +99,13 @@ func (t *CacheFirst) RangeScan(startKey, endKey idx.Key, fn func(idx.Key, idx.Tu
 		}
 		cur = t.cNextLeaf(d, cur.off)
 	}
-	if pg != nil {
+	if pg.Valid() {
 		t.pool.Unpin(pg, false)
 	}
 	return count, nil
 }
 
-func (t *CacheFirst) touchPageHeader(pg *buffer.Page) {
+func (t *CacheFirst) touchPageHeader(pg buffer.Page) {
 	t.mm.Access(pg.Addr, 16)
 	t.mm.Busy(memsim.CostNodeVisit)
 }
@@ -114,16 +114,16 @@ func (t *CacheFirst) touchPageHeader(pg *buffer.Page) {
 // descent).
 func (t *CacheFirst) leafNodeFor(k idx.Key, lt bool) (ptr, error) {
 	cur := t.root
-	var pg *buffer.Page
+	var pg buffer.Page
 	for lvl := t.height - 1; lvl > 0; lvl-- {
 		npg, pinned, err := t.getPage(pg, cur.pid)
 		if err != nil {
-			if pg != nil {
+			if pg.Valid() {
 				t.pool.Unpin(pg, false)
 			}
 			return nilPtr, err
 		}
-		if pinned && pg != nil {
+		if pinned && pg.Valid() {
 			t.pool.Unpin(pg, false)
 		}
 		pg = npg
@@ -138,7 +138,7 @@ func (t *CacheFirst) leafNodeFor(k idx.Key, lt bool) (ptr, error) {
 			return nilPtr, fmt.Errorf("core: nil child during cache-first descent")
 		}
 	}
-	if pg != nil {
+	if pg.Valid() {
 		t.pool.Unpin(pg, false)
 	}
 	return cur, nil

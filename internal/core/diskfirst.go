@@ -111,6 +111,8 @@ type DiskFirst struct {
 	jpa       bool
 	pfWindow  int
 	overshoot bool // ablation: prefetch past the end page
+
+	batch idx.BatchScratch
 }
 
 // NewDiskFirst creates an empty tree.
@@ -292,24 +294,24 @@ func (t *DiskFirst) freeCount(d []byte, leafNode bool) int {
 
 // --- charged access helpers ---
 
-func (t *DiskFirst) visitNonleaf(pg *buffer.Page, off int) {
+func (t *DiskFirst) visitNonleaf(pg buffer.Page, off int) {
 	t.mm.Prefetch(pg.Addr+uint64(nodeBase(off)), t.w*lineSize)
 	t.mm.Busy(memsim.CostNodeVisit)
 	t.mm.Access(pg.Addr+uint64(nodeBase(off)), dfNonHdr)
 }
 
-func (t *DiskFirst) visitLeaf(pg *buffer.Page, off int) {
+func (t *DiskFirst) visitLeaf(pg buffer.Page, off int) {
 	t.mm.Prefetch(pg.Addr+uint64(nodeBase(off)), t.x*lineSize)
 	t.mm.Busy(memsim.CostNodeVisit)
 	t.mm.Access(pg.Addr+uint64(nodeBase(off)), dfLeafHdr)
 }
 
-func (t *DiskFirst) touchHeader(pg *buffer.Page) {
+func (t *DiskFirst) touchHeader(pg buffer.Page) {
 	t.mm.Access(pg.Addr, 32)
 	t.mm.Busy(memsim.CostNodeVisit)
 }
 
-func (t *DiskFirst) probe(pg *buffer.Page, pos int) idx.Key {
+func (t *DiskFirst) probe(pg buffer.Page, pos int) idx.Key {
 	t.mm.Access(pg.Addr+uint64(pos), 4)
 	t.mm.Busy(memsim.CostCompare)
 	t.mm.Other(memsim.CostComparePenalty)

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/idx"
+)
+
+// SearchBatch implements idx.Index. The batch is sorted and descended
+// page-level by page-level: all keys landing in the same page share one
+// buffer-pool Get (the two-granularity in-page descent is still charged
+// per key), and the next level's distinct pages are prefetched before
+// descending, so a batch pins each distinct page once per level instead
+// of once per key.
+func (t *DiskFirst) SearchBatch(keys []idx.Key, out []idx.SearchResult) ([]idx.SearchResult, error) {
+	base := len(out)
+	out = idx.GrowResults(out, len(keys))
+	if t.root == 0 || len(keys) == 0 {
+		return out, nil
+	}
+	s := &t.batch
+	s.Prepare(keys)
+	n := len(keys)
+	for i := 0; i < n; i++ {
+		s.Cur[i] = t.root
+	}
+
+	// Page-level descent (leafPageFor, batched).
+	for lvl := t.height - 1; lvl > 0; lvl-- {
+		for i := 0; i < n; {
+			pid := s.Cur[i]
+			pg, err := t.pool.Get(pid)
+			if err != nil {
+				return out, err
+			}
+			t.touchHeader(pg)
+			j := i
+			for ; j < n && s.Cur[j] == pid; j++ {
+				child := t.inPageChildFor(pg, keys[s.Ord[j]], true)
+				if child == 0 {
+					t.pool.Unpin(pg, false)
+					return out, fmt.Errorf("core: nil child during batched descent")
+				}
+				s.Next[j] = child
+			}
+			t.pool.Unpin(pg, false)
+			i = j
+		}
+		s.SwapLevels()
+		if err := t.pool.PrefetchRun(s.Cur); err != nil {
+			return out, err
+		}
+	}
+
+	// Leaf phase: one Get per distinct landing page; each key then
+	// replays findFirst's in-page walk (and, rarely, the cross-page
+	// duplicate-run walk).
+	for i := 0; i < n; {
+		pid := s.Cur[i]
+		pg, err := t.pool.Get(pid)
+		if err != nil {
+			return out, err
+		}
+		t.touchHeader(pg)
+		j := i
+		for ; j < n && s.Cur[j] == pid; j++ {
+			ki := s.Ord[j]
+			tid, found, err := t.resolveLeaf(pg, keys[ki])
+			if err != nil {
+				t.pool.Unpin(pg, false)
+				return out, err
+			}
+			out[base+int(ki)] = idx.SearchResult{TID: tid, Found: found}
+		}
+		t.pool.Unpin(pg, false)
+		i = j
+	}
+	return out, nil
+}
+
+// resolveLeaf finishes a search for k from the pinned leaf page pg
+// (which the caller unpins), replicating findFirst's walk over in-page
+// leaf nodes, empty pages, and page siblings.
+func (t *DiskFirst) resolveLeaf(pg buffer.Page, k idx.Key) (idx.TupleID, bool, error) {
+	cur := pg
+	owned := false
+	unpin := func() {
+		if owned {
+			t.pool.Unpin(cur, false)
+		}
+	}
+	first := true
+	for {
+		if dfEntries(cur.Data) != 0 {
+			var off int
+			if first {
+				off = t.descendInPage(cur, k, true, nil)
+			} else {
+				off = dfFirstLeaf(cur.Data)
+			}
+			for off != 0 {
+				t.visitLeaf(cur, off)
+				slot, _ := t.searchLeafNode(cur, off, k, true)
+				slot++
+				if slot < t.lCount(cur.Data, off) {
+					t.mm.Access(cur.Addr+uint64(t.lKeyPos(off, slot)), 4)
+					if t.lKey(cur.Data, off, slot) == k {
+						t.mm.Access(cur.Addr+uint64(t.lPtrPos(off, slot)), 4)
+						tid := t.lPtr(cur.Data, off, slot)
+						unpin()
+						return tid, true, nil
+					}
+					unpin()
+					return 0, false, nil
+				}
+				off = t.lNext(cur.Data, off)
+			}
+		}
+		first = false
+		next := dfNextPage(cur.Data)
+		unpin()
+		if next == 0 {
+			return 0, false, nil
+		}
+		npg, err := t.pool.Get(next)
+		if err != nil {
+			return 0, false, err
+		}
+		t.touchHeader(npg)
+		cur = npg
+		owned = true
+	}
+}

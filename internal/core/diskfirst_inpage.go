@@ -143,7 +143,7 @@ type inPath struct {
 // descendInPage walks the in-page tree to the leaf node for k,
 // charging prefetch-style node visits. lt selects strictly-less
 // descent (range scans).
-func (t *DiskFirst) descendInPage(pg *buffer.Page, k idx.Key, lt bool, path *inPath) int {
+func (t *DiskFirst) descendInPage(pg buffer.Page, k idx.Key, lt bool, path *inPath) int {
 	d := pg.Data
 	off := dfRoot(d)
 	for lvl := dfInLevels(d); lvl > 1; lvl-- {
@@ -163,7 +163,7 @@ func (t *DiskFirst) descendInPage(pg *buffer.Page, k idx.Key, lt bool, path *inP
 
 // searchNonleaf binary searches a nonleaf node for the largest slot
 // with key <= k (lt: < k); -1 if none.
-func (t *DiskFirst) searchNonleaf(pg *buffer.Page, off int, k idx.Key, lt bool) int {
+func (t *DiskFirst) searchNonleaf(pg buffer.Page, off int, k idx.Key, lt bool) int {
 	lo, hi := 0, t.nCount(pg.Data, off)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -179,7 +179,7 @@ func (t *DiskFirst) searchNonleaf(pg *buffer.Page, off int, k idx.Key, lt bool) 
 
 // searchLeafNode binary searches an in-page leaf node; returns the
 // largest slot with key <= k (lt: < k) and whether it equals k.
-func (t *DiskFirst) searchLeafNode(pg *buffer.Page, off int, k idx.Key, lt bool) (int, bool) {
+func (t *DiskFirst) searchLeafNode(pg buffer.Page, off int, k idx.Key, lt bool) (int, bool) {
 	lo, hi := 0, t.lCount(pg.Data, off)
 	exact := false
 	for lo < hi {
@@ -200,7 +200,7 @@ func (t *DiskFirst) searchLeafNode(pg *buffer.Page, off int, k idx.Key, lt bool)
 // leafInsertAt writes (k, p) into slot pos of leaf node off, shifting
 // larger entries right (charged: this is the small data movement that
 // replaces the disk-optimized tree's page-wide shifts).
-func (t *DiskFirst) leafInsertAt(pg *buffer.Page, off, pos int, k idx.Key, p uint32) {
+func (t *DiskFirst) leafInsertAt(pg buffer.Page, off, pos int, k idx.Key, p uint32) {
 	d := pg.Data
 	cnt := t.lCount(d, off)
 	if moved := cnt - pos; moved > 0 {
@@ -217,7 +217,7 @@ func (t *DiskFirst) leafInsertAt(pg *buffer.Page, off, pos int, k idx.Key, p uin
 }
 
 // nonleafInsertAt installs (k, child) at slot pos of nonleaf node off.
-func (t *DiskFirst) nonleafInsertAt(pg *buffer.Page, off, pos int, k idx.Key, child int) {
+func (t *DiskFirst) nonleafInsertAt(pg buffer.Page, off, pos int, k idx.Key, child int) {
 	d := pg.Data
 	cnt := t.nCount(d, off)
 	if moved := cnt - pos; moved > 0 {
@@ -234,7 +234,7 @@ func (t *DiskFirst) nonleafInsertAt(pg *buffer.Page, off, pos int, k idx.Key, ch
 // inPageInsert inserts (k, p) into the page's in-page tree. It returns
 // ok=false when the in-page tree is out of space and the caller must
 // reorganize or split the page.
-func (t *DiskFirst) inPageInsert(pg *buffer.Page, k idx.Key, p uint32) (ok bool) {
+func (t *DiskFirst) inPageInsert(pg buffer.Page, k idx.Key, p uint32) (ok bool) {
 	d := pg.Data
 	var path inPath
 	leafOff := t.descendInPage(pg, k, false, &path)
@@ -381,7 +381,7 @@ func (t *DiskFirst) haveNonleafRoom(d []byte, need int) bool {
 }
 
 // inPageDelete removes one entry with key k; reports whether found.
-func (t *DiskFirst) inPageDelete(pg *buffer.Page, k idx.Key) bool {
+func (t *DiskFirst) inPageDelete(pg buffer.Page, k idx.Key) bool {
 	d := pg.Data
 	leafOff := t.descendInPage(pg, k, false, nil)
 	t.visitLeaf(pg, leafOff)
@@ -402,7 +402,7 @@ func (t *DiskFirst) inPageDelete(pg *buffer.Page, k idx.Key) bool {
 }
 
 // inPageSearch finds k in the page; returns (ptr, found).
-func (t *DiskFirst) inPageSearch(pg *buffer.Page, k idx.Key) (uint32, bool) {
+func (t *DiskFirst) inPageSearch(pg buffer.Page, k idx.Key) (uint32, bool) {
 	leafOff := t.descendInPage(pg, k, false, nil)
 	t.visitLeaf(pg, leafOff)
 	slot, exact := t.searchLeafNode(pg, leafOff, k, false)
@@ -415,7 +415,7 @@ func (t *DiskFirst) inPageSearch(pg *buffer.Page, k idx.Key) (uint32, bool) {
 
 // inPageChildFor returns the child pointer to follow for k in a nonleaf
 // page (clamping below the leftmost separator).
-func (t *DiskFirst) inPageChildFor(pg *buffer.Page, k idx.Key, lt bool) uint32 {
+func (t *DiskFirst) inPageChildFor(pg buffer.Page, k idx.Key, lt bool) uint32 {
 	leafOff := t.descendInPage(pg, k, lt, nil)
 	t.visitLeaf(pg, leafOff)
 	slot, _ := t.searchLeafNode(pg, leafOff, k, lt)

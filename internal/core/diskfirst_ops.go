@@ -35,7 +35,7 @@ func (t *DiskFirst) Bulkload(entries []idx.Entry, fill float64) error {
 	}
 	makeLevel := func(prs []pair, lvl int, spread bool) ([]ref, error) {
 		var out []ref
-		var prev *buffer.Page
+		var prev buffer.Page
 		for i := 0; i < len(prs) || (len(prs) == 0 && i == 0); i += per {
 			j := i + per
 			if j > len(prs) {
@@ -55,7 +55,7 @@ func (t *DiskFirst) Bulkload(entries []idx.Entry, fill float64) error {
 				t.pool.Unpin(pg, true)
 				return nil, err
 			}
-			if prev != nil {
+			if prev.Valid() {
 				dfSetNextPage(prev.Data, pg.ID)
 				dfSetJPNext(prev.Data, pg.ID)
 				dfSetPrevPage(pg.Data, prev.ID)
@@ -71,7 +71,7 @@ func (t *DiskFirst) Bulkload(entries []idx.Entry, fill float64) error {
 				break
 			}
 		}
-		if prev != nil {
+		if prev.Valid() {
 			t.pool.Unpin(prev, true)
 		}
 		return out, nil
@@ -150,19 +150,19 @@ func (t *DiskFirst) Search(k idx.Key) (idx.TupleID, bool, error) {
 
 // findFirst locates the first entry with key == k, returning its pinned
 // page plus (in-page node, slot), or found=false.
-func (t *DiskFirst) findFirst(k idx.Key) (*buffer.Page, int, int, bool, error) {
+func (t *DiskFirst) findFirst(k idx.Key) (buffer.Page, int, int, bool, error) {
 	if t.root == 0 {
-		return nil, 0, 0, false, nil
+		return buffer.Page{}, 0, 0, false, nil
 	}
 	pid, err := t.leafPageFor(k, true)
 	if err != nil {
-		return nil, 0, 0, false, err
+		return buffer.Page{}, 0, 0, false, err
 	}
 	first := true
 	for pid != 0 {
 		pg, err := t.pool.Get(pid)
 		if err != nil {
-			return nil, 0, 0, false, err
+			return buffer.Page{}, 0, 0, false, err
 		}
 		t.touchHeader(pg)
 		if dfEntries(pg.Data) == 0 {
@@ -191,7 +191,7 @@ func (t *DiskFirst) findFirst(k idx.Key) (*buffer.Page, int, int, bool, error) {
 					return pg, off, slot, true, nil
 				}
 				t.pool.Unpin(pg, false)
-				return nil, 0, 0, false, nil
+				return buffer.Page{}, 0, 0, false, nil
 			}
 			off = t.lNext(pg.Data, off)
 		}
@@ -199,7 +199,7 @@ func (t *DiskFirst) findFirst(k idx.Key) (*buffer.Page, int, int, bool, error) {
 		t.pool.Unpin(pg, false)
 		pid = next
 	}
-	return nil, 0, 0, false, nil
+	return buffer.Page{}, 0, 0, false, nil
 }
 
 // Insert implements idx.Index.
@@ -302,7 +302,7 @@ func (t *DiskFirst) insertInto(pid uint32, lvl int, k idx.Key, p uint32) (bool, 
 		t.pool.Unpin(pg, true)
 		return false, 0, 0, err
 	}
-	var target *buffer.Page
+	var target buffer.Page
 	if k >= sep {
 		np, err2 := t.pool.Get(newPID)
 		if err2 != nil {
@@ -314,13 +314,13 @@ func (t *DiskFirst) insertInto(pid uint32, lvl int, k idx.Key, p uint32) (bool, 
 		target = pg
 	}
 	if !t.inPageInsert(target, k, p) {
-		if target != pg {
+		if target.ID != pg.ID {
 			t.pool.Unpin(target, true)
 		}
 		t.pool.Unpin(pg, true)
 		return false, 0, 0, fmt.Errorf("core: insert failed after splitting page %d", pid)
 	}
-	if target != pg {
+	if target.ID != pg.ID {
 		t.pool.Unpin(target, true)
 	}
 	t.pool.Unpin(pg, true)
@@ -330,7 +330,7 @@ func (t *DiskFirst) insertInto(pid uint32, lvl int, k idx.Key, p uint32) (bool, 
 // childForInsert descends a nonleaf page for an insertion, lowering the
 // page's minimum separator when k falls below it (so page-level
 // separators remain true lower bounds), and returns the child page ID.
-func (t *DiskFirst) childForInsert(pg *buffer.Page, k idx.Key) (uint32, bool) {
+func (t *DiskFirst) childForInsert(pg buffer.Page, k idx.Key) (uint32, bool) {
 	d := pg.Data
 	lowered := false
 	var path inPath
@@ -356,7 +356,7 @@ func (t *DiskFirst) childForInsert(pg *buffer.Page, k idx.Key) (uint32, bool) {
 
 // reorganizePage rebuilds the page's in-page tree from its entries
 // (spreading them), charging a whole-page data movement.
-func (t *DiskFirst) reorganizePage(pg *buffer.Page) {
+func (t *DiskFirst) reorganizePage(pg buffer.Page) {
 	entries := t.collectEntries(pg.Data)
 	used := dfNextFree(pg.Data) * lineSize
 	spread := dfType(pg.Data) == dfPageLeaf
@@ -371,7 +371,7 @@ func (t *DiskFirst) reorganizePage(pg *buffer.Page) {
 // splitPage moves the upper half of the page's entries to a new page,
 // rebuilding both in-page trees (§3.1.2), and returns the separator and
 // new page ID.
-func (t *DiskFirst) splitPage(pg *buffer.Page) (idx.Key, uint32, error) {
+func (t *DiskFirst) splitPage(pg buffer.Page) (idx.Key, uint32, error) {
 	entries := t.collectEntries(pg.Data)
 	mid := len(entries) / 2
 	np, err := t.pool.NewPage()

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers resolves the worker-pool width: Params.Workers if positive,
+// otherwise 1 (serial).
+func (p Params) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return 1
+}
+
+// DefaultWorkers is the width -parallel selects: one worker per
+// available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// cellSet collects independent experiment cells. Each cell owns its
+// entire substrate (buffer pool, memory model, workload generator, disk
+// array) and writes its result into a slot chosen at enqueue time, so
+// execution order never affects the assembled tables: the output is
+// byte-identical whether the set runs serially or on many workers.
+type cellSet struct {
+	fns []func() error
+}
+
+func (cs *cellSet) add(fn func() error) { cs.fns = append(cs.fns, fn) }
+
+// run executes every cell. With workers <= 1 the cells run in enqueue
+// order on the calling goroutine, stopping at the first error;
+// otherwise a fixed-size worker pool drains them all and the first
+// error in enqueue order is reported.
+func (cs *cellSet) run(workers int) error {
+	if workers > len(cs.fns) {
+		workers = len(cs.fns)
+	}
+	if workers <= 1 {
+		for _, fn := range cs.fns {
+			if err := fn(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(cs.fns))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cs.fns) {
+					return
+				}
+				errs[i] = cs.fns[i]()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/idx"
+	"repro/internal/memsim"
 	"repro/internal/workload"
 )
 
@@ -46,33 +47,53 @@ func searchCycles(env *Env, tr idx.Index, keys []idx.Key) (uint64, error) {
 	return env.Model.Stats().Sub(before).Cycles, nil
 }
 
+// searchCell is one complete search-experiment cell: build, bulkload,
+// and measure Ops random searches.
+func searchCell(kind TreeKind, pageSize, keys, ops int, fill float64) (uint64, error) {
+	env, tr, g, err := loadTree(kind, pageSize, keys, fill, false)
+	if err != nil {
+		return 0, err
+	}
+	return searchCycles(env, tr, g.SearchKeys(keys, ops))
+}
+
 // fig3b reproduces the motivation experiment: execution-time breakdown
 // of random searches on a disk-optimized B+-Tree vs a memory-resident
 // pB+-Tree, normalized to the disk-optimized tree.
 func fig3b(p Params) ([]*Table, error) {
+	kinds := []TreeKind{KindDiskOptimized, KindPB}
+	deltas := make([]memsim.Stats, len(kinds))
+	var cs cellSet
+	for i, kind := range kinds {
+		cs.add(func() error {
+			env, tr, g, err := loadTree(kind, p.MainPage, p.BigKeys, 1.0, false)
+			if err != nil {
+				return err
+			}
+			keys := g.SearchKeys(p.BigKeys, p.Ops)
+			env.Model.ColdCaches()
+			before := env.Model.Stats()
+			for _, k := range keys {
+				if _, ok, err := tr.Search(k); err != nil || !ok {
+					return fmt.Errorf("fig3b: search(%d)=%v,%v", k, ok, err)
+				}
+			}
+			deltas[i] = env.Model.Stats().Sub(before)
+			return nil
+		})
+	}
+	if err := cs.run(p.workers()); err != nil {
+		return nil, err
+	}
+
 	t := &Table{
 		ID:      "fig3b",
 		Title:   fmt.Sprintf("search time breakdown, %d keys, %d searches (normalized %%)", p.BigKeys, p.Ops),
 		Columns: []string{"tree", "busy%", "dcache%", "other%", "total%"},
 	}
-	var base uint64
-	for _, kind := range []TreeKind{KindDiskOptimized, KindPB} {
-		env, tr, g, err := loadTree(kind, p.MainPage, p.BigKeys, 1.0, false)
-		if err != nil {
-			return nil, err
-		}
-		keys := g.SearchKeys(p.BigKeys, p.Ops)
-		env.Model.ColdCaches()
-		before := env.Model.Stats()
-		for _, k := range keys {
-			if _, ok, err := tr.Search(k); err != nil || !ok {
-				return nil, fmt.Errorf("fig3b: search(%d)=%v,%v", k, ok, err)
-			}
-		}
-		d := env.Model.Stats().Sub(before)
-		if kind == KindDiskOptimized {
-			base = d.Cycles
-		}
+	base := deltas[0].Cycles
+	for i, kind := range kinds {
+		d := deltas[i]
 		pct := func(v uint64) string { return fmt.Sprintf("%.1f", 100*float64(v)/float64(base)) }
 		t.AddRow(kind.String(), pct(d.Busy), pct(d.DataStall), pct(d.OtherStall), pct(d.Cycles))
 	}
@@ -84,8 +105,30 @@ func fig3b(p Params) ([]*Table, error) {
 // fig10 reproduces search performance after 100% bulkload: one panel
 // per page size, tree size on the x-axis, simulated Mcycles per cell.
 func fig10(p Params) ([]*Table, error) {
+	nk := len(AllDiskKinds)
+	cells := make([]uint64, len(p.PageSizes)*len(p.TreeSizes)*nk)
+	var cs cellSet
+	for pi, ps := range p.PageSizes {
+		for ni, n := range p.TreeSizes {
+			for ki, kind := range AllDiskKinds {
+				slot := (pi*len(p.TreeSizes)+ni)*nk + ki
+				cs.add(func() error {
+					c, err := searchCell(kind, ps, n, p.Ops, 1.0)
+					if err != nil {
+						return err
+					}
+					cells[slot] = c
+					return nil
+				})
+			}
+		}
+	}
+	if err := cs.run(p.workers()); err != nil {
+		return nil, err
+	}
+
 	var out []*Table
-	for _, ps := range p.PageSizes {
+	for pi, ps := range p.PageSizes {
 		t := &Table{
 			ID:      "fig10",
 			Title:   fmt.Sprintf("search, 100%% bulkload, page=%dKB, %d searches (Mcycles)", ps>>10, p.Ops),
@@ -95,18 +138,11 @@ func fig10(p Params) ([]*Table, error) {
 			t.Columns = append(t.Columns, k.String())
 		}
 		t.Columns = append(t.Columns, "speedup(best fp vs disk)")
-		for _, n := range p.TreeSizes {
+		for ni, n := range p.TreeSizes {
 			row := []string{fmt.Sprint(n)}
 			var disk, bestFP uint64
-			for _, kind := range AllDiskKinds {
-				env, tr, g, err := loadTree(kind, ps, n, 1.0, false)
-				if err != nil {
-					return nil, err
-				}
-				c, err := searchCycles(env, tr, g.SearchKeys(n, p.Ops))
-				if err != nil {
-					return nil, err
-				}
+			for ki, kind := range AllDiskKinds {
+				c := cells[(pi*len(p.TreeSizes)+ni)*nk+ki]
 				row = append(row, mcycles(c))
 				switch kind {
 				case KindDiskOptimized:
@@ -131,12 +167,59 @@ func fig10(p Params) ([]*Table, error) {
 // fig11 reproduces the width-selection sensitivity study at 16 KB.
 func fig11(p Params) ([]*Table, error) {
 	ps := p.MainPage
+	dfSizes := []int{64, 128, 192, 256, 320, 384, 448, 512}
+	cfSizes := []int{128, 256, 512, 704, 1024}
+	miSizes := []int{64, 128, 192, 320, 512}
+
+	dfC := make([]uint64, len(p.TreeSizes)*len(dfSizes))
+	cfC := make([]uint64, len(p.TreeSizes)*len(cfSizes))
+	miC := make([]uint64, len(p.TreeSizes)*len(miSizes))
+	var cs cellSet
+	widthCell := func(out []uint64, slot, n int, build func(env *Env) (idx.Index, error)) {
+		cs.add(func() error {
+			env := NewCacheEnv(ps, n)
+			tr, err := build(env)
+			if err != nil {
+				return err
+			}
+			g := workload.New(42)
+			if err := tr.Bulkload(g.BulkEntries(n), 1.0); err != nil {
+				return err
+			}
+			c, err := searchCycles(env, tr, g.SearchKeys(n, p.Ops))
+			if err != nil {
+				return err
+			}
+			out[slot] = c
+			return nil
+		})
+	}
+	for ni, n := range p.TreeSizes {
+		for wi, nb := range dfSizes {
+			widthCell(dfC, ni*len(dfSizes)+wi, n, func(env *Env) (idx.Index, error) {
+				return buildDiskFirstWidths(env, nb, 512)
+			})
+		}
+		for wi, nb := range cfSizes {
+			widthCell(cfC, ni*len(cfSizes)+wi, n, func(env *Env) (idx.Index, error) {
+				return buildCacheFirstWidth(env, nb)
+			})
+		}
+		for wi, sb := range miSizes {
+			widthCell(miC, ni*len(miSizes)+wi, n, func(env *Env) (idx.Index, error) {
+				return buildMicroIndexWidth(env, sb)
+			})
+		}
+	}
+	if err := cs.run(p.workers()); err != nil {
+		return nil, err
+	}
+
 	dfT := &Table{
 		ID:      "fig11",
 		Title:   fmt.Sprintf("disk-first width sensitivity, page=%dKB (Mcycles; leaf width 512B)", ps>>10),
 		Columns: []string{"entries"},
 	}
-	dfSizes := []int{64, 128, 192, 256, 320, 384, 448, 512}
 	for _, nb := range dfSizes {
 		label := fmt.Sprintf("nonleaf=%dB", nb)
 		if nb == 192 {
@@ -149,52 +232,12 @@ func fig11(p Params) ([]*Table, error) {
 		Title:   fmt.Sprintf("cache-first node-size sensitivity, page=%dKB (Mcycles)", ps>>10),
 		Columns: []string{"entries"},
 	}
-	cfSizes := []int{128, 256, 512, 704, 1024}
 	for _, nb := range cfSizes {
 		label := fmt.Sprintf("node=%dB", nb)
 		if nb == 704 {
 			label += "(selected)"
 		}
 		cfT.Columns = append(cfT.Columns, label)
-	}
-	for _, n := range p.TreeSizes {
-		dfRow := []string{fmt.Sprint(n)}
-		for _, nb := range dfSizes {
-			env := NewCacheEnv(ps, n)
-			tr, err := buildDiskFirstWidths(env, nb, 512)
-			if err != nil {
-				return nil, err
-			}
-			g := workload.New(42)
-			if err := tr.Bulkload(g.BulkEntries(n), 1.0); err != nil {
-				return nil, err
-			}
-			c, err := searchCycles(env, tr, g.SearchKeys(n, p.Ops))
-			if err != nil {
-				return nil, err
-			}
-			dfRow = append(dfRow, mcycles(c))
-		}
-		dfT.AddRow(dfRow...)
-
-		cfRow := []string{fmt.Sprint(n)}
-		for _, nb := range cfSizes {
-			env := NewCacheEnv(ps, n)
-			tr, err := buildCacheFirstWidth(env, nb)
-			if err != nil {
-				return nil, err
-			}
-			g := workload.New(42)
-			if err := tr.Bulkload(g.BulkEntries(n), 1.0); err != nil {
-				return nil, err
-			}
-			c, err := searchCycles(env, tr, g.SearchKeys(n, p.Ops))
-			if err != nil {
-				return nil, err
-			}
-			cfRow = append(cfRow, mcycles(c))
-		}
-		cfT.AddRow(cfRow...)
 	}
 	// Micro-indexing sub-array sensitivity (the paper's footnote 7
 	// defers this panel to the full version; we include it).
@@ -203,7 +246,6 @@ func fig11(p Params) ([]*Table, error) {
 		Title:   fmt.Sprintf("micro-indexing sub-array sensitivity, page=%dKB (Mcycles)", ps>>10),
 		Columns: []string{"entries"},
 	}
-	miSizes := []int{64, 128, 192, 320, 512}
 	for _, sb := range miSizes {
 		label := fmt.Sprintf("subarray=%dB", sb)
 		if sb == 320 {
@@ -211,26 +253,18 @@ func fig11(p Params) ([]*Table, error) {
 		}
 		miT.Columns = append(miT.Columns, label)
 	}
-	for _, n := range p.TreeSizes {
-		row := []string{fmt.Sprint(n)}
-		for _, sb := range miSizes {
-			env := NewCacheEnv(ps, n)
-			tr, err := buildMicroIndexWidth(env, sb)
-			if err != nil {
-				return nil, err
+	addRows := func(t *Table, cells []uint64, nw int) {
+		for ni, n := range p.TreeSizes {
+			row := []string{fmt.Sprint(n)}
+			for wi := 0; wi < nw; wi++ {
+				row = append(row, mcycles(cells[ni*nw+wi]))
 			}
-			g := workload.New(42)
-			if err := tr.Bulkload(g.BulkEntries(n), 1.0); err != nil {
-				return nil, err
-			}
-			c, err := searchCycles(env, tr, g.SearchKeys(n, p.Ops))
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, mcycles(c))
+			t.AddRow(row...)
 		}
-		miT.AddRow(row...)
 	}
+	addRows(dfT, dfC, len(dfSizes))
+	addRows(cfT, cfC, len(cfSizes))
+	addRows(miT, miC, len(miSizes))
 
 	dfT.Notes = append(dfT.Notes, "paper: the selected width is within ~2% of the best curve")
 	cfT.Notes = append(cfT.Notes, "paper: the selected width is within ~5% of the best curve")
@@ -239,6 +273,27 @@ func fig11(p Params) ([]*Table, error) {
 
 // fig12 reproduces search vs bulkload factor (Keys keys, MainPage).
 func fig12(p Params) ([]*Table, error) {
+	fills := []float64{0.6, 0.7, 0.8, 0.9, 1.0}
+	nk := len(AllDiskKinds)
+	cells := make([]uint64, len(fills)*nk)
+	var cs cellSet
+	for fi, fill := range fills {
+		for ki, kind := range AllDiskKinds {
+			slot := fi*nk + ki
+			cs.add(func() error {
+				c, err := searchCell(kind, p.MainPage, p.Keys, p.Ops, fill)
+				if err != nil {
+					return err
+				}
+				cells[slot] = c
+				return nil
+			})
+		}
+	}
+	if err := cs.run(p.workers()); err != nil {
+		return nil, err
+	}
+
 	t := &Table{
 		ID:      "fig12",
 		Title:   fmt.Sprintf("search vs bulkload factor, %d keys, page=%dKB (Mcycles)", p.Keys, p.MainPage>>10),
@@ -247,18 +302,10 @@ func fig12(p Params) ([]*Table, error) {
 	for _, k := range AllDiskKinds {
 		t.Columns = append(t.Columns, k.String())
 	}
-	for _, fill := range []float64{0.6, 0.7, 0.8, 0.9, 1.0} {
+	for fi, fill := range fills {
 		row := []string{fmt.Sprintf("%.0f", fill*100)}
-		for _, kind := range AllDiskKinds {
-			env, tr, g, err := loadTree(kind, p.MainPage, p.Keys, fill, false)
-			if err != nil {
-				return nil, err
-			}
-			c, err := searchCycles(env, tr, g.SearchKeys(p.Keys, p.Ops))
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, mcycles(c))
+		for ki := range AllDiskKinds {
+			row = append(row, mcycles(cells[fi*nk+ki]))
 		}
 		t.AddRow(row...)
 	}
@@ -280,6 +327,47 @@ func insertCycles(env *Env, tr idx.Index, es []idx.Entry) (uint64, error) {
 
 // fig13 reproduces the four insertion panels.
 func fig13(p Params) ([]*Table, error) {
+	fills := []float64{0.6, 0.7, 0.8, 0.9, 1.0}
+	nk := len(AllDiskKinds)
+	aC := make([]uint64, len(fills)*nk)
+	bC := make([]uint64, len(p.TreeSizes)*nk)
+	cC := make([]uint64, len(p.PageSizes)*nk)
+	dC := make([]uint64, len(p.PageSizes)*nk)
+	var cs cellSet
+	insertCell := func(out []uint64, slot int, kind TreeKind, pageSize, keys int, fill float64) {
+		cs.add(func() error {
+			env, tr, g, err := loadTree(kind, pageSize, keys, fill, false)
+			if err != nil {
+				return err
+			}
+			c, err := insertCycles(env, tr, g.InsertEntries(keys, p.Ops))
+			if err != nil {
+				return err
+			}
+			out[slot] = c
+			return nil
+		})
+	}
+	for fi, fill := range fills {
+		for ki, kind := range AllDiskKinds {
+			insertCell(aC, fi*nk+ki, kind, p.MainPage, p.Keys, fill)
+		}
+	}
+	for ni, n := range p.TreeSizes {
+		for ki, kind := range AllDiskKinds {
+			insertCell(bC, ni*nk+ki, kind, p.MainPage, n, 1.0)
+		}
+	}
+	for pi, ps := range p.PageSizes {
+		for ki, kind := range AllDiskKinds {
+			insertCell(cC, pi*nk+ki, kind, ps, p.Keys, 1.0)
+			insertCell(dC, pi*nk+ki, kind, ps, p.Keys, 0.7)
+		}
+	}
+	if err := cs.run(p.workers()); err != nil {
+		return nil, err
+	}
+
 	mkTable := func(title, xcol string) *Table {
 		t := &Table{ID: "fig13", Title: title, Columns: []string{xcol}}
 		for _, k := range AllDiskKinds {
@@ -287,57 +375,33 @@ func fig13(p Params) ([]*Table, error) {
 		}
 		return t
 	}
-	run := func(kind TreeKind, pageSize, keys int, fill float64) (uint64, error) {
-		env, tr, g, err := loadTree(kind, pageSize, keys, fill, false)
-		if err != nil {
-			return 0, err
-		}
-		return insertCycles(env, tr, g.InsertEntries(keys, p.Ops))
-	}
-
 	a := mkTable(fmt.Sprintf("insert vs bulkload factor, %d keys, page=%dKB, %d inserts (Mcycles)", p.Keys, p.MainPage>>10, p.Ops), "fill%")
-	for _, fill := range []float64{0.6, 0.7, 0.8, 0.9, 1.0} {
+	for fi, fill := range fills {
 		row := []string{fmt.Sprintf("%.0f", fill*100)}
-		for _, kind := range AllDiskKinds {
-			c, err := run(kind, p.MainPage, p.Keys, fill)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, mcycles(c))
+		for ki := range AllDiskKinds {
+			row = append(row, mcycles(aC[fi*nk+ki]))
 		}
 		a.AddRow(row...)
 	}
 	a.Notes = append(a.Notes, "paper: fpB+trees are 14-20x faster at 60-90% full, ~2x at 100%")
 
 	b := mkTable(fmt.Sprintf("insert vs tree size, 100%% full, page=%dKB (Mcycles)", p.MainPage>>10), "entries")
-	for _, n := range p.TreeSizes {
+	for ni, n := range p.TreeSizes {
 		row := []string{fmt.Sprint(n)}
-		for _, kind := range AllDiskKinds {
-			c, err := run(kind, p.MainPage, n, 1.0)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, mcycles(c))
+		for ki := range AllDiskKinds {
+			row = append(row, mcycles(bC[ni*nk+ki]))
 		}
 		b.AddRow(row...)
 	}
 
 	c := mkTable(fmt.Sprintf("insert vs page size, %d keys, 100%% full (Mcycles)", p.Keys), "page")
 	d := mkTable(fmt.Sprintf("insert vs page size, %d keys, 70%% full (Mcycles)", p.Keys), "page")
-	for _, ps := range p.PageSizes {
+	for pi, ps := range p.PageSizes {
 		rowC := []string{fmt.Sprintf("%dKB", ps>>10)}
 		rowD := []string{fmt.Sprintf("%dKB", ps>>10)}
-		for _, kind := range AllDiskKinds {
-			cc, err := run(kind, ps, p.Keys, 1.0)
-			if err != nil {
-				return nil, err
-			}
-			rowC = append(rowC, mcycles(cc))
-			cd, err := run(kind, ps, p.Keys, 0.7)
-			if err != nil {
-				return nil, err
-			}
-			rowD = append(rowD, mcycles(cd))
+		for ki := range AllDiskKinds {
+			rowC = append(rowC, mcycles(cC[pi*nk+ki]))
+			rowD = append(rowD, mcycles(dC[pi*nk+ki]))
 		}
 		c.AddRow(rowC...)
 		d.AddRow(rowD...)
@@ -349,6 +413,50 @@ func fig13(p Params) ([]*Table, error) {
 
 // fig14 reproduces the two deletion panels (lazy deletion).
 func fig14(p Params) ([]*Table, error) {
+	fills := []float64{0.6, 0.7, 0.8, 0.9, 1.0}
+	nk := len(AllDiskKinds)
+	aC := make([]uint64, len(fills)*nk)
+	bC := make([]uint64, len(p.PageSizes)*nk)
+	var cs cellSet
+	deleteCell := func(out []uint64, slot int, kind TreeKind, pageSize, keys int, fill float64) {
+		cs.add(func() error {
+			env, tr, g, err := loadTree(kind, pageSize, keys, fill, false)
+			if err != nil {
+				return err
+			}
+			del, err := g.DeleteKeys(keys, p.Ops)
+			if err != nil {
+				return err
+			}
+			env.Model.ColdCaches()
+			before := env.Model.Stats()
+			for _, k := range del {
+				ok, err := tr.Delete(k)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return fmt.Errorf("fig14: delete lost key %d", k)
+				}
+			}
+			out[slot] = env.Model.Stats().Sub(before).Cycles
+			return nil
+		})
+	}
+	for fi, fill := range fills {
+		for ki, kind := range AllDiskKinds {
+			deleteCell(aC, fi*nk+ki, kind, p.MainPage, p.Keys, fill)
+		}
+	}
+	for pi, ps := range p.PageSizes {
+		for ki, kind := range AllDiskKinds {
+			deleteCell(bC, pi*nk+ki, kind, ps, p.Keys, 1.0)
+		}
+	}
+	if err := cs.run(p.workers()); err != nil {
+		return nil, err
+	}
+
 	mkTable := func(title, xcol string) *Table {
 		t := &Table{ID: "fig14", Title: title, Columns: []string{xcol}}
 		for _, k := range AllDiskKinds {
@@ -356,50 +464,19 @@ func fig14(p Params) ([]*Table, error) {
 		}
 		return t
 	}
-	run := func(kind TreeKind, pageSize, keys int, fill float64) (uint64, error) {
-		env, tr, g, err := loadTree(kind, pageSize, keys, fill, false)
-		if err != nil {
-			return 0, err
-		}
-		del, err := g.DeleteKeys(keys, p.Ops)
-		if err != nil {
-			return 0, err
-		}
-		env.Model.ColdCaches()
-		before := env.Model.Stats()
-		for _, k := range del {
-			ok, err := tr.Delete(k)
-			if err != nil {
-				return 0, err
-			}
-			if !ok {
-				return 0, fmt.Errorf("fig14: delete lost key %d", k)
-			}
-		}
-		return env.Model.Stats().Sub(before).Cycles, nil
-	}
-
 	a := mkTable(fmt.Sprintf("delete vs bulkload factor, %d keys, page=%dKB (Mcycles)", p.Keys, p.MainPage>>10), "fill%")
-	for _, fill := range []float64{0.6, 0.7, 0.8, 0.9, 1.0} {
+	for fi, fill := range fills {
 		row := []string{fmt.Sprintf("%.0f", fill*100)}
-		for _, kind := range AllDiskKinds {
-			c, err := run(kind, p.MainPage, p.Keys, fill)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, mcycles(c))
+		for ki := range AllDiskKinds {
+			row = append(row, mcycles(aC[fi*nk+ki]))
 		}
 		a.AddRow(row...)
 	}
 	b := mkTable(fmt.Sprintf("delete vs page size, %d keys, 100%% full (Mcycles)", p.Keys), "page")
-	for _, ps := range p.PageSizes {
+	for pi, ps := range p.PageSizes {
 		row := []string{fmt.Sprintf("%dKB", ps>>10)}
-		for _, kind := range AllDiskKinds {
-			c, err := run(kind, ps, p.Keys, 1.0)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, mcycles(c))
+		for ki := range AllDiskKinds {
+			row = append(row, mcycles(bC[pi*nk+ki]))
 		}
 		b.AddRow(row...)
 	}
@@ -411,39 +488,47 @@ func fig14(p Params) ([]*Table, error) {
 // ScanSpan entries on a 100%-full tree, jump-pointer prefetching on for
 // the fpB+-Trees.
 func fig15(p Params) ([]*Table, error) {
+	kinds := []TreeKind{KindDiskOptimized, KindDiskFirst, KindCacheFirst}
+	cells := make([]uint64, len(kinds))
+	var cs cellSet
+	for i, kind := range kinds {
+		cs.add(func() error {
+			env, tr, g, err := loadTree(kind, p.MainPage, p.Keys, 1.0, kind != KindDiskOptimized)
+			if err != nil {
+				return err
+			}
+			scans, err := g.RangeScans(p.Keys, p.ScanSpan, p.ScanCount)
+			if err != nil {
+				return err
+			}
+			env.Model.ColdCaches()
+			before := env.Model.Stats()
+			for _, sc := range scans {
+				n, err := tr.RangeScan(sc.Start, sc.End, nil)
+				if err != nil {
+					return err
+				}
+				if n != sc.Entries {
+					return fmt.Errorf("fig15: %s scanned %d entries, want %d", tr.Name(), n, sc.Entries)
+				}
+			}
+			cells[i] = env.Model.Stats().Sub(before).Cycles
+			return nil
+		})
+	}
+	if err := cs.run(p.workers()); err != nil {
+		return nil, err
+	}
+
 	t := &Table{
 		ID: "fig15",
 		Title: fmt.Sprintf("range scan, %d keys, %d scans x %d entries, page=%dKB (Mcycles)",
 			p.Keys, p.ScanCount, p.ScanSpan, p.MainPage>>10),
 		Columns: []string{"tree", "Mcycles", "speedup vs disk-optimized"},
 	}
-	kinds := []TreeKind{KindDiskOptimized, KindDiskFirst, KindCacheFirst}
-	var base uint64
-	for _, kind := range kinds {
-		env, tr, g, err := loadTree(kind, p.MainPage, p.Keys, 1.0, kind != KindDiskOptimized)
-		if err != nil {
-			return nil, err
-		}
-		scans, err := g.RangeScans(p.Keys, p.ScanSpan, p.ScanCount)
-		if err != nil {
-			return nil, err
-		}
-		env.Model.ColdCaches()
-		before := env.Model.Stats()
-		for _, sc := range scans {
-			n, err := tr.RangeScan(sc.Start, sc.End, nil)
-			if err != nil {
-				return nil, err
-			}
-			if n != sc.Entries {
-				return nil, fmt.Errorf("fig15: %s scanned %d entries, want %d", tr.Name(), n, sc.Entries)
-			}
-		}
-		c := env.Model.Stats().Sub(before).Cycles
-		if kind == KindDiskOptimized {
-			base = c
-		}
-		t.AddRow(kind.String(), mcycles(c), ratio(base, c))
+	base := cells[0]
+	for i, kind := range kinds {
+		t.AddRow(kind.String(), mcycles(cells[i]), ratio(base, cells[i]))
 	}
 	t.Notes = append(t.Notes, "paper: disk-first 4.2x, cache-first 3.5x over disk-optimized")
 	return []*Table{t}, nil

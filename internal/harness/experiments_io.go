@@ -100,16 +100,8 @@ func matureTree(tr idx.Index, g *workload.Gen, bulk, inserts int) error {
 
 // fig16 reproduces the space-overhead comparison.
 func fig16(p Params) ([]*Table, error) {
-	a := &Table{
-		ID:      "fig16",
-		Title:   fmt.Sprintf("space overhead after 100%% bulkload of %d keys (%%)", p.Keys),
-		Columns: []string{"page", "disk-first", "cache-first"},
-	}
-	b := &Table{
-		ID:      "fig16",
-		Title:   fmt.Sprintf("space overhead, mature trees (%d bulk + %d inserts) (%%)", p.MatureBulk, p.MatureInserts),
-		Columns: []string{"page", "disk-first", "cache-first"},
-	}
+	// One cell per (variant, page size, maturity): it builds its own
+	// baseline tree and the compared tree, and yields the overhead %.
 	overhead := func(kind TreeKind, ps, bulk, inserts int) (string, error) {
 		env := NewCacheEnv(ps, (bulk+inserts)*3)
 		base, err := BuildTree(KindDiskOptimized, env, false)
@@ -130,26 +122,48 @@ func fig16(p Params) ([]*Table, error) {
 		ov := 100 * (float64(tr.PageCount())/float64(base.PageCount()) - 1)
 		return fmt.Sprintf("%.1f", ov), nil
 	}
-	for _, ps := range p.PageSizes {
-		df, err := overhead(KindDiskFirst, ps, p.Keys, 0)
-		if err != nil {
-			return nil, err
+	kinds := []TreeKind{KindDiskFirst, KindCacheFirst}
+	aC := make([]string, len(p.PageSizes)*len(kinds))
+	bC := make([]string, len(p.PageSizes)*len(kinds))
+	var cs cellSet
+	for pi, ps := range p.PageSizes {
+		for ki, kind := range kinds {
+			slot := pi*len(kinds) + ki
+			cs.add(func() error {
+				v, err := overhead(kind, ps, p.Keys, 0)
+				if err != nil {
+					return err
+				}
+				aC[slot] = v
+				return nil
+			})
+			cs.add(func() error {
+				v, err := overhead(kind, ps, p.MatureBulk, p.MatureInserts)
+				if err != nil {
+					return err
+				}
+				bC[slot] = v
+				return nil
+			})
 		}
-		cf, err := overhead(KindCacheFirst, ps, p.Keys, 0)
-		if err != nil {
-			return nil, err
-		}
-		a.AddRow(fmt.Sprintf("%dKB", ps>>10), df, cf)
+	}
+	if err := cs.run(p.workers()); err != nil {
+		return nil, err
+	}
 
-		df, err = overhead(KindDiskFirst, ps, p.MatureBulk, p.MatureInserts)
-		if err != nil {
-			return nil, err
-		}
-		cf, err = overhead(KindCacheFirst, ps, p.MatureBulk, p.MatureInserts)
-		if err != nil {
-			return nil, err
-		}
-		b.AddRow(fmt.Sprintf("%dKB", ps>>10), df, cf)
+	a := &Table{
+		ID:      "fig16",
+		Title:   fmt.Sprintf("space overhead after 100%% bulkload of %d keys (%%)", p.Keys),
+		Columns: []string{"page", "disk-first", "cache-first"},
+	}
+	b := &Table{
+		ID:      "fig16",
+		Title:   fmt.Sprintf("space overhead, mature trees (%d bulk + %d inserts) (%%)", p.MatureBulk, p.MatureInserts),
+		Columns: []string{"page", "disk-first", "cache-first"},
+	}
+	for pi, ps := range p.PageSizes {
+		a.AddRow(fmt.Sprintf("%dKB", ps>>10), aC[pi*len(kinds)], aC[pi*len(kinds)+1])
+		b.AddRow(fmt.Sprintf("%dKB", ps>>10), bC[pi*len(kinds)], bC[pi*len(kinds)+1])
 	}
 	a.Notes = append(a.Notes, "paper: disk-first < 9%, cache-first < 5% after bulkload")
 	b.Notes = append(b.Notes, "paper: mature cache-first can grow to ~36%; disk-first stays < 9%")
@@ -172,14 +186,6 @@ func ioEnv(pageSize, frames, disks int) (*Env, *disksim.Array, error) {
 // searches after clearing the pool, bulkloaded and mature trees.
 func fig17(p Params) ([]*Table, error) {
 	kinds := []TreeKind{KindDiskOptimized, KindDiskFirst, KindCacheFirst}
-	mk := func(title string) *Table {
-		t := &Table{ID: "fig17", Title: title, Columns: []string{"page"}}
-		for _, k := range kinds {
-			t.Columns = append(t.Columns, k.String())
-		}
-		t.Columns = append(t.Columns, "cache-first vs disk-opt")
-		return t
-	}
 	run := func(kind TreeKind, ps, bulk, inserts int) (uint64, error) {
 		// Frames sized to hold the whole tree: the experiment counts
 		// cold misses, not capacity misses, and clears the pool first.
@@ -223,16 +229,50 @@ func fig17(p Params) ([]*Table, error) {
 		return env.Pool.Stats().DemandMisses, nil
 	}
 
+	nk := len(kinds)
+	aC := make([]uint64, len(p.PageSizes)*nk)
+	bC := make([]uint64, len(p.PageSizes)*nk)
+	var cs cellSet
+	for pi, ps := range p.PageSizes {
+		for ki, kind := range kinds {
+			slot := pi*nk + ki
+			cs.add(func() error {
+				m, err := run(kind, ps, p.BigKeys, 0)
+				if err != nil {
+					return err
+				}
+				aC[slot] = m
+				return nil
+			})
+			cs.add(func() error {
+				m, err := run(kind, ps, p.MatureBulk, p.MatureInserts)
+				if err != nil {
+					return err
+				}
+				bC[slot] = m
+				return nil
+			})
+		}
+	}
+	if err := cs.run(p.workers()); err != nil {
+		return nil, err
+	}
+
+	mk := func(title string) *Table {
+		t := &Table{ID: "fig17", Title: title, Columns: []string{"page"}}
+		for _, k := range kinds {
+			t.Columns = append(t.Columns, k.String())
+		}
+		t.Columns = append(t.Columns, "cache-first vs disk-opt")
+		return t
+	}
 	a := mk(fmt.Sprintf("search I/O after bulkload, %d keys, %d searches (page misses)", p.BigKeys, p.Ops))
 	b := mk(fmt.Sprintf("search I/O, mature trees (%d bulk + %d inserts), %d searches (page misses)", p.MatureBulk, p.MatureInserts, p.Ops))
-	addRow := func(t *Table, ps, bulk, inserts int) error {
+	addRow := func(t *Table, cells []uint64, pi, ps int) {
 		row := []string{fmt.Sprintf("%dKB", ps>>10)}
 		var disk, cf uint64
-		for _, kind := range kinds {
-			m, err := run(kind, ps, bulk, inserts)
-			if err != nil {
-				return err
-			}
+		for ki, kind := range kinds {
+			m := cells[pi*nk+ki]
 			row = append(row, fmt.Sprint(m))
 			if kind == KindDiskOptimized {
 				disk = m
@@ -243,15 +283,10 @@ func fig17(p Params) ([]*Table, error) {
 		}
 		row = append(row, ratio(cf, disk))
 		t.AddRow(row...)
-		return nil
 	}
-	for _, ps := range p.PageSizes {
-		if err := addRow(a, ps, p.BigKeys, 0); err != nil {
-			return nil, err
-		}
-		if err := addRow(b, ps, p.MatureBulk, p.MatureInserts); err != nil {
-			return nil, err
-		}
+	for pi, ps := range p.PageSizes {
+		addRow(a, aC, pi, ps)
+		addRow(b, bC, pi, ps)
 	}
 	a.Notes = append(a.Notes,
 		"paper: disk-first within 3% of disk-optimized; cache-first up to 25% more reads at 4KB, converging as pages grow")
@@ -259,7 +294,9 @@ func fig17(p Params) ([]*Table, error) {
 }
 
 // fig18 reproduces range-scan I/O on the simulated Origin disk array:
-// mature trees, measuring virtual elapsed time.
+// mature trees, measuring virtual elapsed time. One cell builds one
+// (tree, disk-count) pair and runs its scans; the tree and its disk
+// array never cross cells.
 func fig18(p Params) ([]*Table, error) {
 	type scanTree struct {
 		name string
@@ -310,31 +347,58 @@ func fig18(p Params) ([]*Table, error) {
 		return float64(total) / trials / 1000, nil // ms
 	}
 
+	// Panel (a): two cells, each a tree on 10 disks swept over spans.
+	// Panel (b): one cell per (tree, disk count) at the big span.
+	aC := make([][]float64, len(trees))
+	bC := make([]float64, len(trees)*len(p.Fig18Disks))
+	var cs cellSet
+	for ti, st := range trees {
+		cs.add(func() error {
+			tr, env, g, err := build(st, 10)
+			if err != nil {
+				return err
+			}
+			times := make([]float64, len(p.Fig18Spans))
+			for si, span := range p.Fig18Spans {
+				v, err := scanOnce(tr, env, g, span)
+				if err != nil {
+					return err
+				}
+				times[si] = v
+			}
+			aC[ti] = times
+			return nil
+		})
+	}
+	for di, disks := range p.Fig18Disks {
+		for ti, st := range trees {
+			slot := di*len(trees) + ti
+			cs.add(func() error {
+				tr, env, g, err := build(st, disks)
+				if err != nil {
+					return err
+				}
+				v, err := scanOnce(tr, env, g, p.Fig18BigSpan)
+				if err != nil {
+					return err
+				}
+				bC[slot] = v
+				return nil
+			})
+		}
+	}
+	if err := cs.run(p.workers()); err != nil {
+		return nil, err
+	}
+
 	a := &Table{
 		ID:      "fig18",
 		Title:   fmt.Sprintf("range scan I/O vs range size, 10 disks, mature tree %d+%d keys (ms)", p.Fig18Bulk, p.Fig18Inserts),
 		Columns: []string{"entries", "B+tree", "fpB+tree", "speedup"},
 	}
-	{
-		base, benv, bg, err := build(trees[0], 10)
-		if err != nil {
-			return nil, err
-		}
-		fp, fenv, fg, err := build(trees[1], 10)
-		if err != nil {
-			return nil, err
-		}
-		for _, span := range p.Fig18Spans {
-			bt, err := scanOnce(base, benv, bg, span)
-			if err != nil {
-				return nil, err
-			}
-			ft, err := scanOnce(fp, fenv, fg, span)
-			if err != nil {
-				return nil, err
-			}
-			a.AddRow(fmt.Sprint(span), fmt.Sprintf("%.1f", bt), fmt.Sprintf("%.1f", ft), fmt.Sprintf("%.2f", bt/ft))
-		}
+	for si, span := range p.Fig18Spans {
+		bt, ft := aC[0][si], aC[1][si]
+		a.AddRow(fmt.Sprint(span), fmt.Sprintf("%.1f", bt), fmt.Sprintf("%.1f", ft), fmt.Sprintf("%.2f", bt/ft))
 	}
 	a.Notes = append(a.Notes, "paper: indistinguishable on 1-2 page ranges; 1.9x at 1e4; 6.2-6.9x on 1e6-1e7")
 
@@ -343,27 +407,9 @@ func fig18(p Params) ([]*Table, error) {
 		Title:   fmt.Sprintf("large range scan (%d entries) vs #disks (seconds)", p.Fig18BigSpan),
 		Columns: []string{"disks", "B+tree", "fpB+tree", "fp speedup vs 1 disk"},
 	}
-	var fp1 float64
-	for _, disks := range p.Fig18Disks {
-		base, benv, bg, err := build(trees[0], disks)
-		if err != nil {
-			return nil, err
-		}
-		fp, fenv, fg, err := build(trees[1], disks)
-		if err != nil {
-			return nil, err
-		}
-		bt, err := scanOnce(base, benv, bg, p.Fig18BigSpan)
-		if err != nil {
-			return nil, err
-		}
-		ft, err := scanOnce(fp, fenv, fg, p.Fig18BigSpan)
-		if err != nil {
-			return nil, err
-		}
-		if disks == p.Fig18Disks[0] {
-			fp1 = ft
-		}
+	fp1 := bC[1] // fp tree at the first disk count
+	for di, disks := range p.Fig18Disks {
+		bt, ft := bC[di*len(trees)], bC[di*len(trees)+1]
 		b.AddRow(fmt.Sprint(disks), fmt.Sprintf("%.2f", bt/1000), fmt.Sprintf("%.2f", ft/1000),
 			fmt.Sprintf("%.2f", fp1/ft))
 	}
@@ -374,26 +420,53 @@ func fig18(p Params) ([]*Table, error) {
 // fig19 reproduces the DB2 experiment.
 func fig19(p Params) ([]*Table, error) {
 	cfg := p.DB2
+	pfCounts := []int{1, 2, 3, 4, 6, 8, 10, 12}
+	smps := []int{1, 2, 3, 4, 5, 6, 7, 8, 9}
+
+	var np, mem db2sim.Result
+	pfR := make([]db2sim.Result, len(pfCounts))
+	smpR := make([][3]db2sim.Result, len(smps))
+	var cs cellSet
+	cs.add(func() (err error) {
+		np, err = db2sim.Run(cfg, 9, 0, db2sim.NoPrefetch)
+		return err
+	})
+	cs.add(func() (err error) {
+		mem, err = db2sim.Run(cfg, 9, 0, db2sim.InMemory)
+		return err
+	})
+	for i, pf := range pfCounts {
+		cs.add(func() (err error) {
+			pfR[i], err = db2sim.Run(cfg, 9, pf, db2sim.Prefetch)
+			return err
+		})
+	}
+	for i, smp := range smps {
+		cs.add(func() (err error) {
+			smpR[i][0], err = db2sim.Run(cfg, smp, 0, db2sim.NoPrefetch)
+			return err
+		})
+		cs.add(func() (err error) {
+			smpR[i][1], err = db2sim.Run(cfg, smp, 8, db2sim.Prefetch)
+			return err
+		})
+		cs.add(func() (err error) {
+			smpR[i][2], err = db2sim.Run(cfg, smp, 0, db2sim.InMemory)
+			return err
+		})
+	}
+	if err := cs.run(p.workers()); err != nil {
+		return nil, err
+	}
+
 	a := &Table{
 		ID:      "fig19",
 		Title:   fmt.Sprintf("DB2-style COUNT(*) scan vs #prefetchers (SMP degree 9, %d leaf pages) (s)", cfg.LeafPages),
 		Columns: []string{"prefetchers", "no prefetch", "with prefetch", "in memory"},
 	}
-	np, err := db2sim.Run(cfg, 9, 0, db2sim.NoPrefetch)
-	if err != nil {
-		return nil, err
-	}
-	mem, err := db2sim.Run(cfg, 9, 0, db2sim.InMemory)
-	if err != nil {
-		return nil, err
-	}
-	for _, pf := range []int{1, 2, 3, 4, 6, 8, 10, 12} {
-		r, err := db2sim.Run(cfg, 9, pf, db2sim.Prefetch)
-		if err != nil {
-			return nil, err
-		}
+	for i, pf := range pfCounts {
 		a.AddRow(fmt.Sprint(pf), fmt.Sprintf("%.2f", np.Seconds()),
-			fmt.Sprintf("%.2f", r.Seconds()), fmt.Sprintf("%.2f", mem.Seconds()))
+			fmt.Sprintf("%.2f", pfR[i].Seconds()), fmt.Sprintf("%.2f", mem.Seconds()))
 	}
 	a.Notes = append(a.Notes, "paper: prefetching approaches the in-memory bound by ~8 prefetchers; 2.5-5x overall")
 
@@ -402,21 +475,9 @@ func fig19(p Params) ([]*Table, error) {
 		Title:   fmt.Sprintf("DB2-style COUNT(*) scan vs SMP degree (8 prefetchers, %d leaf pages) (s)", cfg.LeafPages),
 		Columns: []string{"smp", "no prefetch", "with prefetch", "in memory"},
 	}
-	for _, smp := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9} {
-		npr, err := db2sim.Run(cfg, smp, 0, db2sim.NoPrefetch)
-		if err != nil {
-			return nil, err
-		}
-		pr, err := db2sim.Run(cfg, smp, 8, db2sim.Prefetch)
-		if err != nil {
-			return nil, err
-		}
-		memr, err := db2sim.Run(cfg, smp, 0, db2sim.InMemory)
-		if err != nil {
-			return nil, err
-		}
-		b.AddRow(fmt.Sprint(smp), fmt.Sprintf("%.2f", npr.Seconds()),
-			fmt.Sprintf("%.2f", pr.Seconds()), fmt.Sprintf("%.2f", memr.Seconds()))
+	for i, smp := range smps {
+		b.AddRow(fmt.Sprint(smp), fmt.Sprintf("%.2f", smpR[i][0].Seconds()),
+			fmt.Sprintf("%.2f", smpR[i][1].Seconds()), fmt.Sprintf("%.2f", smpR[i][2].Seconds()))
 	}
 	b.Notes = append(b.Notes, "paper: with prefetching, throughput tracks the in-memory curve as SMP degree grows")
 	return []*Table{a, b}, nil
@@ -424,6 +485,163 @@ func fig19(p Params) ([]*Table, error) {
 
 // ablations measures the design choices DESIGN.md calls out.
 func ablations(p Params) ([]*Table, error) {
+	// 1b cells: search cost and fanout for forced width pairs.
+	widthPairs := [][2]int{{192, 512}, {192, 192}, {512, 512}}
+	type widthRes struct {
+		cycles uint64
+		fanout int
+	}
+	widthR := make([]widthRes, len(widthPairs))
+
+	// 2 cells: overshoot on/off.
+	type scanRes struct {
+		prefetched uint64
+		virtualMS  float64
+	}
+	overshootR := make([]scanRes, 2)
+
+	// 3 cells: underflow filling on/off.
+	type fillRes struct {
+		getsPerSearch float64
+		pages         int
+	}
+	fillR := make([]fillRes, 2)
+
+	// 4 cells: prefetch-window sweep.
+	windows := []int{1, 2, 4, 8, 16, 32, 64}
+	windowR := make([]float64, len(windows))
+
+	var cs cellSet
+	for i, wx := range widthPairs {
+		cs.add(func() error {
+			env := NewCacheEnv(16<<10, p.Keys)
+			tr, err := buildDiskFirstWidths(env, wx[0], wx[1])
+			if err != nil {
+				return err
+			}
+			g := workload.New(p.Seed)
+			if err := tr.Bulkload(g.BulkEntries(p.Keys), 1.0); err != nil {
+				return err
+			}
+			c, err := searchCycles(env, tr, g.SearchKeys(p.Keys, p.Ops))
+			if err != nil {
+				return err
+			}
+			widthR[i] = widthRes{c, tr.Fanout()}
+			return nil
+		})
+	}
+	for i, overshoot := range []bool{false, true} {
+		cs.add(func() error {
+			frames := p.MatureBulk/(16<<10/40) + 512
+			env, arr, err := ioEnv(16<<10, frames, 10)
+			if err != nil {
+				return err
+			}
+			tr, err := core.NewDiskFirst(core.DiskFirstConfig{
+				Pool: env.Pool, Model: env.Model, EnableJPA: true,
+				PrefetchWindow: 32, NoOvershootProtection: overshoot,
+			})
+			if err != nil {
+				return err
+			}
+			g := workload.New(p.Seed)
+			if err := tr.Bulkload(g.BulkEntries(p.MatureBulk), 1.0); err != nil {
+				return err
+			}
+			if err := env.Pool.DropAll(); err != nil {
+				return err
+			}
+			arr.Reset()
+			env.Pool.ResetStats()
+			span := tr.Fanout() * 2
+			scans, err := g.RangeScans(p.MatureBulk, span, 5)
+			if err != nil {
+				return err
+			}
+			start := env.Pool.Clock()
+			for _, sc := range scans {
+				if _, err := tr.RangeScan(sc.Start, sc.End, nil); err != nil {
+					return err
+				}
+			}
+			overshootR[i] = scanRes{
+				prefetched: env.Pool.Stats().PrefetchIssue,
+				virtualMS:  float64(env.Pool.Clock()-start) / 1000,
+			}
+			return nil
+		})
+	}
+	for i, noFill := range []bool{false, true} {
+		cs.add(func() error {
+			env := NewCacheEnv(16<<10, p.Keys)
+			tr, err := core.NewCacheFirst(core.CacheFirstConfig{
+				Pool: env.Pool, Model: env.Model, NoUnderflowFill: noFill,
+			})
+			if err != nil {
+				return err
+			}
+			g := workload.New(p.Seed)
+			if err := tr.Bulkload(g.BulkEntries(p.Keys), 1.0); err != nil {
+				return err
+			}
+			env.Pool.ResetStats()
+			keys := g.SearchKeys(p.Keys, p.Ops)
+			for _, k := range keys {
+				if _, ok, err := tr.Search(k); err != nil || !ok {
+					return fmt.Errorf("ablation search: %v %v", ok, err)
+				}
+			}
+			fillR[i] = fillRes{
+				getsPerSearch: float64(env.Pool.Stats().Gets) / float64(len(keys)),
+				pages:         tr.PageCount(),
+			}
+			return nil
+		})
+	}
+	for i, win := range windows {
+		cs.add(func() error {
+			frames := p.MatureBulk/(16<<10/40) + 512
+			env, arr, err := ioEnv(16<<10, frames, 10)
+			if err != nil {
+				return err
+			}
+			tr, err := core.NewDiskFirst(core.DiskFirstConfig{
+				Pool: env.Pool, Model: env.Model, EnableJPA: true, PrefetchWindow: win,
+			})
+			if err != nil {
+				return err
+			}
+			g := workload.New(p.Seed)
+			if err := tr.Bulkload(g.BulkEntries(p.MatureBulk), 1.0); err != nil {
+				return err
+			}
+			if err := env.Pool.DropAll(); err != nil {
+				return err
+			}
+			arr.Reset()
+			span := p.ScanSpan
+			if span > p.MatureBulk {
+				span = p.MatureBulk / 2
+			}
+			scans, err := g.RangeScans(p.MatureBulk, span, 3)
+			if err != nil {
+				return err
+			}
+			start := env.Pool.Clock()
+			for _, sc := range scans {
+				if _, err := tr.RangeScan(sc.Start, sc.End, nil); err != nil {
+					return err
+				}
+			}
+			windowR[i] = float64(env.Pool.Clock()-start) / 1000 / 3
+			return nil
+		})
+	}
+	if err := cs.run(p.workers()); err != nil {
+		return nil, err
+	}
+
 	var out []*Table
 
 	// 1. In-page offsets (2B) vs full pointers (4B) in disk-first
@@ -450,25 +668,12 @@ func ablations(p Params) ([]*Table, error) {
 			Title:   fmt.Sprintf("disk-first two node sizes vs one (16KB, %d keys): search Mcycles", p.Keys),
 			Columns: []string{"widths (nonleaf/leaf)", "Mcycles", "page fanout"},
 		}
-		for _, wx := range [][2]int{{192, 512}, {192, 192}, {512, 512}} {
-			env := NewCacheEnv(16<<10, p.Keys)
-			tr, err := buildDiskFirstWidths(env, wx[0], wx[1])
-			if err != nil {
-				return nil, err
-			}
-			g := workload.New(p.Seed)
-			if err := tr.Bulkload(g.BulkEntries(p.Keys), 1.0); err != nil {
-				return nil, err
-			}
-			c, err := searchCycles(env, tr, g.SearchKeys(p.Keys, p.Ops))
-			if err != nil {
-				return nil, err
-			}
+		for i, wx := range widthPairs {
 			label := fmt.Sprintf("%dB/%dB", wx[0], wx[1])
 			if wx == [2]int{192, 512} {
 				label += " (selected)"
 			}
-			t.AddRow(label, mcycles(c), fmt.Sprint(tr.Fanout()))
+			t.AddRow(label, mcycles(widthR[i].cycles), fmt.Sprint(widthR[i].fanout))
 		}
 		t.Notes = append(t.Notes, "two sizes buy fan-out without hurting search: the 3.1.1 rationale")
 		out = append(out, t)
@@ -481,45 +686,8 @@ func ablations(p Params) ([]*Table, error) {
 			Title:   "range-scan overshoot: prefetch issues for a ~2-page scan (16KB, 10 disks)",
 			Columns: []string{"variant", "pages prefetched", "virtual ms"},
 		}
-		for _, overshoot := range []bool{false, true} {
-			frames := p.MatureBulk/(16<<10/40) + 512
-			env, arr, err := ioEnv(16<<10, frames, 10)
-			if err != nil {
-				return nil, err
-			}
-			tr, err := core.NewDiskFirst(core.DiskFirstConfig{
-				Pool: env.Pool, Model: env.Model, EnableJPA: true,
-				PrefetchWindow: 32, NoOvershootProtection: overshoot,
-			})
-			if err != nil {
-				return nil, err
-			}
-			g := workload.New(p.Seed)
-			if err := tr.Bulkload(g.BulkEntries(p.MatureBulk), 1.0); err != nil {
-				return nil, err
-			}
-			if err := env.Pool.DropAll(); err != nil {
-				return nil, err
-			}
-			arr.Reset()
-			env.Pool.ResetStats()
-			span := tr.Fanout() * 2
-			scans, err := g.RangeScans(p.MatureBulk, span, 5)
-			if err != nil {
-				return nil, err
-			}
-			start := env.Pool.Clock()
-			for _, sc := range scans {
-				if _, err := tr.RangeScan(sc.Start, sc.End, nil); err != nil {
-					return nil, err
-				}
-			}
-			elapsed := env.Pool.Clock() - start
-			name := "end-page check (paper)"
-			if overshoot {
-				name = "naive window (overshoots)"
-			}
-			t.AddRow(name, fmt.Sprint(env.Pool.Stats().PrefetchIssue), fmt.Sprintf("%.1f", float64(elapsed)/1000))
+		for i, name := range []string{"end-page check (paper)", "naive window (overshoots)"} {
+			t.AddRow(name, fmt.Sprint(overshootR[i].prefetched), fmt.Sprintf("%.1f", overshootR[i].virtualMS))
 		}
 		t.Notes = append(t.Notes, "paper §2.2: overshooting is costly at page granularity; fpB+trees search the end key first")
 		out = append(out, t)
@@ -533,31 +701,8 @@ func ablations(p Params) ([]*Table, error) {
 			Title:   fmt.Sprintf("cache-first underflow filling: buffer fixes per search (%d keys, 16KB)", p.Keys),
 			Columns: []string{"variant", "gets per search", "pages"},
 		}
-		for _, noFill := range []bool{false, true} {
-			env := NewCacheEnv(16<<10, p.Keys)
-			tr, err := core.NewCacheFirst(core.CacheFirstConfig{
-				Pool: env.Pool, Model: env.Model, NoUnderflowFill: noFill,
-			})
-			if err != nil {
-				return nil, err
-			}
-			g := workload.New(p.Seed)
-			if err := tr.Bulkload(g.BulkEntries(p.Keys), 1.0); err != nil {
-				return nil, err
-			}
-			env.Pool.ResetStats()
-			keys := g.SearchKeys(p.Keys, p.Ops)
-			for _, k := range keys {
-				if _, ok, err := tr.Search(k); err != nil || !ok {
-					return nil, fmt.Errorf("ablation search: %v %v", ok, err)
-				}
-			}
-			name := "bitmap spread (paper)"
-			if noFill {
-				name = "no underflow filling"
-			}
-			t.AddRow(name, fmt.Sprintf("%.2f", float64(env.Pool.Stats().Gets)/float64(len(keys))),
-				fmt.Sprint(tr.PageCount()))
+		for i, name := range []string{"bitmap spread (paper)", "no underflow filling"} {
+			t.AddRow(name, fmt.Sprintf("%.2f", fillR[i].getsPerSearch), fmt.Sprint(fillR[i].pages))
 		}
 		out = append(out, t)
 	}
@@ -569,41 +714,8 @@ func ablations(p Params) ([]*Table, error) {
 			Title:   fmt.Sprintf("JPA prefetch window vs scan time (%d-entry scan, 10 disks) (ms)", p.ScanSpan),
 			Columns: []string{"window", "virtual ms"},
 		}
-		for _, win := range []int{1, 2, 4, 8, 16, 32, 64} {
-			frames := p.MatureBulk/(16<<10/40) + 512
-			env, arr, err := ioEnv(16<<10, frames, 10)
-			if err != nil {
-				return nil, err
-			}
-			tr, err := core.NewDiskFirst(core.DiskFirstConfig{
-				Pool: env.Pool, Model: env.Model, EnableJPA: true, PrefetchWindow: win,
-			})
-			if err != nil {
-				return nil, err
-			}
-			g := workload.New(p.Seed)
-			if err := tr.Bulkload(g.BulkEntries(p.MatureBulk), 1.0); err != nil {
-				return nil, err
-			}
-			if err := env.Pool.DropAll(); err != nil {
-				return nil, err
-			}
-			arr.Reset()
-			span := p.ScanSpan
-			if span > p.MatureBulk {
-				span = p.MatureBulk / 2
-			}
-			scans, err := g.RangeScans(p.MatureBulk, span, 3)
-			if err != nil {
-				return nil, err
-			}
-			start := env.Pool.Clock()
-			for _, sc := range scans {
-				if _, err := tr.RangeScan(sc.Start, sc.End, nil); err != nil {
-					return nil, err
-				}
-			}
-			t.AddRow(fmt.Sprint(win), fmt.Sprintf("%.1f", float64(env.Pool.Clock()-start)/1000/3))
+		for i, win := range windows {
+			t.AddRow(fmt.Sprint(win), fmt.Sprintf("%.1f", windowR[i]))
 		}
 		out = append(out, t)
 	}

@@ -108,6 +108,14 @@ type Params struct {
 	DB2 db2sim.Config
 
 	Seed int64
+
+	// Workers is the experiment-cell worker-pool width. Each cell (one
+	// tree variant at one configuration point) owns its own buffer
+	// pool, memory model, and workload stream, so cells are
+	// embarrassingly parallel; tables are assembled in a fixed order
+	// after all cells finish, so output is identical at any width.
+	// 0 or 1 runs serially.
+	Workers int
 }
 
 // ParamsFor returns the parameter set for a scale name: "quick",

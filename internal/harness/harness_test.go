@@ -2,9 +2,11 @@ package harness
 
 import (
 	"bytes"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 func quickParams(t *testing.T) Params {
@@ -332,6 +334,69 @@ func TestFig11Shape(t *testing.T) {
 		if sel > best*1.15 {
 			t.Fatalf("panel %d (%s): selected width %.2f vs best %.2f", pi, tab.Title, sel, best)
 		}
+	}
+}
+
+// renderAll runs an experiment and renders its tables to text.
+func renderAll(t *testing.T, id string, p Params) string {
+	t.Helper()
+	tabs, err := Run(id, p)
+	if err != nil {
+		t.Fatalf("%s (workers=%d): %v", id, p.Workers, err)
+	}
+	var buf bytes.Buffer
+	for _, tab := range tabs {
+		tab.Fprint(&buf)
+	}
+	return buf.String()
+}
+
+// TestParallelMatchesSerial runs every experiment serially and on a
+// 4-wide worker pool and requires byte-identical output: cells own
+// their substrate and tables are assembled in a fixed order, so the
+// worker count must never show up in the results.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, id := range IDs() {
+		t.Run(id, func(t *testing.T) {
+			serial := quickParams(t)
+			parallel := quickParams(t)
+			parallel.Workers = 4
+			s := renderAll(t, id, serial)
+			p := renderAll(t, id, parallel)
+			if s != p {
+				t.Fatalf("parallel output diverges from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+			}
+		})
+	}
+}
+
+// TestParallelSpeedup checks that the worker pool actually buys
+// wall-clock time on a multi-core machine (the fig10 grid has 16
+// independent cells at quick scale).
+func TestParallelSpeedup(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs for a meaningful speedup check, have %d", runtime.NumCPU())
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	serial := quickParams(t)
+	start := time.Now()
+	if _, err := Run("fig10", serial); err != nil {
+		t.Fatal(err)
+	}
+	serialDur := time.Since(start)
+
+	parallel := quickParams(t)
+	parallel.Workers = DefaultWorkers()
+	start = time.Now()
+	if _, err := Run("fig10", parallel); err != nil {
+		t.Fatal(err)
+	}
+	parallelDur := time.Since(start)
+	if parallelDur > serialDur/2 {
+		t.Fatalf("parallel fig10 took %v vs serial %v: wanted >= 2x speedup on %d CPUs",
+			parallelDur, serialDur, runtime.NumCPU())
 	}
 }
 

@@ -1,0 +1,93 @@
+package idx
+
+import (
+	"slices"
+	"sort"
+)
+
+// SearchResult is the per-key outcome of a batched search.
+type SearchResult struct {
+	TID   TupleID
+	Found bool
+}
+
+// GrowResults extends out by n zeroed results without reallocating when
+// out already has the capacity, returning the extended slice. Batched
+// searches use it so a warm call with a reused result buffer performs
+// no heap allocations.
+func GrowResults(out []SearchResult, n int) []SearchResult {
+	base := len(out)
+	out = slices.Grow(out, n)[:base+n]
+	for i := base; i < base+n; i++ {
+		out[i] = SearchResult{}
+	}
+	return out
+}
+
+// BatchScratch holds the reusable state of a batched level-wise search:
+// the key-sorted visiting order and the per-key page frontier for the
+// current and next level. The zero value is ready to use; buffers grow
+// on demand and are retained across calls, so a warm SearchBatch does
+// not allocate. Like the trees that embed it, a scratch is not safe for
+// concurrent use.
+type BatchScratch struct {
+	Ord     []int32  // key indices, ascending by key (ties by position)
+	Cur     []uint32 // current-level page per sorted key
+	Next    []uint32 // next-level page per sorted key
+	CurOff  []int32  // current in-page node offset per sorted key
+	NextOff []int32  // next in-page node offset per sorted key
+
+	sorter ordSorter
+}
+
+// Prepare sizes the buffers for keys and fills Ord with the key-sorted
+// permutation. Ties are broken by position, so the visiting order is
+// deterministic.
+func (s *BatchScratch) Prepare(keys []Key) {
+	n := len(keys)
+	s.Ord = sizeSlice(s.Ord, n)
+	s.Cur = sizeSlice(s.Cur, n)
+	s.Next = sizeSlice(s.Next, n)
+	s.CurOff = sizeSlice(s.CurOff, n)
+	s.NextOff = sizeSlice(s.NextOff, n)
+	for i := range s.Ord {
+		s.Ord[i] = int32(i)
+	}
+	s.sorter.keys = keys
+	s.sorter.ord = s.Ord
+	sort.Sort(&s.sorter)
+	s.sorter.keys = nil
+	s.sorter.ord = nil
+}
+
+// SwapLevels makes the next-level frontier current (after a level of
+// the descent has been processed).
+func (s *BatchScratch) SwapLevels() {
+	s.Cur, s.Next = s.Next, s.Cur
+	s.CurOff, s.NextOff = s.NextOff, s.CurOff
+}
+
+func sizeSlice[T any](b []T, n int) []T {
+	if cap(b) < n {
+		return make([]T, n)
+	}
+	return b[:n]
+}
+
+// ordSorter sorts an index permutation by key using sort.Sort, which —
+// unlike a sort on a fresh closure — is reliably allocation-free when
+// invoked on a pointer held by the scratch.
+type ordSorter struct {
+	keys []Key
+	ord  []int32
+}
+
+func (o *ordSorter) Len() int { return len(o.ord) }
+func (o *ordSorter) Less(i, j int) bool {
+	a, b := o.ord[i], o.ord[j]
+	if o.keys[a] != o.keys[b] {
+		return o.keys[a] < o.keys[b]
+	}
+	return a < b
+}
+func (o *ordSorter) Swap(i, j int) { o.ord[i], o.ord[j] = o.ord[j], o.ord[i] }

@@ -55,6 +55,16 @@ type Index interface {
 	// Search returns the tuple ID for key, and whether it was found.
 	Search(key Key) (TupleID, bool, error)
 
+	// SearchBatch looks up every key, appending one SearchResult per
+	// key (in key-slice order) to out and returning the extended
+	// slice. Results are exactly those of per-key Search calls, but
+	// disk-resident trees amortize buffer-pool work by sorting the
+	// batch and descending level-wise: one page pin per distinct page
+	// per level, with the next level's pages prefetched before the
+	// descent. Passing a reused out slice with sufficient capacity
+	// makes a warm call allocation-free.
+	SearchBatch(keys []Key, out []SearchResult) ([]SearchResult, error)
+
 	// Insert adds an entry. Duplicate keys are permitted; the paper's
 	// workloads use unique keys.
 	Insert(key Key, tid TupleID) error

@@ -73,6 +73,8 @@ type Tree struct {
 	root      uint32
 	height    int
 	firstLeaf uint32
+
+	batch idx.BatchScratch
 }
 
 // New creates an empty tree over the pool.
@@ -151,7 +153,7 @@ func (t *Tree) subCount(n int) int {
 
 // rebuildMicro rewrites micro-index entries from sub-array `from` on,
 // charging the data movement.
-func (t *Tree) rebuildMicro(pg *buffer.Page, from int) {
+func (t *Tree) rebuildMicro(pg buffer.Page, from int) {
 	d := pg.Data
 	n := pCount(d)
 	subs := t.subCount(n)
@@ -168,19 +170,19 @@ func (t *Tree) rebuildMicro(pg *buffer.Page, from int) {
 
 // --- charged access paths ---
 
-func (t *Tree) touchHeader(pg *buffer.Page) {
+func (t *Tree) touchHeader(pg buffer.Page) {
 	t.mm.Access(pg.Addr, 16)
 	t.mm.Busy(memsim.CostNodeVisit)
 }
 
-func (t *Tree) probeMicro(pg *buffer.Page, s int) idx.Key {
+func (t *Tree) probeMicro(pg buffer.Page, s int) idx.Key {
 	t.mm.Access(pg.Addr+uint64(t.microOff+4*s), 4)
 	t.mm.Busy(memsim.CostCompare)
 	t.mm.Other(memsim.CostComparePenalty)
 	return t.microKey(pg.Data, s)
 }
 
-func (t *Tree) probeKey(pg *buffer.Page, i int) idx.Key {
+func (t *Tree) probeKey(pg buffer.Page, i int) idx.Key {
 	t.mm.Access(pg.Addr+uint64(t.keyOff(i)), 4)
 	t.mm.Busy(memsim.CostCompare)
 	t.mm.Other(memsim.CostComparePenalty)
@@ -189,7 +191,7 @@ func (t *Tree) probeKey(pg *buffer.Page, i int) idx.Key {
 
 // searchPage finds the largest slot with key <= k (lt: strictly less),
 // using the micro index to confine the key probes to one sub-array.
-func (t *Tree) searchPage(pg *buffer.Page, k idx.Key, lt bool) (int, bool) {
+func (t *Tree) searchPage(pg buffer.Page, k idx.Key, lt bool) (int, bool) {
 	d := pg.Data
 	n := pCount(d)
 	if n == 0 {
@@ -238,14 +240,14 @@ func (t *Tree) searchPage(pg *buffer.Page, k idx.Key, lt bool) (int, bool) {
 	return lo - 1, exact
 }
 
-func (t *Tree) readPtr(pg *buffer.Page, i int) uint32 {
+func (t *Tree) readPtr(pg buffer.Page, i int) uint32 {
 	t.mm.Access(pg.Addr+uint64(t.ptrOff(i)), 4)
 	return t.ptr(pg.Data, i)
 }
 
 // insertAt shifts the arrays and rebuilds the affected micro-index
 // suffix — the update cost micro-indexing cannot avoid.
-func (t *Tree) insertAt(pg *buffer.Page, pos int, k idx.Key, p uint32) {
+func (t *Tree) insertAt(pg buffer.Page, pos int, k idx.Key, p uint32) {
 	d := pg.Data
 	n := pCount(d)
 	if n >= t.cap {
@@ -265,7 +267,7 @@ func (t *Tree) insertAt(pg *buffer.Page, pos int, k idx.Key, p uint32) {
 	t.rebuildMicro(pg, pos/t.keysPerSub)
 }
 
-func (t *Tree) removeAt(pg *buffer.Page, pos int) {
+func (t *Tree) removeAt(pg buffer.Page, pos int) {
 	d := pg.Data
 	n := pCount(d)
 	if moved := n - pos - 1; moved > 0 {

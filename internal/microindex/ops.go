@@ -30,10 +30,10 @@ func (t *Tree) Bulkload(entries []idx.Entry, fill float64) error {
 		min idx.Key
 		pid uint32
 	}
-	fillPage := func(typ byte, lvl int, ks []idx.Key, ps []uint32, prev *buffer.Page) (*buffer.Page, error) {
+	fillPage := func(typ byte, lvl int, ks []idx.Key, ps []uint32, prev buffer.Page) (buffer.Page, error) {
 		pg, err := t.pool.NewPage()
 		if err != nil {
-			return nil, err
+			return buffer.Page{}, err
 		}
 		d := pg.Data
 		setType(d, typ)
@@ -46,7 +46,7 @@ func (t *Tree) Bulkload(entries []idx.Entry, fill float64) error {
 		for s := 0; s < t.subCount(len(ks)); s++ {
 			le.PutUint32(d[t.microOff+4*s:], ks[s*t.keysPerSub])
 		}
-		if prev != nil {
+		if prev.Valid() {
 			setNext(prev.Data, pg.ID)
 			setPrev(d, prev.ID)
 			t.pool.Unpin(prev, true)
@@ -55,9 +55,9 @@ func (t *Tree) Bulkload(entries []idx.Entry, fill float64) error {
 	}
 
 	var level []ref
-	var prev *buffer.Page
+	var prev buffer.Page
 	if len(entries) == 0 {
-		pg, err := fillPage(pageLeaf, 0, nil, nil, nil)
+		pg, err := fillPage(pageLeaf, 0, nil, nil, buffer.Page{})
 		if err != nil {
 			return err
 		}
@@ -83,7 +83,7 @@ func (t *Tree) Bulkload(entries []idx.Entry, fill float64) error {
 		prev = pg
 		level = append(level, ref{entries[i].Key, pg.ID})
 	}
-	if prev != nil {
+	if prev.Valid() {
 		t.pool.Unpin(prev, true)
 	}
 	t.firstLeaf = level[0].pid
@@ -91,7 +91,7 @@ func (t *Tree) Bulkload(entries []idx.Entry, fill float64) error {
 
 	for len(level) > 1 {
 		var up []ref
-		prev = nil
+		prev = buffer.Page{}
 		for i := 0; i < len(level); i += per {
 			j := i + per
 			if j > len(level) {
@@ -109,7 +109,7 @@ func (t *Tree) Bulkload(entries []idx.Entry, fill float64) error {
 			prev = pg
 			up = append(up, ref{level[i].min, pg.ID})
 		}
-		if prev != nil {
+		if prev.Valid() {
 			t.pool.Unpin(prev, true)
 		}
 		level = up
@@ -162,15 +162,15 @@ func (t *Tree) Search(k idx.Key) (idx.TupleID, bool, error) {
 
 // findFirst locates the first entry with key == k, returning its pinned
 // page and slot, or found=false.
-func (t *Tree) findFirst(k idx.Key) (*buffer.Page, int, bool, error) {
+func (t *Tree) findFirst(k idx.Key) (buffer.Page, int, bool, error) {
 	if t.root == 0 {
-		return nil, 0, false, nil
+		return buffer.Page{}, 0, false, nil
 	}
 	pid := t.root
 	for lvl := t.height - 1; lvl > 0; lvl-- {
 		pg, err := t.pool.Get(pid)
 		if err != nil {
-			return nil, 0, false, err
+			return buffer.Page{}, 0, false, err
 		}
 		t.touchHeader(pg)
 		slot, _ := t.searchPage(pg, k, true)
@@ -184,7 +184,7 @@ func (t *Tree) findFirst(k idx.Key) (*buffer.Page, int, bool, error) {
 	for pid != 0 {
 		pg, err := t.pool.Get(pid)
 		if err != nil {
-			return nil, 0, false, err
+			return buffer.Page{}, 0, false, err
 		}
 		t.touchHeader(pg)
 		slot, _ := t.searchPage(pg, k, true)
@@ -196,13 +196,13 @@ func (t *Tree) findFirst(k idx.Key) (*buffer.Page, int, bool, error) {
 				return pg, slot, true, nil
 			}
 			t.pool.Unpin(pg, false)
-			return nil, 0, false, nil
+			return buffer.Page{}, 0, false, nil
 		}
 		next := pNext(pg.Data)
 		t.pool.Unpin(pg, false)
 		pid = next
 	}
-	return nil, 0, false, nil
+	return buffer.Page{}, 0, false, nil
 }
 
 // Insert implements idx.Index: the disk-optimized insertion algorithm
@@ -308,7 +308,7 @@ func (t *Tree) insertInto(pid uint32, lvl int, k idx.Key, p uint32) (bool, idx.K
 	return true, sep, newPID, nil
 }
 
-func (t *Tree) splitPage(pg *buffer.Page) (idx.Key, uint32, error) {
+func (t *Tree) splitPage(pg buffer.Page) (idx.Key, uint32, error) {
 	d := pg.Data
 	n := pCount(d)
 	mid := n / 2

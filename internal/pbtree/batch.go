@@ -1,0 +1,19 @@
+package pbtree
+
+import "repro/internal/idx"
+
+// SearchBatch implements idx.Index. The memory-resident pB+-Tree has no
+// buffer pool to amortize, so the batch is a plain per-key loop; it
+// exists so every Index variant supports batched execution.
+func (t *Tree) SearchBatch(keys []idx.Key, out []idx.SearchResult) ([]idx.SearchResult, error) {
+	base := len(out)
+	out = idx.GrowResults(out, len(keys))
+	for i, k := range keys {
+		tid, found, err := t.Search(k)
+		if err != nil {
+			return out, err
+		}
+		out[base+i] = idx.SearchResult{TID: tid, Found: found}
+	}
+	return out, nil
+}

@@ -57,6 +57,7 @@ func Run(t *testing.T, pageSize int, factory Factory) {
 	t.Run("RangeScanEdges", func(t *testing.T) { testRangeScanEdges(t, pageSize, factory) })
 	t.Run("RangeScanReverse", func(t *testing.T) { testRangeScanReverse(t, pageSize, factory) })
 	t.Run("RandomOps", func(t *testing.T) { testRandomOps(t, pageSize, factory) })
+	t.Run("SearchBatchEquivalence", func(t *testing.T) { testSearchBatch(t, pageSize, factory) })
 	t.Run("DuplicateChurn", func(t *testing.T) { testDuplicateChurn(t, pageSize, factory) })
 	t.Run("SequentialInsertGrowth", func(t *testing.T) { testSequentialInserts(t, pageSize, factory) })
 	t.Run("BulkloadErrors", func(t *testing.T) { testBulkloadErrors(t, pageSize, factory) })
@@ -442,6 +443,99 @@ func testRandomOps(t *testing.T, pageSize int, factory Factory) {
 	})
 	if err != nil || n != len(keys) {
 		t.Fatalf("final scan: n=%d want %d err=%v", n, len(keys), err)
+	}
+}
+
+// testSearchBatch checks that SearchBatch is observably identical to a
+// per-key Search loop: same found flags, same TIDs, results in key-slice
+// order. The tree mixes bulkloaded keys, inserted duplicates, and
+// deleted keys; the batches mix present, absent, duplicated, and deleted
+// keys in unsorted order with repeats.
+func testSearchBatch(t *testing.T, pageSize int, factory Factory) {
+	env := NewEnv(pageSize, 16384)
+	tr := factory(t, env)
+
+	// Empty tree: every key must come back not-found.
+	res, err := tr.SearchBatch([]idx.Key{5, 1, 9}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("empty-tree batch returned %d results", len(res))
+	}
+	for i, r := range res {
+		if r.Found || r.TID != 0 {
+			t.Fatalf("empty-tree batch result %d = %+v", i, r)
+		}
+	}
+
+	es := GenEntries(12000, 20, 4)
+	if err := tr.Bulkload(es, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	// Duplicate runs (keys ≡ 0 mod 4 collide with nothing bulkloaded).
+	for i := 0; i < 1500; i++ {
+		k := uint32(rng.Intn(50))*4 + 24 // 50 hot keys, ~30 dups each
+		if err := tr.Insert(k, k+7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete a swath of bulkloaded keys.
+	for i := 0; i < len(es); i += 5 {
+		if _, err := tr.Delete(es[i].Key); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Nil and empty batches are no-ops.
+	if res, err := tr.SearchBatch(nil, nil); err != nil || len(res) != 0 {
+		t.Fatalf("nil batch: %d results, err=%v", len(res), err)
+	}
+
+	var out []idx.SearchResult
+	for trial := 0; trial < 8; trial++ {
+		size := 1 + rng.Intn(700)
+		keys := make([]idx.Key, size)
+		for i := range keys {
+			switch rng.Intn(4) {
+			case 0: // bulkloaded (possibly deleted)
+				keys[i] = es[rng.Intn(len(es))].Key
+			case 1: // duplicate-run key
+				keys[i] = uint32(rng.Intn(50))*4 + 24
+			case 2: // absent odd key
+				keys[i] = uint32(rng.Intn(60000))*2 + 1
+			case 3: // repeat an earlier key in the batch
+				if i > 0 {
+					keys[i] = keys[rng.Intn(i)]
+				} else {
+					keys[i] = 42
+				}
+			}
+		}
+		// Append semantics: results land after the existing prefix.
+		prefix := len(out)
+		out, err = tr.SearchBatch(keys, out)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(out) != prefix+len(keys) {
+			t.Fatalf("trial %d: out grew to %d, want %d", trial, len(out), prefix+len(keys))
+		}
+		for i, k := range keys {
+			tid, ok, err := tr.Search(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := out[prefix+i]
+			if got.Found != ok || (ok && got.TID != tid) {
+				t.Fatalf("trial %d key %d (=%d): batch %+v, search (%d,%v)",
+					trial, i, k, got, tid, ok)
+			}
+		}
+	}
+	if n := env.Pool.PinnedCount(); n != 0 {
+		t.Fatalf("%d pages left pinned after batches", n)
 	}
 }
 
