@@ -2,7 +2,9 @@
 //
 // Usage:
 //
-//	fpbench [-scale quick|default|paper] [-csv] [-parallel] [-benchjson FILE] [experiment ...]
+//	fpbench [-scale quick|default|paper] [-csv] [-parallel] [-benchjson FILE]
+//	        [-metrics FILE] [-trace FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	        [experiment ...]
 //
 // With no experiment arguments it runs the full suite in paper order.
 // Experiment IDs: table2, fig3b, fig10, fig11, fig12, fig13, fig14,
@@ -12,6 +14,14 @@
 // tables are identical to a serial run. -benchjson FILE times every
 // experiment both serially and in parallel and writes the wall-clock
 // comparison as JSON (e.g. BENCH_1.json).
+//
+// -metrics FILE writes the final metrics-registry snapshot (counters
+// summed over every cell of every experiment run) as JSON. -trace FILE
+// writes the retained virtual-time trace events as Chrome trace-event
+// JSON, viewable in ui.perfetto.dev. Either flag attaches the
+// observability layer, which forces the experiment cells to run
+// serially. -cpuprofile and -memprofile write standard pprof profiles
+// of the benchmark process itself.
 package main
 
 import (
@@ -20,9 +30,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 type benchEntry struct {
@@ -36,7 +49,25 @@ type benchReport struct {
 	Scale       string       `json:"scale"`
 	Workers     int          `json:"workers"`
 	CPUs        int          `json:"cpus"`
+	GoMaxProcs  int          `json:"gomaxprocs"`
+	GoVersion   string       `json:"go_version"`
+	GitCommit   string       `json:"git_commit,omitempty"`
 	Experiments []benchEntry `json:"experiments"`
+}
+
+// gitCommit reports the VCS revision stamped into the binary, if any
+// (absent under plain `go run` from a dirty checkout).
+func gitCommit() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" {
+			return s.Value
+		}
+	}
+	return ""
 }
 
 func main() {
@@ -45,6 +76,11 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	parallel := flag.Bool("parallel", false, "run experiment cells on one worker per CPU")
 	benchJSON := flag.String("benchjson", "", "time each experiment serially and in parallel, write JSON to this file")
+	metricsFile := flag.String("metrics", "", "write the metrics-registry snapshot as JSON to this file")
+	traceFile := flag.String("trace", "", "write Chrome trace-event JSON to this file")
+	traceEvents := flag.Int("trace-events", 1<<18, "trace ring capacity (with -trace)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
 
 	if *list {
@@ -54,6 +90,17 @@ func main() {
 		return
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	p, err := harness.ParamsFor(*scale)
 	if err != nil {
 		fatal(err)
@@ -61,6 +108,20 @@ func main() {
 	if *parallel {
 		p.Workers = harness.DefaultWorkers()
 	}
+
+	var ob *obs.Obs
+	if *metricsFile != "" || *traceFile != "" {
+		if *traceFile != "" {
+			ob = obs.NewTraced(*traceEvents)
+		} else {
+			ob = obs.New()
+		}
+		p.Obs = ob
+		if *parallel {
+			fmt.Fprintln(os.Stderr, "fpbench: -metrics/-trace force serial cells; ignoring -parallel")
+		}
+	}
+
 	ids := flag.Args()
 	if len(ids) == 0 {
 		ids = []string{"table2", "fig3b", "fig10", "fig11", "fig12", "fig13",
@@ -69,7 +130,14 @@ func main() {
 	fmt.Printf("# fpB+-Tree reproduction — scale=%s\n\n", p.Name)
 
 	if *benchJSON != "" {
-		report := benchReport{Scale: p.Name, Workers: harness.DefaultWorkers(), CPUs: runtime.NumCPU()}
+		report := benchReport{
+			Scale:      p.Name,
+			Workers:    harness.DefaultWorkers(),
+			CPUs:       runtime.NumCPU(),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			GoVersion:  runtime.Version(),
+			GitCommit:  gitCommit(),
+		}
 		for _, id := range ids {
 			serial := p
 			serial.Workers = 1
@@ -107,17 +175,59 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("# wrote %s\n", *benchJSON)
-		return
+	} else {
+		for _, id := range ids {
+			start := time.Now()
+			tables, err := harness.Run(id, p)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", id, err))
+			}
+			printTables(tables, *csv)
+			fmt.Printf("# %s completed in %v\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
 	}
 
-	for _, id := range ids {
-		start := time.Now()
-		tables, err := harness.Run(id, p)
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", id, err))
+	if ob != nil {
+		if *metricsFile != "" {
+			f, err := os.Create(*metricsFile)
+			if err != nil {
+				fatal(err)
+			}
+			if err := ob.Reg.Snapshot().WriteJSON(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("# wrote %s\n", *metricsFile)
 		}
-		printTables(tables, *csv)
-		fmt.Printf("# %s completed in %v\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *traceFile != "" {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				fatal(err)
+			}
+			if err := ob.Tracer.WriteChrome(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("# wrote %s\n", *traceFile)
+		}
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -9,6 +9,11 @@
 // Usage:
 //
 //	fpcheck [-rounds N] [-ops N] [-keys N] [-seed S] [-page BYTES]
+//	        [-dump-events N]
+//
+// Every run keeps the virtual-time event tracer on; when a run fails,
+// fpcheck dumps the metrics snapshot and the last -dump-events trace
+// events so the failure arrives with its recent history attached.
 package main
 
 import (
@@ -28,6 +33,7 @@ func main() {
 	keys := flag.Int("keys", 20000, "initial bulkloaded keys")
 	seed := flag.Int64("seed", 0, "base seed (0 = time-derived)")
 	page := flag.Int("page", 8<<10, "page size in bytes")
+	dumpEvents := flag.Int("dump-events", 32, "trace events to dump on failure")
 	flag.Parse()
 
 	if *seed == 0 {
@@ -42,8 +48,9 @@ func main() {
 	} {
 		for r := 0; r < *rounds; r++ {
 			s := *seed + int64(r)*7919
-			if err := runOne(v, *page, *keys, *ops, s); err != nil {
+			if tr, err := runOne(v, *page, *keys, *ops, s); err != nil {
 				fmt.Printf("FAIL %-16s round %d (seed %d): %v\n", v, r, s, err)
+				dumpObservability(tr, *dumpEvents)
 				failures++
 			} else {
 				fmt.Printf("ok   %-16s round %d\n", v, r)
@@ -57,14 +64,17 @@ func main() {
 	fmt.Println("fpcheck: all runs passed")
 }
 
-func runOne(v fpbtree.Variant, page, keys, ops int, seed int64) error {
+// runOne returns the tree it drove alongside any failure so the caller
+// can dump its metrics and trace tail.
+func runOne(v fpbtree.Variant, page, keys, ops int, seed int64) (*fpbtree.Tree, error) {
 	tr, err := fpbtree.New(
 		fpbtree.WithVariant(v),
 		fpbtree.WithPageSize(page),
 		fpbtree.WithBufferPages(keys/8+16384),
+		fpbtree.WithTracing(1<<12),
 	)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	rng := rand.New(rand.NewSource(seed))
 
@@ -77,7 +87,7 @@ func runOne(v fpbtree.Variant, page, keys, ops int, seed int64) error {
 		ref[k]++
 	}
 	if err := tr.Bulkload(entries, 0.6+rng.Float64()*0.4); err != nil {
-		return err
+		return tr, err
 	}
 
 	// Keys the stream touches, batched up for the SearchBatch
@@ -114,22 +124,22 @@ func runOne(v fpbtree.Variant, page, keys, ops int, seed int64) error {
 		pending = append(pending, k)
 		if len(pending) >= 256 {
 			if err := checkBatch(); err != nil {
-				return fmt.Errorf("after op %d: %w", i, err)
+				return tr, fmt.Errorf("after op %d: %w", i, err)
 			}
 		}
 		switch rng.Intn(5) {
 		case 0, 1:
 			if err := tr.Insert(k, k+7); err != nil {
-				return fmt.Errorf("insert %d: %w", k, err)
+				return tr, fmt.Errorf("insert %d: %w", k, err)
 			}
 			ref[k]++
 		case 2:
 			ok, err := tr.Delete(k)
 			if err != nil {
-				return fmt.Errorf("delete %d: %w", k, err)
+				return tr, fmt.Errorf("delete %d: %w", k, err)
 			}
 			if ok != (ref[k] > 0) {
-				return fmt.Errorf("delete(%d) = %v, reference count %d", k, ok, ref[k])
+				return tr, fmt.Errorf("delete(%d) = %v, reference count %d", k, ok, ref[k])
 			}
 			if ok {
 				ref[k]--
@@ -137,10 +147,10 @@ func runOne(v fpbtree.Variant, page, keys, ops int, seed int64) error {
 		case 3:
 			_, ok, err := tr.Search(k)
 			if err != nil {
-				return fmt.Errorf("search %d: %w", k, err)
+				return tr, fmt.Errorf("search %d: %w", k, err)
 			}
 			if ok != (ref[k] > 0) {
-				return fmt.Errorf("search(%d) = %v, reference count %d", k, ok, ref[k])
+				return tr, fmt.Errorf("search(%d) = %v, reference count %d", k, ok, ref[k])
 			}
 		case 4:
 			lo := fpbtree.Key(rng.Intn(int(maxKey)))
@@ -153,28 +163,28 @@ func runOne(v fpbtree.Variant, page, keys, ops int, seed int64) error {
 			}
 			n, err := tr.RangeScan(lo, hi, nil)
 			if err != nil {
-				return fmt.Errorf("scan [%d,%d]: %w", lo, hi, err)
+				return tr, fmt.Errorf("scan [%d,%d]: %w", lo, hi, err)
 			}
 			if n != want {
-				return fmt.Errorf("scan [%d,%d] = %d entries, reference %d", lo, hi, n, want)
+				return tr, fmt.Errorf("scan [%d,%d] = %d entries, reference %d", lo, hi, n, want)
 			}
 			rn, err := tr.RangeScanReverse(lo, hi, nil)
 			if err != nil {
-				return fmt.Errorf("reverse scan [%d,%d]: %w", lo, hi, err)
+				return tr, fmt.Errorf("reverse scan [%d,%d]: %w", lo, hi, err)
 			}
 			if rn != n {
-				return fmt.Errorf("reverse scan [%d,%d] = %d, forward %d", lo, hi, rn, n)
+				return tr, fmt.Errorf("reverse scan [%d,%d] = %d, forward %d", lo, hi, rn, n)
 			}
 		}
 		if i%2500 == 2499 {
 			if err := tr.CheckInvariants(); err != nil {
-				return fmt.Errorf("invariants after op %d: %w", i, err)
+				return tr, fmt.Errorf("invariants after op %d: %w", i, err)
 			}
 		}
 	}
 
 	if err := checkBatch(); err != nil {
-		return fmt.Errorf("final batch check: %w", err)
+		return tr, fmt.Errorf("final batch check: %w", err)
 	}
 
 	// Final: full scan equals the reference multiset, in order.
@@ -199,15 +209,34 @@ func runOne(v fpbtree.Variant, page, keys, ops int, seed int64) error {
 		return true
 	})
 	if err != nil {
-		return err
+		return tr, err
 	}
 	if n != total {
-		return fmt.Errorf("final scan saw %d entries, reference %d", n, total)
+		return tr, fmt.Errorf("final scan saw %d entries, reference %d", n, total)
 	}
 	for _, k := range keysSorted {
 		if seen[k] != ref[k] {
-			return fmt.Errorf("key %d: scan saw %d, reference %d", k, seen[k], ref[k])
+			return tr, fmt.Errorf("key %d: scan saw %d, reference %d", k, seen[k], ref[k])
 		}
 	}
-	return tr.CheckInvariants()
+	return tr, tr.CheckInvariants()
+}
+
+// dumpObservability prints the failed run's metrics snapshot and the
+// tail of its trace ring.
+func dumpObservability(tr *fpbtree.Tree, events int) {
+	if tr == nil {
+		return
+	}
+	fmt.Println("  --- metrics at failure ---")
+	snap := tr.MetricsSnapshot()
+	snap.Fprint(os.Stdout)
+	tail := tr.TraceTail(events)
+	if len(tail) == 0 {
+		return
+	}
+	fmt.Printf("  --- last %d trace events ---\n", len(tail))
+	for _, e := range tail {
+		fmt.Println("  " + e.String())
+	}
 }

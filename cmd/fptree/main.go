@@ -7,6 +7,14 @@
 //	fptree [-variant disk-first|cache-first|disk-optimized|micro] \
 //	       [-keys N] [-fill F] [-page BYTES] [-disks N] \
 //	       [-searches N] [-inserts N] [-deletes N] [-scan SPAN]
+//
+//	fptree stats [same flags] [-trace FILE]
+//
+// The stats subcommand runs the same workload but reports the full
+// observability surface: the metrics-registry snapshot (buffer.*,
+// mem.*, disk.*, tree.* counters and op.* latency histograms), the
+// per-variant space statistics, and optionally a Chrome trace-event
+// JSON file viewable in Perfetto.
 package main
 
 import (
@@ -19,94 +27,198 @@ import (
 	"repro/internal/workload"
 )
 
-func main() {
-	variant := flag.String("variant", "disk-first", "index organization")
-	keys := flag.Int("keys", 1000000, "bulkloaded keys")
-	fill := flag.Float64("fill", 1.0, "bulkload fill factor")
-	page := flag.Int("page", 16<<10, "page size in bytes")
-	disks := flag.Int("disks", 0, "simulated disks (0 = memory resident)")
-	searches := flag.Int("searches", 2000, "random searches to run")
-	inserts := flag.Int("inserts", 2000, "random inserts to run")
-	deletes := flag.Int("deletes", 2000, "random deletes to run")
-	scan := flag.Int("scan", 100000, "range scan span in entries (0 = skip)")
-	flag.Parse()
+// treeFlags is the flag set shared by the default run and the stats
+// subcommand.
+type treeFlags struct {
+	variant  *string
+	keys     *int
+	fill     *float64
+	page     *int
+	disks    *int
+	searches *int
+	inserts  *int
+	deletes  *int
+	scan     *int
+}
 
-	v, err := parseVariant(*variant)
+func addTreeFlags(fs *flag.FlagSet) treeFlags {
+	return treeFlags{
+		variant:  fs.String("variant", "disk-first", "index organization"),
+		keys:     fs.Int("keys", 1000000, "bulkloaded keys"),
+		fill:     fs.Float64("fill", 1.0, "bulkload fill factor"),
+		page:     fs.Int("page", 16<<10, "page size in bytes"),
+		disks:    fs.Int("disks", 0, "simulated disks (0 = memory resident)"),
+		searches: fs.Int("searches", 2000, "random searches to run"),
+		inserts:  fs.Int("inserts", 2000, "random inserts to run"),
+		deletes:  fs.Int("deletes", 2000, "random deletes to run"),
+		scan:     fs.Int("scan", 100000, "range scan span in entries (0 = skip)"),
+	}
+}
+
+func (f treeFlags) build(extra ...fpbtree.Option) (*fpbtree.Tree, error) {
+	v, err := parseVariant(*f.variant)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
 	opts := []fpbtree.Option{
 		fpbtree.WithVariant(v),
-		fpbtree.WithPageSize(*page),
-		fpbtree.WithBufferPages(*keys/(*page/512) + 8192),
+		fpbtree.WithPageSize(*f.page),
+		fpbtree.WithBufferPages(*f.keys/(*f.page/512) + 8192),
 	}
-	if *disks > 0 {
-		opts = append(opts, fpbtree.WithDisks(*disks))
+	if *f.disks > 0 {
+		opts = append(opts, fpbtree.WithDisks(*f.disks))
 	}
-	tr, err := fpbtree.New(opts...)
+	return fpbtree.New(append(opts, extra...)...)
+}
+
+// runMix executes the flagged operation mix against tr, optionally
+// reporting per-phase simulation cost.
+func (f treeFlags) runMix(tr *fpbtree.Tree, g *workload.Gen, verbose bool) error {
+	s0 := tr.Stats()
+	for _, k := range g.SearchKeys(*f.keys, *f.searches) {
+		if _, ok, err := tr.Search(k); err != nil || !ok {
+			return fmt.Errorf("search(%d) = %v, %v", k, ok, err)
+		}
+	}
+	if verbose {
+		report(tr, "search", *f.searches, s0)
+	}
+
+	s0 = tr.Stats()
+	for _, e := range g.InsertEntries(*f.keys, *f.inserts) {
+		if err := tr.Insert(e.Key, e.TID); err != nil {
+			return err
+		}
+	}
+	if verbose {
+		report(tr, "insert", *f.inserts, s0)
+	}
+
+	s0 = tr.Stats()
+	del, err := g.DeleteKeys(*f.keys, *f.deletes)
+	if err != nil {
+		return err
+	}
+	for _, k := range del {
+		if _, err := tr.Delete(k); err != nil {
+			return err
+		}
+	}
+	if verbose {
+		report(tr, "delete", *f.deletes, s0)
+	}
+
+	if *f.scan > 0 && *f.scan <= *f.keys {
+		s0 = tr.Stats()
+		scans, err := g.RangeScans(*f.keys, *f.scan, 1)
+		if err != nil {
+			return err
+		}
+		n, err := tr.RangeScan(scans[0].Start, scans[0].End, nil)
+		if err != nil {
+			return err
+		}
+		if verbose {
+			report(tr, fmt.Sprintf("scan of %d entries", n), 1, s0)
+		}
+	}
+	return nil
+}
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "stats" {
+		runStats(os.Args[2:])
+		return
+	}
+
+	f := addTreeFlags(flag.CommandLine)
+	flag.Parse()
+
+	tr, err := f.build()
 	if err != nil {
 		fatal(err)
 	}
 
 	g := workload.New(time.Now().UnixNano())
 	start := time.Now()
-	if err := tr.Bulkload(g.BulkEntries(*keys), *fill); err != nil {
+	if err := tr.Bulkload(g.BulkEntries(*f.keys), *f.fill); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%s: bulkloaded %d keys at %.0f%% in %v\n", tr.Name(), *keys, *fill*100, time.Since(start).Round(time.Millisecond))
-	fmt.Printf("  height=%d pages=%d (%.1f MB)\n", tr.Height(), tr.PageCount(), float64(tr.PageCount())*float64(*page)/1e6)
+	fmt.Printf("%s: bulkloaded %d keys at %.0f%% in %v\n", tr.Name(), *f.keys, *f.fill*100, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  height=%d pages=%d (%.1f MB)\n", tr.Height(), tr.PageCount(), float64(tr.PageCount())*float64(*f.page)/1e6)
 
 	tr.ColdCaches()
-	s0 := tr.Stats()
-	for _, k := range g.SearchKeys(*keys, *searches) {
-		if _, ok, err := tr.Search(k); err != nil || !ok {
-			fatal(fmt.Errorf("search(%d) = %v, %v", k, ok, err))
-		}
-	}
-	report(tr, "search", *searches, s0)
-
-	s0 = tr.Stats()
-	for _, e := range g.InsertEntries(*keys, *inserts) {
-		if err := tr.Insert(e.Key, e.TID); err != nil {
-			fatal(err)
-		}
-	}
-	report(tr, "insert", *inserts, s0)
-
-	s0 = tr.Stats()
-	del, err := g.DeleteKeys(*keys, *deletes)
-	if err != nil {
+	if err := f.runMix(tr, g, true); err != nil {
 		fatal(err)
-	}
-	for _, k := range del {
-		if _, err := tr.Delete(k); err != nil {
-			fatal(err)
-		}
-	}
-	report(tr, "delete", *deletes, s0)
-
-	if *scan > 0 && *scan <= *keys {
-		s0 = tr.Stats()
-		scans, err := g.RangeScans(*keys, *scan, 1)
-		if err != nil {
-			fatal(err)
-		}
-		n, err := tr.RangeScan(scans[0].Start, scans[0].End, nil)
-		if err != nil {
-			fatal(err)
-		}
-		report(tr, fmt.Sprintf("scan of %d entries", n), 1, s0)
 	}
 
 	if err := tr.CheckInvariants(); err != nil {
 		fatal(fmt.Errorf("invariant violation: %w", err))
 	}
 	fmt.Println("invariants: ok")
-	if st, ok, err := tr.SpaceStats(); err != nil {
+	st, err := tr.SpaceStats()
+	if err != nil {
 		fatal(err)
-	} else if ok {
-		fmt.Printf("space: %d pages (%d leaf, %d node, %d overflow), leaf utilization %.1f%%\n",
-			st.Pages, st.LeafPages, st.NodePages, st.OtherPages, st.Utilization*100)
+	}
+	fmt.Printf("space: %d pages (%d leaf, %d node, %d overflow), leaf utilization %.1f%%\n",
+		st.Pages, st.LeafPages, st.NodePages, st.OtherPages, st.Utilization*100)
+}
+
+// runStats is the `fptree stats` subcommand: same workload, full
+// observability dump.
+func runStats(args []string) {
+	fs := flag.NewFlagSet("fptree stats", flag.ExitOnError)
+	f := addTreeFlags(fs)
+	traceFile := fs.String("trace", "", "write Chrome trace-event JSON here")
+	traceEvents := fs.Int("trace-events", 1<<16, "trace ring capacity (with -trace)")
+	fs.Parse(args)
+
+	var extra []fpbtree.Option
+	if *traceFile != "" {
+		extra = append(extra, fpbtree.WithTracing(*traceEvents))
+	}
+	tr, err := f.build(extra...)
+	if err != nil {
+		fatal(err)
+	}
+
+	g := workload.New(time.Now().UnixNano())
+	if err := tr.Bulkload(g.BulkEntries(*f.keys), *f.fill); err != nil {
+		fatal(err)
+	}
+	tr.ColdCaches()
+	if err := f.runMix(tr, g, false); err != nil {
+		fatal(err)
+	}
+
+	// Space stats walk through the buffer pool, so snapshot first.
+	snap := tr.MetricsSnapshot()
+	st, err := tr.SpaceStats()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s (%s), %d keys, page %d B", tr.Name(), tr.Variant(), *f.keys, *f.page)
+	if *f.disks > 0 {
+		fmt.Printf(", %d disks", *f.disks)
+	}
+	fmt.Println()
+	fmt.Printf("height=%d pages=%d leaf=%d node=%d overflow=%d entries=%d utilization=%.1f%%\n\n",
+		tr.Height(), st.Pages, st.LeafPages, st.NodePages, st.OtherPages, st.Entries, st.Utilization*100)
+	snap.Fprint(os.Stdout)
+
+	if *traceFile != "" {
+		w, err := os.Create(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.WriteTrace(w); err != nil {
+			fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ntrace: wrote %s (load in ui.perfetto.dev)\n", *traceFile)
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"repro/internal/idx"
 	"repro/internal/memsim"
 	"repro/internal/microindex"
+	"repro/internal/obs"
 )
 
 // Key is a 4-byte index key.
@@ -90,6 +91,9 @@ type Options struct {
 	// PrefetchWindow is the number of leaf pages a scan keeps in
 	// flight; 0 means the default (16).
 	PrefetchWindow int
+	// TraceEvents > 0 enables the virtual-time event tracer, retaining
+	// the last TraceEvents events in a ring buffer (see WriteTrace).
+	TraceEvents int
 }
 
 // Option mutates Options.
@@ -113,6 +117,12 @@ func WithoutJPA() Option { return func(o *Options) { o.DisableJPA = true } }
 // WithPrefetchWindow sets the scan prefetch depth.
 func WithPrefetchWindow(n int) Option { return func(o *Options) { o.PrefetchWindow = n } }
 
+// WithTracing enables the virtual-time event tracer, retaining the
+// last events trace records (rounded up to a power of two). Metrics
+// are always collected; tracing is opt-in because each recorded event
+// costs a ring-buffer store on the hot path.
+func WithTracing(events int) Option { return func(o *Options) { o.TraceEvents = events } }
+
 // Tree is an fpB+-Tree (or baseline) with its substrate.
 type Tree struct {
 	index idx.Index
@@ -120,7 +130,20 @@ type Tree struct {
 	model *memsim.Model
 	array *disksim.Array
 	opts  Options
+
+	ob    *obs.Obs
+	hists [6]opHists // per-op latency histograms, indexed by Kind-EvOpSearch
 }
+
+type opHists struct{ cycles, micros *obs.Histogram }
+
+// OpStats counts the operations the index has executed (see
+// Tree.OpStats).
+type OpStats = idx.OpStats
+
+// SpaceStatsReport is the per-variant page-usage report (see
+// Tree.SpaceStats).
+type SpaceStatsReport = idx.SpaceStats
 
 // Stats is a point-in-time snapshot of simulation counters.
 type Stats struct {
@@ -165,6 +188,18 @@ func New(options ...Option) (*Tree, error) {
 	pool := buffer.NewPool(store, o.BufferPages)
 	pool.AttachModel(mm)
 
+	ob := obs.New()
+	if o.TraceEvents > 0 {
+		ob.Tracer = obs.NewTracer(o.TraceEvents)
+	}
+	mm.RegisterMetrics(ob.Reg)
+	pool.RegisterMetrics(ob.Reg)
+	pool.AttachTracer(ob.Tracer)
+	if array != nil {
+		array.RegisterMetrics(ob.Reg)
+		array.AttachTracer(ob.Tracer)
+	}
+
 	jpa := !o.DisableJPA
 	var index idx.Index
 	var err error
@@ -172,24 +207,51 @@ func New(options ...Option) (*Tree, error) {
 	case DiskFirst:
 		index, err = core.NewDiskFirst(core.DiskFirstConfig{
 			Pool: pool, Model: mm, EnableJPA: jpa, PrefetchWindow: o.PrefetchWindow,
+			Trace: ob.Tracer,
 		})
 	case CacheFirst:
 		index, err = core.NewCacheFirst(core.CacheFirstConfig{
 			Pool: pool, Model: mm, EnableJPA: jpa, PrefetchWindow: o.PrefetchWindow,
+			Trace: ob.Tracer,
 		})
 	case DiskOptimized:
 		index, err = bptree.New(bptree.Config{
 			Pool: pool, Model: mm, EnableJPA: jpa, PrefetchWindow: o.PrefetchWindow,
+			Trace: ob.Tracer,
 		})
 	case MicroIndex:
-		index, err = microindex.New(microindex.Config{Pool: pool, Model: mm})
+		index, err = microindex.New(microindex.Config{Pool: pool, Model: mm, Trace: ob.Tracer})
 	default:
 		err = fmt.Errorf("fpbtree: unknown variant %d", o.Variant)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return &Tree{index: index, pool: pool, model: mm, array: array, opts: o}, nil
+	idx.RegisterMetrics(ob.Reg, index)
+	t := &Tree{index: index, pool: pool, model: mm, array: array, opts: o, ob: ob}
+	opNames := [6]string{"search", "insert", "delete", "scan", "scan_rev", "batch"}
+	for i, n := range opNames {
+		t.hists[i] = opHists{
+			cycles: ob.Reg.Histogram("op." + n + ".cycles"),
+			micros: ob.Reg.Histogram("op." + n + ".micros"),
+		}
+	}
+	return t, nil
+}
+
+// opBegin snapshots both virtual clocks at the start of an operation.
+func (t *Tree) opBegin() (c0, u0 uint64) { return t.model.Now(), t.pool.Clock() }
+
+// opEnd records the operation's virtual latency on both clocks and, if
+// tracing, emits the span. It never allocates.
+func (t *Tree) opEnd(kind obs.Kind, key uint32, c0, u0 uint64) {
+	c1, u1 := t.model.Now(), t.pool.Clock()
+	h := &t.hists[kind-obs.EvOpSearch]
+	h.cycles.Record(c1 - c0)
+	h.micros.Record(u1 - u0)
+	if tr := t.ob.Tracer; tr != nil {
+		tr.Op(kind, key, c0, u0, c1, u1)
+	}
 }
 
 // Variant reports the tree's organization.
@@ -205,7 +267,12 @@ func (t *Tree) Bulkload(entries []Entry, fill float64) error {
 }
 
 // Search returns the tuple ID stored under key.
-func (t *Tree) Search(key Key) (TupleID, bool, error) { return t.index.Search(key) }
+func (t *Tree) Search(key Key) (TupleID, bool, error) {
+	c0, u0 := t.opBegin()
+	tid, ok, err := t.index.Search(key)
+	t.opEnd(obs.EvOpSearch, key, c0, u0)
+	return tid, ok, err
+}
 
 // SearchBatch looks up every key at once, returning one result per key
 // in key order. Disk-resident variants sort the batch internally and
@@ -213,33 +280,52 @@ func (t *Tree) Search(key Key) (TupleID, bool, error) { return t.index.Search(ke
 // prefetching the next level's pages, so large batches do far fewer
 // buffer-pool operations than per-key Search loops.
 func (t *Tree) SearchBatch(keys []Key) ([]SearchResult, error) {
-	return t.index.SearchBatch(keys, nil)
+	return t.SearchBatchInto(keys, nil)
 }
 
 // SearchBatchInto is the allocation-conscious form of SearchBatch: it
 // appends the results to out (reallocating only when out lacks
 // capacity) and returns the extended slice.
 func (t *Tree) SearchBatchInto(keys []Key, out []SearchResult) ([]SearchResult, error) {
-	return t.index.SearchBatch(keys, out)
+	c0, u0 := t.opBegin()
+	res, err := t.index.SearchBatch(keys, out)
+	t.opEnd(obs.EvOpBatch, uint32(len(keys)), c0, u0)
+	return res, err
 }
 
 // Insert adds an entry.
-func (t *Tree) Insert(key Key, tid TupleID) error { return t.index.Insert(key, tid) }
+func (t *Tree) Insert(key Key, tid TupleID) error {
+	c0, u0 := t.opBegin()
+	err := t.index.Insert(key, tid)
+	t.opEnd(obs.EvOpInsert, key, c0, u0)
+	return err
+}
 
 // Delete removes one entry with the given key (lazy deletion).
-func (t *Tree) Delete(key Key) (bool, error) { return t.index.Delete(key) }
+func (t *Tree) Delete(key Key) (bool, error) {
+	c0, u0 := t.opBegin()
+	ok, err := t.index.Delete(key)
+	t.opEnd(obs.EvOpDelete, key, c0, u0)
+	return ok, err
+}
 
 // RangeScan visits entries with startKey <= key <= endKey in order,
 // prefetching leaf pages and leaf nodes through the jump-pointer arrays
 // when enabled. A nil fn counts matching entries.
 func (t *Tree) RangeScan(startKey, endKey Key, fn func(Key, TupleID) bool) (int, error) {
-	return t.index.RangeScan(startKey, endKey, fn)
+	c0, u0 := t.opBegin()
+	n, err := t.index.RangeScan(startKey, endKey, fn)
+	t.opEnd(obs.EvOpScan, startKey, c0, u0)
+	return n, err
 }
 
 // RangeScanReverse visits the same range in descending key order
 // (reverse scans, as DB2's index structures support; §4.3.3).
 func (t *Tree) RangeScanReverse(startKey, endKey Key, fn func(Key, TupleID) bool) (int, error) {
-	return t.index.RangeScanReverse(startKey, endKey, fn)
+	c0, u0 := t.opBegin()
+	n, err := t.index.RangeScanReverse(startKey, endKey, fn)
+	t.opEnd(obs.EvOpScanRev, startKey, c0, u0)
+	return n, err
 }
 
 // Height reports the number of page levels (node levels for the
@@ -271,18 +357,49 @@ func (t *Tree) Stats() Stats {
 	}
 }
 
-// SpaceStats reports page usage detail for the fpB+-Tree variants
-// (ok=false for the baselines, which expose only PageCount).
-func (t *Tree) SpaceStats() (core.SpaceStats, bool, error) {
-	switch ix := t.index.(type) {
-	case *core.DiskFirst:
-		st, err := ix.SpaceStats()
-		return st, true, err
-	case *core.CacheFirst:
-		st, err := ix.SpaceStats()
-		return st, true, err
+// SpaceStats walks the tree and reports page usage detail (every
+// variant supports it). The walk goes through the buffer pool, so it
+// perturbs buffer counters; take a MetricsSnapshot first if you need
+// unperturbed numbers.
+func (t *Tree) SpaceStats() (SpaceStatsReport, error) {
+	return t.index.SpaceStats()
+}
+
+// OpStats reports the operation counters accumulated since
+// construction or the last ResetOpStats.
+func (t *Tree) OpStats() OpStats { return t.index.Stats() }
+
+// ResetOpStats zeroes the operation counters. The op.* latency
+// histograms and substrate counters are unaffected.
+func (t *Tree) ResetOpStats() { t.index.ResetStats() }
+
+// Obs exposes the tree's observability bundle (metrics registry and,
+// when enabled, the event tracer).
+func (t *Tree) Obs() *obs.Obs { return t.ob }
+
+// MetricsSnapshot polls every registered counter, gauge and histogram.
+func (t *Tree) MetricsSnapshot() obs.Snapshot { return t.ob.Reg.Snapshot() }
+
+// Tracing reports whether the event tracer is enabled.
+func (t *Tree) Tracing() bool { return t.ob.Tracer != nil }
+
+// WriteTrace exports the retained trace events as Chrome trace-event
+// JSON (load the file in ui.perfetto.dev or chrome://tracing). It
+// fails unless the tree was built WithTracing.
+func (t *Tree) WriteTrace(w io.Writer) error {
+	if t.ob.Tracer == nil {
+		return fmt.Errorf("fpbtree: tracing not enabled; construct with WithTracing")
 	}
-	return core.SpaceStats{}, false, nil
+	return t.ob.Tracer.WriteChrome(w)
+}
+
+// TraceTail returns the most recent n retained trace events (oldest
+// first), or all of them if fewer are retained.
+func (t *Tree) TraceTail(n int) []obs.Event {
+	if t.ob.Tracer == nil {
+		return nil
+	}
+	return t.ob.Tracer.Tail(n)
 }
 
 // ColdCaches empties the simulated CPU caches (the paper clears caches

@@ -18,6 +18,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/idx"
 	"repro/internal/memsim"
+	"repro/internal/obs"
 )
 
 // Page layout. The first line is the page header:
@@ -59,6 +60,8 @@ type Config struct {
 	// PrefetchWindow is how many leaf pages a JPA range scan keeps in
 	// flight; 0 means a default of 16.
 	PrefetchWindow int
+	// Trace, when non-nil, receives one event per page visit.
+	Trace *obs.Tracer
 }
 
 // Tree is a disk-optimized B+-Tree.
@@ -75,6 +78,9 @@ type Tree struct {
 
 	jpa      bool
 	pfWindow int
+
+	tr  *obs.Tracer
+	ops idx.OpStats
 
 	batch idx.BatchScratch
 }
@@ -99,11 +105,18 @@ func New(cfg Config) (*Tree, error) {
 		cap:      (ps - headerSize) / (idx.KeySize + idx.PageIDSize),
 		jpa:      cfg.EnableJPA,
 		pfWindow: w,
+		tr:       cfg.Trace,
 	}, nil
 }
 
 // Name implements idx.Index.
 func (t *Tree) Name() string { return "disk-optimized B+tree" }
+
+// Stats implements idx.Index.
+func (t *Tree) Stats() idx.OpStats { return t.ops }
+
+// ResetStats implements idx.Index.
+func (t *Tree) ResetStats() { t.ops = idx.OpStats{} }
 
 // Cap reports the per-page entry capacity (the paper's page fan-out).
 func (t *Tree) Cap() int { return t.cap }
@@ -143,6 +156,10 @@ func (t *Tree) setPtr(d []byte, i int, v uint32)  { le.PutUint32(d[t.ptrOff(i):]
 func (t *Tree) touchHeader(pg buffer.Page) {
 	t.mm.Access(pg.Addr, 16)
 	t.mm.Busy(memsim.CostNodeVisit)
+	t.ops.NodeVisits++
+	if t.tr != nil {
+		t.tr.NodeVisit(pg.ID, 0, t.mm.Now(), t.pool.Clock())
+	}
 }
 
 // probeKey reads key i charging one probe.

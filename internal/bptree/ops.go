@@ -154,6 +154,7 @@ func (t *Tree) freeAll() error {
 // deletions have hollowed out later duplicates (separators are only
 // lower bounds).
 func (t *Tree) Search(k idx.Key) (idx.TupleID, bool, error) {
+	t.ops.Searches++
 	pg, slot, found, err := t.findFirst(k)
 	if err != nil || !found {
 		return 0, false, err
@@ -200,6 +201,7 @@ func (t *Tree) findFirst(k idx.Key) (buffer.Page, int, bool, error) {
 
 // Insert implements idx.Index.
 func (t *Tree) Insert(k idx.Key, tid idx.TupleID) error {
+	t.ops.Inserts++
 	if t.root == 0 {
 		pg, err := t.pool.NewPage()
 		if err != nil {
@@ -360,6 +362,7 @@ func (t *Tree) splitPage(pg buffer.Page) (idx.Key, uint32, error) {
 // array slot is closed up, but underflowed pages are never merged.
 // Like Search, it removes the first entry of a duplicate run.
 func (t *Tree) Delete(k idx.Key) (bool, error) {
+	t.ops.Deletes++
 	pg, slot, found, err := t.findFirst(k)
 	if err != nil || !found {
 		return false, err

@@ -12,6 +12,7 @@ import (
 // leaf-parent chain (the scan already knows both end keys) and
 // prefetched in reverse consumption order.
 func (t *Tree) RangeScanReverse(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error) {
+	t.ops.ReverseScans++
 	if t.root == 0 || startKey > endKey {
 		return 0, nil
 	}

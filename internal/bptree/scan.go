@@ -12,6 +12,7 @@ import (
 // leaf page IDs in the range from the leaf-parent jump-pointer chain,
 // and keeps PrefetchWindow leaf pages in flight ahead of consumption.
 func (t *Tree) RangeScan(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error) {
+	t.ops.Scans++
 	if t.root == 0 || startKey > endKey {
 		return 0, nil
 	}
@@ -185,6 +186,44 @@ func (t *Tree) PageCount() int {
 		pid = childFirst
 	}
 	return total
+}
+
+// SpaceStats implements idx.Index: the same level walk as PageCount,
+// classifying pages and counting leaf entries.
+func (t *Tree) SpaceStats() (idx.SpaceStats, error) {
+	var st idx.SpaceStats
+	if t.root == 0 {
+		return st, nil
+	}
+	pid := t.root
+	for lvl := t.height - 1; lvl >= 0; lvl-- {
+		var childFirst uint32
+		cur := pid
+		for cur != 0 {
+			pg, err := t.pool.Get(cur)
+			if err != nil {
+				return st, err
+			}
+			st.Pages++
+			if lvl == 0 {
+				st.LeafPages++
+				st.Entries += pCount(pg.Data)
+			} else {
+				st.NodePages++
+				if childFirst == 0 && pCount(pg.Data) > 0 {
+					childFirst = t.ptr(pg.Data, 0)
+				}
+			}
+			next := pNext(pg.Data)
+			t.pool.Unpin(pg, false)
+			cur = next
+		}
+		pid = childFirst
+	}
+	if st.LeafPages > 0 {
+		st.Utilization = float64(st.Entries) / float64(st.LeafPages*t.cap)
+	}
+	return st, nil
 }
 
 // CheckInvariants implements idx.Index.

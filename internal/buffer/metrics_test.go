@@ -1,0 +1,159 @@
+package buffer
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// driveMixedWorkload exercises every counted pool path: warm hits,
+// demand misses, prefetch issue + consumption, and capacity evictions
+// (some dirty).
+func driveMixedWorkload(t *testing.T, p *Pool) {
+	t.Helper()
+	var pids []uint32
+	for i := 0; i < 8; i++ {
+		pg, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Data[0] = byte(i)
+		pids = append(pids, pg.ID)
+		p.Unpin(pg, true)
+	}
+	if err := p.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	p.ResetStats()
+
+	// Prefetch two pages, consume one; demand-read the rest several
+	// times so the 4-frame pool has to evict.
+	if err := p.Prefetch(pids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Prefetch(pids[1]); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		for _, pid := range pids {
+			pg, err := p.Get(pid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Unpin(pg, round == 0 && pid%2 == 0)
+			// Re-pin while still resident: a guaranteed hit.
+			pg, err = p.Get(pid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Unpin(pg, false)
+		}
+	}
+}
+
+// TestRegistrySnapshotMatchesPoolStats asserts the metrics registry is
+// a faithful view: after a mixed Get/Prefetch/evict workload, every
+// buffer.* counter equals the corresponding legacy Stats field.
+func TestRegistrySnapshotMatchesPoolStats(t *testing.T) {
+	p := newDiskPool(t, 4, 2)
+	reg := obs.NewRegistry()
+	p.RegisterMetrics(reg)
+
+	driveMixedWorkload(t, p)
+
+	st := p.Stats()
+	snap := reg.Snapshot()
+	want := map[string]uint64{
+		"buffer.gets":            st.Gets,
+		"buffer.hits":            st.Hits,
+		"buffer.demand_misses":   st.DemandMisses,
+		"buffer.prefetch_issued": st.PrefetchIssue,
+		"buffer.prefetch_hits":   st.PrefetchHits,
+		"buffer.evictions":       st.Evictions,
+		"buffer.dirty_writes":    st.DirtyWrites,
+		"buffer.clock_micros":    p.Clock(),
+	}
+	for name, v := range want {
+		got, ok := snap.Counters[name]
+		if !ok {
+			t.Fatalf("counter %s missing from snapshot", name)
+		}
+		if got != v {
+			t.Fatalf("%s = %d, legacy Stats says %d", name, got, v)
+		}
+	}
+	// The workload must actually have exercised the interesting paths,
+	// or the equalities above prove nothing.
+	if st.DemandMisses == 0 || st.PrefetchIssue == 0 || st.Evictions == 0 || st.DirtyWrites == 0 || st.Hits == 0 {
+		t.Fatalf("workload did not cover all paths: %+v", st)
+	}
+	if snap.Gauges["buffer.frames"] != 4 {
+		t.Fatalf("buffer.frames = %g, want 4", snap.Gauges["buffer.frames"])
+	}
+}
+
+// TestTracerSeesPoolEvents asserts each pool path emits its event kind,
+// and that evict events record the dirty flag of the evicted frame.
+func TestTracerSeesPoolEvents(t *testing.T) {
+	p := newDiskPool(t, 4, 2)
+	tr := obs.NewTracer(1 << 10)
+	p.AttachTracer(tr)
+
+	driveMixedWorkload(t, p)
+
+	byKind := map[obs.Kind]int{}
+	var dirtyEvicts int
+	for _, e := range tr.Events(nil) {
+		byKind[e.Kind]++
+		if e.Kind == obs.EvEvict && e.A == 1 {
+			dirtyEvicts++
+		}
+	}
+	for _, k := range []obs.Kind{obs.EvBufferHit, obs.EvDemandMiss, obs.EvPrefetchIssue, obs.EvPrefetchHit, obs.EvEvict} {
+		if byKind[k] == 0 {
+			t.Fatalf("no %v events recorded; kinds seen: %v", k, byKind)
+		}
+	}
+	if dirtyEvicts == 0 {
+		t.Fatal("no evict event carried the dirty flag, though dirty pages were evicted")
+	}
+	if dirtyEvicts == byKind[obs.EvEvict] {
+		t.Fatal("every evict flagged dirty, though clean pages were evicted too")
+	}
+}
+
+// TestPoolGetHitAllocsWithObs asserts the observability layer keeps the
+// warm pin path allocation-free, tracing enabled or not.
+func TestPoolGetHitAllocsWithObs(t *testing.T) {
+	for _, traced := range []bool{false, true} {
+		name := "metrics-only"
+		if traced {
+			name = "traced"
+		}
+		t.Run(name, func(t *testing.T) {
+			p := newMemPool(16)
+			reg := obs.NewRegistry()
+			p.RegisterMetrics(reg)
+			if traced {
+				p.AttachTracer(obs.NewTracer(1 << 10))
+			}
+			pg, err := p.NewPage()
+			if err != nil {
+				t.Fatal(err)
+			}
+			pid := pg.ID
+			p.Unpin(pg, false)
+
+			allocs := testing.AllocsPerRun(1000, func() {
+				pg, err := p.Get(pid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p.Unpin(pg, false)
+			})
+			if allocs != 0 {
+				t.Fatalf("warm Get+Unpin allocates %.1f objects/op, want 0", allocs)
+			}
+		})
+	}
+}

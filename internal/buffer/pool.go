@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/memsim"
+	"repro/internal/obs"
 )
 
 // Stats counts pool activity. DemandMisses is the Figure 17 metric:
@@ -59,6 +60,7 @@ type Pool struct {
 	hand  int
 	clock uint64 // virtual microseconds
 	mm    *memsim.Model
+	tr    *obs.Tracer
 	space *memsim.AddressSpace
 
 	nextPID  uint32
@@ -100,6 +102,34 @@ func NewPool(store Store, frames int) *Pool {
 // (memsim.CostBufferFix per Get) to mm, reproducing footnote 4's "extra
 // busy time ... due to buffer pool management".
 func (p *Pool) AttachModel(mm *memsim.Model) { p.mm = mm }
+
+// AttachTracer makes the pool emit buffer events (hit, demand miss,
+// prefetch issue/hit, eviction) to tr. A nil tracer disables emission.
+func (p *Pool) AttachTracer(tr *obs.Tracer) { p.tr = tr }
+
+// RegisterMetrics registers the pool's counters with reg under the
+// buffer.* metric names (see DESIGN.md for the catalog).
+func (p *Pool) RegisterMetrics(reg *obs.Registry) {
+	reg.Counter("buffer.gets", func() uint64 { return p.stats.Gets })
+	reg.Counter("buffer.hits", func() uint64 { return p.stats.Hits })
+	reg.Counter("buffer.demand_misses", func() uint64 { return p.stats.DemandMisses })
+	reg.Counter("buffer.prefetch_issued", func() uint64 { return p.stats.PrefetchIssue })
+	reg.Counter("buffer.prefetch_hits", func() uint64 { return p.stats.PrefetchHits })
+	reg.Counter("buffer.evictions", func() uint64 { return p.stats.Evictions })
+	reg.Counter("buffer.dirty_writes", func() uint64 { return p.stats.DirtyWrites })
+	reg.Counter("buffer.clock_micros", func() uint64 { return p.clock })
+	reg.Gauge("buffer.resident_pages", func() float64 { return float64(len(p.table)) })
+	reg.Gauge("buffer.frames", func() float64 { return float64(len(p.frames)) })
+}
+
+// cyc reports the attached model's cycle clock (0 without a model),
+// for trace timestamps.
+func (p *Pool) cyc() uint64 {
+	if p.mm != nil {
+		return p.mm.Now()
+	}
+	return 0
+}
 
 // Space returns the pool's simulated address space.
 func (p *Pool) Space() *memsim.AddressSpace { return p.space }
@@ -163,6 +193,7 @@ func (p *Pool) victim() (int, error) {
 
 func (p *Pool) evict(i int) error {
 	f := &p.frames[i]
+	wasDirty := f.dirty
 	if f.dirty {
 		// Delayed write-back: the write is issued at the current time
 		// but the consumer does not wait for it.
@@ -178,6 +209,13 @@ func (p *Pool) evict(i int) error {
 	// of its prior occupant.
 	f.readyAt = 0
 	p.stats.Evictions++
+	if p.tr != nil {
+		var dirty uint64
+		if wasDirty {
+			dirty = 1
+		}
+		p.tr.Buffer(obs.EvEvict, f.pid, p.cyc(), p.clock, dirty)
+	}
 	return nil
 }
 
@@ -228,6 +266,9 @@ func (p *Pool) Get(pid uint32) (Page, error) {
 	p.table[pid] = i
 	p.fast[pid&(fastSize-1)] = fastEnt{pid: pid, idx: int32(i)}
 	p.stats.DemandMisses++
+	if p.tr != nil {
+		p.tr.Buffer(obs.EvDemandMiss, pid, p.cyc(), p.clock, done)
+	}
 	return Page{ID: pid, Data: f.data, Addr: p.space.PageAddr(pid), frame: i}, nil
 }
 
@@ -236,15 +277,23 @@ func (p *Pool) pinHit(pid uint32, i int) Page {
 	f := &p.frames[i]
 	f.pin++
 	f.ref = true
+	waited := uint64(0)
 	if f.readyAt > p.clock {
 		// In-flight prefetch: wait for it.
+		waited = f.readyAt - p.clock
 		p.clock = f.readyAt
 	}
 	if f.readyAt > 0 {
 		p.stats.PrefetchHits++
 		f.readyAt = 0
+		if p.tr != nil {
+			p.tr.Buffer(obs.EvPrefetchHit, pid, p.cyc(), p.clock, waited)
+		}
 	} else {
 		p.stats.Hits++
+		if p.tr != nil {
+			p.tr.Buffer(obs.EvBufferHit, pid, p.cyc(), p.clock, 0)
+		}
 	}
 	return Page{ID: pid, Data: f.data, Addr: p.space.PageAddr(pid), frame: i}
 }
@@ -276,6 +325,9 @@ func (p *Pool) Prefetch(pid uint32) error {
 	f.readyAt = done
 	p.table[pid] = i
 	p.stats.PrefetchIssue++
+	if p.tr != nil {
+		p.tr.Buffer(obs.EvPrefetchIssue, pid, p.cyc(), p.clock, done)
+	}
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/idx"
 	"repro/internal/jparray"
 	"repro/internal/memsim"
+	"repro/internal/obs"
 	"repro/internal/sizing"
 )
 
@@ -75,6 +76,8 @@ type CacheFirstConfig struct {
 	// underflow children with their parent (ablation: every non-full-
 	// subtree child goes to its own page or overflow).
 	NoUnderflowFill bool
+	// Trace, when non-nil, receives one event per node visit.
+	Trace *obs.Tracer
 }
 
 // CacheFirst is a cache-first fpB+-Tree.
@@ -101,6 +104,9 @@ type CacheFirst struct {
 	pages       map[uint32]byte // page kind registry (the space map)
 	overflowCur uint32          // overflow page currently being filled
 	noUnderfill bool            // ablation: disable bitmap-spread filling
+
+	tr  *obs.Tracer
+	ops idx.OpStats
 
 	batch idx.BatchScratch
 }
@@ -146,11 +152,18 @@ func NewCacheFirst(cfg CacheFirstConfig) (*CacheFirst, error) {
 		jpa:         jparray.New(),
 		pages:       make(map[uint32]byte),
 		noUnderfill: cfg.NoUnderflowFill,
+		tr:          cfg.Trace,
 	}, nil
 }
 
 // Name implements idx.Index.
 func (t *CacheFirst) Name() string { return "cache-first fpB+tree" }
+
+// Stats implements idx.Index.
+func (t *CacheFirst) Stats() idx.OpStats { return t.ops }
+
+// ResetStats implements idx.Index.
+func (t *CacheFirst) ResetStats() { t.ops = idx.OpStats{} }
 
 // Height implements idx.Index.
 func (t *CacheFirst) Height() int { return t.height }
@@ -306,6 +319,10 @@ func (t *CacheFirst) visitNode(pg buffer.Page, off int) {
 	t.mm.Prefetch(pg.Addr+uint64(nodeBase(off)), t.s*lineSize)
 	t.mm.Busy(memsim.CostNodeVisit)
 	t.mm.Access(pg.Addr+uint64(nodeBase(off)), cfNodeHdr)
+	t.ops.NodeVisits++
+	if t.tr != nil {
+		t.tr.NodeVisit(pg.ID, off, t.mm.Now(), t.pool.Clock())
+	}
 }
 
 // probe reads and compares one key at a byte position in the page.

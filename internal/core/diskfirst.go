@@ -24,6 +24,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/idx"
 	"repro/internal/memsim"
+	"repro/internal/obs"
 	"repro/internal/sizing"
 )
 
@@ -89,6 +90,8 @@ type DiskFirstConfig struct {
 	// behaviour the paper's design explicitly avoids; kept as an
 	// ablation).
 	NoOvershootProtection bool
+	// Trace, when non-nil, receives one event per in-page node visit.
+	Trace *obs.Tracer
 }
 
 // DiskFirst is a disk-first fpB+-Tree.
@@ -111,6 +114,9 @@ type DiskFirst struct {
 	jpa       bool
 	pfWindow  int
 	overshoot bool // ablation: prefetch past the end page
+
+	tr  *obs.Tracer
+	ops idx.OpStats
 
 	batch idx.BatchScratch
 }
@@ -158,11 +164,18 @@ func NewDiskFirst(cfg DiskFirstConfig) (*DiskFirst, error) {
 		jpa:       cfg.EnableJPA,
 		pfWindow:  pf,
 		overshoot: cfg.NoOvershootProtection,
+		tr:        cfg.Trace,
 	}, nil
 }
 
 // Name implements idx.Index.
 func (t *DiskFirst) Name() string { return "disk-first fpB+tree" }
+
+// Stats implements idx.Index.
+func (t *DiskFirst) Stats() idx.OpStats { return t.ops }
+
+// ResetStats implements idx.Index.
+func (t *DiskFirst) ResetStats() { t.ops = idx.OpStats{} }
 
 // Height implements idx.Index.
 func (t *DiskFirst) Height() int { return t.height }
@@ -298,12 +311,20 @@ func (t *DiskFirst) visitNonleaf(pg buffer.Page, off int) {
 	t.mm.Prefetch(pg.Addr+uint64(nodeBase(off)), t.w*lineSize)
 	t.mm.Busy(memsim.CostNodeVisit)
 	t.mm.Access(pg.Addr+uint64(nodeBase(off)), dfNonHdr)
+	t.ops.NodeVisits++
+	if t.tr != nil {
+		t.tr.NodeVisit(pg.ID, off, t.mm.Now(), t.pool.Clock())
+	}
 }
 
 func (t *DiskFirst) visitLeaf(pg buffer.Page, off int) {
 	t.mm.Prefetch(pg.Addr+uint64(nodeBase(off)), t.x*lineSize)
 	t.mm.Busy(memsim.CostNodeVisit)
 	t.mm.Access(pg.Addr+uint64(nodeBase(off)), dfLeafHdr)
+	t.ops.NodeVisits++
+	if t.tr != nil {
+		t.tr.NodeVisit(pg.ID, off, t.mm.Now(), t.pool.Clock())
+	}
 }
 
 func (t *DiskFirst) touchHeader(pg buffer.Page) {

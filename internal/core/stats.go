@@ -1,16 +1,10 @@
 package core
 
-// SpaceStats describes how a tree uses its pages — the inputs to the
-// paper's space-overhead metric (Figure 16) plus utilization detail.
-type SpaceStats struct {
-	Pages      int // total pages (the Figure 16 numerator)
-	LeafPages  int
-	NodePages  int // nonleaf pages (cache-first: aggressive-placement pages)
-	OtherPages int // cache-first overflow pages
-	Entries    int // entries stored in leaves
-	// Utilization is Entries / (LeafPages * per-page entry capacity).
-	Utilization float64
-}
+import "repro/internal/idx"
+
+// SpaceStats is the shared page-usage report; the type moved to idx so
+// every variant can implement idx.Index.SpaceStats uniformly.
+type SpaceStats = idx.SpaceStats
 
 // SpaceStats walks the tree and reports page usage.
 func (t *DiskFirst) SpaceStats() (SpaceStats, error) {

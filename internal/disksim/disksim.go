@@ -16,7 +16,11 @@
 // of disks (Figure 18).
 package disksim
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // Config describes the disk array.
 type Config struct {
@@ -61,6 +65,7 @@ type Stats struct {
 type Array struct {
 	cfg   Config
 	disks []disk
+	tr    *obs.Tracer
 	stats Stats
 }
 
@@ -89,6 +94,22 @@ func (a *Array) Config() Config { return a.cfg }
 
 // Stats returns a snapshot of the activity counters.
 func (a *Array) Stats() Stats { return a.stats }
+
+// AttachTracer makes the array emit one disk-request span per read or
+// write (issue time, service start after queueing, completion) so the
+// per-spindle overlap of prefetched requests is visible in a trace.
+// A nil tracer disables emission.
+func (a *Array) AttachTracer(tr *obs.Tracer) { a.tr = tr }
+
+// RegisterMetrics registers the array's counters with reg under the
+// disk.* metric names (see DESIGN.md for the catalog).
+func (a *Array) RegisterMetrics(reg *obs.Registry) {
+	reg.Counter("disk.reads", func() uint64 { return a.stats.Reads })
+	reg.Counter("disk.writes", func() uint64 { return a.stats.Writes })
+	reg.Counter("disk.seq_reads", func() uint64 { return a.stats.SeqReads })
+	reg.Counter("disk.busy_micros", func() uint64 { return a.stats.BusyMicros })
+	reg.Gauge("disk.count", func() float64 { return float64(a.cfg.Disks) })
+}
 
 // DiskOf reports which disk holds page pid.
 func (a *Array) DiskOf(pid uint32) int { return int(pid) % a.cfg.Disks }
@@ -124,7 +145,8 @@ func (a *Array) Read(pid uint32, now uint64) uint64 {
 // ReadStream is Read with an explicit request-stream tag for sequential
 // detection (parallel scans tag their own ranges).
 func (a *Array) ReadStream(pid uint32, stream int, now uint64) uint64 {
-	d := &a.disks[a.DiskOf(pid)]
+	dn := a.DiskOf(pid)
+	d := &a.disks[dn]
 	start := now
 	if d.freeAt > start {
 		start = d.freeAt
@@ -133,13 +155,17 @@ func (a *Array) ReadStream(pid uint32, stream int, now uint64) uint64 {
 	d.freeAt = start + t
 	a.stats.Reads++
 	a.stats.BusyMicros += t
+	if a.tr != nil {
+		a.tr.Disk(obs.EvDiskRead, pid, dn, now, start, d.freeAt)
+	}
 	return d.freeAt
 }
 
 // Write services a write of page pid issued at now and returns its
 // completion time.
 func (a *Array) Write(pid uint32, now uint64) uint64 {
-	d := &a.disks[a.DiskOf(pid)]
+	dn := a.DiskOf(pid)
+	d := &a.disks[dn]
 	start := now
 	if d.freeAt > start {
 		start = d.freeAt
@@ -148,6 +174,9 @@ func (a *Array) Write(pid uint32, now uint64) uint64 {
 	d.freeAt = start + t
 	a.stats.Writes++
 	a.stats.BusyMicros += t
+	if a.tr != nil {
+		a.tr.Disk(obs.EvDiskWrite, pid, dn, now, start, d.freeAt)
+	}
 	return d.freeAt
 }
 

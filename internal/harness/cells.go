@@ -9,6 +9,11 @@ import (
 // workers resolves the worker-pool width: Params.Workers if positive,
 // otherwise 1 (serial).
 func (p Params) workers() int {
+	if p.Obs != nil {
+		// The observability layer's tracer and registry sources are not
+		// synchronized across cells; observed runs are serial.
+		return 1
+	}
 	if p.Workers > 0 {
 		return p.Workers
 	}

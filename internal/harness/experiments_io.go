@@ -103,7 +103,7 @@ func fig16(p Params) ([]*Table, error) {
 	// One cell per (variant, page size, maturity): it builds its own
 	// baseline tree and the compared tree, and yields the overhead %.
 	overhead := func(kind TreeKind, ps, bulk, inserts int) (string, error) {
-		env := NewCacheEnv(ps, (bulk+inserts)*3)
+		env := NewCacheEnv(ps, (bulk+inserts)*3).Attach(p.Obs)
 		base, err := BuildTree(KindDiskOptimized, env, false)
 		if err != nil {
 			return "", err
@@ -111,7 +111,7 @@ func fig16(p Params) ([]*Table, error) {
 		if err := matureTree(base, workload.New(42), bulk, inserts); err != nil {
 			return "", err
 		}
-		env2 := NewCacheEnv(ps, (bulk+inserts)*3)
+		env2 := NewCacheEnv(ps, (bulk+inserts)*3).Attach(p.Obs)
 		tr, err := BuildTree(kind, env2, false)
 		if err != nil {
 			return "", err
@@ -179,7 +179,7 @@ func ioEnv(pageSize, frames, disks int) (*Env, *disksim.Array, error) {
 	mm := memsim.NewDefault()
 	pool := buffer.NewPool(buffer.NewDiskStore(arr), frames)
 	pool.AttachModel(mm)
-	return &Env{Pool: pool, Model: mm}, arr, nil
+	return &Env{Pool: pool, Model: mm, Array: arr}, arr, nil
 }
 
 // fig17 reproduces search I/O: buffer-pool misses for Ops random
@@ -194,6 +194,7 @@ func fig17(p Params) ([]*Table, error) {
 		if err != nil {
 			return 0, err
 		}
+		env.Attach(p.Obs)
 		tr, err := BuildTree(kind, env, false)
 		if err != nil {
 			return 0, err
@@ -313,6 +314,7 @@ func fig18(p Params) ([]*Table, error) {
 		if err != nil {
 			return nil, nil, nil, err
 		}
+		env.Attach(p.Obs)
 		tr, err := BuildTree(st.kind, env, st.jpa)
 		if err != nil {
 			return nil, nil, nil, err
@@ -514,7 +516,7 @@ func ablations(p Params) ([]*Table, error) {
 	var cs cellSet
 	for i, wx := range widthPairs {
 		cs.add(func() error {
-			env := NewCacheEnv(16<<10, p.Keys)
+			env := NewCacheEnv(16<<10, p.Keys).Attach(p.Obs)
 			tr, err := buildDiskFirstWidths(env, wx[0], wx[1])
 			if err != nil {
 				return err
@@ -538,6 +540,7 @@ func ablations(p Params) ([]*Table, error) {
 			if err != nil {
 				return err
 			}
+			env.Attach(p.Obs)
 			tr, err := core.NewDiskFirst(core.DiskFirstConfig{
 				Pool: env.Pool, Model: env.Model, EnableJPA: true,
 				PrefetchWindow: 32, NoOvershootProtection: overshoot,
@@ -574,7 +577,7 @@ func ablations(p Params) ([]*Table, error) {
 	}
 	for i, noFill := range []bool{false, true} {
 		cs.add(func() error {
-			env := NewCacheEnv(16<<10, p.Keys)
+			env := NewCacheEnv(16<<10, p.Keys).Attach(p.Obs)
 			tr, err := core.NewCacheFirst(core.CacheFirstConfig{
 				Pool: env.Pool, Model: env.Model, NoUnderflowFill: noFill,
 			})
@@ -606,6 +609,7 @@ func ablations(p Params) ([]*Table, error) {
 			if err != nil {
 				return err
 			}
+			env.Attach(p.Obs)
 			tr, err := core.NewDiskFirst(core.DiskFirstConfig{
 				Pool: env.Pool, Model: env.Model, EnableJPA: true, PrefetchWindow: win,
 			})

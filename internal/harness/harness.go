@@ -18,9 +18,11 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/db2sim"
+	"repro/internal/disksim"
 	"repro/internal/idx"
 	"repro/internal/memsim"
 	"repro/internal/microindex"
+	"repro/internal/obs"
 	"repro/internal/pbtree"
 )
 
@@ -116,6 +118,15 @@ type Params struct {
 	// after all cells finish, so output is identical at any width.
 	// 0 or 1 runs serially.
 	Workers int
+
+	// Obs, when non-nil, attaches the observability layer to every
+	// environment an experiment builds: substrate and tree counters
+	// register with Obs.Reg (snapshots sum across cells), and when
+	// Obs.Tracer is set the buffer pools, disk arrays, and trees emit
+	// trace events. Run appends a metrics table to the experiment's
+	// output. The registry sources and the tracer are not synchronized,
+	// so a non-nil Obs forces serial execution regardless of Workers.
+	Obs *obs.Obs
 }
 
 // ParamsFor returns the parameter set for a scale name: "quick",
@@ -214,6 +225,38 @@ var AllDiskKinds = []TreeKind{KindDiskOptimized, KindMicroIndex, KindDiskFirst, 
 type Env struct {
 	Pool  *buffer.Pool
 	Model *memsim.Model
+	// Array is the disk array behind Pool's store, if any.
+	Array *disksim.Array
+	// Obs is the attached observability layer (nil when detached).
+	Obs *obs.Obs
+}
+
+// Attach registers the environment's substrate with ob's metrics
+// registry and, when ob carries a tracer, makes the buffer pool and
+// disk array emit trace events. Trees built over the environment after
+// Attach register their counters and emit node visits too. A nil ob is
+// a no-op. Returns e for chaining.
+func (e *Env) Attach(ob *obs.Obs) *Env {
+	if ob == nil {
+		return e
+	}
+	e.Obs = ob
+	e.Model.RegisterMetrics(ob.Reg)
+	e.Pool.RegisterMetrics(ob.Reg)
+	e.Pool.AttachTracer(ob.Tracer)
+	if e.Array != nil {
+		e.Array.RegisterMetrics(ob.Reg)
+		e.Array.AttachTracer(ob.Tracer)
+	}
+	return e
+}
+
+// tracer is the attached tracer, or nil.
+func (e *Env) tracer() *obs.Tracer {
+	if e.Obs == nil {
+		return nil
+	}
+	return e.Obs.Tracer
 }
 
 // NewCacheEnv builds a zero-I/O-latency environment big enough to hold
@@ -229,20 +272,33 @@ func NewCacheEnv(pageSize, keys int) *Env {
 }
 
 // BuildTree constructs a tree of the given kind over the environment.
+// If the environment has an attached Obs, the tree's counters register
+// with its registry and node visits go to its tracer.
 func BuildTree(kind TreeKind, env *Env, jpa bool) (idx.Index, error) {
+	tr := env.tracer()
+	var ix idx.Index
+	var err error
 	switch kind {
 	case KindDiskOptimized:
-		return bptree.New(bptree.Config{Pool: env.Pool, Model: env.Model, EnableJPA: jpa})
+		ix, err = bptree.New(bptree.Config{Pool: env.Pool, Model: env.Model, EnableJPA: jpa, Trace: tr})
 	case KindMicroIndex:
-		return microindex.New(microindex.Config{Pool: env.Pool, Model: env.Model})
+		ix, err = microindex.New(microindex.Config{Pool: env.Pool, Model: env.Model, Trace: tr})
 	case KindDiskFirst:
-		return core.NewDiskFirst(core.DiskFirstConfig{Pool: env.Pool, Model: env.Model, EnableJPA: jpa})
+		ix, err = core.NewDiskFirst(core.DiskFirstConfig{Pool: env.Pool, Model: env.Model, EnableJPA: jpa, Trace: tr})
 	case KindCacheFirst:
-		return core.NewCacheFirst(core.CacheFirstConfig{Pool: env.Pool, Model: env.Model, EnableJPA: jpa})
+		ix, err = core.NewCacheFirst(core.CacheFirstConfig{Pool: env.Pool, Model: env.Model, EnableJPA: jpa, Trace: tr})
 	case KindPB:
-		return pbtree.New(pbtree.Config{Model: env.Model, Space: env.Pool.Space()})
+		ix, err = pbtree.New(pbtree.Config{Model: env.Model, Space: env.Pool.Space(), Trace: tr})
+	default:
+		return nil, fmt.Errorf("harness: unknown tree kind %d", kind)
 	}
-	return nil, fmt.Errorf("harness: unknown tree kind %d", kind)
+	if err != nil {
+		return nil, err
+	}
+	if env.Obs != nil {
+		idx.RegisterMetrics(env.Obs.Reg, ix)
+	}
+	return ix, nil
 }
 
 // mcycles formats a cycle count as millions of cycles (= ms at 1 GHz).
@@ -276,11 +332,47 @@ func IDs() []string {
 	return out
 }
 
-// Run executes one experiment by ID.
+// Run executes one experiment by ID. With Params.Obs set, a table
+// holding the metrics-registry snapshot (counters summed across every
+// cell the experiment ran) is appended to the experiment's own tables.
 func Run(id string, p Params) ([]*Table, error) {
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", id, IDs())
 	}
-	return r(p)
+	tables, err := r(p)
+	if err != nil {
+		return nil, err
+	}
+	if p.Obs != nil {
+		tables = append(tables, metricsTable(id, p.Obs.Reg.Snapshot()))
+	}
+	return tables, nil
+}
+
+// metricsTable renders a registry snapshot as a two-column table.
+func metricsTable(id string, snap obs.Snapshot) *Table {
+	t := &Table{
+		ID:      id + "-metrics",
+		Title:   "metrics snapshot (all cells summed)",
+		Columns: []string{"metric", "value"},
+	}
+	names := make([]string, 0, len(snap.Counters))
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t.AddRow(n, fmt.Sprintf("%d", snap.Counters[n]))
+	}
+	names = names[:0]
+	for n := range snap.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := snap.Histograms[n]
+		t.AddRow(n, fmt.Sprintf("count=%d mean=%.1f max=%d", h.Count, h.Mean(), h.Max))
+	}
+	return t
 }

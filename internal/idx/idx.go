@@ -90,6 +90,18 @@ type Index interface {
 	// (the numerator of the paper's space-overhead metric, Figure 16).
 	PageCount() int
 
+	// Stats reports the operation counters accumulated since
+	// construction or the last ResetStats.
+	Stats() OpStats
+
+	// ResetStats zeroes the operation counters.
+	ResetStats()
+
+	// SpaceStats walks the structure and reports its page usage
+	// (Figure 16's inputs). The walk goes through the buffer pool, so
+	// it perturbs buffer counters; snapshot those first.
+	SpaceStats() (SpaceStats, error)
+
 	// CheckInvariants validates structural invariants (ordering,
 	// fan-out bounds, sibling links, reachability) and returns a
 	// descriptive error on the first violation.

@@ -1,0 +1,63 @@
+package idx
+
+import "repro/internal/obs"
+
+// OpStats counts the operations an index has executed and the node
+// visits they performed. Every variant maintains one (plain uint64
+// increments on the paths that already charge the memory model), so
+// callers can snapshot any Index uniformly via Stats/ResetStats.
+type OpStats struct {
+	Searches     uint64
+	Inserts      uint64
+	Deletes      uint64
+	Scans        uint64
+	ReverseScans uint64
+	Batches      uint64
+	BatchedKeys  uint64
+	// NodeVisits counts visited nodes at the structure's own
+	// granularity: in-page nodes for the fpB+-Tree variants and the
+	// pB+-Tree, pages for the page-as-node trees.
+	NodeVisits uint64
+}
+
+// Sub returns the counter deltas s − t.
+func (s OpStats) Sub(t OpStats) OpStats {
+	return OpStats{
+		Searches:     s.Searches - t.Searches,
+		Inserts:      s.Inserts - t.Inserts,
+		Deletes:      s.Deletes - t.Deletes,
+		Scans:        s.Scans - t.Scans,
+		ReverseScans: s.ReverseScans - t.ReverseScans,
+		Batches:      s.Batches - t.Batches,
+		BatchedKeys:  s.BatchedKeys - t.BatchedKeys,
+		NodeVisits:   s.NodeVisits - t.NodeVisits,
+	}
+}
+
+// SpaceStats describes how a tree uses its pages — the inputs to the
+// paper's space-overhead metric (Figure 16) plus utilization detail.
+// Every variant reports it; for the memory-resident pB+-Tree the
+// "pages" are its nodes.
+type SpaceStats struct {
+	Pages      int // total pages (the Figure 16 numerator)
+	LeafPages  int
+	NodePages  int // nonleaf pages (cache-first: aggressive-placement pages)
+	OtherPages int // cache-first overflow pages
+	Entries    int // entries stored in leaves
+	// Utilization is Entries / (LeafPages * per-page entry capacity).
+	Utilization float64
+}
+
+// RegisterMetrics publishes an index's operation counters with reg
+// under the tree.* metric names. Several indexes may register with one
+// registry; snapshots sum their counters.
+func RegisterMetrics(reg *obs.Registry, ix Index) {
+	reg.Counter("tree.searches", func() uint64 { return ix.Stats().Searches })
+	reg.Counter("tree.inserts", func() uint64 { return ix.Stats().Inserts })
+	reg.Counter("tree.deletes", func() uint64 { return ix.Stats().Deletes })
+	reg.Counter("tree.scans", func() uint64 { return ix.Stats().Scans })
+	reg.Counter("tree.reverse_scans", func() uint64 { return ix.Stats().ReverseScans })
+	reg.Counter("tree.batches", func() uint64 { return ix.Stats().Batches })
+	reg.Counter("tree.batched_keys", func() uint64 { return ix.Stats().BatchedKeys })
+	reg.Counter("tree.node_visits", func() uint64 { return ix.Stats().NodeVisits })
+}

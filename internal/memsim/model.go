@@ -17,7 +17,11 @@
 // other stalls.
 package memsim
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // LineSize is the cache line (and prefetch) granularity in bytes.
 const LineSize = 64
@@ -143,6 +147,20 @@ func (m *Model) Stats() Stats {
 
 // Now returns the current simulated cycle.
 func (m *Model) Now() uint64 { return m.now }
+
+// RegisterMetrics registers the model's counters with reg under the
+// mem.* metric names (see DESIGN.md for the catalog).
+func (m *Model) RegisterMetrics(reg *obs.Registry) {
+	reg.Counter("mem.cycles", func() uint64 { return m.now })
+	reg.Counter("mem.busy_cycles", func() uint64 { return m.stats.Busy })
+	reg.Counter("mem.data_stall_cycles", func() uint64 { return m.stats.DataStall })
+	reg.Counter("mem.other_stall_cycles", func() uint64 { return m.stats.OtherStall })
+	reg.Counter("mem.line_accesses", func() uint64 { return m.stats.Accesses })
+	reg.Counter("mem.l1_hits", func() uint64 { return m.stats.L1Hits })
+	reg.Counter("mem.l2_hits", func() uint64 { return m.stats.L2Hits })
+	reg.Counter("mem.demand_fetches", func() uint64 { return m.stats.MemFetches })
+	reg.Counter("mem.prefetch_fetches", func() uint64 { return m.stats.Prefetches })
+}
 
 // ColdCaches invalidates both cache levels, modeling the paper's
 // "all caches are cleared before the first search".

@@ -27,6 +27,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/idx"
 	"repro/internal/memsim"
+	"repro/internal/obs"
 	"repro/internal/sizing"
 )
 
@@ -53,6 +54,8 @@ type Config struct {
 	// SubarrayBytes overrides the Table 2 sub-array size (0 = use the
 	// sizing package's selection for the page size).
 	SubarrayBytes int
+	// Trace, when non-nil, receives one event per page visit.
+	Trace *obs.Tracer
 }
 
 // Tree is a micro-indexing B+-Tree.
@@ -73,6 +76,9 @@ type Tree struct {
 	root      uint32
 	height    int
 	firstLeaf uint32
+
+	tr  *obs.Tracer
+	ops idx.OpStats
 
 	batch idx.BatchScratch
 }
@@ -111,12 +117,19 @@ func New(cfg Config) (*Tree, error) {
 		keyBase:    headerSize + microBytes,
 		ptrBase:    headerSize + microBytes + 4*cap,
 		subLines:   sub / memsim.LineSize,
+		tr:         cfg.Trace,
 	}
 	return t, nil
 }
 
 // Name implements idx.Index.
 func (t *Tree) Name() string { return "micro-indexing" }
+
+// Stats implements idx.Index.
+func (t *Tree) Stats() idx.OpStats { return t.ops }
+
+// ResetStats implements idx.Index.
+func (t *Tree) ResetStats() { t.ops = idx.OpStats{} }
 
 // Height implements idx.Index.
 func (t *Tree) Height() int { return t.height }
@@ -173,6 +186,10 @@ func (t *Tree) rebuildMicro(pg buffer.Page, from int) {
 func (t *Tree) touchHeader(pg buffer.Page) {
 	t.mm.Access(pg.Addr, 16)
 	t.mm.Busy(memsim.CostNodeVisit)
+	t.ops.NodeVisits++
+	if t.tr != nil {
+		t.tr.NodeVisit(pg.ID, 0, t.mm.Now(), t.pool.Clock())
+	}
 }
 
 func (t *Tree) probeMicro(pg buffer.Page, s int) idx.Key {

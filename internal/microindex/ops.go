@@ -151,6 +151,7 @@ func (t *Tree) freeAll() error {
 // Search implements idx.Index: strictly-less descent plus a forward
 // walk over the duplicate run (see bptree.Search for the rationale).
 func (t *Tree) Search(k idx.Key) (idx.TupleID, bool, error) {
+	t.ops.Searches++
 	pg, slot, found, err := t.findFirst(k)
 	if err != nil || !found {
 		return 0, false, err
@@ -208,6 +209,7 @@ func (t *Tree) findFirst(k idx.Key) (buffer.Page, int, bool, error) {
 // Insert implements idx.Index: the disk-optimized insertion algorithm
 // plus micro-index rebuilds (§4.1).
 func (t *Tree) Insert(k idx.Key, tid idx.TupleID) error {
+	t.ops.Inserts++
 	if t.root == 0 {
 		pg, err := t.pool.NewPage()
 		if err != nil {
@@ -351,6 +353,7 @@ func (t *Tree) splitPage(pg buffer.Page) (idx.Key, uint32, error) {
 // Delete implements idx.Index (lazy); removes the first entry of a
 // duplicate run.
 func (t *Tree) Delete(k idx.Key) (bool, error) {
+	t.ops.Deletes++
 	pg, slot, found, err := t.findFirst(k)
 	if err != nil || !found {
 		return false, err
@@ -363,6 +366,7 @@ func (t *Tree) Delete(k idx.Key) (bool, error) {
 // RangeScan implements idx.Index. The paper notes micro-indexing's scan
 // behaviour matches disk-optimized B+-Trees, so no prefetching is done.
 func (t *Tree) RangeScan(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error) {
+	t.ops.Scans++
 	if t.root == 0 || startKey > endKey {
 		return 0, nil
 	}
@@ -448,6 +452,44 @@ func (t *Tree) PageCount() int {
 		pid = childFirst
 	}
 	return total
+}
+
+// SpaceStats implements idx.Index: the same level walk as PageCount,
+// classifying pages and counting leaf entries.
+func (t *Tree) SpaceStats() (idx.SpaceStats, error) {
+	var st idx.SpaceStats
+	if t.root == 0 {
+		return st, nil
+	}
+	pid := t.root
+	for lvl := t.height - 1; lvl >= 0; lvl-- {
+		var childFirst uint32
+		cur := pid
+		for cur != 0 {
+			pg, err := t.pool.Get(cur)
+			if err != nil {
+				return st, err
+			}
+			st.Pages++
+			if lvl == 0 {
+				st.LeafPages++
+				st.Entries += pCount(pg.Data)
+			} else {
+				st.NodePages++
+				if childFirst == 0 && pCount(pg.Data) > 0 {
+					childFirst = t.ptr(pg.Data, 0)
+				}
+			}
+			next := pNext(pg.Data)
+			t.pool.Unpin(pg, false)
+			cur = next
+		}
+		pid = childFirst
+	}
+	if st.LeafPages > 0 {
+		st.Utilization = float64(st.Entries) / float64(st.LeafPages*t.cap)
+	}
+	return st, nil
 }
 
 // CheckInvariants implements idx.Index: the bptree invariants plus

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Chrome trace-event export: the retained events become a JSON trace
+// that loads in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Two virtual timelines cannot share one real clock, so the export
+// uses two trace "processes":
+//
+//   - process 1, "CPU (simulated, 1 GHz)": timestamps are simulated
+//     cycles converted at 1 cycle = 1 ns. Operation spans, buffer-pool
+//     instants, and node-visit instants live here.
+//   - process 2, "disk array (virtual µs)": timestamps are the virtual
+//     I/O clock. One thread row per spindle, so the per-disk overlap
+//     that gives jump-pointer prefetching its Figure 18 speedup is
+//     directly visible; operation spans are mirrored here when the
+//     I/O clock advanced during the op.
+
+const (
+	cpuProcess  = 1
+	diskProcess = 2
+
+	opThread     = 1
+	bufferThread = 2
+	nodeThread   = 3
+)
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func meta(name string, pid, tid int, value string) chromeEvent {
+	ev := chromeEvent{Name: name, Ph: "M", PID: pid, TID: tid, Args: map[string]any{"name": value}}
+	return ev
+}
+
+func cycToUS(c uint64) float64 { return float64(c) / 1000 }
+
+func dur(d float64) *float64 { return &d }
+
+// chromeEvents converts events (oldest first) into the Chrome
+// trace-event structures that WriteChromeTrace marshals.
+func chromeEvents(events []Event) []chromeEvent {
+	out := []chromeEvent{
+		meta("process_name", cpuProcess, 0, "CPU (simulated, 1 GHz; ts = cycles as ns)"),
+		meta("thread_name", cpuProcess, opThread, "index ops"),
+		meta("thread_name", cpuProcess, bufferThread, "buffer pool"),
+		meta("thread_name", cpuProcess, nodeThread, "node visits"),
+		meta("process_name", diskProcess, 0, "disk array (virtual µs)"),
+		meta("thread_name", diskProcess, opThread, "index ops (I/O time)"),
+	}
+	disksSeen := map[int16]bool{}
+	for _, e := range events {
+		switch {
+		case e.Kind >= EvOpSearch && e.Kind <= EvOpBatch:
+			out = append(out, chromeEvent{
+				Name: e.Kind.String(), Ph: "X",
+				TS: cycToUS(e.Cyc), Dur: dur(cycToUS(e.A - e.Cyc)),
+				PID: cpuProcess, TID: opThread,
+				Args: map[string]any{"key": e.PID, "io_us": e.B - e.Us},
+			})
+			if e.B > e.Us {
+				out = append(out, chromeEvent{
+					Name: e.Kind.String(), Ph: "X",
+					TS: float64(e.Us), Dur: dur(float64(e.B - e.Us)),
+					PID: diskProcess, TID: opThread,
+					Args: map[string]any{"key": e.PID, "cycles": e.A - e.Cyc},
+				})
+			}
+		case e.Kind == EvDiskRead || e.Kind == EvDiskWrite:
+			if !disksSeen[e.Disk] {
+				disksSeen[e.Disk] = true
+				out = append(out, meta("thread_name", diskProcess, 100+int(e.Disk), "disk "+itoa(int(e.Disk))))
+			}
+			out = append(out, chromeEvent{
+				Name: e.Kind.String(), Ph: "X",
+				TS: float64(e.A), Dur: dur(float64(e.B - e.A)),
+				PID: diskProcess, TID: 100 + int(e.Disk),
+				Args: map[string]any{"page": e.PID, "issued_us": e.Us, "queued_us": e.A - e.Us},
+			})
+		case e.Kind == EvNodeVisit:
+			out = append(out, chromeEvent{
+				Name: "node", Ph: "i", S: "t",
+				TS: cycToUS(e.Cyc), PID: cpuProcess, TID: nodeThread,
+				Args: map[string]any{"page": e.PID, "off": e.A},
+			})
+		default: // buffer-pool instants
+			args := map[string]any{"page": e.PID}
+			switch e.Kind {
+			case EvDemandMiss, EvPrefetchIssue:
+				args["done_us"] = e.A
+			case EvPrefetchHit:
+				args["waited_us"] = e.A
+			case EvEvict:
+				args["dirty"] = e.A == 1
+			}
+			out = append(out, chromeEvent{
+				Name: e.Kind.String(), Ph: "i", S: "t",
+				TS: cycToUS(e.Cyc), PID: cpuProcess, TID: bufferThread,
+				Args: args,
+			})
+		}
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// WriteChromeTrace writes events (oldest first) as Chrome trace-event
+// JSON.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: chromeEvents(events), DisplayTimeUnit: "ms"})
+}
+
+// WriteChrome exports the tracer's retained events as Chrome
+// trace-event JSON.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	return WriteChromeTrace(w, t.Events(nil))
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenEvents is a fixed little scenario exercising every export
+// path: an op span that advanced both clocks, disk reads on two
+// spindles, buffer instants of each kind, and a node visit.
+func goldenEvents() []Event {
+	tr := NewTracer(64)
+	tr.Buffer(EvDemandMiss, 17, 1000, 0, 12400)
+	tr.Disk(EvDiskRead, 17, 1, 0, 0, 12400)
+	tr.Buffer(EvBufferHit, 17, 2000, 12400, 0)
+	tr.NodeVisit(17, 128, 2100, 12400)
+	tr.Buffer(EvPrefetchIssue, 18, 2200, 12400, 24800)
+	tr.Disk(EvDiskRead, 18, 0, 12400, 12400, 24800)
+	tr.Buffer(EvPrefetchHit, 18, 2300, 24800, 100)
+	tr.Buffer(EvEvict, 17, 2400, 24800, 1)
+	tr.Disk(EvDiskWrite, 17, 1, 24800, 24800, 37200)
+	tr.Op(EvOpSearch, 4242, 1000, 0, 2500, 24800)
+	tr.Op(EvOpInsert, 7, 2500, 24800, 2600, 24800)
+	return tr.Events(nil)
+}
+
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -update` to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Chrome trace drifted from golden file (regenerate with -update if intended).\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestChromeTraceWellFormed validates the structural contract Perfetto
+// relies on, independent of the golden bytes.
+func TestChromeTraceWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			TS   float64  `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			PID  int      `json:"pid"`
+			TID  int      `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if trace.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", trace.DisplayTimeUnit)
+	}
+	var spans, instants, metas int
+	for _, e := range trace.TraceEvents {
+		switch e.Ph {
+		case "X":
+			spans++
+			if e.Dur == nil || *e.Dur < 0 {
+				t.Fatalf("complete span %q lacks a non-negative dur", e.Name)
+			}
+		case "i":
+			instants++
+		case "M":
+			metas++
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+		if e.PID != cpuProcess && e.PID != diskProcess {
+			t.Fatalf("event %q on unknown process %d", e.Name, e.PID)
+		}
+	}
+	// 2 op spans (one mirrored onto the disk timeline) + 3 disk spans.
+	if spans != 6 {
+		t.Fatalf("spans = %d, want 6", spans)
+	}
+	// 5 buffer instants + 1 node visit.
+	if instants != 6 {
+		t.Fatalf("instants = %d, want 6", instants)
+	}
+	if metas < 6 {
+		t.Fatalf("metadata records = %d, want at least the process/thread names", metas)
+	}
+}

@@ -1,0 +1,103 @@
+package obs
+
+import "math/bits"
+
+// histBuckets is the fixed bucket count: bucket i holds values whose
+// bit length is i, i.e. [2^(i-1), 2^i), with bucket 0 holding zero.
+// 65 buckets cover the full uint64 range, so Record never range-checks.
+const histBuckets = 65
+
+// Histogram is a fixed-bucket power-of-two latency histogram. Record
+// is O(1) and allocation-free; the zero value is ready to use. Like
+// the simulators it observes, it is not safe for concurrent use.
+type Histogram struct {
+	buckets [histBuckets]uint64
+	count   uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v uint64) {
+	h.buckets[bits.Len64(v)]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// HistSnapshot is a JSON-friendly copy of a histogram. Buckets lists
+// one {UpperBound, Count} pair per non-empty bucket, in value order;
+// an upper bound of 2^i means the bucket held values in [2^(i-1), 2^i).
+type HistSnapshot struct {
+	Count   uint64       `json:"count"`
+	Sum     uint64       `json:"sum"`
+	Min     uint64       `json:"min"`
+	Max     uint64       `json:"max"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// HistBucket is one non-empty histogram bucket.
+type HistBucket struct {
+	UpperBound uint64 `json:"le"` // exclusive; 0 marks the zero bucket
+	Count      uint64 `json:"count"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		var ub uint64
+		if i > 0 {
+			if i < 64 {
+				ub = 1 << uint(i)
+			} else {
+				ub = ^uint64(0)
+			}
+		}
+		s.Buckets = append(s.Buckets, HistBucket{UpperBound: ub, Count: c})
+	}
+	return s
+}
+
+// Mean reports the average observation (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile reports an upper bound for the q-quantile (q in [0,1]),
+// at bucket granularity.
+func (s HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(s.Count))
+	if target >= s.Count {
+		target = s.Count - 1
+	}
+	var seen uint64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen > target {
+			return b.UpperBound
+		}
+	}
+	return s.Max
+}

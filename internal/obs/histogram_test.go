@@ -1,0 +1,89 @@
+package obs
+
+import "testing"
+
+func TestHistogramRecordBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 1000, 1 << 40} {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if s.Min != 0 || s.Max != 1<<40 {
+		t.Fatalf("min/max = %d/%d, want 0/%d", s.Min, s.Max, uint64(1)<<40)
+	}
+	if want := uint64(0 + 1 + 2 + 3 + 1000 + 1<<40); s.Sum != want {
+		t.Fatalf("sum = %d, want %d", s.Sum, want)
+	}
+}
+
+func TestHistogramBucketBounds(t *testing.T) {
+	var h Histogram
+	// 2 and 3 share the [2,4) bucket; 4 starts the next one.
+	h.Record(2)
+	h.Record(3)
+	h.Record(4)
+	s := h.Snapshot()
+	if len(s.Buckets) != 2 {
+		t.Fatalf("buckets = %+v, want two", s.Buckets)
+	}
+	if s.Buckets[0].UpperBound != 4 || s.Buckets[0].Count != 2 {
+		t.Fatalf("first bucket = %+v, want le=4 count=2", s.Buckets[0])
+	}
+	if s.Buckets[1].UpperBound != 8 || s.Buckets[1].Count != 1 {
+		t.Fatalf("second bucket = %+v, want le=8 count=1", s.Buckets[1])
+	}
+}
+
+func TestHistogramFullRange(t *testing.T) {
+	var h Histogram
+	h.Record(^uint64(0)) // must not panic or range-check
+	s := h.Snapshot()
+	if len(s.Buckets) != 1 || s.Buckets[0].UpperBound != ^uint64(0) {
+		t.Fatalf("max-value bucket = %+v", s.Buckets)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Record(1) // bucket [1,2)
+	}
+	h.Record(1 << 20)
+	s := h.Snapshot()
+	if q := s.Quantile(0.50); q != 2 {
+		t.Fatalf("p50 = %d, want the [1,2) bucket bound 2", q)
+	}
+	if q := s.Quantile(0.999); q != 1<<21 {
+		t.Fatalf("p99.9 = %d, want the outlier bucket bound %d", q, 1<<21)
+	}
+	if q := s.Quantile(0); q != 2 {
+		t.Fatalf("p0 = %d, want 2", q)
+	}
+}
+
+func TestHistogramMeanAndReset(t *testing.T) {
+	var h Histogram
+	if got := h.Snapshot().Mean(); got != 0 {
+		t.Fatalf("empty mean = %g, want 0", got)
+	}
+	h.Record(10)
+	h.Record(20)
+	if got := h.Snapshot().Mean(); got != 15 {
+		t.Fatalf("mean = %g, want 15", got)
+	}
+	h.Reset()
+	if h.Count() != 0 {
+		t.Fatalf("count after reset = %d", h.Count())
+	}
+}
+
+func TestHistogramRecordAllocs(t *testing.T) {
+	var h Histogram
+	allocs := testing.AllocsPerRun(1000, func() { h.Record(123) })
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,32 @@
+// Package obs is the unified observability layer of the reproduction:
+// a metrics registry that gathers the counters scattered across the
+// simulation substrates (buffer pool, memory model, disk array, index
+// structures) behind stable metric names, fixed-bucket histograms for
+// per-operation virtual latencies, and a zero-allocation virtual-time
+// event tracer whose contents export as Chrome trace-event JSON
+// (viewable in Perfetto or chrome://tracing).
+//
+// The package sits below every simulation package: buffer, memsim,
+// disksim and the index variants import obs and emit into it, while
+// the harness, the public fpbtree API, and the cmd/ binaries read from
+// it. All instrumentation is pull-based (counters are polled at
+// Snapshot time) or guarded by a nil-tracer check, so the warm paths
+// of an uninstrumented run are unchanged.
+package obs
+
+// Obs bundles a metrics registry with an (optional) event tracer. A
+// nil Tracer means tracing is disabled; emit sites compile down to a
+// pointer check.
+type Obs struct {
+	Reg    *Registry
+	Tracer *Tracer
+}
+
+// New returns an Obs with an empty registry and tracing disabled.
+func New() *Obs { return &Obs{Reg: NewRegistry()} }
+
+// NewTraced returns an Obs whose tracer retains the last `events`
+// trace events in a ring buffer (rounded up to a power of two).
+func NewTraced(events int) *Obs {
+	return &Obs{Reg: NewRegistry(), Tracer: NewTracer(events)}
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRegistryCountersSumAcrossSources(t *testing.T) {
+	r := NewRegistry()
+	a, b := uint64(3), uint64(4)
+	r.Counter("x.gets", func() uint64 { return a })
+	r.Counter("x.gets", func() uint64 { return b })
+	r.Counter("x.hits", func() uint64 { return 10 })
+
+	s := r.Snapshot()
+	if got := s.Counters["x.gets"]; got != 7 {
+		t.Fatalf("x.gets = %d, want the sum 7", got)
+	}
+	if got := s.Counters["x.hits"]; got != 10 {
+		t.Fatalf("x.hits = %d, want 10", got)
+	}
+
+	// Pull-based: a later snapshot sees the new values, no re-registration.
+	a, b = 100, 1
+	if got := r.Snapshot().Counters["x.gets"]; got != 101 {
+		t.Fatalf("x.gets after update = %d, want 101", got)
+	}
+}
+
+func TestRegistryGaugeLastWins(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g", func() float64 { return 1 })
+	r.Gauge("g", func() float64 { return 2 })
+	if got := r.Snapshot().Gauges["g"]; got != 2 {
+		t.Fatalf("gauge = %g, want the last registered source (2)", got)
+	}
+}
+
+func TestRegistryHistogramFindOrCreate(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.Histogram("lat")
+	h2 := r.Histogram("lat")
+	if h1 != h2 {
+		t.Fatal("Histogram(name) must return the same histogram on repeat calls")
+	}
+	h1.Record(5)
+
+	s := r.Snapshot()
+	hs, ok := s.Histograms["lat"]
+	if !ok {
+		t.Fatal("recorded histogram missing from snapshot")
+	}
+	if hs.Count != 1 || hs.Sum != 5 {
+		t.Fatalf("histogram snapshot = %+v, want count 1 sum 5", hs)
+	}
+
+	// Empty histograms stay out of snapshots.
+	r.Histogram("never-recorded")
+	if _, ok := r.Snapshot().Histograms["never-recorded"]; ok {
+		t.Fatal("empty histogram must not appear in a snapshot")
+	}
+}
+
+func TestSnapshotWriteJSONRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", func() uint64 { return 42 })
+	r.Gauge("g", func() float64 { return 1.5 })
+	r.Histogram("h").Record(1000)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if back.Counters["c"] != 42 || back.Gauges["g"] != 1.5 {
+		t.Fatalf("round-tripped snapshot = %+v", back)
+	}
+	if h := back.Histograms["h"]; h.Count != 1 || h.Max != 1000 {
+		t.Fatalf("round-tripped histogram = %+v", h)
+	}
+}
+
+func TestSnapshotFprintSortedAndAligned(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.second", func() uint64 { return 2 })
+	r.Counter("a.first", func() uint64 { return 1 })
+	r.Histogram("z.hist").Record(7)
+
+	var buf bytes.Buffer
+	r.Snapshot().Fprint(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "a.first") || !strings.HasPrefix(lines[1], "b.second") {
+		t.Fatalf("counters not sorted by name:\n%s", buf.String())
+	}
+	if !strings.Contains(lines[2], "count=1") {
+		t.Fatalf("histogram line missing summary:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,190 @@
+package obs
+
+import "fmt"
+
+// Kind identifies a trace event type.
+type Kind uint8
+
+// Trace event kinds. Op* events are complete spans (begin and end
+// clocks in one record); the rest are instants on the virtual
+// timelines of the simulators that emit them.
+const (
+	// EvOpSearch..EvOpBatch are per-operation spans emitted by the
+	// public Tree wrapper: Cyc/Us hold the begin clocks, A/B the end
+	// clocks (cycles / microseconds), PID the key (or batch size).
+	EvOpSearch Kind = iota + 1
+	EvOpInsert
+	EvOpDelete
+	EvOpScan
+	EvOpScanRev
+	EvOpBatch
+	// Buffer-pool events: PID is the page; Cyc/Us the pool clocks at
+	// emit. For EvDemandMiss and EvPrefetchIssue, A is the virtual
+	// completion time of the read; for EvPrefetchHit, A is the time
+	// waited for the in-flight read (µs); for EvEvict, A is 1 when the
+	// evicted frame was dirty.
+	EvBufferHit
+	EvDemandMiss
+	EvPrefetchIssue
+	EvPrefetchHit
+	EvEvict
+	// Disk-array events: PID is the page, Disk the spindle, Us the
+	// issue time, A the service start (after queueing), B the
+	// completion time.
+	EvDiskRead
+	EvDiskWrite
+	// EvNodeVisit marks one (in-page) node visit during a descent:
+	// PID is the page (0 for the memory-resident pB+-Tree), A the
+	// node's byte offset within it.
+	EvNodeVisit
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EvOpSearch:
+		return "search"
+	case EvOpInsert:
+		return "insert"
+	case EvOpDelete:
+		return "delete"
+	case EvOpScan:
+		return "scan"
+	case EvOpScanRev:
+		return "scan-rev"
+	case EvOpBatch:
+		return "batch"
+	case EvBufferHit:
+		return "buffer-hit"
+	case EvDemandMiss:
+		return "demand-miss"
+	case EvPrefetchIssue:
+		return "prefetch-issue"
+	case EvPrefetchHit:
+		return "prefetch-hit"
+	case EvEvict:
+		return "evict"
+	case EvDiskRead:
+		return "disk-read"
+	case EvDiskWrite:
+		return "disk-write"
+	case EvNodeVisit:
+		return "node-visit"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one fixed-size trace record. It contains no pointers, so a
+// ring of Events stays out of the garbage collector's way and
+// recording never allocates. Field meaning is per Kind (see the kind
+// constants); Cyc is the simulated CPU cycle clock and Us the virtual
+// I/O clock in microseconds, either of which may be zero when the
+// emitting site does not carry that clock.
+type Event struct {
+	Cyc  uint64
+	Us   uint64
+	A, B uint64
+	PID  uint32
+	Disk int16
+	Kind Kind
+}
+
+// String renders the event for failure dumps and logs.
+func (e Event) String() string {
+	switch {
+	case e.Kind >= EvOpSearch && e.Kind <= EvOpBatch:
+		return fmt.Sprintf("[cyc %d..%d us %d..%d] %-14s key/n=%d", e.Cyc, e.A, e.Us, e.B, e.Kind, e.PID)
+	case e.Kind == EvDiskRead || e.Kind == EvDiskWrite:
+		return fmt.Sprintf("[us %d] %-14s page=%d disk=%d service=%d..%d", e.Us, e.Kind, e.PID, e.Disk, e.A, e.B)
+	default:
+		return fmt.Sprintf("[cyc %d us %d] %-14s page=%d a=%d", e.Cyc, e.Us, e.Kind, e.PID, e.A)
+	}
+}
+
+// Tracer records Events into a fixed-capacity ring buffer, keeping the
+// most recent ones. The zero Tracer is invalid; a nil *Tracer is the
+// disabled state every instrumented package checks before emitting.
+type Tracer struct {
+	buf  []Event
+	mask uint64
+	n    uint64 // events ever emitted
+}
+
+// NewTracer returns a tracer retaining the last `events` events,
+// rounded up to a power of two (minimum 16).
+func NewTracer(events int) *Tracer {
+	capacity := 16
+	for capacity < events {
+		capacity <<= 1
+	}
+	return &Tracer{buf: make([]Event, capacity), mask: uint64(capacity - 1)}
+}
+
+// Emit records one event, overwriting the oldest when the ring is full.
+func (t *Tracer) Emit(e Event) {
+	t.buf[t.n&t.mask] = e
+	t.n++
+}
+
+// Op records a complete operation span.
+func (t *Tracer) Op(kind Kind, key uint32, c0, u0, c1, u1 uint64) {
+	t.Emit(Event{Kind: kind, PID: key, Cyc: c0, Us: u0, A: c1, B: u1})
+}
+
+// Buffer records a buffer-pool instant event.
+func (t *Tracer) Buffer(kind Kind, pid uint32, cyc, us, a uint64) {
+	t.Emit(Event{Kind: kind, PID: pid, Cyc: cyc, Us: us, A: a})
+}
+
+// Disk records a disk request span on one spindle.
+func (t *Tracer) Disk(kind Kind, pid uint32, disk int, issued, start, done uint64) {
+	t.Emit(Event{Kind: kind, PID: pid, Disk: int16(disk), Us: issued, A: start, B: done})
+}
+
+// NodeVisit records one in-page node visit.
+func (t *Tracer) NodeVisit(pid uint32, off int, cyc, us uint64) {
+	t.Emit(Event{Kind: EvNodeVisit, PID: pid, A: uint64(off), Cyc: cyc, Us: us})
+}
+
+// Len reports how many events the ring currently holds.
+func (t *Tracer) Len() int {
+	if t.n < uint64(len(t.buf)) {
+		return int(t.n)
+	}
+	return len(t.buf)
+}
+
+// Dropped reports how many events were overwritten before they could
+// be read.
+func (t *Tracer) Dropped() uint64 {
+	if t.n < uint64(len(t.buf)) {
+		return 0
+	}
+	return t.n - uint64(len(t.buf))
+}
+
+// Events appends the retained events, oldest first, to out and
+// returns the extended slice.
+func (t *Tracer) Events(out []Event) []Event {
+	n := uint64(t.Len())
+	for i := t.n - n; i < t.n; i++ {
+		out = append(out, t.buf[i&t.mask])
+	}
+	return out
+}
+
+// Tail returns the most recent n events (fewer if the ring holds
+// fewer), oldest first.
+func (t *Tracer) Tail(n int) []Event {
+	have := t.Len()
+	if n > have {
+		n = have
+	}
+	out := make([]Event, 0, n)
+	for i := t.n - uint64(n); i < t.n; i++ {
+		out = append(out, t.buf[i&t.mask])
+	}
+	return out
+}
+
+// Reset discards all retained events.
+func (t *Tracer) Reset() { t.n = 0 }

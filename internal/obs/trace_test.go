@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 0; i < 40; i++ {
+		tr.Emit(Event{Kind: EvBufferHit, PID: uint32(i)})
+	}
+	if tr.Len() != 16 {
+		t.Fatalf("Len = %d, want the ring capacity 16", tr.Len())
+	}
+	if tr.Dropped() != 24 {
+		t.Fatalf("Dropped = %d, want 24", tr.Dropped())
+	}
+	evs := tr.Events(nil)
+	if len(evs) != 16 {
+		t.Fatalf("Events returned %d, want 16", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint32(24 + i); e.PID != want {
+			t.Fatalf("event %d has PID %d, want %d (oldest first)", i, e.PID, want)
+		}
+	}
+}
+
+func TestTracerCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{{0, 16}, {1, 16}, {17, 32}, {64, 64}} {
+		tr := NewTracer(tc.ask)
+		if len(tr.buf) != tc.want {
+			t.Fatalf("NewTracer(%d) capacity = %d, want %d", tc.ask, len(tr.buf), tc.want)
+		}
+	}
+}
+
+func TestTracerTail(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{Kind: EvEvict, PID: uint32(i)})
+	}
+	tail := tr.Tail(3)
+	if len(tail) != 3 || tail[0].PID != 2 || tail[2].PID != 4 {
+		t.Fatalf("Tail(3) = %+v, want PIDs 2,3,4", tail)
+	}
+	if got := tr.Tail(100); len(got) != 5 {
+		t.Fatalf("Tail beyond length returned %d events, want 5", len(got))
+	}
+	tr.Reset()
+	if tr.Len() != 0 || len(tr.Tail(4)) != 0 {
+		t.Fatal("Reset did not discard events")
+	}
+}
+
+func TestTracerEmitAllocs(t *testing.T) {
+	tr := NewTracer(1 << 10)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Emit(Event{Kind: EvDemandMiss, PID: 7, Cyc: 1, Us: 2, A: 3})
+	})
+	if allocs != 0 {
+		t.Fatalf("Emit allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want []string
+	}{
+		{Event{Kind: EvOpSearch, PID: 42, Cyc: 10, A: 20, Us: 1, B: 2}, []string{"search", "key/n=42"}},
+		{Event{Kind: EvDiskRead, PID: 9, Disk: 3, Us: 5, A: 6, B: 7}, []string{"disk-read", "disk=3", "service=6..7"}},
+		{Event{Kind: EvPrefetchHit, PID: 11, A: 4}, []string{"prefetch-hit", "page=11"}},
+	}
+	for _, tc := range cases {
+		s := tc.e.String()
+		for _, w := range tc.want {
+			if !strings.Contains(s, w) {
+				t.Fatalf("String() = %q, want it to contain %q", s, w)
+			}
+		}
+	}
+}
+
+func TestKindStringsDistinct(t *testing.T) {
+	seen := map[string]Kind{}
+	for k := EvOpSearch; k <= EvNodeVisit; k++ {
+		s := k.String()
+		if strings.HasPrefix(s, "kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("kinds %d and %d share the name %q", prev, k, s)
+		}
+		seen[s] = k
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/idx"
 	"repro/internal/memsim"
+	"repro/internal/obs"
 )
 
 const nodeHeader = 8 // simulated bytes of per-node control info
@@ -32,6 +33,9 @@ type Config struct {
 	// PrefetchWindow is how many leaf nodes a range scan keeps in
 	// flight through the leaf-parent jump-pointer chain; 0 means 8.
 	PrefetchWindow int
+	// Trace, when non-nil, receives one event per node visit. Node
+	// visits carry the simulated node address (the tree has no pages).
+	Trace *obs.Tracer
 }
 
 // Tree is a memory-resident pB+-Tree.
@@ -47,6 +51,9 @@ type Tree struct {
 	height int
 	first  *node // leftmost leaf
 	nodes  int
+
+	tr  *obs.Tracer
+	ops idx.OpStats
 }
 
 type node struct {
@@ -79,11 +86,18 @@ func New(cfg Config) (*Tree, error) {
 		nodeBytes: nb,
 		cap:       (nb - nodeHeader) / (idx.KeySize + idx.TupleIDSize),
 		pfWindow:  pf,
+		tr:        cfg.Trace,
 	}, nil
 }
 
 // Name implements idx.Index.
 func (t *Tree) Name() string { return "pB+tree (memory-resident)" }
+
+// Stats implements idx.Index.
+func (t *Tree) Stats() idx.OpStats { return t.ops }
+
+// ResetStats implements idx.Index.
+func (t *Tree) ResetStats() { t.ops = idx.OpStats{} }
 
 // Height implements idx.Index.
 func (t *Tree) Height() int { return t.height }
@@ -94,6 +108,36 @@ func (t *Tree) PageCount() int { return 0 }
 
 // NodeCount reports the number of allocated nodes.
 func (t *Tree) NodeCount() int { return t.nodes }
+
+// SpaceStats implements idx.Index. The tree is memory resident, so its
+// "pages" are nodes: a level walk over the sibling links classifies
+// them and counts leaf entries.
+func (t *Tree) SpaceStats() (idx.SpaceStats, error) {
+	var st idx.SpaceStats
+	if t.root == nil {
+		return st, nil
+	}
+	for lvl := t.root; lvl != nil; {
+		var childFirst *node
+		for n := lvl; n != nil; n = n.next {
+			st.Pages++
+			if n.leaf {
+				st.LeafPages++
+				st.Entries += len(n.keys)
+			} else {
+				st.NodePages++
+				if childFirst == nil && len(n.children) > 0 {
+					childFirst = n.children[0]
+				}
+			}
+		}
+		lvl = childFirst
+	}
+	if st.LeafPages > 0 {
+		st.Utilization = float64(st.Entries) / float64(st.LeafPages*t.cap)
+	}
+	return st, nil
+}
 
 // Cap reports the per-node entry capacity.
 func (t *Tree) Cap() int { return t.cap }
@@ -124,6 +168,10 @@ func (t *Tree) visit(n *node) {
 	t.mm.Prefetch(n.addr, t.nodeBytes)
 	t.mm.Busy(memsim.CostNodeVisit)
 	t.mm.Access(n.addr, nodeHeader)
+	t.ops.NodeVisits++
+	if t.tr != nil {
+		t.tr.NodeVisit(0, int(n.addr), t.mm.Now(), 0)
+	}
 }
 
 func (t *Tree) probe(n *node, i int) idx.Key {
@@ -238,6 +286,11 @@ func (t *Tree) Bulkload(entries []idx.Entry, fill float64) error {
 // walk over the duplicate run, so an exact match is found even when
 // deletions have hollowed out later duplicates.
 func (t *Tree) Search(k idx.Key) (idx.TupleID, bool, error) {
+	t.ops.Searches++
+	return t.search(k)
+}
+
+func (t *Tree) search(k idx.Key) (idx.TupleID, bool, error) {
 	n, slot := t.findFirst(k)
 	if n == nil {
 		return 0, false, nil
@@ -277,6 +330,7 @@ func (t *Tree) findFirst(k idx.Key) (*node, int) {
 
 // Insert implements idx.Index.
 func (t *Tree) Insert(k idx.Key, tid idx.TupleID) error {
+	t.ops.Inserts++
 	if t.root == nil {
 		n := t.newNode(true)
 		t.root, t.first, t.height = n, n, 1
@@ -402,6 +456,7 @@ func (t *Tree) insertChild(n *node, sep idx.Key, right *node) (idx.Key, *node) {
 // Delete implements idx.Index (lazy deletion); removes the first entry
 // of a duplicate run.
 func (t *Tree) Delete(k idx.Key) (bool, error) {
+	t.ops.Deletes++
 	n, slot := t.findFirst(k)
 	if n == nil {
 		return false, nil

@@ -12,6 +12,7 @@ import (
 // sibling chain (§2.2, Figure 2) — keeping PrefetchWindow leaves in
 // flight.
 func (t *Tree) RangeScan(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error) {
+	t.ops.Scans++
 	if t.root == nil || startKey > endKey {
 		return 0, nil
 	}
