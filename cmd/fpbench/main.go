@@ -81,6 +81,7 @@ func main() {
 	traceEvents := flag.Int("trace-events", 1<<18, "trace ring capacity (with -trace)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
+	integrity := flag.Bool("integrity", false, "run with the checksum/fault storage stack interposed (cache tables must be byte-identical)")
 	flag.Parse()
 
 	if *list {
@@ -108,6 +109,7 @@ func main() {
 	if *parallel {
 		p.Workers = harness.DefaultWorkers()
 	}
+	p.Integrity = *integrity
 
 	var ob *obs.Obs
 	if *metricsFile != "" || *traceFile != "" {

@@ -9,7 +9,16 @@
 // Usage:
 //
 //	fpcheck [-rounds N] [-ops N] [-keys N] [-seed S] [-page BYTES]
-//	        [-dump-events N]
+//	        [-dump-events N] [-chaos]
+//
+// With -chaos, fpcheck instead runs the chaos-differential protocol:
+// every variant is built over the fault-injecting, checksummed storage
+// stack and driven through a seeded schedule of transient/permanent
+// read errors, torn writes, bit flips, and write failures. The run
+// fails if any fault escapes the typed error taxonomy, leaks a pin,
+// survives as silent corruption, or leaves a tree that scavenge cannot
+// rebuild. -keys is ignored in chaos mode (the protocol fixes its own
+// initial population).
 //
 // Every run keeps the virtual-time event tracer on; when a run fails,
 // fpcheck dumps the metrics snapshot and the last -dump-events trace
@@ -25,6 +34,7 @@ import (
 	"time"
 
 	fpbtree "repro"
+	"repro/internal/treetest"
 )
 
 func main() {
@@ -34,13 +44,18 @@ func main() {
 	seed := flag.Int64("seed", 0, "base seed (0 = time-derived)")
 	page := flag.Int("page", 8<<10, "page size in bytes")
 	dumpEvents := flag.Int("dump-events", 32, "trace events to dump on failure")
+	chaos := flag.Bool("chaos", false, "run the chaos-differential protocol under fault injection")
 	flag.Parse()
 
 	if *seed == 0 {
 		*seed = time.Now().UnixNano()
 	}
-	fmt.Printf("fpcheck: %d rounds x %d ops, %d keys, %dKB pages, seed %d\n",
-		*rounds, *ops, *keys, *page>>10, *seed)
+	mode := "structural"
+	if *chaos {
+		mode = "chaos"
+	}
+	fmt.Printf("fpcheck: %s mode, %d rounds x %d ops, %dKB pages, seed %d\n",
+		mode, *rounds, *ops, *page>>10, *seed)
 
 	failures := 0
 	for _, v := range []fpbtree.Variant{
@@ -48,7 +63,14 @@ func main() {
 	} {
 		for r := 0; r < *rounds; r++ {
 			s := *seed + int64(r)*7919
-			if tr, err := runOne(v, *page, *keys, *ops, s); err != nil {
+			var tr *fpbtree.Tree
+			var err error
+			if *chaos {
+				tr, err = chaosOne(v, *page, *ops, s)
+			} else {
+				tr, err = runOne(v, *page, *keys, *ops, s)
+			}
+			if err != nil {
 				fmt.Printf("FAIL %-16s round %d (seed %d): %v\n", v, r, s, err)
 				dumpObservability(tr, *dumpEvents)
 				failures++
@@ -62,6 +84,39 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("fpcheck: all runs passed")
+}
+
+// chaosOne drives one variant through the chaos-differential protocol
+// on the facade's full storage stack (fault injector + checksum layer).
+// The pool is deliberately small so steady-state evictions route writes
+// and re-reads through the injector.
+func chaosOne(v fpbtree.Variant, page, ops int, seed int64) (*fpbtree.Tree, error) {
+	tr, err := fpbtree.New(
+		fpbtree.WithVariant(v),
+		fpbtree.WithPageSize(page),
+		fpbtree.WithBufferPages(32),
+		fpbtree.WithFaults(treetest.DefaultChaosConfig(seed)),
+		fpbtree.WithTracing(1<<12),
+	)
+	if err != nil {
+		return nil, err
+	}
+	tg := treetest.ChaosTarget{
+		Index:    tr,
+		Faults:   tr.Faults(),
+		Pinned:   tr.PinnedPages,
+		BufStats: tr.BufferStats,
+		DropPool: tr.DropBufferPool,
+	}
+	rep, err := treetest.Chaos(tg, seed, ops)
+	if err != nil {
+		return tr, err
+	}
+	if rep.Faults.Injected == 0 {
+		return tr, fmt.Errorf("schedule injected no faults — the run proved nothing")
+	}
+	fmt.Printf("     %-16s %v\n", v, rep)
+	return tr, nil
 }
 
 // runOne returns the tree it drove alongside any failure so the caller
@@ -199,10 +254,11 @@ func runOne(v fpbtree.Variant, page, keys, ops int, seed int64) (*fpbtree.Tree, 
 	sort.Slice(keysSorted, func(i, j int) bool { return keysSorted[i] < keysSorted[j] })
 	seen := map[fpbtree.Key]int{}
 	var prev fpbtree.Key
+	var scanErr error
 	n, err := tr.RangeScan(0, 1<<31, func(k fpbtree.Key, tid fpbtree.TupleID) bool {
 		if k < prev {
-			err := fmt.Errorf("scan order regressed at %d", k)
-			panic(err)
+			scanErr = fmt.Errorf("scan order regressed at %d", k)
+			return false
 		}
 		prev = k
 		seen[k]++
@@ -210,6 +266,9 @@ func runOne(v fpbtree.Variant, page, keys, ops int, seed int64) (*fpbtree.Tree, 
 	})
 	if err != nil {
 		return tr, err
+	}
+	if scanErr != nil {
+		return tr, scanErr
 	}
 	if n != total {
 		return tr, fmt.Errorf("final scan saw %d entries, reference %d", n, total)

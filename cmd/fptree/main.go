@@ -10,11 +10,19 @@
 //
 //	fptree stats [same flags] [-trace FILE]
 //
+//	fptree chaos [-variant V] [-page BYTES] [-ops N] [-seed S]
+//
 // The stats subcommand runs the same workload but reports the full
 // observability surface: the metrics-registry snapshot (buffer.*,
 // mem.*, disk.*, tree.* counters and op.* latency histograms), the
 // per-variant space statistics, and optionally a Chrome trace-event
 // JSON file viewable in Perfetto.
+//
+// The chaos subcommand builds the tree over the fault-injecting,
+// checksummed storage stack and drives the chaos-differential protocol
+// (see internal/treetest): seeded read/write faults, typed-error
+// recovery via Scavenge, and an exact differential between repairs. It
+// exits non-zero if the fault-tolerance contract is violated.
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"time"
 
 	fpbtree "repro"
+	"repro/internal/treetest"
 	"repro/internal/workload"
 )
 
@@ -130,6 +139,10 @@ func main() {
 		runStats(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "chaos" {
+		runChaos(os.Args[2:])
+		return
+	}
 
 	f := addTreeFlags(flag.CommandLine)
 	flag.Parse()
@@ -220,6 +233,48 @@ func runStats(args []string) {
 		}
 		fmt.Printf("\ntrace: wrote %s (load in ui.perfetto.dev)\n", *traceFile)
 	}
+}
+
+// runChaos is the `fptree chaos` subcommand: the chaos-differential
+// protocol against one variant, with the report printed on success and
+// the metrics snapshot dumped on failure.
+func runChaos(args []string) {
+	fs := flag.NewFlagSet("fptree chaos", flag.ExitOnError)
+	variant := fs.String("variant", "disk-first", "index organization")
+	page := fs.Int("page", 8<<10, "page size in bytes")
+	ops := fs.Int("ops", 20000, "operations to drive under fault injection")
+	seed := fs.Int64("seed", 0, "fault schedule seed (0 = time-derived)")
+	fs.Parse(args)
+
+	v, err := parseVariant(*variant)
+	if err != nil {
+		fatal(err)
+	}
+	if *seed == 0 {
+		*seed = time.Now().UnixNano()
+	}
+	tr, err := fpbtree.New(
+		fpbtree.WithVariant(v),
+		fpbtree.WithPageSize(*page),
+		fpbtree.WithBufferPages(32),
+		fpbtree.WithFaults(treetest.DefaultChaosConfig(*seed)),
+	)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := treetest.Chaos(treetest.ChaosTarget{
+		Index:    tr,
+		Faults:   tr.Faults(),
+		Pinned:   tr.PinnedPages,
+		BufStats: tr.BufferStats,
+		DropPool: tr.DropBufferPool,
+	}, *seed, *ops)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fptree chaos: %s seed %d: %v\n", tr.Name(), *seed, err)
+		tr.MetricsSnapshot().Fprint(os.Stderr)
+		os.Exit(1)
+	}
+	fmt.Printf("%s chaos (seed %d): %v\n", tr.Name(), *seed, rep)
 }
 
 func report(tr *fpbtree.Tree, op string, n int, before fpbtree.Stats) {

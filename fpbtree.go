@@ -26,6 +26,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/disksim"
+	"repro/internal/fault"
 	"repro/internal/harness"
 	"repro/internal/idx"
 	"repro/internal/memsim"
@@ -44,6 +45,38 @@ type Entry = idx.Entry
 
 // SearchResult is the per-key outcome of a SearchBatch.
 type SearchResult = idx.SearchResult
+
+// ScavengeStats reports what a Scavenge salvaged.
+type ScavengeStats = idx.ScavengeStats
+
+// FaultConfig configures the seed-driven fault-injecting storage layer
+// (see WithFaults).
+type FaultConfig = fault.Config
+
+// FaultRule schedules one fault kind (see WithFaults).
+type FaultRule = fault.Rule
+
+// FaultKind enumerates the injectable fault classes.
+type FaultKind = fault.Kind
+
+// The injectable fault classes (see internal/fault for semantics).
+const (
+	FaultTransientRead = fault.TransientRead
+	FaultPermanentRead = fault.PermanentRead
+	FaultTornWrite     = fault.TornWrite
+	FaultBitFlip       = fault.BitFlip
+	FaultWriteFail     = fault.WriteFail
+)
+
+// The storage error taxonomy. Operations that hit storage failures
+// return errors wrapping these sentinels (classify with errors.Is); the
+// wrapping *buffer.PageError carries the page ID.
+var (
+	ErrTransientIO   = buffer.ErrTransientIO
+	ErrPermanentIO   = buffer.ErrPermanentIO
+	ErrCorruptPage   = buffer.ErrCorruptPage
+	ErrPoolExhausted = buffer.ErrPoolExhausted
+)
 
 // Variant selects the index organization.
 type Variant int
@@ -94,6 +127,16 @@ type Options struct {
 	// TraceEvents > 0 enables the virtual-time event tracer, retaining
 	// the last TraceEvents events in a ring buffer (see WriteTrace).
 	TraceEvents int
+	// Checksums adds the page-integrity layer: a CRC32-C trailer is
+	// written on every page flush and verified on every pool miss, so
+	// media corruption surfaces as ErrCorruptPage instead of silently
+	// wrong results. Each physical page grows by one cache line; the
+	// logical page size the tree sees stays PageSize.
+	Checksums bool
+	// Faults, when non-nil, inserts the deterministic fault-injecting
+	// store below the integrity layer (and implies Checksums — injected
+	// corruption must be detectable).
+	Faults *FaultConfig
 }
 
 // Option mutates Options.
@@ -123,13 +166,24 @@ func WithPrefetchWindow(n int) Option { return func(o *Options) { o.PrefetchWind
 // costs a ring-buffer store on the hot path.
 func WithTracing(events int) Option { return func(o *Options) { o.TraceEvents = events } }
 
+// WithChecksums enables the page-integrity layer (CRC32-C page
+// trailers, verified on every pool miss).
+func WithChecksums() Option { return func(o *Options) { o.Checksums = true } }
+
+// WithFaults enables deterministic fault injection below the integrity
+// layer (which it implies): reads and writes fail or corrupt pages per
+// cfg's seeded schedule. Use Faults() to steer and inspect the injector
+// at run time.
+func WithFaults(cfg FaultConfig) Option { return func(o *Options) { o.Faults = &cfg } }
+
 // Tree is an fpB+-Tree (or baseline) with its substrate.
 type Tree struct {
-	index idx.Index
-	pool  *buffer.Pool
-	model *memsim.Model
-	array *disksim.Array
-	opts  Options
+	index  idx.Index
+	pool   *buffer.Pool
+	model  *memsim.Model
+	array  *disksim.Array
+	faults *fault.Store // nil unless built WithFaults
+	opts   Options
 
 	ob    *obs.Obs
 	hists [6]opHists // per-op latency histograms, indexed by Kind-EvOpSearch
@@ -172,17 +226,32 @@ func New(options ...Option) (*Tree, error) {
 	if o.BufferPages <= 0 {
 		return nil, fmt.Errorf("fpbtree: need a positive buffer pool size")
 	}
+	integrity := o.Checksums || o.Faults != nil
+	physSize := o.PageSize
+	if integrity {
+		// The CRC trailer is carved off extra physical space so the
+		// logical page (and thus every node capacity) is unchanged.
+		physSize += fault.TrailerSize
+	}
 	var store buffer.Store
 	var array *disksim.Array
 	if o.Disks > 0 {
 		var err error
-		array, err = disksim.New(disksim.DefaultConfig(o.Disks, o.PageSize))
+		array, err = disksim.New(disksim.DefaultConfig(o.Disks, physSize))
 		if err != nil {
 			return nil, err
 		}
 		store = buffer.NewDiskStore(array)
 	} else {
-		store = buffer.NewMemStore(o.PageSize)
+		store = buffer.NewMemStore(physSize)
+	}
+	var faults *fault.Store
+	if o.Faults != nil {
+		faults = fault.New(store, *o.Faults)
+		store = faults
+	}
+	if integrity {
+		store = fault.NewChecksumStore(store)
 	}
 	mm := memsim.NewDefault()
 	pool := buffer.NewPool(store, o.BufferPages)
@@ -198,6 +267,9 @@ func New(options ...Option) (*Tree, error) {
 	if array != nil {
 		array.RegisterMetrics(ob.Reg)
 		array.AttachTracer(ob.Tracer)
+	}
+	if faults != nil {
+		faults.RegisterMetrics(ob.Reg)
 	}
 
 	jpa := !o.DisableJPA
@@ -228,7 +300,7 @@ func New(options ...Option) (*Tree, error) {
 		return nil, err
 	}
 	idx.RegisterMetrics(ob.Reg, index)
-	t := &Tree{index: index, pool: pool, model: mm, array: array, opts: o, ob: ob}
+	t := &Tree{index: index, pool: pool, model: mm, array: array, faults: faults, opts: o, ob: ob}
 	opNames := [6]string{"search", "insert", "delete", "scan", "scan_rev", "batch"}
 	for i, n := range opNames {
 		t.hists[i] = opHists{
@@ -337,6 +409,26 @@ func (t *Tree) PageCount() int { return t.index.PageCount() }
 
 // CheckInvariants validates the tree's structural invariants.
 func (t *Tree) CheckInvariants() error { return t.index.CheckInvariants() }
+
+// Scavenge rebuilds the tree from its surviving leaf chain — the repair
+// path after permanent page loss or detected corruption. Entries past
+// the first unreadable or inconsistent leaf are lost (reported via
+// ScavengeStats.Truncated); the old page set is abandoned without
+// recycling its IDs. No pages may be pinned when it runs.
+func (t *Tree) Scavenge() (ScavengeStats, error) { return t.index.Scavenge() }
+
+// Faults exposes the fault injector for run-time steering (enable /
+// disable, stats, reset), or nil unless the tree was built WithFaults.
+func (t *Tree) Faults() *fault.Store { return t.faults }
+
+// BufferStats returns the buffer pool's counters (retries, checksum
+// failures, prefetch degradations, and the usual hit/miss accounting).
+func (t *Tree) BufferStats() buffer.Stats { return t.pool.Stats() }
+
+// PinnedPages reports how many buffer frames are currently pinned
+// (must be zero between operations; useful for leak checks after error
+// paths).
+func (t *Tree) PinnedPages() int { return t.pool.PinnedCount() }
 
 // Stats returns the current simulation counters.
 func (t *Tree) Stats() Stats {

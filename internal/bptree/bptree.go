@@ -214,12 +214,14 @@ func (t *Tree) searchPageLT(pg buffer.Page, k idx.Key) int {
 
 // insertAt shifts entries [pos, count) right one slot and writes the new
 // entry, charging the array data movement the paper identifies as the
-// dominant insertion cost (§4.2.2).
-func (t *Tree) insertAt(pg buffer.Page, pos int, k idx.Key, p uint32) {
+// dominant insertion cost (§4.2.2). Inserting into a full page reports
+// a structural error (a damaged count field can make this data-
+// dependent, so it is not left as a panic).
+func (t *Tree) insertAt(pg buffer.Page, pos int, k idx.Key, p uint32) error {
 	d := pg.Data
 	n := pCount(d)
 	if n >= t.cap {
-		panic("bptree: insertAt into full page")
+		return fmt.Errorf("bptree: page %d overflow on insert (count %d, cap %d)", pg.ID, n, t.cap)
 	}
 	if moved := n - pos; moved > 0 {
 		copy(d[t.keyOff(pos+1):t.keyOff(n+1)], d[t.keyOff(pos):t.keyOff(n)])
@@ -232,6 +234,7 @@ func (t *Tree) insertAt(pg buffer.Page, pos int, k idx.Key, p uint32) {
 	setCount(d, n+1)
 	t.mm.Access(pg.Addr+uint64(t.keyOff(pos)), idx.KeySize)
 	t.mm.Access(pg.Addr+uint64(t.ptrOff(pos)), idx.PageIDSize)
+	return nil
 }
 
 // removeAt shifts entries left over slot pos (lazy deletion's data

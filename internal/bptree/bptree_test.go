@@ -1,6 +1,7 @@
 package bptree
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/buffer"
@@ -23,6 +24,15 @@ func factory(jpa bool) treetest.Factory {
 func TestConformance4K(t *testing.T)  { treetest.Run(t, 4<<10, factory(false)) }
 func TestConformance16K(t *testing.T) { treetest.Run(t, 16<<10, factory(false)) }
 func TestConformanceJPA(t *testing.T) { treetest.Run(t, 8<<10, factory(true)) }
+
+func TestChaos(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			treetest.RunChaos(t, 4<<10, factory(false), seed, 6000)
+		})
+	}
+}
 
 func TestCapacityMatchesPaperExample(t *testing.T) {
 	// §3: "an 8KB page can hold over 1000 entries" with 4-byte keys

@@ -1,0 +1,49 @@
+package buffer
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The pool's error taxonomy. Storage-layer failures always wrap one of
+// these sentinels (and, below the pool, a *PageError carrying the page
+// ID), so callers classify failures with errors.Is and never have to
+// parse message text:
+//
+//	ErrTransientIO  — the read may succeed if retried; the pool retries
+//	                  it itself (bounded, with virtual-time backoff)
+//	                  before letting it escape.
+//	ErrPermanentIO  — the page is gone (dead sector, failed device);
+//	                  retrying cannot help.
+//	ErrCorruptPage  — the page was read but its checksum trailer did
+//	                  not match its contents (torn write, bit rot).
+//	ErrPoolExhausted — every frame is pinned; not an I/O failure, but
+//	                  typed so that callers can shed load and retry
+//	                  after unpinning.
+var (
+	ErrTransientIO   = errors.New("transient I/O error")
+	ErrPermanentIO   = errors.New("permanent I/O error")
+	ErrCorruptPage   = errors.New("page checksum mismatch")
+	ErrPoolExhausted = errors.New("buffer pool exhausted")
+)
+
+// PageError is an I/O-layer failure tied to one page. It wraps one of
+// the sentinel errors above; errors.Is sees through it.
+type PageError struct {
+	PID uint32
+	Op  string // "read" or "write"
+	Err error
+}
+
+// Error implements error.
+func (e *PageError) Error() string {
+	return fmt.Sprintf("page %d: %s: %v", e.PID, e.Op, e.Err)
+}
+
+// Unwrap exposes the wrapped sentinel to errors.Is/As.
+func (e *PageError) Unwrap() error { return e.Err }
+
+// errPoolExhausted wraps ErrPoolExhausted with the pool's capacity.
+func errPoolExhausted(frames int) error {
+	return fmt.Errorf("buffer: all %d frames pinned: %w", frames, ErrPoolExhausted)
+}

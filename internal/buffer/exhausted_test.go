@@ -1,0 +1,70 @@
+package buffer
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestPoolExhaustedSurfacesTypedError pins every frame and checks that
+// the next fix fails with ErrPoolExhausted (not a panic), that the
+// failure is clean (no stats or pin-count damage), and that releasing
+// one pin lets the identical call succeed.
+func TestPoolExhaustedSurfacesTypedError(t *testing.T) {
+	const frames = 4
+	p := newMemPool(frames)
+
+	pinned := make([]Page, 0, frames)
+	for i := 0; i < frames; i++ {
+		pg, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pinned = append(pinned, pg)
+	}
+	if p.PinnedCount() != frames {
+		t.Fatalf("pinned %d frames, PinnedCount says %d", frames, p.PinnedCount())
+	}
+
+	// Every path that needs a frame must fail the same way.
+	if _, err := p.NewPage(); !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("NewPage with all frames pinned: %v, want ErrPoolExhausted", err)
+	}
+	victim := pinned[0].ID
+	p.Unpin(pinned[0], true)
+	extra, err := p.NewPage() // evicts the one unpinned frame
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Contains(victim) {
+		t.Fatal("unpinned page not evicted")
+	}
+	if _, err := p.Get(victim); !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("Get needing a frame with all pinned: %v, want ErrPoolExhausted", err)
+	}
+	// Prefetch must degrade, not fail: a full pool simply cannot stage
+	// the page, and the later demand read reports the real error.
+	if err := p.Prefetch(victim); err != nil {
+		t.Fatalf("Prefetch with all frames pinned: %v, want nil (degrade)", err)
+	}
+
+	if p.PinnedCount() != frames {
+		t.Fatalf("failed fixes changed the pin count: %d", p.PinnedCount())
+	}
+
+	// Releasing one pin unblocks the identical call, with data intact.
+	p.Unpin(extra, false)
+	pg, err := p.Get(victim)
+	if err != nil {
+		t.Fatalf("Get after releasing a pin: %v", err)
+	}
+	if pg.ID != victim {
+		t.Fatalf("got page %d, want %d", pg.ID, victim)
+	}
+	p.Unpin(pg, false)
+	for _, pg := range pinned[1:] {
+		p.Unpin(pg, false)
+	}
+	if p.PinnedCount() != 0 {
+		t.Fatalf("pins leaked: %d", p.PinnedCount())
+	}
+}

@@ -1,6 +1,7 @@
 package buffer
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/memsim"
@@ -18,6 +19,17 @@ type Stats struct {
 	PrefetchHits  uint64 // Gets satisfied by a previously prefetched frame
 	Evictions     uint64
 	DirtyWrites   uint64
+	// Retries counts store reads/writes reissued after a transient
+	// I/O error (each retry waits a doubling virtual-time backoff).
+	Retries uint64
+	// ChecksumFailures counts store reads that returned ErrCorruptPage
+	// (one per read attempt of a corrupted page).
+	ChecksumFailures uint64
+	// PrefetchFailures counts prefetches dropped because the store read
+	// (or frame acquisition) failed; the later demand Get re-reads the
+	// page, so a failed prefetch degrades to a demand read instead of
+	// failing the operation that issued it.
+	PrefetchFailures uint64
 }
 
 // Page is a pinned page handle, passed by value so that pinning never
@@ -82,6 +94,10 @@ type frame struct {
 // NewPool creates a pool with the given number of frames.
 func NewPool(store Store, frames int) *Pool {
 	if frames <= 0 {
+		// Programmer invariant, deliberately kept as a panic: a frame
+		// count is static configuration validated by every construction
+		// path (facade options, harness params), never data- or
+		// I/O-dependent, so reaching this line is a caller bug.
 		panic("buffer: pool needs at least one frame")
 	}
 	p := &Pool{
@@ -117,6 +133,9 @@ func (p *Pool) RegisterMetrics(reg *obs.Registry) {
 	reg.Counter("buffer.prefetch_hits", func() uint64 { return p.stats.PrefetchHits })
 	reg.Counter("buffer.evictions", func() uint64 { return p.stats.Evictions })
 	reg.Counter("buffer.dirty_writes", func() uint64 { return p.stats.DirtyWrites })
+	reg.Counter("buffer.retries", func() uint64 { return p.stats.Retries })
+	reg.Counter("buffer.checksum_failures", func() uint64 { return p.stats.ChecksumFailures })
+	reg.Counter("buffer.prefetch_failures", func() uint64 { return p.stats.PrefetchFailures })
 	reg.Counter("buffer.clock_micros", func() uint64 { return p.clock })
 	reg.Gauge("buffer.resident_pages", func() float64 { return float64(len(p.table)) })
 	reg.Gauge("buffer.frames", func() float64 { return float64(len(p.frames)) })
@@ -196,8 +215,9 @@ func (p *Pool) evict(i int) error {
 	wasDirty := f.dirty
 	if f.dirty {
 		// Delayed write-back: the write is issued at the current time
-		// but the consumer does not wait for it.
-		if _, err := p.store.WritePage(f.pid, f.data, p.clock); err != nil {
+		// but the consumer does not wait for it. On failure the frame is
+		// left valid and dirty so no modified data is silently dropped.
+		if _, err := p.writeRetry(f.pid, f.data); err != nil {
 			return err
 		}
 		p.stats.DirtyWrites++
@@ -228,6 +248,61 @@ func (p *Pool) fixBusy() {
 	}
 }
 
+// Bounded retry policy for transient I/O errors: up to maxIORetries
+// reissues, waiting a doubling virtual-time backoff before each
+// (100 µs, 200 µs, 400 µs — comparable to a device-retry latency,
+// far below a seek). Permanent and checksum errors are never retried:
+// the media's answer will not change.
+const (
+	maxIORetries       = 3
+	retryBackoffMicros = 100
+)
+
+// noteReadErr classifies a failed store read for the pool's counters.
+func (p *Pool) noteReadErr(err error) {
+	if errors.Is(err, ErrCorruptPage) {
+		p.stats.ChecksumFailures++
+	}
+}
+
+// readRetry performs a demand read of pid into dst, retrying transient
+// errors with backoff. It returns the completion time of the successful
+// read, or the last error.
+func (p *Pool) readRetry(pid uint32, dst []byte) (uint64, error) {
+	backoff := uint64(retryBackoffMicros)
+	for attempt := 0; ; attempt++ {
+		done, err := p.store.ReadPage(pid, dst, p.clock)
+		if err == nil {
+			return done, nil
+		}
+		p.noteReadErr(err)
+		if attempt >= maxIORetries || !errors.Is(err, ErrTransientIO) {
+			return 0, err
+		}
+		p.stats.Retries++
+		p.clock += backoff
+		backoff *= 2
+	}
+}
+
+// writeRetry is readRetry's write-side counterpart (evictions and
+// flushes go through it).
+func (p *Pool) writeRetry(pid uint32, src []byte) (uint64, error) {
+	backoff := uint64(retryBackoffMicros)
+	for attempt := 0; ; attempt++ {
+		done, err := p.store.WritePage(pid, src, p.clock)
+		if err == nil {
+			return done, nil
+		}
+		if attempt >= maxIORetries || !errors.Is(err, ErrTransientIO) {
+			return 0, err
+		}
+		p.stats.Retries++
+		p.clock += backoff
+		backoff *= 2
+	}
+}
+
 // Get pins page pid, reading it from the store on a miss, and advances
 // the virtual clock to the read's completion.
 func (p *Pool) Get(pid uint32) (Page, error) {
@@ -252,8 +327,10 @@ func (p *Pool) Get(pid uint32) (Page, error) {
 		return Page{}, err
 	}
 	f := &p.frames[i]
-	done, err := p.store.ReadPage(pid, f.data, p.clock)
+	done, err := p.readRetry(pid, f.data)
 	if err != nil {
+		// The frame stays invalid (victim left it so, or evict cleared
+		// it); a later Get retries the read from scratch.
 		return Page{}, err
 	}
 	p.clock = done
@@ -301,6 +378,13 @@ func (p *Pool) pinHit(pid uint32, i int) Page {
 // Prefetch issues an asynchronous read for pid if it is not already
 // resident or in flight. A later Get waits only for the remaining
 // service time.
+//
+// Prefetch never propagates I/O failures: a prefetch is a hint, so a
+// failed one is dropped (counted in PrefetchFailures) and the frame is
+// left unclaimed. The later demand Get re-reads the page — and is the
+// point where a real error (corruption, dead sector) surfaces to the
+// caller — so a failed prefetch degrades to a demand read instead of
+// failing the operation that issued it.
 func (p *Pool) Prefetch(pid uint32) error {
 	if pid == 0 {
 		return nil
@@ -310,12 +394,15 @@ func (p *Pool) Prefetch(pid uint32) error {
 	}
 	i, err := p.victim()
 	if err != nil {
-		return err
+		p.stats.PrefetchFailures++
+		return nil
 	}
 	f := &p.frames[i]
 	done, err := p.store.ReadPage(pid, f.data, p.clock)
 	if err != nil {
-		return err
+		p.noteReadErr(err)
+		p.stats.PrefetchFailures++
+		return nil
 	}
 	f.pid = pid
 	f.pin = 0
@@ -389,6 +476,11 @@ func (p *Pool) NewPage() (Page, error) {
 func (p *Pool) Unpin(pg Page, dirty bool) {
 	f := &p.frames[pg.frame]
 	if !f.valid || f.pid != pg.ID || f.pin <= 0 {
+		// Programmer invariant, deliberately kept as a panic: an Unpin
+		// that does not pair with a Get/NewPage on the same handle is a
+		// bookkeeping bug in the calling index, never an I/O- or
+		// data-dependent condition, and continuing would corrupt pin
+		// counts silently.
 		panic(fmt.Sprintf("buffer: bad Unpin of page %d", pg.ID))
 	}
 	f.pin--
@@ -419,7 +511,7 @@ func (p *Pool) FlushAll() error {
 	for i := range p.frames {
 		f := &p.frames[i]
 		if f.valid && f.dirty {
-			if _, err := p.store.WritePage(f.pid, f.data, p.clock); err != nil {
+			if _, err := p.writeRetry(f.pid, f.data); err != nil {
 				return err
 			}
 			f.dirty = false
@@ -446,6 +538,29 @@ func (p *Pool) DropAll() error {
 		if f.valid {
 			delete(p.table, f.pid)
 			f.valid = false
+			f.readyAt = 0
+		}
+	}
+	return nil
+}
+
+// DiscardAll invalidates every frame WITHOUT writing dirty pages back.
+// It is the recovery-path counterpart of DropAll: after permanent page
+// loss, cached copies of a damaged tree must be thrown away rather than
+// flushed over whatever the scavenger can still read. It fails if any
+// page is still pinned.
+func (p *Pool) DiscardAll() error {
+	for i := range p.frames {
+		if p.frames[i].valid && p.frames[i].pin > 0 {
+			return fmt.Errorf("buffer: DiscardAll with page %d pinned", p.frames[i].pid)
+		}
+	}
+	for i := range p.frames {
+		f := &p.frames[i]
+		if f.valid {
+			delete(p.table, f.pid)
+			f.valid = false
+			f.dirty = false
 			f.readyAt = 0
 		}
 	}

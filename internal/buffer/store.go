@@ -10,8 +10,6 @@
 package buffer
 
 import (
-	"fmt"
-
 	"repro/internal/disksim"
 )
 
@@ -70,6 +68,18 @@ func (s *MemStore) WritePage(pid uint32, src []byte, now uint64) (uint64, error)
 // PageCount reports how many distinct pages have been written.
 func (s *MemStore) PageCount() int { return len(s.pages) }
 
+// PeekPage copies the page's current content into dst without charging
+// any simulated service time, reporting whether the page has ever been
+// written. Fault injectors use it to recover the old bytes a torn write
+// must preserve.
+func (s *MemStore) PeekPage(pid uint32, dst []byte) bool {
+	p, ok := s.pages[pid]
+	if ok {
+		copy(dst, p)
+	}
+	return ok
+}
+
 // DiskStore is a Store backed by a simulated disk array. Page contents
 // are kept in memory; timing comes from the array's queueing model.
 type DiskStore struct {
@@ -87,6 +97,11 @@ func NewDiskStore(array *disksim.Array) *DiskStore {
 
 // Array exposes the underlying disk array (for stats and reset).
 func (s *DiskStore) Array() *disksim.Array { return s.array }
+
+// PeekPage delegates to the in-memory content store (no timing charge).
+func (s *DiskStore) PeekPage(pid uint32, dst []byte) bool {
+	return s.mem.PeekPage(pid, dst)
+}
 
 // PageSize implements Store.
 func (s *DiskStore) PageSize() int { return s.mem.pageSize }
@@ -109,8 +124,3 @@ func (s *DiskStore) WritePage(pid uint32, src []byte, now uint64) (uint64, error
 
 var _ Store = (*MemStore)(nil)
 var _ Store = (*DiskStore)(nil)
-
-// errPoolExhausted is returned when every frame is pinned.
-func errPoolExhausted(frames int) error {
-	return fmt.Errorf("buffer: all %d frames pinned; pool exhausted", frames)
-}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/idx"
@@ -25,6 +26,15 @@ func TestCacheFirstConformanceJPA(t *testing.T) { treetest.Run(t, 8<<10, cfFacto
 func TestCacheFirstConformanceSmallNodes(t *testing.T) {
 	// 128-byte nodes: multiple full in-page subtree levels.
 	treetest.Run(t, 4<<10, cfFactory(true, 128))
+}
+
+func TestCacheFirstChaos(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			treetest.RunChaos(t, 4<<10, cfFactory(false, 0), seed, 6000)
+		})
+	}
 }
 
 func TestCacheFirstFanoutMatchesTable2(t *testing.T) {

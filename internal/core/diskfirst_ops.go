@@ -290,7 +290,10 @@ func (t *DiskFirst) insertInto(pid uint32, lvl int, k idx.Key, p uint32) (bool, 
 	// reorganize the in-page tree; otherwise split the page.
 	n := dfEntries(pg.Data)
 	if n < t.fanout-t.leafNodes {
-		t.reorganizePage(pg)
+		if err := t.reorganizePage(pg); err != nil {
+			t.pool.Unpin(pg, true)
+			return false, 0, 0, err
+		}
 		if !t.inPageInsert(pg, k, p) {
 			t.pool.Unpin(pg, true)
 			return false, 0, 0, fmt.Errorf("core: insert failed after reorganizing page %d (%d entries)", pid, n)
@@ -357,8 +360,11 @@ func (t *DiskFirst) childForInsert(pg buffer.Page, k idx.Key) (uint32, bool) {
 }
 
 // reorganizePage rebuilds the page's in-page tree from its entries
-// (spreading them), charging a whole-page data movement.
-func (t *DiskFirst) reorganizePage(pg buffer.Page) {
+// (spreading them), charging a whole-page data movement. A rebuild
+// failure is a structural error (the entry count is page data, which
+// corruption can inflate past what buildInPage accepts), so it is
+// reported rather than panicking.
+func (t *DiskFirst) reorganizePage(pg buffer.Page) error {
 	entries := t.collectEntries(pg.Data)
 	used := dfNextFree(pg.Data) * lineSize
 	spread := dfType(pg.Data) == dfPageLeaf
@@ -366,8 +372,9 @@ func (t *DiskFirst) reorganizePage(pg buffer.Page) {
 	// slot in the same (cache-resident-by-then) page.
 	t.mm.Copy(pg.Addr+lineSize, used-lineSize)
 	if err := t.buildInPage(pg.Data, entries, spread); err != nil {
-		panic(fmt.Sprintf("core: reorganize failed: %v", err))
+		return fmt.Errorf("core: reorganize of page %d failed: %w", pg.ID, err)
 	}
+	return nil
 }
 
 // splitPage moves the upper half of the page's entries to a new page,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/idx"
@@ -29,6 +30,15 @@ func TestDiskFirstConformanceTinyNodes(t *testing.T) {
 }
 func TestDiskFirstConformanceWideLeaves(t *testing.T) {
 	treetest.Run(t, 16<<10, dfFactory(true, 128, 1024))
+}
+
+func TestDiskFirstChaos(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			treetest.RunChaos(t, 4<<10, dfFactory(false, 0, 0), seed, 6000)
+		})
+	}
 }
 
 func TestDiskFirstFanoutMatchesTable2(t *testing.T) {

@@ -1,0 +1,34 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/buffer"
+)
+
+// TestIntegrityStackGetHitAllocs asserts that interposing the fault
+// injector and checksum layer costs nothing on the warm path: with the
+// stack compiled in but no rules armed, pinning and unpinning a
+// resident page must still be allocation-free. This is the acceptance
+// gate for shipping the integrity stack always-on in the harness.
+func TestIntegrityStackGetHitAllocs(t *testing.T) {
+	fs := New(buffer.NewMemStore(testPage), Config{})
+	p := buffer.NewPool(NewChecksumStore(fs), 16)
+	pg, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid := pg.ID
+	p.Unpin(pg, false)
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		pg, err := p.Get(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(pg, false)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Get+Unpin through integrity stack allocates %.1f objects/op, want 0", allocs)
+	}
+}

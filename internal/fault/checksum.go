@@ -1,0 +1,139 @@
+package fault
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+
+	"repro/internal/buffer"
+)
+
+// TrailerSize is the per-page integrity trailer, carved off the end of
+// the physical page. It is one cache line (memsim.LineSize) so that the
+// logical page size exposed to the pool stays a multiple of the line
+// size, which the simulated address space requires.
+const TrailerSize = 64
+
+// trailerMagic marks a page as checksummed ("FPBT").
+const trailerMagic = 0x46504254
+
+// castagnoli is the CRC32-C polynomial table (the checksum used by
+// iSCSI, ext4 metadata, and most modern storage engines).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ChecksumStore is a page-integrity decorator over buffer.Store. Every
+// page written through it carries a trailer:
+//
+//	[logical bytes | crc32c(logical) u32 | magic u32 | version u64 | zero padding]
+//	 <- PageSize ->  <------------------ TrailerSize = 64 ------------------>
+//
+// The CRC is computed over the logical bytes on write and verified on
+// every read of a page this store has written; the padding must read
+// back as zeros, so a single flipped bit anywhere in the physical page
+// is detected.
+//
+// The version is a per-page write counter and closes the hole a CRC
+// alone leaves open: a torn write whose tear point lies before the first
+// changed byte leaves the complete, internally consistent, correctly
+// checksummed OLD page on the media — a lost update, not a garbled one.
+// Because the version lives in the trailer (the tail of the physical
+// page) and increments on every write, a stale page always carries a
+// stale version and is rejected. The in-memory expected-version map
+// stands in for the page-LSN bookkeeping a real system's recovery log
+// provides.
+//
+// A mismatch of any trailer field surfaces as buffer.ErrCorruptPage
+// wrapping the page ID; the data is NOT copied to the caller.
+//
+// Pages never written through this store (fresh extents) are exempt
+// from verification and read back as logical zeros, matching MemStore
+// semantics.
+type ChecksumStore struct {
+	inner   buffer.Store
+	logical int
+	scratch []byte
+	// version holds the expected (last successfully written) version of
+	// each page. Like `written`, it is in-memory metadata, standing in
+	// for what a real system recovers from its log.
+	version map[uint32]uint64
+	// written tracks which pages carry a trailer. It is in-memory state,
+	// standing in for the "formatted" metadata a real system keeps.
+	written map[uint32]bool
+}
+
+// NewChecksumStore wraps inner, reserving TrailerSize bytes of each
+// physical page for the trailer. The inner page size must leave room
+// for at least one logical cache line.
+func NewChecksumStore(inner buffer.Store) *ChecksumStore {
+	if inner.PageSize() <= 2*TrailerSize {
+		// Programmer invariant, deliberately kept as a panic: page size
+		// is static configuration (facade options, harness params),
+		// never data-dependent.
+		panic("fault: page too small for a checksum trailer")
+	}
+	return &ChecksumStore{
+		inner:   inner,
+		logical: inner.PageSize() - TrailerSize,
+		scratch: make([]byte, inner.PageSize()),
+		version: make(map[uint32]uint64),
+		written: make(map[uint32]bool),
+	}
+}
+
+// PageSize implements buffer.Store: the logical size the pool sees.
+func (s *ChecksumStore) PageSize() int { return s.logical }
+
+// WrittenPages reports how many pages carry a trailer.
+func (s *ChecksumStore) WrittenPages() int { return len(s.written) }
+
+// WritePage implements buffer.Store: append the trailer and write the
+// physical page.
+func (s *ChecksumStore) WritePage(pid uint32, src []byte, now uint64) (uint64, error) {
+	v := s.version[pid] + 1
+	copy(s.scratch[:s.logical], src)
+	binary.LittleEndian.PutUint32(s.scratch[s.logical:], crc32.Checksum(s.scratch[:s.logical], castagnoli))
+	binary.LittleEndian.PutUint32(s.scratch[s.logical+4:], trailerMagic)
+	binary.LittleEndian.PutUint64(s.scratch[s.logical+8:], v)
+	for i := s.logical + 16; i < len(s.scratch); i++ {
+		s.scratch[i] = 0
+	}
+	done, err := s.inner.WritePage(pid, s.scratch, now)
+	if err != nil {
+		// The media was not updated (failed writes inject before the
+		// device): the old version remains the expected one, so a retry
+		// reuses v and a read meanwhile still accepts the old page.
+		return done, err
+	}
+	s.version[pid] = v
+	s.written[pid] = true
+	return done, nil
+}
+
+// ReadPage implements buffer.Store: read the physical page and verify
+// the trailer before releasing the data to the caller.
+func (s *ChecksumStore) ReadPage(pid uint32, dst []byte, now uint64) (uint64, error) {
+	done, err := s.inner.ReadPage(pid, s.scratch, now)
+	if err != nil {
+		return done, err
+	}
+	if !s.written[pid] {
+		// Fresh extent: no trailer to verify, reads as zeros.
+		copy(dst, s.scratch[:s.logical])
+		return done, nil
+	}
+	want := binary.LittleEndian.Uint32(s.scratch[s.logical:])
+	magic := binary.LittleEndian.Uint32(s.scratch[s.logical+4:])
+	version := binary.LittleEndian.Uint64(s.scratch[s.logical+8:])
+	ok := magic == trailerMagic &&
+		version == s.version[pid] &&
+		crc32.Checksum(s.scratch[:s.logical], castagnoli) == want
+	for i := s.logical + 16; ok && i < len(s.scratch); i++ {
+		ok = s.scratch[i] == 0
+	}
+	if !ok {
+		return done, &buffer.PageError{PID: pid, Op: "read", Err: buffer.ErrCorruptPage}
+	}
+	copy(dst, s.scratch[:s.logical])
+	return done, nil
+}
+
+var _ buffer.Store = (*ChecksumStore)(nil)

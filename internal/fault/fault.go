@@ -1,0 +1,373 @@
+// Package fault provides a deterministic, seed-driven fault-injecting
+// decorator over buffer.Store, plus a page-integrity layer (ChecksumStore)
+// that detects the corruption the injector plants. Together they turn the
+// perfectly reliable simulated storage stack into one where torn writes,
+// bit rot, dead sectors, and flaky reads are facts of life — the substrate
+// for the chaos-differential harness in internal/treetest and cmd/fpcheck.
+//
+// The intended stack, bottom to top:
+//
+//	buffer.Pool → fault.ChecksumStore → fault.Store → buffer.MemStore/DiskStore
+//
+// The fault store corrupts or fails physical pages; the checksum store
+// verifies every page it reads back and surfaces damage as
+// buffer.ErrCorruptPage; the pool retries transient errors and degrades
+// failed prefetches to demand reads. All injection is driven by a seeded
+// PRNG and ordered rule evaluation, so a (seed, workload) pair replays
+// the exact same fault sequence every run.
+package fault
+
+import (
+	"bytes"
+	"math/rand"
+
+	"repro/internal/buffer"
+	"repro/internal/obs"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+const (
+	// TransientRead fails a read with buffer.ErrTransientIO; a retry of
+	// the same read may succeed (the pool retries with backoff).
+	TransientRead Kind = iota
+	// PermanentRead kills the page: this and every later read of it
+	// fails with buffer.ErrPermanentIO, even after Reset of the rules.
+	PermanentRead
+	// TornWrite persists only the first TornBytes of the write; the tail
+	// of the page keeps its previous media content (the classic
+	// power-cut partial sector write).
+	TornWrite
+	// BitFlip persists the write but flips one random bit of it.
+	BitFlip
+	// WriteFail fails the write with buffer.ErrTransientIO without
+	// touching the media.
+	WriteFail
+)
+
+// String names the kind for logs and test output.
+func (k Kind) String() string {
+	switch k {
+	case TransientRead:
+		return "transient-read"
+	case PermanentRead:
+		return "permanent-read"
+	case TornWrite:
+		return "torn-write"
+	case BitFlip:
+		return "bit-flip"
+	case WriteFail:
+		return "write-fail"
+	}
+	return "unknown"
+}
+
+func (k Kind) isRead() bool { return k == TransientRead || k == PermanentRead }
+
+// Rule schedules one fault kind. A rule matches ops of its kind's
+// direction (read kinds match reads, write kinds match writes) on its
+// page (PID == 0 matches any page), and fires according to exactly one
+// trigger, checked in this order:
+//
+//	Every > 0 — fires on every Every-th matching op after the first
+//	            After ops (deterministic, per-op-count).
+//	Prob > 0  — fires on each matching op after the first After ops
+//	            with probability Prob (seed-deterministic).
+//	otherwise — fires exactly once, on matching op number After+1.
+//
+// Limit, when positive, caps the number of firings.
+type Rule struct {
+	Kind  Kind
+	PID   uint32 // 0 = any page
+	After uint64 // matching ops to skip before the rule may fire
+	Every uint64 // deterministic period (0 = disabled)
+	Prob  float64
+	Limit int // max firings (0 = unlimited)
+}
+
+// Config configures a fault Store.
+type Config struct {
+	// Seed drives every probabilistic decision (rule firing, bit
+	// positions, torn lengths). The same seed and workload replay the
+	// same faults.
+	Seed int64
+	// Rules are evaluated in order per op; the first rule that fires
+	// wins.
+	Rules []Rule
+	// TornBytes is how much of a torn write reaches the media
+	// (default: half the page).
+	TornBytes int
+}
+
+// Stats counts the store's activity and injections.
+type Stats struct {
+	Reads  uint64 // ReadPage calls observed
+	Writes uint64 // WritePage calls observed
+
+	Injected       uint64 // total rule firings
+	TransientReads uint64 // reads failed with ErrTransientIO
+	PermanentReads uint64 // reads failed with ErrPermanentIO (incl. repeats)
+	TornWrites     uint64
+	BitFlips       uint64
+	WriteFails     uint64
+
+	// CorruptReads counts reads that returned data from a page whose
+	// media content is corrupt (torn or bit-flipped). The checksum layer
+	// above must catch every one of these, so in a correctly layered
+	// stack CorruptReads equals the pool's ChecksumFailures counter.
+	CorruptReads uint64
+}
+
+// pagePeeker is the optional interface a base store implements to expose
+// current media content without charging simulated service time (the
+// torn-write path needs the old bytes of the page it is about to
+// half-overwrite).
+type pagePeeker interface {
+	PeekPage(pid uint32, dst []byte) bool
+}
+
+type ruleState struct {
+	Rule
+	seen  uint64
+	fired uint64
+}
+
+// Store is a fault-injecting buffer.Store decorator. It is single-
+// threaded, like the pool above it.
+type Store struct {
+	inner   buffer.Store
+	cfg     Config
+	rules   []ruleState
+	rng     *rand.Rand
+	enabled bool
+
+	// permanent records pages killed by PermanentRead: media state, not
+	// injector state — it survives SetEnabled(false) and is only cleared
+	// by Reset (which models swapping in a fresh device).
+	permanent map[uint32]bool
+	// corrupted records pages whose media bytes differ from the last
+	// intended write (same persistence rules as permanent).
+	corrupted map[uint32]bool
+
+	scratch []byte
+	stats   Stats
+}
+
+// New wraps inner with fault injection per cfg. Injection starts
+// enabled.
+func New(inner buffer.Store, cfg Config) *Store {
+	s := &Store{
+		inner:     inner,
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		enabled:   true,
+		permanent: make(map[uint32]bool),
+		corrupted: make(map[uint32]bool),
+		scratch:   make([]byte, inner.PageSize()),
+	}
+	s.rules = make([]ruleState, len(cfg.Rules))
+	for i, r := range cfg.Rules {
+		s.rules[i] = ruleState{Rule: r}
+	}
+	return s
+}
+
+// SetEnabled turns new fault injection on or off. Disabling does not
+// heal the media: permanently failed pages stay dead and corrupt pages
+// stay corrupt until rewritten (or Reset).
+func (s *Store) SetEnabled(v bool) { s.enabled = v }
+
+// Enabled reports whether new faults are being injected.
+func (s *Store) Enabled() bool { return s.enabled }
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats { return s.stats }
+
+// CorruptPages reports how many pages currently hold corrupt media
+// content.
+func (s *Store) CorruptPages() int { return len(s.corrupted) }
+
+// DeadPages reports how many pages have been permanently killed.
+func (s *Store) DeadPages() int { return len(s.permanent) }
+
+// Reset restores the store to its initial state: rule counters, the
+// PRNG stream, stats, and the permanent/corrupted page sets are all
+// reset (modelling a fresh device for the next harness cell). It does
+// NOT rewrite base-media bytes, so a Reset must be paired with a
+// dataset rebuild (e.g. Bulkload), which rewrites every live page.
+func (s *Store) Reset() {
+	for i := range s.rules {
+		s.rules[i].seen = 0
+		s.rules[i].fired = 0
+	}
+	s.rng = rand.New(rand.NewSource(s.cfg.Seed))
+	s.permanent = make(map[uint32]bool)
+	s.corrupted = make(map[uint32]bool)
+	s.stats = Stats{}
+}
+
+// RegisterMetrics registers the store's counters with reg under the
+// fault.* metric names (see DESIGN.md §9/§10).
+func (s *Store) RegisterMetrics(reg *obs.Registry) {
+	reg.Counter("fault.reads", func() uint64 { return s.stats.Reads })
+	reg.Counter("fault.writes", func() uint64 { return s.stats.Writes })
+	reg.Counter("fault.injected", func() uint64 { return s.stats.Injected })
+	reg.Counter("fault.transient_reads", func() uint64 { return s.stats.TransientReads })
+	reg.Counter("fault.permanent_reads", func() uint64 { return s.stats.PermanentReads })
+	reg.Counter("fault.torn_writes", func() uint64 { return s.stats.TornWrites })
+	reg.Counter("fault.bit_flips", func() uint64 { return s.stats.BitFlips })
+	reg.Counter("fault.write_fails", func() uint64 { return s.stats.WriteFails })
+	reg.Counter("fault.corrupt_reads", func() uint64 { return s.stats.CorruptReads })
+	reg.Gauge("fault.corrupt_pages", func() float64 { return float64(len(s.corrupted)) })
+	reg.Gauge("fault.dead_pages", func() float64 { return float64(len(s.permanent)) })
+}
+
+// trigger evaluates the rule schedule for one op and returns the kind
+// of the first rule that fires.
+func (s *Store) trigger(pid uint32, read bool) (Kind, bool) {
+	hit := false
+	var kind Kind
+	for i := range s.rules {
+		r := &s.rules[i]
+		if r.Kind.isRead() != read {
+			continue
+		}
+		if r.PID != 0 && r.PID != pid {
+			continue
+		}
+		// Later rules still count the op even once one has fired, so a
+		// rule's schedule does not shift when another rule is added in
+		// front of it.
+		r.seen++
+		if hit {
+			continue
+		}
+		if r.Limit > 0 && r.fired >= uint64(r.Limit) {
+			continue
+		}
+		if r.seen <= r.After {
+			continue
+		}
+		fire := false
+		switch {
+		case r.Every > 0:
+			fire = (r.seen-r.After)%r.Every == 0
+		case r.Prob > 0:
+			fire = s.rng.Float64() < r.Prob
+		default:
+			fire = r.seen == r.After+1
+		}
+		if fire {
+			r.fired++
+			hit = true
+			kind = r.Kind
+		}
+	}
+	return kind, hit
+}
+
+// PageSize implements buffer.Store (physical pass-through).
+func (s *Store) PageSize() int { return s.inner.PageSize() }
+
+// ReadPage implements buffer.Store.
+func (s *Store) ReadPage(pid uint32, dst []byte, now uint64) (uint64, error) {
+	s.stats.Reads++
+	if s.permanent[pid] {
+		s.stats.PermanentReads++
+		return now, &buffer.PageError{PID: pid, Op: "read", Err: buffer.ErrPermanentIO}
+	}
+	if s.enabled {
+		if k, ok := s.trigger(pid, true); ok {
+			s.stats.Injected++
+			switch k {
+			case TransientRead:
+				s.stats.TransientReads++
+				return now, &buffer.PageError{PID: pid, Op: "read", Err: buffer.ErrTransientIO}
+			case PermanentRead:
+				s.stats.PermanentReads++
+				s.permanent[pid] = true
+				return now, &buffer.PageError{PID: pid, Op: "read", Err: buffer.ErrPermanentIO}
+			}
+		}
+	}
+	done, err := s.inner.ReadPage(pid, dst, now)
+	if err == nil && s.corrupted[pid] {
+		s.stats.CorruptReads++
+	}
+	return done, err
+}
+
+// WritePage implements buffer.Store.
+func (s *Store) WritePage(pid uint32, src []byte, now uint64) (uint64, error) {
+	s.stats.Writes++
+	if s.enabled {
+		if k, ok := s.trigger(pid, false); ok {
+			s.stats.Injected++
+			switch k {
+			case WriteFail:
+				s.stats.WriteFails++
+				return now, &buffer.PageError{PID: pid, Op: "write", Err: buffer.ErrTransientIO}
+			case TornWrite:
+				s.stats.TornWrites++
+				return s.tornWrite(pid, src, now)
+			case BitFlip:
+				s.stats.BitFlips++
+				return s.bitFlip(pid, src, now)
+			}
+		}
+	}
+	done, err := s.inner.WritePage(pid, src, now)
+	if err == nil {
+		// A clean full write repairs any prior corruption of the page.
+		delete(s.corrupted, pid)
+	}
+	return done, err
+}
+
+// peekOld fills s.scratch with the page's current media bytes (zeros if
+// the base store cannot peek or the page was never written).
+func (s *Store) peekOld(pid uint32) {
+	if pk, ok := s.inner.(pagePeeker); ok && pk.PeekPage(pid, s.scratch) {
+		return
+	}
+	for i := range s.scratch {
+		s.scratch[i] = 0
+	}
+}
+
+func (s *Store) tornWrite(pid uint32, src []byte, now uint64) (uint64, error) {
+	torn := s.cfg.TornBytes
+	if torn <= 0 || torn >= len(src) {
+		torn = len(src) / 2
+	}
+	s.peekOld(pid)
+	copy(s.scratch[:torn], src[:torn])
+	done, err := s.inner.WritePage(pid, s.scratch, now)
+	if err != nil {
+		return done, err
+	}
+	// A torn write of unchanged tail bytes is indistinguishable from a
+	// clean write, so only mark the page corrupt when the media actually
+	// diverges from the intended content.
+	if bytes.Equal(s.scratch[:len(src)], src) {
+		delete(s.corrupted, pid)
+	} else {
+		s.corrupted[pid] = true
+	}
+	return done, nil
+}
+
+func (s *Store) bitFlip(pid uint32, src []byte, now uint64) (uint64, error) {
+	copy(s.scratch, src)
+	i := s.rng.Intn(len(s.scratch))
+	s.scratch[i] ^= 1 << uint(s.rng.Intn(8))
+	done, err := s.inner.WritePage(pid, s.scratch, now)
+	if err != nil {
+		return done, err
+	}
+	s.corrupted[pid] = true
+	return done, nil
+}
+
+var _ buffer.Store = (*Store)(nil)

@@ -1,0 +1,263 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/buffer"
+)
+
+const testPage = 4096 + TrailerSize
+
+func fill(b []byte, v byte) {
+	for i := range b {
+		b[i] = v
+	}
+}
+
+// TestRuleTriggers pins down the trigger semantics: once-at-After+1,
+// Every-period, and Limit caps, each scoped to one page.
+func TestRuleTriggers(t *testing.T) {
+	mem := buffer.NewMemStore(testPage)
+	s := New(mem, Config{Rules: []Rule{
+		{Kind: TransientRead, PID: 7, After: 2},            // fires once, on read #3 of page 7
+		{Kind: WriteFail, PID: 9, Every: 2, Limit: 2},      // write #2 and #4 of page 9, then never
+		{Kind: TransientRead, PID: 8, After: 1, Every: 10}, // unrelated page: must not disturb page 7's count
+	}})
+	buf := make([]byte, testPage)
+
+	var readErrs []int
+	for i := 1; i <= 6; i++ {
+		if _, err := s.ReadPage(7, buf, 0); err != nil {
+			if !errors.Is(err, buffer.ErrTransientIO) {
+				t.Fatalf("read %d: %v", i, err)
+			}
+			readErrs = append(readErrs, i)
+		}
+	}
+	if len(readErrs) != 1 || readErrs[0] != 3 {
+		t.Fatalf("once-rule fired on reads %v, want [3]", readErrs)
+	}
+
+	var writeErrs []int
+	for i := 1; i <= 8; i++ {
+		if _, err := s.WritePage(9, buf, 0); err != nil {
+			if !errors.Is(err, buffer.ErrTransientIO) {
+				t.Fatalf("write %d: %v", i, err)
+			}
+			writeErrs = append(writeErrs, i)
+		}
+	}
+	if want := []int{2, 4}; len(writeErrs) != 2 || writeErrs[0] != want[0] || writeErrs[1] != want[1] {
+		t.Fatalf("every/limit rule fired on writes %v, want %v", writeErrs, want)
+	}
+	if st := s.Stats(); st.Injected != 3 || st.TransientReads != 1 || st.WriteFails != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestDeterministicReplay drives the same probabilistic schedule twice
+// through Reset and expects identical stats — the property every chaos
+// reproduction depends on.
+func TestDeterministicReplay(t *testing.T) {
+	run := func(s *Store) Stats {
+		buf := make([]byte, testPage)
+		for i := 0; i < 500; i++ {
+			pid := uint32(i%17 + 1)
+			if i%3 == 0 {
+				fill(buf, byte(i))
+				s.WritePage(pid, buf, 0)
+			} else {
+				s.ReadPage(pid, buf, 0)
+			}
+		}
+		return s.Stats()
+	}
+	cfg := Config{Seed: 99, Rules: []Rule{
+		{Kind: TransientRead, Prob: 0.05},
+		{Kind: PermanentRead, Prob: 0.01, Limit: 2},
+		{Kind: BitFlip, Prob: 0.05},
+		{Kind: TornWrite, Prob: 0.05},
+	}}
+	s := New(buffer.NewMemStore(testPage), cfg)
+	first := run(s)
+	if first.Injected == 0 {
+		t.Fatal("schedule injected nothing; test proves nothing")
+	}
+	s.Reset()
+	second := run(s)
+	if first != second {
+		t.Fatalf("replay diverged:\n first %+v\nsecond %+v", first, second)
+	}
+}
+
+// TestPermanentErrorOutlivesDisable: a permanently killed page is media
+// damage, not injector state — it must keep failing after SetEnabled(false)
+// and heal only on Reset.
+func TestPermanentErrorOutlivesDisable(t *testing.T) {
+	s := New(buffer.NewMemStore(testPage), Config{Rules: []Rule{{Kind: PermanentRead, PID: 3}}})
+	buf := make([]byte, testPage)
+	if _, err := s.ReadPage(3, buf, 0); !errors.Is(err, buffer.ErrPermanentIO) {
+		t.Fatalf("first read: %v", err)
+	}
+	s.SetEnabled(false)
+	if _, err := s.ReadPage(3, buf, 0); !errors.Is(err, buffer.ErrPermanentIO) {
+		t.Fatalf("read after disable: %v", err)
+	}
+	if s.DeadPages() != 1 {
+		t.Fatalf("dead pages = %d", s.DeadPages())
+	}
+	s.Reset()
+	if _, err := s.ReadPage(3, buf, 0); err != nil {
+		t.Fatalf("read after reset: %v", err)
+	}
+}
+
+// TestCleanRewriteHealsCorruption: a bit-flipped page counts corrupt
+// reads until a clean full write replaces the media content.
+func TestCleanRewriteHealsCorruption(t *testing.T) {
+	s := New(buffer.NewMemStore(testPage), Config{Rules: []Rule{{Kind: BitFlip, PID: 5}}})
+	buf := make([]byte, testPage)
+	fill(buf, 0xAA)
+	if _, err := s.WritePage(5, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.CorruptPages() != 1 {
+		t.Fatalf("corrupt pages after bit flip = %d", s.CorruptPages())
+	}
+	got := make([]byte, testPage)
+	if _, err := s.ReadPage(5, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, buf) {
+		t.Fatal("bit flip did not change the media")
+	}
+	if s.Stats().CorruptReads != 1 {
+		t.Fatalf("corrupt reads = %d", s.Stats().CorruptReads)
+	}
+	// The rule fired its once-shot; this write goes through clean.
+	if _, err := s.WritePage(5, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.CorruptPages() != 0 {
+		t.Fatal("clean rewrite did not heal the page")
+	}
+	if _, err := s.ReadPage(5, got, 0); err != nil || !bytes.Equal(got, buf) {
+		t.Fatalf("read after heal: %v", err)
+	}
+	if s.Stats().CorruptReads != 1 {
+		t.Fatalf("healed read still counted corrupt: %d", s.Stats().CorruptReads)
+	}
+}
+
+// checksum-layer tests: the stack the pool actually runs,
+// ChecksumStore(Store(MemStore)).
+
+func newStack(rules []Rule) (*ChecksumStore, *Store) {
+	fs := New(buffer.NewMemStore(testPage), Config{Seed: 7, Rules: rules})
+	return NewChecksumStore(fs), fs
+}
+
+func TestChecksumDetectsBitFlip(t *testing.T) {
+	cs, fs := newStack([]Rule{{Kind: BitFlip, PID: 2}})
+	logical := cs.PageSize()
+	src := make([]byte, logical)
+	fill(src, 0x5C)
+	if _, err := cs.WritePage(2, src, 0); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, logical)
+	_, err := cs.ReadPage(2, dst, 0)
+	if !errors.Is(err, buffer.ErrCorruptPage) {
+		t.Fatalf("read of flipped page: %v, want ErrCorruptPage", err)
+	}
+	var pe *buffer.PageError
+	if !errors.As(err, &pe) || pe.PID != 2 {
+		t.Fatalf("corruption error does not carry the page ID: %v", err)
+	}
+	if fs.Stats().CorruptReads != 1 {
+		t.Fatalf("fault store served %d corrupt reads", fs.Stats().CorruptReads)
+	}
+}
+
+// TestChecksumDetectsLostUpdate is the regression test for the torn
+// write whose tear point lies before the first changed byte: the media
+// keeps the complete, internally consistent, correctly checksummed OLD
+// page. A CRC alone accepts it; the version trailer must reject it.
+func TestChecksumDetectsLostUpdate(t *testing.T) {
+	cs, fs := newStack([]Rule{{Kind: TornWrite, PID: 2, After: 1}}) // tear the second write
+	logical := cs.PageSize()
+	old := make([]byte, logical)
+	fill(old, 0x11)
+	if _, err := cs.WritePage(2, old, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Same first half, new second half: the default tear point (half the
+	// physical page) lands before every changed byte, so the old page —
+	// CRC, magic, and all — survives intact on the media.
+	upd := make([]byte, logical)
+	copy(upd, old)
+	fill(upd[logical*3/4:], 0x22)
+	if _, err := cs.WritePage(2, upd, 0); err != nil {
+		t.Fatal(err)
+	}
+	if fs.CorruptPages() != 1 {
+		t.Fatalf("injector does not consider the lost update corrupt (pages=%d)", fs.CorruptPages())
+	}
+	dst := make([]byte, logical)
+	if _, err := cs.ReadPage(2, dst, 0); !errors.Is(err, buffer.ErrCorruptPage) {
+		t.Fatalf("lost update served as %v, want ErrCorruptPage", err)
+	}
+	if fs.Stats().CorruptReads != 1 {
+		t.Fatalf("corrupt reads = %d", fs.Stats().CorruptReads)
+	}
+}
+
+// TestChecksumFreshExtentReadsZeros: pages never written through the
+// stack are exempt from verification.
+func TestChecksumFreshExtentReadsZeros(t *testing.T) {
+	cs, _ := newStack(nil)
+	dst := make([]byte, cs.PageSize())
+	fill(dst, 0xFF)
+	if _, err := cs.ReadPage(42, dst, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range dst {
+		if b != 0 {
+			t.Fatal("fresh extent not zeroed")
+		}
+	}
+}
+
+// TestChecksumFailedWriteKeepsOldVersionReadable: a write that fails
+// before reaching the media must leave the previous page contents both
+// readable and re-writable (the pool's retry path).
+func TestChecksumFailedWriteKeepsOldVersionReadable(t *testing.T) {
+	cs, _ := newStack([]Rule{{Kind: WriteFail, PID: 2, After: 1}})
+	logical := cs.PageSize()
+	old := make([]byte, logical)
+	fill(old, 0x33)
+	if _, err := cs.WritePage(2, old, 0); err != nil {
+		t.Fatal(err)
+	}
+	upd := make([]byte, logical)
+	fill(upd, 0x44)
+	if _, err := cs.WritePage(2, upd, 0); !errors.Is(err, buffer.ErrTransientIO) {
+		t.Fatal("second write should have failed transiently")
+	}
+	dst := make([]byte, logical)
+	if _, err := cs.ReadPage(2, dst, 0); err != nil {
+		t.Fatalf("read of old version after failed write: %v", err)
+	}
+	if !bytes.Equal(dst, old) {
+		t.Fatal("failed write changed the readable content")
+	}
+	// Retry (the rule was a one-shot) and read the new version.
+	if _, err := cs.WritePage(2, upd, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.ReadPage(2, dst, 0); err != nil || !bytes.Equal(dst, upd) {
+		t.Fatalf("read after retried write: %v", err)
+	}
+}

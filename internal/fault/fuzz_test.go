@@ -1,0 +1,136 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/buffer"
+)
+
+// FuzzTriggerSchedule decodes an arbitrary rule schedule from the fuzz
+// input and drives the full storage stack (pool over checksum store
+// over fault store) through a fixed read/write workload. Whatever the
+// schedule, the stack must uphold the fault-tolerance contract:
+//
+//   - no panics,
+//   - every escaping error wraps one of the typed storage sentinels,
+//   - no operation leaks a buffer pin,
+//   - every corrupt read the injector serves is caught by the checksum
+//     layer (CorruptReads == ChecksumFailures),
+//   - after injection stops, a clean rewrite of every page makes the
+//     whole extent readable again.
+func FuzzTriggerSchedule(f *testing.F) {
+	f.Add(int64(1), []byte{0, 0, 0, 10, 0})
+	f.Add(int64(42), []byte{1, 3, 2, 0, 1, 2, 0, 0, 50, 0, 3, 5, 0, 0, 2})
+	f.Add(int64(-7), []byte{4, 0, 1, 255, 0, 3, 1, 0, 128, 1})
+	f.Fuzz(func(t *testing.T, seed int64, program []byte) {
+		// Decode up to 8 rules, 5 bytes each:
+		// kind, pid-selector, after, prob/256 (0 => every or one-shot), limit.
+		var rules []Rule
+		for i := 0; i+5 <= len(program) && len(rules) < 8; i += 5 {
+			r := Rule{
+				Kind:  Kind(program[i] % 5),
+				PID:   uint32(program[i+1] % 9), // 0 = any page
+				After: uint64(program[i+2] % 32),
+				Limit: int(program[i+4] % 8),
+			}
+			if p := program[i+3]; p%2 == 0 {
+				r.Every = uint64(p % 16)
+			} else {
+				r.Prob = float64(p) / 256
+			}
+			rules = append(rules, r)
+		}
+		fs := New(buffer.NewMemStore(1024+TrailerSize), Config{Seed: seed, Rules: rules})
+		pool := buffer.NewPool(NewChecksumStore(fs), 6)
+
+		checkErr := func(err error) {
+			if err == nil {
+				return
+			}
+			if !errors.Is(err, buffer.ErrTransientIO) && !errors.Is(err, buffer.ErrPermanentIO) &&
+				!errors.Is(err, buffer.ErrCorruptPage) && !errors.Is(err, buffer.ErrPoolExhausted) {
+				t.Fatalf("untyped error escaped the stack: %v", err)
+			}
+		}
+
+		// Allocate a working set larger than the pool so every operation
+		// round-trips the injector via evictions and demand misses.
+		var pids []uint32
+		for i := 0; i < 12; i++ {
+			pg, err := pool.NewPage()
+			if err != nil {
+				checkErr(err)
+				continue
+			}
+			pg.Data[0] = byte(i)
+			pids = append(pids, pg.ID)
+			pool.Unpin(pg, true)
+		}
+		for i := 0; i < 400 && len(pids) > 0; i++ {
+			pid := pids[i%len(pids)]
+			pg, err := pool.Get(pid)
+			if err != nil {
+				checkErr(err)
+				continue
+			}
+			dirty := i%3 == 0
+			if dirty {
+				pg.Data[i%1024] = byte(i)
+			}
+			pool.Unpin(pg, dirty)
+			if n := pool.PinnedCount(); n != 0 {
+				t.Fatalf("op %d leaked %d pins", i, n)
+			}
+		}
+		if err := pool.DropAll(); err != nil {
+			checkErr(err)
+		}
+
+		if fs.Stats().CorruptReads != pool.Stats().ChecksumFailures {
+			t.Fatalf("accounting: injector served %d corrupt reads, checksum layer caught %d",
+				fs.Stats().CorruptReads, pool.Stats().ChecksumFailures)
+		}
+
+		// Quiesce: stop injecting, discard cached frames, and rewrite
+		// every surviving page; the extent must read back clean.
+		fs.SetEnabled(false)
+		if err := pool.DiscardAll(); err != nil {
+			t.Fatalf("discard with injection disabled: %v", err)
+		}
+		for _, pid := range pids {
+			pg, err := pool.Get(pid)
+			if err != nil {
+				if errors.Is(err, buffer.ErrPermanentIO) {
+					continue // dead media stays dead; that is the contract
+				}
+				if errors.Is(err, buffer.ErrCorruptPage) {
+					continue // latent corruption: detected, which is what matters
+				}
+				t.Fatalf("get %d with injection disabled: %v", pid, err)
+			}
+			pg.Data[1] = 0xEE
+			pool.Unpin(pg, true)
+		}
+		if err := pool.DropAll(); err != nil {
+			t.Fatalf("final flush with injection disabled: %v", err)
+		}
+		for _, pid := range pids {
+			if fs.DeadPages() > 0 {
+				break // permanent kills may strand pages; nothing to verify
+			}
+			pg, err := pool.Get(pid)
+			if err != nil {
+				if errors.Is(err, buffer.ErrCorruptPage) {
+					continue // was skipped above, never rewritten
+				}
+				t.Fatalf("reread %d after clean rewrite: %v", pid, err)
+			}
+			pool.Unpin(pg, false)
+		}
+		if fs.Stats().CorruptReads != pool.Stats().ChecksumFailures {
+			t.Fatalf("final accounting: injector served %d corrupt reads, checksum layer caught %d",
+				fs.Stats().CorruptReads, pool.Stats().ChecksumFailures)
+		}
+	})
+}

@@ -21,8 +21,8 @@ func init() {
 
 // loadTree builds and bulkloads one tree, attaching ob (which may be
 // nil) to the fresh environment first.
-func loadTree(ob *obs.Obs, kind TreeKind, pageSize, keys int, fill float64, jpa bool) (*Env, idx.Index, *workload.Gen, error) {
-	env := NewCacheEnv(pageSize, keys).Attach(ob)
+func loadTree(ob *obs.Obs, kind TreeKind, pageSize, keys int, fill float64, jpa, integrity bool) (*Env, idx.Index, *workload.Gen, error) {
+	env := NewCacheEnv(pageSize, keys, integrity).Attach(ob)
 	tr, err := BuildTree(kind, env, jpa)
 	if err != nil {
 		return nil, nil, nil, err
@@ -51,8 +51,8 @@ func searchCycles(env *Env, tr idx.Index, keys []idx.Key) (uint64, error) {
 
 // searchCell is one complete search-experiment cell: build, bulkload,
 // and measure Ops random searches.
-func searchCell(ob *obs.Obs, kind TreeKind, pageSize, keys, ops int, fill float64) (uint64, error) {
-	env, tr, g, err := loadTree(ob, kind, pageSize, keys, fill, false)
+func searchCell(ob *obs.Obs, kind TreeKind, pageSize, keys, ops int, fill float64, integrity bool) (uint64, error) {
+	env, tr, g, err := loadTree(ob, kind, pageSize, keys, fill, false, integrity)
 	if err != nil {
 		return 0, err
 	}
@@ -68,7 +68,7 @@ func fig3b(p Params) ([]*Table, error) {
 	var cs cellSet
 	for i, kind := range kinds {
 		cs.add(func() error {
-			env, tr, g, err := loadTree(p.Obs, kind, p.MainPage, p.BigKeys, 1.0, false)
+			env, tr, g, err := loadTree(p.Obs, kind, p.MainPage, p.BigKeys, 1.0, false, p.Integrity)
 			if err != nil {
 				return err
 			}
@@ -115,7 +115,7 @@ func fig10(p Params) ([]*Table, error) {
 			for ki, kind := range AllDiskKinds {
 				slot := (pi*len(p.TreeSizes)+ni)*nk + ki
 				cs.add(func() error {
-					c, err := searchCell(p.Obs, kind, ps, n, p.Ops, 1.0)
+					c, err := searchCell(p.Obs, kind, ps, n, p.Ops, 1.0, p.Integrity)
 					if err != nil {
 						return err
 					}
@@ -179,7 +179,7 @@ func fig11(p Params) ([]*Table, error) {
 	var cs cellSet
 	widthCell := func(out []uint64, slot, n int, build func(env *Env) (idx.Index, error)) {
 		cs.add(func() error {
-			env := NewCacheEnv(ps, n).Attach(p.Obs)
+			env := NewCacheEnv(ps, n, p.Integrity).Attach(p.Obs)
 			tr, err := build(env)
 			if err != nil {
 				return err
@@ -283,7 +283,7 @@ func fig12(p Params) ([]*Table, error) {
 		for ki, kind := range AllDiskKinds {
 			slot := fi*nk + ki
 			cs.add(func() error {
-				c, err := searchCell(p.Obs, kind, p.MainPage, p.Keys, p.Ops, fill)
+				c, err := searchCell(p.Obs, kind, p.MainPage, p.Keys, p.Ops, fill, p.Integrity)
 				if err != nil {
 					return err
 				}
@@ -338,7 +338,7 @@ func fig13(p Params) ([]*Table, error) {
 	var cs cellSet
 	insertCell := func(out []uint64, slot int, kind TreeKind, pageSize, keys int, fill float64) {
 		cs.add(func() error {
-			env, tr, g, err := loadTree(p.Obs, kind, pageSize, keys, fill, false)
+			env, tr, g, err := loadTree(p.Obs, kind, pageSize, keys, fill, false, p.Integrity)
 			if err != nil {
 				return err
 			}
@@ -422,7 +422,7 @@ func fig14(p Params) ([]*Table, error) {
 	var cs cellSet
 	deleteCell := func(out []uint64, slot int, kind TreeKind, pageSize, keys int, fill float64) {
 		cs.add(func() error {
-			env, tr, g, err := loadTree(p.Obs, kind, pageSize, keys, fill, false)
+			env, tr, g, err := loadTree(p.Obs, kind, pageSize, keys, fill, false, p.Integrity)
 			if err != nil {
 				return err
 			}
@@ -495,7 +495,7 @@ func fig15(p Params) ([]*Table, error) {
 	var cs cellSet
 	for i, kind := range kinds {
 		cs.add(func() error {
-			env, tr, g, err := loadTree(p.Obs, kind, p.MainPage, p.Keys, 1.0, kind != KindDiskOptimized)
+			env, tr, g, err := loadTree(p.Obs, kind, p.MainPage, p.Keys, 1.0, kind != KindDiskOptimized, p.Integrity)
 			if err != nil {
 				return err
 			}

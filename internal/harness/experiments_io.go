@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/db2sim"
 	"repro/internal/disksim"
+	"repro/internal/fault"
 	"repro/internal/idx"
 	"repro/internal/memsim"
 	"repro/internal/microindex"
@@ -103,7 +104,7 @@ func fig16(p Params) ([]*Table, error) {
 	// One cell per (variant, page size, maturity): it builds its own
 	// baseline tree and the compared tree, and yields the overhead %.
 	overhead := func(kind TreeKind, ps, bulk, inserts int) (string, error) {
-		env := NewCacheEnv(ps, (bulk+inserts)*3).Attach(p.Obs)
+		env := NewCacheEnv(ps, (bulk+inserts)*3, p.Integrity).Attach(p.Obs)
 		base, err := BuildTree(KindDiskOptimized, env, false)
 		if err != nil {
 			return "", err
@@ -111,7 +112,7 @@ func fig16(p Params) ([]*Table, error) {
 		if err := matureTree(base, workload.New(42), bulk, inserts); err != nil {
 			return "", err
 		}
-		env2 := NewCacheEnv(ps, (bulk+inserts)*3).Attach(p.Obs)
+		env2 := NewCacheEnv(ps, (bulk+inserts)*3, p.Integrity).Attach(p.Obs)
 		tr, err := BuildTree(kind, env2, false)
 		if err != nil {
 			return "", err
@@ -171,15 +172,28 @@ func fig16(p Params) ([]*Table, error) {
 }
 
 // ioEnv builds a disk-backed environment for the search I/O experiment.
-func ioEnv(pageSize, frames, disks int) (*Env, *disksim.Array, error) {
-	arr, err := disksim.New(disksim.DefaultConfig(disks, pageSize))
+// With integrity set, the disks hold physical pages grown by the
+// checksum trailer, so transfer times shift slightly — the disk path is
+// honest about the cost of carrying checksums on media.
+func ioEnv(pageSize, frames, disks int, integrity bool) (*Env, *disksim.Array, error) {
+	physSize := pageSize
+	if integrity {
+		physSize += fault.TrailerSize
+	}
+	arr, err := disksim.New(disksim.DefaultConfig(disks, physSize))
 	if err != nil {
 		return nil, nil, err
 	}
 	mm := memsim.NewDefault()
-	pool := buffer.NewPool(buffer.NewDiskStore(arr), frames)
-	pool.AttachModel(mm)
-	return &Env{Pool: pool, Model: mm, Array: arr}, arr, nil
+	env := &Env{Model: mm, Array: arr}
+	var store buffer.Store = buffer.NewDiskStore(arr)
+	if integrity {
+		env.Faults = fault.New(store, fault.Config{})
+		store = fault.NewChecksumStore(env.Faults)
+	}
+	env.Pool = buffer.NewPool(store, frames)
+	env.Pool.AttachModel(mm)
+	return env, arr, nil
 }
 
 // fig17 reproduces search I/O: buffer-pool misses for Ops random
@@ -190,7 +204,7 @@ func fig17(p Params) ([]*Table, error) {
 		// Frames sized to hold the whole tree: the experiment counts
 		// cold misses, not capacity misses, and clears the pool first.
 		frames := (bulk+inserts)/(ps/40) + 512
-		env, _, err := ioEnv(ps, frames, 4)
+		env, _, err := ioEnv(ps, frames, 4, p.Integrity)
 		if err != nil {
 			return 0, err
 		}
@@ -310,7 +324,7 @@ func fig18(p Params) ([]*Table, error) {
 	}
 	build := func(st scanTree, disks int) (idx.Index, *Env, *workload.Gen, error) {
 		frames := (p.Fig18Bulk+p.Fig18Inserts)/(16<<10/40) + 1024
-		env, arr, err := ioEnv(16<<10, frames, disks)
+		env, arr, err := ioEnv(16<<10, frames, disks, p.Integrity)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -516,7 +530,7 @@ func ablations(p Params) ([]*Table, error) {
 	var cs cellSet
 	for i, wx := range widthPairs {
 		cs.add(func() error {
-			env := NewCacheEnv(16<<10, p.Keys).Attach(p.Obs)
+			env := NewCacheEnv(16<<10, p.Keys, p.Integrity).Attach(p.Obs)
 			tr, err := buildDiskFirstWidths(env, wx[0], wx[1])
 			if err != nil {
 				return err
@@ -536,7 +550,7 @@ func ablations(p Params) ([]*Table, error) {
 	for i, overshoot := range []bool{false, true} {
 		cs.add(func() error {
 			frames := p.MatureBulk/(16<<10/40) + 512
-			env, arr, err := ioEnv(16<<10, frames, 10)
+			env, arr, err := ioEnv(16<<10, frames, 10, p.Integrity)
 			if err != nil {
 				return err
 			}
@@ -577,7 +591,7 @@ func ablations(p Params) ([]*Table, error) {
 	}
 	for i, noFill := range []bool{false, true} {
 		cs.add(func() error {
-			env := NewCacheEnv(16<<10, p.Keys).Attach(p.Obs)
+			env := NewCacheEnv(16<<10, p.Keys, p.Integrity).Attach(p.Obs)
 			tr, err := core.NewCacheFirst(core.CacheFirstConfig{
 				Pool: env.Pool, Model: env.Model, NoUnderflowFill: noFill,
 			})
@@ -605,7 +619,7 @@ func ablations(p Params) ([]*Table, error) {
 	for i, win := range windows {
 		cs.add(func() error {
 			frames := p.MatureBulk/(16<<10/40) + 512
-			env, arr, err := ioEnv(16<<10, frames, 10)
+			env, arr, err := ioEnv(16<<10, frames, 10, p.Integrity)
 			if err != nil {
 				return err
 			}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/db2sim"
 	"repro/internal/disksim"
+	"repro/internal/fault"
 	"repro/internal/idx"
 	"repro/internal/memsim"
 	"repro/internal/microindex"
@@ -127,6 +128,16 @@ type Params struct {
 	// output. The registry sources and the tracer are not synchronized,
 	// so a non-nil Obs forces serial execution regardless of Workers.
 	Obs *obs.Obs
+
+	// Integrity, when set, interposes the fault/checksum storage stack
+	// (a rule-less fault.Store plus fault.ChecksumStore) between every
+	// buffer pool and its backing store. Both decorators pass virtual
+	// time through unchanged, so the cache-experiment tables must come
+	// out byte-identical to a run without Integrity — this is the
+	// zero-overhead verification mode. Disk-backed experiments grow the
+	// physical page by fault.TrailerSize, which shifts transfer times
+	// slightly.
+	Integrity bool
 }
 
 // ParamsFor returns the parameter set for a scale name: "quick",
@@ -227,6 +238,9 @@ type Env struct {
 	Model *memsim.Model
 	// Array is the disk array behind Pool's store, if any.
 	Array *disksim.Array
+	// Faults is the fault-injection layer between the pool and its
+	// backing store, if any (Params.Integrity builds one with no rules).
+	Faults *fault.Store
 	// Obs is the attached observability layer (nil when detached).
 	Obs *obs.Obs
 }
@@ -248,6 +262,9 @@ func (e *Env) Attach(ob *obs.Obs) *Env {
 		e.Array.RegisterMetrics(ob.Reg)
 		e.Array.AttachTracer(ob.Tracer)
 	}
+	if e.Faults != nil {
+		e.Faults.RegisterMetrics(ob.Reg)
+	}
 	return e
 }
 
@@ -261,14 +278,23 @@ func (e *Env) tracer() *obs.Tracer {
 
 // NewCacheEnv builds a zero-I/O-latency environment big enough to hold
 // a tree of `keys` entries entirely in the buffer pool (the §4.2 cache
-// experiments are memory resident).
-func NewCacheEnv(pageSize, keys int) *Env {
+// experiments are memory resident). With integrity set, the pool reads
+// and writes through a rule-less fault store and a checksum layer; both
+// pass virtual time through unchanged, so measured cycles are identical
+// to the plain stack.
+func NewCacheEnv(pageSize, keys int, integrity bool) *Env {
 	// Leaf pages at worst ~50% utilization plus upper levels and slack.
 	frames := keys/(pageSize/32) + 256
 	mm := memsim.NewDefault()
-	pool := buffer.NewPool(buffer.NewMemStore(pageSize), frames)
-	pool.AttachModel(mm)
-	return &Env{Pool: pool, Model: mm}
+	env := &Env{Model: mm}
+	var store buffer.Store = buffer.NewMemStore(pageSize)
+	if integrity {
+		env.Faults = fault.New(buffer.NewMemStore(pageSize+fault.TrailerSize), fault.Config{})
+		store = fault.NewChecksumStore(env.Faults)
+	}
+	env.Pool = buffer.NewPool(store, frames)
+	env.Pool.AttachModel(mm)
+	return env
 }
 
 // BuildTree constructs a tree of the given kind over the environment.

@@ -106,6 +106,19 @@ type Index interface {
 	// fan-out bounds, sibling links, reachability) and returns a
 	// descriptive error on the first violation.
 	CheckInvariants() error
+
+	// Scavenge rebuilds the index from its surviving leaf chain — the
+	// repair path after interior pages (or a suffix of the leaf level)
+	// are lost to permanent I/O errors or detected corruption. It walks
+	// the leaf chain from the in-memory leftmost-leaf pointer, salvages
+	// every entry up to the first unreadable or inconsistent leaf
+	// (setting ScavengeStats.Truncated if the walk stopped early),
+	// discards the old page set WITHOUT recycling its page IDs (a
+	// permanently unreadable ID must never be reallocated into the new
+	// tree), and bulkloads a fresh tree at ScavengeFill. The error is
+	// non-nil only when the rebuild itself fails; losing entries is
+	// reported via Truncated, not an error.
+	Scavenge() (ScavengeStats, error)
 }
 
 // SortEntries sorts entries ascending by key (stable on TID for equal keys).

@@ -48,6 +48,21 @@ type SpaceStats struct {
 	Utilization float64
 }
 
+// ScavengeFill is the bulkload fill factor Scavenge rebuilds at: the
+// paper's default insert-friendly load factor, leaving room so that the
+// workload resuming after repair does not immediately split every leaf.
+const ScavengeFill = 0.8
+
+// ScavengeStats reports what a Scavenge salvaged.
+type ScavengeStats struct {
+	Entries    int // entries recovered into the rebuilt tree
+	LeavesRead int // surviving leaves walked
+	// Truncated is set when the leaf walk stopped before the end of the
+	// chain (unreadable leaf, or a leaf failing sanity checks): entries
+	// past that point are lost.
+	Truncated bool
+}
+
 // RegisterMetrics publishes an index's operation counters with reg
 // under the tree.* metric names. Several indexes may register with one
 // registry; snapshots sum their counters.

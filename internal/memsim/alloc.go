@@ -16,6 +16,10 @@ const heapBase Addr = 1 << 44
 // NewAddressSpace creates an address space for pages of the given size.
 func NewAddressSpace(pageSize int) *AddressSpace {
 	if pageSize <= 0 || pageSize%LineSize != 0 {
+		// Programmer invariant, deliberately kept as a panic: the page
+		// size is static configuration validated by every construction
+		// path before any simulation runs, never data- or I/O-dependent,
+		// so reaching this line is a caller bug.
 		panic("memsim: page size must be a positive multiple of the line size")
 	}
 	return &AddressSpace{pageSize: uint64(pageSize), heapNext: heapBase}

@@ -19,6 +19,10 @@ type cache struct {
 func newCache(size, assoc int) *cache {
 	sets := size / (LineSize * assoc)
 	if sets <= 0 || sets&(sets-1) != 0 {
+		// Programmer invariant, deliberately kept as a panic: cache
+		// geometry is static configuration (memsim.Params defaults or
+		// explicit experiment setup), never data- or I/O-dependent, so
+		// reaching this line is a caller bug.
 		panic("memsim: cache set count must be a positive power of two")
 	}
 	return &cache{

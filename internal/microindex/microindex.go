@@ -263,12 +263,14 @@ func (t *Tree) readPtr(pg buffer.Page, i int) uint32 {
 }
 
 // insertAt shifts the arrays and rebuilds the affected micro-index
-// suffix — the update cost micro-indexing cannot avoid.
-func (t *Tree) insertAt(pg buffer.Page, pos int, k idx.Key, p uint32) {
+// suffix — the update cost micro-indexing cannot avoid. Inserting into
+// a full page reports a structural error (a damaged count field can
+// make this data-dependent, so it is not left as a panic).
+func (t *Tree) insertAt(pg buffer.Page, pos int, k idx.Key, p uint32) error {
 	d := pg.Data
 	n := pCount(d)
 	if n >= t.cap {
-		panic("microindex: insertAt into full page")
+		return fmt.Errorf("microindex: page %d overflow on insert (count %d, cap %d)", pg.ID, n, t.cap)
 	}
 	if moved := n - pos; moved > 0 {
 		copy(d[t.keyOff(pos+1):t.keyOff(n+1)], d[t.keyOff(pos):t.keyOff(n)])
@@ -282,6 +284,7 @@ func (t *Tree) insertAt(pg buffer.Page, pos int, k idx.Key, p uint32) {
 	t.mm.Access(pg.Addr+uint64(t.keyOff(pos)), 4)
 	t.mm.Access(pg.Addr+uint64(t.ptrOff(pos)), 4)
 	t.rebuildMicro(pg, pos/t.keysPerSub)
+	return nil
 }
 
 func (t *Tree) removeAt(pg buffer.Page, pos int) {

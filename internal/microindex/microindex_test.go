@@ -1,6 +1,7 @@
 package microindex
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/idx"
@@ -18,6 +19,15 @@ func factory(t *testing.T, env *treetest.Env) idx.Index {
 
 func TestConformance4K(t *testing.T)  { treetest.Run(t, 4<<10, factory) }
 func TestConformance16K(t *testing.T) { treetest.Run(t, 16<<10, factory) }
+
+func TestChaos(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			treetest.RunChaos(t, 4<<10, factory, seed, 6000)
+		})
+	}
+}
 
 func TestRejectsBadSubarray(t *testing.T) {
 	env := treetest.NewEnv(4<<10, 16)

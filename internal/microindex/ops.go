@@ -284,9 +284,9 @@ func (t *Tree) insertInto(pid uint32, lvl int, k idx.Key, p uint32) (bool, idx.K
 	}
 
 	if pCount(pg.Data) < t.cap {
-		t.insertAt(pg, slot+1, k, p)
+		err := t.insertAt(pg, slot+1, k, p)
 		t.pool.Unpin(pg, true)
-		return false, 0, 0, nil
+		return false, 0, 0, err
 	}
 	sep, newPID, err := t.splitPage(pg)
 	if err != nil {
@@ -300,11 +300,18 @@ func (t *Tree) insertInto(pid uint32, lvl int, k idx.Key, p uint32) (bool, idx.K
 			return false, 0, 0, err2
 		}
 		s, _ := t.searchPage(np, k, false)
-		t.insertAt(np, s+1, k, p)
+		err2 = t.insertAt(np, s+1, k, p)
 		t.pool.Unpin(np, true)
+		if err2 != nil {
+			t.pool.Unpin(pg, true)
+			return false, 0, 0, err2
+		}
 	} else {
 		s, _ := t.searchPage(pg, k, false)
-		t.insertAt(pg, s+1, k, p)
+		if err := t.insertAt(pg, s+1, k, p); err != nil {
+			t.pool.Unpin(pg, true)
+			return false, 0, 0, err
+		}
 	}
 	t.pool.Unpin(pg, true)
 	return true, sep, newPID, nil

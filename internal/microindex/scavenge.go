@@ -1,0 +1,66 @@
+package microindex
+
+import (
+	"repro/internal/idx"
+)
+
+// Scavenge implements idx.Index: rebuild the tree from its surviving
+// leaf chain after permanent page loss or detected corruption. See the
+// bptree implementation for the walk's stop conditions; the logic is
+// identical, only the in-page layout differs.
+func (t *Tree) Scavenge() (idx.ScavengeStats, error) {
+	var st idx.ScavengeStats
+	var entries []idx.Entry
+	var lastKey idx.Key
+	have := false
+	maxLeaves := int(t.pool.MaxPageID())
+	pid := t.firstLeaf
+	for pid != 0 {
+		if st.LeavesRead >= maxLeaves {
+			st.Truncated = true
+			break
+		}
+		pg, err := t.pool.Get(pid)
+		if err != nil {
+			st.Truncated = true
+			break
+		}
+		d := pg.Data
+		n := pCount(d)
+		if pType(d) != pageLeaf || n > t.cap {
+			t.pool.Unpin(pg, false)
+			st.Truncated = true
+			break
+		}
+		bad := false
+		for i := 0; i < n; i++ {
+			k := t.key(d, i)
+			if have && k < lastKey {
+				bad = true
+				break
+			}
+			lastKey, have = k, true
+			entries = append(entries, idx.Entry{Key: k, TID: t.ptr(d, i)})
+		}
+		next := pNext(d)
+		t.pool.Unpin(pg, false)
+		st.LeavesRead++
+		if bad {
+			st.Truncated = true
+			break
+		}
+		pid = next
+	}
+	st.Entries = len(entries)
+
+	if err := t.pool.DiscardAll(); err != nil {
+		return st, err
+	}
+	// Zeroing the root first makes Bulkload's freeAll a no-op, so the
+	// old (possibly unreadable) pages leak instead of being recycled.
+	t.root, t.height, t.firstLeaf = 0, 0, 0
+	if err := t.Bulkload(entries, idx.ScavengeFill); err != nil {
+		return st, err
+	}
+	return st, nil
+}

@@ -1,0 +1,48 @@
+package pbtree
+
+import (
+	"repro/internal/idx"
+)
+
+// Scavenge implements idx.Index. The pB+-Tree is memory resident —
+// there is no storage below it to fail — so scavenging is a pure
+// structural rebuild: walk the leaf sibling chain, salvage entries up
+// to the first key regression or an impossibly long chain (loop guard),
+// and bulkload a fresh tree. Old nodes are dropped for the garbage
+// collector; there are no page IDs to leak.
+func (t *Tree) Scavenge() (idx.ScavengeStats, error) {
+	var st idx.ScavengeStats
+	var entries []idx.Entry
+	var lastKey idx.Key
+	have := false
+	maxLeaves := t.nodes + 1
+	for n := t.first; n != nil; n = n.next {
+		if st.LeavesRead >= maxLeaves {
+			st.Truncated = true
+			break
+		}
+		bad := !n.leaf || len(n.keys) > t.cap || len(n.tids) != len(n.keys)
+		if !bad {
+			for i, k := range n.keys {
+				if have && k < lastKey {
+					bad = true
+					break
+				}
+				lastKey, have = k, true
+				entries = append(entries, idx.Entry{Key: k, TID: n.tids[i]})
+			}
+		}
+		st.LeavesRead++
+		if bad {
+			st.Truncated = true
+			break
+		}
+	}
+	st.Entries = len(entries)
+	t.root, t.first = nil, nil
+	t.height, t.nodes = 0, 0
+	if err := t.Bulkload(entries, idx.ScavengeFill); err != nil {
+		return st, err
+	}
+	return st, nil
+}

@@ -1,0 +1,395 @@
+// Chaos-differential harness: drive an index with a random operation
+// mix over a fault-injecting storage stack and check that every failure
+// is survivable. The contract under chaos is weaker than the fault-free
+// differential — entries can legitimately be lost when media dies — but
+// it is still sharp:
+//
+//   - no operation may panic;
+//   - every operation error must wrap one of the four storage sentinels
+//     (ErrTransientIO, ErrPermanentIO, ErrCorruptPage, ErrPoolExhausted);
+//   - no buffer page may remain pinned after a failed operation;
+//   - Scavenge + CheckInvariants must always produce a working tree;
+//   - every entry the tree ever returns carries the workload's TID
+//     convention (TID = key + 7) in ascending key order — corruption is
+//     detected, never silently served;
+//   - between repairs, successful operations match a reference model
+//     exactly (detected corruption surfaces as an error, so a successful
+//     op has no excuse to be wrong);
+//   - the fault store's count of corrupt reads served equals the pool's
+//     count of checksum failures detected: nothing slips through.
+package treetest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/fault"
+	"repro/internal/idx"
+	"repro/internal/memsim"
+)
+
+// NewChaosEnv builds an environment whose storage stack injects faults:
+// pool → checksum layer → fault store → memory store. The physical page
+// grows by one trailer so the logical page the tree sees stays pageSize.
+// frames should be small relative to the tree so evictions keep write
+// (and re-read) traffic flowing through the injector.
+func NewChaosEnv(pageSize, frames int, cfg fault.Config) *Env {
+	mm := memsim.NewDefault()
+	faults := fault.New(buffer.NewMemStore(pageSize+fault.TrailerSize), cfg)
+	pool := buffer.NewPool(fault.NewChecksumStore(faults), frames)
+	pool.AttachModel(mm)
+	return &Env{Pool: pool, Model: mm, Faults: faults}
+}
+
+// DefaultChaosConfig is the standard chaos schedule: every fault kind,
+// probabilistic, frequent enough that a run of a few thousand ops sees
+// several of each. Permanent kills are capped so a run cannot strangle
+// itself losing pages.
+func DefaultChaosConfig(seed int64) fault.Config {
+	return fault.Config{
+		Seed: seed,
+		Rules: []fault.Rule{
+			{Kind: fault.TransientRead, Prob: 1.0 / 120},
+			{Kind: fault.PermanentRead, Prob: 1.0 / 3000, Limit: 4},
+			{Kind: fault.BitFlip, Prob: 1.0 / 150},
+			{Kind: fault.TornWrite, Prob: 1.0 / 200},
+			{Kind: fault.WriteFail, Prob: 1.0 / 250},
+		},
+	}
+}
+
+// ChaosIndex is the index surface the chaos runner drives. idx.Index
+// implementations and the fpbtree facade both satisfy it.
+type ChaosIndex interface {
+	Bulkload(entries []idx.Entry, fill float64) error
+	Insert(key idx.Key, tid idx.TupleID) error
+	Delete(key idx.Key) (bool, error)
+	Search(key idx.Key) (idx.TupleID, bool, error)
+	RangeScan(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error)
+	CheckInvariants() error
+	Scavenge() (idx.ScavengeStats, error)
+}
+
+// ChaosTarget bundles an index with hooks into the storage stack under
+// it. The function fields let the runner work both against a bare
+// buffer.Pool (treetest) and the fpbtree facade (fpcheck), which does
+// not export its pool.
+type ChaosTarget struct {
+	Index  ChaosIndex
+	Faults *fault.Store
+	// Pinned reports currently pinned buffer frames.
+	Pinned func() int
+	// BufStats snapshots the pool's counters.
+	BufStats func() buffer.Stats
+	// DropPool flushes and empties the buffer pool (may fail under
+	// faults; the runner treats that like any failed operation).
+	DropPool func() error
+}
+
+// PoolTarget adapts an Env-based index to a ChaosTarget.
+func PoolTarget(tr ChaosIndex, env *Env) ChaosTarget {
+	return ChaosTarget{
+		Index:    tr,
+		Faults:   env.Faults,
+		Pinned:   env.Pool.PinnedCount,
+		BufStats: env.Pool.Stats,
+		DropPool: env.Pool.DropAll,
+	}
+}
+
+// ChaosReport summarizes a chaos run.
+type ChaosReport struct {
+	Ops        int // operations driven
+	Recoveries int // storage errors that triggered scavenge + rebuild
+	Truncated  int // recoveries that lost tail entries to dead/corrupt media
+	Live       int // entries in the final tree
+
+	Faults fault.Stats  // injector counters at the end of the run
+	Buffer buffer.Stats // pool counters at the end of the run
+}
+
+func (r ChaosReport) String() string {
+	return fmt.Sprintf("%d ops, %d recoveries (%d truncated), %d live entries; injected %d (%d transient, %d permanent, %d bitflip, %d torn, %d wfail); %d retries, %d checksum failures, %d prefetch degradations",
+		r.Ops, r.Recoveries, r.Truncated, r.Live,
+		r.Faults.Injected, r.Faults.TransientReads, r.Faults.PermanentReads,
+		r.Faults.BitFlips, r.Faults.TornWrites, r.Faults.WriteFails,
+		r.Buffer.Retries, r.Buffer.ChecksumFailures, r.Buffer.PrefetchFailures)
+}
+
+// isStorageErr reports whether err is (or wraps) one of the typed
+// storage sentinels — the only errors allowed to escape an operation
+// under chaos.
+func isStorageErr(err error) bool {
+	return errors.Is(err, buffer.ErrTransientIO) ||
+		errors.Is(err, buffer.ErrPermanentIO) ||
+		errors.Is(err, buffer.ErrCorruptPage) ||
+		errors.Is(err, buffer.ErrPoolExhausted)
+}
+
+// Chaos runs the chaos-differential protocol for ops operations and
+// returns a report. A non-nil error means the contract was violated
+// (an untyped error escaped, a pin leaked, recovery failed, silent
+// corruption was served, or the corruption accounting does not add up)
+// — never that faults merely happened.
+func Chaos(tg ChaosTarget, seed int64, ops int) (ChaosReport, error) {
+	var rep ChaosReport
+	const (
+		initialKeys = 40000
+		maxKey      = 4*initialKeys + 1
+		invEvery    = 700
+		scanEvery   = 1000
+		dropEvery   = 1024
+	)
+	rng := rand.New(rand.NewSource(seed))
+	// Reference: key -> live count (the workload keeps keys unique, but
+	// counts survive re-adoption unchanged if a salvaged chain ever held
+	// more than one instance). TID is always key + 7.
+	ref := make(map[uint32]int, initialKeys)
+
+	// accounting cross-checks injector vs detector: every corrupt read
+	// the fault store serves must be caught by the checksum layer.
+	accounting := func() error {
+		fs, bs := tg.Faults.Stats(), tg.BufStats()
+		if fs.CorruptReads != bs.ChecksumFailures {
+			return fmt.Errorf("corruption accounting: fault store served %d corrupt reads, checksum layer detected %d",
+				fs.CorruptReads, bs.ChecksumFailures)
+		}
+		return nil
+	}
+
+	// fullCheck compares a full scan against the reference exactly and
+	// validates the TID convention and key order. Storage errors pass
+	// through for the caller to repair; anything else is a violation.
+	fullCheck := func() error {
+		total := 0
+		for _, c := range ref {
+			total += c
+		}
+		seen := make(map[uint32]int, len(ref))
+		var prev uint32
+		var cbErr error
+		n, err := tg.Index.RangeScan(0, 1<<31, func(k idx.Key, tid idx.TupleID) bool {
+			if tid != k+7 {
+				cbErr = fmt.Errorf("scan served corrupt entry: key %d tid %d", k, tid)
+				return false
+			}
+			if k < prev {
+				cbErr = fmt.Errorf("scan order regressed at key %d", k)
+				return false
+			}
+			prev = k
+			seen[k]++
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if cbErr != nil {
+			return cbErr
+		}
+		if n != total {
+			return fmt.Errorf("full scan saw %d entries, reference has %d", n, total)
+		}
+		for k, c := range ref {
+			if seen[k] != c {
+				return fmt.Errorf("key %d: scan saw %d instances, reference has %d", k, seen[k], c)
+			}
+		}
+		return nil
+	}
+
+	// repair is the recovery protocol for a storage error: assert the
+	// failure is typed and leak-free, then scavenge with injection
+	// paused, validate the rebuilt tree, and adopt its contents as the
+	// new reference. Injection resumes at whatever state it was in.
+	repair := func(cause error) error {
+		rep.Recoveries++
+		if !isStorageErr(cause) {
+			return fmt.Errorf("untyped failure escaped (not one of the storage sentinels): %w", cause)
+		}
+		if n := tg.Pinned(); n != 0 {
+			return fmt.Errorf("%d pages left pinned after error: %v", n, cause)
+		}
+		was := tg.Faults.Enabled()
+		tg.Faults.SetEnabled(false)
+		defer tg.Faults.SetEnabled(was)
+		st, err := tg.Index.Scavenge()
+		if err != nil {
+			return fmt.Errorf("scavenge after %v: %w", cause, err)
+		}
+		if st.Truncated {
+			rep.Truncated++
+		}
+		if err := tg.Index.CheckInvariants(); err != nil {
+			return fmt.Errorf("invariants after scavenge: %w", err)
+		}
+		// Adopt the salvaged contents. Entries may have been lost (media
+		// died) or resurrected (a deletion's dirty page was discarded),
+		// but each one must still honor the TID convention in order.
+		newRef := make(map[uint32]int, len(ref))
+		var prev uint32
+		var cbErr error
+		n, err := tg.Index.RangeScan(0, 1<<31, func(k idx.Key, tid idx.TupleID) bool {
+			if tid != k+7 {
+				cbErr = fmt.Errorf("scavenged tree serves corrupt entry: key %d tid %d", k, tid)
+				return false
+			}
+			if k < prev {
+				cbErr = fmt.Errorf("scavenged tree scan regressed at key %d", k)
+				return false
+			}
+			prev = k
+			newRef[k]++
+			return true
+		})
+		if err != nil {
+			return fmt.Errorf("scan of scavenged tree: %w", err)
+		}
+		if cbErr != nil {
+			return cbErr
+		}
+		if n != st.Entries {
+			return fmt.Errorf("scavenge reported %d entries but the tree scans %d", st.Entries, n)
+		}
+		ref = newRef
+		return accounting()
+	}
+
+	// Start from a known-good bulkloaded tree, like every harness does.
+	was := tg.Faults.Enabled()
+	tg.Faults.SetEnabled(false)
+	es := make([]idx.Entry, initialKeys)
+	for i := range es {
+		k := uint32(i)*2 + 2
+		es[i] = idx.Entry{Key: k, TID: k + 7}
+		ref[k] = 1
+	}
+	if err := tg.Index.Bulkload(es, 0.8); err != nil {
+		return rep, fmt.Errorf("chaos bulkload: %w", err)
+	}
+	tg.Faults.SetEnabled(was)
+
+	for op := 0; op < ops; op++ {
+		rep.Ops++
+		var opErr error
+		k := uint32(rng.Intn(maxKey)) + 1
+		switch rng.Intn(6) {
+		case 0, 1: // insert (keep keys unique so the differential is exact)
+			if ref[k] > 0 {
+				continue
+			}
+			if err := tg.Index.Insert(k, k+7); err != nil {
+				opErr = err
+			} else {
+				ref[k]++
+			}
+		case 2: // delete
+			ok, err := tg.Index.Delete(k)
+			switch {
+			case err != nil:
+				opErr = err
+			case ok != (ref[k] > 0):
+				opErr = fmt.Errorf("delete(%d) = %v, reference count %d", k, ok, ref[k])
+			case ok:
+				ref[k]--
+			}
+		case 3, 4: // search
+			_, ok, err := tg.Index.Search(k)
+			if err != nil {
+				opErr = err
+			} else if ok != (ref[k] > 0) {
+				opErr = fmt.Errorf("search(%d) = %v, reference count %d", k, ok, ref[k])
+			}
+		case 5: // narrow range scan: order + TID convention only
+			var prev uint32
+			var cbErr error
+			_, err := tg.Index.RangeScan(k, k+512, func(kk idx.Key, tid idx.TupleID) bool {
+				if tid != kk+7 {
+					cbErr = fmt.Errorf("range scan served corrupt entry: key %d tid %d", kk, tid)
+					return false
+				}
+				if kk < prev {
+					cbErr = fmt.Errorf("range scan regressed at key %d", kk)
+					return false
+				}
+				prev = kk
+				return true
+			})
+			if err != nil {
+				opErr = err
+			} else {
+				opErr = cbErr
+			}
+		}
+		if opErr == nil && op%invEvery == invEvery-1 {
+			opErr = tg.Index.CheckInvariants()
+		}
+		if opErr == nil && op%scanEvery == scanEvery-1 {
+			opErr = fullCheck()
+		}
+		if opErr == nil && op%dropEvery == dropEvery-1 {
+			// Flush + empty the pool: forces write traffic through the
+			// injector and later demand re-reads through the verifier.
+			opErr = tg.DropPool()
+		}
+		if opErr != nil {
+			if err := repair(opErr); err != nil {
+				return rep, fmt.Errorf("op %d: %w", op, err)
+			}
+		}
+	}
+
+	// Settle: stop injecting and validate the final tree. Latent media
+	// corruption (written under chaos, never read back yet) can still
+	// surface here; that is a legitimate detection, repaired the same
+	// way. Each repair rebuilds onto fresh pages, so this converges.
+	tg.Faults.SetEnabled(false)
+	defer tg.Faults.SetEnabled(was)
+	for attempt := 0; ; attempt++ {
+		err := tg.Index.CheckInvariants()
+		if err == nil {
+			err = fullCheck()
+		}
+		if err == nil {
+			break
+		}
+		if !isStorageErr(err) || attempt >= 5 {
+			return rep, fmt.Errorf("final validation: %w", err)
+		}
+		if rerr := repair(err); rerr != nil {
+			return rep, fmt.Errorf("final repair: %w", rerr)
+		}
+	}
+	if n := tg.Pinned(); n != 0 {
+		return rep, fmt.Errorf("%d pages left pinned at end of run", n)
+	}
+	if err := accounting(); err != nil {
+		return rep, err
+	}
+	for _, c := range ref {
+		rep.Live += c
+	}
+	rep.Faults = tg.Faults.Stats()
+	rep.Buffer = tg.BufStats()
+	return rep, nil
+}
+
+// RunChaos builds a chaos environment with the default schedule for the
+// given seed and drives the factory's tree through the full protocol.
+// The pool is kept small so steady-state evictions route writes (and
+// re-reads) through the injector.
+func RunChaos(t *testing.T, pageSize int, factory Factory, seed int64, ops int) {
+	env := NewChaosEnv(pageSize, 48, DefaultChaosConfig(seed))
+	tr := factory(t, env)
+	rep, err := Chaos(PoolTarget(tr, env), seed, ops)
+	if err != nil {
+		t.Fatalf("chaos (seed %d): %v\nreport so far: %v", seed, err, rep)
+	}
+	if rep.Faults.Injected == 0 {
+		t.Fatalf("chaos (seed %d): schedule injected no faults — the run proved nothing", seed)
+	}
+	t.Logf("chaos seed %d: %v", seed, rep)
+}

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/buffer"
+	"repro/internal/fault"
 	"repro/internal/idx"
 	"repro/internal/memsim"
 )
@@ -19,6 +20,9 @@ import (
 type Env struct {
 	Pool  *buffer.Pool
 	Model *memsim.Model
+	// Faults is the fault injector under the pool when the environment
+	// was built with NewChaosEnv, nil otherwise.
+	Faults *fault.Store
 }
 
 // NewEnv builds a memory-backed environment (zero I/O latency) with
@@ -63,6 +67,7 @@ func Run(t *testing.T, pageSize int, factory Factory) {
 	t.Run("BulkloadErrors", func(t *testing.T) { testBulkloadErrors(t, pageSize, factory) })
 	t.Run("RebulkloadReleasesPages", func(t *testing.T) { testRebulkload(t, pageSize, factory) })
 	t.Run("PinLeaks", func(t *testing.T) { testPinLeaks(t, pageSize, factory) })
+	t.Run("ScavengeRebuild", func(t *testing.T) { testScavenge(t, pageSize, factory) })
 }
 
 func testEmpty(t *testing.T, pageSize int, factory Factory) {
@@ -693,6 +698,109 @@ func testRebulkload(t *testing.T, pageSize int, factory Factory) {
 	}
 	if _, ok, err := tr.Search(es[123].Key); err != nil || !ok {
 		t.Fatalf("search after rebulkload: %v %v", ok, err)
+	}
+}
+
+// testScavenge verifies the repair path on healthy storage: with no
+// faults at all, Scavenge must be lossless — it walks the live leaf
+// chain (through the buffer pool, so unflushed updates are included),
+// rebuilds, and the result equals the tree before repair exactly.
+func testScavenge(t *testing.T, pageSize int, factory Factory) {
+	// Empty tree: scavenging nothing yields a working empty tree.
+	env := NewEnv(pageSize, 8192)
+	tr := factory(t, env)
+	st, err := tr.Scavenge()
+	if err != nil || st.Entries != 0 || st.Truncated {
+		t.Fatalf("empty scavenge: %+v err=%v", st, err)
+	}
+	if err := tr.Insert(5, 12); err != nil {
+		t.Fatalf("insert after empty scavenge: %v", err)
+	}
+	if tid, ok, _ := tr.Search(5); !ok || tid != 12 {
+		t.Fatal("insert after empty scavenge lost")
+	}
+
+	// Populated tree with churn, so the pool holds dirty unflushed pages.
+	env = NewEnv(pageSize, 16384)
+	tr = factory(t, env)
+	es := GenEntries(9000, 6, 4)
+	if err := tr.Bulkload(es, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	ref := map[uint32]uint32{}
+	for _, e := range es {
+		ref[e.Key] = e.TID
+	}
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 2500; i++ {
+		k := uint32(rng.Intn(40000))*4 + 7 // never collides with bulk keys
+		if _, dup := ref[k]; dup {
+			continue
+		}
+		ref[k] = k + 7
+		if err := tr.Insert(k, k+7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < len(es); i += 3 {
+		if _, err := tr.Delete(es[i].Key); err != nil {
+			t.Fatal(err)
+		}
+		delete(ref, es[i].Key)
+	}
+
+	for round := 0; round < 2; round++ {
+		st, err := tr.Scavenge()
+		if err != nil {
+			t.Fatalf("round %d scavenge: %v", round, err)
+		}
+		if st.Truncated {
+			t.Fatalf("round %d: fault-free scavenge truncated (%+v)", round, st)
+		}
+		if st.Entries != len(ref) {
+			t.Fatalf("round %d: salvaged %d entries, reference has %d", round, st.Entries, len(ref))
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("round %d invariants after scavenge: %v", round, err)
+		}
+		keys := make([]uint32, 0, len(ref))
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		i := 0
+		n, err := tr.RangeScan(0, 1<<31, func(k idx.Key, tid idx.TupleID) bool {
+			if i < len(keys) && (k != keys[i] || tid != ref[k]) {
+				t.Fatalf("round %d scan mismatch at %d: got (%d,%d), want (%d,%d)",
+					round, i, k, tid, keys[i], ref[keys[i]])
+			}
+			i++
+			return true
+		})
+		if err != nil || n != len(keys) {
+			t.Fatalf("round %d scan: n=%d want %d err=%v", round, n, len(keys), err)
+		}
+	}
+
+	// The rebuilt tree must remain fully operational.
+	for i := 0; i < 500; i++ {
+		k := uint32(rng.Intn(40000))*4 + 9
+		if _, dup := ref[k]; dup {
+			continue
+		}
+		ref[k] = k + 7
+		if err := tr.Insert(k, k+7); err != nil {
+			t.Fatalf("insert after scavenge: %v", err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after post-scavenge inserts: %v", err)
+	}
+	if n, _ := tr.RangeScan(0, 1<<31, nil); n != len(ref) {
+		t.Fatalf("post-scavenge scan sees %d, want %d", n, len(ref))
+	}
+	if n := env.Pool.PinnedCount(); n != 0 {
+		t.Fatalf("%d pages left pinned after scavenge", n)
 	}
 }
 
