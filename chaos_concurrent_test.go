@@ -1,0 +1,92 @@
+package fpbtree
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/treetest"
+)
+
+func isTypedStorageErr(err error) bool {
+	return errors.Is(err, ErrTransientIO) ||
+		errors.Is(err, ErrPermanentIO) ||
+		errors.Is(err, ErrCorruptPage) ||
+		errors.Is(err, ErrPoolExhausted)
+}
+
+// TestConcurrentChaosDifferential runs the chaos-differential protocol
+// against WithConcurrency(4) trees (the sharded, latched pool and the
+// tree-level lock in the storage path), then storms the surviving tree
+// with 4 reader goroutines while faults stay enabled. Both phases must
+// uphold the chaos contract: typed storage errors only, no pin leaks,
+// no silent corruption. Run under -race.
+func TestConcurrentChaosDifferential(t *testing.T) {
+	for _, seed := range []int64{1, 2} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			tr, err := New(
+				WithVariant(DiskFirst),
+				WithConcurrency(4),
+				WithPageSize(4<<10),
+				WithBufferPages(48),
+				WithFaults(treetest.DefaultChaosConfig(seed)),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tg := treetest.ChaosTarget{
+				Index:    tr,
+				Faults:   tr.Faults(),
+				Pinned:   tr.PinnedPages,
+				BufStats: tr.BufferStats,
+				DropPool: tr.DropBufferPool,
+			}
+			rep, err := treetest.Chaos(tg, seed, 4000)
+			if err != nil {
+				t.Fatalf("chaos contract violated: %v", err)
+			}
+			if rep.Faults.Injected == 0 {
+				t.Fatal("schedule injected no faults — the run proved nothing")
+			}
+			t.Logf("chaos: %v", rep)
+
+			// Concurrent read storm over the surviving tree, faults still
+			// firing: every error must be a typed storage error, and the
+			// storm must not leak pins.
+			const readers = 4
+			var wg sync.WaitGroup
+			errs := make(chan error, readers)
+			for w := 0; w < readers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					x := uint32(101*w + 29)
+					for n := 0; n < 1500; n++ {
+						x = x*1664525 + 1013904223
+						k := Key(x % 200000)
+						if _, _, err := tr.Search(k); err != nil && !isTypedStorageErr(err) {
+							errs <- fmt.Errorf("reader %d: untyped error escaped Search(%d): %v", w, k, err)
+							return
+						}
+						if n%200 == 0 {
+							if _, err := tr.RangeScan(k, k+512, nil); err != nil && !isTypedStorageErr(err) {
+								errs <- fmt.Errorf("reader %d: untyped error escaped RangeScan: %v", w, err)
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			if n := tr.PinnedPages(); n != 0 {
+				t.Fatalf("%d pinned pages leaked after read storm", n)
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@
 //
 //	fpbench [-scale quick|default|paper] [-csv] [-parallel] [-benchjson FILE]
 //	        [-metrics FILE] [-trace FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	        [-threads N -duration D -workload readonly|mixed|scan|all -keys N]
 //	        [experiment ...]
 //
 // With no experiment arguments it runs the full suite in paper order.
@@ -14,6 +15,13 @@
 // tables are identical to a serial run. -benchjson FILE times every
 // experiment both serially and in parallel and writes the wall-clock
 // comparison as JSON (e.g. BENCH_1.json).
+//
+// -threads N switches to the wall-clock serving benchmark instead of
+// the simulation experiments: N goroutines drive a memory-resident
+// WithConcurrency tree for -duration per cell (a read-only thread
+// sweep plus mixed and scan workloads), reporting real ops/sec and
+// p50/p99 latency. With -benchjson the sweep is written as the
+// "throughput" section (e.g. BENCH_concurrency.json).
 //
 // -metrics FILE writes the final metrics-registry snapshot (counters
 // summed over every cell of every experiment run) as JSON. -trace FILE
@@ -46,13 +54,14 @@ type benchEntry struct {
 }
 
 type benchReport struct {
-	Scale       string       `json:"scale"`
-	Workers     int          `json:"workers"`
-	CPUs        int          `json:"cpus"`
-	GoMaxProcs  int          `json:"gomaxprocs"`
-	GoVersion   string       `json:"go_version"`
-	GitCommit   string       `json:"git_commit,omitempty"`
-	Experiments []benchEntry `json:"experiments"`
+	Scale       string            `json:"scale"`
+	Workers     int               `json:"workers"`
+	CPUs        int               `json:"cpus"`
+	GoMaxProcs  int               `json:"gomaxprocs"`
+	GoVersion   string            `json:"go_version"`
+	GitCommit   string            `json:"git_commit,omitempty"`
+	Experiments []benchEntry      `json:"experiments,omitempty"`
+	Throughput  []throughputEntry `json:"throughput,omitempty"`
 }
 
 // gitCommit reports the VCS revision stamped into the binary, if any
@@ -82,7 +91,39 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	integrity := flag.Bool("integrity", false, "run with the checksum/fault storage stack interposed (cache tables must be byte-identical)")
+	threads := flag.Int("threads", 0, "wall-clock serving benchmark: goroutine count (0 runs the simulation experiments)")
+	duration := flag.Duration("duration", 2*time.Second, "per-cell measurement time (with -threads)")
+	workloadName := flag.String("workload", "all", "serving workload: readonly, mixed, scan, or all (with -threads)")
+	benchKeys := flag.Int("keys", 1_000_000, "keys in the serving benchmark tree (with -threads)")
 	flag.Parse()
+
+	if *threads > 0 {
+		fmt.Printf("# fpB+-Tree wall-clock serving benchmark — %d key tree, %v per cell\n", *benchKeys, *duration)
+		entries, err := throughputSweep(*workloadName, *threads, *benchKeys, *duration)
+		if err != nil {
+			fatal(err)
+		}
+		if *benchJSON != "" {
+			report := benchReport{
+				Scale:      "throughput",
+				CPUs:       runtime.NumCPU(),
+				GoMaxProcs: runtime.GOMAXPROCS(0),
+				GoVersion:  runtime.Version(),
+				GitCommit:  gitCommit(),
+				Throughput: entries,
+			}
+			data, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			data = append(data, '\n')
+			if err := os.WriteFile(*benchJSON, data, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("# wrote %s\n", *benchJSON)
+		}
+		return
+	}
 
 	if *list {
 		for _, id := range harness.IDs() {

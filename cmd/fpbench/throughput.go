@@ -1,0 +1,172 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	fpbtree "repro"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// throughputEntry is one wall-clock serving measurement in the
+// -benchjson report.
+type throughputEntry struct {
+	Workload  string  `json:"workload"`
+	Threads   int     `json:"threads"`
+	Seconds   float64 `json:"seconds"`
+	Ops       uint64  `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Nanos  uint64  `json:"p50_nanos"`
+	P99Nanos  uint64  `json:"p99_nanos"`
+}
+
+// throughputSweep runs the wall-clock serving benchmark: a read-only
+// thread sweep (1, 2, ... up to threads, powers of two) plus the mixed
+// and scan workloads at full width. wl narrows the run to one workload
+// ("all" runs the standard sweep).
+func throughputSweep(wl string, threads, keys int, dur time.Duration) ([]throughputEntry, error) {
+	type cell struct {
+		workload string
+		threads  int
+	}
+	var cells []cell
+	addSweep := func(name string) {
+		for n := 1; n <= threads; n *= 2 {
+			cells = append(cells, cell{name, n})
+		}
+		if cells[len(cells)-1].threads != threads {
+			cells = append(cells, cell{name, threads}) // threads not a power of two
+		}
+	}
+	switch wl {
+	case "all":
+		addSweep("readonly")
+		cells = append(cells, cell{"mixed", threads}, cell{"scan", threads})
+	case "readonly":
+		addSweep("readonly")
+	case "mixed", "scan":
+		cells = append(cells, cell{wl, threads})
+	default:
+		return nil, fmt.Errorf("unknown workload %q (want readonly, mixed, scan, or all)", wl)
+	}
+
+	var out []throughputEntry
+	for _, c := range cells {
+		e, err := runThroughput(c.workload, c.threads, keys, dur)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("# %-8s threads=%d  %.0f ops/sec  p50=%s p99=%s (%d ops in %.2fs)\n",
+			e.Workload, e.Threads, e.OpsPerSec,
+			time.Duration(e.P50Nanos), time.Duration(e.P99Nanos), e.Ops, e.Seconds)
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// runThroughput measures one (workload, threads) cell on a fresh
+// memory-resident tree: `threads` goroutines issue operations for dur,
+// recording per-op wall latency into one shared histogram.
+func runThroughput(wl string, threads, keys int, dur time.Duration) (throughputEntry, error) {
+	tr, err := fpbtree.New(
+		fpbtree.WithVariant(fpbtree.DiskFirst),
+		fpbtree.WithConcurrency(threads),
+	)
+	if err != nil {
+		return throughputEntry{}, err
+	}
+	gen := workload.New(42)
+	if err := tr.Bulkload(gen.BulkEntries(keys), 1.0); err != nil {
+		return throughputEntry{}, err
+	}
+	// Warm the buffer pool so the measured phase serves residents.
+	if _, err := tr.RangeScan(0, ^fpbtree.Key(0), nil); err != nil {
+		return throughputEntry{}, err
+	}
+
+	var (
+		hist     obs.Histogram
+		totalOps atomic.Uint64
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		stop.Store(true)
+	}
+
+	start := time.Now()
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var (
+				ops  uint64
+				x    = uint32(2654435761*uint32(w) + 97)
+				next = uint32(0) // per-thread disjoint insert counter
+				t0   = time.Now()
+			)
+			for !stop.Load() {
+				x = x*1664525 + 1013904223
+				var err error
+				switch {
+				case wl == "scan":
+					lo := fpbtree.Key(x%uint32(keys))*2 + 1
+					_, err = tr.RangeScan(lo, lo+200, nil)
+				case wl == "mixed" && x%10 == 0:
+					// Disjoint even keys per thread, above the bulk range.
+					k := fpbtree.Key(2 * (uint32(keys) + 1 + next*uint32(threads) + uint32(w)))
+					next++
+					err = tr.Insert(k, k+7)
+				default:
+					k := fpbtree.Key(x%uint32(keys))*2 + 1
+					var tid fpbtree.TupleID
+					var ok bool
+					tid, ok, err = tr.Search(k)
+					if err == nil && (!ok || tid != k+7) {
+						fail(fmt.Errorf("%s: Search(%d) = (%d,%v), want (%d,true)", wl, k, tid, ok, k+7))
+						return
+					}
+				}
+				if err != nil {
+					fail(fmt.Errorf("%s: %w", wl, err))
+					return
+				}
+				t1 := time.Now()
+				hist.Record(uint64(t1.Sub(t0)))
+				t0 = t1
+				ops++
+			}
+			totalOps.Add(ops)
+		}(w)
+	}
+	timer := time.AfterFunc(dur, func() { stop.Store(true) })
+	wg.Wait()
+	timer.Stop()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return throughputEntry{}, firstErr
+	}
+	if n := tr.PinnedPages(); n != 0 {
+		return throughputEntry{}, fmt.Errorf("%s threads=%d: %d pinned pages leaked", wl, threads, n)
+	}
+	snap := hist.Snapshot()
+	return throughputEntry{
+		Workload:  wl,
+		Threads:   threads,
+		Seconds:   elapsed.Seconds(),
+		Ops:       totalOps.Load(),
+		OpsPerSec: float64(totalOps.Load()) / elapsed.Seconds(),
+		P50Nanos:  snap.Quantile(0.50),
+		P99Nanos:  snap.Quantile(0.99),
+	}, nil
+}

@@ -45,6 +45,7 @@ func main() {
 	page := flag.Int("page", 8<<10, "page size in bytes")
 	dumpEvents := flag.Int("dump-events", 32, "trace events to dump on failure")
 	chaos := flag.Bool("chaos", false, "run the chaos-differential protocol under fault injection")
+	conc := flag.Int("conc", 0, "build chaos trees WithConcurrency(N): exercises the sharded latched pool (0 = simulation pool)")
 	flag.Parse()
 
 	if *seed == 0 {
@@ -66,7 +67,7 @@ func main() {
 			var tr *fpbtree.Tree
 			var err error
 			if *chaos {
-				tr, err = chaosOne(v, *page, *ops, s)
+				tr, err = chaosOne(v, *page, *ops, *conc, s)
 			} else {
 				tr, err = runOne(v, *page, *keys, *ops, s)
 			}
@@ -90,14 +91,18 @@ func main() {
 // on the facade's full storage stack (fault injector + checksum layer).
 // The pool is deliberately small so steady-state evictions route writes
 // and re-reads through the injector.
-func chaosOne(v fpbtree.Variant, page, ops int, seed int64) (*fpbtree.Tree, error) {
-	tr, err := fpbtree.New(
+func chaosOne(v fpbtree.Variant, page, ops, conc int, seed int64) (*fpbtree.Tree, error) {
+	opts := []fpbtree.Option{
 		fpbtree.WithVariant(v),
 		fpbtree.WithPageSize(page),
 		fpbtree.WithBufferPages(32),
 		fpbtree.WithFaults(treetest.DefaultChaosConfig(seed)),
-		fpbtree.WithTracing(1<<12),
-	)
+		fpbtree.WithTracing(1 << 12),
+	}
+	if conc > 0 {
+		opts = append(opts, fpbtree.WithConcurrency(conc))
+	}
+	tr, err := fpbtree.New(opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	fptree [-variant disk-first|cache-first|disk-optimized|micro] \
-//	       [-keys N] [-fill F] [-page BYTES] [-disks N] \
+//	       [-keys N] [-fill F] [-page BYTES] [-disks N] [-conc N] \
 //	       [-searches N] [-inserts N] [-deletes N] [-scan SPAN]
 //
 //	fptree stats [same flags] [-trace FILE]
@@ -48,6 +48,7 @@ type treeFlags struct {
 	inserts  *int
 	deletes  *int
 	scan     *int
+	conc     *int
 }
 
 func addTreeFlags(fs *flag.FlagSet) treeFlags {
@@ -61,6 +62,7 @@ func addTreeFlags(fs *flag.FlagSet) treeFlags {
 		inserts:  fs.Int("inserts", 2000, "random inserts to run"),
 		deletes:  fs.Int("deletes", 2000, "random deletes to run"),
 		scan:     fs.Int("scan", 100000, "range scan span in entries (0 = skip)"),
+		conc:     fs.Int("conc", 0, "build WithConcurrency(N): sharded latched pool, frozen simulators (0 = simulation mode)"),
 	}
 }
 
@@ -76,6 +78,9 @@ func (f treeFlags) build(extra ...fpbtree.Option) (*fpbtree.Tree, error) {
 	}
 	if *f.disks > 0 {
 		opts = append(opts, fpbtree.WithDisks(*f.disks))
+	}
+	if *f.conc > 0 {
+		opts = append(opts, fpbtree.WithConcurrency(*f.conc))
 	}
 	return fpbtree.New(append(opts, extra...)...)
 }

@@ -21,6 +21,7 @@ package fpbtree
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/bptree"
 	"repro/internal/buffer"
@@ -137,6 +138,14 @@ type Options struct {
 	// store below the integrity layer (and implies Checksums — injected
 	// corruption must be detectable).
 	Faults *FaultConfig
+	// Concurrency >= 1 switches the tree into the wall-clock serving
+	// mode sized for that many goroutines: the buffer pool is sharded
+	// with per-page latches, reads run concurrently under a tree-level
+	// read lock, structural writers are serialized, and the virtual-time
+	// memory simulator is frozen (its per-access charging is meaningless
+	// across goroutines; see DESIGN.md §11). 0 keeps the default
+	// single-threaded simulation mode with byte-identical outputs.
+	Concurrency int
 }
 
 // Option mutates Options.
@@ -176,6 +185,14 @@ func WithChecksums() Option { return func(o *Options) { o.Checksums = true } }
 // at run time.
 func WithFaults(cfg FaultConfig) Option { return func(o *Options) { o.Faults = &cfg } }
 
+// WithConcurrency enables the wall-clock serving mode sized for n
+// concurrent goroutines (n >= 1). Searches and scans from different
+// goroutines proceed in parallel; Insert/Delete/SearchBatch are
+// serialized against each other and against readers. The cache/I-O
+// simulators are frozen in this mode — use it for real-time throughput,
+// not for the paper's virtual-time experiments.
+func WithConcurrency(n int) Option { return func(o *Options) { o.Concurrency = n } }
+
 // Tree is an fpB+-Tree (or baseline) with its substrate.
 type Tree struct {
 	index  idx.Index
@@ -184,6 +201,13 @@ type Tree struct {
 	array  *disksim.Array
 	faults *fault.Store // nil unless built WithFaults
 	opts   Options
+
+	// mu is the tree-level operation lock used only in concurrent mode:
+	// readers share it, structural writers hold it exclusively. Page
+	// latches below it keep eviction honest; this lock keeps the tree
+	// shape and the shared batch scratch single-writer (DESIGN.md §11).
+	mu         sync.RWMutex
+	concurrent bool
 
 	ob    *obs.Obs
 	hists [6]opHists // per-op latency histograms, indexed by Kind-EvOpSearch
@@ -254,7 +278,21 @@ func New(options ...Option) (*Tree, error) {
 		store = fault.NewChecksumStore(store)
 	}
 	mm := memsim.NewDefault()
-	pool := buffer.NewPool(store, o.BufferPages)
+	var pool *buffer.Pool
+	if o.Concurrency >= 1 {
+		// Sharded, latched pool sized ~2 shards per goroutine (rounded
+		// to a power of two by the pool, capped at 64 to bound the fast
+		// tables). The memory simulator is frozen: per-access charging
+		// is not meaningful when several goroutines interleave.
+		shards := 2 * o.Concurrency
+		if shards > 64 {
+			shards = 64
+		}
+		pool = buffer.NewConcurrentPool(store, o.BufferPages, shards)
+		mm.SetConcurrent(true)
+	} else {
+		pool = buffer.NewPool(store, o.BufferPages)
+	}
 	pool.AttachModel(mm)
 
 	ob := obs.New()
@@ -300,7 +338,10 @@ func New(options ...Option) (*Tree, error) {
 		return nil, err
 	}
 	idx.RegisterMetrics(ob.Reg, index)
-	t := &Tree{index: index, pool: pool, model: mm, array: array, faults: faults, opts: o, ob: ob}
+	t := &Tree{
+		index: index, pool: pool, model: mm, array: array, faults: faults,
+		opts: o, ob: ob, concurrent: o.Concurrency >= 1,
+	}
 	opNames := [6]string{"search", "insert", "delete", "scan", "scan_rev", "batch"}
 	for i, n := range opNames {
 		t.hists[i] = opHists{
@@ -326,8 +367,38 @@ func (t *Tree) opEnd(kind obs.Kind, key uint32, c0, u0 uint64) {
 	}
 }
 
+// rlock/runlock and lock/unlock are no-ops outside concurrent mode so
+// the single-threaded simulation paths stay branch-only (and 0 allocs).
+func (t *Tree) rlock() {
+	if t.concurrent {
+		t.mu.RLock()
+	}
+}
+
+func (t *Tree) runlock() {
+	if t.concurrent {
+		t.mu.RUnlock()
+	}
+}
+
+func (t *Tree) lock() {
+	if t.concurrent {
+		t.mu.Lock()
+	}
+}
+
+func (t *Tree) unlock() {
+	if t.concurrent {
+		t.mu.Unlock()
+	}
+}
+
 // Variant reports the tree's organization.
 func (t *Tree) Variant() Variant { return t.opts.Variant }
+
+// Concurrency reports the goroutine count the tree was sized for
+// (0 in the default single-threaded simulation mode).
+func (t *Tree) Concurrency() int { return t.opts.Concurrency }
 
 // Name reports a human-readable structure name.
 func (t *Tree) Name() string { return t.index.Name() }
@@ -335,14 +406,18 @@ func (t *Tree) Name() string { return t.index.Name() }
 // Bulkload builds the tree from entries sorted by ascending key, with
 // nodes filled to the given factor in (0, 1].
 func (t *Tree) Bulkload(entries []Entry, fill float64) error {
+	t.lock()
+	defer t.unlock()
 	return t.index.Bulkload(entries, fill)
 }
 
 // Search returns the tuple ID stored under key.
 func (t *Tree) Search(key Key) (TupleID, bool, error) {
+	t.rlock()
 	c0, u0 := t.opBegin()
 	tid, ok, err := t.index.Search(key)
 	t.opEnd(obs.EvOpSearch, key, c0, u0)
+	t.runlock()
 	return tid, ok, err
 }
 
@@ -359,25 +434,33 @@ func (t *Tree) SearchBatch(keys []Key) ([]SearchResult, error) {
 // appends the results to out (reallocating only when out lacks
 // capacity) and returns the extended slice.
 func (t *Tree) SearchBatchInto(keys []Key, out []SearchResult) ([]SearchResult, error) {
+	// Exclusive even though it only reads: the level-wise descent uses a
+	// per-tree scratch area that cannot be shared between goroutines.
+	t.lock()
 	c0, u0 := t.opBegin()
 	res, err := t.index.SearchBatch(keys, out)
 	t.opEnd(obs.EvOpBatch, uint32(len(keys)), c0, u0)
+	t.unlock()
 	return res, err
 }
 
 // Insert adds an entry.
 func (t *Tree) Insert(key Key, tid TupleID) error {
+	t.lock()
 	c0, u0 := t.opBegin()
 	err := t.index.Insert(key, tid)
 	t.opEnd(obs.EvOpInsert, key, c0, u0)
+	t.unlock()
 	return err
 }
 
 // Delete removes one entry with the given key (lazy deletion).
 func (t *Tree) Delete(key Key) (bool, error) {
+	t.lock()
 	c0, u0 := t.opBegin()
 	ok, err := t.index.Delete(key)
 	t.opEnd(obs.EvOpDelete, key, c0, u0)
+	t.unlock()
 	return ok, err
 }
 
@@ -385,37 +468,57 @@ func (t *Tree) Delete(key Key) (bool, error) {
 // prefetching leaf pages and leaf nodes through the jump-pointer arrays
 // when enabled. A nil fn counts matching entries.
 func (t *Tree) RangeScan(startKey, endKey Key, fn func(Key, TupleID) bool) (int, error) {
+	t.rlock()
 	c0, u0 := t.opBegin()
 	n, err := t.index.RangeScan(startKey, endKey, fn)
 	t.opEnd(obs.EvOpScan, startKey, c0, u0)
+	t.runlock()
 	return n, err
 }
 
 // RangeScanReverse visits the same range in descending key order
 // (reverse scans, as DB2's index structures support; §4.3.3).
 func (t *Tree) RangeScanReverse(startKey, endKey Key, fn func(Key, TupleID) bool) (int, error) {
+	t.rlock()
 	c0, u0 := t.opBegin()
 	n, err := t.index.RangeScanReverse(startKey, endKey, fn)
 	t.opEnd(obs.EvOpScanRev, startKey, c0, u0)
+	t.runlock()
 	return n, err
 }
 
 // Height reports the number of page levels (node levels for the
 // cache-first variant).
-func (t *Tree) Height() int { return t.index.Height() }
+func (t *Tree) Height() int {
+	t.rlock()
+	defer t.runlock()
+	return t.index.Height()
+}
 
 // PageCount reports the pages the index occupies.
-func (t *Tree) PageCount() int { return t.index.PageCount() }
+func (t *Tree) PageCount() int {
+	t.rlock()
+	defer t.runlock()
+	return t.index.PageCount()
+}
 
 // CheckInvariants validates the tree's structural invariants.
-func (t *Tree) CheckInvariants() error { return t.index.CheckInvariants() }
+func (t *Tree) CheckInvariants() error {
+	t.rlock()
+	defer t.runlock()
+	return t.index.CheckInvariants()
+}
 
 // Scavenge rebuilds the tree from its surviving leaf chain — the repair
 // path after permanent page loss or detected corruption. Entries past
 // the first unreadable or inconsistent leaf are lost (reported via
 // ScavengeStats.Truncated); the old page set is abandoned without
 // recycling its IDs. No pages may be pinned when it runs.
-func (t *Tree) Scavenge() (ScavengeStats, error) { return t.index.Scavenge() }
+func (t *Tree) Scavenge() (ScavengeStats, error) {
+	t.lock()
+	defer t.unlock()
+	return t.index.Scavenge()
+}
 
 // Faults exposes the fault injector for run-time steering (enable /
 // disable, stats, reset), or nil unless the tree was built WithFaults.
@@ -454,6 +557,8 @@ func (t *Tree) Stats() Stats {
 // perturbs buffer counters; take a MetricsSnapshot first if you need
 // unperturbed numbers.
 func (t *Tree) SpaceStats() (SpaceStatsReport, error) {
+	t.rlock()
+	defer t.runlock()
 	return t.index.SpaceStats()
 }
 
@@ -500,7 +605,11 @@ func (t *Tree) ColdCaches() { t.model.ColdCaches() }
 
 // DropBufferPool flushes and empties the buffer pool (the paper clears
 // it before I/O measurements).
-func (t *Tree) DropBufferPool() error { return t.pool.DropAll() }
+func (t *Tree) DropBufferPool() error {
+	t.lock()
+	defer t.unlock()
+	return t.pool.DropAll()
+}
 
 // ResetBufferStats zeroes the buffer pool counters.
 func (t *Tree) ResetBufferStats() { t.pool.ResetStats() }

@@ -11,8 +11,8 @@ import (
 // distinct pages are prefetched before the descent, so a batch costs
 // one pin per distinct page per level instead of one per key.
 func (t *Tree) SearchBatch(keys []idx.Key, out []idx.SearchResult) ([]idx.SearchResult, error) {
-	t.ops.Batches++
-	t.ops.BatchedKeys += uint64(len(keys))
+	t.ops.Batches.Add(1)
+	t.ops.BatchedKeys.Add(uint64(len(keys)))
 	base := len(out)
 	out = idx.GrowResults(out, len(keys))
 	if t.root == 0 || len(keys) == 0 {

@@ -80,7 +80,7 @@ type Tree struct {
 	pfWindow int
 
 	tr  *obs.Tracer
-	ops idx.OpStats
+	ops idx.AtomicOpStats
 
 	batch idx.BatchScratch
 }
@@ -113,10 +113,10 @@ func New(cfg Config) (*Tree, error) {
 func (t *Tree) Name() string { return "disk-optimized B+tree" }
 
 // Stats implements idx.Index.
-func (t *Tree) Stats() idx.OpStats { return t.ops }
+func (t *Tree) Stats() idx.OpStats { return t.ops.Snapshot() }
 
 // ResetStats implements idx.Index.
-func (t *Tree) ResetStats() { t.ops = idx.OpStats{} }
+func (t *Tree) ResetStats() { t.ops.Reset() }
 
 // Cap reports the per-page entry capacity (the paper's page fan-out).
 func (t *Tree) Cap() int { return t.cap }
@@ -156,7 +156,7 @@ func (t *Tree) setPtr(d []byte, i int, v uint32)  { le.PutUint32(d[t.ptrOff(i):]
 func (t *Tree) touchHeader(pg buffer.Page) {
 	t.mm.Access(pg.Addr, 16)
 	t.mm.Busy(memsim.CostNodeVisit)
-	t.ops.NodeVisits++
+	t.ops.NodeVisits.Add(1)
 	if t.tr != nil {
 		t.tr.NodeVisit(pg.ID, 0, t.mm.Now(), t.pool.Clock())
 	}

@@ -154,7 +154,7 @@ func (t *Tree) freeAll() error {
 // deletions have hollowed out later duplicates (separators are only
 // lower bounds).
 func (t *Tree) Search(k idx.Key) (idx.TupleID, bool, error) {
-	t.ops.Searches++
+	t.ops.Searches.Add(1)
 	pg, slot, found, err := t.findFirst(k)
 	if err != nil || !found {
 		return 0, false, err
@@ -201,7 +201,7 @@ func (t *Tree) findFirst(k idx.Key) (buffer.Page, int, bool, error) {
 
 // Insert implements idx.Index.
 func (t *Tree) Insert(k idx.Key, tid idx.TupleID) error {
-	t.ops.Inserts++
+	t.ops.Inserts.Add(1)
 	if t.root == 0 {
 		pg, err := t.pool.NewPage()
 		if err != nil {
@@ -369,7 +369,7 @@ func (t *Tree) splitPage(pg buffer.Page) (idx.Key, uint32, error) {
 // array slot is closed up, but underflowed pages are never merged.
 // Like Search, it removes the first entry of a duplicate run.
 func (t *Tree) Delete(k idx.Key) (bool, error) {
-	t.ops.Deletes++
+	t.ops.Deletes.Add(1)
 	pg, slot, found, err := t.findFirst(k)
 	if err != nil || !found {
 		return false, err

@@ -12,7 +12,7 @@ import (
 // leaf-parent chain (the scan already knows both end keys) and
 // prefetched in reverse consumption order.
 func (t *Tree) RangeScanReverse(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error) {
-	t.ops.ReverseScans++
+	t.ops.ReverseScans.Add(1)
 	if t.root == 0 || startKey > endKey {
 		return 0, nil
 	}

@@ -12,7 +12,7 @@ import (
 // leaf page IDs in the range from the leaf-parent jump-pointer chain,
 // and keeps PrefetchWindow leaf pages in flight ahead of consumption.
 func (t *Tree) RangeScan(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error) {
-	t.ops.Scans++
+	t.ops.Scans.Add(1)
 	if t.root == 0 || startKey > endKey {
 		return 0, nil
 	}

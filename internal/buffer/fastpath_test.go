@@ -1,0 +1,265 @@
+package buffer
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// checkFastConsistent asserts every non-empty fast slot in every shard
+// points at a valid frame that really holds that pid — the invariant
+// eviction, FreePage and DiscardAll must maintain by clearing slots.
+func checkFastConsistent(t *testing.T, p *Pool, when string) {
+	t.Helper()
+	for s := range p.shards {
+		sh := &p.shards[s]
+		sh.mu.Lock()
+		for slot := range sh.fast {
+			packed := sh.fast[slot].Load()
+			if packed == 0 {
+				continue
+			}
+			pid := uint32(packed >> 32)
+			i := int(uint32(packed)) - 1
+			if i < 0 || i >= len(sh.frames) {
+				sh.mu.Unlock()
+				t.Fatalf("%s: shard %d slot %d points at frame %d, out of range", when, s, slot, i)
+			}
+			f := &sh.frames[i]
+			if f.state.Load()&frameValidBit == 0 {
+				sh.mu.Unlock()
+				t.Fatalf("%s: shard %d fast slot for page %d points at an invalid frame", when, s, pid)
+			}
+			if got := f.pid.Load(); got != pid {
+				sh.mu.Unlock()
+				t.Fatalf("%s: shard %d fast slot says page %d but frame holds %d", when, s, pid, got)
+			}
+			if ti, ok := sh.table[pid]; !ok || ti != i {
+				sh.mu.Unlock()
+				t.Fatalf("%s: shard %d fast slot for page %d disagrees with table (%d, %v)", when, s, pid, ti, ok)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// TestFastPathEvictionInvalidatesSharded churns pages through a small
+// sharded pool so every shard evicts constantly, verifying the fast
+// table never serves a stale or recycled frame and every Get returns
+// the right bytes.
+func TestFastPathEvictionInvalidatesSharded(t *testing.T) {
+	p := NewConcurrentPool(NewMemStore(512), 16, 4)
+	if p.ShardCount() != 4 {
+		t.Fatalf("ShardCount = %d, want 4", p.ShardCount())
+	}
+
+	const pages = 200
+	pids := make([]uint32, pages)
+	for i := range pids {
+		pg, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Data[0] = byte(pg.ID)
+		pg.Data[1] = byte(pg.ID >> 8)
+		pids[i] = pg.ID
+		p.Unpin(pg, true)
+	}
+	checkFastConsistent(t, p, "after fill")
+
+	// Revisit in a stride pattern so hot pages keep re-entering shards
+	// whose frames are being recycled underneath them.
+	for round := 0; round < 6; round++ {
+		for j := 0; j < pages; j++ {
+			pid := pids[(j*37+round)%pages]
+			pg, err := p.Get(pid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pg.ID != pid || pg.Data[0] != byte(pid) || pg.Data[1] != byte(pid>>8) {
+				t.Fatalf("Get(%d) returned page %d (tag %d,%d)", pid, pg.ID, pg.Data[0], pg.Data[1])
+			}
+			p.Unpin(pg, false)
+		}
+		checkFastConsistent(t, p, fmt.Sprintf("after round %d", round))
+	}
+}
+
+// TestFastPathStaleHitAfterEvict pins a page via the fast path, forces
+// its eviction, and checks the next Get re-reads from the store instead
+// of pinning the recycled frame.
+func TestFastPathStaleHitAfterEvict(t *testing.T) {
+	// One shard, two frames: deterministic eviction.
+	p := NewConcurrentPool(NewMemStore(512), 2, 1)
+	a, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Data[0] = 0xAA
+	aID := a.ID
+	p.Unpin(a, true)
+
+	// Warm the fast path for A.
+	pg, err := p.Get(aID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(pg, false)
+
+	// Two more pages push A out of the 2-frame shard.
+	for i := 0; i < 2; i++ {
+		q, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.Data[0] = 0xBB
+		p.Unpin(q, true)
+	}
+	sh := &p.shards[0]
+	sh.mu.Lock()
+	_, resident := sh.table[aID]
+	sh.mu.Unlock()
+	if resident {
+		t.Fatal("page A still resident; eviction did not happen")
+	}
+	checkFastConsistent(t, p, "after evicting A")
+
+	got, err := p.Get(aID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != aID || got.Data[0] != 0xAA {
+		t.Fatalf("stale fast-path hit: got page %d tag %#x, want %d tag 0xaa", got.ID, got.Data[0], aID)
+	}
+	p.Unpin(got, false)
+}
+
+// TestFastPathDiscardAllInvalidates checks the checksum-failure discard
+// path (DiscardAll) clears every fast slot in every shard, so nothing
+// can pin a frame whose contents were thrown away.
+func TestFastPathDiscardAllInvalidates(t *testing.T) {
+	p := NewConcurrentPool(NewMemStore(512), 32, 4)
+	var pids []uint32
+	for i := 0; i < 24; i++ {
+		pg, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Data[0] = byte(pg.ID)
+		pids = append(pids, pg.ID)
+		p.Unpin(pg, true)
+	}
+	// Flush so the store holds the bytes DiscardAll will drop from RAM.
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DiscardAll(); err != nil {
+		t.Fatal(err)
+	}
+	for s := range p.shards {
+		for slot := range p.shards[s].fast {
+			if packed := p.shards[s].fast[slot].Load(); packed != 0 {
+				t.Fatalf("shard %d fast slot %d survived DiscardAll: %#x", s, slot, packed)
+			}
+		}
+	}
+	for _, pid := range pids {
+		pg, err := p.Get(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pg.Data[0] != byte(pid) {
+			t.Fatalf("page %d reloaded wrong bytes after DiscardAll", pid)
+		}
+		p.Unpin(pg, false)
+	}
+}
+
+// TestPoolConcurrentChurn hammers a small sharded pool from several
+// goroutines so fast-path pins race frame recycling; every Get must
+// return the page it asked for with the bytes it wrote, and no pins may
+// leak. Run under -race.
+func TestPoolConcurrentChurn(t *testing.T) {
+	p := NewConcurrentPool(NewMemStore(512), 24, 4)
+	const pages = 96
+	pids := make([]uint32, pages)
+	for i := range pids {
+		pg, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Data[0] = byte(pg.ID)
+		pg.Data[1] = byte(pg.ID >> 8)
+		pids[i] = pg.ID
+		p.Unpin(pg, true)
+	}
+
+	const workers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			x := uint32(w + 1)
+			for n := 0; n < 4000; n++ {
+				x = x*1664525 + 1013904223
+				pid := pids[x%pages]
+				pg, err := p.Get(pid)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if pg.ID != pid || pg.Data[0] != byte(pid) || pg.Data[1] != byte(pid>>8) {
+					errs <- fmt.Errorf("worker %d: Get(%d) returned page %d (tag %d,%d)", w, pid, pg.ID, pg.Data[0], pg.Data[1])
+					p.Unpin(pg, false)
+					return
+				}
+				p.Unpin(pg, false)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n := p.PinnedCount(); n != 0 {
+		t.Fatalf("%d pins leaked", n)
+	}
+	checkFastConsistent(t, p, "after concurrent churn")
+}
+
+// TestFastPathCollisionsSharded is the sharded version of the
+// direct-mapped collision test: pids that alias the same fast slot in
+// the same shard must still resolve correctly.
+func TestFastPathCollisionsSharded(t *testing.T) {
+	p := NewConcurrentPool(NewMemStore(512), 2048, 4)
+	// Allocate enough pages that many pairs alias (same shard, same
+	// pid&(fastSize-1)); tag each page with its pid.
+	const pages = 3 * fastSize
+	pids := make([]uint32, pages)
+	for i := range pids {
+		pg, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Data[0] = byte(pg.ID)
+		pg.Data[1] = byte(pg.ID >> 8)
+		pids[i] = pg.ID
+		p.Unpin(pg, true)
+	}
+	for round := 0; round < 3; round++ {
+		for _, pid := range pids {
+			pg, err := p.Get(pid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pg.ID != pid || pg.Data[0] != byte(pid) || pg.Data[1] != byte(pid>>8) {
+				t.Fatalf("collision mix-up: want %d, got %d (tag %d,%d)", pid, pg.ID, pg.Data[0], pg.Data[1])
+			}
+			p.Unpin(pg, false)
+		}
+	}
+	checkFastConsistent(t, p, "after collision rounds")
+}

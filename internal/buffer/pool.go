@@ -3,7 +3,10 @@ package buffer
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
+	"repro/internal/latch"
 	"repro/internal/memsim"
 	"repro/internal/obs"
 )
@@ -32,6 +35,17 @@ type Stats struct {
 	PrefetchFailures uint64
 }
 
+// poolStats is the always-atomic backing for Stats, so counters stay
+// exact when shards run concurrently and identical when they do not.
+type poolStats struct {
+	gets, hits, demandMisses    atomic.Uint64
+	prefetchIssue, prefetchHits atomic.Uint64
+	evictions, dirtyWrites      atomic.Uint64
+	retries                     atomic.Uint64
+	checksumFailures            atomic.Uint64
+	prefetchFailures            atomic.Uint64
+}
+
 // Page is a pinned page handle, passed by value so that pinning never
 // heap-allocates. Data aliases the frame's buffer and is valid until
 // Unpin. The zero Page is the invalid sentinel (page ID 0 is the nil
@@ -43,56 +57,112 @@ type Page struct {
 	Addr memsim.Addr
 
 	frame int
+	shard int32
 }
 
 // Valid reports whether pg refers to a pinned page (the zero Page does
 // not).
 func (pg Page) Valid() bool { return pg.ID != 0 }
 
-// fastSize is the size of the direct-mapped pid→frame fast path in
-// front of the frame table. Must be a power of two.
+// fastSize is the size of the per-shard direct-mapped pid→frame fast
+// path in front of the frame table. Must be a power of two.
 const fastSize = 128
 
-type fastEnt struct {
-	pid uint32
-	idx int32
-}
+// Frame state word layout: [epoch:31 | valid:1 | pin:32]. The pin count
+// occupies the low 32 bits so a lock-free pin is a bare CAS increment;
+// the epoch increments on every invalidation so a pin CAS that raced an
+// evict/refill cycle can never succeed against the recycled frame's
+// word (ABA protection).
+const (
+	framePinMask  uint64 = (1 << 32) - 1
+	frameValidBit uint64 = 1 << 32
+	frameEpochInc uint64 = 1 << 33
+)
 
-// Pool is a CLOCK-replacement buffer pool over a Store.
+// Pool is a CLOCK-replacement buffer pool over a Store. It is built
+// from one or more shards, each with its own frame table, CLOCK hand,
+// mutex, and direct-mapped fast path; page IDs hash to shards. NewPool
+// builds a single shard, which preserves the exact single-threaded
+// CLOCK schedule of the sequential simulations; NewConcurrentPool
+// spreads frames over several shards and attaches a per-page latch
+// table for the concurrent serving mode.
 type Pool struct {
 	store    Store
 	pageSize int
-	frames   []frame
-	table    map[uint32]int
-	// fast is a direct-mapped cache of recent table lookups (hot root /
-	// upper-level pages hit here without touching the map). Entries are
-	// validated against the frame before use, so stale ones are
-	// harmless and need no explicit invalidation.
-	fast  [fastSize]fastEnt
-	hand  int
-	clock uint64 // virtual microseconds
-	mm    *memsim.Model
-	tr    *obs.Tracer
-	space *memsim.AddressSpace
+	shards   []poolShard
+	// shardShift converts a hashed pid to a shard index (32 means one
+	// shard: every page hashes to shard 0).
+	shardShift  uint32
+	totalFrames int
+	mm          *memsim.Model
+	tr          *obs.Tracer
+	space       *memsim.AddressSpace
+	// latches, when non-nil, is the per-page reader/writer latch table:
+	// every pin holds the page's shared latch for its lifetime and the
+	// eviction path claims victims with a non-blocking exclusive try.
+	latches *latch.Table
 
+	// clock is the pool's virtual I/O time in microseconds. Reads
+	// advance it monotonically (CAS-max), which collapses to plain
+	// assignment in the single-threaded simulations.
+	clock atomic.Uint64
+
+	allocMu  sync.Mutex
 	nextPID  uint32
 	freePIDs []uint32
 
-	stats Stats
+	stats poolStats
+}
+
+type poolShard struct {
+	mu     sync.Mutex
+	frames []frame
+	table  map[uint32]int
+	// fast is a lock-free direct-mapped cache of recent table lookups
+	// (hot root / upper-level pages hit here without the shard mutex or
+	// the map). Each slot packs pid<<32 | frameIdx+1; entries are
+	// validated against the frame state word and pid before use and are
+	// explicitly cleared when their frame is evicted or discarded.
+	fast [fastSize]atomic.Uint64
+	hand int
 }
 
 type frame struct {
-	pid     uint32
-	data    []byte
-	pin     int
-	dirty   bool
-	ref     bool
-	valid   bool
-	readyAt uint64 // virtual completion time of the read that filled it
+	// state is the atomic pin/valid/epoch word (see frame* constants).
+	state atomic.Uint64
+	// pid is the occupant page; written only while the frame is invalid
+	// (under the shard mutex, with pin known to be zero), read lock-free
+	// by the fast pin path to detect frame recycling.
+	pid atomic.Uint32
+	// readyAt is the virtual completion time of the in-flight prefetch
+	// that filled the frame (0 = none). Non-zero routes fast-path Gets
+	// to the locked path, which owns the wait/accounting protocol.
+	readyAt atomic.Uint64
+	// ref is the CLOCK reference bit; set lock-free on every pin.
+	ref  atomic.Bool
+	data []byte
+	// dirty is guarded by the shard mutex (dirtying unpins take it).
+	dirty bool
 }
 
-// NewPool creates a pool with the given number of frames.
+func packFast(pid uint32, idx int) uint64 { return uint64(pid)<<32 | uint64(idx+1) }
+
+// NewPool creates a single-shard pool with the given number of frames —
+// the configuration every sequential simulation uses; its replacement
+// schedule and accounting are identical to the pre-sharding pool.
 func NewPool(store Store, frames int) *Pool {
+	return newPool(store, frames, 1, false)
+}
+
+// NewConcurrentPool creates a pool whose frames are spread over shards
+// (rounded up to a power of two) with a per-page latch table attached.
+// Gets and Unpins of warm pages are lock-free; misses and evictions
+// take only their shard's mutex.
+func NewConcurrentPool(store Store, frames, shards int) *Pool {
+	return newPool(store, frames, shards, true)
+}
+
+func newPool(store Store, frames, shards int, latched bool) *Pool {
 	if frames <= 0 {
 		// Programmer invariant, deliberately kept as a panic: a frame
 		// count is static configuration validated by every construction
@@ -100,19 +170,65 @@ func NewPool(store Store, frames int) *Pool {
 		// I/O-dependent, so reaching this line is a caller bug.
 		panic("buffer: pool needs at least one frame")
 	}
-	p := &Pool{
-		store:    store,
-		pageSize: store.PageSize(),
-		frames:   make([]frame, frames),
-		table:    make(map[uint32]int, frames),
-		space:    memsim.NewAddressSpace(store.PageSize()),
-		nextPID:  1, // page 0 is the nil page
+	n := 1
+	for n < shards {
+		n <<= 1
 	}
-	for i := range p.frames {
-		p.frames[i].data = make([]byte, p.pageSize)
+	if n > frames {
+		// Every shard needs at least one frame.
+		for n > 1 && n > frames {
+			n >>= 1
+		}
+	}
+	p := &Pool{
+		store:       store,
+		pageSize:    store.PageSize(),
+		shards:      make([]poolShard, n),
+		shardShift:  32 - uint32(log2(n)),
+		totalFrames: frames,
+		space:       memsim.NewAddressSpace(store.PageSize()),
+		nextPID:     1, // page 0 is the nil page
+	}
+	if latched {
+		p.latches = latch.NewTable()
+	}
+	base, extra := frames/n, frames%n
+	for s := range p.shards {
+		cnt := base
+		if s < extra {
+			cnt++
+		}
+		sh := &p.shards[s]
+		sh.frames = make([]frame, cnt)
+		sh.table = make(map[uint32]int, cnt)
+		for i := range sh.frames {
+			sh.frames[i].data = make([]byte, p.pageSize)
+		}
 	}
 	return p
 }
+
+func log2(n int) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// shardFor hashes pid onto a shard. With one shard the shift is 32 and
+// every page maps to shard 0.
+func (p *Pool) shardFor(pid uint32) *poolShard {
+	return &p.shards[(pid*0x9E3779B1)>>p.shardShift]
+}
+
+// ShardCount reports how many shards the pool was built with.
+func (p *Pool) ShardCount() int { return len(p.shards) }
+
+// Latches exposes the per-page latch table (nil unless the pool was
+// built with NewConcurrentPool).
+func (p *Pool) Latches() *latch.Table { return p.latches }
 
 // AttachModel makes the pool charge buffer-manager instruction overhead
 // (memsim.CostBufferFix per Get) to mm, reproducing footnote 4's "extra
@@ -126,19 +242,23 @@ func (p *Pool) AttachTracer(tr *obs.Tracer) { p.tr = tr }
 // RegisterMetrics registers the pool's counters with reg under the
 // buffer.* metric names (see DESIGN.md for the catalog).
 func (p *Pool) RegisterMetrics(reg *obs.Registry) {
-	reg.Counter("buffer.gets", func() uint64 { return p.stats.Gets })
-	reg.Counter("buffer.hits", func() uint64 { return p.stats.Hits })
-	reg.Counter("buffer.demand_misses", func() uint64 { return p.stats.DemandMisses })
-	reg.Counter("buffer.prefetch_issued", func() uint64 { return p.stats.PrefetchIssue })
-	reg.Counter("buffer.prefetch_hits", func() uint64 { return p.stats.PrefetchHits })
-	reg.Counter("buffer.evictions", func() uint64 { return p.stats.Evictions })
-	reg.Counter("buffer.dirty_writes", func() uint64 { return p.stats.DirtyWrites })
-	reg.Counter("buffer.retries", func() uint64 { return p.stats.Retries })
-	reg.Counter("buffer.checksum_failures", func() uint64 { return p.stats.ChecksumFailures })
-	reg.Counter("buffer.prefetch_failures", func() uint64 { return p.stats.PrefetchFailures })
-	reg.Counter("buffer.clock_micros", func() uint64 { return p.clock })
-	reg.Gauge("buffer.resident_pages", func() float64 { return float64(len(p.table)) })
-	reg.Gauge("buffer.frames", func() float64 { return float64(len(p.frames)) })
+	reg.Counter("buffer.gets", p.stats.gets.Load)
+	reg.Counter("buffer.hits", p.stats.hits.Load)
+	reg.Counter("buffer.demand_misses", p.stats.demandMisses.Load)
+	reg.Counter("buffer.prefetch_issued", p.stats.prefetchIssue.Load)
+	reg.Counter("buffer.prefetch_hits", p.stats.prefetchHits.Load)
+	reg.Counter("buffer.evictions", p.stats.evictions.Load)
+	reg.Counter("buffer.dirty_writes", p.stats.dirtyWrites.Load)
+	reg.Counter("buffer.retries", p.stats.retries.Load)
+	reg.Counter("buffer.checksum_failures", p.stats.checksumFailures.Load)
+	reg.Counter("buffer.prefetch_failures", p.stats.prefetchFailures.Load)
+	reg.Counter("buffer.clock_micros", p.clock.Load)
+	reg.Gauge("buffer.resident_pages", func() float64 { return float64(p.ResidentPages()) })
+	reg.Gauge("buffer.frames", func() float64 { return float64(p.totalFrames) })
+	reg.Gauge("pool.shard.count", func() float64 { return float64(len(p.shards)) })
+	if p.latches != nil {
+		p.latches.RegisterMetrics(reg)
+	}
 }
 
 // cyc reports the attached model's cycle clock (0 without a model),
@@ -157,20 +277,53 @@ func (p *Pool) Space() *memsim.AddressSpace { return p.space }
 func (p *Pool) PageSize() int { return p.pageSize }
 
 // Stats returns a snapshot of the counters.
-func (p *Pool) Stats() Stats { return p.stats }
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Gets:             p.stats.gets.Load(),
+		Hits:             p.stats.hits.Load(),
+		DemandMisses:     p.stats.demandMisses.Load(),
+		PrefetchIssue:    p.stats.prefetchIssue.Load(),
+		PrefetchHits:     p.stats.prefetchHits.Load(),
+		Evictions:        p.stats.evictions.Load(),
+		DirtyWrites:      p.stats.dirtyWrites.Load(),
+		Retries:          p.stats.retries.Load(),
+		ChecksumFailures: p.stats.checksumFailures.Load(),
+		PrefetchFailures: p.stats.prefetchFailures.Load(),
+	}
+}
 
 // ResetStats zeroes the counters.
-func (p *Pool) ResetStats() { p.stats = Stats{} }
+func (p *Pool) ResetStats() {
+	s := &p.stats
+	for _, c := range []*atomic.Uint64{
+		&s.gets, &s.hits, &s.demandMisses, &s.prefetchIssue, &s.prefetchHits,
+		&s.evictions, &s.dirtyWrites, &s.retries, &s.checksumFailures, &s.prefetchFailures,
+	} {
+		c.Store(0)
+	}
+}
 
 // Clock returns the pool's virtual time in microseconds.
-func (p *Pool) Clock() uint64 { return p.clock }
+func (p *Pool) Clock() uint64 { return p.clock.Load() }
+
+// clockAdvance moves the virtual clock forward to at least t.
+func (p *Pool) clockAdvance(t uint64) {
+	for {
+		cur := p.clock.Load()
+		if t <= cur || p.clock.CompareAndSwap(cur, t) {
+			return
+		}
+	}
+}
 
 // AddDelay advances virtual time by d microseconds of consumer-side
 // work (e.g. per-page CPU cost during a scan).
-func (p *Pool) AddDelay(d uint64) { p.clock += d }
+func (p *Pool) AddDelay(d uint64) { p.clock.Add(d) }
 
 // AllocPageID reserves a fresh page ID (reusing freed ones first).
 func (p *Pool) AllocPageID() uint32 {
+	p.allocMu.Lock()
+	defer p.allocMu.Unlock()
 	if n := len(p.freePIDs); n > 0 {
 		pid := p.freePIDs[n-1]
 		p.freePIDs = p.freePIDs[:n-1]
@@ -183,64 +336,101 @@ func (p *Pool) AllocPageID() uint32 {
 
 // MaxPageID returns the highest page ID ever allocated (for iteration
 // by invariant checkers).
-func (p *Pool) MaxPageID() uint32 { return p.nextPID - 1 }
+func (p *Pool) MaxPageID() uint32 {
+	p.allocMu.Lock()
+	defer p.allocMu.Unlock()
+	return p.nextPID - 1
+}
 
-// victim selects a frame via the CLOCK algorithm, evicting its current
-// occupant if necessary.
-func (p *Pool) victim() (int, error) {
-	for pass := 0; pass < 2*len(p.frames)+1; pass++ {
-		f := &p.frames[p.hand]
-		i := p.hand
-		p.hand = (p.hand + 1) % len(p.frames)
-		if !f.valid {
+// victimLocked selects a frame in sh via the CLOCK algorithm, evicting
+// its current occupant if necessary. Caller holds sh.mu.
+func (p *Pool) victimLocked(sh *poolShard) (int, error) {
+	for pass := 0; pass < 2*len(sh.frames)+1; pass++ {
+		i := sh.hand
+		f := &sh.frames[i]
+		sh.hand = (sh.hand + 1) % len(sh.frames)
+		st := f.state.Load()
+		if st&frameValidBit == 0 {
 			return i, nil
 		}
-		if f.pin > 0 {
+		if st&framePinMask > 0 {
 			continue
 		}
-		if f.ref {
-			f.ref = false
+		if f.ref.Load() {
+			f.ref.Store(false)
 			continue
 		}
-		if err := p.evict(i); err != nil {
+		ok, err := p.evictLocked(sh, i)
+		if err != nil {
 			return 0, err
+		}
+		if !ok {
+			continue // a lock-free pin claimed the frame mid-eviction
 		}
 		return i, nil
 	}
-	return 0, errPoolExhausted(len(p.frames))
+	return 0, errPoolExhausted(len(sh.frames))
 }
 
-func (p *Pool) evict(i int) error {
-	f := &p.frames[i]
+// evictLocked tries to evict frame i of sh, reporting whether it
+// succeeded (a concurrent lock-free pin makes it back off). Caller
+// holds sh.mu.
+func (p *Pool) evictLocked(sh *poolShard, i int) (bool, error) {
+	f := &sh.frames[i]
+	pid := f.pid.Load()
+	if p.latches != nil && !p.latches.TryLock(pid) {
+		// A reader still holds the page latch (it is between its pin
+		// CAS and its latch bookkeeping, or vice versa): leave it be.
+		return false, nil
+	}
 	wasDirty := f.dirty
 	if f.dirty {
 		// Delayed write-back: the write is issued at the current time
 		// but the consumer does not wait for it. On failure the frame is
 		// left valid and dirty so no modified data is silently dropped.
-		if _, err := p.writeRetry(f.pid, f.data); err != nil {
-			return err
+		if _, err := p.writeRetry(pid, f.data); err != nil {
+			if p.latches != nil {
+				p.latches.Unlock(pid)
+			}
+			return false, err
 		}
-		p.stats.DirtyWrites++
+		p.stats.dirtyWrites.Add(1)
 	}
-	delete(p.table, f.pid)
-	f.valid = false
+	// Invalidate: only succeeds while the pin count is zero; a racing
+	// lock-free pin beats us by incrementing first, in which case the
+	// frame stays resident (its write-back above was merely early).
+	st := f.state.Load()
+	if st&framePinMask != 0 || !f.state.CompareAndSwap(st, (st&^(frameValidBit|framePinMask))+frameEpochInc) {
+		f.dirty = false
+		if p.latches != nil {
+			p.latches.Unlock(pid)
+		}
+		return false, nil
+	}
+	delete(sh.table, pid)
+	// Explicitly drop the fast-path entry for the evicted page so a
+	// stale slot can never outlive its frame's occupancy.
+	sh.fast[pid&(fastSize-1)].CompareAndSwap(packFast(pid, i), 0)
 	f.dirty = false
 	// A reused frame must never inherit the in-flight completion time
 	// of its prior occupant.
-	f.readyAt = 0
-	p.stats.Evictions++
+	f.readyAt.Store(0)
+	p.stats.evictions.Add(1)
+	if p.latches != nil {
+		p.latches.Unlock(pid)
+	}
 	if p.tr != nil {
 		var dirty uint64
 		if wasDirty {
 			dirty = 1
 		}
-		p.tr.Buffer(obs.EvEvict, f.pid, p.cyc(), p.clock, dirty)
+		p.tr.Buffer(obs.EvEvict, pid, p.cyc(), p.Clock(), dirty)
 	}
-	return nil
+	return true, nil
 }
 
 // FrameCount returns the pool's capacity in frames.
-func (p *Pool) FrameCount() int { return len(p.frames) }
+func (p *Pool) FrameCount() int { return p.totalFrames }
 
 func (p *Pool) fixBusy() {
 	if p.mm != nil {
@@ -261,7 +451,7 @@ const (
 // noteReadErr classifies a failed store read for the pool's counters.
 func (p *Pool) noteReadErr(err error) {
 	if errors.Is(err, ErrCorruptPage) {
-		p.stats.ChecksumFailures++
+		p.stats.checksumFailures.Add(1)
 	}
 }
 
@@ -271,7 +461,7 @@ func (p *Pool) noteReadErr(err error) {
 func (p *Pool) readRetry(pid uint32, dst []byte) (uint64, error) {
 	backoff := uint64(retryBackoffMicros)
 	for attempt := 0; ; attempt++ {
-		done, err := p.store.ReadPage(pid, dst, p.clock)
+		done, err := p.store.ReadPage(pid, dst, p.Clock())
 		if err == nil {
 			return done, nil
 		}
@@ -279,8 +469,8 @@ func (p *Pool) readRetry(pid uint32, dst []byte) (uint64, error) {
 		if attempt >= maxIORetries || !errors.Is(err, ErrTransientIO) {
 			return 0, err
 		}
-		p.stats.Retries++
-		p.clock += backoff
+		p.stats.retries.Add(1)
+		p.clock.Add(backoff)
 		backoff *= 2
 	}
 }
@@ -290,15 +480,15 @@ func (p *Pool) readRetry(pid uint32, dst []byte) (uint64, error) {
 func (p *Pool) writeRetry(pid uint32, src []byte) (uint64, error) {
 	backoff := uint64(retryBackoffMicros)
 	for attempt := 0; ; attempt++ {
-		done, err := p.store.WritePage(pid, src, p.clock)
+		done, err := p.store.WritePage(pid, src, p.Clock())
 		if err == nil {
 			return done, nil
 		}
 		if attempt >= maxIORetries || !errors.Is(err, ErrTransientIO) {
 			return 0, err
 		}
-		p.stats.Retries++
-		p.clock += backoff
+		p.stats.retries.Add(1)
+		p.clock.Add(backoff)
 		backoff *= 2
 	}
 }
@@ -309,70 +499,151 @@ func (p *Pool) Get(pid uint32) (Page, error) {
 	if pid == 0 {
 		return Page{}, fmt.Errorf("buffer: Get of nil page")
 	}
-	p.stats.Gets++
+	p.stats.gets.Add(1)
 	p.fixBusy()
-	// Direct-mapped fast path: a stale entry fails the frame validation
-	// and falls through to the map.
-	if fe := &p.fast[pid&(fastSize-1)]; fe.pid == pid {
-		if i := int(fe.idx); i < len(p.frames) && p.frames[i].valid && p.frames[i].pid == pid {
-			return p.pinHit(pid, i), nil
-		}
+	sh := p.shardFor(pid)
+	if pg, ok := p.fastPin(sh, pid); ok {
+		return pg, nil
 	}
-	if i, ok := p.table[pid]; ok {
-		p.fast[pid&(fastSize-1)] = fastEnt{pid: pid, idx: int32(i)}
-		return p.pinHit(pid, i), nil
+	sh.mu.Lock()
+	if i, ok := sh.table[pid]; ok {
+		sh.fast[pid&(fastSize-1)].Store(packFast(pid, i))
+		pg := p.pinHitLocked(sh, pid, i)
+		sh.mu.Unlock()
+		return pg, nil
 	}
-	i, err := p.victim()
+	i, err := p.victimLocked(sh)
 	if err != nil {
+		sh.mu.Unlock()
 		return Page{}, err
 	}
-	f := &p.frames[i]
+	f := &sh.frames[i]
 	done, err := p.readRetry(pid, f.data)
 	if err != nil {
-		// The frame stays invalid (victim left it so, or evict cleared
-		// it); a later Get retries the read from scratch.
+		// The frame stays invalid (victimLocked left it so, or evict
+		// cleared it); a later Get retries the read from scratch.
+		sh.mu.Unlock()
 		return Page{}, err
 	}
-	p.clock = done
-	f.pid = pid
-	f.pin = 1
-	f.ref = true
-	f.valid = true
+	p.clockAdvance(done)
+	f.pid.Store(pid)
 	f.dirty = false
-	f.readyAt = 0
-	p.table[pid] = i
-	p.fast[pid&(fastSize-1)] = fastEnt{pid: pid, idx: int32(i)}
-	p.stats.DemandMisses++
+	f.ref.Store(true)
+	f.readyAt.Store(0)
+	st := f.state.Load()
+	f.state.Store((st &^ framePinMask) | frameValidBit | 1)
+	sh.table[pid] = i
+	sh.fast[pid&(fastSize-1)].Store(packFast(pid, i))
+	p.stats.demandMisses.Add(1)
+	p.latchShared(pid)
 	if p.tr != nil {
-		p.tr.Buffer(obs.EvDemandMiss, pid, p.cyc(), p.clock, done)
+		p.tr.Buffer(obs.EvDemandMiss, pid, p.cyc(), p.Clock(), done)
 	}
-	return Page{ID: pid, Data: f.data, Addr: p.space.PageAddr(pid), frame: i}, nil
+	pg := p.page(sh, pid, i, f)
+	sh.mu.Unlock()
+	return pg, nil
 }
 
-// pinHit pins the resident (or in-flight) frame i holding pid.
-func (p *Pool) pinHit(pid uint32, i int) Page {
-	f := &p.frames[i]
-	f.pin++
-	f.ref = true
-	waited := uint64(0)
-	if f.readyAt > p.clock {
-		// In-flight prefetch: wait for it.
-		waited = f.readyAt - p.clock
-		p.clock = f.readyAt
+func (p *Pool) page(sh *poolShard, pid uint32, i int, f *frame) Page {
+	return Page{
+		ID: pid, Data: f.data, Addr: p.space.PageAddr(pid),
+		frame: i, shard: int32(shardIndex(p, sh)),
 	}
-	if f.readyAt > 0 {
-		p.stats.PrefetchHits++
-		f.readyAt = 0
+}
+
+func shardIndex(p *Pool, sh *poolShard) int {
+	// Pointer arithmetic-free shard index: shards is small, and this is
+	// off the per-op fast path only on misses, so a linear scan would
+	// do; but the hash is cheaper and exact.
+	for i := range p.shards {
+		if &p.shards[i] == sh {
+			return i
+		}
+	}
+	panic("buffer: foreign shard")
+}
+
+// latchShared acquires pid's shared latch when the latch table is
+// attached (concurrent pools); the latch is held until Unpin.
+func (p *Pool) latchShared(pid uint32) {
+	if p.latches != nil {
+		p.latches.RLock(pid)
+	}
+}
+
+// fastPin is the lock-free warm path: translate pid through the shard's
+// direct-mapped table and pin the frame with a bare state-word CAS.
+// It fails (returning ok=false) whenever anything is unusual — slot
+// mismatch, invalid frame, in-flight prefetch, frame recycled between
+// the slot read and the pin — and the caller falls back to the locked
+// path, which owns all the slow-case protocols.
+func (p *Pool) fastPin(sh *poolShard, pid uint32) (Page, bool) {
+	packed := sh.fast[pid&(fastSize-1)].Load()
+	if uint32(packed>>32) != pid || packed == 0 {
+		return Page{}, false
+	}
+	i := int(packed&framePinMask) - 1
+	if i < 0 || i >= len(sh.frames) {
+		return Page{}, false
+	}
+	f := &sh.frames[i]
+	for attempt := 0; ; attempt++ {
+		st := f.state.Load()
+		if st&frameValidBit == 0 || f.readyAt.Load() != 0 {
+			return Page{}, false
+		}
+		if f.state.CompareAndSwap(st, st+1) {
+			break
+		}
+		if attempt >= 8 {
+			return Page{}, false
+		}
+	}
+	if f.pid.Load() != pid {
+		// The frame was evicted and refilled between the slot read and
+		// the pin; release and take the locked path.
+		p.unpin(f)
+		return Page{}, false
+	}
+	f.ref.Store(true)
+	p.stats.hits.Add(1)
+	if p.tr != nil {
+		p.tr.Buffer(obs.EvBufferHit, pid, p.cyc(), p.Clock(), 0)
+	}
+	p.latchShared(pid)
+	return p.page(sh, pid, i, f), true
+}
+
+// unpin drops one pin from f's state word.
+func (p *Pool) unpin(f *frame) { f.state.Add(^uint64(0)) }
+
+// pinHitLocked pins the resident (or in-flight) frame i holding pid.
+// Caller holds sh.mu.
+func (p *Pool) pinHitLocked(sh *poolShard, pid uint32, i int) Page {
+	f := &sh.frames[i]
+	f.state.Add(1)
+	f.ref.Store(true)
+	waited := uint64(0)
+	ra := f.readyAt.Load()
+	if now := p.Clock(); ra > now {
+		// In-flight prefetch: wait for it.
+		waited = ra - now
+		p.clockAdvance(ra)
+	}
+	if ra > 0 {
+		p.stats.prefetchHits.Add(1)
+		f.readyAt.Store(0)
 		if p.tr != nil {
-			p.tr.Buffer(obs.EvPrefetchHit, pid, p.cyc(), p.clock, waited)
+			p.tr.Buffer(obs.EvPrefetchHit, pid, p.cyc(), p.Clock(), waited)
 		}
 	} else {
-		p.stats.Hits++
+		p.stats.hits.Add(1)
 		if p.tr != nil {
-			p.tr.Buffer(obs.EvBufferHit, pid, p.cyc(), p.clock, 0)
+			p.tr.Buffer(obs.EvBufferHit, pid, p.cyc(), p.Clock(), 0)
 		}
 	}
-	return Page{ID: pid, Data: f.data, Addr: p.space.PageAddr(pid), frame: i}
+	p.latchShared(pid)
+	return p.page(sh, pid, i, f)
 }
 
 // Prefetch issues an asynchronous read for pid if it is not already
@@ -389,31 +660,34 @@ func (p *Pool) Prefetch(pid uint32) error {
 	if pid == 0 {
 		return nil
 	}
-	if _, ok := p.table[pid]; ok {
+	sh := p.shardFor(pid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.table[pid]; ok {
 		return nil
 	}
-	i, err := p.victim()
+	i, err := p.victimLocked(sh)
 	if err != nil {
-		p.stats.PrefetchFailures++
+		p.stats.prefetchFailures.Add(1)
 		return nil
 	}
-	f := &p.frames[i]
-	done, err := p.store.ReadPage(pid, f.data, p.clock)
+	f := &sh.frames[i]
+	done, err := p.store.ReadPage(pid, f.data, p.Clock())
 	if err != nil {
 		p.noteReadErr(err)
-		p.stats.PrefetchFailures++
+		p.stats.prefetchFailures.Add(1)
 		return nil
 	}
-	f.pid = pid
-	f.pin = 0
-	f.ref = true
-	f.valid = true
+	f.pid.Store(pid)
 	f.dirty = false
-	f.readyAt = done
-	p.table[pid] = i
-	p.stats.PrefetchIssue++
+	f.ref.Store(true)
+	f.readyAt.Store(done)
+	st := f.state.Load()
+	f.state.Store((st &^ framePinMask) | frameValidBit)
+	sh.table[pid] = i
+	p.stats.prefetchIssue.Add(1)
 	if p.tr != nil {
-		p.tr.Buffer(obs.EvPrefetchIssue, pid, p.cyc(), p.clock, done)
+		p.tr.Buffer(obs.EvPrefetchIssue, pid, p.cyc(), p.Clock(), done)
 	}
 	return nil
 }
@@ -423,7 +697,7 @@ func (p *Pool) Prefetch(pid uint32) error {
 // capacity so a large batch cannot flood the pool and evict its own
 // prefetches before they are consumed.
 func (p *Pool) PrefetchRun(pids []uint32) error {
-	budget := len(p.frames) - 4
+	budget := p.totalFrames - 4
 	var last uint32
 	for _, pid := range pids {
 		if pid == 0 || pid == last {
@@ -444,7 +718,10 @@ func (p *Pool) PrefetchRun(pids []uint32) error {
 // Contains reports whether pid is resident (or in flight) without
 // touching replacement state.
 func (p *Pool) Contains(pid uint32) bool {
-	_, ok := p.table[pid]
+	sh := p.shardFor(pid)
+	sh.mu.Lock()
+	_, ok := sh.table[pid]
+	sh.mu.Unlock()
 	return ok
 }
 
@@ -452,30 +729,42 @@ func (p *Pool) Contains(pid uint32) bool {
 // read.
 func (p *Pool) NewPage() (Page, error) {
 	pid := p.AllocPageID()
-	i, err := p.victim()
+	sh := p.shardFor(pid)
+	sh.mu.Lock()
+	i, err := p.victimLocked(sh)
 	if err != nil {
+		sh.mu.Unlock()
+		p.allocMu.Lock()
 		p.freePIDs = append(p.freePIDs, pid)
+		p.allocMu.Unlock()
 		return Page{}, err
 	}
-	f := &p.frames[i]
+	f := &sh.frames[i]
 	for j := range f.data {
 		f.data[j] = 0
 	}
-	f.pid = pid
-	f.pin = 1
-	f.ref = true
-	f.valid = true
+	f.pid.Store(pid)
 	f.dirty = true
-	f.readyAt = 0
-	p.table[pid] = i
-	p.fast[pid&(fastSize-1)] = fastEnt{pid: pid, idx: int32(i)}
-	return Page{ID: pid, Data: f.data, Addr: p.space.PageAddr(pid), frame: i}, nil
+	f.ref.Store(true)
+	f.readyAt.Store(0)
+	st := f.state.Load()
+	f.state.Store((st &^ framePinMask) | frameValidBit | 1)
+	sh.table[pid] = i
+	sh.fast[pid&(fastSize-1)].Store(packFast(pid, i))
+	p.latchShared(pid)
+	pg := p.page(sh, pid, i, f)
+	sh.mu.Unlock()
+	return pg, nil
 }
 
-// Unpin releases a pinned page, optionally marking it dirty.
+// Unpin releases a pinned page, optionally marking it dirty. Clean
+// unpins are lock-free; dirtying unpins take the shard mutex because
+// the dirty flag is part of the eviction protocol.
 func (p *Pool) Unpin(pg Page, dirty bool) {
-	f := &p.frames[pg.frame]
-	if !f.valid || f.pid != pg.ID || f.pin <= 0 {
+	sh := &p.shards[pg.shard]
+	f := &sh.frames[pg.frame]
+	st := f.state.Load()
+	if st&frameValidBit == 0 || st&framePinMask == 0 || f.pid.Load() != pg.ID {
 		// Programmer invariant, deliberately kept as a panic: an Unpin
 		// that does not pair with a Get/NewPage on the same handle is a
 		// bookkeeping bug in the calling index, never an I/O- or
@@ -483,40 +772,64 @@ func (p *Pool) Unpin(pg Page, dirty bool) {
 		// counts silently.
 		panic(fmt.Sprintf("buffer: bad Unpin of page %d", pg.ID))
 	}
-	f.pin--
 	if dirty {
+		sh.mu.Lock()
 		f.dirty = true
+		p.unpin(f)
+		sh.mu.Unlock()
+	} else {
+		p.unpin(f)
+	}
+	if p.latches != nil {
+		p.latches.RUnlock(pg.ID)
 	}
 }
 
 // FreePage returns an unpinned page to the allocator and drops its frame.
 func (p *Pool) FreePage(pid uint32) error {
-	if i, ok := p.table[pid]; ok {
-		f := &p.frames[i]
-		if f.pin > 0 {
+	sh := p.shardFor(pid)
+	sh.mu.Lock()
+	if i, ok := sh.table[pid]; ok {
+		f := &sh.frames[i]
+		st := f.state.Load()
+		if st&framePinMask > 0 {
+			sh.mu.Unlock()
 			return fmt.Errorf("buffer: FreePage of pinned page %d", pid)
 		}
-		delete(p.table, pid)
-		f.valid = false
+		if !f.state.CompareAndSwap(st, (st&^(frameValidBit|framePinMask))+frameEpochInc) {
+			sh.mu.Unlock()
+			return fmt.Errorf("buffer: FreePage of pinned page %d", pid)
+		}
+		delete(sh.table, pid)
+		sh.fast[pid&(fastSize-1)].CompareAndSwap(packFast(pid, i), 0)
 		f.dirty = false
-		f.readyAt = 0
+		f.readyAt.Store(0)
 	}
+	sh.mu.Unlock()
+	p.allocMu.Lock()
 	p.freePIDs = append(p.freePIDs, pid)
+	p.allocMu.Unlock()
 	return nil
 }
 
 // FlushAll writes every dirty frame back to the store (pages stay
 // resident).
 func (p *Pool) FlushAll() error {
-	for i := range p.frames {
-		f := &p.frames[i]
-		if f.valid && f.dirty {
-			if _, err := p.writeRetry(f.pid, f.data); err != nil {
-				return err
+	for s := range p.shards {
+		sh := &p.shards[s]
+		sh.mu.Lock()
+		for i := range sh.frames {
+			f := &sh.frames[i]
+			if f.state.Load()&frameValidBit != 0 && f.dirty {
+				if _, err := p.writeRetry(f.pid.Load(), f.data); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
+				f.dirty = false
+				p.stats.dirtyWrites.Add(1)
 			}
-			f.dirty = false
-			p.stats.DirtyWrites++
 		}
+		sh.mu.Unlock()
 	}
 	return nil
 }
@@ -525,22 +838,13 @@ func (p *Pool) FlushAll() error {
 // "buffer pool was cleared before every experiment". It fails if any
 // page is still pinned.
 func (p *Pool) DropAll() error {
-	for i := range p.frames {
-		if p.frames[i].valid && p.frames[i].pin > 0 {
-			return fmt.Errorf("buffer: DropAll with page %d pinned", p.frames[i].pid)
-		}
+	if n := p.PinnedCount(); n > 0 {
+		return fmt.Errorf("buffer: DropAll with %d pages pinned", n)
 	}
 	if err := p.FlushAll(); err != nil {
 		return err
 	}
-	for i := range p.frames {
-		f := &p.frames[i]
-		if f.valid {
-			delete(p.table, f.pid)
-			f.valid = false
-			f.readyAt = 0
-		}
-	}
+	p.invalidateAll(false)
 	return nil
 }
 
@@ -550,34 +854,69 @@ func (p *Pool) DropAll() error {
 // flushed over whatever the scavenger can still read. It fails if any
 // page is still pinned.
 func (p *Pool) DiscardAll() error {
-	for i := range p.frames {
-		if p.frames[i].valid && p.frames[i].pin > 0 {
-			return fmt.Errorf("buffer: DiscardAll with page %d pinned", p.frames[i].pid)
-		}
+	if n := p.PinnedCount(); n > 0 {
+		return fmt.Errorf("buffer: DiscardAll with %d pages pinned", n)
 	}
-	for i := range p.frames {
-		f := &p.frames[i]
-		if f.valid {
-			delete(p.table, f.pid)
-			f.valid = false
-			f.dirty = false
-			f.readyAt = 0
-		}
-	}
+	p.invalidateAll(true)
 	return nil
+}
+
+// invalidateAll drops every unpinned valid frame (clearing dirty state
+// when discard is set) and its fast-path entry.
+func (p *Pool) invalidateAll(discard bool) {
+	for s := range p.shards {
+		sh := &p.shards[s]
+		sh.mu.Lock()
+		for i := range sh.frames {
+			f := &sh.frames[i]
+			st := f.state.Load()
+			if st&frameValidBit == 0 {
+				continue
+			}
+			if st&framePinMask != 0 {
+				continue
+			}
+			if !f.state.CompareAndSwap(st, (st&^(frameValidBit|framePinMask))+frameEpochInc) {
+				continue
+			}
+			pid := f.pid.Load()
+			delete(sh.table, pid)
+			sh.fast[pid&(fastSize-1)].CompareAndSwap(packFast(pid, i), 0)
+			if discard {
+				f.dirty = false
+			}
+			f.readyAt.Store(0)
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // PinnedCount reports the number of currently pinned frames (leak
 // detection in tests).
 func (p *Pool) PinnedCount() int {
 	n := 0
-	for i := range p.frames {
-		if p.frames[i].valid && p.frames[i].pin > 0 {
-			n++
+	for s := range p.shards {
+		sh := &p.shards[s]
+		sh.mu.Lock()
+		for i := range sh.frames {
+			st := sh.frames[i].state.Load()
+			if st&frameValidBit != 0 && st&framePinMask > 0 {
+				n++
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return n
 }
 
 // ResidentPages reports how many valid frames the pool holds.
-func (p *Pool) ResidentPages() int { return len(p.table) }
+func (p *Pool) ResidentPages() int {
+	n := 0
+	for s := range p.shards {
+		sh := &p.shards[s]
+		sh.mu.Lock()
+		n += len(sh.table)
+		sh.mu.Unlock()
+	}
+	return n
+}

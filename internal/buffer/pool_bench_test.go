@@ -16,13 +16,17 @@ func newDiskPool(t testing.TB, frames, disks int) *Pool {
 }
 
 // frameOf looks up the frame currently holding pid (white-box).
+// NewPool builds exactly one shard, so shards[0] covers every page.
 func frameOf(t *testing.T, p *Pool, pid uint32) *frame {
 	t.Helper()
-	i, ok := p.table[pid]
+	sh := &p.shards[0]
+	sh.mu.Lock()
+	i, ok := sh.table[pid]
+	sh.mu.Unlock()
 	if !ok {
 		t.Fatalf("page %d not resident", pid)
 	}
-	return &p.frames[i]
+	return &sh.frames[i]
 }
 
 // TestEvictClearsReadyAt is the regression test for stale in-flight
@@ -51,17 +55,17 @@ func TestEvictClearsReadyAt(t *testing.T) {
 	if err := p.Prefetch(a.ID); err != nil {
 		t.Fatal(err)
 	}
-	if f := frameOf(t, p, a.ID); f.readyAt <= p.Clock() {
-		t.Fatalf("prefetch should be in flight: readyAt=%d clock=%d", f.readyAt, p.Clock())
+	if f := frameOf(t, p, a.ID); f.readyAt.Load() <= p.Clock() {
+		t.Fatalf("prefetch should be in flight: readyAt=%d clock=%d", f.readyAt.Load(), p.Clock())
 	}
 
 	// Evict the in-flight frame without ever consuming the prefetch.
 	if err := p.DropAll(); err != nil {
 		t.Fatal(err)
 	}
-	for i := range p.frames {
-		if p.frames[i].readyAt != 0 {
-			t.Fatalf("frame %d kept stale readyAt=%d after DropAll", i, p.frames[i].readyAt)
+	for i := range p.shards[0].frames {
+		if ra := p.shards[0].frames[i].readyAt.Load(); ra != 0 {
+			t.Fatalf("frame %d kept stale readyAt=%d after DropAll", i, ra)
 		}
 	}
 
@@ -79,10 +83,10 @@ func TestEvictClearsReadyAt(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.Unpin(pgB2, false)
-	for i := range p.frames {
-		f := &p.frames[i]
-		if !f.valid && f.readyAt != 0 {
-			t.Fatalf("evicted frame %d kept stale readyAt=%d", i, f.readyAt)
+	for i := range p.shards[0].frames {
+		f := &p.shards[0].frames[i]
+		if f.state.Load()&frameValidBit == 0 && f.readyAt.Load() != 0 {
+			t.Fatalf("evicted frame %d kept stale readyAt=%d", i, f.readyAt.Load())
 		}
 	}
 
@@ -96,9 +100,10 @@ func TestEvictClearsReadyAt(t *testing.T) {
 	if err := p.FreePage(a.ID); err != nil {
 		t.Fatal(err)
 	}
-	for i := range p.frames {
-		if !p.frames[i].valid && p.frames[i].readyAt != 0 {
-			t.Fatalf("freed frame %d kept stale readyAt=%d", i, p.frames[i].readyAt)
+	for i := range p.shards[0].frames {
+		f := &p.shards[0].frames[i]
+		if f.state.Load()&frameValidBit == 0 && f.readyAt.Load() != 0 {
+			t.Fatalf("freed frame %d kept stale readyAt=%d", i, f.readyAt.Load())
 		}
 	}
 

@@ -10,6 +10,8 @@
 package buffer
 
 import (
+	"sync"
+
 	"repro/internal/disksim"
 )
 
@@ -27,8 +29,11 @@ type Store interface {
 
 // MemStore is a Store with zero service time, used by the cache
 // experiments (where the entire tree is memory resident and only CPU
-// cache behaviour matters).
+// cache behaviour matters). It is safe for concurrent use: the page
+// map is guarded by an RWMutex (uncontended in the sequential
+// simulations, reader-parallel in the concurrent serving mode).
 type MemStore struct {
+	mu       sync.RWMutex
 	pageSize int
 	pages    map[uint32][]byte
 }
@@ -44,6 +49,8 @@ func (s *MemStore) PageSize() int { return s.pageSize }
 // ReadPage implements Store. Reading a never-written page yields zeros,
 // matching a freshly formatted extent.
 func (s *MemStore) ReadPage(pid uint32, dst []byte, now uint64) (uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if p, ok := s.pages[pid]; ok {
 		copy(dst, p)
 	} else {
@@ -56,6 +63,8 @@ func (s *MemStore) ReadPage(pid uint32, dst []byte, now uint64) (uint64, error) 
 
 // WritePage implements Store.
 func (s *MemStore) WritePage(pid uint32, src []byte, now uint64) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	p, ok := s.pages[pid]
 	if !ok {
 		p = make([]byte, s.pageSize)
@@ -66,13 +75,19 @@ func (s *MemStore) WritePage(pid uint32, src []byte, now uint64) (uint64, error)
 }
 
 // PageCount reports how many distinct pages have been written.
-func (s *MemStore) PageCount() int { return len(s.pages) }
+func (s *MemStore) PageCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pages)
+}
 
 // PeekPage copies the page's current content into dst without charging
 // any simulated service time, reporting whether the page has ever been
 // written. Fault injectors use it to recover the old bytes a torn write
 // must preserve.
 func (s *MemStore) PeekPage(pid uint32, dst []byte) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	p, ok := s.pages[pid]
 	if ok {
 		copy(dst, p)

@@ -106,7 +106,7 @@ type CacheFirst struct {
 	noUnderfill bool            // ablation: disable bitmap-spread filling
 
 	tr  *obs.Tracer
-	ops idx.OpStats
+	ops idx.AtomicOpStats
 
 	batch idx.BatchScratch
 }
@@ -160,10 +160,10 @@ func NewCacheFirst(cfg CacheFirstConfig) (*CacheFirst, error) {
 func (t *CacheFirst) Name() string { return "cache-first fpB+tree" }
 
 // Stats implements idx.Index.
-func (t *CacheFirst) Stats() idx.OpStats { return t.ops }
+func (t *CacheFirst) Stats() idx.OpStats { return t.ops.Snapshot() }
 
 // ResetStats implements idx.Index.
-func (t *CacheFirst) ResetStats() { t.ops = idx.OpStats{} }
+func (t *CacheFirst) ResetStats() { t.ops.Reset() }
 
 // Height implements idx.Index.
 func (t *CacheFirst) Height() int { return t.height }
@@ -319,7 +319,7 @@ func (t *CacheFirst) visitNode(pg buffer.Page, off int) {
 	t.mm.Prefetch(pg.Addr+uint64(nodeBase(off)), t.s*lineSize)
 	t.mm.Busy(memsim.CostNodeVisit)
 	t.mm.Access(pg.Addr+uint64(nodeBase(off)), cfNodeHdr)
-	t.ops.NodeVisits++
+	t.ops.NodeVisits.Add(1)
 	if t.tr != nil {
 		t.tr.NodeVisit(pg.ID, off, t.mm.Now(), t.pool.Clock())
 	}
@@ -335,23 +335,23 @@ func (t *CacheFirst) probe(pg buffer.Page, pos int) idx.Key {
 
 // searchNode binary searches node off for the largest slot with key <=
 // k (lt: < k); exact reports equality. Works for both node kinds (keys
-// are at the same offsets).
+// are at the same offsets). Branchless with the exact probe sequence of
+// the branchy form (see DiskFirst.searchNonleaf), so memsim charging —
+// and thus every simulation table — is unchanged.
 func (t *CacheFirst) searchNode(pg buffer.Page, off int, k idx.Key, lt bool) (int, bool) {
 	lo, hi := 0, t.cCount(pg.Data, off)
-	exact := false
+	ge := b2i(!lt)
+	exact := 0
 	for lo < hi {
 		mid := (lo + hi) / 2
 		mk := t.probe(pg, t.cKeyPos(off, mid))
-		if mk < k || (!lt && mk == k) {
-			lo = mid + 1
-			if mk == k {
-				exact = true
-			}
-		} else {
-			hi = mid
-		}
+		eq := b2i(mk == k)
+		right := b2i(mk < k) | ge&eq
+		exact |= right & eq
+		lo += right * (mid + 1 - lo)
+		hi = mid + right*(hi-mid)
 	}
-	return lo - 1, exact
+	return lo - 1, exact != 0
 }
 
 // getPage pins a page, reusing cur if it is already the right one.

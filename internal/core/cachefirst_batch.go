@@ -13,8 +13,8 @@ import (
 // prefetch (visitNode), and the next level's distinct pages are
 // prefetched before descending.
 func (t *CacheFirst) SearchBatch(keys []idx.Key, out []idx.SearchResult) ([]idx.SearchResult, error) {
-	t.ops.Batches++
-	t.ops.BatchedKeys += uint64(len(keys))
+	t.ops.Batches.Add(1)
+	t.ops.BatchedKeys.Add(uint64(len(keys)))
 	base := len(out)
 	out = idx.GrowResults(out, len(keys))
 	if t.root.isNil() || len(keys) == 0 {

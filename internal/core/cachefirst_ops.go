@@ -14,7 +14,7 @@ import (
 // over the duplicate run, so exact matches survive deletions among
 // duplicates.
 func (t *CacheFirst) Search(k idx.Key) (idx.TupleID, bool, error) {
-	t.ops.Searches++
+	t.ops.Searches.Add(1)
 	pg, at, slot, found, err := t.findFirst(k)
 	if err != nil || !found {
 		return 0, false, err
@@ -75,7 +75,7 @@ func (t *CacheFirst) findFirst(k idx.Key) (buffer.Page, ptr, int, bool, error) {
 // in-page subtrees relocate, the Figure 9(c) maneuver) and the insert
 // restarts from the root, since node addresses may have changed.
 func (t *CacheFirst) Insert(k idx.Key, tid idx.TupleID) error {
-	t.ops.Inserts++
+	t.ops.Inserts.Add(1)
 	if t.root.isNil() {
 		pg, err := t.newPage(cfPageLeaf)
 		if err != nil {
@@ -413,7 +413,7 @@ func (t *CacheFirst) fixBackPointersAfterParentSplit(cd []byte, child ptr, rd []
 // Delete implements idx.Index (lazy deletion); removes the first entry
 // of a duplicate run.
 func (t *CacheFirst) Delete(k idx.Key) (bool, error) {
-	t.ops.Deletes++
+	t.ops.Deletes.Add(1)
 	pg, cur, slot, found, err := t.findFirst(k)
 	if err != nil || !found {
 		return false, err

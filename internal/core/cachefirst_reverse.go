@@ -13,7 +13,7 @@ import (
 // chain in reverse; predecessor pages are prefetched through the same
 // reverse iteration when JPA prefetching is enabled.
 func (t *CacheFirst) RangeScanReverse(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error) {
-	t.ops.ReverseScans++
+	t.ops.ReverseScans.Add(1)
 	if t.root.isNil() || startKey > endKey {
 		return 0, nil
 	}

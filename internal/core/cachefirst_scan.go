@@ -14,7 +14,7 @@ import (
 // region is prefetched using the page's slot structure, so entry
 // consumption runs at pipelined-miss latency.
 func (t *CacheFirst) RangeScan(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error) {
-	t.ops.Scans++
+	t.ops.Scans.Add(1)
 	if t.root.isNil() || startKey > endKey {
 		return 0, nil
 	}

@@ -116,7 +116,7 @@ type DiskFirst struct {
 	overshoot bool // ablation: prefetch past the end page
 
 	tr  *obs.Tracer
-	ops idx.OpStats
+	ops idx.AtomicOpStats
 
 	batch idx.BatchScratch
 }
@@ -172,10 +172,10 @@ func NewDiskFirst(cfg DiskFirstConfig) (*DiskFirst, error) {
 func (t *DiskFirst) Name() string { return "disk-first fpB+tree" }
 
 // Stats implements idx.Index.
-func (t *DiskFirst) Stats() idx.OpStats { return t.ops }
+func (t *DiskFirst) Stats() idx.OpStats { return t.ops.Snapshot() }
 
 // ResetStats implements idx.Index.
-func (t *DiskFirst) ResetStats() { t.ops = idx.OpStats{} }
+func (t *DiskFirst) ResetStats() { t.ops.Reset() }
 
 // Height implements idx.Index.
 func (t *DiskFirst) Height() int { return t.height }
@@ -311,7 +311,7 @@ func (t *DiskFirst) visitNonleaf(pg buffer.Page, off int) {
 	t.mm.Prefetch(pg.Addr+uint64(nodeBase(off)), t.w*lineSize)
 	t.mm.Busy(memsim.CostNodeVisit)
 	t.mm.Access(pg.Addr+uint64(nodeBase(off)), dfNonHdr)
-	t.ops.NodeVisits++
+	t.ops.NodeVisits.Add(1)
 	if t.tr != nil {
 		t.tr.NodeVisit(pg.ID, off, t.mm.Now(), t.pool.Clock())
 	}
@@ -321,7 +321,7 @@ func (t *DiskFirst) visitLeaf(pg buffer.Page, off int) {
 	t.mm.Prefetch(pg.Addr+uint64(nodeBase(off)), t.x*lineSize)
 	t.mm.Busy(memsim.CostNodeVisit)
 	t.mm.Access(pg.Addr+uint64(nodeBase(off)), dfLeafHdr)
-	t.ops.NodeVisits++
+	t.ops.NodeVisits.Add(1)
 	if t.tr != nil {
 		t.tr.NodeVisit(pg.ID, off, t.mm.Now(), t.pool.Clock())
 	}

@@ -14,8 +14,8 @@ import (
 // descending, so a batch pins each distinct page once per level instead
 // of once per key.
 func (t *DiskFirst) SearchBatch(keys []idx.Key, out []idx.SearchResult) ([]idx.SearchResult, error) {
-	t.ops.Batches++
-	t.ops.BatchedKeys += uint64(len(keys))
+	t.ops.Batches.Add(1)
+	t.ops.BatchedKeys.Add(uint64(len(keys)))
 	base := len(out)
 	out = idx.GrowResults(out, len(keys))
 	if t.root == 0 || len(keys) == 0 {

@@ -161,40 +161,53 @@ func (t *DiskFirst) descendInPage(pg buffer.Page, k idx.Key, lt bool, path *inPa
 	return off
 }
 
+// b2i turns a comparison into an arithmetic select operand; the
+// compiler lowers it to SETcc/CSET, so the search loops below carry no
+// data-dependent branch the predictor could miss on (random keys make
+// every probe a coin flip).
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // searchNonleaf binary searches a nonleaf node for the largest slot
-// with key <= k (lt: < k); -1 if none.
+// with key <= k (lt: < k); -1 if none. The loop is branchless: the
+// go-right decision narrows [lo, hi) by arithmetic select, with the
+// exact probe sequence of the branchy form (memsim charging per probe
+// is unchanged, so simulation outputs stay byte-identical).
 func (t *DiskFirst) searchNonleaf(pg buffer.Page, off int, k idx.Key, lt bool) int {
 	lo, hi := 0, t.nCount(pg.Data, off)
+	ge := b2i(!lt) // equal keys send the descent right unless strictly-less
 	for lo < hi {
 		mid := (lo + hi) / 2
 		mk := t.probe(pg, t.nKeyPos(off, mid))
-		if mk < k || (!lt && mk == k) {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
+		right := b2i(mk < k) | ge&b2i(mk == k)
+		lo += right * (mid + 1 - lo)
+		hi = mid + right*(hi-mid)
 	}
 	return lo - 1
 }
 
 // searchLeafNode binary searches an in-page leaf node; returns the
 // largest slot with key <= k (lt: < k) and whether it equals k.
+// Branchless, same probe sequence as the branchy form (see
+// searchNonleaf).
 func (t *DiskFirst) searchLeafNode(pg buffer.Page, off int, k idx.Key, lt bool) (int, bool) {
 	lo, hi := 0, t.lCount(pg.Data, off)
-	exact := false
+	ge := b2i(!lt)
+	exact := 0
 	for lo < hi {
 		mid := (lo + hi) / 2
 		mk := t.probe(pg, t.lKeyPos(off, mid))
-		if mk < k || (!lt && mk == k) {
-			lo = mid + 1
-			if mk == k {
-				exact = true
-			}
-		} else {
-			hi = mid
-		}
+		eq := b2i(mk == k)
+		right := b2i(mk < k) | ge&eq
+		exact |= right & eq
+		lo += right * (mid + 1 - lo)
+		hi = mid + right*(hi-mid)
 	}
-	return lo - 1, exact
+	return lo - 1, exact != 0
 }
 
 // leafInsertAt writes (k, p) into slot pos of leaf node off, shifting

@@ -138,7 +138,7 @@ func (t *DiskFirst) freeAll() error {
 // the duplicate run (which may span in-page nodes and pages), so exact
 // matches survive deletions among duplicates.
 func (t *DiskFirst) Search(k idx.Key) (idx.TupleID, bool, error) {
-	t.ops.Searches++
+	t.ops.Searches.Add(1)
 	pg, off, slot, found, err := t.findFirst(k)
 	if err != nil || !found {
 		return 0, false, err
@@ -205,7 +205,7 @@ func (t *DiskFirst) findFirst(k idx.Key) (buffer.Page, int, int, bool, error) {
 
 // Insert implements idx.Index.
 func (t *DiskFirst) Insert(k idx.Key, tid idx.TupleID) error {
-	t.ops.Inserts++
+	t.ops.Inserts.Add(1)
 	if t.root == 0 {
 		pg, err := t.pool.NewPage()
 		if err != nil {
@@ -435,7 +435,7 @@ func (t *DiskFirst) splitPage(pg buffer.Page) (idx.Key, uint32, error) {
 // Delete implements idx.Index (lazy); removes the first entry of a
 // duplicate run.
 func (t *DiskFirst) Delete(k idx.Key) (bool, error) {
-	t.ops.Deletes++
+	t.ops.Deletes.Add(1)
 	pg, off, slot, found, err := t.findFirst(k)
 	if err != nil || !found {
 		return false, err

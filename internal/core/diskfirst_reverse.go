@@ -12,7 +12,7 @@ import (
 // the leaf-parent jump-pointer array — the scan knows both end keys up
 // front — and prefetched in reverse consumption order.
 func (t *DiskFirst) RangeScanReverse(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error) {
-	t.ops.ReverseScans++
+	t.ops.ReverseScans.Add(1)
 	if t.root == 0 || startKey > endKey {
 		return 0, nil
 	}

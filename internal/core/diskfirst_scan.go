@@ -19,7 +19,7 @@ import (
 //     the page's in-page nodes (the used line region), so consuming
 //     entries proceeds at pipelined- rather than full-miss latency.
 func (t *DiskFirst) RangeScan(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error) {
-	t.ops.Scans++
+	t.ops.Scans.Add(1)
 	if t.root == 0 || startKey > endKey {
 		return 0, nil
 	}

@@ -18,6 +18,7 @@ package disksim
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/obs"
 )
@@ -61,8 +62,11 @@ type Stats struct {
 }
 
 // Array is a virtual-time disk array. The zero value is unusable;
-// construct with New.
+// construct with New. A mutex serializes requests so concurrent pool
+// shards can share one array; the sequential simulations take it
+// uncontended.
 type Array struct {
+	mu    sync.Mutex
 	cfg   Config
 	disks []disk
 	tr    *obs.Tracer
@@ -93,7 +97,11 @@ func New(cfg Config) (*Array, error) {
 func (a *Array) Config() Config { return a.cfg }
 
 // Stats returns a snapshot of the activity counters.
-func (a *Array) Stats() Stats { return a.stats }
+func (a *Array) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
 
 // AttachTracer makes the array emit one disk-request span per read or
 // write (issue time, service start after queueing, completion) so the
@@ -104,10 +112,10 @@ func (a *Array) AttachTracer(tr *obs.Tracer) { a.tr = tr }
 // RegisterMetrics registers the array's counters with reg under the
 // disk.* metric names (see DESIGN.md for the catalog).
 func (a *Array) RegisterMetrics(reg *obs.Registry) {
-	reg.Counter("disk.reads", func() uint64 { return a.stats.Reads })
-	reg.Counter("disk.writes", func() uint64 { return a.stats.Writes })
-	reg.Counter("disk.seq_reads", func() uint64 { return a.stats.SeqReads })
-	reg.Counter("disk.busy_micros", func() uint64 { return a.stats.BusyMicros })
+	reg.Counter("disk.reads", func() uint64 { return a.Stats().Reads })
+	reg.Counter("disk.writes", func() uint64 { return a.Stats().Writes })
+	reg.Counter("disk.seq_reads", func() uint64 { return a.Stats().SeqReads })
+	reg.Counter("disk.busy_micros", func() uint64 { return a.Stats().BusyMicros })
 	reg.Gauge("disk.count", func() float64 { return float64(a.cfg.Disks) })
 }
 
@@ -145,6 +153,8 @@ func (a *Array) Read(pid uint32, now uint64) uint64 {
 // ReadStream is Read with an explicit request-stream tag for sequential
 // detection (parallel scans tag their own ranges).
 func (a *Array) ReadStream(pid uint32, stream int, now uint64) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	dn := a.DiskOf(pid)
 	d := &a.disks[dn]
 	start := now
@@ -164,6 +174,8 @@ func (a *Array) ReadStream(pid uint32, stream int, now uint64) uint64 {
 // Write services a write of page pid issued at now and returns its
 // completion time.
 func (a *Array) Write(pid uint32, now uint64) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	dn := a.DiskOf(pid)
 	d := &a.disks[dn]
 	start := now
@@ -183,6 +195,8 @@ func (a *Array) Write(pid uint32, now uint64) uint64 {
 // QueueDepthAt reports how far beyond now the disk holding pid is
 // already committed, in microseconds — used by prefetch throttles.
 func (a *Array) QueueDepthAt(pid uint32, now uint64) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	d := &a.disks[a.DiskOf(pid)]
 	if d.freeAt <= now {
 		return 0
@@ -193,6 +207,8 @@ func (a *Array) QueueDepthAt(pid uint32, now uint64) uint64 {
 // Reset clears queue state and statistics (the platters keep their data;
 // this models quiescing the array between experiments).
 func (a *Array) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	for i := range a.disks {
 		a.disks[i] = disk{}
 	}

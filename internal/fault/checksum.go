@@ -3,6 +3,7 @@ package fault
 import (
 	"encoding/binary"
 	"hash/crc32"
+	"sync"
 
 	"repro/internal/buffer"
 )
@@ -48,6 +49,10 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // from verification and read back as logical zeros, matching MemStore
 // semantics.
 type ChecksumStore struct {
+	// mu guards the shared scratch buffer and the version/written maps
+	// (concurrent pool shards miss independently; single-threaded runs
+	// take it uncontended).
+	mu      sync.Mutex
 	inner   buffer.Store
 	logical int
 	scratch []byte
@@ -83,11 +88,17 @@ func NewChecksumStore(inner buffer.Store) *ChecksumStore {
 func (s *ChecksumStore) PageSize() int { return s.logical }
 
 // WrittenPages reports how many pages carry a trailer.
-func (s *ChecksumStore) WrittenPages() int { return len(s.written) }
+func (s *ChecksumStore) WrittenPages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.written)
+}
 
 // WritePage implements buffer.Store: append the trailer and write the
 // physical page.
 func (s *ChecksumStore) WritePage(pid uint32, src []byte, now uint64) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	v := s.version[pid] + 1
 	copy(s.scratch[:s.logical], src)
 	binary.LittleEndian.PutUint32(s.scratch[s.logical:], crc32.Checksum(s.scratch[:s.logical], castagnoli))
@@ -111,6 +122,8 @@ func (s *ChecksumStore) WritePage(pid uint32, src []byte, now uint64) (uint64, e
 // ReadPage implements buffer.Store: read the physical page and verify
 // the trailer before releasing the data to the caller.
 func (s *ChecksumStore) ReadPage(pid uint32, dst []byte, now uint64) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	done, err := s.inner.ReadPage(pid, s.scratch, now)
 	if err != nil {
 		return done, err

@@ -20,6 +20,7 @@ package fault
 import (
 	"bytes"
 	"math/rand"
+	"sync"
 
 	"repro/internal/buffer"
 	"repro/internal/obs"
@@ -133,9 +134,12 @@ type ruleState struct {
 	fired uint64
 }
 
-// Store is a fault-injecting buffer.Store decorator. It is single-
-// threaded, like the pool above it.
+// Store is a fault-injecting buffer.Store decorator. A mutex guards
+// the rule counters, the PRNG, and the media-state maps, so concurrent
+// pool shards can share one injector; single-threaded runs take it
+// uncontended and the injection schedule is unchanged.
 type Store struct {
+	mu      sync.Mutex
 	inner   buffer.Store
 	cfg     Config
 	rules   []ruleState
@@ -176,20 +180,40 @@ func New(inner buffer.Store, cfg Config) *Store {
 // SetEnabled turns new fault injection on or off. Disabling does not
 // heal the media: permanently failed pages stay dead and corrupt pages
 // stay corrupt until rewritten (or Reset).
-func (s *Store) SetEnabled(v bool) { s.enabled = v }
+func (s *Store) SetEnabled(v bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.enabled = v
+}
 
 // Enabled reports whether new faults are being injected.
-func (s *Store) Enabled() bool { return s.enabled }
+func (s *Store) Enabled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enabled
+}
 
 // Stats returns a snapshot of the counters.
-func (s *Store) Stats() Stats { return s.stats }
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
 
 // CorruptPages reports how many pages currently hold corrupt media
 // content.
-func (s *Store) CorruptPages() int { return len(s.corrupted) }
+func (s *Store) CorruptPages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.corrupted)
+}
 
 // DeadPages reports how many pages have been permanently killed.
-func (s *Store) DeadPages() int { return len(s.permanent) }
+func (s *Store) DeadPages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.permanent)
+}
 
 // Reset restores the store to its initial state: rule counters, the
 // PRNG stream, stats, and the permanent/corrupted page sets are all
@@ -197,6 +221,8 @@ func (s *Store) DeadPages() int { return len(s.permanent) }
 // NOT rewrite base-media bytes, so a Reset must be paired with a
 // dataset rebuild (e.g. Bulkload), which rewrites every live page.
 func (s *Store) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for i := range s.rules {
 		s.rules[i].seen = 0
 		s.rules[i].fired = 0
@@ -210,17 +236,17 @@ func (s *Store) Reset() {
 // RegisterMetrics registers the store's counters with reg under the
 // fault.* metric names (see DESIGN.md §9/§10).
 func (s *Store) RegisterMetrics(reg *obs.Registry) {
-	reg.Counter("fault.reads", func() uint64 { return s.stats.Reads })
-	reg.Counter("fault.writes", func() uint64 { return s.stats.Writes })
-	reg.Counter("fault.injected", func() uint64 { return s.stats.Injected })
-	reg.Counter("fault.transient_reads", func() uint64 { return s.stats.TransientReads })
-	reg.Counter("fault.permanent_reads", func() uint64 { return s.stats.PermanentReads })
-	reg.Counter("fault.torn_writes", func() uint64 { return s.stats.TornWrites })
-	reg.Counter("fault.bit_flips", func() uint64 { return s.stats.BitFlips })
-	reg.Counter("fault.write_fails", func() uint64 { return s.stats.WriteFails })
-	reg.Counter("fault.corrupt_reads", func() uint64 { return s.stats.CorruptReads })
-	reg.Gauge("fault.corrupt_pages", func() float64 { return float64(len(s.corrupted)) })
-	reg.Gauge("fault.dead_pages", func() float64 { return float64(len(s.permanent)) })
+	reg.Counter("fault.reads", func() uint64 { return s.Stats().Reads })
+	reg.Counter("fault.writes", func() uint64 { return s.Stats().Writes })
+	reg.Counter("fault.injected", func() uint64 { return s.Stats().Injected })
+	reg.Counter("fault.transient_reads", func() uint64 { return s.Stats().TransientReads })
+	reg.Counter("fault.permanent_reads", func() uint64 { return s.Stats().PermanentReads })
+	reg.Counter("fault.torn_writes", func() uint64 { return s.Stats().TornWrites })
+	reg.Counter("fault.bit_flips", func() uint64 { return s.Stats().BitFlips })
+	reg.Counter("fault.write_fails", func() uint64 { return s.Stats().WriteFails })
+	reg.Counter("fault.corrupt_reads", func() uint64 { return s.Stats().CorruptReads })
+	reg.Gauge("fault.corrupt_pages", func() float64 { return float64(s.CorruptPages()) })
+	reg.Gauge("fault.dead_pages", func() float64 { return float64(s.DeadPages()) })
 }
 
 // trigger evaluates the rule schedule for one op and returns the kind
@@ -272,6 +298,8 @@ func (s *Store) PageSize() int { return s.inner.PageSize() }
 
 // ReadPage implements buffer.Store.
 func (s *Store) ReadPage(pid uint32, dst []byte, now uint64) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.stats.Reads++
 	if s.permanent[pid] {
 		s.stats.PermanentReads++
@@ -300,6 +328,8 @@ func (s *Store) ReadPage(pid uint32, dst []byte, now uint64) (uint64, error) {
 
 // WritePage implements buffer.Store.
 func (s *Store) WritePage(pid uint32, src []byte, now uint64) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.stats.Writes++
 	if s.enabled {
 		if k, ok := s.trigger(pid, false); ok {

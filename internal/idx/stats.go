@@ -1,6 +1,10 @@
 package idx
 
-import "repro/internal/obs"
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
 
 // OpStats counts the operations an index has executed and the node
 // visits they performed. Every variant maintains one (plain uint64
@@ -18,6 +22,49 @@ type OpStats struct {
 	// granularity: in-page nodes for the fpB+-Tree variants and the
 	// pB+-Tree, pages for the page-as-node trees.
 	NodeVisits uint64
+}
+
+// AtomicOpStats is the always-atomic backing every variant embeds for
+// its operation counters: plain uint64 increments became data races
+// once the concurrent serving mode let goroutines share a tree, and
+// atomic adds cost the same single-threaded values, so the counters are
+// exact under -race and unchanged in the sequential simulations.
+// Snapshot materializes the uniform OpStats view.
+type AtomicOpStats struct {
+	Searches     atomic.Uint64
+	Inserts      atomic.Uint64
+	Deletes      atomic.Uint64
+	Scans        atomic.Uint64
+	ReverseScans atomic.Uint64
+	Batches      atomic.Uint64
+	BatchedKeys  atomic.Uint64
+	NodeVisits   atomic.Uint64
+}
+
+// Snapshot returns the current counter values as an OpStats.
+func (s *AtomicOpStats) Snapshot() OpStats {
+	return OpStats{
+		Searches:     s.Searches.Load(),
+		Inserts:      s.Inserts.Load(),
+		Deletes:      s.Deletes.Load(),
+		Scans:        s.Scans.Load(),
+		ReverseScans: s.ReverseScans.Load(),
+		Batches:      s.Batches.Load(),
+		BatchedKeys:  s.BatchedKeys.Load(),
+		NodeVisits:   s.NodeVisits.Load(),
+	}
+}
+
+// Reset zeroes every counter.
+func (s *AtomicOpStats) Reset() {
+	s.Searches.Store(0)
+	s.Inserts.Store(0)
+	s.Deletes.Store(0)
+	s.Scans.Store(0)
+	s.ReverseScans.Store(0)
+	s.Batches.Store(0)
+	s.BatchedKeys.Store(0)
+	s.NodeVisits.Store(0)
 }
 
 // Sub returns the counter deltas s − t.

@@ -1,0 +1,145 @@
+// Package latch provides a growable table of per-page reader/writer
+// latches for the concurrent serving mode. A latch word is a single
+// atomic int32 per page ID: values >= 0 count shared (reader) holders,
+// -1 marks an exclusive holder. Shared acquisition is a CAS increment;
+// exclusive acquisition is only offered in try form (CAS 0 -> -1), so
+// the only blocking edge in the protocol is reader-vs-writer and the
+// latch graph stays acyclic:
+//
+//   - Readers crab down the tree holding the latch of every page they
+//     have pinned (the pool acquires the shared latch when a page is
+//     pinned and releases it on unpin, so the pin lifetime IS the crab
+//     window: the parent's latch is held until after the child's is
+//     acquired).
+//   - Shared latches never conflict with each other, and structural
+//     writers are additionally serialized above the pool (tree-level
+//     writer exclusion), so readers never deadlock.
+//   - The eviction path uses TryLock only: if any reader still holds
+//     the page, the evictor walks on to the next CLOCK victim instead
+//     of waiting. No latch is ever awaited while a pool shard mutex is
+//     held.
+//
+// The table grows in fixed-size segments so that latch words are never
+// moved or copied once handed out; lookups are lock-free.
+package latch
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+const (
+	segBits = 10
+	segSize = 1 << segBits // latch words per segment
+)
+
+type segment [segSize]atomic.Int32
+
+// Table maps page IDs to reader/writer latch words. The zero value is
+// not usable; construct with NewTable.
+type Table struct {
+	mu   sync.Mutex // guards growth of the segment directory
+	segs atomic.Pointer[[]*segment]
+
+	shared    atomic.Uint64 // successful shared acquisitions
+	exclusive atomic.Uint64 // successful exclusive (try) acquisitions
+	waits     atomic.Uint64 // reader spins while a writer held the word
+	tryFails  atomic.Uint64 // TryLock calls that found the word held
+}
+
+// NewTable returns an empty latch table.
+func NewTable() *Table {
+	t := &Table{}
+	segs := make([]*segment, 0, 8)
+	t.segs.Store(&segs)
+	return t
+}
+
+// word returns the latch word for pid, growing the directory if needed.
+func (t *Table) word(pid uint32) *atomic.Int32 {
+	idx := int(pid >> segBits)
+	segs := *t.segs.Load()
+	if idx >= len(segs) {
+		segs = t.grow(idx)
+	}
+	return &segs[idx][pid&(segSize-1)]
+}
+
+// grow extends the segment directory to cover index idx and returns the
+// new directory. Existing segments are shared, never copied, so latch
+// words already handed out stay valid.
+func (t *Table) grow(idx int) []*segment {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	segs := *t.segs.Load()
+	if idx < len(segs) {
+		return segs
+	}
+	grown := make([]*segment, idx+1)
+	copy(grown, segs)
+	for i := len(segs); i < len(grown); i++ {
+		grown[i] = new(segment)
+	}
+	t.segs.Store(&grown)
+	return grown
+}
+
+// RLock acquires the shared latch on pid, spinning (with scheduler
+// yields) while an exclusive holder is present. Shared holders never
+// block each other.
+func (t *Table) RLock(pid uint32) {
+	w := t.word(pid)
+	for {
+		v := w.Load()
+		if v >= 0 {
+			if w.CompareAndSwap(v, v+1) {
+				t.shared.Add(1)
+				return
+			}
+			continue // lost a race against another reader; no wait
+		}
+		t.waits.Add(1)
+		runtime.Gosched()
+	}
+}
+
+// RUnlock releases one shared hold on pid.
+func (t *Table) RUnlock(pid uint32) {
+	if t.word(pid).Add(-1) < 0 {
+		panic("latch: RUnlock of an unlatched page")
+	}
+}
+
+// TryLock attempts the exclusive latch on pid without blocking and
+// reports whether it was acquired.
+func (t *Table) TryLock(pid uint32) bool {
+	if t.word(pid).CompareAndSwap(0, -1) {
+		t.exclusive.Add(1)
+		return true
+	}
+	t.tryFails.Add(1)
+	return false
+}
+
+// Unlock releases the exclusive latch on pid.
+func (t *Table) Unlock(pid uint32) {
+	if !t.word(pid).CompareAndSwap(-1, 0) {
+		panic("latch: Unlock of a page not exclusively latched")
+	}
+}
+
+// Holders reports the current holder count of pid's latch word:
+// 0 free, n > 0 shared holders, -1 exclusive.
+func (t *Table) Holders(pid uint32) int { return int(t.word(pid).Load()) }
+
+// RegisterMetrics registers the table's counters with reg under the
+// latch.* metric names (see DESIGN.md §11 for the catalog).
+func (t *Table) RegisterMetrics(reg *obs.Registry) {
+	reg.Counter("latch.shared_acquisitions", t.shared.Load)
+	reg.Counter("latch.exclusive_acquisitions", t.exclusive.Load)
+	reg.Counter("latch.reader_waits", t.waits.Load)
+	reg.Counter("latch.try_fails", t.tryFails.Load)
+}

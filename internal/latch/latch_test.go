@@ -1,0 +1,134 @@
+package latch
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestSharedExclusiveSemantics(t *testing.T) {
+	lt := NewTable()
+	const pid = 7
+
+	lt.RLock(pid)
+	lt.RLock(pid)
+	if h := lt.Holders(pid); h != 2 {
+		t.Fatalf("Holders = %d after two RLocks, want 2", h)
+	}
+	if lt.TryLock(pid) {
+		t.Fatal("TryLock succeeded with shared holders present")
+	}
+	lt.RUnlock(pid)
+	lt.RUnlock(pid)
+
+	if !lt.TryLock(pid) {
+		t.Fatal("TryLock failed on a free latch")
+	}
+	if h := lt.Holders(pid); h != -1 {
+		t.Fatalf("Holders = %d while exclusive, want -1", h)
+	}
+	if lt.TryLock(pid) {
+		t.Fatal("TryLock succeeded while exclusively held")
+	}
+	lt.Unlock(pid)
+	if h := lt.Holders(pid); h != 0 {
+		t.Fatalf("Holders = %d after Unlock, want 0", h)
+	}
+}
+
+func TestUnbalancedReleasePanics(t *testing.T) {
+	for name, f := range map[string]func(*Table){
+		"RUnlock": func(lt *Table) { lt.RUnlock(1) },
+		"Unlock":  func(lt *Table) { lt.Unlock(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s of a free latch did not panic", name)
+				}
+			}()
+			f(NewTable())
+		}()
+	}
+}
+
+// TestGrowKeepsWordsStable latches a low page, grows the directory far
+// past it, and checks the original word still tracks the hold — growth
+// must share segments, never copy words.
+func TestGrowKeepsWordsStable(t *testing.T) {
+	lt := NewTable()
+	lt.RLock(3)
+	w := lt.word(3)
+	lt.RLock(500_000) // forces several new segments
+	if lt.word(3) != w {
+		t.Fatal("grow moved an existing latch word")
+	}
+	if h := lt.Holders(3); h != 1 {
+		t.Fatalf("Holders(3) = %d after growth, want 1", h)
+	}
+	lt.RUnlock(3)
+	lt.RUnlock(500_000)
+}
+
+// TestConcurrentSharedAndTry hammers one word with readers and a
+// TryLock-only writer; run under -race. The writer must only ever see
+// the word free or shared, and every acquisition must balance.
+func TestConcurrentSharedAndTry(t *testing.T) {
+	lt := NewTable()
+	const pid, readers, rounds = 42, 4, 5000
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				lt.RLock(pid)
+				lt.RUnlock(pid)
+			}
+		}()
+	}
+	wg.Add(1)
+	locked := 0
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if lt.TryLock(pid) {
+				locked++
+				lt.Unlock(pid)
+			}
+		}
+	}()
+	wg.Wait()
+	if h := lt.Holders(pid); h != 0 {
+		t.Fatalf("Holders = %d after storm, want 0", h)
+	}
+	t.Logf("writer acquired %d/%d tries", locked, rounds)
+}
+
+func TestRegisterMetrics(t *testing.T) {
+	lt := NewTable()
+	lt.RLock(1)
+	lt.RUnlock(1)
+	if !lt.TryLock(1) {
+		t.Fatal("TryLock failed on a free latch")
+	}
+	if lt.TryLock(1) { // counted as a try_fail
+		t.Fatal("TryLock succeeded while held")
+	}
+	lt.Unlock(1)
+
+	reg := obs.NewRegistry()
+	lt.RegisterMetrics(reg)
+	snap := reg.Snapshot()
+	want := map[string]uint64{
+		"latch.shared_acquisitions":    1,
+		"latch.exclusive_acquisitions": 1,
+		"latch.try_fails":              1,
+	}
+	for name, v := range want {
+		if got, ok := snap.Counters[name]; !ok || got != v {
+			t.Errorf("%s = %d (present %v), want %d", name, got, ok, v)
+		}
+	}
+}

@@ -19,6 +19,7 @@ package memsim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/obs"
 )
@@ -123,6 +124,11 @@ type Model struct {
 	now     uint64 // current simulated cycle
 	memFree uint64 // earliest cycle the memory system can issue the next fetch
 
+	// concurrent freezes the model: all charging entry points become
+	// no-ops, so goroutines running wall-clock workloads can share the
+	// model without racing on its (now meaningless) virtual counters.
+	concurrent atomic.Bool
+
 	stats Stats
 }
 
@@ -162,6 +168,17 @@ func (m *Model) RegisterMetrics(reg *obs.Registry) {
 	reg.Counter("mem.prefetch_fetches", func() uint64 { return m.stats.Prefetches })
 }
 
+// SetConcurrent switches the model into (or out of) wall-clock serving
+// mode. While set, Busy/Other/Access/Prefetch/Copy/CopyBetween return
+// immediately without touching the clock, the caches, or the counters:
+// the virtual cycle model describes one operation stream at a time, so
+// under real parallelism the model is frozen and time is measured on
+// the wall clock instead.
+func (m *Model) SetConcurrent(v bool) { m.concurrent.Store(v) }
+
+// Concurrent reports whether the model is frozen for wall-clock mode.
+func (m *Model) Concurrent() bool { return m.concurrent.Load() }
+
 // ColdCaches invalidates both cache levels, modeling the paper's
 // "all caches are cleared before the first search".
 func (m *Model) ColdCaches() {
@@ -171,6 +188,9 @@ func (m *Model) ColdCaches() {
 
 // Busy advances the clock by c cycles of computation.
 func (m *Model) Busy(c uint64) {
+	if m.concurrent.Load() {
+		return
+	}
 	m.now += c
 	m.stats.Busy += c
 }
@@ -178,6 +198,9 @@ func (m *Model) Busy(c uint64) {
 // Other advances the clock by c cycles of non-data-cache stall
 // (branch mispredictions, resource stalls).
 func (m *Model) Other(c uint64) {
+	if m.concurrent.Load() {
+		return
+	}
 	m.now += c
 	m.stats.OtherStall += c
 }
@@ -229,7 +252,7 @@ func (m *Model) touchLine(line uint64) {
 // line by line. Each missing line pays the full (unoverlapped) miss
 // latency: demand accesses are dependent.
 func (m *Model) Access(addr Addr, size int) {
-	if size <= 0 {
+	if m.concurrent.Load() || size <= 0 {
 		return
 	}
 	first := addr >> lineShift
@@ -245,7 +268,7 @@ func (m *Model) Access(addr Addr, size int) {
 // remaining fill latency. Issuing a prefetch does not advance the clock
 // (the issue overhead is part of CostNodeVisit).
 func (m *Model) Prefetch(addr Addr, size int) {
-	if size <= 0 {
+	if m.concurrent.Load() || size <= 0 {
 		return
 	}
 	first := addr >> lineShift
@@ -269,7 +292,7 @@ func (m *Model) Prefetch(addr Addr, size int) {
 // cycles per line. Demand misses are serialized, which matches the
 // latency-dominated movement cost observed in the paper (§4.2.2).
 func (m *Model) Copy(addr Addr, size int) {
-	if size <= 0 {
+	if m.concurrent.Load() || size <= 0 {
 		return
 	}
 	lines := (int(addr%LineSize) + size + LineSize - 1) / LineSize
@@ -281,7 +304,7 @@ func (m *Model) Copy(addr Addr, size int) {
 // regions are distinct (e.g. moving half of a page to a freshly
 // allocated page during a split). Both regions are touched.
 func (m *Model) CopyBetween(dst, src Addr, size int) {
-	if size <= 0 {
+	if m.concurrent.Load() || size <= 0 {
 		return
 	}
 	lines := (size + LineSize - 1) / LineSize

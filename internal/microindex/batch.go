@@ -10,8 +10,8 @@ import (
 // next level's pages (see bptree.SearchBatch; the only difference is
 // the micro-indexed in-page search).
 func (t *Tree) SearchBatch(keys []idx.Key, out []idx.SearchResult) ([]idx.SearchResult, error) {
-	t.ops.Batches++
-	t.ops.BatchedKeys += uint64(len(keys))
+	t.ops.Batches.Add(1)
+	t.ops.BatchedKeys.Add(uint64(len(keys)))
 	base := len(out)
 	out = idx.GrowResults(out, len(keys))
 	if t.root == 0 || len(keys) == 0 {

@@ -78,7 +78,7 @@ type Tree struct {
 	firstLeaf uint32
 
 	tr  *obs.Tracer
-	ops idx.OpStats
+	ops idx.AtomicOpStats
 
 	batch idx.BatchScratch
 }
@@ -126,10 +126,10 @@ func New(cfg Config) (*Tree, error) {
 func (t *Tree) Name() string { return "micro-indexing" }
 
 // Stats implements idx.Index.
-func (t *Tree) Stats() idx.OpStats { return t.ops }
+func (t *Tree) Stats() idx.OpStats { return t.ops.Snapshot() }
 
 // ResetStats implements idx.Index.
-func (t *Tree) ResetStats() { t.ops = idx.OpStats{} }
+func (t *Tree) ResetStats() { t.ops.Reset() }
 
 // Height implements idx.Index.
 func (t *Tree) Height() int { return t.height }
@@ -186,7 +186,7 @@ func (t *Tree) rebuildMicro(pg buffer.Page, from int) {
 func (t *Tree) touchHeader(pg buffer.Page) {
 	t.mm.Access(pg.Addr, 16)
 	t.mm.Busy(memsim.CostNodeVisit)
-	t.ops.NodeVisits++
+	t.ops.NodeVisits.Add(1)
 	if t.tr != nil {
 		t.tr.NodeVisit(pg.ID, 0, t.mm.Now(), t.pool.Clock())
 	}

@@ -151,7 +151,7 @@ func (t *Tree) freeAll() error {
 // Search implements idx.Index: strictly-less descent plus a forward
 // walk over the duplicate run (see bptree.Search for the rationale).
 func (t *Tree) Search(k idx.Key) (idx.TupleID, bool, error) {
-	t.ops.Searches++
+	t.ops.Searches.Add(1)
 	pg, slot, found, err := t.findFirst(k)
 	if err != nil || !found {
 		return 0, false, err
@@ -209,7 +209,7 @@ func (t *Tree) findFirst(k idx.Key) (buffer.Page, int, bool, error) {
 // Insert implements idx.Index: the disk-optimized insertion algorithm
 // plus micro-index rebuilds (§4.1).
 func (t *Tree) Insert(k idx.Key, tid idx.TupleID) error {
-	t.ops.Inserts++
+	t.ops.Inserts.Add(1)
 	if t.root == 0 {
 		pg, err := t.pool.NewPage()
 		if err != nil {
@@ -360,7 +360,7 @@ func (t *Tree) splitPage(pg buffer.Page) (idx.Key, uint32, error) {
 // Delete implements idx.Index (lazy); removes the first entry of a
 // duplicate run.
 func (t *Tree) Delete(k idx.Key) (bool, error) {
-	t.ops.Deletes++
+	t.ops.Deletes.Add(1)
 	pg, slot, found, err := t.findFirst(k)
 	if err != nil || !found {
 		return false, err
@@ -373,7 +373,7 @@ func (t *Tree) Delete(k idx.Key) (bool, error) {
 // RangeScan implements idx.Index. The paper notes micro-indexing's scan
 // behaviour matches disk-optimized B+-Trees, so no prefetching is done.
 func (t *Tree) RangeScan(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error) {
-	t.ops.Scans++
+	t.ops.Scans.Add(1)
 	if t.root == 0 || startKey > endKey {
 		return 0, nil
 	}

@@ -9,7 +9,7 @@ import (
 // leaf pages' prev links (no prefetching, matching this structure's
 // forward scan).
 func (t *Tree) RangeScanReverse(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error) {
-	t.ops.ReverseScans++
+	t.ops.ReverseScans.Add(1)
 	if t.root == 0 || startKey > endKey {
 		return 0, nil
 	}

@@ -1,6 +1,9 @@
 package obs
 
-import "math/bits"
+import (
+	"math/bits"
+	"sync/atomic"
+)
 
 // histBuckets is the fixed bucket count: bucket i holds values whose
 // bit length is i, i.e. [2^(i-1), 2^i), with bucket 0 holding zero.
@@ -8,34 +11,55 @@ import "math/bits"
 const histBuckets = 65
 
 // Histogram is a fixed-bucket power-of-two latency histogram. Record
-// is O(1) and allocation-free; the zero value is ready to use. Like
-// the simulators it observes, it is not safe for concurrent use.
+// is O(1), allocation-free, and safe for concurrent use: every field
+// is atomic, so goroutines in the wall-clock serving mode can share
+// one histogram, while the single-threaded simulators pay only
+// uncontended atomic stores. The zero value is ready to use.
 type Histogram struct {
-	buckets [histBuckets]uint64
-	count   uint64
-	sum     uint64
-	min     uint64
-	max     uint64
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	// minP1 holds min+1 so that 0 can mean "no observations yet" in the
+	// zero value (CAS-published); max is a plain CAS-max.
+	minP1 atomic.Uint64
+	max   atomic.Uint64
 }
 
 // Record adds one observation.
 func (h *Histogram) Record(v uint64) {
-	h.buckets[bits.Len64(v)]++
-	if h.count == 0 || v < h.min {
-		h.min = v
+	h.buckets[bits.Len64(v)].Add(1)
+	for {
+		cur := h.minP1.Load()
+		if cur != 0 && cur-1 <= v {
+			break
+		}
+		if h.minP1.CompareAndSwap(cur, v+1) {
+			break
+		}
 	}
-	if v > h.max {
-		h.max = v
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
 	}
-	h.count++
-	h.sum += v
+	h.count.Add(1)
+	h.sum.Add(v)
 }
 
 // Count reports the number of observations.
-func (h *Histogram) Count() uint64 { return h.count }
+func (h *Histogram) Count() uint64 { return h.count.Load() }
 
 // Reset zeroes the histogram.
-func (h *Histogram) Reset() { *h = Histogram{} }
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.minP1.Store(0)
+	h.max.Store(0)
+}
 
 // HistSnapshot is a JSON-friendly copy of a histogram. Buckets lists
 // one {UpperBound, Count} pair per non-empty bucket, in value order;
@@ -56,8 +80,12 @@ type HistBucket struct {
 
 // Snapshot copies the histogram's current state.
 func (h *Histogram) Snapshot() HistSnapshot {
-	s := HistSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
-	for i, c := range h.buckets {
+	s := HistSnapshot{Count: h.count.Load(), Sum: h.sum.Load(), Max: h.max.Load()}
+	if m := h.minP1.Load(); m > 0 {
+		s.Min = m - 1
+	}
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
 		if c == 0 {
 			continue
 		}

@@ -1,6 +1,9 @@
 package obs
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Kind identifies a trace event type.
 type Kind uint8
@@ -103,7 +106,11 @@ func (e Event) String() string {
 // Tracer records Events into a fixed-capacity ring buffer, keeping the
 // most recent ones. The zero Tracer is invalid; a nil *Tracer is the
 // disabled state every instrumented package checks before emitting.
+// A mutex serializes ring access so concurrent serving goroutines can
+// share one tracer; recording stays allocation-free, and the
+// single-threaded simulators take the lock uncontended.
 type Tracer struct {
+	mu   sync.Mutex
 	buf  []Event
 	mask uint64
 	n    uint64 // events ever emitted
@@ -121,8 +128,10 @@ func NewTracer(events int) *Tracer {
 
 // Emit records one event, overwriting the oldest when the ring is full.
 func (t *Tracer) Emit(e Event) {
+	t.mu.Lock()
 	t.buf[t.n&t.mask] = e
 	t.n++
+	t.mu.Unlock()
 }
 
 // Op records a complete operation span.
@@ -147,6 +156,12 @@ func (t *Tracer) NodeVisit(pid uint32, off int, cyc, us uint64) {
 
 // Len reports how many events the ring currently holds.
 func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lenLocked()
+}
+
+func (t *Tracer) lenLocked() int {
 	if t.n < uint64(len(t.buf)) {
 		return int(t.n)
 	}
@@ -156,6 +171,8 @@ func (t *Tracer) Len() int {
 // Dropped reports how many events were overwritten before they could
 // be read.
 func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.n < uint64(len(t.buf)) {
 		return 0
 	}
@@ -165,7 +182,9 @@ func (t *Tracer) Dropped() uint64 {
 // Events appends the retained events, oldest first, to out and
 // returns the extended slice.
 func (t *Tracer) Events(out []Event) []Event {
-	n := uint64(t.Len())
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := uint64(t.lenLocked())
 	for i := t.n - n; i < t.n; i++ {
 		out = append(out, t.buf[i&t.mask])
 	}
@@ -175,7 +194,9 @@ func (t *Tracer) Events(out []Event) []Event {
 // Tail returns the most recent n events (fewer if the ring holds
 // fewer), oldest first.
 func (t *Tracer) Tail(n int) []Event {
-	have := t.Len()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	have := t.lenLocked()
 	if n > have {
 		n = have
 	}
@@ -187,4 +208,8 @@ func (t *Tracer) Tail(n int) []Event {
 }
 
 // Reset discards all retained events.
-func (t *Tracer) Reset() { t.n = 0 }
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	t.n = 0
+	t.mu.Unlock()
+}

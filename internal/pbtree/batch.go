@@ -6,8 +6,8 @@ import "repro/internal/idx"
 // buffer pool to amortize, so the batch is a plain per-key loop; it
 // exists so every Index variant supports batched execution.
 func (t *Tree) SearchBatch(keys []idx.Key, out []idx.SearchResult) ([]idx.SearchResult, error) {
-	t.ops.Batches++
-	t.ops.BatchedKeys += uint64(len(keys))
+	t.ops.Batches.Add(1)
+	t.ops.BatchedKeys.Add(uint64(len(keys)))
 	base := len(out)
 	out = idx.GrowResults(out, len(keys))
 	for i, k := range keys {

@@ -53,7 +53,7 @@ type Tree struct {
 	nodes  int
 
 	tr  *obs.Tracer
-	ops idx.OpStats
+	ops idx.AtomicOpStats
 }
 
 type node struct {
@@ -94,10 +94,10 @@ func New(cfg Config) (*Tree, error) {
 func (t *Tree) Name() string { return "pB+tree (memory-resident)" }
 
 // Stats implements idx.Index.
-func (t *Tree) Stats() idx.OpStats { return t.ops }
+func (t *Tree) Stats() idx.OpStats { return t.ops.Snapshot() }
 
 // ResetStats implements idx.Index.
-func (t *Tree) ResetStats() { t.ops = idx.OpStats{} }
+func (t *Tree) ResetStats() { t.ops.Reset() }
 
 // Height implements idx.Index.
 func (t *Tree) Height() int { return t.height }
@@ -168,7 +168,7 @@ func (t *Tree) visit(n *node) {
 	t.mm.Prefetch(n.addr, t.nodeBytes)
 	t.mm.Busy(memsim.CostNodeVisit)
 	t.mm.Access(n.addr, nodeHeader)
-	t.ops.NodeVisits++
+	t.ops.NodeVisits.Add(1)
 	if t.tr != nil {
 		t.tr.NodeVisit(0, int(n.addr), t.mm.Now(), 0)
 	}
@@ -286,7 +286,7 @@ func (t *Tree) Bulkload(entries []idx.Entry, fill float64) error {
 // walk over the duplicate run, so an exact match is found even when
 // deletions have hollowed out later duplicates.
 func (t *Tree) Search(k idx.Key) (idx.TupleID, bool, error) {
-	t.ops.Searches++
+	t.ops.Searches.Add(1)
 	return t.search(k)
 }
 
@@ -330,7 +330,7 @@ func (t *Tree) findFirst(k idx.Key) (*node, int) {
 
 // Insert implements idx.Index.
 func (t *Tree) Insert(k idx.Key, tid idx.TupleID) error {
-	t.ops.Inserts++
+	t.ops.Inserts.Add(1)
 	if t.root == nil {
 		n := t.newNode(true)
 		t.root, t.first, t.height = n, n, 1
@@ -456,7 +456,7 @@ func (t *Tree) insertChild(n *node, sep idx.Key, right *node) (idx.Key, *node) {
 // Delete implements idx.Index (lazy deletion); removes the first entry
 // of a duplicate run.
 func (t *Tree) Delete(k idx.Key) (bool, error) {
-	t.ops.Deletes++
+	t.ops.Deletes.Add(1)
 	n, slot := t.findFirst(k)
 	if n == nil {
 		return false, nil

@@ -9,7 +9,7 @@ import (
 // doubly linked leaf chain, prefetching predecessor leaves through the
 // prev links.
 func (t *Tree) RangeScanReverse(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error) {
-	t.ops.ReverseScans++
+	t.ops.ReverseScans.Add(1)
 	if t.root == nil || startKey > endKey {
 		return 0, nil
 	}

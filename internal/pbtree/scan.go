@@ -12,7 +12,7 @@ import (
 // sibling chain (§2.2, Figure 2) — keeping PrefetchWindow leaves in
 // flight.
 func (t *Tree) RangeScan(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error) {
-	t.ops.Scans++
+	t.ops.Scans.Add(1)
 	if t.root == nil || startKey > endKey {
 		return 0, nil
 	}
