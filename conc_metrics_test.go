@@ -1,0 +1,116 @@
+package fpbtree
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentWallClockHistograms is the op-metric regression test
+// for serving mode. The virtual clocks are frozen under
+// WithConcurrency, so recording the op.*.cycles / op.*.micros pair
+// there would fill the histograms with meaningless zero-width samples.
+// Serving mode must instead record wall-clock op.*.wall_nanos and not
+// register the virtual pair at all: after a concurrent run touching
+// every operation kind, each wall histogram has samples, no histogram
+// is zero-only, and no virtual op series exists.
+func TestConcurrentWallClockHistograms(t *testing.T) {
+	tr, err := New(
+		WithVariant(DiskFirst),
+		WithConcurrency(2),
+		WithPageSize(4<<10),
+		WithBufferPages(256),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := make([]Entry, 2000)
+	for i := range entries {
+		k := Key(2*i + 1)
+		entries[i] = Entry{Key: k, TID: TupleID(k + 7)}
+	}
+	if err := tr.Bulkload(entries, 0.8); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			batch := make([]Key, 16)
+			for n := 0; n < 300; n++ {
+				k := Key(2*((n*37+w*511)%2000) + 1)
+				if _, _, err := tr.Search(k); err != nil {
+					t.Errorf("Search: %v", err)
+					return
+				}
+				if err := tr.Insert(k+1+Key(w)*2, TupleID(k+8)); err != nil {
+					t.Errorf("Insert: %v", err)
+					return
+				}
+				if _, err := tr.Delete(k + 1 + Key(w)*2); err != nil {
+					t.Errorf("Delete: %v", err)
+					return
+				}
+				if _, err := tr.RangeScan(k, k+64, nil); err != nil {
+					t.Errorf("RangeScan: %v", err)
+					return
+				}
+				if _, err := tr.RangeScanReverse(k, k+64, nil); err != nil {
+					t.Errorf("RangeScanReverse: %v", err)
+					return
+				}
+				for i := range batch {
+					batch[i] = Key(2*((n+i)%2000) + 1)
+				}
+				if _, err := tr.SearchBatch(batch); err != nil {
+					t.Errorf("SearchBatch: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	snap := tr.MetricsSnapshot()
+	for name, h := range snap.Histograms {
+		if !strings.HasPrefix(name, "op.") {
+			continue
+		}
+		if strings.HasSuffix(name, ".cycles") || strings.HasSuffix(name, ".micros") {
+			t.Errorf("%s has %d samples in concurrent mode; the frozen virtual pair must not be recorded", name, h.Count)
+		}
+		if h.Count > 0 && h.Sum == 0 {
+			t.Errorf("%s is zero-only (%d samples, sum 0)", name, h.Count)
+		}
+	}
+	for _, op := range []string{"search", "insert", "delete", "scan", "scan_rev", "batch"} {
+		name := "op." + op + ".wall_nanos"
+		if h, ok := snap.Histograms[name]; !ok || h.Count == 0 {
+			t.Errorf("%s missing or empty after a concurrent run", name)
+		}
+	}
+
+	// Conversely, single-threaded simulation mode keeps the virtual
+	// pair and never registers wall histograms.
+	st, err := New(WithVariant(DiskFirst), WithPageSize(4<<10), WithBufferPages(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Bulkload(entries, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Search(entries[3].Key); err != nil {
+		t.Fatal(err)
+	}
+	snap = st.MetricsSnapshot()
+	if _, ok := snap.Histograms["op.search.cycles"]; !ok {
+		t.Error("op.search.cycles missing in single-threaded mode")
+	}
+	for name := range snap.Histograms {
+		if strings.HasSuffix(name, ".wall_nanos") {
+			t.Errorf("%s registered in single-threaded mode", name)
+		}
+	}
+}

@@ -7,12 +7,12 @@ import (
 )
 
 // TestConcurrentMixedStress runs 2 reader + 2 writer goroutines against
-// a WithConcurrency(4) tree of each fpB+-Tree variant: readers search
-// random keys and range-scan while writers insert disjoint even-key
-// sets, then the final tree is checked structurally and differentially
-// against the exact reference model. Run under -race.
+// a WithConcurrency(4) tree of every disk-resident variant: readers
+// search random keys and range-scan while writers insert disjoint
+// even-key sets, then the final tree is checked structurally and
+// differentially against the exact reference model. Run under -race.
 func TestConcurrentMixedStress(t *testing.T) {
-	for _, v := range []Variant{DiskFirst, CacheFirst} {
+	for _, v := range []Variant{DiskFirst, CacheFirst, DiskOptimized, MicroIndex} {
 		v := v
 		t.Run(v.String(), func(t *testing.T) {
 			const (

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"repro/internal/bptree"
 	"repro/internal/buffer"
@@ -140,11 +141,13 @@ type Options struct {
 	Faults *FaultConfig
 	// Concurrency >= 1 switches the tree into the wall-clock serving
 	// mode sized for that many goroutines: the buffer pool is sharded
-	// with per-page latches, reads run concurrently under a tree-level
-	// read lock, structural writers are serialized, and the virtual-time
-	// memory simulator is frozen (its per-access charging is meaningless
-	// across goroutines; see DESIGN.md §11). 0 keeps the default
-	// single-threaded simulation mode with byte-identical outputs.
+	// with per-page latches, readers descend with shared latch coupling,
+	// writers crab with exclusive latches, and the virtual-time memory
+	// simulator is frozen (its per-access charging is meaningless across
+	// goroutines; see DESIGN.md §11). Operations on disjoint subtrees
+	// proceed in parallel; no tree-level lock is taken on any operation
+	// path. 0 keeps the default single-threaded simulation mode with
+	// byte-identical outputs.
 	Concurrency int
 }
 
@@ -186,11 +189,15 @@ func WithChecksums() Option { return func(o *Options) { o.Checksums = true } }
 func WithFaults(cfg FaultConfig) Option { return func(o *Options) { o.Faults = &cfg } }
 
 // WithConcurrency enables the wall-clock serving mode sized for n
-// concurrent goroutines (n >= 1). Searches and scans from different
-// goroutines proceed in parallel; Insert/Delete/SearchBatch are
-// serialized against each other and against readers. The cache/I-O
-// simulators are frozen in this mode — use it for real-time throughput,
-// not for the paper's virtual-time experiments.
+// concurrent goroutines (n >= 1). Searches, scans, inserts, deletes,
+// and batched lookups from different goroutines all proceed in
+// parallel under per-page latches (readers couple shared latches,
+// writers crab exclusive ones; the cache-first variant additionally
+// serializes its structural writers internally). Whole-tree
+// maintenance — Bulkload, Scavenge, DropBufferPool, CheckInvariants,
+// SpaceStats — still requires a quiescent tree; see each method. The
+// cache/I-O simulators are frozen in this mode — use it for real-time
+// throughput, not for the paper's virtual-time experiments.
 func WithConcurrency(n int) Option { return func(o *Options) { o.Concurrency = n } }
 
 // Tree is an fpB+-Tree (or baseline) with its substrate.
@@ -202,10 +209,13 @@ type Tree struct {
 	faults *fault.Store // nil unless built WithFaults
 	opts   Options
 
-	// mu is the tree-level operation lock used only in concurrent mode:
-	// readers share it, structural writers hold it exclusively. Page
-	// latches below it keep eviction honest; this lock keeps the tree
-	// shape and the shared batch scratch single-writer (DESIGN.md §11).
+	// mu serializes whole-tree maintenance (Bulkload, Scavenge,
+	// DropBufferPool) against itself in concurrent mode. It is NOT
+	// taken on any operation path: Search/Insert/Delete/scans/batches
+	// synchronize purely through the per-page latch table (readers
+	// couple shared latches, writers crab exclusive ones; DESIGN.md
+	// §11), so maintenance additionally requires that no operations are
+	// in flight — see the per-method comments.
 	mu         sync.RWMutex
 	concurrent bool
 
@@ -213,7 +223,13 @@ type Tree struct {
 	hists [6]opHists // per-op latency histograms, indexed by Kind-EvOpSearch
 }
 
-type opHists struct{ cycles, micros *obs.Histogram }
+// opHists holds one operation kind's latency histograms: virtual
+// cycles/micros pairs in single-threaded simulation mode, wall-clock
+// nanoseconds in concurrent serving mode (the virtual clocks are
+// frozen there, so a virtual sample would be a meaningless zero-width
+// pair). Only the mode's own histograms are registered, so snapshots
+// never contain all-zero latency series.
+type opHists struct{ cycles, micros, wall *obs.Histogram }
 
 // OpStats counts the operations the index has executed (see
 // Tree.OpStats).
@@ -344,22 +360,44 @@ func New(options ...Option) (*Tree, error) {
 	}
 	opNames := [6]string{"search", "insert", "delete", "scan", "scan_rev", "batch"}
 	for i, n := range opNames {
-		t.hists[i] = opHists{
-			cycles: ob.Reg.Histogram("op." + n + ".cycles"),
-			micros: ob.Reg.Histogram("op." + n + ".micros"),
+		if t.concurrent {
+			t.hists[i] = opHists{wall: ob.Reg.Histogram("op." + n + ".wall_nanos")}
+		} else {
+			t.hists[i] = opHists{
+				cycles: ob.Reg.Histogram("op." + n + ".cycles"),
+				micros: ob.Reg.Histogram("op." + n + ".micros"),
+			}
 		}
 	}
 	return t, nil
 }
 
-// opBegin snapshots both virtual clocks at the start of an operation.
-func (t *Tree) opBegin() (c0, u0 uint64) { return t.model.Now(), t.pool.Clock() }
+// opBegin snapshots the operation's start time: both virtual clocks in
+// simulation mode, wall-clock nanoseconds (in c0) in concurrent
+// serving mode, where the virtual clocks are frozen and would yield
+// zero-width samples.
+func (t *Tree) opBegin() (c0, u0 uint64) {
+	if t.concurrent {
+		return uint64(time.Now().UnixNano()), 0
+	}
+	return t.model.Now(), t.pool.Clock()
+}
 
-// opEnd records the operation's virtual latency on both clocks and, if
-// tracing, emits the span. It never allocates.
+// opEnd records the operation's latency — virtual cycles and I/O
+// micros in simulation mode (also emitting the trace span), wall-clock
+// nanoseconds in concurrent mode (no span: the tracer's timeline is
+// the frozen virtual clock pair). It never allocates.
 func (t *Tree) opEnd(kind obs.Kind, key uint32, c0, u0 uint64) {
-	c1, u1 := t.model.Now(), t.pool.Clock()
 	h := &t.hists[kind-obs.EvOpSearch]
+	if t.concurrent {
+		now := uint64(time.Now().UnixNano())
+		if now < c0 { // wall clock stepped backwards mid-op
+			now = c0
+		}
+		h.wall.Record(now - c0)
+		return
+	}
+	c1, u1 := t.model.Now(), t.pool.Clock()
 	h.cycles.Record(c1 - c0)
 	h.micros.Record(u1 - u0)
 	if tr := t.ob.Tracer; tr != nil {
@@ -367,20 +405,9 @@ func (t *Tree) opEnd(kind obs.Kind, key uint32, c0, u0 uint64) {
 	}
 }
 
-// rlock/runlock and lock/unlock are no-ops outside concurrent mode so
-// the single-threaded simulation paths stay branch-only (and 0 allocs).
-func (t *Tree) rlock() {
-	if t.concurrent {
-		t.mu.RLock()
-	}
-}
-
-func (t *Tree) runlock() {
-	if t.concurrent {
-		t.mu.RUnlock()
-	}
-}
-
+// lock/unlock guard whole-tree maintenance in concurrent mode (they
+// are no-ops otherwise, keeping the single-threaded simulation paths
+// branch-only and 0 allocs). Operation paths never take them.
 func (t *Tree) lock() {
 	if t.concurrent {
 		t.mu.Lock()
@@ -405,6 +432,10 @@ func (t *Tree) Name() string { return t.index.Name() }
 
 // Bulkload builds the tree from entries sorted by ascending key, with
 // nodes filled to the given factor in (0, 1].
+//
+// Locking: whole-tree maintenance. In concurrent mode it excludes the
+// other maintenance calls but NOT operations — the caller must ensure
+// no Search/Insert/Delete/scan/batch is in flight.
 func (t *Tree) Bulkload(entries []Entry, fill float64) error {
 	t.lock()
 	defer t.unlock()
@@ -412,12 +443,13 @@ func (t *Tree) Bulkload(entries []Entry, fill float64) error {
 }
 
 // Search returns the tuple ID stored under key.
+//
+// Locking: none at the tree level; concurrent-mode readers couple
+// shared page latches down the tree.
 func (t *Tree) Search(key Key) (TupleID, bool, error) {
-	t.rlock()
 	c0, u0 := t.opBegin()
 	tid, ok, err := t.index.Search(key)
 	t.opEnd(obs.EvOpSearch, key, c0, u0)
-	t.runlock()
 	return tid, ok, err
 }
 
@@ -433,87 +465,97 @@ func (t *Tree) SearchBatch(keys []Key) ([]SearchResult, error) {
 // SearchBatchInto is the allocation-conscious form of SearchBatch: it
 // appends the results to out (reallocating only when out lacks
 // capacity) and returns the extended slice.
+//
+// Locking: none at the tree level. Single-threaded mode descends with
+// the tree's own scratch (0 allocations warm); concurrent mode draws a
+// pooled scratch so simultaneous batches never share state and run
+// under shared latches like any other read.
 func (t *Tree) SearchBatchInto(keys []Key, out []SearchResult) ([]SearchResult, error) {
-	// Exclusive even though it only reads: the level-wise descent uses a
-	// per-tree scratch area that cannot be shared between goroutines.
-	t.lock()
 	c0, u0 := t.opBegin()
 	res, err := t.index.SearchBatch(keys, out)
 	t.opEnd(obs.EvOpBatch, uint32(len(keys)), c0, u0)
-	t.unlock()
 	return res, err
 }
 
 // Insert adds an entry.
+//
+// Locking: none at the tree level; concurrent-mode writers crab
+// exclusive page latches, holding ancestors only while a child could
+// split (the cache-first variant serializes its writers internally).
 func (t *Tree) Insert(key Key, tid TupleID) error {
-	t.lock()
 	c0, u0 := t.opBegin()
 	err := t.index.Insert(key, tid)
 	t.opEnd(obs.EvOpInsert, key, c0, u0)
-	t.unlock()
 	return err
 }
 
 // Delete removes one entry with the given key (lazy deletion).
+//
+// Locking: none at the tree level; concurrent-mode deleters take the
+// leaf's exclusive latch (lazy deletion never restructures).
 func (t *Tree) Delete(key Key) (bool, error) {
-	t.lock()
 	c0, u0 := t.opBegin()
 	ok, err := t.index.Delete(key)
 	t.opEnd(obs.EvOpDelete, key, c0, u0)
-	t.unlock()
 	return ok, err
 }
 
 // RangeScan visits entries with startKey <= key <= endKey in order,
 // prefetching leaf pages and leaf nodes through the jump-pointer arrays
 // when enabled. A nil fn counts matching entries.
+//
+// Locking: none at the tree level; concurrent-mode scans hold shared
+// latches page by page, so entries committed after the scan passes
+// their position are not revisited.
 func (t *Tree) RangeScan(startKey, endKey Key, fn func(Key, TupleID) bool) (int, error) {
-	t.rlock()
 	c0, u0 := t.opBegin()
 	n, err := t.index.RangeScan(startKey, endKey, fn)
 	t.opEnd(obs.EvOpScan, startKey, c0, u0)
-	t.runlock()
 	return n, err
 }
 
 // RangeScanReverse visits the same range in descending key order
 // (reverse scans, as DB2's index structures support; §4.3.3).
+//
+// Locking: none at the tree level (see RangeScan).
 func (t *Tree) RangeScanReverse(startKey, endKey Key, fn func(Key, TupleID) bool) (int, error) {
-	t.rlock()
 	c0, u0 := t.opBegin()
 	n, err := t.index.RangeScanReverse(startKey, endKey, fn)
 	t.opEnd(obs.EvOpScanRev, startKey, c0, u0)
-	t.runlock()
 	return n, err
 }
 
 // Height reports the number of page levels (node levels for the
 // cache-first variant).
-func (t *Tree) Height() int {
-	t.rlock()
-	defer t.runlock()
-	return t.index.Height()
-}
+//
+// Locking: none — a lock-free snapshot of the atomically published
+// root metadata, safe at any time in concurrent mode.
+func (t *Tree) Height() int { return t.index.Height() }
 
 // PageCount reports the pages the index occupies.
-func (t *Tree) PageCount() int {
-	t.rlock()
-	defer t.runlock()
-	return t.index.PageCount()
-}
+//
+// Locking: none — computed from atomically maintained counters; in
+// concurrent mode the value is a point-in-time snapshot.
+func (t *Tree) PageCount() int { return t.index.PageCount() }
 
 // CheckInvariants validates the tree's structural invariants.
-func (t *Tree) CheckInvariants() error {
-	t.rlock()
-	defer t.runlock()
-	return t.index.CheckInvariants()
-}
+//
+// Locking: whole-tree maintenance semantics without a lock — the walk
+// pins pages with shared latches, so it is safe against readers, but
+// in concurrent mode it must not run while writers are in flight (a
+// mid-split tree can fail checks that would pass at rest).
+func (t *Tree) CheckInvariants() error { return t.index.CheckInvariants() }
 
 // Scavenge rebuilds the tree from its surviving leaf chain — the repair
 // path after permanent page loss or detected corruption. Entries past
 // the first unreadable or inconsistent leaf are lost (reported via
 // ScavengeStats.Truncated); the old page set is abandoned without
 // recycling its IDs. No pages may be pinned when it runs.
+//
+// Locking: whole-tree maintenance. In concurrent mode it excludes the
+// other maintenance calls but NOT operations — the caller must ensure
+// no operation is in flight (the no-pinned-pages precondition already
+// implies that).
 func (t *Tree) Scavenge() (ScavengeStats, error) {
 	t.lock()
 	defer t.unlock()
@@ -526,14 +568,23 @@ func (t *Tree) Faults() *fault.Store { return t.faults }
 
 // BufferStats returns the buffer pool's counters (retries, checksum
 // failures, prefetch degradations, and the usual hit/miss accounting).
+//
+// Locking: none — atomic counter reads; a point-in-time snapshot in
+// concurrent mode.
 func (t *Tree) BufferStats() buffer.Stats { return t.pool.Stats() }
 
 // PinnedPages reports how many buffer frames are currently pinned
 // (must be zero between operations; useful for leak checks after error
 // paths).
+//
+// Locking: none — atomic counter reads; a point-in-time snapshot in
+// concurrent mode.
 func (t *Tree) PinnedPages() int { return t.pool.PinnedCount() }
 
 // Stats returns the current simulation counters.
+//
+// Locking: none — atomic counter reads; a point-in-time snapshot in
+// concurrent mode (where the virtual clocks are frozen).
 func (t *Tree) Stats() Stats {
 	ms := t.model.Stats()
 	ps := t.pool.Stats()
@@ -556,14 +607,19 @@ func (t *Tree) Stats() Stats {
 // variant supports it). The walk goes through the buffer pool, so it
 // perturbs buffer counters; take a MetricsSnapshot first if you need
 // unperturbed numbers.
+//
+// Locking: whole-tree maintenance semantics without a lock — the walk
+// holds shared latches, so it is safe against readers, but in
+// concurrent mode it must not run while writers are in flight.
 func (t *Tree) SpaceStats() (SpaceStatsReport, error) {
-	t.rlock()
-	defer t.runlock()
 	return t.index.SpaceStats()
 }
 
 // OpStats reports the operation counters accumulated since
 // construction or the last ResetOpStats.
+//
+// Locking: none — atomic counter reads; a point-in-time snapshot in
+// concurrent mode.
 func (t *Tree) OpStats() OpStats { return t.index.Stats() }
 
 // ResetOpStats zeroes the operation counters. The op.* latency
@@ -605,6 +661,10 @@ func (t *Tree) ColdCaches() { t.model.ColdCaches() }
 
 // DropBufferPool flushes and empties the buffer pool (the paper clears
 // it before I/O measurements).
+//
+// Locking: whole-tree maintenance. In concurrent mode it excludes the
+// other maintenance calls but NOT operations — no operation may be in
+// flight (pinned frames cannot be dropped).
 func (t *Tree) DropBufferPool() error {
 	t.lock()
 	defer t.unlock()

@@ -5,6 +5,23 @@ import (
 	"repro/internal/idx"
 )
 
+// scratch returns the batch scratch for one SearchBatch call: the
+// tree's own scratch sequentially (deterministic 0-alloc warm path), a
+// sync.Pool draw in concurrent mode so simultaneous read-only batches
+// never share state.
+func (t *Tree) scratch() *idx.BatchScratch {
+	if t.conc {
+		return idx.GetScratch()
+	}
+	return &t.batch
+}
+
+func (t *Tree) releaseScratch(s *idx.BatchScratch) {
+	if t.conc {
+		idx.PutScratch(s)
+	}
+}
+
 // SearchBatch implements idx.Index. The batch is sorted and descended
 // level-wise: keys landing in the same page share a single buffer-pool
 // Get (and the page-header cache traffic), and the next level's
@@ -15,18 +32,20 @@ func (t *Tree) SearchBatch(keys []idx.Key, out []idx.SearchResult) ([]idx.Search
 	t.ops.BatchedKeys.Add(uint64(len(keys)))
 	base := len(out)
 	out = idx.GrowResults(out, len(keys))
-	if t.root == 0 || len(keys) == 0 {
+	root, height := t.rootHeight()
+	if root == 0 || len(keys) == 0 {
 		return out, nil
 	}
-	s := &t.batch
+	s := t.scratch()
+	defer t.releaseScratch(s)
 	s.Prepare(keys)
 	n := len(keys)
 	for i := 0; i < n; i++ {
-		s.Cur[i] = t.root
+		s.Cur[i] = root
 	}
 
 	// Page-level descent: one Get per distinct page per level.
-	for lvl := t.height - 1; lvl > 0; lvl-- {
+	for lvl := height - 1; lvl > 0; lvl-- {
 		for i := 0; i < n; {
 			pid := s.Cur[i]
 			pg, err := t.pool.Get(pid)

@@ -14,6 +14,8 @@ package bptree
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/buffer"
 	"repro/internal/idx"
@@ -72,9 +74,19 @@ type Tree struct {
 	pageSize int
 	cap      int // entries per page
 
-	root      uint32
-	height    int
-	firstLeaf uint32
+	// meta packs (root page, height) so concurrent descents always see
+	// a consistent pair; a stale pair is still a valid entry point
+	// because the old root keeps routing its level (splits move keys
+	// right, and the leaf walks recover rightward).
+	meta      idx.TreeMeta
+	firstLeaf atomic.Uint32
+
+	// conc is set when the pool carries a latch table: writers then
+	// descend with exclusive latch crabbing (see insertConc) and page
+	// mutations take exclusive pins. In the default sequential mode
+	// every latch call is a no-op and the code paths are identical.
+	conc   bool
+	growMu sync.Mutex // serializes first-root creation in conc mode
 
 	jpa      bool
 	pfWindow int
@@ -103,10 +115,35 @@ func New(cfg Config) (*Tree, error) {
 		mm:       cfg.Model,
 		pageSize: ps,
 		cap:      (ps - headerSize) / (idx.KeySize + idx.PageIDSize),
+		conc:     cfg.Pool.Latches() != nil,
 		jpa:      cfg.EnableJPA,
 		pfWindow: w,
 		tr:       cfg.Trace,
 	}, nil
+}
+
+// rootHeight loads the tree's (root page, height) pair atomically.
+func (t *Tree) rootHeight() (uint32, int) {
+	pid, _, h := t.meta.Load()
+	return pid, h
+}
+
+// getWrite pins pid for mutation: exclusively latched in concurrent
+// mode, a plain pin in sequential mode (identical pool call order
+// either way, so simulated costs are unchanged).
+func (t *Tree) getWrite(pid uint32) (buffer.Page, error) {
+	if t.conc {
+		return t.pool.GetX(pid)
+	}
+	return t.pool.Get(pid)
+}
+
+// newPageWrite allocates a page pinned for mutation (see getWrite).
+func (t *Tree) newPageWrite() (buffer.Page, error) {
+	if t.conc {
+		return t.pool.NewPageX()
+	}
+	return t.pool.NewPage()
 }
 
 // Name implements idx.Index.
@@ -122,7 +159,10 @@ func (t *Tree) ResetStats() { t.ops.Reset() }
 func (t *Tree) Cap() int { return t.cap }
 
 // Height implements idx.Index.
-func (t *Tree) Height() int { return t.height }
+func (t *Tree) Height() int {
+	_, h := t.rootHeight()
+	return h
+}
 
 // Pool returns the tree's buffer pool.
 func (t *Tree) Pool() *buffer.Pool { return t.pool }

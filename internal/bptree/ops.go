@@ -72,8 +72,8 @@ func (t *Tree) Bulkload(entries []idx.Entry, fill float64) error {
 	if prev.Valid() {
 		t.pool.Unpin(prev, true)
 	}
-	t.firstLeaf = level[0].pid
-	t.height = 1
+	t.firstLeaf.Store(level[0].pid)
+	height := 1
 
 	// Internal levels.
 	for len(level) > 1 {
@@ -92,7 +92,7 @@ func (t *Tree) Bulkload(entries []idx.Entry, fill float64) error {
 			}
 			d := pg.Data
 			setType(d, pageInternal)
-			setLevel(d, byte(t.height))
+			setLevel(d, byte(height))
 			setCount(d, j-i)
 			for n, r := range level[i:j] {
 				t.setKey(d, n, r.min)
@@ -111,19 +111,20 @@ func (t *Tree) Bulkload(entries []idx.Entry, fill float64) error {
 			t.pool.Unpin(prev, true)
 		}
 		level = up
-		t.height++
+		height++
 	}
-	t.root = level[0].pid
+	t.meta.Store(level[0].pid, 0, height)
 	return nil
 }
 
 // freeAll releases every page of the current tree back to the pool.
 func (t *Tree) freeAll() error {
-	if t.root == 0 {
+	root, height := t.rootHeight()
+	if root == 0 {
 		return nil
 	}
-	pid := t.root
-	for lvl := t.height - 1; lvl >= 0; lvl-- {
+	pid := root
+	for lvl := height - 1; lvl >= 0; lvl-- {
 		// Remember the leftmost child before freeing this level.
 		var childFirst uint32
 		cur := pid
@@ -144,7 +145,8 @@ func (t *Tree) freeAll() error {
 		}
 		pid = childFirst
 	}
-	t.root, t.height, t.firstLeaf = 0, 0, 0
+	t.meta.Store(0, 0, 0)
+	t.firstLeaf.Store(0)
 	return nil
 }
 
@@ -155,7 +157,7 @@ func (t *Tree) freeAll() error {
 // lower bounds).
 func (t *Tree) Search(k idx.Key) (idx.TupleID, bool, error) {
 	t.ops.Searches.Add(1)
-	pg, slot, found, err := t.findFirst(k)
+	pg, slot, found, err := t.findFirst(k, false)
 	if err != nil || !found {
 		return 0, false, err
 	}
@@ -165,17 +167,26 @@ func (t *Tree) Search(k idx.Key) (idx.TupleID, bool, error) {
 }
 
 // findFirst locates the first entry with key == k, returning its pinned
-// page and slot (the caller unpins), or found=false.
-func (t *Tree) findFirst(k idx.Key) (buffer.Page, int, bool, error) {
-	if t.root == 0 {
+// page and slot (the caller unpins), or found=false. With excl the leaf
+// pages are pinned exclusively (concurrent Delete mutates in place);
+// the walk holds at most one leaf latch at a time, moving rightward.
+func (t *Tree) findFirst(k idx.Key, excl bool) (buffer.Page, int, bool, error) {
+	root, height := t.rootHeight()
+	if root == 0 {
 		return buffer.Page{}, 0, false, nil
 	}
-	pid, err := t.leafFor(k)
+	pid, err := t.leafFor(root, height, k)
 	if err != nil {
 		return buffer.Page{}, 0, false, err
 	}
 	for pid != 0 {
-		pg, err := t.pool.Get(pid)
+		var pg buffer.Page
+		var err error
+		if excl {
+			pg, err = t.pool.GetX(pid)
+		} else {
+			pg, err = t.pool.Get(pid)
+		}
 		if err != nil {
 			return buffer.Page{}, 0, false, err
 		}
@@ -199,19 +210,27 @@ func (t *Tree) findFirst(k idx.Key) (buffer.Page, int, bool, error) {
 	return buffer.Page{}, 0, false, nil
 }
 
-// Insert implements idx.Index.
+// Insert implements idx.Index. In concurrent mode the insert descends
+// with exclusive latch crabbing (insertConc); the sequential path below
+// is unchanged.
 func (t *Tree) Insert(k idx.Key, tid idx.TupleID) error {
 	t.ops.Inserts.Add(1)
-	if t.root == 0 {
+	if t.conc {
+		return t.insertConc(k, tid)
+	}
+	root, height := t.rootHeight()
+	if root == 0 {
 		pg, err := t.pool.NewPage()
 		if err != nil {
 			return err
 		}
 		setType(pg.Data, pageLeaf)
 		t.pool.Unpin(pg, true)
-		t.root, t.firstLeaf, t.height = pg.ID, pg.ID, 1
+		t.firstLeaf.Store(pg.ID)
+		t.meta.Store(pg.ID, 0, 1)
+		root, height = pg.ID, 1
 	}
-	split, sepKey, newPID, err := t.insertInto(t.root, t.height-1, k, tid)
+	split, sepKey, newPID, err := t.insertInto(root, height-1, k, tid)
 	if err != nil {
 		return err
 	}
@@ -219,8 +238,7 @@ func (t *Tree) Insert(k idx.Key, tid idx.TupleID) error {
 		return nil
 	}
 	// Grow a new root.
-	oldRoot := t.root
-	old, err := t.pool.Get(oldRoot)
+	old, err := t.pool.Get(root)
 	if err != nil {
 		return err
 	}
@@ -232,15 +250,14 @@ func (t *Tree) Insert(k idx.Key, tid idx.TupleID) error {
 	}
 	d := rootPg.Data
 	setType(d, pageInternal)
-	setLevel(d, byte(t.height))
+	setLevel(d, byte(height))
 	setCount(d, 2)
 	t.setKey(d, 0, oldMin)
-	t.setPtr(d, 0, oldRoot)
+	t.setPtr(d, 0, root)
 	t.setKey(d, 1, sepKey)
 	t.setPtr(d, 1, newPID)
 	t.pool.Unpin(rootPg, true)
-	t.root = rootPg.ID
-	t.height++
+	t.meta.Store(rootPg.ID, 0, height+1)
 	return nil
 }
 
@@ -319,12 +336,17 @@ func (t *Tree) insertInto(pid uint32, lvl int, k idx.Key, p uint32) (bool, idx.K
 
 // splitPage moves the upper half of pg to a new page, threading sibling
 // and jump-pointer links, and returns the separator (the new page's
-// minimum key).
+// minimum key). In concurrent mode the caller holds pg exclusively, the
+// new page is born exclusive (it is unreachable until pg's latch
+// drops), and the right sibling's prev fix happens under its exclusive
+// latch while pg is still held — a left-to-right, same-level
+// acquisition permitted by the global latch order, and the hold on pg
+// keeps a racing split of the new page from publishing first.
 func (t *Tree) splitPage(pg buffer.Page) (idx.Key, uint32, error) {
 	d := pg.Data
 	n := pCount(d)
 	mid := n / 2
-	np, err := t.pool.NewPage()
+	np, err := t.newPageWrite()
 	if err != nil {
 		return 0, 0, err
 	}
@@ -345,7 +367,7 @@ func (t *Tree) splitPage(pg buffer.Page) (idx.Key, uint32, error) {
 	setPrev(nd, pg.ID)
 	setNext(d, np.ID)
 	if right != 0 {
-		rp, err := t.pool.Get(right)
+		rp, err := t.getWrite(right)
 		if err != nil {
 			t.pool.Unpin(np, true)
 			return 0, 0, err
@@ -370,7 +392,9 @@ func (t *Tree) splitPage(pg buffer.Page) (idx.Key, uint32, error) {
 // Like Search, it removes the first entry of a duplicate run.
 func (t *Tree) Delete(k idx.Key) (bool, error) {
 	t.ops.Deletes.Add(1)
-	pg, slot, found, err := t.findFirst(k)
+	// Concurrent mode pins the leaf exclusively; the descent itself
+	// needs no write latches because lazy deletion never restructures.
+	pg, slot, found, err := t.findFirst(k, t.conc)
 	if err != nil || !found {
 		return false, err
 	}

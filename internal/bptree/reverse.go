@@ -13,20 +13,21 @@ import (
 // prefetched in reverse consumption order.
 func (t *Tree) RangeScanReverse(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error) {
 	t.ops.ReverseScans.Add(1)
-	if t.root == 0 || startKey > endKey {
+	root, height := t.rootHeight()
+	if root == 0 || startKey > endKey {
 		return 0, nil
 	}
-	endLeaf, err := t.leafForLE(endKey)
+	endLeaf, err := t.leafForLE(root, height, endKey)
 	if err != nil {
 		return 0, err
 	}
 	var pids []uint32 // leaf pages in reverse scan order
 	if t.jpa {
-		startLeaf, err := t.leafFor(startKey)
+		startLeaf, err := t.leafFor(root, height, startKey)
 		if err != nil {
 			return 0, err
 		}
-		fwd, err := t.leafPagesBetween(startKey, startLeaf, endLeaf)
+		fwd, err := t.leafPagesBetween(root, height, startKey, startLeaf, endLeaf)
 		if err != nil {
 			return 0, err
 		}
@@ -89,9 +90,9 @@ func (t *Tree) RangeScanReverse(startKey, endKey idx.Key, fn func(idx.Key, idx.T
 }
 
 // leafForLE descends to the rightmost leaf that can contain a key <= k.
-func (t *Tree) leafForLE(k idx.Key) (uint32, error) {
-	pid := t.root
-	for lvl := t.height - 1; lvl > 0; lvl-- {
+func (t *Tree) leafForLE(root uint32, height int, k idx.Key) (uint32, error) {
+	pid := root
+	for lvl := height - 1; lvl > 0; lvl-- {
 		pg, err := t.pool.Get(pid)
 		if err != nil {
 			return 0, err

@@ -3,6 +3,7 @@ package bptree
 import (
 	"fmt"
 
+	"repro/internal/buffer"
 	"repro/internal/idx"
 	"repro/internal/memsim"
 )
@@ -13,21 +14,22 @@ import (
 // and keeps PrefetchWindow leaf pages in flight ahead of consumption.
 func (t *Tree) RangeScan(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error) {
 	t.ops.Scans.Add(1)
-	if t.root == 0 || startKey > endKey {
+	root, height := t.rootHeight()
+	if root == 0 || startKey > endKey {
 		return 0, nil
 	}
-	startLeaf, err := t.leafFor(startKey)
+	startLeaf, err := t.leafFor(root, height, startKey)
 	if err != nil {
 		return 0, err
 	}
 
 	var pids []uint32 // leaf pages to prefetch, in scan order
 	if t.jpa {
-		endLeaf, err := t.leafFor(endKey)
+		endLeaf, err := t.leafFor(root, height, endKey)
 		if err != nil {
 			return 0, err
 		}
-		pids, err = t.leafPagesBetween(startKey, startLeaf, endLeaf)
+		pids, err = t.leafPagesBetween(root, height, startKey, startLeaf, endLeaf)
 		if err != nil {
 			return 0, err
 		}
@@ -86,11 +88,17 @@ func (t *Tree) RangeScan(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID)
 	return count, nil
 }
 
-// leafFor descends to the leaf page that would contain k (charging
-// normal search traffic).
-func (t *Tree) leafFor(k idx.Key) (uint32, error) {
-	pid := t.root
-	for lvl := t.height - 1; lvl > 0; lvl-- {
+// leafFor descends from the given (root, height) snapshot to the leaf
+// page that would contain k (charging normal search traffic). In
+// concurrent mode it holds the parent's shared latch until the child is
+// latched (latch coupling); sequentially it releases the parent first,
+// exactly as before.
+func (t *Tree) leafFor(root uint32, height int, k idx.Key) (uint32, error) {
+	if t.conc {
+		return t.leafForCoupled(root, height, k)
+	}
+	pid := root
+	for lvl := height - 1; lvl > 0; lvl-- {
 		pg, err := t.pool.Get(pid)
 		if err != nil {
 			return 0, err
@@ -109,15 +117,46 @@ func (t *Tree) leafFor(k idx.Key) (uint32, error) {
 	return pid, nil
 }
 
+// leafForCoupled is leafFor under the latch protocol: each child is
+// pinned (shared-latched) before the parent's latch is released, so the
+// child pointer just read cannot be restructured out from under the
+// descent. Acquisitions run strictly top-down, consistent with writer
+// crabbing, so blocking here cannot deadlock.
+func (t *Tree) leafForCoupled(root uint32, height int, k idx.Key) (uint32, error) {
+	pid := root
+	var parent buffer.Page
+	for lvl := height - 1; lvl > 0; lvl-- {
+		pg, err := t.pool.Get(pid)
+		if parent.Valid() {
+			t.pool.Unpin(parent, false)
+			parent = buffer.Page{}
+		}
+		if err != nil {
+			return 0, err
+		}
+		t.touchHeader(pg)
+		slot := t.searchPageLT(pg, k)
+		if slot < 0 {
+			slot = 0
+		}
+		pid = t.readPtr(pg, slot)
+		parent = pg
+	}
+	if parent.Valid() {
+		t.pool.Unpin(parent, false)
+	}
+	return pid, nil
+}
+
 // leafPagesBetween walks the leaf-parent jump-pointer chain and returns
 // the leaf page IDs from startLeaf through endLeaf inclusive.
-func (t *Tree) leafPagesBetween(startKey idx.Key, startLeaf, endLeaf uint32) ([]uint32, error) {
-	if t.height == 1 {
-		return []uint32{t.root}, nil
+func (t *Tree) leafPagesBetween(root uint32, height int, startKey idx.Key, startLeaf, endLeaf uint32) ([]uint32, error) {
+	if height == 1 {
+		return []uint32{root}, nil
 	}
 	// Find the leaf parent holding startLeaf.
-	pid := t.root
-	for lvl := t.height - 1; lvl > 1; lvl-- {
+	pid := root
+	for lvl := height - 1; lvl > 1; lvl-- {
 		pg, err := t.pool.Get(pid)
 		if err != nil {
 			return nil, err
@@ -162,12 +201,13 @@ func (t *Tree) leafPagesBetween(startKey idx.Key, startLeaf, endLeaf uint32) ([]
 // PageCount implements idx.Index: it walks every level via sibling
 // links (no memory-model charges).
 func (t *Tree) PageCount() int {
-	if t.root == 0 {
+	root, height := t.rootHeight()
+	if root == 0 {
 		return 0
 	}
 	total := 0
-	pid := t.root
-	for lvl := t.height - 1; lvl >= 0; lvl-- {
+	pid := root
+	for lvl := height - 1; lvl >= 0; lvl-- {
 		var childFirst uint32
 		cur := pid
 		for cur != 0 {
@@ -192,11 +232,12 @@ func (t *Tree) PageCount() int {
 // classifying pages and counting leaf entries.
 func (t *Tree) SpaceStats() (idx.SpaceStats, error) {
 	var st idx.SpaceStats
-	if t.root == 0 {
+	root, height := t.rootHeight()
+	if root == 0 {
 		return st, nil
 	}
-	pid := t.root
-	for lvl := t.height - 1; lvl >= 0; lvl-- {
+	pid := root
+	for lvl := height - 1; lvl >= 0; lvl-- {
 		var childFirst uint32
 		cur := pid
 		for cur != 0 {
@@ -228,15 +269,16 @@ func (t *Tree) SpaceStats() (idx.SpaceStats, error) {
 
 // CheckInvariants implements idx.Index.
 func (t *Tree) CheckInvariants() error {
-	if t.root == 0 {
+	root, height := t.rootHeight()
+	if root == 0 {
 		return nil
 	}
 	var leaves []uint32
-	if err := t.checkSubtree(t.root, t.height-1, nil, nil, &leaves); err != nil {
+	if err := t.checkSubtree(root, height-1, nil, nil, &leaves); err != nil {
 		return err
 	}
 	// The leaf chain must enumerate exactly the reachable leaves, in order.
-	pid := t.firstLeaf
+	pid := t.firstLeaf.Load()
 	i := 0
 	var prevID uint32
 	var lastKey idx.Key

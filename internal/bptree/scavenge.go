@@ -19,7 +19,7 @@ func (t *Tree) Scavenge() (idx.ScavengeStats, error) {
 	var lastKey idx.Key
 	have := false
 	maxLeaves := int(t.pool.MaxPageID())
-	pid := t.firstLeaf
+	pid := t.firstLeaf.Load()
 	for pid != 0 {
 		if st.LeavesRead >= maxLeaves {
 			st.Truncated = true
@@ -63,7 +63,8 @@ func (t *Tree) Scavenge() (idx.ScavengeStats, error) {
 	}
 	// Zeroing the root first makes Bulkload's freeAll a no-op, so the
 	// old (possibly unreadable) pages leak instead of being recycled.
-	t.root, t.height, t.firstLeaf = 0, 0, 0
+	t.meta.Store(0, 0, 0)
+	t.firstLeaf.Store(0)
 	if err := t.Bulkload(entries, idx.ScavengeFill); err != nil {
 		return st, err
 	}

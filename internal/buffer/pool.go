@@ -58,6 +58,9 @@ type Page struct {
 
 	frame int
 	shard int32
+	// excl records that the pin holds the page's exclusive latch (GetX/
+	// TryGetX/NewPageX on a latched pool); Unpin releases accordingly.
+	excl bool
 }
 
 // Valid reports whether pg refers to a pinned page (the zero Page does
@@ -493,29 +496,73 @@ func (p *Pool) writeRetry(pid uint32, src []byte) (uint64, error) {
 	}
 }
 
-// Get pins page pid, reading it from the store on a miss, and advances
-// the virtual clock to the read's completion.
+// latchMode selects which latch a pin acquires on a latched pool (and
+// whether acquisition may block). Pools without a latch table ignore it.
+type latchMode int8
+
+const (
+	latchS    latchMode = iota // shared, blocking
+	latchX                     // exclusive, blocking
+	latchTryS                  // shared, non-blocking
+	latchTryX                  // exclusive, non-blocking
+)
+
+func (m latchMode) exclusive() bool { return m == latchX || m == latchTryX }
+
+// Get pins page pid with the shared latch, reading it from the store on
+// a miss, and advances the virtual clock to the read's completion.
 func (p *Pool) Get(pid uint32) (Page, error) {
+	pg, _, err := p.get(pid, latchS)
+	return pg, err
+}
+
+// GetX pins page pid with the exclusive latch, blocking until every
+// other holder releases. Callers must follow the latch order documented
+// in internal/latch (top-down, left-to-right) and must never already
+// hold a latch on pid (latches are not reentrant).
+func (p *Pool) GetX(pid uint32) (Page, error) {
+	pg, _, err := p.get(pid, latchX)
+	return pg, err
+}
+
+// TryGet pins page pid with the shared latch without blocking on the
+// latch; ok=false means the latch was exclusively held (the page was
+// not pinned). Acquisitions against the latch order use this form.
+func (p *Pool) TryGet(pid uint32) (Page, bool, error) {
+	return p.get(pid, latchTryS)
+}
+
+// TryGetX is TryGet's exclusive counterpart.
+func (p *Pool) TryGetX(pid uint32) (Page, bool, error) {
+	return p.get(pid, latchTryX)
+}
+
+// get pins page pid, reading it from the store on a miss. The page's
+// latch (per mode) is always acquired after the pin and outside the
+// shard mutex, so a blocked latch acquisition never stalls the shard:
+// the pin alone keeps the frame safe from eviction, and the eviction
+// path's TryLock refuses any page with a live latch holder.
+func (p *Pool) get(pid uint32, mode latchMode) (Page, bool, error) {
 	if pid == 0 {
-		return Page{}, fmt.Errorf("buffer: Get of nil page")
+		return Page{}, false, fmt.Errorf("buffer: Get of nil page")
 	}
 	p.stats.gets.Add(1)
 	p.fixBusy()
 	sh := p.shardFor(pid)
-	if pg, ok := p.fastPin(sh, pid); ok {
-		return pg, nil
+	if pg, pinned := p.fastPin(sh, pid); pinned {
+		return p.latchPinned(sh, pg, mode)
 	}
 	sh.mu.Lock()
 	if i, ok := sh.table[pid]; ok {
 		sh.fast[pid&(fastSize-1)].Store(packFast(pid, i))
 		pg := p.pinHitLocked(sh, pid, i)
 		sh.mu.Unlock()
-		return pg, nil
+		return p.latchPinned(sh, pg, mode)
 	}
 	i, err := p.victimLocked(sh)
 	if err != nil {
 		sh.mu.Unlock()
-		return Page{}, err
+		return Page{}, false, err
 	}
 	f := &sh.frames[i]
 	done, err := p.readRetry(pid, f.data)
@@ -523,7 +570,7 @@ func (p *Pool) Get(pid uint32) (Page, error) {
 		// The frame stays invalid (victimLocked left it so, or evict
 		// cleared it); a later Get retries the read from scratch.
 		sh.mu.Unlock()
-		return Page{}, err
+		return Page{}, false, err
 	}
 	p.clockAdvance(done)
 	f.pid.Store(pid)
@@ -535,13 +582,39 @@ func (p *Pool) Get(pid uint32) (Page, error) {
 	sh.table[pid] = i
 	sh.fast[pid&(fastSize-1)].Store(packFast(pid, i))
 	p.stats.demandMisses.Add(1)
-	p.latchShared(pid)
 	if p.tr != nil {
 		p.tr.Buffer(obs.EvDemandMiss, pid, p.cyc(), p.Clock(), done)
 	}
 	pg := p.page(sh, pid, i, f)
 	sh.mu.Unlock()
-	return pg, nil
+	return p.latchPinned(sh, pg, mode)
+}
+
+// latchPinned acquires pg's latch per mode after the pin is already
+// held (and no shard mutex is). On a try-mode failure the pin is
+// released and ok=false is returned; the page stays resident.
+func (p *Pool) latchPinned(sh *poolShard, pg Page, mode latchMode) (Page, bool, error) {
+	if p.latches == nil {
+		return pg, true, nil
+	}
+	switch mode {
+	case latchS:
+		p.latches.RLock(pg.ID)
+	case latchX:
+		p.latches.Lock(pg.ID)
+	case latchTryS:
+		if !p.latches.TryRLock(pg.ID) {
+			p.unpin(&sh.frames[pg.frame])
+			return Page{}, false, nil
+		}
+	case latchTryX:
+		if !p.latches.TryLock(pg.ID) {
+			p.unpin(&sh.frames[pg.frame])
+			return Page{}, false, nil
+		}
+	}
+	pg.excl = mode.exclusive()
+	return pg, true, nil
 }
 
 func (p *Pool) page(sh *poolShard, pid uint32, i int, f *frame) Page {
@@ -563,20 +636,13 @@ func shardIndex(p *Pool, sh *poolShard) int {
 	panic("buffer: foreign shard")
 }
 
-// latchShared acquires pid's shared latch when the latch table is
-// attached (concurrent pools); the latch is held until Unpin.
-func (p *Pool) latchShared(pid uint32) {
-	if p.latches != nil {
-		p.latches.RLock(pid)
-	}
-}
-
 // fastPin is the lock-free warm path: translate pid through the shard's
 // direct-mapped table and pin the frame with a bare state-word CAS.
 // It fails (returning ok=false) whenever anything is unusual — slot
 // mismatch, invalid frame, in-flight prefetch, frame recycled between
 // the slot read and the pin — and the caller falls back to the locked
-// path, which owns all the slow-case protocols.
+// path, which owns all the slow-case protocols. The page latch is NOT
+// acquired here; the caller latches after the pin (latchPinned).
 func (p *Pool) fastPin(sh *poolShard, pid uint32) (Page, bool) {
 	packed := sh.fast[pid&(fastSize-1)].Load()
 	if uint32(packed>>32) != pid || packed == 0 {
@@ -610,7 +676,6 @@ func (p *Pool) fastPin(sh *poolShard, pid uint32) (Page, bool) {
 	if p.tr != nil {
 		p.tr.Buffer(obs.EvBufferHit, pid, p.cyc(), p.Clock(), 0)
 	}
-	p.latchShared(pid)
 	return p.page(sh, pid, i, f), true
 }
 
@@ -618,7 +683,7 @@ func (p *Pool) fastPin(sh *poolShard, pid uint32) (Page, bool) {
 func (p *Pool) unpin(f *frame) { f.state.Add(^uint64(0)) }
 
 // pinHitLocked pins the resident (or in-flight) frame i holding pid.
-// Caller holds sh.mu.
+// Caller holds sh.mu and acquires the page latch after releasing it.
 func (p *Pool) pinHitLocked(sh *poolShard, pid uint32, i int) Page {
 	f := &sh.frames[i]
 	f.state.Add(1)
@@ -642,7 +707,6 @@ func (p *Pool) pinHitLocked(sh *poolShard, pid uint32, i int) Page {
 			p.tr.Buffer(obs.EvBufferHit, pid, p.cyc(), p.Clock(), 0)
 		}
 	}
-	p.latchShared(pid)
 	return p.page(sh, pid, i, f)
 }
 
@@ -726,8 +790,16 @@ func (p *Pool) Contains(pid uint32) bool {
 }
 
 // NewPage allocates a fresh page, pinned and zeroed, without a store
-// read.
-func (p *Pool) NewPage() (Page, error) {
+// read, holding the shared latch on latched pools.
+func (p *Pool) NewPage() (Page, error) { return p.newPage(latchS) }
+
+// NewPageX is NewPage with the exclusive latch: structural writers use
+// it so a new page is born under the same protection as the pages it is
+// spliced between. The latch never blocks — the fresh page ID has no
+// other holders.
+func (p *Pool) NewPageX() (Page, error) { return p.newPage(latchX) }
+
+func (p *Pool) newPage(mode latchMode) (Page, error) {
 	pid := p.AllocPageID()
 	sh := p.shardFor(pid)
 	sh.mu.Lock()
@@ -751,10 +823,10 @@ func (p *Pool) NewPage() (Page, error) {
 	f.state.Store((st &^ framePinMask) | frameValidBit | 1)
 	sh.table[pid] = i
 	sh.fast[pid&(fastSize-1)].Store(packFast(pid, i))
-	p.latchShared(pid)
 	pg := p.page(sh, pid, i, f)
 	sh.mu.Unlock()
-	return pg, nil
+	pg, _, err = p.latchPinned(sh, pg, mode)
+	return pg, err
 }
 
 // Unpin releases a pinned page, optionally marking it dirty. Clean
@@ -781,7 +853,11 @@ func (p *Pool) Unpin(pg Page, dirty bool) {
 		p.unpin(f)
 	}
 	if p.latches != nil {
-		p.latches.RUnlock(pg.ID)
+		if pg.excl {
+			p.latches.Unlock(pg.ID)
+		} else {
+			p.latches.RUnlock(pg.ID)
+		}
 	}
 }
 

@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/buffer"
 	"repro/internal/idx"
@@ -93,9 +96,8 @@ type CacheFirst struct {
 	perPage   int // node slots per page
 	fanout    int // leaf entries per leaf page
 
-	root   ptr
-	height int // node levels
-	first  ptr // leftmost leaf node
+	meta  idx.TreeMeta   // root ⟨pid, off⟩ and height, one atomic word
+	first idx.PackedPtr  // leftmost leaf node ⟨pid, off⟩
 
 	jpaOn    bool
 	pfWindow int
@@ -109,6 +111,21 @@ type CacheFirst struct {
 	ops idx.AtomicOpStats
 
 	batch idx.BatchScratch
+
+	// Concurrent (serving) mode. Aggressive placement relocates nodes
+	// between pages during splits (the Figure 9 maneuvers), and the set
+	// of pages a split touches is discovered while it mutates — which
+	// rules out strict top-down crabbing. Instead, writers serialize on
+	// wMu but take exclusive page latches on every page they touch, so
+	// they never block readers outside those pages; readers run fully in
+	// parallel, holding one shared page latch at a time and validating
+	// the relocation epoch at every page transition (stale → restart).
+	// See DESIGN.md §11.
+	conc    bool
+	wMu     sync.Mutex    // serializes writers (Insert/Delete) with each other
+	pagesMu sync.Mutex    // guards the pages map (space map)
+	jpaMu   sync.RWMutex  // guards the (not thread-safe) jump-pointer array
+	reloc   atomic.Uint64 // node-relocation epoch; odd while a split runs
 }
 
 // NewCacheFirst creates an empty tree.
@@ -153,7 +170,64 @@ func NewCacheFirst(cfg CacheFirstConfig) (*CacheFirst, error) {
 		pages:       make(map[uint32]byte),
 		noUnderfill: cfg.NoUnderflowFill,
 		tr:          cfg.Trace,
+		conc:        cfg.Pool.Latches() != nil,
 	}, nil
+}
+
+// rootPtrHeight loads the root pointer and height as one consistent
+// pair (a single atomic word).
+func (t *CacheFirst) rootPtrHeight() (ptr, int) {
+	pid, off, h := t.meta.Load()
+	return ptr{pid, off}, h
+}
+
+// setRootHeight publishes a new root/height pair. In concurrent mode
+// the new root's page content must be fully written first: a stale pair
+// remains a valid entry point (the old root still reaches every leaf).
+func (t *CacheFirst) setRootHeight(at ptr, height int) { t.meta.Store(at.pid, at.off, height) }
+
+// firstLeafPtr / setFirstLeaf load and publish the leftmost-leaf
+// pointer atomically.
+func (t *CacheFirst) firstLeafPtr() ptr {
+	pid, off := t.first.Load()
+	return ptr{pid, off}
+}
+func (t *CacheFirst) setFirstLeaf(at ptr) { t.first.Store(at.pid, at.off) }
+
+// getWrite pins a page the caller intends to mutate: exclusively
+// latched in concurrent mode, a plain pin otherwise.
+func (t *CacheFirst) getWrite(pid uint32) (buffer.Page, error) {
+	if t.conc {
+		return t.pool.GetX(pid)
+	}
+	return t.pool.Get(pid)
+}
+
+// relocBegin/relocEnd bracket a node relocation (leaf- or node-page
+// split): the epoch is odd while one runs, and any change tells a
+// reader that a ⟨pid, off⟩ it carried across a page transition may now
+// point at a freed or reused slot.
+func (t *CacheFirst) relocBegin() {
+	if t.conc {
+		t.reloc.Add(1)
+	}
+}
+func (t *CacheFirst) relocEnd() {
+	if t.conc {
+		t.reloc.Add(1)
+	}
+}
+
+// relocEpoch spins until no relocation is in flight and returns the
+// (even) epoch a reader should validate against.
+func (t *CacheFirst) relocEpoch() uint64 {
+	for {
+		e := t.reloc.Load()
+		if e&1 == 0 {
+			return e
+		}
+		runtime.Gosched()
+	}
 }
 
 // Name implements idx.Index.
@@ -165,12 +239,20 @@ func (t *CacheFirst) Stats() idx.OpStats { return t.ops.Snapshot() }
 // ResetStats implements idx.Index.
 func (t *CacheFirst) ResetStats() { t.ops.Reset() }
 
-// Height implements idx.Index.
-func (t *CacheFirst) Height() int { return t.height }
+// Height implements idx.Index. Safe to call concurrently: it reads one
+// atomic word.
+func (t *CacheFirst) Height() int {
+	_, h := t.rootPtrHeight()
+	return h
+}
 
 // PageCount implements idx.Index: every page the tree has allocated
 // (node, leaf, and overflow pages), mirroring Figure 16's space metric.
-func (t *CacheFirst) PageCount() int { return len(t.pages) }
+func (t *CacheFirst) PageCount() int {
+	t.pagesMu.Lock()
+	defer t.pagesMu.Unlock()
+	return len(t.pages)
+}
 
 // NodeBytes reports the node size in bytes.
 func (t *CacheFirst) NodeBytes() int { return t.s * lineSize }
@@ -238,15 +320,25 @@ func (t *CacheFirst) cSetChild(d []byte, off, i int, p ptr) {
 
 // --- space management ---
 
-// newPage allocates and registers a page of the given kind.
+// newPage allocates and registers a page of the given kind. Only
+// writers allocate pages; in concurrent mode the fresh page comes back
+// exclusively latched.
 func (t *CacheFirst) newPage(kind byte) (buffer.Page, error) {
-	pg, err := t.pool.NewPage()
+	var pg buffer.Page
+	var err error
+	if t.conc {
+		pg, err = t.pool.NewPageX()
+	} else {
+		pg, err = t.pool.NewPage()
+	}
 	if err != nil {
 		return buffer.Page{}, err
 	}
 	cfSetKind(pg.Data, kind)
 	cfSetNextFree(pg.Data, 1)
+	t.pagesMu.Lock()
 	t.pages[pg.ID] = kind
+	t.pagesMu.Unlock()
 	return pg, nil
 }
 
@@ -289,18 +381,26 @@ func (t *CacheFirst) hasSlot(d []byte) bool {
 }
 
 // allocOverflowSlot finds (or creates) an overflow page with a free
-// slot and allocates from it.
-func (t *CacheFirst) allocOverflowSlot() (ptr, error) {
+// slot and allocates from it. held, if valid, is a page the caller
+// already has pinned (and, in concurrent mode, exclusively latched —
+// latches are not reentrant, so it must be reused, not re-pinned).
+func (t *CacheFirst) allocOverflowSlot(held buffer.Page) (ptr, error) {
 	if t.overflowCur != 0 {
-		pg, err := t.pool.Get(t.overflowCur)
-		if err != nil {
-			return nilPtr, err
+		if t.conc && held.Valid() && held.ID == t.overflowCur {
+			if off := t.allocSlot(held.Data); off != 0 {
+				return ptr{t.overflowCur, off}, nil
+			}
+		} else {
+			pg, err := t.getWrite(t.overflowCur)
+			if err != nil {
+				return nilPtr, err
+			}
+			if off := t.allocSlot(pg.Data); off != 0 {
+				t.pool.Unpin(pg, true)
+				return ptr{t.overflowCur, off}, nil
+			}
+			t.pool.Unpin(pg, false)
 		}
-		if off := t.allocSlot(pg.Data); off != 0 {
-			t.pool.Unpin(pg, true)
-			return ptr{t.overflowCur, off}, nil
-		}
-		t.pool.Unpin(pg, false)
 	}
 	pg, err := t.newPage(cfPageOverflow)
 	if err != nil {

@@ -17,19 +17,27 @@ func (t *CacheFirst) SearchBatch(keys []idx.Key, out []idx.SearchResult) ([]idx.
 	t.ops.BatchedKeys.Add(uint64(len(keys)))
 	base := len(out)
 	out = idx.GrowResults(out, len(keys))
-	if t.root.isNil() || len(keys) == 0 {
+	root, height := t.rootPtrHeight()
+	if root.isNil() || len(keys) == 0 {
 		return out, nil
+	}
+	if t.conc {
+		// The level-wise ⟨page, offset⟩ frontier is unsafe under
+		// concurrent relocation; fall back to per-key lookups under the
+		// epoch-validated shared-latch protocol. No per-tree scratch is
+		// touched, so batches run fully in parallel.
+		return t.searchBatchConc(keys, out, base)
 	}
 	s := &t.batch
 	s.Prepare(keys)
 	n := len(keys)
 	for i := 0; i < n; i++ {
-		s.Cur[i] = t.root.pid
-		s.CurOff[i] = int32(t.root.off)
+		s.Cur[i] = root.pid
+		s.CurOff[i] = int32(root.off)
 	}
 
 	// Node-level descent (leafNodeFor, batched).
-	for lvl := t.height - 1; lvl > 0; lvl-- {
+	for lvl := height - 1; lvl > 0; lvl-- {
 		for i := 0; i < n; {
 			pid := s.Cur[i]
 			pg, err := t.pool.Get(pid)

@@ -63,7 +63,7 @@ func (t *CacheFirst) Bulkload(entries []idx.Entry, fill float64) error {
 			if pg, err = t.newPage(cfPageLeaf); err != nil {
 				return err
 			}
-			t.jpa.Append(pg.ID)
+			t.jpaAppend(pg.ID)
 		}
 		off := t.allocSlot(pg.Data)
 		d := pg.Data
@@ -78,7 +78,7 @@ func (t *CacheFirst) Bulkload(entries []idx.Entry, fill float64) error {
 				return err
 			}
 		} else {
-			t.first = at
+			t.setFirstLeaf(at)
 		}
 		prevLeaf = at
 		var mn idx.Key
@@ -103,9 +103,9 @@ func (t *CacheFirst) Bulkload(entries []idx.Entry, fill float64) error {
 		}
 	}
 	flushPage()
-	t.height = 1
+	height := 1
 	if len(leaves) == 1 {
-		t.root = leaves[0].at
+		t.setRootHeight(leaves[0].at, height)
 		return nil
 	}
 
@@ -128,7 +128,7 @@ func (t *CacheFirst) Bulkload(entries []idx.Entry, fill float64) error {
 			l.mins = append(l.mins, leaves[i].min)
 		}
 		levels = append(levels, l)
-		t.height++
+		height++
 	}
 	for len(levels[len(levels)-1].specs) > 1 {
 		below := &levels[len(levels)-1]
@@ -147,7 +147,7 @@ func (t *CacheFirst) Bulkload(entries []idx.Entry, fill float64) error {
 			l.mins = append(l.mins, below.mins[i])
 		}
 		levels = append(levels, l)
-		t.height++
+		height++
 	}
 
 	// 3. Aggressive top-down placement.
@@ -160,7 +160,7 @@ func (t *CacheFirst) Bulkload(entries []idx.Entry, fill float64) error {
 	if err != nil {
 		return err
 	}
-	t.root = rootAt
+	t.setRootHeight(rootAt, height)
 
 	// 4. Write the placed nonleaf nodes' contents.
 	for li := len(levels) - 1; li >= 0; li-- {
@@ -293,7 +293,7 @@ func (t *CacheFirst) placeSubtree(levels []cfLevel, lvl, si, fullLevels, underfl
 					return nilPtr, err
 				}
 			} else if childIsLeafParent {
-				at, err := t.allocOverflowSlot()
+				at, err := t.allocOverflowSlot(buffer.Page{})
 				if err != nil {
 					return nilPtr, err
 				}
@@ -327,17 +327,22 @@ func (t *CacheFirst) setLeafNext(from, to ptr, curPg buffer.Page) error {
 	return nil
 }
 
-// freeAll releases every page and resets in-memory state.
+// freeAll releases every page and resets in-memory state. Requires
+// quiescence (no concurrent operations), like Bulkload itself.
 func (t *CacheFirst) freeAll() error {
+	t.pagesMu.Lock()
+	defer t.pagesMu.Unlock()
 	for pid := range t.pages {
 		if err := t.pool.FreePage(pid); err != nil {
 			return err
 		}
 		delete(t.pages, pid)
 	}
+	t.jpaMu.Lock()
 	t.jpa.Reset()
-	t.root, t.first = nilPtr, nilPtr
-	t.height = 0
+	t.jpaMu.Unlock()
+	t.setRootHeight(nilPtr, 0)
+	t.setFirstLeaf(nilPtr)
 	t.overflowCur = 0
 	return nil
 }

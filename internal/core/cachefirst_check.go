@@ -12,18 +12,19 @@ import (
 // chain, per-page slot accounting (every live slot is referenced by
 // exactly one tree edge), and the external jump-pointer array.
 func (t *CacheFirst) CheckInvariants() error {
-	if t.root.isNil() {
+	root, height := t.rootPtrHeight()
+	if root.isNil() {
 		return nil
 	}
 	st := &cfCheckState{
 		refs: make(map[ptr]int),
 	}
-	if err := t.checkNode(t.root, t.height-1, nil, nil, st); err != nil {
+	if err := t.checkNode(root, height-1, nil, nil, st); err != nil {
 		return err
 	}
 
 	// Leaf chain matches in-order leaves.
-	cur := t.first
+	cur := t.firstLeafPtr()
 	var last idx.Key
 	have := false
 	for i := 0; !cur.isNil(); i++ {
@@ -52,7 +53,7 @@ func (t *CacheFirst) CheckInvariants() error {
 	}
 	if chainLen := len(st.leaves); chainLen > 0 {
 		walked := 0
-		for c := t.first; !c.isNil(); {
+		for c := t.firstLeafPtr(); !c.isNil(); {
 			walked++
 			pg, err := t.pool.Get(c.pid)
 			if err != nil {
@@ -130,7 +131,10 @@ func (t *CacheFirst) CheckInvariants() error {
 				return fmt.Errorf("cachefirst: page %d slot %d is live but unreferenced", pid, off)
 			}
 		}
-		if _, registered := t.pages[pid]; !registered {
+		t.pagesMu.Lock()
+		_, registered := t.pages[pid]
+		t.pagesMu.Unlock()
+		if !registered {
 			return fmt.Errorf("cachefirst: page %d not in the space map", pid)
 		}
 	}
@@ -144,7 +148,9 @@ func (t *CacheFirst) CheckInvariants() error {
 			wantPages = append(wantPages, lp.pid)
 		}
 	}
+	t.jpaMu.RLock()
 	got := t.jpa.All()
+	t.jpaMu.RUnlock()
 	if len(got) != len(wantPages) {
 		return fmt.Errorf("cachefirst: JPA has %d pages, tree uses %d", len(got), len(wantPages))
 	}

@@ -1,0 +1,416 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/buffer"
+	"repro/internal/idx"
+)
+
+// Concurrent read protocol for the cache-first tree.
+//
+// Crab-style latch coupling is unsafe here: page splits (the Figure 9
+// maneuvers) discover the pages they touch *during* the mutation —
+// back-pointer walks, sideways leaf-parent chain walks, overflow
+// allocation — so no global latch order covers a writer, and a reader
+// holding a parent latch while acquiring a child can close a cycle
+// with a splitting writer. Instead, concurrent readers hold exactly
+// ONE shared latch at a time (the old page is unpinned before the next
+// is pinned), so a reader never holds-and-waits and no cycle can
+// involve it; writers serialize on wMu, leaving at most one
+// hold-and-waiter in the system — deadlock-free by construction.
+//
+// Because a reader releases a page before following a pointer out of
+// it, the pointer may be invalidated by a concurrent page split
+// relocating nodes. Splits bracket themselves with relocBegin/relocEnd
+// on the reloc epoch counter (odd while a split is in flight); a
+// reader samples an even epoch before descending and re-validates it
+// after every cross-page pin. A changed epoch means node addresses may
+// have moved — the operation restarts from the root (scans resume
+// after the last key already delivered). In-page node splits do not
+// bump the epoch: the strictly-less descent lands at-or-left of the
+// target and the forward leaf-node chain walk recovers entries that
+// moved right within (or out of) the node.
+
+// descendConc walks from the root to the leaf node for k (lt selects
+// strictly-less descent) holding one shared latch at a time, validating
+// the relocation epoch e after every page transition. ok=false reports
+// a stale epoch: the caller restarts. On ok the returned page is pinned
+// and holds the returned leaf node; a nil cur means the tree is empty.
+func (t *CacheFirst) descendConc(k idx.Key, lt bool, e uint64) (buffer.Page, ptr, bool, error) {
+	root, height := t.rootPtrHeight()
+	if root.isNil() {
+		return buffer.Page{}, nilPtr, true, nil
+	}
+	pg, err := t.pool.Get(root.pid)
+	if err != nil {
+		return buffer.Page{}, nilPtr, false, err
+	}
+	if t.reloc.Load() != e {
+		t.pool.Unpin(pg, false)
+		return buffer.Page{}, nilPtr, false, nil
+	}
+	cur := root
+	for lvl := height - 1; lvl > 0; lvl-- {
+		t.visitNode(pg, cur.off)
+		slot, _ := t.searchNode(pg, cur.off, k, lt)
+		if slot < 0 {
+			slot = 0
+		}
+		child := t.cChild(pg.Data, cur.off, slot)
+		if child.isNil() {
+			t.pool.Unpin(pg, false)
+			return buffer.Page{}, nilPtr, false, fmt.Errorf("core: nil child during cache-first descent")
+		}
+		if child.pid != pg.ID {
+			t.pool.Unpin(pg, false)
+			if pg, err = t.pool.Get(child.pid); err != nil {
+				return buffer.Page{}, nilPtr, false, err
+			}
+			if t.reloc.Load() != e {
+				t.pool.Unpin(pg, false)
+				return buffer.Page{}, nilPtr, false, nil
+			}
+		}
+		cur = child
+	}
+	return pg, cur, true, nil
+}
+
+// findFirstConc is findFirst under the one-latch protocol: descend,
+// then walk the forward leaf-node chain for the first entry == k,
+// restarting from the root whenever the relocation epoch moves.
+func (t *CacheFirst) findFirstConc(k idx.Key) (buffer.Page, ptr, int, bool, error) {
+	for {
+		e := t.relocEpoch()
+		pg, cur, ok, err := t.descendConc(k, true, e)
+		if err != nil {
+			return buffer.Page{}, nilPtr, 0, false, err
+		}
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		if cur.isNil() {
+			return buffer.Page{}, nilPtr, 0, false, nil
+		}
+		stale := false
+		for !cur.isNil() {
+			if cur.pid != pg.ID {
+				t.pool.Unpin(pg, false)
+				if pg, err = t.pool.Get(cur.pid); err != nil {
+					return buffer.Page{}, nilPtr, 0, false, err
+				}
+				if t.reloc.Load() != e {
+					t.pool.Unpin(pg, false)
+					stale = true
+					break
+				}
+			}
+			t.visitNode(pg, cur.off)
+			slot, _ := t.searchNode(pg, cur.off, k, true)
+			slot++
+			if slot < t.cCount(pg.Data, cur.off) {
+				t.mm.Access(pg.Addr+uint64(t.cKeyPos(cur.off, slot)), 4)
+				if t.cKey(pg.Data, cur.off, slot) == k {
+					return pg, cur, slot, true, nil
+				}
+				t.pool.Unpin(pg, false)
+				return buffer.Page{}, nilPtr, 0, false, nil
+			}
+			cur = t.cNextLeaf(pg.Data, cur.off)
+		}
+		if stale {
+			runtime.Gosched()
+			continue
+		}
+		if pg.Valid() {
+			t.pool.Unpin(pg, false)
+		}
+		return buffer.Page{}, nilPtr, 0, false, nil
+	}
+}
+
+// deleteConc is the writer-side Delete: it serializes on wMu like
+// Insert and repeats findFirst's walk with exclusive latches (latch
+// coupling is safe for the single writer — readers never hold-and-wait,
+// so it cannot be part of a cycle).
+func (t *CacheFirst) deleteConc(k idx.Key) (bool, error) {
+	t.wMu.Lock()
+	defer t.wMu.Unlock()
+	root, height := t.rootPtrHeight()
+	if root.isNil() {
+		return false, nil
+	}
+	cur := root
+	var pg buffer.Page
+	release := func() {
+		if pg.Valid() {
+			t.pool.Unpin(pg, false)
+		}
+	}
+	for lvl := height - 1; lvl > 0; lvl-- {
+		npg, pinned, err := t.getPageW(pg, cur.pid)
+		if err != nil {
+			release()
+			return false, err
+		}
+		if pinned && pg.Valid() {
+			t.pool.Unpin(pg, false)
+		}
+		pg = npg
+		t.visitNode(pg, cur.off)
+		slot, _ := t.searchNode(pg, cur.off, k, true)
+		if slot < 0 {
+			slot = 0
+		}
+		cur = t.cChild(pg.Data, cur.off, slot)
+		if cur.isNil() {
+			release()
+			return false, fmt.Errorf("core: nil child during cache-first descent")
+		}
+	}
+	for !cur.isNil() {
+		npg, pinned, err := t.getPageW(pg, cur.pid)
+		if err != nil {
+			release()
+			return false, err
+		}
+		if pinned && pg.Valid() {
+			t.pool.Unpin(pg, false)
+		}
+		pg = npg
+		t.visitNode(pg, cur.off)
+		slot, _ := t.searchNode(pg, cur.off, k, true)
+		slot++
+		if slot < t.cCount(pg.Data, cur.off) {
+			t.mm.Access(pg.Addr+uint64(t.cKeyPos(cur.off, slot)), 4)
+			if t.cKey(pg.Data, cur.off, slot) == k {
+				t.deleteAt(pg, cur, slot)
+				return true, nil
+			}
+			t.pool.Unpin(pg, false)
+			return false, nil
+		}
+		cur = t.cNextLeaf(pg.Data, cur.off)
+	}
+	release()
+	return false, nil
+}
+
+// rangeScanConc delivers [startKey, endKey] under the one-latch
+// protocol. On a stale epoch the scan restarts from the root and
+// resumes strictly after the last key already delivered (remaining
+// duplicates of that key are skipped — the scan is exact whenever no
+// page split overlaps it, and in particular whenever writers are
+// quiesced). JPA prefetching is skipped: the prefetch window is a
+// performance hint with no meaning against the frozen clock model.
+func (t *CacheFirst) rangeScanConc(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error) {
+	if startKey > endKey {
+		return 0, nil
+	}
+	count := 0
+	resume := startKey // lower bound of the current attempt
+	strict := false    // true: deliver keys > resume; false: >= resume
+	var last idx.Key
+	delivered := false
+	for {
+		e := t.relocEpoch()
+		pg, cur, ok, err := t.descendConc(resume, !strict, e)
+		if err != nil {
+			return count, err
+		}
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		if cur.isNil() {
+			return count, nil
+		}
+		stale := false
+		first := true
+		for !cur.isNil() {
+			if cur.pid != pg.ID {
+				t.pool.Unpin(pg, false)
+				if pg, err = t.pool.Get(cur.pid); err != nil {
+					return count, err
+				}
+				if t.reloc.Load() != e {
+					t.pool.Unpin(pg, false)
+					stale = true
+					break
+				}
+			}
+			t.visitNode(pg, cur.off)
+			d := pg.Data
+			i := 0
+			if first {
+				// Position past keys below the attempt's lower bound:
+				// last slot < resume (inclusive) or <= resume (strict).
+				slot, _ := t.searchNode(pg, cur.off, resume, !strict)
+				i = slot + 1
+				first = false
+			}
+			cnt := t.cCount(d, cur.off)
+			for ; i < cnt; i++ {
+				k := t.cKey(d, cur.off, i)
+				if k > endKey {
+					t.pool.Unpin(pg, false)
+					return count, nil
+				}
+				if k < resume || (strict && k == resume) {
+					continue
+				}
+				tid := t.cTid(d, cur.off, i)
+				count++
+				last, delivered = k, true
+				if fn != nil && !fn(k, tid) {
+					t.pool.Unpin(pg, false)
+					return count, nil
+				}
+			}
+			cur = t.cNextLeaf(d, cur.off)
+		}
+		if stale {
+			if delivered {
+				resume, strict = last, true
+			}
+			runtime.Gosched()
+			continue
+		}
+		if pg.Valid() {
+			t.pool.Unpin(pg, false)
+		}
+		return count, nil
+	}
+}
+
+// rangeScanReverseConc mirrors RangeScanReverse under the one-latch
+// protocol: descend to the end leaf, snapshot the reverse page order
+// from the JPA, then consume each page's node chain in reverse. On a
+// stale epoch it restarts with the upper bound clamped strictly below
+// the last key delivered; like the forward scan it is exact whenever
+// no page split overlaps it.
+func (t *CacheFirst) rangeScanReverseConc(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error) {
+	if startKey > endKey {
+		return 0, nil
+	}
+	count := 0
+	hi := endKey    // upper bound of the current attempt
+	strict := false // true: deliver keys < hi; false: <= hi
+	var last idx.Key
+	delivered := false
+restart:
+	for {
+		e := t.relocEpoch()
+		pg, endAt, ok, err := t.descendConc(hi, strict, e)
+		if err != nil {
+			return count, err
+		}
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		if endAt.isNil() {
+			return count, nil
+		}
+		// Reverse page order from the JPA. The snapshot may miss pages
+		// split off after it is taken; the epoch check below catches
+		// exactly those relocations.
+		var pids []uint32
+		t.jpaMu.RLock()
+		err = t.jpa.IterateReverse(endAt.pid, func(pid uint32) bool {
+			pids = append(pids, pid)
+			return true
+		})
+		t.jpaMu.RUnlock()
+		t.pool.Unpin(pg, false)
+		if err != nil {
+			return count, err
+		}
+		firstPage := true
+		for _, pid := range pids {
+			pg, err := t.pool.Get(pid)
+			if err != nil {
+				return count, err
+			}
+			if t.reloc.Load() != e {
+				t.pool.Unpin(pg, false)
+				if delivered {
+					hi, strict = last, true
+				}
+				runtime.Gosched()
+				continue restart
+			}
+			offs, err := t.leafNodesInChainOrder(pg)
+			if err != nil {
+				t.pool.Unpin(pg, false)
+				return count, err
+			}
+			oi := len(offs) - 1
+			i := -1
+			if firstPage {
+				for j, o := range offs {
+					if o == endAt.off {
+						oi = j
+						break
+					}
+				}
+				// Last slot <= hi (inclusive) or < hi (strict).
+				slot, _ := t.searchNode(pg, endAt.off, hi, strict)
+				i = slot
+				firstPage = false
+			}
+			d := pg.Data
+			for ; oi >= 0; oi-- {
+				off := offs[oi]
+				t.visitNode(pg, off)
+				if i < 0 {
+					i = t.cCount(d, off) - 1
+				}
+				for ; i >= 0; i-- {
+					k := t.cKey(d, off, i)
+					if k < startKey {
+						t.pool.Unpin(pg, false)
+						return count, nil
+					}
+					if k > hi || (strict && k == hi) {
+						continue
+					}
+					tid := t.cTid(d, off, i)
+					count++
+					last, delivered = k, true
+					if fn != nil && !fn(k, tid) {
+						t.pool.Unpin(pg, false)
+						return count, nil
+					}
+				}
+			}
+			t.pool.Unpin(pg, false)
+		}
+		return count, nil
+	}
+}
+
+// searchBatchConc resolves each key through findFirstConc. The batched
+// ⟨page, offset⟩ frontier is unsafe under concurrent relocation, and
+// per-key lookups touch no per-tree scratch, so batches from many
+// goroutines proceed fully in parallel under shared latches.
+func (t *CacheFirst) searchBatchConc(keys []idx.Key, out []idx.SearchResult, base int) ([]idx.SearchResult, error) {
+	for ki, k := range keys {
+		pg, at, slot, found, err := t.findFirstConc(k)
+		if err != nil {
+			return out, err
+		}
+		if found {
+			t.mm.Access(pg.Addr+uint64(t.cTidPos(at.off, slot)), 4)
+			tid := t.cTid(pg.Data, at.off, slot)
+			t.pool.Unpin(pg, false)
+			out[base+ki] = idx.SearchResult{TID: tid, Found: true}
+		} else {
+			out[base+ki] = idx.SearchResult{}
+		}
+	}
+	return out, nil
+}

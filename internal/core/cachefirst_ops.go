@@ -26,9 +26,14 @@ func (t *CacheFirst) Search(k idx.Key) (idx.TupleID, bool, error) {
 }
 
 // findFirst locates the first entry with key == k, returning its pinned
-// page plus node pointer and slot, or found=false.
+// page plus node pointer and slot, or found=false. In concurrent mode
+// the walk holds one shared latch at a time and validates the
+// relocation epoch at every page transition.
 func (t *CacheFirst) findFirst(k idx.Key) (buffer.Page, ptr, int, bool, error) {
-	if t.root.isNil() {
+	if t.conc {
+		return t.findFirstConc(k)
+	}
+	if root, _ := t.rootPtrHeight(); root.isNil() {
 		return buffer.Page{}, nilPtr, 0, false, nil
 	}
 	cur, err := t.leafNodeFor(k, true)
@@ -76,17 +81,24 @@ func (t *CacheFirst) findFirst(k idx.Key) (buffer.Page, ptr, int, bool, error) {
 // restarts from the root, since node addresses may have changed.
 func (t *CacheFirst) Insert(k idx.Key, tid idx.TupleID) error {
 	t.ops.Inserts.Add(1)
-	if t.root.isNil() {
+	if t.conc {
+		// Writers serialize with each other (never with readers) and
+		// take exclusive latches on every page they touch; see the
+		// concurrency note on the struct.
+		t.wMu.Lock()
+		defer t.wMu.Unlock()
+	}
+	if root, _ := t.rootPtrHeight(); root.isNil() {
 		pg, err := t.newPage(cfPageLeaf)
 		if err != nil {
 			return err
 		}
 		off := t.allocSlot(pg.Data)
 		t.pool.Unpin(pg, true)
-		t.jpa.Append(pg.ID)
-		t.root = ptr{pg.ID, off}
-		t.first = t.root
-		t.height = 1
+		t.jpaAppend(pg.ID)
+		at := ptr{pg.ID, off}
+		t.setFirstLeaf(at)
+		t.setRootHeight(at, 1)
 	}
 
 	for attempt := 0; ; attempt++ {
@@ -111,7 +123,7 @@ func (t *CacheFirst) insertOnce(k idx.Key, tid idx.TupleID) (bool, error) {
 		return false, err
 	}
 
-	cur := t.root
+	cur, height := t.rootPtrHeight()
 	var pg buffer.Page
 	release := func() {
 		if pg.Valid() {
@@ -119,8 +131,8 @@ func (t *CacheFirst) insertOnce(k idx.Key, tid idx.TupleID) (bool, error) {
 			pg = buffer.Page{}
 		}
 	}
-	for lvl := t.height - 1; lvl > 0; lvl-- {
-		npg, pinned, err := t.getPage(pg, cur.pid)
+	for lvl := height - 1; lvl > 0; lvl-- {
+		npg, pinned, err := t.getPageW(pg, cur.pid)
 		if err != nil {
 			release()
 			return false, err
@@ -164,7 +176,7 @@ func (t *CacheFirst) insertOnce(k idx.Key, tid idx.TupleID) (bool, error) {
 		cur = child
 	}
 
-	npg, pinned, err := t.getPage(pg, cur.pid)
+	npg, pinned, err := t.getPageW(pg, cur.pid)
 	if err != nil {
 		release()
 		return false, err
@@ -179,10 +191,37 @@ func (t *CacheFirst) insertOnce(k idx.Key, tid idx.TupleID) (bool, error) {
 	return false, nil
 }
 
+// getPageW is getPage for writers: newly pinned pages are exclusively
+// latched in concurrent mode (identical to getPage otherwise).
+func (t *CacheFirst) getPageW(cur buffer.Page, pid uint32) (buffer.Page, bool, error) {
+	if cur.Valid() && cur.ID == pid {
+		return cur, false, nil
+	}
+	pg, err := t.getWrite(pid)
+	if err != nil {
+		return buffer.Page{}, false, err
+	}
+	return pg, true, nil
+}
+
+// jpaAppend / jpaInsertAfter guard the (not thread-safe) jump-pointer
+// array; uncontended in single-threaded mode.
+func (t *CacheFirst) jpaAppend(pid uint32) {
+	t.jpaMu.Lock()
+	t.jpa.Append(pid)
+	t.jpaMu.Unlock()
+}
+
+func (t *CacheFirst) jpaInsertAfter(after, pid uint32) error {
+	t.jpaMu.Lock()
+	defer t.jpaMu.Unlock()
+	return t.jpa.InsertAfter(after, pid)
+}
+
 // childFull reports whether the child node is full, returning its page
 // pinned (or pg itself when the child shares the parent's page).
 func (t *CacheFirst) childFull(pg buffer.Page, child ptr, childLvl int) (bool, buffer.Page, error) {
-	cpg, _, err := t.getPage(pg, child.pid)
+	cpg, _, err := t.getPageW(pg, child.pid)
 	if err != nil {
 		return false, buffer.Page{}, err
 	}
@@ -193,21 +232,24 @@ func (t *CacheFirst) childFull(pg buffer.Page, child ptr, childLvl int) (bool, b
 	return t.cCount(cpg.Data, child.off) >= cap, cpg, nil
 }
 
-// maybeGrowRoot adds a level when the root node is full.
+// maybeGrowRoot adds a level when the root node is full. The new
+// root/height pair is published last, after its page content is
+// complete, so a concurrent reader's stale pair stays a valid entry.
 func (t *CacheFirst) maybeGrowRoot() error {
-	pg, err := t.pool.Get(t.root.pid)
+	root, height := t.rootPtrHeight()
+	pg, err := t.getWrite(root.pid)
 	if err != nil {
 		return err
 	}
 	cap := t.capN
-	if t.height == 1 {
+	if height == 1 {
 		cap = t.capL
 	}
-	if t.cCount(pg.Data, t.root.off) < cap {
+	if t.cCount(pg.Data, root.off) < cap {
 		t.pool.Unpin(pg, false)
 		return nil
 	}
-	oldMin := t.cKey(pg.Data, t.root.off, 0)
+	oldMin := t.cKey(pg.Data, root.off, 0)
 	// Place the new root: in the old root's page if that is a node page
 	// with a slot, else as the top node of a fresh node page.
 	var at ptr
@@ -217,7 +259,7 @@ func (t *CacheFirst) maybeGrowRoot() error {
 		cfSetTop(pg.Data, off)
 		t.cSetCount(pg.Data, off, 1)
 		t.cSetKey(pg.Data, off, 0, oldMin)
-		t.cSetChild(pg.Data, off, 0, t.root)
+		t.cSetChild(pg.Data, off, 0, root)
 		t.pool.Unpin(pg, true)
 	} else {
 		t.pool.Unpin(pg, false)
@@ -230,21 +272,20 @@ func (t *CacheFirst) maybeGrowRoot() error {
 		cfSetTop(np.Data, off)
 		t.cSetCount(np.Data, off, 1)
 		t.cSetKey(np.Data, off, 0, oldMin)
-		t.cSetChild(np.Data, off, 0, t.root)
+		t.cSetChild(np.Data, off, 0, root)
 		t.pool.Unpin(np, true)
 	}
-	if t.height == 1 {
+	if height == 1 {
 		// The new root is the tree's first leaf parent: record it as
 		// the leaf page's back pointer (§3.2.2).
-		lp, err := t.pool.Get(t.root.pid)
+		lp, err := t.getWrite(root.pid)
 		if err != nil {
 			return err
 		}
 		cfSetBack(lp.Data, at)
 		t.pool.Unpin(lp, true)
 	}
-	t.root = at
-	t.height++
+	t.setRootHeight(at, height+1)
 	return nil
 }
 
@@ -263,22 +304,28 @@ func (t *CacheFirst) splitChild(pg buffer.Page, parent ptr, slot int, cpg buffer
 			right = ptr{child.pid, off}
 			rpg = cpg
 		} else {
-			if err := t.splitLeafPage(child.pid); err != nil {
+			if err := t.splitLeafPage(child.pid, cpg, pg); err != nil {
 				return 0, nilPtr, false, err
 			}
 			return 0, nilPtr, true, nil
 		}
 	case childLvl == 1:
 		// Leaf parent: the new node may come from overflow pages.
-		at, err := t.allocOverflowSlot()
+		at, err := t.allocOverflowSlot(cpg)
 		if err != nil {
 			return 0, nilPtr, false, err
 		}
 		right = at
-		if rpg, err = t.pool.Get(at.pid); err != nil {
-			return 0, nilPtr, false, err
+		if t.conc && at.pid == cpg.ID {
+			// The overflow slot landed in the already-latched child
+			// page (latches are not reentrant).
+			rpg = cpg
+		} else {
+			if rpg, err = t.getWrite(at.pid); err != nil {
+				return 0, nilPtr, false, err
+			}
+			defer t.pool.Unpin(rpg, true)
 		}
-		defer t.pool.Unpin(rpg, true)
 	default:
 		// Other nonleaf: same page; else split the node page (Fig. 9c)
 		// and restart; if nothing in the page is relocatable, fall back
@@ -287,7 +334,7 @@ func (t *CacheFirst) splitChild(pg buffer.Page, parent ptr, slot int, cpg buffer
 			right = ptr{child.pid, off}
 			rpg = cpg
 		} else {
-			ok, err := t.splitNodePage(child.pid)
+			ok, err := t.splitNodePage(child.pid, cpg, pg)
 			if err != nil {
 				return 0, nilPtr, false, err
 			}
@@ -396,7 +443,7 @@ func (t *CacheFirst) fixBackPointersAfterParentSplit(cd []byte, child ptr, rd []
 			continue
 		}
 		seen[cp.pid] = true
-		lp, err := t.pool.Get(cp.pid)
+		lp, err := t.getWrite(cp.pid)
 		if err != nil {
 			return err
 		}
@@ -414,10 +461,20 @@ func (t *CacheFirst) fixBackPointersAfterParentSplit(cd []byte, child ptr, rd []
 // of a duplicate run.
 func (t *CacheFirst) Delete(k idx.Key) (bool, error) {
 	t.ops.Deletes.Add(1)
+	if t.conc {
+		return t.deleteConc(k)
+	}
 	pg, cur, slot, found, err := t.findFirst(k)
 	if err != nil || !found {
 		return false, err
 	}
+	t.deleteAt(pg, cur, slot)
+	return true, nil
+}
+
+// deleteAt removes the entry at slot of the leaf node (pg, cur) and
+// unpins the page.
+func (t *CacheFirst) deleteAt(pg buffer.Page, cur ptr, slot int) {
 	d := pg.Data
 	cnt := t.cCount(d, cur.off)
 	if moved := cnt - slot - 1; moved > 0 {
@@ -428,5 +485,4 @@ func (t *CacheFirst) Delete(k idx.Key) (bool, error) {
 	}
 	t.cSetCount(d, cur.off, cnt-1)
 	t.pool.Unpin(pg, true)
-	return true, nil
 }

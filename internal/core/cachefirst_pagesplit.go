@@ -63,17 +63,45 @@ func (t *CacheFirst) leafNodesInChainOrder(pg buffer.Page) ([]int, error) {
 	return ordered, nil
 }
 
+// pinW pins a page for writing, reusing a caller-held exclusively
+// latched page when its ID matches (concurrent-mode latches are not
+// reentrant, so re-latching a held page would self-deadlock). reused
+// pages must not be unpinned by the callee — their dirtiness is
+// settled by the owner, which on the writer descent always unpins
+// dirty. Sequential mode never reuses, keeping the pool call sequence
+// (and thus every charged counter) byte-identical to earlier builds.
+func (t *CacheFirst) pinW(pid uint32, held []buffer.Page) (buffer.Page, bool, error) {
+	if t.conc {
+		for _, h := range held {
+			if h.Valid() && h.ID == pid {
+				return h, true, nil
+			}
+		}
+	}
+	pg, err := t.getWrite(pid)
+	return pg, false, err
+}
+
 // splitLeafPage moves the second half of the page's leaf nodes (in key
 // order) to a new leaf page (§3.2.2), fixing the leaf chain, the
 // parents' child pointers (walked from the page's back pointer through
 // the leaf-parent sibling links), the pages' back pointers, and the
-// external jump-pointer array.
-func (t *CacheFirst) splitLeafPage(pid uint32) error {
-	pg, err := t.pool.Get(pid)
+// external jump-pointer array. held lists every page the caller has
+// exclusively latched (the page being split and the descent parent);
+// any of them reached again here is reused instead of re-pinned. The
+// relocation epoch is odd for the whole split: node slots move between
+// pages and are freed, so concurrent readers must not trust
+// ⟨pid, off⟩ pointers carried across it.
+func (t *CacheFirst) splitLeafPage(pid uint32, held ...buffer.Page) error {
+	t.relocBegin()
+	defer t.relocEnd()
+	pg, reused, err := t.pinW(pid, held)
 	if err != nil {
 		return err
 	}
-	defer t.pool.Unpin(pg, true)
+	if !reused {
+		defer t.pool.Unpin(pg, true)
+	}
 	nodes, err := t.leafNodesInChainOrder(pg)
 	if err != nil {
 		return err
@@ -119,7 +147,7 @@ func (t *CacheFirst) splitLeafPage(pid uint32) error {
 	if cur.isNil() {
 		// Stale or never-set back pointer: recover by walking the
 		// whole leaf-parent chain from the left.
-		cur = t.firstLeafParent()
+		cur = t.firstLeafParent(held...)
 	}
 	var newBack ptr
 	retried := false
@@ -127,12 +155,14 @@ func (t *CacheFirst) splitLeafPage(pid uint32) error {
 		if cur.isNil() {
 			if !retried {
 				retried = true
-				cur = t.firstLeafParent()
+				cur = t.firstLeafParent(held...)
 				continue
 			}
 			return fmt.Errorf("core: leaf-parent walk exhausted with %d pointers unfixed (page %d)", remaining, pid)
 		}
-		ppg, err := t.pool.Get(cur.pid)
+		// The chain can run through the descent parent the caller still
+		// holds (leaf parents live in node and overflow pages alike).
+		ppg, ppgReused, err := t.pinW(cur.pid, held)
 		if err != nil {
 			return err
 		}
@@ -153,7 +183,9 @@ func (t *CacheFirst) splitLeafPage(pid uint32) error {
 			}
 		}
 		next := t.cNextLeaf(ppg.Data, cur.off)
-		t.pool.Unpin(ppg, dirty)
+		if !ppgReused {
+			t.pool.Unpin(ppg, dirty)
+		}
 		cur = next
 	}
 	cfSetBack(np.Data, newBack)
@@ -163,12 +195,12 @@ func (t *CacheFirst) splitLeafPage(pid uint32) error {
 		t.freeSlot(pg.Data, off)
 	}
 
-	if t.first.pid == pid {
-		if _, wasMoved := mapping[t.first.off]; wasMoved {
-			t.first = mapping[t.first.off]
+	if ff := t.firstLeafPtr(); ff.pid == pid {
+		if nw, wasMoved := mapping[ff.off]; wasMoved {
+			t.setFirstLeaf(nw)
 		}
 	}
-	return t.jpa.InsertAfter(pid, np.ID)
+	return t.jpaInsertAfter(pid, np.ID)
 }
 
 // nodeIsLeafParent reports whether a nonleaf node's children are leaf
@@ -186,13 +218,20 @@ func (t *CacheFirst) nodeIsLeafParent(d []byte, off int) bool {
 // split retries against the freed slots. All pointers into moved nodes
 // come from within the moved set or from the top node itself, except
 // leaf-page back pointers and the leaf-parent sibling chain, which are
-// repaired explicitly.
-func (t *CacheFirst) splitNodePage(pid uint32) (bool, error) {
-	pg, err := t.pool.Get(pid)
+// repaired explicitly. held lists the caller's exclusively latched
+// pages (split page and descent parent), reused instead of re-pinned;
+// the relocation epoch is odd for the whole maneuver (see
+// splitLeafPage).
+func (t *CacheFirst) splitNodePage(pid uint32, held ...buffer.Page) (bool, error) {
+	t.relocBegin()
+	defer t.relocEnd()
+	pg, reused, err := t.pinW(pid, held)
 	if err != nil {
 		return false, err
 	}
-	defer t.pool.Unpin(pg, true)
+	if !reused {
+		defer t.pool.Unpin(pg, true)
+	}
 	d := pg.Data
 	top := cfTop(d)
 	cnt := t.cCount(d, top)
@@ -297,18 +336,20 @@ func (t *CacheFirst) splitNodePage(pid uint32) (bool, error) {
 		nw := ptr{np.ID, noff}
 		for i := 0; i < c; i++ {
 			cp := t.cChild(np.Data, noff, i)
-			lp, err := t.pool.Get(cp.pid)
+			lp, lpReused, err := t.pinW(cp.pid, held)
 			if err != nil {
 				return false, err
 			}
 			if cfBack(lp.Data) == old {
 				cfSetBack(lp.Data, nw)
-				t.pool.Unpin(lp, true)
-			} else {
+				if !lpReused {
+					t.pool.Unpin(lp, true)
+				}
+			} else if !lpReused {
 				t.pool.Unpin(lp, false)
 			}
 		}
-		if err := t.fixLeafParentChainLink(old, nw, mapping, pid, np.ID); err != nil {
+		if err := t.fixLeafParentChainLink(old, nw, mapping, np, held); err != nil {
 			return false, err
 		}
 	}
@@ -326,15 +367,31 @@ func (t *CacheFirst) splitNodePage(pid uint32) (bool, error) {
 // leaf-parent chain from the parent of the leaf page's first node until
 // we find the link to fix; predecessors of moved nodes are at most a
 // few links away.
-func (t *CacheFirst) fixLeafParentChainLink(old, nw ptr, mapping map[int]int, oldPID, newPID uint32) error {
+func (t *CacheFirst) fixLeafParentChainLink(old, nw ptr, mapping map[int]int, np buffer.Page, held []buffer.Page) error {
+	oldPID, newPID := old.pid, np.ID
+	// pin fetches a chain page, reusing the caller's exclusively held
+	// pages in concurrent mode (latches are not reentrant). The chain
+	// can pass through the new page, the split page, or the descent
+	// parent still latched higher up the stack.
+	pin := func(pid uint32) (buffer.Page, bool, error) {
+		if t.conc && pid == np.ID {
+			return np, true, nil
+		}
+		return t.pinW(pid, held)
+	}
 	// Locate a chain position at or before old: the back pointer of
 	// old's first child's page.
-	fpg, err := t.pool.Get(nw.pid)
-	if err != nil {
-		return err
+	var firstChild ptr
+	if t.conc {
+		firstChild = t.cChild(np.Data, nw.off, 0) // nw lives in np
+	} else {
+		fpg, err := t.pool.Get(nw.pid)
+		if err != nil {
+			return err
+		}
+		firstChild = t.cChild(fpg.Data, nw.off, 0)
+		t.pool.Unpin(fpg, false)
 	}
-	firstChild := t.cChild(fpg.Data, nw.off, 0)
-	t.pool.Unpin(fpg, false)
 	lpg, err := t.pool.Get(firstChild.pid)
 	if err != nil {
 		return err
@@ -352,20 +409,24 @@ func (t *CacheFirst) fixLeafParentChainLink(old, nw ptr, mapping map[int]int, ol
 		// before in a way we can reach; the chain link to old is owned
 		// by its predecessor, found by scanning from the tree's
 		// leftmost leaf parent only if needed. Walk forward instead.
-		cur = t.firstLeafParent()
+		cur = t.firstLeafParent(append(held, np)...)
 	}
 	for steps := 0; !cur.isNil() && steps < 1<<20; steps++ {
-		ppg, err := t.pool.Get(cur.pid)
+		ppg, reused, err := pin(cur.pid)
 		if err != nil {
 			return err
 		}
 		nx := t.cNextLeaf(ppg.Data, cur.off)
 		if nx == old {
 			t.cSetNextLeaf(ppg.Data, cur.off, nw)
-			t.pool.Unpin(ppg, true)
+			if !reused {
+				t.pool.Unpin(ppg, true)
+			}
 			return nil
 		}
-		t.pool.Unpin(ppg, false)
+		if !reused {
+			t.pool.Unpin(ppg, false)
+		}
 		// Follow, translating links into the moved set.
 		if nx.pid == oldPID {
 			if noff, ok := mapping[nx.off]; ok {
@@ -382,19 +443,36 @@ func (t *CacheFirst) fixLeafParentChainLink(old, nw ptr, mapping map[int]int, ol
 	return nil
 }
 
-// firstLeafParent descends leftmost from the root to node level 1.
-func (t *CacheFirst) firstLeafParent() ptr {
-	if t.height < 2 {
+// firstLeafParent descends leftmost from the root to node level 1,
+// reusing any of the caller's held pages it encounters.
+func (t *CacheFirst) firstLeafParent(held ...buffer.Page) ptr {
+	root, height := t.rootPtrHeight()
+	if height < 2 {
 		return nilPtr
 	}
-	cur := t.root
-	for lvl := t.height - 1; lvl > 1; lvl-- {
-		pg, err := t.pool.Get(cur.pid)
-		if err != nil {
-			return nilPtr
+	cur := root
+	for lvl := height - 1; lvl > 1; lvl-- {
+		var pg buffer.Page
+		reused := false
+		if t.conc {
+			for _, h := range held {
+				if h.Valid() && h.ID == cur.pid {
+					pg, reused = h, true
+					break
+				}
+			}
+		}
+		if !reused {
+			var err error
+			pg, err = t.pool.Get(cur.pid)
+			if err != nil {
+				return nilPtr
+			}
 		}
 		next := t.cChild(pg.Data, cur.off, 0)
-		t.pool.Unpin(pg, false)
+		if !reused {
+			t.pool.Unpin(pg, false)
+		}
 		cur = next
 	}
 	return cur

@@ -14,7 +14,10 @@ import (
 // reverse iteration when JPA prefetching is enabled.
 func (t *CacheFirst) RangeScanReverse(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error) {
 	t.ops.ReverseScans.Add(1)
-	if t.root.isNil() || startKey > endKey {
+	if t.conc {
+		return t.rangeScanReverseConc(startKey, endKey, fn)
+	}
+	if root, _ := t.rootPtrHeight(); root.isNil() || startKey > endKey {
 		return 0, nil
 	}
 	endAt, err := t.leafNodeFor(endKey, false)

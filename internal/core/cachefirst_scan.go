@@ -15,7 +15,10 @@ import (
 // consumption runs at pipelined-miss latency.
 func (t *CacheFirst) RangeScan(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error) {
 	t.ops.Scans.Add(1)
-	if t.root.isNil() || startKey > endKey {
+	if t.conc {
+		return t.rangeScanConc(startKey, endKey, fn)
+	}
+	if root, _ := t.rootPtrHeight(); root.isNil() || startKey > endKey {
 		return 0, nil
 	}
 	cur, err := t.leafNodeFor(startKey, true)
@@ -112,11 +115,13 @@ func (t *CacheFirst) touchPageHeader(pg buffer.Page) {
 }
 
 // leafNodeFor descends to the leaf node for k (lt selects strictly-less
-// descent).
+// descent). The descent couples pins (child pinned before the parent is
+// released), so it is reserved for single-threaded mode and for
+// writers; concurrent readers use leafNodeForConc.
 func (t *CacheFirst) leafNodeFor(k idx.Key, lt bool) (ptr, error) {
-	cur := t.root
+	cur, height := t.rootPtrHeight()
 	var pg buffer.Page
-	for lvl := t.height - 1; lvl > 0; lvl-- {
+	for lvl := height - 1; lvl > 0; lvl-- {
 		npg, pinned, err := t.getPage(pg, cur.pid)
 		if err != nil {
 			if pg.Valid() {

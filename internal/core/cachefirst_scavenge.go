@@ -21,7 +21,7 @@ func (t *CacheFirst) Scavenge() (idx.ScavengeStats, error) {
 	have := false
 	maxNodes := int(t.pool.MaxPageID()) * t.perPage
 	nodes := 0
-	cur := t.first
+	cur := t.firstLeafPtr()
 	var lastPID uint32
 	var page []byte
 	for !cur.isNil() {
@@ -38,7 +38,9 @@ func (t *CacheFirst) Scavenge() (idx.ScavengeStats, error) {
 				st.Truncated = true
 				break
 			}
+			t.pagesMu.Lock()
 			kind := t.pages[cur.pid]
+			t.pagesMu.Unlock()
 			page = make([]byte, len(p.Data))
 			copy(page, p.Data)
 			t.pool.Unpin(p, false)
@@ -83,10 +85,14 @@ func (t *CacheFirst) Scavenge() (idx.ScavengeStats, error) {
 	// Dropping the page registry (instead of freeing through it) leaks
 	// the old page IDs on purpose: a permanently unreadable ID must
 	// never be reallocated into the new tree.
+	t.pagesMu.Lock()
 	t.pages = make(map[uint32]byte)
+	t.pagesMu.Unlock()
+	t.jpaMu.Lock()
 	t.jpa.Reset()
-	t.root, t.first = nilPtr, nilPtr
-	t.height = 0
+	t.jpaMu.Unlock()
+	t.setRootHeight(nilPtr, 0)
+	t.setFirstLeaf(nilPtr)
 	t.overflowCur = 0
 	if err := t.Bulkload(entries, idx.ScavengeFill); err != nil {
 		return st, err

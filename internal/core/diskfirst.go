@@ -20,6 +20,8 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/buffer"
 	"repro/internal/idx"
@@ -107,9 +109,17 @@ type DiskFirst struct {
 	fanout     int // max entries per page (Table 2 "page fan-out")
 	leafNodes  int // in-page leaf nodes per page in the canonical layout
 
-	root      uint32
-	height    int // page levels
-	firstLeaf uint32
+	// meta packs (root page, page-level height) atomically; a stale
+	// pair stays a valid entry point (splits move keys right and the
+	// leaf walks recover rightward). See idx.TreeMeta.
+	meta      idx.TreeMeta
+	firstLeaf atomic.Uint32
+
+	// conc is set when the pool carries a latch table: writers descend
+	// with exclusive latch crabbing (insertConc) and page mutations
+	// take exclusive pins; sequentially every latch call is a no-op.
+	conc   bool
+	growMu sync.Mutex // serializes first-root creation in conc mode
 
 	jpa       bool
 	pfWindow  int
@@ -161,6 +171,7 @@ func NewDiskFirst(cfg DiskFirstConfig) (*DiskFirst, error) {
 		capL:      sizing.DiskFirstLeafCap(x),
 		fanout:    leaves * sizing.DiskFirstLeafCap(x),
 		leafNodes: leaves,
+		conc:      cfg.Pool.Latches() != nil,
 		jpa:       cfg.EnableJPA,
 		pfWindow:  pf,
 		overshoot: cfg.NoOvershootProtection,
@@ -178,7 +189,33 @@ func (t *DiskFirst) Stats() idx.OpStats { return t.ops.Snapshot() }
 func (t *DiskFirst) ResetStats() { t.ops.Reset() }
 
 // Height implements idx.Index.
-func (t *DiskFirst) Height() int { return t.height }
+func (t *DiskFirst) Height() int {
+	_, h := t.rootHeight()
+	return h
+}
+
+// rootHeight loads the tree's (root page, height) pair atomically.
+func (t *DiskFirst) rootHeight() (uint32, int) {
+	pid, _, h := t.meta.Load()
+	return pid, h
+}
+
+// getWrite pins pid for mutation: exclusively latched in concurrent
+// mode, a plain pin sequentially (identical pool call order).
+func (t *DiskFirst) getWrite(pid uint32) (buffer.Page, error) {
+	if t.conc {
+		return t.pool.GetX(pid)
+	}
+	return t.pool.Get(pid)
+}
+
+// newPageWrite allocates a page pinned for mutation (see getWrite).
+func (t *DiskFirst) newPageWrite() (buffer.Page, error) {
+	if t.conc {
+		return t.pool.NewPageX()
+	}
+	return t.pool.NewPage()
+}
 
 // Fanout reports the maximum entries per page.
 func (t *DiskFirst) Fanout() int { return t.fanout }

@@ -12,15 +12,16 @@ import (
 // free chains, correct entry counts), and at the page level: separator
 // bounds, sibling/jump-pointer chains, and leaf reachability.
 func (t *DiskFirst) CheckInvariants() error {
-	if t.root == 0 {
+	root, height := t.rootHeight()
+	if root == 0 {
 		return nil
 	}
 	var leaves []uint32
-	if err := t.checkPageSubtree(t.root, t.height-1, nil, nil, &leaves); err != nil {
+	if err := t.checkPageSubtree(root, height-1, nil, nil, &leaves); err != nil {
 		return err
 	}
 	// Leaf page chain.
-	pid := t.firstLeaf
+	pid := t.firstLeaf.Load()
 	i := 0
 	var prevID uint32
 	var last idx.Key

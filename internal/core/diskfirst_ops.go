@@ -85,29 +85,30 @@ func (t *DiskFirst) Bulkload(entries []idx.Entry, fill float64) error {
 	if err != nil {
 		return err
 	}
-	t.firstLeaf = level[0].pid
-	t.height = 1
+	t.firstLeaf.Store(level[0].pid)
+	height := 1
 	for len(level) > 1 {
 		prs = prs[:0]
 		for _, r := range level {
 			prs = append(prs, pair{r.min, r.pid})
 		}
-		if level, err = makeLevel(prs, t.height, false); err != nil {
+		if level, err = makeLevel(prs, height, false); err != nil {
 			return err
 		}
-		t.height++
+		height++
 	}
-	t.root = level[0].pid
+	t.meta.Store(level[0].pid, 0, height)
 	return nil
 }
 
 // freeAll returns the tree's pages to the pool.
 func (t *DiskFirst) freeAll() error {
-	if t.root == 0 {
+	root, height := t.rootHeight()
+	if root == 0 {
 		return nil
 	}
-	pid := t.root
-	for lvl := t.height - 1; lvl >= 0; lvl-- {
+	pid := root
+	for lvl := height - 1; lvl >= 0; lvl-- {
 		var childFirst uint32
 		cur := pid
 		for cur != 0 {
@@ -129,7 +130,8 @@ func (t *DiskFirst) freeAll() error {
 		}
 		pid = childFirst
 	}
-	t.root, t.height, t.firstLeaf = 0, 0, 0
+	t.meta.Store(0, 0, 0)
+	t.firstLeaf.Store(0)
 	return nil
 }
 
@@ -139,7 +141,7 @@ func (t *DiskFirst) freeAll() error {
 // matches survive deletions among duplicates.
 func (t *DiskFirst) Search(k idx.Key) (idx.TupleID, bool, error) {
 	t.ops.Searches.Add(1)
-	pg, off, slot, found, err := t.findFirst(k)
+	pg, off, slot, found, err := t.findFirst(k, false)
 	if err != nil || !found {
 		return 0, false, err
 	}
@@ -150,18 +152,27 @@ func (t *DiskFirst) Search(k idx.Key) (idx.TupleID, bool, error) {
 }
 
 // findFirst locates the first entry with key == k, returning its pinned
-// page plus (in-page node, slot), or found=false.
-func (t *DiskFirst) findFirst(k idx.Key) (buffer.Page, int, int, bool, error) {
-	if t.root == 0 {
+// page plus (in-page node, slot), or found=false. With excl the leaf
+// pages are pinned exclusively (concurrent Delete mutates in place);
+// the walk holds one leaf latch at a time, moving rightward.
+func (t *DiskFirst) findFirst(k idx.Key, excl bool) (buffer.Page, int, int, bool, error) {
+	root, height := t.rootHeight()
+	if root == 0 {
 		return buffer.Page{}, 0, 0, false, nil
 	}
-	pid, err := t.leafPageFor(k, true)
+	pid, err := t.leafPageFor(root, height, k, true)
 	if err != nil {
 		return buffer.Page{}, 0, 0, false, err
 	}
 	first := true
 	for pid != 0 {
-		pg, err := t.pool.Get(pid)
+		var pg buffer.Page
+		var err error
+		if excl {
+			pg, err = t.pool.GetX(pid)
+		} else {
+			pg, err = t.pool.Get(pid)
+		}
 		if err != nil {
 			return buffer.Page{}, 0, 0, false, err
 		}
@@ -203,10 +214,16 @@ func (t *DiskFirst) findFirst(k idx.Key) (buffer.Page, int, int, bool, error) {
 	return buffer.Page{}, 0, 0, false, nil
 }
 
-// Insert implements idx.Index.
+// Insert implements idx.Index. In concurrent mode the insert descends
+// with exclusive latch crabbing (insertConc); the sequential path below
+// is unchanged.
 func (t *DiskFirst) Insert(k idx.Key, tid idx.TupleID) error {
 	t.ops.Inserts.Add(1)
-	if t.root == 0 {
+	if t.conc {
+		return t.insertConc(k, tid)
+	}
+	root, height := t.rootHeight()
+	if root == 0 {
 		pg, err := t.pool.NewPage()
 		if err != nil {
 			return err
@@ -217,9 +234,11 @@ func (t *DiskFirst) Insert(k idx.Key, tid idx.TupleID) error {
 			return err
 		}
 		t.pool.Unpin(pg, true)
-		t.root, t.firstLeaf, t.height = pg.ID, pg.ID, 1
+		t.firstLeaf.Store(pg.ID)
+		t.meta.Store(pg.ID, 0, 1)
+		root, height = pg.ID, 1
 	}
-	split, sepKey, newPID, err := t.insertInto(t.root, t.height-1, k, tid)
+	split, sepKey, newPID, err := t.insertInto(root, height-1, k, tid)
 	if err != nil {
 		return err
 	}
@@ -227,7 +246,7 @@ func (t *DiskFirst) Insert(k idx.Key, tid idx.TupleID) error {
 		return nil
 	}
 	// Grow a new root page.
-	old, err := t.pool.Get(t.root)
+	old, err := t.pool.Get(root)
 	if err != nil {
 		return err
 	}
@@ -238,14 +257,13 @@ func (t *DiskFirst) Insert(k idx.Key, tid idx.TupleID) error {
 		return err
 	}
 	dfSetType(rootPg.Data, dfPageNonleaf)
-	dfSetLevel(rootPg.Data, byte(t.height))
-	if err := t.buildInPage(rootPg.Data, []pair{{oldMin, t.root}, {sepKey, newPID}}, false); err != nil {
+	dfSetLevel(rootPg.Data, byte(height))
+	if err := t.buildInPage(rootPg.Data, []pair{{oldMin, root}, {sepKey, newPID}}, false); err != nil {
 		t.pool.Unpin(rootPg, true)
 		return err
 	}
 	t.pool.Unpin(rootPg, true)
-	t.root = rootPg.ID
-	t.height++
+	t.meta.Store(rootPg.ID, 0, height+1)
 	return nil
 }
 
@@ -383,7 +401,7 @@ func (t *DiskFirst) reorganizePage(pg buffer.Page) error {
 func (t *DiskFirst) splitPage(pg buffer.Page) (idx.Key, uint32, error) {
 	entries := t.collectEntries(pg.Data)
 	mid := len(entries) / 2
-	np, err := t.pool.NewPage()
+	np, err := t.newPageWrite()
 	if err != nil {
 		return 0, 0, err
 	}
@@ -418,7 +436,11 @@ func (t *DiskFirst) splitPage(pg buffer.Page) (idx.Key, uint32, error) {
 	dfSetNextPage(pg.Data, np.ID)
 	dfSetJPNext(pg.Data, np.ID)
 	if right != 0 {
-		rp, err := t.pool.Get(right)
+		// Concurrent mode latches the right sibling exclusively while
+		// still holding pg: a same-level, left-to-right acquisition
+		// permitted by the global latch order, and holding pg keeps a
+		// racing split of the new page from publishing first.
+		rp, err := t.getWrite(right)
 		if err != nil {
 			t.pool.Unpin(np, true)
 			return 0, 0, err
@@ -436,7 +458,9 @@ func (t *DiskFirst) splitPage(pg buffer.Page) (idx.Key, uint32, error) {
 // duplicate run.
 func (t *DiskFirst) Delete(k idx.Key) (bool, error) {
 	t.ops.Deletes.Add(1)
-	pg, off, slot, found, err := t.findFirst(k)
+	// Concurrent mode pins the leaf exclusively; the descent itself
+	// needs no write latches because lazy deletion never restructures.
+	pg, off, slot, found, err := t.findFirst(k, t.conc)
 	if err != nil || !found {
 		return false, err
 	}

@@ -13,20 +13,21 @@ import (
 // front — and prefetched in reverse consumption order.
 func (t *DiskFirst) RangeScanReverse(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error) {
 	t.ops.ReverseScans.Add(1)
-	if t.root == 0 || startKey > endKey {
+	root, height := t.rootHeight()
+	if root == 0 || startKey > endKey {
 		return 0, nil
 	}
-	endLeaf, err := t.leafPageFor(endKey, false)
+	endLeaf, err := t.leafPageFor(root, height, endKey, false)
 	if err != nil {
 		return 0, err
 	}
 	var pids []uint32
-	if t.jpa && t.height > 1 {
-		startLeaf, err := t.leafPageFor(startKey, true)
+	if t.jpa && height > 1 {
+		startLeaf, err := t.leafPageFor(root, height, startKey, true)
 		if err != nil {
 			return 0, err
 		}
-		fwd, err := t.leafPagesBetween(startKey, startLeaf, endLeaf)
+		fwd, err := t.leafPagesBetween(root, height, startKey, startLeaf, endLeaf)
 		if err != nil {
 			return 0, err
 		}

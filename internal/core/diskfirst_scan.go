@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/buffer"
 	"repro/internal/idx"
 	"repro/internal/memsim"
 )
@@ -20,20 +21,21 @@ import (
 //     entries proceeds at pipelined- rather than full-miss latency.
 func (t *DiskFirst) RangeScan(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error) {
 	t.ops.Scans.Add(1)
-	if t.root == 0 || startKey > endKey {
+	root, height := t.rootHeight()
+	if root == 0 || startKey > endKey {
 		return 0, nil
 	}
-	startLeaf, err := t.leafPageFor(startKey, true)
+	startLeaf, err := t.leafPageFor(root, height, startKey, true)
 	if err != nil {
 		return 0, err
 	}
 	var pids []uint32
-	if t.jpa && t.height > 1 {
-		endLeaf, err := t.leafPageFor(endKey, false)
+	if t.jpa && height > 1 {
+		endLeaf, err := t.leafPageFor(root, height, endKey, false)
 		if err != nil {
 			return 0, err
 		}
-		if pids, err = t.leafPagesBetween(startKey, startLeaf, endLeaf); err != nil {
+		if pids, err = t.leafPagesBetween(root, height, startKey, startLeaf, endLeaf); err != nil {
 			return 0, err
 		}
 	}
@@ -108,11 +110,16 @@ func (t *DiskFirst) RangeScan(startKey, endKey idx.Key, fn func(idx.Key, idx.Tup
 	return count, nil
 }
 
-// leafPageFor descends to the leaf page for k (lt: strictly-less
-// descent for scan starts).
-func (t *DiskFirst) leafPageFor(k idx.Key, lt bool) (uint32, error) {
-	pid := t.root
-	for lvl := t.height - 1; lvl > 0; lvl-- {
+// leafPageFor descends from the given (root, height) snapshot to the
+// leaf page for k (lt: strictly-less descent for scan starts). In
+// concurrent mode it latch-couples: the parent's shared latch is held
+// until the child page is pinned, strictly top-down.
+func (t *DiskFirst) leafPageFor(root uint32, height int, k idx.Key, lt bool) (uint32, error) {
+	if t.conc {
+		return t.leafPageForCoupled(root, height, k, lt)
+	}
+	pid := root
+	for lvl := height - 1; lvl > 0; lvl-- {
 		pg, err := t.pool.Get(pid)
 		if err != nil {
 			return 0, err
@@ -128,12 +135,41 @@ func (t *DiskFirst) leafPageFor(k idx.Key, lt bool) (uint32, error) {
 	return pid, nil
 }
 
+// leafPageForCoupled is leafPageFor under the latch protocol: each
+// child is pinned before the parent's latch drops, so the child
+// pointer just read cannot be restructured away mid-descent.
+func (t *DiskFirst) leafPageForCoupled(root uint32, height int, k idx.Key, lt bool) (uint32, error) {
+	pid := root
+	var parent buffer.Page
+	for lvl := height - 1; lvl > 0; lvl-- {
+		pg, err := t.pool.Get(pid)
+		if parent.Valid() {
+			t.pool.Unpin(parent, false)
+			parent = buffer.Page{}
+		}
+		if err != nil {
+			return 0, err
+		}
+		t.touchHeader(pg)
+		pid = t.inPageChildFor(pg, k, lt)
+		if pid == 0 {
+			t.pool.Unpin(pg, false)
+			return 0, fmt.Errorf("core: nil child during descent")
+		}
+		parent = pg
+	}
+	if parent.Valid() {
+		t.pool.Unpin(parent, false)
+	}
+	return pid, nil
+}
+
 // leafPagesBetween collects leaf page IDs from startLeaf through
 // endLeaf by walking the in-page leaf-node chains of the leaf-parent
 // pages (the I/O jump-pointer array).
-func (t *DiskFirst) leafPagesBetween(startKey idx.Key, startLeaf, endLeaf uint32) ([]uint32, error) {
-	pid := t.root
-	for lvl := t.height - 1; lvl > 1; lvl-- {
+func (t *DiskFirst) leafPagesBetween(root uint32, height int, startKey idx.Key, startLeaf, endLeaf uint32) ([]uint32, error) {
+	pid := root
+	for lvl := height - 1; lvl > 1; lvl-- {
 		pg, err := t.pool.Get(pid)
 		if err != nil {
 			return nil, err
@@ -188,12 +224,13 @@ func (t *DiskFirst) leafPagesBetween(startKey idx.Key, startLeaf, endLeaf uint32
 
 // PageCount implements idx.Index.
 func (t *DiskFirst) PageCount() int {
-	if t.root == 0 {
+	root, height := t.rootHeight()
+	if root == 0 {
 		return 0
 	}
 	total := 0
-	pid := t.root
-	for lvl := t.height - 1; lvl >= 0; lvl-- {
+	pid := root
+	for lvl := height - 1; lvl >= 0; lvl-- {
 		var childFirst uint32
 		cur := pid
 		for cur != 0 {

@@ -116,7 +116,8 @@ func TestBranchlessSearchEquivalenceDiskFirst(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	pg, err := tr.pool.Get(tr.root)
+	rootPID, _ := tr.rootHeight()
+	pg, err := tr.pool.Get(rootPID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,8 @@ func TestBranchlessSearchEquivalenceCacheFirst(t *testing.T) {
 			}
 		}
 	}
-	walk(tr.root, tr.height)
+	croot, cheight := tr.rootPtrHeight()
+	walk(croot, cheight)
 }
 
 // The wall-clock benchmark pair: with the simulator frozen (the serving
@@ -246,7 +248,8 @@ func benchLeafSearch(b *testing.B, branchless bool) {
 		b.Fatal(err)
 	}
 	env.Model.SetConcurrent(true)
-	pg, err := tr.pool.Get(tr.root)
+	rootPID, _ := tr.rootHeight()
+	pg, err := tr.pool.Get(rootPID)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -9,11 +9,12 @@ type SpaceStats = idx.SpaceStats
 // SpaceStats walks the tree and reports page usage.
 func (t *DiskFirst) SpaceStats() (SpaceStats, error) {
 	var st SpaceStats
-	if t.root == 0 {
+	root, height := t.rootHeight()
+	if root == 0 {
 		return st, nil
 	}
-	pid := t.root
-	for lvl := t.height - 1; lvl >= 0; lvl-- {
+	pid := root
+	for lvl := height - 1; lvl >= 0; lvl-- {
 		var childFirst uint32
 		cur := pid
 		for cur != 0 {
@@ -43,10 +44,18 @@ func (t *DiskFirst) SpaceStats() (SpaceStats, error) {
 	return st, nil
 }
 
-// SpaceStats reports page usage from the cache-first space map.
+// SpaceStats reports page usage from the cache-first space map. The
+// map is snapshotted under pagesMu so the walk tolerates concurrent
+// page allocation; per-page counts are point-in-time.
 func (t *CacheFirst) SpaceStats() (SpaceStats, error) {
 	var st SpaceStats
+	t.pagesMu.Lock()
+	snap := make(map[uint32]byte, len(t.pages))
 	for pid, kind := range t.pages {
+		snap[pid] = kind
+	}
+	t.pagesMu.Unlock()
+	for pid, kind := range snap {
 		st.Pages++
 		switch kind {
 		case cfPageLeaf:

@@ -1,0 +1,44 @@
+package idx
+
+import "sync/atomic"
+
+// TreeMeta packs a tree's root location and height into one atomic
+// 64-bit word (root page 32 bits | root line offset 16 | height 16), so
+// concurrent operations always observe a consistent (root, height) pair
+// and a root grow publishes in a single store. An operation that loads
+// a stale pair is still safe on every variant here: the old root stays
+// a valid entry point for its level, and splits only move keys to the
+// right, where the leaf-level move-right walks recover them.
+//
+// Sequential trees use the same accessors — an uncontended atomic word
+// reads and writes like a plain field, so the simulated-cost tables are
+// unaffected.
+type TreeMeta struct{ v atomic.Uint64 }
+
+// Load returns the root page, the root's in-page offset (page-granular
+// trees store 0), and the height.
+func (m *TreeMeta) Load() (pid uint32, off, height int) {
+	v := m.v.Load()
+	return uint32(v >> 32), int(uint16(v >> 16)), int(uint16(v))
+}
+
+// Store publishes a new root triple.
+func (m *TreeMeta) Store(pid uint32, off, height int) {
+	m.v.Store(uint64(pid)<<32 | uint64(uint16(off))<<16 | uint64(uint16(height)))
+}
+
+// PackedPtr is an atomic (page, line-offset) pointer, used for
+// leftmost-leaf links and similar single-pointer tree metadata that
+// concurrent readers consult while writers republish it.
+type PackedPtr struct{ v atomic.Uint64 }
+
+// Load returns the pointer's page and in-page offset.
+func (p *PackedPtr) Load() (pid uint32, off int) {
+	v := p.v.Load()
+	return uint32(v >> 16), int(uint16(v))
+}
+
+// Store publishes a new pointer.
+func (p *PackedPtr) Store(pid uint32, off int) {
+	p.v.Store(uint64(pid)<<16 | uint64(uint16(off)))
+}

@@ -1,0 +1,17 @@
+package idx
+
+import "sync"
+
+// scratchPool recycles BatchScratch values for concurrent-mode batched
+// searches. A sequential tree keeps one scratch per tree (a
+// deterministic 0-alloc warm path); under the latch protocol a batch
+// is read-only and runs under shared latches, so concurrent batches on
+// the same tree must not share the tree's scratch — they draw from
+// this pool instead, which is allocation-free once warm.
+var scratchPool = sync.Pool{New: func() any { return new(BatchScratch) }}
+
+// GetScratch borrows a BatchScratch from the shared pool.
+func GetScratch() *BatchScratch { return scratchPool.Get().(*BatchScratch) }
+
+// PutScratch returns a BatchScratch to the shared pool.
+func PutScratch(s *BatchScratch) { scratchPool.Put(s) }

@@ -1,22 +1,25 @@
 // Package latch provides a growable table of per-page reader/writer
 // latches for the concurrent serving mode. A latch word is a single
 // atomic int32 per page ID: values >= 0 count shared (reader) holders,
-// -1 marks an exclusive holder. Shared acquisition is a CAS increment;
-// exclusive acquisition is only offered in try form (CAS 0 -> -1), so
-// the only blocking edge in the protocol is reader-vs-writer and the
-// latch graph stays acyclic:
+// -1 marks an exclusive holder.
 //
-//   - Readers crab down the tree holding the latch of every page they
-//     have pinned (the pool acquires the shared latch when a page is
-//     pinned and releases it on unpin, so the pin lifetime IS the crab
-//     window: the parent's latch is held until after the child's is
-//     acquired).
-//   - Shared latches never conflict with each other, and structural
-//     writers are additionally serialized above the pool (tree-level
-//     writer exclusion), so readers never deadlock.
-//   - The eviction path uses TryLock only: if any reader still holds
-//     the page, the evictor walks on to the next CLOCK victim instead
-//     of waiting. No latch is ever awaited while a pool shard mutex is
+// The latch protocol (DESIGN.md §11) keeps the wait graph acyclic by
+// restricting which acquisitions may block:
+//
+//   - Every blocking acquisition (RLock, Lock) follows the global latch
+//     order: tree levels top-down, and left-to-right along the sibling
+//     chain within a level. Latches from two different levels are held
+//     together only by writers crabbing downward (parent before child),
+//     never upward.
+//   - Acquisitions that would run against that order — the cache-first
+//     variant's bottom-up leaf-parent chain fixes and its overflow-page
+//     allocation — use the try forms (TryLock, TryRLock) and, on
+//     failure, release every held latch and restart the operation from
+//     the root (the upgrade-free restart protocol: a latch is never
+//     upgraded in place and a failed try never waits).
+//   - The eviction path uses TryLock only: if any holder is present,
+//     the evictor walks on to the next CLOCK victim instead of
+//     waiting. No latch is ever awaited while a pool shard mutex is
 //     held.
 //
 // The table grows in fixed-size segments so that latch words are never
@@ -45,9 +48,10 @@ type Table struct {
 	segs atomic.Pointer[[]*segment]
 
 	shared    atomic.Uint64 // successful shared acquisitions
-	exclusive atomic.Uint64 // successful exclusive (try) acquisitions
+	exclusive atomic.Uint64 // successful exclusive acquisitions
 	waits     atomic.Uint64 // reader spins while a writer held the word
-	tryFails  atomic.Uint64 // TryLock calls that found the word held
+	exclWaits atomic.Uint64 // writer spins while the word was held
+	tryFails  atomic.Uint64 // TryLock/TryRLock calls that found the word held
 }
 
 // NewTable returns an empty latch table.
@@ -113,6 +117,41 @@ func (t *Table) RUnlock(pid uint32) {
 	}
 }
 
+// TryRLock attempts the shared latch on pid without blocking and
+// reports whether it was acquired. Used for shared acquisitions that
+// run against the global latch order (callers release everything and
+// restart on failure).
+func (t *Table) TryRLock(pid uint32) bool {
+	w := t.word(pid)
+	for {
+		v := w.Load()
+		if v < 0 {
+			t.tryFails.Add(1)
+			return false
+		}
+		if w.CompareAndSwap(v, v+1) {
+			t.shared.Add(1)
+			return true
+		}
+	}
+}
+
+// Lock acquires the exclusive latch on pid, spinning (with scheduler
+// yields) while any holder is present. Callers must follow the global
+// latch order (top-down, left-to-right); out-of-order exclusive
+// acquisitions must use TryLock instead.
+func (t *Table) Lock(pid uint32) {
+	w := t.word(pid)
+	for {
+		if w.CompareAndSwap(0, -1) {
+			t.exclusive.Add(1)
+			return
+		}
+		t.exclWaits.Add(1)
+		runtime.Gosched()
+	}
+}
+
 // TryLock attempts the exclusive latch on pid without blocking and
 // reports whether it was acquired.
 func (t *Table) TryLock(pid uint32) bool {
@@ -141,5 +180,6 @@ func (t *Table) RegisterMetrics(reg *obs.Registry) {
 	reg.Counter("latch.shared_acquisitions", t.shared.Load)
 	reg.Counter("latch.exclusive_acquisitions", t.exclusive.Load)
 	reg.Counter("latch.reader_waits", t.waits.Load)
+	reg.Counter("latch.writer_waits", t.exclWaits.Load)
 	reg.Counter("latch.try_fails", t.tryFails.Load)
 }

@@ -5,6 +5,22 @@ import (
 	"repro/internal/idx"
 )
 
+// scratch returns the batch descent scratch: the tree's own scratch
+// sequentially (deterministic 0-alloc warm path), a sync.Pool draw in
+// concurrent mode so simultaneous read-only batches never share state.
+func (t *Tree) scratch() *idx.BatchScratch {
+	if t.conc {
+		return idx.GetScratch()
+	}
+	return &t.batch
+}
+
+func (t *Tree) releaseScratch(s *idx.BatchScratch) {
+	if t.conc {
+		idx.PutScratch(s)
+	}
+}
+
 // SearchBatch implements idx.Index: sorted, level-wise descent with one
 // buffer-pool Get per distinct page per level and prefetching of the
 // next level's pages (see bptree.SearchBatch; the only difference is
@@ -14,17 +30,19 @@ func (t *Tree) SearchBatch(keys []idx.Key, out []idx.SearchResult) ([]idx.Search
 	t.ops.BatchedKeys.Add(uint64(len(keys)))
 	base := len(out)
 	out = idx.GrowResults(out, len(keys))
-	if t.root == 0 || len(keys) == 0 {
+	root, height := t.rootHeight()
+	if root == 0 || len(keys) == 0 {
 		return out, nil
 	}
-	s := &t.batch
+	s := t.scratch()
+	defer t.releaseScratch(s)
 	s.Prepare(keys)
 	n := len(keys)
 	for i := 0; i < n; i++ {
-		s.Cur[i] = t.root
+		s.Cur[i] = root
 	}
 
-	for lvl := t.height - 1; lvl > 0; lvl-- {
+	for lvl := height - 1; lvl > 0; lvl-- {
 		for i := 0; i < n; {
 			pid := s.Cur[i]
 			pg, err := t.pool.Get(pid)

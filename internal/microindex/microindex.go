@@ -23,6 +23,8 @@ package microindex
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/buffer"
 	"repro/internal/idx"
@@ -73,9 +75,20 @@ type Tree struct {
 	ptrBase    int // byte offset of the pointer array
 	subLines   int
 
-	root      uint32
-	height    int
-	firstLeaf uint32
+	// meta packs (root page, height) so concurrent descents always see
+	// a consistent pair (see bptree.Tree.meta for the staleness
+	// argument — page splits move keys right and leaf walks recover
+	// rightward, so a stale pair is still a valid entry point).
+	meta      idx.TreeMeta
+	firstLeaf atomic.Uint32
+
+	// conc is set when the pool carries a latch table: writers then
+	// descend with exclusive latch crabbing (insertConc) and page
+	// mutations take exclusive pins; readers couple shared latches. In
+	// the default sequential mode every latch call is a no-op and the
+	// code paths are identical.
+	conc   bool
+	growMu sync.Mutex // serializes first-root creation in conc mode
 
 	tr  *obs.Tracer
 	ops idx.AtomicOpStats
@@ -117,9 +130,34 @@ func New(cfg Config) (*Tree, error) {
 		keyBase:    headerSize + microBytes,
 		ptrBase:    headerSize + microBytes + 4*cap,
 		subLines:   sub / memsim.LineSize,
+		conc:       cfg.Pool.Latches() != nil,
 		tr:         cfg.Trace,
 	}
 	return t, nil
+}
+
+// rootHeight loads the tree's (root page, height) pair atomically.
+func (t *Tree) rootHeight() (uint32, int) {
+	pid, _, h := t.meta.Load()
+	return pid, h
+}
+
+// getWrite pins pid for mutation: exclusively latched in concurrent
+// mode, a plain pin in sequential mode (identical pool call order
+// either way, so simulated costs are unchanged).
+func (t *Tree) getWrite(pid uint32) (buffer.Page, error) {
+	if t.conc {
+		return t.pool.GetX(pid)
+	}
+	return t.pool.Get(pid)
+}
+
+// newPageWrite allocates a page pinned for mutation (see getWrite).
+func (t *Tree) newPageWrite() (buffer.Page, error) {
+	if t.conc {
+		return t.pool.NewPageX()
+	}
+	return t.pool.NewPage()
 }
 
 // Name implements idx.Index.
@@ -132,7 +170,10 @@ func (t *Tree) Stats() idx.OpStats { return t.ops.Snapshot() }
 func (t *Tree) ResetStats() { t.ops.Reset() }
 
 // Height implements idx.Index.
-func (t *Tree) Height() int { return t.height }
+func (t *Tree) Height() int {
+	_, h := t.rootHeight()
+	return h
+}
 
 // Cap reports entries per page.
 func (t *Tree) Cap() int { return t.cap }

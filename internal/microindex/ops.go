@@ -86,8 +86,8 @@ func (t *Tree) Bulkload(entries []idx.Entry, fill float64) error {
 	if prev.Valid() {
 		t.pool.Unpin(prev, true)
 	}
-	t.firstLeaf = level[0].pid
-	t.height = 1
+	t.firstLeaf.Store(level[0].pid)
+	height := 1
 
 	for len(level) > 1 {
 		var up []ref
@@ -102,7 +102,7 @@ func (t *Tree) Bulkload(entries []idx.Entry, fill float64) error {
 				ks = append(ks, r.min)
 				ps = append(ps, r.pid)
 			}
-			pg, err := fillPage(pageInternal, t.height, ks, ps, prev)
+			pg, err := fillPage(pageInternal, height, ks, ps, prev)
 			if err != nil {
 				return err
 			}
@@ -113,18 +113,19 @@ func (t *Tree) Bulkload(entries []idx.Entry, fill float64) error {
 			t.pool.Unpin(prev, true)
 		}
 		level = up
-		t.height++
+		height++
 	}
-	t.root = level[0].pid
+	t.meta.Store(level[0].pid, 0, height)
 	return nil
 }
 
 func (t *Tree) freeAll() error {
-	if t.root == 0 {
+	root, height := t.rootHeight()
+	if root == 0 {
 		return nil
 	}
-	pid := t.root
-	for lvl := t.height - 1; lvl >= 0; lvl-- {
+	pid := root
+	for lvl := height - 1; lvl >= 0; lvl-- {
 		var childFirst uint32
 		cur := pid
 		for cur != 0 {
@@ -144,7 +145,8 @@ func (t *Tree) freeAll() error {
 		}
 		pid = childFirst
 	}
-	t.root, t.height, t.firstLeaf = 0, 0, 0
+	t.meta.Store(0, 0, 0)
+	t.firstLeaf.Store(0)
 	return nil
 }
 
@@ -152,7 +154,7 @@ func (t *Tree) freeAll() error {
 // walk over the duplicate run (see bptree.Search for the rationale).
 func (t *Tree) Search(k idx.Key) (idx.TupleID, bool, error) {
 	t.ops.Searches.Add(1)
-	pg, slot, found, err := t.findFirst(k)
+	pg, slot, found, err := t.findFirst(k, false)
 	if err != nil || !found {
 		return 0, false, err
 	}
@@ -161,20 +163,22 @@ func (t *Tree) Search(k idx.Key) (idx.TupleID, bool, error) {
 	return tid, true, nil
 }
 
-// findFirst locates the first entry with key == k, returning its pinned
-// page and slot, or found=false.
-func (t *Tree) findFirst(k idx.Key) (buffer.Page, int, bool, error) {
-	if t.root == 0 {
-		return buffer.Page{}, 0, false, nil
+// leafFor descends to the leaf page for k (lt selects strictly-less
+// comparisons). In concurrent mode it couples shared latches
+// (leafForCoupled); sequentially it releases the parent before pinning
+// the child, exactly as before.
+func (t *Tree) leafFor(root uint32, height int, k idx.Key, lt bool) (uint32, error) {
+	if t.conc {
+		return t.leafForCoupled(root, height, k, lt)
 	}
-	pid := t.root
-	for lvl := t.height - 1; lvl > 0; lvl-- {
+	pid := root
+	for lvl := height - 1; lvl > 0; lvl-- {
 		pg, err := t.pool.Get(pid)
 		if err != nil {
-			return buffer.Page{}, 0, false, err
+			return 0, err
 		}
 		t.touchHeader(pg)
-		slot, _ := t.searchPage(pg, k, true)
+		slot, _ := t.searchPage(pg, k, lt)
 		if slot < 0 {
 			slot = 0
 		}
@@ -182,8 +186,61 @@ func (t *Tree) findFirst(k idx.Key) (buffer.Page, int, bool, error) {
 		t.pool.Unpin(pg, false)
 		pid = child
 	}
-	for pid != 0 {
+	return pid, nil
+}
+
+// leafForCoupled is leafFor under the latch protocol: each child is
+// pinned (shared-latched) before the parent's latch is released, so the
+// child pointer just read cannot be restructured out from under the
+// descent. Acquisitions run strictly top-down, consistent with writer
+// crabbing, so blocking here cannot deadlock.
+func (t *Tree) leafForCoupled(root uint32, height int, k idx.Key, lt bool) (uint32, error) {
+	pid := root
+	var parent buffer.Page
+	for lvl := height - 1; lvl > 0; lvl-- {
 		pg, err := t.pool.Get(pid)
+		if parent.Valid() {
+			t.pool.Unpin(parent, false)
+			parent = buffer.Page{}
+		}
+		if err != nil {
+			return 0, err
+		}
+		t.touchHeader(pg)
+		slot, _ := t.searchPage(pg, k, lt)
+		if slot < 0 {
+			slot = 0
+		}
+		pid = t.readPtr(pg, slot)
+		parent = pg
+	}
+	if parent.Valid() {
+		t.pool.Unpin(parent, false)
+	}
+	return pid, nil
+}
+
+// findFirst locates the first entry with key == k, returning its pinned
+// page and slot, or found=false. With excl the leaf pages are pinned
+// exclusively (concurrent Delete mutates in place); the walk holds at
+// most one leaf latch at a time, moving rightward.
+func (t *Tree) findFirst(k idx.Key, excl bool) (buffer.Page, int, bool, error) {
+	root, height := t.rootHeight()
+	if root == 0 {
+		return buffer.Page{}, 0, false, nil
+	}
+	pid, err := t.leafFor(root, height, k, true)
+	if err != nil {
+		return buffer.Page{}, 0, false, err
+	}
+	for pid != 0 {
+		var pg buffer.Page
+		var err error
+		if excl {
+			pg, err = t.pool.GetX(pid)
+		} else {
+			pg, err = t.pool.Get(pid)
+		}
 		if err != nil {
 			return buffer.Page{}, 0, false, err
 		}
@@ -207,27 +264,34 @@ func (t *Tree) findFirst(k idx.Key) (buffer.Page, int, bool, error) {
 }
 
 // Insert implements idx.Index: the disk-optimized insertion algorithm
-// plus micro-index rebuilds (§4.1).
+// plus micro-index rebuilds (§4.1). In concurrent mode the insert
+// descends with exclusive latch crabbing (insertConc); the sequential
+// path below is unchanged.
 func (t *Tree) Insert(k idx.Key, tid idx.TupleID) error {
 	t.ops.Inserts.Add(1)
-	if t.root == 0 {
+	if t.conc {
+		return t.insertConc(k, tid)
+	}
+	root, height := t.rootHeight()
+	if root == 0 {
 		pg, err := t.pool.NewPage()
 		if err != nil {
 			return err
 		}
 		setType(pg.Data, pageLeaf)
 		t.pool.Unpin(pg, true)
-		t.root, t.firstLeaf, t.height = pg.ID, pg.ID, 1
+		t.firstLeaf.Store(pg.ID)
+		t.meta.Store(pg.ID, 0, 1)
+		root, height = pg.ID, 1
 	}
-	split, sepKey, newPID, err := t.insertInto(t.root, t.height-1, k, tid)
+	split, sepKey, newPID, err := t.insertInto(root, height-1, k, tid)
 	if err != nil {
 		return err
 	}
 	if !split {
 		return nil
 	}
-	oldRoot := t.root
-	old, err := t.pool.Get(oldRoot)
+	old, err := t.pool.Get(root)
 	if err != nil {
 		return err
 	}
@@ -239,16 +303,15 @@ func (t *Tree) Insert(k idx.Key, tid idx.TupleID) error {
 	}
 	d := rootPg.Data
 	setType(d, pageInternal)
-	setLevel(d, byte(t.height))
+	setLevel(d, byte(height))
 	setCount(d, 2)
 	t.setKey(d, 0, oldMin)
-	t.setPtr(d, 0, oldRoot)
+	t.setPtr(d, 0, root)
 	t.setKey(d, 1, sepKey)
 	t.setPtr(d, 1, newPID)
 	le.PutUint32(d[t.microOff:], oldMin)
 	t.pool.Unpin(rootPg, true)
-	t.root = rootPg.ID
-	t.height++
+	t.meta.Store(rootPg.ID, 0, height+1)
 	return nil
 }
 
@@ -321,7 +384,7 @@ func (t *Tree) splitPage(pg buffer.Page) (idx.Key, uint32, error) {
 	d := pg.Data
 	n := pCount(d)
 	mid := n / 2
-	np, err := t.pool.NewPage()
+	np, err := t.newPageWrite()
 	if err != nil {
 		return 0, 0, err
 	}
@@ -343,7 +406,7 @@ func (t *Tree) splitPage(pg buffer.Page) (idx.Key, uint32, error) {
 	setPrev(nd, pg.ID)
 	setNext(d, np.ID)
 	if right != 0 {
-		rp, err := t.pool.Get(right)
+		rp, err := t.getWrite(right)
 		if err != nil {
 			t.pool.Unpin(np, true)
 			return 0, 0, err
@@ -361,7 +424,9 @@ func (t *Tree) splitPage(pg buffer.Page) (idx.Key, uint32, error) {
 // duplicate run.
 func (t *Tree) Delete(k idx.Key) (bool, error) {
 	t.ops.Deletes.Add(1)
-	pg, slot, found, err := t.findFirst(k)
+	// Concurrent mode pins the leaf exclusively; the descent itself
+	// needs no write latches because lazy deletion never restructures.
+	pg, slot, found, err := t.findFirst(k, t.conc)
 	if err != nil || !found {
 		return false, err
 	}
@@ -374,23 +439,13 @@ func (t *Tree) Delete(k idx.Key) (bool, error) {
 // behaviour matches disk-optimized B+-Trees, so no prefetching is done.
 func (t *Tree) RangeScan(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error) {
 	t.ops.Scans.Add(1)
-	if t.root == 0 || startKey > endKey {
+	root, height := t.rootHeight()
+	if root == 0 || startKey > endKey {
 		return 0, nil
 	}
-	pid := t.root
-	for lvl := t.height - 1; lvl > 0; lvl-- {
-		pg, err := t.pool.Get(pid)
-		if err != nil {
-			return 0, err
-		}
-		t.touchHeader(pg)
-		slot, _ := t.searchPage(pg, startKey, true)
-		if slot < 0 {
-			slot = 0
-		}
-		child := t.readPtr(pg, slot)
-		t.pool.Unpin(pg, false)
-		pid = child
+	pid, err := t.leafFor(root, height, startKey, true)
+	if err != nil {
+		return 0, err
 	}
 	count := 0
 	first := true
@@ -435,12 +490,13 @@ func (t *Tree) RangeScan(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID)
 
 // PageCount implements idx.Index.
 func (t *Tree) PageCount() int {
-	if t.root == 0 {
+	root, height := t.rootHeight()
+	if root == 0 {
 		return 0
 	}
 	total := 0
-	pid := t.root
-	for lvl := t.height - 1; lvl >= 0; lvl-- {
+	pid := root
+	for lvl := height - 1; lvl >= 0; lvl-- {
 		var childFirst uint32
 		cur := pid
 		for cur != 0 {
@@ -465,11 +521,12 @@ func (t *Tree) PageCount() int {
 // classifying pages and counting leaf entries.
 func (t *Tree) SpaceStats() (idx.SpaceStats, error) {
 	var st idx.SpaceStats
-	if t.root == 0 {
+	root, height := t.rootHeight()
+	if root == 0 {
 		return st, nil
 	}
-	pid := t.root
-	for lvl := t.height - 1; lvl >= 0; lvl-- {
+	pid := root
+	for lvl := height - 1; lvl >= 0; lvl-- {
 		var childFirst uint32
 		cur := pid
 		for cur != 0 {
@@ -503,14 +560,15 @@ func (t *Tree) SpaceStats() (idx.SpaceStats, error) {
 // micro-index consistency (every populated micro slot equals the first
 // key of its sub-array).
 func (t *Tree) CheckInvariants() error {
-	if t.root == 0 {
+	root, height := t.rootHeight()
+	if root == 0 {
 		return nil
 	}
 	var leaves []uint32
-	if err := t.checkSubtree(t.root, t.height-1, nil, nil, &leaves); err != nil {
+	if err := t.checkSubtree(root, height-1, nil, nil, &leaves); err != nil {
 		return err
 	}
-	pid := t.firstLeaf
+	pid := t.firstLeaf.Load()
 	i := 0
 	var prevID uint32
 	var lastKey idx.Key

@@ -10,23 +10,13 @@ import (
 // forward scan).
 func (t *Tree) RangeScanReverse(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error) {
 	t.ops.ReverseScans.Add(1)
-	if t.root == 0 || startKey > endKey {
+	root, height := t.rootHeight()
+	if root == 0 || startKey > endKey {
 		return 0, nil
 	}
-	pid := t.root
-	for lvl := t.height - 1; lvl > 0; lvl-- {
-		pg, err := t.pool.Get(pid)
-		if err != nil {
-			return 0, err
-		}
-		t.touchHeader(pg)
-		slot, _ := t.searchPage(pg, endKey, false)
-		if slot < 0 {
-			slot = 0
-		}
-		child := t.readPtr(pg, slot)
-		t.pool.Unpin(pg, false)
-		pid = child
+	pid, err := t.leafFor(root, height, endKey, false)
+	if err != nil {
+		return 0, err
 	}
 	count := 0
 	first := true

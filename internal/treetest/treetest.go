@@ -59,6 +59,7 @@ func Run(t *testing.T, pageSize int, factory Factory) {
 	t.Run("Delete", func(t *testing.T) { testDelete(t, pageSize, factory) })
 	t.Run("RangeScan", func(t *testing.T) { testRangeScan(t, pageSize, factory) })
 	t.Run("RangeScanEdges", func(t *testing.T) { testRangeScanEdges(t, pageSize, factory) })
+	t.Run("ScanBoundaryProperties", func(t *testing.T) { testScanBoundaryProperties(t, pageSize, factory) })
 	t.Run("RangeScanReverse", func(t *testing.T) { testRangeScanReverse(t, pageSize, factory) })
 	t.Run("RandomOps", func(t *testing.T) { testRandomOps(t, pageSize, factory) })
 	t.Run("SearchBatchEquivalence", func(t *testing.T) { testSearchBatch(t, pageSize, factory) })
@@ -374,6 +375,149 @@ func testRangeScanReverse(t *testing.T, pageSize int, factory Factory) {
 	})
 	if n != 7 || seen != 7 {
 		t.Fatalf("early-terminated reverse scan: n=%d seen=%d", n, seen)
+	}
+}
+
+// testScanBoundaryProperties cross-checks RangeScan and
+// RangeScanReverse against a model tree on the boundary cases that
+// lazy deletion makes delicate: startKey == endKey (present, deleted,
+// and never-present keys), empty ranges strictly between adjacent
+// keys, inverted ranges (startKey > endKey), and endpoints landing on
+// lazy-deleted slots. The deletions are long contiguous runs — far
+// wider than any variant's node or leaf-page capacity at the tested
+// page sizes — so every run is guaranteed to contain node and
+// leaf-page boundaries, and ranges that start, end, or lie entirely
+// inside a run exercise deleted slots at those boundaries.
+func testScanBoundaryProperties(t *testing.T, pageSize int, factory Factory) {
+	env := NewEnv(pageSize, 16384)
+	tr := factory(t, env)
+	const n, base, stride = 12000, 10, 3
+	es := GenEntries(n, base, stride)
+	if err := tr.Bulkload(es, 1.0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Delete entries [200, 800) of every block of 1000 — 600-key runs.
+	const blk, runLo, runHi = 1000, 200, 800
+	live := make([]idx.Entry, 0, n)
+	deleted := make([]idx.Key, 0, n)
+	for i, e := range es {
+		if pos := i % blk; pos >= runLo && pos < runHi {
+			ok, err := tr.Delete(e.Key)
+			if err != nil || !ok {
+				t.Fatalf("delete(%d) = (%v,%v)", e.Key, ok, err)
+			}
+			deleted = append(deleted, e.Key)
+		} else {
+			live = append(live, e)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after run deletions: %v", err)
+	}
+
+	// check compares both scan directions on [start, end] against the
+	// sorted live reference.
+	check := func(start, end idx.Key) {
+		t.Helper()
+		lo := sort.Search(len(live), func(i int) bool { return live[i].Key >= start })
+		hi := sort.Search(len(live), func(i int) bool { return live[i].Key > end })
+		var want []idx.Entry
+		if start <= end && lo < hi {
+			want = live[lo:hi]
+		}
+		var fwd []idx.Entry
+		nf, err := tr.RangeScan(start, end, func(k idx.Key, tid idx.TupleID) bool {
+			fwd = append(fwd, idx.Entry{Key: k, TID: tid})
+			return true
+		})
+		if err != nil {
+			t.Fatalf("RangeScan [%d,%d]: %v", start, end, err)
+		}
+		if nf != len(want) || len(fwd) != len(want) {
+			t.Fatalf("RangeScan [%d,%d] = %d entries, model has %d", start, end, nf, len(want))
+		}
+		for i := range want {
+			if fwd[i] != want[i] {
+				t.Fatalf("RangeScan [%d,%d] entry %d = %+v, model has %+v", start, end, i, fwd[i], want[i])
+			}
+		}
+		var rev []idx.Entry
+		nr, err := tr.RangeScanReverse(start, end, func(k idx.Key, tid idx.TupleID) bool {
+			rev = append(rev, idx.Entry{Key: k, TID: tid})
+			return true
+		})
+		if err != nil {
+			t.Fatalf("RangeScanReverse [%d,%d]: %v", start, end, err)
+		}
+		if nr != len(want) || len(rev) != len(want) {
+			t.Fatalf("RangeScanReverse [%d,%d] = %d entries, model has %d", start, end, nr, len(want))
+		}
+		for i := range want {
+			if rev[len(rev)-1-i] != want[i] {
+				t.Fatalf("RangeScanReverse [%d,%d] order mismatch at %d", start, end, i)
+			}
+		}
+	}
+
+	// startKey == endKey: a live key, a lazy-deleted key, a key that
+	// never existed (between strides), and the extremes.
+	check(live[0].Key, live[0].Key)
+	check(live[len(live)/2].Key, live[len(live)/2].Key)
+	check(deleted[0], deleted[0])
+	check(deleted[len(deleted)/2], deleted[len(deleted)/2])
+	check(live[7].Key+1, live[7].Key+1) // never present
+	check(0, 0)
+	check(^idx.Key(0), ^idx.Key(0))
+
+	// Empty ranges strictly between adjacent keys, and inverted ranges.
+	check(live[3].Key+1, live[4].Key-1)
+	check(deleted[3]+1, deleted[3]+2)
+	check(live[10].Key, live[9].Key) // inverted on live keys
+	check(deleted[10], deleted[9])   // inverted on deleted keys
+	check(^idx.Key(0), 0)            // inverted extremes
+
+	// Endpoints on lazy-deleted slots. Each 600-key deleted run spans
+	// node and page boundaries, so these hit deleted slots at the edges
+	// and interiors of leaf pages: a whole run, run edges, ranges
+	// entering/leaving a run, and a range spanning several runs.
+	for _, b := range []int{0, n / blk / 2, n/blk - 1} {
+		runStart := es[b*blk+runLo].Key
+		runEnd := es[b*blk+runHi-1].Key
+		mid := es[b*blk+(runLo+runHi)/2].Key
+		check(runStart, runEnd)         // exactly the deleted run
+		check(runStart, runStart)       // single deleted key at run start
+		check(runEnd, runEnd)           // single deleted key at run end
+		check(mid, runEnd+200*stride)   // starts mid-run, ends outside
+		check(runStart-200*stride, mid) // starts outside, ends mid-run
+		check(mid, mid+1)               // tiny range inside the run
+	}
+	check(es[runLo].Key, es[(n/blk-1)*blk+runHi-1].Key) // spans all runs
+
+	// Randomized property trials: arbitrary endpoints, biased to land
+	// on or next to real keys (live or deleted).
+	rng := rand.New(rand.NewSource(4021))
+	for trial := 0; trial < 60; trial++ {
+		pick := func() idx.Key {
+			switch rng.Intn(3) {
+			case 0:
+				return live[rng.Intn(len(live))].Key
+			case 1:
+				return deleted[rng.Intn(len(deleted))]
+			default:
+				return idx.Key(rng.Intn(n*stride + 2*base))
+			}
+		}
+		a, b := pick(), pick()
+		if d := rng.Intn(3); d > 0 {
+			a += idx.Key(d - 1) // perturb off the key grid
+		}
+		check(a, b)
+		check(b, a)
+	}
+
+	if got := env.Pool.PinnedCount(); got != 0 {
+		t.Fatalf("%d pages left pinned after boundary scans", got)
 	}
 }
 
