@@ -5,6 +5,7 @@
 //	fpbench [-scale quick|default|paper] [-csv] [-parallel] [-benchjson FILE]
 //	        [-metrics FILE] [-trace FILE] [-cpuprofile FILE] [-memprofile FILE]
 //	        [-threads N -duration D -workload readonly|mixed|scan|all -keys N]
+//	        [-debug-addr HOST:PORT [-slow-op D]]
 //	        [experiment ...]
 //
 // With no experiment arguments it runs the full suite in paper order.
@@ -21,7 +22,12 @@
 // WithConcurrency tree for -duration per cell (a read-only thread
 // sweep plus mixed and scan workloads), reporting real ops/sec and
 // p50/p99 latency. With -benchjson the sweep is written as the
-// "throughput" section (e.g. BENCH_concurrency.json).
+// "throughput" section (e.g. BENCH_concurrency.json). -debug-addr
+// starts the operations debug server (Prometheus /metrics, JSON
+// /snapshot, windowed-rate /delta, Chrome-trace /trace, /debug/pprof)
+// over the live cell for the duration of the sweep; -slow-op sets the
+// wall-clock threshold above which operations record spans into the
+// trace ring.
 //
 // -metrics FILE writes the final metrics-registry snapshot (counters
 // summed over every cell of every experiment run) as JSON. -trace FILE
@@ -44,6 +50,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/obs/httpdbg"
 )
 
 type benchEntry struct {
@@ -95,11 +102,26 @@ func main() {
 	duration := flag.Duration("duration", 2*time.Second, "per-cell measurement time (with -threads)")
 	workloadName := flag.String("workload", "all", "serving workload: readonly, mixed, scan, or all (with -threads)")
 	benchKeys := flag.Int("keys", 1_000_000, "keys in the serving benchmark tree (with -threads)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /snapshot, /delta, /trace and /debug/pprof on this address during the serving benchmark (with -threads)")
+	slowOp := flag.Duration("slow-op", time.Millisecond, "slow-op span threshold for the serving benchmark's trace ring (with -debug-addr)")
 	flag.Parse()
 
 	if *threads > 0 {
 		fmt.Printf("# fpB+-Tree wall-clock serving benchmark — %d key tree, %v per cell\n", *benchKeys, *duration)
-		entries, err := throughputSweep(*workloadName, *threads, *benchKeys, *duration)
+		var dbg *servingDebug
+		if *debugAddr != "" {
+			dbg = &servingDebug{traceEvents: 1 << 14, slowOp: *slowOp}
+			srv, err := httpdbg.Serve(*debugAddr, httpdbg.Config{
+				Snapshot: dbg.snapshot,
+				Tracer:   dbg.tracer,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			defer srv.Close()
+			fmt.Printf("# debug server on http://%s (/metrics /snapshot /delta /trace /debug/pprof)\n", srv.Addr())
+		}
+		entries, err := throughputSweep(*workloadName, *threads, *benchKeys, *duration, dbg)
 		if err != nil {
 			fatal(err)
 		}

@@ -11,6 +11,34 @@ import (
 	"repro/internal/workload"
 )
 
+// servingDebug carries the -debug-addr observability wiring through
+// the serving sweep: each cell's tree is published into cur so the
+// debug server's /metrics, /snapshot and /trace handlers always read
+// the live cell, and each tree is built with a trace ring plus the
+// slow-op span threshold so sampled wall-clock spans land in /trace.
+type servingDebug struct {
+	cur         atomic.Pointer[fpbtree.Tree]
+	traceEvents int
+	slowOp      time.Duration
+}
+
+// snapshot polls the live cell's registry (empty before the first cell
+// finishes bulkloading).
+func (d *servingDebug) snapshot() obs.Snapshot {
+	if t := d.cur.Load(); t != nil {
+		return t.MetricsSnapshot()
+	}
+	return obs.Snapshot{}
+}
+
+// tracer exposes the live cell's trace ring, nil before the first cell.
+func (d *servingDebug) tracer() *obs.Tracer {
+	if t := d.cur.Load(); t != nil {
+		return t.Obs().Tracer
+	}
+	return nil
+}
+
 // throughputEntry is one wall-clock serving measurement in the
 // -benchjson report.
 type throughputEntry struct {
@@ -27,7 +55,7 @@ type throughputEntry struct {
 // thread sweep (1, 2, ... up to threads, powers of two) plus the mixed
 // and scan workloads at full width. wl narrows the run to one workload
 // ("all" runs the standard sweep).
-func throughputSweep(wl string, threads, keys int, dur time.Duration) ([]throughputEntry, error) {
+func throughputSweep(wl string, threads, keys int, dur time.Duration, dbg *servingDebug) ([]throughputEntry, error) {
 	type cell struct {
 		workload string
 		threads  int
@@ -55,7 +83,7 @@ func throughputSweep(wl string, threads, keys int, dur time.Duration) ([]through
 
 	var out []throughputEntry
 	for _, c := range cells {
-		e, err := runThroughput(c.workload, c.threads, keys, dur)
+		e, err := runThroughput(c.workload, c.threads, keys, dur, dbg)
 		if err != nil {
 			return nil, err
 		}
@@ -70,13 +98,22 @@ func throughputSweep(wl string, threads, keys int, dur time.Duration) ([]through
 // runThroughput measures one (workload, threads) cell on a fresh
 // memory-resident tree: `threads` goroutines issue operations for dur,
 // recording per-op wall latency into one shared histogram.
-func runThroughput(wl string, threads, keys int, dur time.Duration) (throughputEntry, error) {
-	tr, err := fpbtree.New(
+func runThroughput(wl string, threads, keys int, dur time.Duration, dbg *servingDebug) (throughputEntry, error) {
+	opts := []fpbtree.Option{
 		fpbtree.WithVariant(fpbtree.DiskFirst),
 		fpbtree.WithConcurrency(threads),
-	)
+	}
+	if dbg != nil {
+		opts = append(opts,
+			fpbtree.WithTracing(dbg.traceEvents),
+			fpbtree.WithSlowOpSpans(dbg.slowOp))
+	}
+	tr, err := fpbtree.New(opts...)
 	if err != nil {
 		return throughputEntry{}, err
+	}
+	if dbg != nil {
+		dbg.cur.Store(tr)
 	}
 	gen := workload.New(42)
 	if err := tr.Bulkload(gen.BulkEntries(keys), 1.0); err != nil {
@@ -159,14 +196,13 @@ func runThroughput(wl string, threads, keys int, dur time.Duration) (throughputE
 	if n := tr.PinnedPages(); n != 0 {
 		return throughputEntry{}, fmt.Errorf("%s threads=%d: %d pinned pages leaked", wl, threads, n)
 	}
-	snap := hist.Snapshot()
 	return throughputEntry{
 		Workload:  wl,
 		Threads:   threads,
 		Seconds:   elapsed.Seconds(),
 		Ops:       totalOps.Load(),
 		OpsPerSec: float64(totalOps.Load()) / elapsed.Seconds(),
-		P50Nanos:  snap.Quantile(0.50),
-		P99Nanos:  snap.Quantile(0.99),
+		P50Nanos:  hist.Quantile(0.50),
+		P99Nanos:  hist.Quantile(0.99),
 	}, nil
 }

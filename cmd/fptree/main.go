@@ -10,13 +10,24 @@
 //
 //	fptree stats [same flags] [-trace FILE]
 //
+//	fptree serve-stats [same flags] [-addr HOST:PORT] [-duration D]
+//	       [-slow-op D]
+//
 //	fptree chaos [-variant V] [-page BYTES] [-ops N] [-seed S]
 //
 // The stats subcommand runs the same workload but reports the full
 // observability surface: the metrics-registry snapshot (buffer.*,
-// mem.*, disk.*, tree.* counters and op.* latency histograms), the
-// per-variant space statistics, and optionally a Chrome trace-event
-// JSON file viewable in Perfetto.
+// mem.*, disk.*, tree.* counters and op.* latency histograms — plus
+// the fault.* integrity counters with -integrity), the per-variant
+// space statistics, and optionally a Chrome trace-event JSON file
+// viewable in Perfetto.
+//
+// The serve-stats subcommand builds a concurrent serving tree, drives
+// a continuous operation mix from -conc goroutines, and exposes the
+// operations debug server (Prometheus /metrics, JSON /snapshot,
+// windowed-rate /delta, Chrome-trace /trace with slow-op wall spans,
+// and /debug/pprof) on -addr until -duration elapses or the process
+// is interrupted.
 //
 // The chaos subcommand builds the tree over the fault-injecting,
 // checksummed storage stack and drives the chaos-differential protocol
@@ -28,6 +39,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -39,30 +51,32 @@ import (
 // treeFlags is the flag set shared by the default run and the stats
 // subcommand.
 type treeFlags struct {
-	variant  *string
-	keys     *int
-	fill     *float64
-	page     *int
-	disks    *int
-	searches *int
-	inserts  *int
-	deletes  *int
-	scan     *int
-	conc     *int
+	variant   *string
+	keys      *int
+	fill      *float64
+	page      *int
+	disks     *int
+	searches  *int
+	inserts   *int
+	deletes   *int
+	scan      *int
+	conc      *int
+	integrity *bool
 }
 
 func addTreeFlags(fs *flag.FlagSet) treeFlags {
 	return treeFlags{
-		variant:  fs.String("variant", "disk-first", "index organization"),
-		keys:     fs.Int("keys", 1000000, "bulkloaded keys"),
-		fill:     fs.Float64("fill", 1.0, "bulkload fill factor"),
-		page:     fs.Int("page", 16<<10, "page size in bytes"),
-		disks:    fs.Int("disks", 0, "simulated disks (0 = memory resident)"),
-		searches: fs.Int("searches", 2000, "random searches to run"),
-		inserts:  fs.Int("inserts", 2000, "random inserts to run"),
-		deletes:  fs.Int("deletes", 2000, "random deletes to run"),
-		scan:     fs.Int("scan", 100000, "range scan span in entries (0 = skip)"),
-		conc:     fs.Int("conc", 0, "build WithConcurrency(N): sharded latched pool, frozen simulators (0 = simulation mode)"),
+		variant:   fs.String("variant", "disk-first", "index organization"),
+		keys:      fs.Int("keys", 1000000, "bulkloaded keys"),
+		fill:      fs.Float64("fill", 1.0, "bulkload fill factor"),
+		page:      fs.Int("page", 16<<10, "page size in bytes"),
+		disks:     fs.Int("disks", 0, "simulated disks (0 = memory resident)"),
+		searches:  fs.Int("searches", 2000, "random searches to run"),
+		inserts:   fs.Int("inserts", 2000, "random inserts to run"),
+		deletes:   fs.Int("deletes", 2000, "random deletes to run"),
+		scan:      fs.Int("scan", 100000, "range scan span in entries (0 = skip)"),
+		conc:      fs.Int("conc", 0, "build WithConcurrency(N): sharded latched pool, frozen simulators (0 = simulation mode)"),
+		integrity: fs.Bool("integrity", false, "interpose the checksum/fault storage stack (registers the fault.* metrics)"),
 	}
 }
 
@@ -81,6 +95,11 @@ func (f treeFlags) build(extra ...fpbtree.Option) (*fpbtree.Tree, error) {
 	}
 	if *f.conc > 0 {
 		opts = append(opts, fpbtree.WithConcurrency(*f.conc))
+	}
+	if *f.integrity {
+		// Rule-less injector under the checksum layer: every read is
+		// verified and counted, no faults fire unless steered later.
+		opts = append(opts, fpbtree.WithFaults(fpbtree.FaultConfig{}))
 	}
 	return fpbtree.New(append(opts, extra...)...)
 }
@@ -144,6 +163,10 @@ func main() {
 		runStats(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "serve-stats" {
+		runServeStats(os.Args[2:])
+		return
+	}
 	if len(os.Args) > 1 && os.Args[1] == "chaos" {
 		runChaos(os.Args[2:])
 		return
@@ -185,6 +208,16 @@ func main() {
 // runStats is the `fptree stats` subcommand: same workload, full
 // observability dump.
 func runStats(args []string) {
+	if err := statsRun(args, os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// statsRun does the work of `fptree stats`, writing the report to w.
+// Split from runStats so tests can assert on the dump (e.g. that the
+// fault.* metrics appear when -integrity interposes the storage
+// stack) without exiting the process.
+func statsRun(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("fptree stats", flag.ExitOnError)
 	f := addTreeFlags(fs)
 	traceFile := fs.String("trace", "", "write Chrome trace-event JSON here")
@@ -197,47 +230,48 @@ func runStats(args []string) {
 	}
 	tr, err := f.build(extra...)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	g := workload.New(time.Now().UnixNano())
 	if err := tr.Bulkload(g.BulkEntries(*f.keys), *f.fill); err != nil {
-		fatal(err)
+		return err
 	}
 	tr.ColdCaches()
 	if err := f.runMix(tr, g, false); err != nil {
-		fatal(err)
+		return err
 	}
 
 	// Space stats walk through the buffer pool, so snapshot first.
 	snap := tr.MetricsSnapshot()
 	st, err := tr.SpaceStats()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	fmt.Printf("%s (%s), %d keys, page %d B", tr.Name(), tr.Variant(), *f.keys, *f.page)
+	fmt.Fprintf(w, "%s (%s), %d keys, page %d B", tr.Name(), tr.Variant(), *f.keys, *f.page)
 	if *f.disks > 0 {
-		fmt.Printf(", %d disks", *f.disks)
+		fmt.Fprintf(w, ", %d disks", *f.disks)
 	}
-	fmt.Println()
-	fmt.Printf("height=%d pages=%d leaf=%d node=%d overflow=%d entries=%d utilization=%.1f%%\n\n",
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "height=%d pages=%d leaf=%d node=%d overflow=%d entries=%d utilization=%.1f%%\n\n",
 		tr.Height(), st.Pages, st.LeafPages, st.NodePages, st.OtherPages, st.Entries, st.Utilization*100)
-	snap.Fprint(os.Stdout)
+	snap.Fprint(w)
 
 	if *traceFile != "" {
-		w, err := os.Create(*traceFile)
+		tw, err := os.Create(*traceFile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		if err := tr.WriteTrace(w); err != nil {
-			fatal(err)
+		if err := tr.WriteTrace(tw); err != nil {
+			return err
 		}
-		if err := w.Close(); err != nil {
-			fatal(err)
+		if err := tw.Close(); err != nil {
+			return err
 		}
-		fmt.Printf("\ntrace: wrote %s (load in ui.perfetto.dev)\n", *traceFile)
+		fmt.Fprintf(w, "\ntrace: wrote %s (load in ui.perfetto.dev)\n", *traceFile)
 	}
+	return nil
 }
 
 // runChaos is the `fptree chaos` subcommand: the chaos-differential

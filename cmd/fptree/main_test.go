@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// statsArgs keeps the test workload small enough to run in CI.
+var statsArgs = []string{"-keys", "5000", "-searches", "100", "-inserts", "100", "-deletes", "50", "-scan", "1000"}
+
+// TestStatsDumpsFaultMetrics: `fptree stats -integrity` interposes the
+// checksum/fault storage stack, and the dump must then include every
+// registered metric family — in particular the fault.* counters, which
+// regressed silently once before the stats path polled the full
+// registry.
+func TestStatsDumpsFaultMetrics(t *testing.T) {
+	var buf strings.Builder
+	if err := statsRun(append([]string{"-integrity"}, statsArgs...), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"fault.reads", "fault.writes", "fault.injected", // integrity stack
+		"buffer.gets", "mem.cycles", "tree.searches", // always-on families
+		"op.search.cycles", // simulation-mode latency histograms
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats -integrity dump missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "buffer.checksum_failures") {
+		t.Errorf("stats -integrity dump missing checksum verification counters:\n%s", out)
+	}
+}
+
+// TestStatsWithoutIntegrity: without -integrity no fault.* families
+// exist — their presence would claim an interposed stack that isn't
+// there.
+func TestStatsWithoutIntegrity(t *testing.T) {
+	var buf strings.Builder
+	if err := statsRun(statsArgs, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "fault.") {
+		t.Errorf("stats dump reports fault.* metrics without -integrity:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	fpbtree "repro"
+	"repro/internal/obs"
+	"repro/internal/obs/httpdbg"
+	"repro/internal/workload"
+)
+
+// runServeStats is the `fptree serve-stats` subcommand: a concurrent
+// serving tree under a continuous operation mix, with the operations
+// debug server mounted on -addr. It is the interactive way to watch
+// the serving observability surface — curl /metrics for Prometheus
+// exposition, /delta for windowed rates, /trace for slow-op spans.
+func runServeStats(args []string) {
+	fs := flag.NewFlagSet("fptree serve-stats", flag.ExitOnError)
+	f := addTreeFlags(fs)
+	addr := fs.String("addr", "127.0.0.1:9177", "debug server listen address")
+	durFlag := fs.Duration("duration", 0, "serve this long then exit (0 = until interrupted)")
+	traceEvents := fs.Int("trace-events", 1<<14, "trace ring capacity")
+	slowOp := fs.Duration("slow-op", time.Millisecond, "slow-op span threshold")
+	fs.Parse(args)
+
+	// serve-stats is the serving-mode inspector: concurrency is the
+	// point, so an unset -conc defaults to the scheduler width.
+	if *f.conc <= 0 {
+		*f.conc = runtime.GOMAXPROCS(0)
+	}
+	if *f.disks > 0 {
+		fatal(fmt.Errorf("serve-stats: -disks is a simulation-mode feature; the serving mode is memory-resident"))
+	}
+	tr, err := f.build(
+		fpbtree.WithTracing(*traceEvents),
+		fpbtree.WithSlowOpSpans(*slowOp),
+	)
+	if err != nil {
+		fatal(err)
+	}
+	g := workload.New(time.Now().UnixNano())
+	if err := tr.Bulkload(g.BulkEntries(*f.keys), *f.fill); err != nil {
+		fatal(err)
+	}
+	// Warm the buffer pool so the mix serves residents from the start.
+	if _, err := tr.RangeScan(0, ^fpbtree.Key(0), nil); err != nil {
+		fatal(err)
+	}
+
+	srv, err := httpdbg.Serve(*addr, httpdbg.Config{
+		Snapshot: tr.MetricsSnapshot,
+		Tracer:   func() *obs.Tracer { return tr.Obs().Tracer },
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("%s serving on %d goroutines — debug server on http://%s\n",
+		tr.Name(), *f.conc, srv.Addr())
+	fmt.Printf("  endpoints: /metrics /snapshot /delta /trace /debug/vars /debug/pprof\n")
+
+	var (
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	keys, conc := uint32(*f.keys), uint32(*f.conc)
+	for w := uint32(0); w < conc; w++ {
+		wg.Add(1)
+		go func(w uint32) {
+			defer wg.Done()
+			x := 2654435761*w + 97
+			next := uint32(0)
+			for !stop.Load() {
+				x = x*1664525 + 1013904223
+				switch {
+				case x%16 == 0:
+					// Disjoint even keys per worker, above the bulk range.
+					k := fpbtree.Key(2 * (keys + 1 + next*conc + w))
+					next++
+					if err := tr.Insert(k, k+7); err != nil {
+						fatal(err)
+					}
+				case x%16 == 1:
+					lo := fpbtree.Key(x%keys)*2 + 1
+					if _, err := tr.RangeScan(lo, lo+200, nil); err != nil {
+						fatal(err)
+					}
+				default:
+					k := fpbtree.Key(x%keys)*2 + 1
+					if _, _, err := tr.Search(k); err != nil {
+						fatal(err)
+					}
+				}
+			}
+		}(w)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if *durFlag > 0 {
+		select {
+		case <-time.After(*durFlag):
+		case <-sig:
+		}
+	} else {
+		<-sig
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	fmt.Println()
+	tr.MetricsSnapshot().Fprint(os.Stdout)
+}

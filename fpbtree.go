@@ -149,6 +149,12 @@ type Options struct {
 	// path. 0 keeps the default single-threaded simulation mode with
 	// byte-identical outputs.
 	Concurrency int
+	// SlowOpThreshold is the sampled slow-op tracing threshold for the
+	// concurrent serving mode: operations whose wall-clock latency
+	// reaches it record a wall-clock span into the trace ring (requires
+	// TraceEvents > 0 and Concurrency >= 1). 0 means the default
+	// (1 ms); negative disables slow-op spans.
+	SlowOpThreshold time.Duration
 }
 
 // Option mutates Options.
@@ -177,6 +183,16 @@ func WithPrefetchWindow(n int) Option { return func(o *Options) { o.PrefetchWind
 // are always collected; tracing is opt-in because each recorded event
 // costs a ring-buffer store on the hot path.
 func WithTracing(events int) Option { return func(o *Options) { o.TraceEvents = events } }
+
+// WithSlowOpSpans sets the slow-op span threshold for the concurrent
+// serving mode: operations whose wall-clock latency reaches d record a
+// wall-clock span into the trace ring (exported to the Chrome trace as
+// its own "wall clock (serving)" process). Tracing must be enabled
+// with WithTracing. d == 0 restores the 1 ms default; d < 0 disables
+// slow-op spans while keeping tracing on.
+func WithSlowOpSpans(d time.Duration) Option {
+	return func(o *Options) { o.SlowOpThreshold = d }
+}
 
 // WithChecksums enables the page-integrity layer (CRC32-C page
 // trailers, verified on every pool miss).
@@ -218,6 +234,11 @@ type Tree struct {
 	// in flight — see the per-method comments.
 	mu         sync.RWMutex
 	concurrent bool
+
+	// slowOpNanos is the resolved slow-op span threshold (concurrent
+	// mode with tracing only); 0 disables span emission entirely, so
+	// opEnd pays one load+compare when spans are off.
+	slowOpNanos uint64
 
 	ob    *obs.Obs
 	hists [6]opHists // per-op latency histograms, indexed by Kind-EvOpSearch
@@ -317,10 +338,21 @@ func New(options ...Option) (*Tree, error) {
 	}
 	mm.RegisterMetrics(ob.Reg)
 	pool.RegisterMetrics(ob.Reg)
-	pool.AttachTracer(ob.Tracer)
+	// In concurrent serving mode the virtual clocks are frozen, so the
+	// buffer/node-visit event sources would stamp every event with the
+	// same meaningless timestamps — and at serving rates they wrap the
+	// ring in milliseconds, evicting the slow-op wall spans the ring
+	// exists for in that mode. The tracer is therefore attached only to
+	// the mode's own sources: everything in simulation mode, only the
+	// opEnd wall spans in serving mode.
+	var substrateTracer *obs.Tracer
+	if o.Concurrency < 1 {
+		substrateTracer = ob.Tracer
+	}
+	pool.AttachTracer(substrateTracer)
 	if array != nil {
 		array.RegisterMetrics(ob.Reg)
-		array.AttachTracer(ob.Tracer)
+		array.AttachTracer(substrateTracer)
 	}
 	if faults != nil {
 		faults.RegisterMetrics(ob.Reg)
@@ -333,20 +365,20 @@ func New(options ...Option) (*Tree, error) {
 	case DiskFirst:
 		index, err = core.NewDiskFirst(core.DiskFirstConfig{
 			Pool: pool, Model: mm, EnableJPA: jpa, PrefetchWindow: o.PrefetchWindow,
-			Trace: ob.Tracer,
+			Trace: substrateTracer,
 		})
 	case CacheFirst:
 		index, err = core.NewCacheFirst(core.CacheFirstConfig{
 			Pool: pool, Model: mm, EnableJPA: jpa, PrefetchWindow: o.PrefetchWindow,
-			Trace: ob.Tracer,
+			Trace: substrateTracer,
 		})
 	case DiskOptimized:
 		index, err = bptree.New(bptree.Config{
 			Pool: pool, Model: mm, EnableJPA: jpa, PrefetchWindow: o.PrefetchWindow,
-			Trace: ob.Tracer,
+			Trace: substrateTracer,
 		})
 	case MicroIndex:
-		index, err = microindex.New(microindex.Config{Pool: pool, Model: mm, Trace: ob.Tracer})
+		index, err = microindex.New(microindex.Config{Pool: pool, Model: mm, Trace: substrateTracer})
 	default:
 		err = fmt.Errorf("fpbtree: unknown variant %d", o.Variant)
 	}
@@ -357,6 +389,13 @@ func New(options ...Option) (*Tree, error) {
 	t := &Tree{
 		index: index, pool: pool, model: mm, array: array, faults: faults,
 		opts: o, ob: ob, concurrent: o.Concurrency >= 1,
+	}
+	if t.concurrent && o.TraceEvents > 0 && o.SlowOpThreshold >= 0 {
+		thr := o.SlowOpThreshold
+		if thr == 0 {
+			thr = time.Millisecond
+		}
+		t.slowOpNanos = uint64(thr)
 	}
 	opNames := [6]string{"search", "insert", "delete", "scan", "scan_rev", "batch"}
 	for i, n := range opNames {
@@ -372,29 +411,44 @@ func New(options ...Option) (*Tree, error) {
 	return t, nil
 }
 
+// wallEpoch anchors the serving mode's wall clock: operation
+// timestamps are monotonic nanoseconds since process start, so they
+// are immune to wall-clock steps and stay small enough that the
+// Chrome trace's microsecond float timestamps lose no precision.
+var wallEpoch = time.Now()
+
+func wallNow() uint64 { return uint64(time.Since(wallEpoch)) }
+
 // opBegin snapshots the operation's start time: both virtual clocks in
-// simulation mode, wall-clock nanoseconds (in c0) in concurrent
-// serving mode, where the virtual clocks are frozen and would yield
-// zero-width samples.
+// simulation mode, monotonic wall-clock nanoseconds (in c0) in
+// concurrent serving mode, where the virtual clocks are frozen and
+// would yield zero-width samples.
 func (t *Tree) opBegin() (c0, u0 uint64) {
 	if t.concurrent {
-		return uint64(time.Now().UnixNano()), 0
+		return wallNow(), 0
 	}
 	return t.model.Now(), t.pool.Clock()
 }
 
 // opEnd records the operation's latency — virtual cycles and I/O
 // micros in simulation mode (also emitting the trace span), wall-clock
-// nanoseconds in concurrent mode (no span: the tracer's timeline is
-// the frozen virtual clock pair). It never allocates.
+// nanoseconds in concurrent mode, where ops at or above the slow-op
+// threshold additionally record a wall-clock span (all other ops stay
+// out of the ring, keeping the hot path to one atomic histogram add).
+// It never allocates.
 func (t *Tree) opEnd(kind obs.Kind, key uint32, c0, u0 uint64) {
 	h := &t.hists[kind-obs.EvOpSearch]
 	if t.concurrent {
-		now := uint64(time.Now().UnixNano())
-		if now < c0 { // wall clock stepped backwards mid-op
+		now := wallNow()
+		if now < c0 { // defensive; the clock is monotonic
 			now = c0
 		}
 		h.wall.Record(now - c0)
+		if thr := t.slowOpNanos; thr != 0 && now-c0 >= thr {
+			if tr := t.ob.Tracer; tr != nil {
+				tr.OpWall(kind, key, c0, now)
+			}
+		}
 		return
 	}
 	c1, u1 := t.model.Now(), t.pool.Clock()

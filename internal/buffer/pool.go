@@ -44,6 +44,13 @@ type poolStats struct {
 	retries                     atomic.Uint64
 	checksumFailures            atomic.Uint64
 	prefetchFailures            atomic.Uint64
+	// Contention signals (pool.shard.* metrics). evictLatchFails counts
+	// CLOCK victims skipped because a latch holder was present (the
+	// eviction TryLock refusing to wait); lockedGets counts Gets that
+	// fell off the lock-free fast path onto the shard mutex. Both sit
+	// off the warm pin path, so instrumenting them is atomic adds only.
+	evictLatchFails atomic.Uint64
+	lockedGets      atomic.Uint64
 }
 
 // Page is a pinned page handle, passed by value so that pinning never
@@ -259,6 +266,8 @@ func (p *Pool) RegisterMetrics(reg *obs.Registry) {
 	reg.Gauge("buffer.resident_pages", func() float64 { return float64(p.ResidentPages()) })
 	reg.Gauge("buffer.frames", func() float64 { return float64(p.totalFrames) })
 	reg.Gauge("pool.shard.count", func() float64 { return float64(len(p.shards)) })
+	reg.Counter("pool.shard.evict_latch_fails", p.stats.evictLatchFails.Load)
+	reg.Counter("pool.shard.locked_gets", p.stats.lockedGets.Load)
 	if p.latches != nil {
 		p.latches.RegisterMetrics(reg)
 	}
@@ -301,6 +310,7 @@ func (p *Pool) ResetStats() {
 	for _, c := range []*atomic.Uint64{
 		&s.gets, &s.hits, &s.demandMisses, &s.prefetchIssue, &s.prefetchHits,
 		&s.evictions, &s.dirtyWrites, &s.retries, &s.checksumFailures, &s.prefetchFailures,
+		&s.evictLatchFails, &s.lockedGets,
 	} {
 		c.Store(0)
 	}
@@ -384,6 +394,7 @@ func (p *Pool) evictLocked(sh *poolShard, i int) (bool, error) {
 	if p.latches != nil && !p.latches.TryLock(pid) {
 		// A reader still holds the page latch (it is between its pin
 		// CAS and its latch bookkeeping, or vice versa): leave it be.
+		p.stats.evictLatchFails.Add(1)
 		return false, nil
 	}
 	wasDirty := f.dirty
@@ -552,6 +563,7 @@ func (p *Pool) get(pid uint32, mode latchMode) (Page, bool, error) {
 	if pg, pinned := p.fastPin(sh, pid); pinned {
 		return p.latchPinned(sh, pg, mode)
 	}
+	p.stats.lockedGets.Add(1)
 	sh.mu.Lock()
 	if i, ok := sh.table[pid]; ok {
 		sh.fast[pid&(fastSize-1)].Store(packFast(pid, i))

@@ -96,8 +96,8 @@ type CacheFirst struct {
 	perPage   int // node slots per page
 	fanout    int // leaf entries per leaf page
 
-	meta  idx.TreeMeta   // root ⟨pid, off⟩ and height, one atomic word
-	first idx.PackedPtr  // leftmost leaf node ⟨pid, off⟩
+	meta  idx.TreeMeta  // root ⟨pid, off⟩ and height, one atomic word
+	first idx.PackedPtr // leftmost leaf node ⟨pid, off⟩
 
 	jpaOn    bool
 	pfWindow int
@@ -126,6 +126,11 @@ type CacheFirst struct {
 	pagesMu sync.Mutex    // guards the pages map (space map)
 	jpaMu   sync.RWMutex  // guards the (not thread-safe) jump-pointer array
 	reloc   atomic.Uint64 // node-relocation epoch; odd while a split runs
+	// restarts counts reader operations that observed a stale relocation
+	// epoch and restarted from the root — the latch.epoch_restarts
+	// contention metric (atomic add on the restart path only; the
+	// success path never touches it).
+	restarts atomic.Uint64
 }
 
 // NewCacheFirst creates an empty tree.
@@ -217,6 +222,18 @@ func (t *CacheFirst) relocEnd() {
 		t.reloc.Add(1)
 	}
 }
+
+// epochRestart counts one stale-epoch restart and yields so the
+// relocating writer can finish.
+func (t *CacheFirst) epochRestart() {
+	t.restarts.Add(1)
+	runtime.Gosched()
+}
+
+// EpochRestarts reports how many reader operations restarted from the
+// root after losing a relocation-epoch race (0 outside concurrent
+// mode). Registered as latch.epoch_restarts by idx.RegisterMetrics.
+func (t *CacheFirst) EpochRestarts() uint64 { return t.restarts.Load() }
 
 // relocEpoch spins until no relocation is in flight and returns the
 // (even) epoch a reader should validate against.

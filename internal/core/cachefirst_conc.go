@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 
 	"repro/internal/buffer"
 	"repro/internal/idx"
@@ -89,7 +88,7 @@ func (t *CacheFirst) findFirstConc(k idx.Key) (buffer.Page, ptr, int, bool, erro
 			return buffer.Page{}, nilPtr, 0, false, err
 		}
 		if !ok {
-			runtime.Gosched()
+			t.epochRestart()
 			continue
 		}
 		if cur.isNil() {
@@ -122,7 +121,7 @@ func (t *CacheFirst) findFirstConc(k idx.Key) (buffer.Page, ptr, int, bool, erro
 			cur = t.cNextLeaf(pg.Data, cur.off)
 		}
 		if stale {
-			runtime.Gosched()
+			t.epochRestart()
 			continue
 		}
 		if pg.Valid() {
@@ -222,7 +221,7 @@ func (t *CacheFirst) rangeScanConc(startKey, endKey idx.Key, fn func(idx.Key, id
 			return count, err
 		}
 		if !ok {
-			runtime.Gosched()
+			t.epochRestart()
 			continue
 		}
 		if cur.isNil() {
@@ -276,7 +275,7 @@ func (t *CacheFirst) rangeScanConc(startKey, endKey idx.Key, fn func(idx.Key, id
 			if delivered {
 				resume, strict = last, true
 			}
-			runtime.Gosched()
+			t.epochRestart()
 			continue
 		}
 		if pg.Valid() {
@@ -309,7 +308,7 @@ restart:
 			return count, err
 		}
 		if !ok {
-			runtime.Gosched()
+			t.epochRestart()
 			continue
 		}
 		if endAt.isNil() {
@@ -340,7 +339,7 @@ restart:
 				if delivered {
 					hi, strict = last, true
 				}
-				runtime.Gosched()
+				t.epochRestart()
 				continue restart
 			}
 			offs, err := t.leafNodesInChainOrder(pg)

@@ -122,4 +122,9 @@ func RegisterMetrics(reg *obs.Registry, ix Index) {
 	reg.Counter("tree.batches", func() uint64 { return ix.Stats().Batches })
 	reg.Counter("tree.batched_keys", func() uint64 { return ix.Stats().BatchedKeys })
 	reg.Counter("tree.node_visits", func() uint64 { return ix.Stats().NodeVisits })
+	// Variants with an epoch-restart read protocol (cache-first) expose
+	// the restart count; it belongs to the latch.* contention family.
+	if er, ok := ix.(interface{ EpochRestarts() uint64 }); ok {
+		reg.Counter("latch.epoch_restarts", er.EpochRestarts)
+	}
 }

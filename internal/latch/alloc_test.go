@@ -1,0 +1,29 @@
+package latch
+
+import "testing"
+
+// TestContentionCountersZeroAlloc pins the overhead guard on the
+// contention instrumentation: every acquisition path — and therefore
+// every counter it bumps — must be atomic adds only, with no heap
+// allocation, or the serving mode's warm paths would start allocating
+// under metrics.
+func TestContentionCountersZeroAlloc(t *testing.T) {
+	tbl := NewTable()
+	tbl.RLock(5) // touch the segment so growth is out of the loop
+	tbl.RUnlock(5)
+	allocs := testing.AllocsPerRun(200, func() {
+		tbl.RLock(5)
+		tbl.RUnlock(5)
+		tbl.Lock(6)
+		tbl.Unlock(6)
+		if tbl.TryLock(7) {
+			tbl.Unlock(7)
+		}
+		if tbl.TryRLock(7) {
+			tbl.RUnlock(7)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("latch acquisitions allocate %v times per run, want 0", allocs)
+	}
+}

@@ -19,10 +19,14 @@ import (
 //     that gives jump-pointer prefetching its Figure 18 speedup is
 //     directly visible; operation spans are mirrored here when the
 //     I/O clock advanced during the op.
+//   - process 3, "wall clock (serving)": appears only when the ring
+//     holds sampled slow-op spans from the concurrent serving mode
+//     (Event.Disk == DiskWall); timestamps are real nanoseconds/1000.
 
 const (
 	cpuProcess  = 1
 	diskProcess = 2
+	wallProcess = 3
 
 	opThread     = 1
 	bufferThread = 2
@@ -66,8 +70,25 @@ func chromeEvents(events []Event) []chromeEvent {
 		meta("thread_name", diskProcess, opThread, "index ops (I/O time)"),
 	}
 	disksSeen := map[int16]bool{}
+	wallSeen := false
 	for _, e := range events {
 		switch {
+		case e.Kind >= EvOpSearch && e.Kind <= EvOpBatch && e.Disk == DiskWall:
+			// Sampled slow-op span from the serving mode: real
+			// nanoseconds, so it gets its own process — wall time and
+			// the virtual clocks must never share a timeline.
+			if !wallSeen {
+				wallSeen = true
+				out = append(out,
+					meta("process_name", wallProcess, 0, "wall clock (serving; ts = ns/1000)"),
+					meta("thread_name", wallProcess, opThread, "slow ops"))
+			}
+			out = append(out, chromeEvent{
+				Name: e.Kind.String() + " (slow)", Ph: "X",
+				TS: float64(e.Cyc) / 1000, Dur: dur(float64(e.A-e.Cyc) / 1000),
+				PID: wallProcess, TID: opThread,
+				Args: map[string]any{"key": e.PID, "wall_nanos": e.A - e.Cyc},
+			})
 		case e.Kind >= EvOpSearch && e.Kind <= EvOpBatch:
 			out = append(out, chromeEvent{
 				Name: e.Kind.String(), Ph: "X",

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDiff(t *testing.T) {
+	prev := Snapshot{Counters: map[string]uint64{
+		"tree.searches":        100,
+		"tree.scans":           10, // goes backwards (reset) below
+		"buffer.gets":          1000,
+		"buffer.hits":          600,
+		"latch.epoch_restarts": 1,
+	}}
+	cur := Snapshot{Counters: map[string]uint64{
+		"tree.searches":        400,
+		"tree.inserts":         50,
+		"tree.scans":           4,
+		"buffer.gets":          2000,
+		"buffer.hits":          1500,
+		"buffer.prefetch_hits": 100,
+		"fault.injected":       5,
+		"latch.epoch_restarts": 3,
+	}}
+	d := Diff(prev, cur, 2*time.Second)
+
+	if d.Seconds != 2 {
+		t.Errorf("Seconds = %g, want 2", d.Seconds)
+	}
+	if got := d.Counters["tree.searches"]; got != 300 {
+		t.Errorf("searches increment = %d, want 300", got)
+	}
+	if got := d.Counters["tree.scans"]; got != 0 {
+		t.Errorf("reset counter clamped to %d, want 0", got)
+	}
+	if got := d.Rates["tree.searches"]; got != 150 {
+		t.Errorf("searches rate = %g, want 150", got)
+	}
+	// searches 300 + inserts 50, over 2s.
+	if d.OpsPerSec != 175 {
+		t.Errorf("OpsPerSec = %g, want 175", d.OpsPerSec)
+	}
+	// (900 hits + 100 prefetch hits) / 1000 gets in the window.
+	if d.BufferHitRatio != 1.0 {
+		t.Errorf("BufferHitRatio = %g, want 1.0", d.BufferHitRatio)
+	}
+	if d.FaultsPerSec != 2.5 {
+		t.Errorf("FaultsPerSec = %g, want 2.5", d.FaultsPerSec)
+	}
+	if d.RestartsPerSec != 1 {
+		t.Errorf("RestartsPerSec = %g, want 1", d.RestartsPerSec)
+	}
+}
+
+// TestDiffZeroWindow: a non-positive window still reports increments
+// but no rates (no division by zero).
+func TestDiffZeroWindow(t *testing.T) {
+	cur := Snapshot{Counters: map[string]uint64{"tree.searches": 7, "buffer.gets": 4, "buffer.hits": 2}}
+	d := Diff(Snapshot{}, cur, 0)
+	if got := d.Counters["tree.searches"]; got != 7 {
+		t.Errorf("increment = %d, want 7", got)
+	}
+	if d.Rates["tree.searches"] != 0 || d.OpsPerSec != 0 {
+		t.Errorf("zero-window rates = %g / %g, want 0", d.Rates["tree.searches"], d.OpsPerSec)
+	}
+	if d.BufferHitRatio != 0.5 {
+		t.Errorf("BufferHitRatio = %g, want 0.5 (ratio is window-based, not rate-based)", d.BufferHitRatio)
+	}
+}
+
+// TestDiffEmptyWindow: an idle window (identical snapshots) reports
+// all zeros rather than NaNs.
+func TestDiffEmptyWindow(t *testing.T) {
+	s := Snapshot{Counters: map[string]uint64{"buffer.gets": 9}}
+	d := Diff(s, s, time.Second)
+	if d.OpsPerSec != 0 || d.BufferHitRatio != 0 || d.FaultsPerSec != 0 || d.RestartsPerSec != 0 {
+		t.Errorf("idle delta = %+v, want all-zero derived rates", d)
+	}
+}

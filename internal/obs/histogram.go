@@ -50,6 +50,54 @@ func (h *Histogram) Record(v uint64) {
 // Count reports the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
+// Quantile reports an upper bound for the q-quantile (q in [0,1]) at
+// bucket granularity, without materializing a snapshot. It is the one
+// power-of-two-bucket quantile estimator in the repository: fpbench's
+// throughput report, the /snapshot JSON, and `fptree stats` all go
+// through this math (directly or via HistSnapshot.Quantile), so every
+// surface agrees on p50/p99.
+func (h *Histogram) Quantile(q float64) uint64 {
+	count := h.count.Load()
+	if count == 0 {
+		return 0
+	}
+	target := quantileTarget(q, count)
+	var seen uint64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen > target {
+			return bucketUpperBound(i)
+		}
+	}
+	return h.max.Load()
+}
+
+// quantileTarget converts a quantile into the rank of the observation
+// that answers it.
+func quantileTarget(q float64, count uint64) uint64 {
+	target := uint64(q * float64(count))
+	if target >= count {
+		target = count - 1
+	}
+	return target
+}
+
+// bucketUpperBound is the exclusive upper bound of bucket i (0 marks
+// the zero bucket; the last bucket saturates at MaxUint64).
+func bucketUpperBound(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	if i < 64 {
+		return 1 << uint(i)
+	}
+	return ^uint64(0)
+}
+
 // Reset zeroes the histogram.
 func (h *Histogram) Reset() {
 	for i := range h.buckets {
@@ -65,10 +113,15 @@ func (h *Histogram) Reset() {
 // one {UpperBound, Count} pair per non-empty bucket, in value order;
 // an upper bound of 2^i means the bucket held values in [2^(i-1), 2^i).
 type HistSnapshot struct {
-	Count   uint64       `json:"count"`
-	Sum     uint64       `json:"sum"`
-	Min     uint64       `json:"min"`
-	Max     uint64       `json:"max"`
+	Count uint64 `json:"count"`
+	Sum   uint64 `json:"sum"`
+	Min   uint64 `json:"min"`
+	Max   uint64 `json:"max"`
+	// P50 and P99 are bucket-granularity quantile upper bounds,
+	// precomputed with the same estimator every reporting surface uses
+	// (Histogram.Quantile).
+	P50     uint64       `json:"p50"`
+	P99     uint64       `json:"p99"`
 	Buckets []HistBucket `json:"buckets,omitempty"`
 }
 
@@ -89,16 +142,10 @@ func (h *Histogram) Snapshot() HistSnapshot {
 		if c == 0 {
 			continue
 		}
-		var ub uint64
-		if i > 0 {
-			if i < 64 {
-				ub = 1 << uint(i)
-			} else {
-				ub = ^uint64(0)
-			}
-		}
-		s.Buckets = append(s.Buckets, HistBucket{UpperBound: ub, Count: c})
+		s.Buckets = append(s.Buckets, HistBucket{UpperBound: bucketUpperBound(i), Count: c})
 	}
+	s.P50 = s.Quantile(0.50)
+	s.P99 = s.Quantile(0.99)
 	return s
 }
 
@@ -111,15 +158,13 @@ func (s HistSnapshot) Mean() float64 {
 }
 
 // Quantile reports an upper bound for the q-quantile (q in [0,1]),
-// at bucket granularity.
+// at bucket granularity. It agrees exactly with Histogram.Quantile on
+// the same data.
 func (s HistSnapshot) Quantile(q float64) uint64 {
 	if s.Count == 0 {
 		return 0
 	}
-	target := uint64(q * float64(s.Count))
-	if target >= s.Count {
-		target = s.Count - 1
-	}
+	target := quantileTarget(q, s.Count)
 	var seen uint64
 	for _, b := range s.Buckets {
 		seen += b.Count

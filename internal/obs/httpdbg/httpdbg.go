@@ -1,0 +1,148 @@
+// Package httpdbg is the operations endpoint of the serving stack: a
+// small HTTP server exposing the observability layer of a live tree
+// (or fleet of trees) for scraping, inspection, and profiling.
+//
+// Routes:
+//
+//	/metrics          Prometheus text exposition of the registry snapshot
+//	/snapshot         the same snapshot as indented JSON (histograms
+//	                  carry p50/p99 from the shared quantile estimator)
+//	/delta            JSON obs.Delta since the previous /delta request
+//	                  (or server start): windowed ops/sec, hit ratio,
+//	                  fault and restart rates
+//	/trace            Chrome trace-event JSON of the retained trace ring
+//	                  (404 when tracing is disabled)
+//	/debug/vars       expvar (Go runtime counters)
+//	/debug/pprof/*    standard pprof surface (profile, heap, goroutine…)
+//
+// The server only reads: every handler polls the pull-based registry
+// at request time, so scraping perturbs no hot path beyond the atomic
+// loads a Snapshot already costs.
+package httpdbg
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config wires a debug server to its observability sources.
+type Config struct {
+	// Snapshot returns the current registry snapshot. Required; it is
+	// called on every /metrics, /snapshot, and /delta request.
+	Snapshot func() obs.Snapshot
+	// Tracer returns the live tracer, or nil when tracing is disabled
+	// (optional; /trace answers 404 without it).
+	Tracer func() *obs.Tracer
+	// Now overrides the clock for /delta windows (tests); nil means
+	// time.Now.
+	Now func() time.Time
+}
+
+// Handler builds the route mux for cfg.
+func Handler(cfg Config) (http.Handler, error) {
+	if cfg.Snapshot == nil {
+		return nil, fmt.Errorf("httpdbg: Config.Snapshot is required")
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+
+	// /delta state: the previous snapshot and its wall time.
+	var deltaMu sync.Mutex
+	prev := cfg.Snapshot()
+	prevAt := now()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := cfg.Snapshot().WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := cfg.Snapshot().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/delta", func(w http.ResponseWriter, r *http.Request) {
+		cur, at := cfg.Snapshot(), now()
+		deltaMu.Lock()
+		d := obs.Diff(prev, cur, at.Sub(prevAt))
+		prev, prevAt = cur, at
+		deltaMu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		writeIndentedJSON(w, d)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		var tr *obs.Tracer
+		if cfg.Tracer != nil {
+			tr = cfg.Tracer()
+		}
+		if tr == nil {
+			http.Error(w, "tracing not enabled (construct the tree WithTracing)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := tr.WriteChrome(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux, nil
+}
+
+// Server is a running debug HTTP server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts a debug server on addr (e.g. ":9177" or "127.0.0.1:0")
+// and serves until Close. It returns once the listener is bound, so
+// callers can immediately advertise Addr().
+func Serve(addr string, cfg Config) (*Server, error) {
+	h, err := Handler(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("httpdbg: %w", err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: h}}
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	return s, nil
+}
+
+// Addr reports the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// writeIndentedJSON marshals v like Snapshot.WriteJSON does (indented,
+// trailing newline), degrading to an HTTP 500 on marshal failure.
+func writeIndentedJSON(w http.ResponseWriter, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	data = append(data, '\n')
+	w.Write(data) //nolint:errcheck // client disconnects are not actionable
+}

@@ -1,0 +1,175 @@
+package httpdbg
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// testConfig builds a config over a live registry: one counter that
+// advances on every poll, a histogram with samples, and a tracer with
+// one wall span.
+func testConfig() (Config, *obs.Obs) {
+	ob := obs.NewTraced(64)
+	var polls uint64
+	ob.Reg.Counter("buffer.gets", func() uint64 { polls += 100; return polls })
+	ob.Reg.Counter("latch.shared_acquisitions", func() uint64 { return 7 })
+	h := ob.Reg.Histogram("op.search.wall_nanos")
+	h.Record(123)
+	h.Record(456)
+	ob.Tracer.OpWall(obs.EvOpSearch, 42, 1000, 2_000_000)
+
+	fake := time.Unix(1000, 0)
+	return Config{
+		Snapshot: ob.Reg.Snapshot,
+		Tracer:   func() *obs.Tracer { return ob.Tracer },
+		Now:      func() time.Time { fake = fake.Add(time.Second); return fake },
+	}, ob
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+func TestHandlerRoutes(t *testing.T) {
+	cfg, _ := testConfig()
+	h, err := Handler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	code, ctype, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", ctype)
+	}
+	for _, want := range []string{"buffer_gets", "latch_shared_acquisitions 7", "op_search_wall_nanos_count 2"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, ctype, body = get(t, srv, "/snapshot")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/snapshot = %d %q", code, ctype)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/snapshot is not a Snapshot: %v", err)
+	}
+	if snap.Counters["latch.shared_acquisitions"] != 7 {
+		t.Errorf("/snapshot counters = %v", snap.Counters)
+	}
+	if hs := snap.Histograms["op.search.wall_nanos"]; hs.P50 == 0 {
+		t.Errorf("/snapshot histogram missing p50: %+v", hs)
+	}
+
+	// Two /delta requests: the second window sees the counter advance
+	// by 100 per poll over a fake 1s window.
+	get(t, srv, "/delta")
+	code, _, body = get(t, srv, "/delta")
+	if code != http.StatusOK {
+		t.Fatalf("/delta = %d", code)
+	}
+	var d obs.Delta
+	if err := json.Unmarshal([]byte(body), &d); err != nil {
+		t.Fatalf("/delta is not a Delta: %v", err)
+	}
+	if d.Seconds != 1 {
+		t.Errorf("/delta window = %gs, want 1s from the injected clock", d.Seconds)
+	}
+	if d.Counters["buffer.gets"] == 0 {
+		t.Errorf("/delta shows no buffer.gets increment: %+v", d)
+	}
+
+	code, ctype, body = get(t, srv, "/trace")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/trace = %d %q", code, ctype)
+	}
+	var events struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("/trace is not Chrome trace JSON: %v", err)
+	}
+	if !strings.Contains(body, "wall clock (serving") {
+		t.Errorf("/trace missing the wall-clock process for the slow-op span:\n%s", body)
+	}
+
+	code, _, body = get(t, srv, "/debug/vars")
+	if code != http.StatusOK || !strings.HasPrefix(strings.TrimSpace(body), "{") {
+		t.Errorf("/debug/vars = %d %q", code, body[:min(len(body), 40)])
+	}
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		if code, _, _ := get(t, srv, path); code != http.StatusOK {
+			t.Errorf("%s = %d", path, code)
+		}
+	}
+}
+
+// TestHandlerNoTracer: /trace is 404 when tracing is off, the other
+// routes still serve.
+func TestHandlerNoTracer(t *testing.T) {
+	reg := obs.NewRegistry()
+	h, err := Handler(Config{Snapshot: reg.Snapshot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	if code, _, _ := get(t, srv, "/trace"); code != http.StatusNotFound {
+		t.Errorf("/trace without tracer = %d, want 404", code)
+	}
+	if code, _, _ := get(t, srv, "/metrics"); code != http.StatusOK {
+		t.Errorf("/metrics = %d", code)
+	}
+}
+
+func TestHandlerRequiresSnapshot(t *testing.T) {
+	if _, err := Handler(Config{}); err == nil {
+		t.Fatal("Handler accepted a config without Snapshot")
+	}
+}
+
+// TestServe exercises the real listener path end to end.
+func TestServe(t *testing.T) {
+	cfg, _ := testConfig()
+	s, err := Serve("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("GET /metrics over TCP = %d, %d bytes", resp.StatusCode, len(body))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text-format exposition over Snapshot. The registry's
+// stable dotted names (enforced by ValidMetricName) map to Prometheus
+// names by replacing '.' with '_', which is injective on the allowed
+// alphabet, so the exposition names are stable too: buffer.gets →
+// buffer_gets, op.search.wall_nanos → op_search_wall_nanos.
+//
+// Counters export as `counter` samples, gauges as `gauge`, and each
+// histogram as the conventional cumulative triplet: `<name>_bucket`
+// with inclusive `le` bounds, `<name>_sum`, and `<name>_count`.
+// Observations are integers and the power-of-two bucket i covers
+// [2^(i-1), 2^i), so the inclusive bound 2^i − 1 is exact (the zero
+// bucket exports as le="0").
+//
+// Zero-valued counters and empty histograms are skipped: the registry
+// registers mode-exclusive series (e.g. the frozen virtual op.*.cycles
+// pair never records in serving mode), and an all-zero series would
+// read as a measurement rather than an unused registration. Gauges
+// always export — a zero gauge (no resident pages) is a measurement.
+
+// ValidMetricName reports whether name is a stable registry name:
+// non-empty, lowercase letters, digits, underscores and dots only.
+// Every name registered anywhere in the repository must satisfy it
+// (enforced by TestMetricNameLint) so the Prometheus mapping above
+// stays injective and collision-free.
+func ValidMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '_' || c == '.' {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// promName maps a registry name to its Prometheus exposition name.
+func promName(name string) string { return strings.ReplaceAll(name, ".", "_") }
+
+// promBound renders a histogram bucket's inclusive upper bound: the
+// exclusive power-of-two bound minus one, saturating to +Inf.
+func promBound(exclusive uint64) string {
+	if exclusive == ^uint64(0) {
+		return "+Inf"
+	}
+	if exclusive == 0 {
+		return "0"
+	}
+	return fmt.Sprintf("%d", exclusive-1)
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4), one family per registered metric in name
+// order: counters, then gauges, then histograms.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		v := s.Counters[n]
+		if v == 0 {
+			continue
+		}
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, v); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", pn, pn, s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		if h.Count == 0 {
+			continue
+		}
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		var cum uint64
+		sawInf := false
+		for _, b := range h.Buckets {
+			cum += b.Count
+			bound := promBound(b.UpperBound)
+			sawInf = sawInf || bound == "+Inf"
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, bound, cum); err != nil {
+				return err
+			}
+		}
+		if !sawInf {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", pn, h.Sum, pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promTestSnapshot builds a deterministic snapshot through the
+// registry, with one zero counter and one empty histogram injected so
+// the exposition's skip rules are exercised alongside live series.
+func promTestSnapshot() Snapshot {
+	reg := NewRegistry()
+	reg.Counter("buffer.gets", func() uint64 { return 1234 })
+	reg.Counter("buffer.hits", func() uint64 { return 1200 })
+	reg.Counter("latch.shared_acquisitions", func() uint64 { return 98765 })
+	reg.Counter("fault.injected", func() uint64 { return 0 }) // must not export
+	reg.Gauge("buffer.resident_pages", func() float64 { return 42 })
+	reg.Gauge("disk.count", func() float64 { return 0 }) // gauges always export
+	h := reg.Histogram("op.search.wall_nanos")
+	for _, v := range []uint64{0, 1, 1, 2, 3, 900, 70000} {
+		h.Record(v)
+	}
+	snap := reg.Snapshot()
+	// An empty histogram cannot come out of Registry.Snapshot (it skips
+	// Count==0), but WritePrometheus must also skip one handed to it
+	// directly.
+	snap.Histograms["op.insert.wall_nanos"] = HistSnapshot{}
+	return snap
+}
+
+// TestWritePrometheusGolden locks the exposition format byte-for-byte:
+// name mapping, family ordering, cumulative buckets with inclusive le
+// bounds, terminal +Inf, and the zero-skip rules.
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promTestSnapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prometheus.golden.txt")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -update` to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Prometheus exposition drifted from golden file (regenerate with -update if intended).\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWritePrometheusSkipsZeros pins the skip rules directly: counters
+// at zero and empty histograms are absent, zero gauges present.
+func TestWritePrometheusSkipsZeros(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promTestSnapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "fault_injected") {
+		t.Errorf("zero counter fault.injected exported:\n%s", out)
+	}
+	if strings.Contains(out, "op_insert_wall_nanos") {
+		t.Errorf("empty histogram op.insert.wall_nanos exported:\n%s", out)
+	}
+	if !strings.Contains(out, "disk_count 0") {
+		t.Errorf("zero gauge disk.count missing (gauges always export):\n%s", out)
+	}
+	for _, want := range []string{
+		"# TYPE buffer_gets counter\nbuffer_gets 1234\n",
+		"# TYPE op_search_wall_nanos histogram\n",
+		`op_search_wall_nanos_bucket{le="+Inf"} 7`,
+		"op_search_wall_nanos_count 7\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWritePrometheusCumulative checks the bucket series is cumulative
+// and ends exactly at the observation count.
+func TestWritePrometheusCumulative(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 5, 5, 100, ^uint64(0)} {
+		h.Record(v)
+	}
+	snap := Snapshot{Histograms: map[string]HistSnapshot{"x": h.Snapshot()}}
+	var buf bytes.Buffer
+	if err := snap.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	var prev uint64
+	infLines := 0
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "x_bucket{") {
+			continue
+		}
+		cum, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("unparseable bucket line %q: %v", line, err)
+		}
+		if cum < prev {
+			t.Fatalf("bucket series not cumulative at %q (prev %d)", line, prev)
+		}
+		prev = cum
+		if strings.Contains(line, "+Inf") {
+			infLines++
+			if cum != 6 {
+				t.Errorf("+Inf bucket = %d, want 6", cum)
+			}
+		}
+	}
+	if infLines != 1 {
+		t.Errorf("got %d +Inf bucket lines, want exactly 1:\n%s", infLines, out)
+	}
+}
+
+func TestValidMetricName(t *testing.T) {
+	for _, name := range []string{"buffer.gets", "op.search.wall_nanos", "latch.epoch_restarts", "x", "a_b.c_9"} {
+		if !ValidMetricName(name) {
+			t.Errorf("ValidMetricName(%q) = false, want true", name)
+		}
+	}
+	for _, name := range []string{"", "Buffer.gets", "op-search", "op search", "op/search", "naïve", "op:search"} {
+		if ValidMetricName(name) {
+			t.Errorf("ValidMetricName(%q) = true, want false", name)
+		}
+	}
+}
+
+// TestHistogramLiveQuantile checks the live-histogram quantile against
+// the snapshot's estimator: the two must agree exactly, since fpbench
+// and the debug endpoints report one or the other interchangeably.
+func TestHistogramLiveQuantile(t *testing.T) {
+	var h Histogram
+	x := uint32(12345)
+	for i := 0; i < 50000; i++ {
+		x = x*1664525 + 1013904223
+		h.Record(uint64(x % 1_000_000))
+	}
+	snap := h.Snapshot()
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		if got, want := h.Quantile(q), snap.Quantile(q); got != want {
+			t.Errorf("Quantile(%g): live %d != snapshot %d", q, got, want)
+		}
+	}
+	if h.Quantile(0.5) == 0 {
+		t.Error("p50 of a positive-valued histogram is 0")
+	}
+	var empty Histogram
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Errorf("empty histogram Quantile = %d, want 0", got)
+	}
+}
+
+// TestSnapshotQuantileFields checks the precomputed P50/P99 snapshot
+// fields match the estimator.
+func TestSnapshotQuantileFields(t *testing.T) {
+	var h Histogram
+	for i := uint64(1); i <= 1000; i++ {
+		h.Record(i)
+	}
+	snap := h.Snapshot()
+	if snap.P50 != h.Quantile(0.50) || snap.P99 != h.Quantile(0.99) {
+		t.Errorf("snapshot P50/P99 = %d/%d, want %d/%d",
+			snap.P50, snap.P99, h.Quantile(0.50), h.Quantile(0.99))
+	}
+}

@@ -76,12 +76,20 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
+// DiskWall in Event.Disk marks an op span whose clocks are wall-time
+// nanoseconds rather than the virtual pair: the sampled slow-op spans
+// recorded in the concurrent serving mode (where the virtual clocks
+// are frozen). Cyc holds the begin and A the end, both in nanoseconds
+// since process start of the recording goroutine's clock.
+const DiskWall int16 = -1
+
 // Event is one fixed-size trace record. It contains no pointers, so a
 // ring of Events stays out of the garbage collector's way and
 // recording never allocates. Field meaning is per Kind (see the kind
 // constants); Cyc is the simulated CPU cycle clock and Us the virtual
 // I/O clock in microseconds, either of which may be zero when the
-// emitting site does not carry that clock.
+// emitting site does not carry that clock. Disk == DiskWall reroutes
+// an op span onto the wall-clock timeline.
 type Event struct {
 	Cyc  uint64
 	Us   uint64
@@ -94,6 +102,8 @@ type Event struct {
 // String renders the event for failure dumps and logs.
 func (e Event) String() string {
 	switch {
+	case e.Kind >= EvOpSearch && e.Kind <= EvOpBatch && e.Disk == DiskWall:
+		return fmt.Sprintf("[wall %dns..%dns] %-14s key/n=%d (slow)", e.Cyc, e.A, e.Kind, e.PID)
 	case e.Kind >= EvOpSearch && e.Kind <= EvOpBatch:
 		return fmt.Sprintf("[cyc %d..%d us %d..%d] %-14s key/n=%d", e.Cyc, e.A, e.Us, e.B, e.Kind, e.PID)
 	case e.Kind == EvDiskRead || e.Kind == EvDiskWrite:
@@ -137,6 +147,12 @@ func (t *Tracer) Emit(e Event) {
 // Op records a complete operation span.
 func (t *Tracer) Op(kind Kind, key uint32, c0, u0, c1, u1 uint64) {
 	t.Emit(Event{Kind: kind, PID: key, Cyc: c0, Us: u0, A: c1, B: u1})
+}
+
+// OpWall records a wall-clock operation span (nanosecond begin/end):
+// the sampled slow-op path of the concurrent serving mode.
+func (t *Tracer) OpWall(kind Kind, key uint32, startNanos, endNanos uint64) {
+	t.Emit(Event{Kind: kind, PID: key, Cyc: startNanos, A: endNanos, Disk: DiskWall})
 }
 
 // Buffer records a buffer-pool instant event.

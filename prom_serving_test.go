@@ -1,0 +1,225 @@
+package fpbtree
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// servingWorkout builds a concurrent tree with opts and drives every
+// operation kind from two goroutines, returning the tree.
+func servingWorkout(t *testing.T, opts ...Option) *Tree {
+	t.Helper()
+	tr, err := New(append([]Option{
+		WithVariant(DiskFirst),
+		WithConcurrency(2),
+		WithPageSize(4 << 10),
+		WithBufferPages(256),
+	}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := make([]Entry, 2000)
+	for i := range entries {
+		k := Key(2*i + 1)
+		entries[i] = Entry{Key: k, TID: TupleID(k + 7)}
+	}
+	if err := tr.Bulkload(entries, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			batch := make([]Key, 16)
+			for n := 0; n < 200; n++ {
+				k := Key(2*((n*37+w*511)%2000) + 1)
+				if _, _, err := tr.Search(k); err != nil {
+					t.Errorf("Search: %v", err)
+					return
+				}
+				if err := tr.Insert(k+1+Key(w)*2, TupleID(k+8)); err != nil {
+					t.Errorf("Insert: %v", err)
+					return
+				}
+				if _, err := tr.Delete(k + 1 + Key(w)*2); err != nil {
+					t.Errorf("Delete: %v", err)
+					return
+				}
+				if _, err := tr.RangeScan(k, k+64, nil); err != nil {
+					t.Errorf("RangeScan: %v", err)
+					return
+				}
+				if _, err := tr.RangeScanReverse(k, k+64, nil); err != nil {
+					t.Errorf("RangeScanReverse: %v", err)
+					return
+				}
+				for i := range batch {
+					batch[i] = Key(2*((n+i)%2000) + 1)
+				}
+				if _, err := tr.SearchBatch(batch); err != nil {
+					t.Errorf("SearchBatch: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return tr
+}
+
+// TestServingPrometheusExposition is the serving-mode counterpart of
+// TestConcurrentWallClockHistograms for the /metrics surface: after a
+// concurrent run the exposition carries latch.* contention counters
+// and op.*.wall_nanos histograms, no frozen virtual series, and —
+// because zero-valued families are skipped — no series that would read
+// as a measurement from a subsystem that never ran.
+func TestServingPrometheusExposition(t *testing.T) {
+	tr := servingWorkout(t)
+	var buf bytes.Buffer
+	if err := tr.MetricsSnapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "latch_shared_acquisitions") {
+		t.Errorf("exposition has no latch_shared_acquisitions:\n%s", out)
+	}
+	for _, op := range []string{"search", "insert", "delete", "scan", "scan_rev", "batch"} {
+		if !strings.Contains(out, "op_"+op+"_wall_nanos_bucket") {
+			t.Errorf("exposition missing op_%s_wall_nanos buckets", op)
+		}
+	}
+	for _, frozen := range []string{"_cycles", "_micros", "mem_", "disk_"} {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "op_") && strings.Contains(line, frozen) ||
+				strings.HasPrefix(line, frozen) {
+				t.Errorf("frozen virtual series leaked into the serving exposition: %q", line)
+			}
+		}
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasSuffix(line, " 0") && !strings.Contains(line, "gauge") &&
+			!strings.Contains(line, "_bucket{") && !strings.Contains(line, "# TYPE") {
+			// Counter and histogram sample lines must not be zero; only
+			// gauges and a histogram's zero bucket may render 0.
+			if isGaugeLine(out, line) {
+				continue
+			}
+			t.Errorf("zero-valued sample exported: %q", line)
+		}
+	}
+}
+
+// isGaugeLine reports whether line's family is declared as a gauge in
+// the exposition text.
+func isGaugeLine(exposition, line string) bool {
+	name := line[:strings.IndexByte(line, ' ')]
+	return strings.Contains(exposition, "# TYPE "+name+" gauge")
+}
+
+// TestMetricNameLint walks every registered metric name in both modes
+// (simulation with disks and faults, concurrent serving) and enforces
+// the stable-name alphabet, keeping the dot→underscore Prometheus
+// mapping injective.
+func TestMetricNameLint(t *testing.T) {
+	check := func(mode string, snap obs.Snapshot) {
+		for n := range snap.Counters {
+			if !obs.ValidMetricName(n) {
+				t.Errorf("%s: counter name %q outside [a-z0-9_.]", mode, n)
+			}
+		}
+		for n := range snap.Gauges {
+			if !obs.ValidMetricName(n) {
+				t.Errorf("%s: gauge name %q outside [a-z0-9_.]", mode, n)
+			}
+		}
+		for n := range snap.Histograms {
+			if !obs.ValidMetricName(n) {
+				t.Errorf("%s: histogram name %q outside [a-z0-9_.]", mode, n)
+			}
+		}
+	}
+
+	for _, variant := range []Variant{DiskFirst, CacheFirst, DiskOptimized, MicroIndex} {
+		sim, err := New(
+			WithVariant(variant),
+			WithPageSize(4<<10),
+			WithBufferPages(256),
+			WithDisks(2),
+			WithFaults(FaultConfig{}),
+			WithTracing(64),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries := make([]Entry, 500)
+		for i := range entries {
+			entries[i] = Entry{Key: Key(2*i + 1), TID: TupleID(2*i + 8)}
+		}
+		if err := sim.Bulkload(entries, 1.0); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := sim.Search(entries[7].Key); err != nil {
+			t.Fatal(err)
+		}
+		check(sim.Name()+" simulation", sim.MetricsSnapshot())
+	}
+
+	conc := servingWorkout(t)
+	check("serving", conc.MetricsSnapshot())
+
+	concCF := servingWorkout(t, WithVariant(CacheFirst))
+	check("serving cache-first", concCF.MetricsSnapshot())
+}
+
+// TestSlowOpSpans: with tracing on and a zero-distance threshold,
+// every serving operation records a wall-clock span, and the Chrome
+// export renders them under the wall-clock process.
+func TestSlowOpSpans(t *testing.T) {
+	tr := servingWorkout(t, WithTracing(1<<12), WithSlowOpSpans(1))
+	spans := 0
+	for _, e := range tr.TraceTail(1 << 12) {
+		// Serving mode attaches the tracer only to the wall-span source:
+		// substrate events carry frozen virtual timestamps and would
+		// flood the ring at serving rates, evicting the slow spans.
+		if e.Disk != obs.DiskWall {
+			t.Fatalf("frozen virtual-clock event leaked into the serving-mode ring: %+v", e)
+		}
+		spans++
+		if e.A < e.Cyc {
+			t.Errorf("wall span ends before it starts: %+v", e)
+		}
+	}
+	if spans == 0 {
+		t.Fatal("no wall-clock spans recorded at a 1ns threshold")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wall clock (serving") {
+		t.Error("Chrome trace missing the wall-clock process")
+	}
+	if !strings.Contains(buf.String(), "(slow)") {
+		t.Error("Chrome trace missing slow-op spans")
+	}
+}
+
+// TestSlowOpSpansDisabled: a negative threshold keeps tracing on but
+// records no wall spans; without tracing the threshold is inert.
+func TestSlowOpSpansDisabled(t *testing.T) {
+	tr := servingWorkout(t, WithTracing(1<<12), WithSlowOpSpans(-1))
+	for _, e := range tr.TraceTail(1 << 12) {
+		if e.Disk == obs.DiskWall {
+			t.Fatalf("wall span recorded with spans disabled: %+v", e)
+		}
+	}
+	plain := servingWorkout(t, WithSlowOpSpans(1))
+	if plain.Tracing() {
+		t.Fatal("WithSlowOpSpans alone must not enable tracing")
+	}
+}
