@@ -1,0 +1,134 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wal"
+)
+
+// durabilityEntry is one cell of the group-commit sweep in the
+// -benchjson report: a fixed pool of committers hammering the log while
+// the leader-based fsync coalescing runs at one batch-size setting.
+type durabilityEntry struct {
+	Committers       int     `json:"committers"`
+	GroupSize        int     `json:"group_size"`
+	GroupDelayMicros int64   `json:"group_delay_micros"`
+	Seconds          float64 `json:"seconds"`
+	Commits          uint64  `json:"commits"`
+	CommitsPerSec    float64 `json:"commits_per_sec"`
+	Fsyncs           uint64  `json:"fsyncs"`
+	FsyncsPerCommit  float64 `json:"fsyncs_per_commit"`
+	P50Nanos         uint64  `json:"p50_nanos"`
+	P99Nanos         uint64  `json:"p99_nanos"`
+}
+
+// durabilitySweep measures group commit against the real filesystem
+// (fsyncs included — they ARE the experiment): single-committer and
+// batched cells, sweeping the leader's batch size. Each commit appends
+// one page image and one commit record, then blocks until its LSN is
+// durable; commits/sec and fsyncs/commit show the coalescing win.
+func durabilitySweep(dur time.Duration) ([]durabilityEntry, error) {
+	type cell struct {
+		committers, groupSize int
+		delay                 time.Duration
+	}
+	cells := []cell{{1, 1, 0}} // baseline: every commit pays its own fsync
+	for _, gs := range []int{1, 2, 4, 8, 16, 32} {
+		cells = append(cells, cell{16, gs, 200 * time.Microsecond})
+	}
+	var out []durabilityEntry
+	for _, c := range cells {
+		e, err := runDurabilityCell(c.committers, c.groupSize, c.delay, dur)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("# committers=%-2d group=%-2d  %7.0f commits/sec  %.3f fsyncs/commit  p50=%s p99=%s\n",
+			e.Committers, e.GroupSize, e.CommitsPerSec, e.FsyncsPerCommit,
+			time.Duration(e.P50Nanos), time.Duration(e.P99Nanos))
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+func runDurabilityCell(committers, groupSize int, delay, dur time.Duration) (durabilityEntry, error) {
+	dir, err := os.MkdirTemp("", "fpbench-wal-*")
+	if err != nil {
+		return durabilityEntry{}, err
+	}
+	defer os.RemoveAll(dir)
+	log, err := wal.Start(dir, wal.RecoveryResult{NextLSN: 1},
+		wal.Options{GroupSize: groupSize, GroupDelay: delay})
+	if err != nil {
+		return durabilityEntry{}, err
+	}
+	defer log.Close()
+
+	img := make([]byte, 4<<10)
+	for i := range img {
+		img[i] = byte(i)
+	}
+	var (
+		hist    obs.Histogram
+		commits atomic.Uint64
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		errMu   sync.Mutex
+		lastErr error
+	)
+	start := time.Now()
+	for w := 0; w < committers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tag := uint64(w) << 32
+			for !stop.Load() {
+				t0 := time.Now()
+				if _, err := log.AppendPage(uint32(w+1), img); err != nil {
+					errMu.Lock()
+					lastErr = err
+					errMu.Unlock()
+					return
+				}
+				tag++
+				lsn, err := log.AppendCommit(tag, nil)
+				if err == nil {
+					err = log.Sync(lsn)
+				}
+				if err != nil {
+					errMu.Lock()
+					lastErr = err
+					errMu.Unlock()
+					return
+				}
+				hist.Record(uint64(time.Since(t0)))
+				commits.Add(1)
+			}
+		}(w)
+	}
+	timer := time.AfterFunc(dur, func() { stop.Store(true) })
+	wg.Wait()
+	timer.Stop()
+	elapsed := time.Since(start)
+	if lastErr != nil {
+		return durabilityEntry{}, lastErr
+	}
+	st := log.Stats()
+	n := commits.Load()
+	return durabilityEntry{
+		Committers:       committers,
+		GroupSize:        groupSize,
+		GroupDelayMicros: delay.Microseconds(),
+		Seconds:          elapsed.Seconds(),
+		Commits:          n,
+		CommitsPerSec:    float64(n) / elapsed.Seconds(),
+		Fsyncs:           st.Fsyncs,
+		FsyncsPerCommit:  float64(st.Fsyncs) / float64(n),
+		P50Nanos:         hist.Quantile(0.50),
+		P99Nanos:         hist.Quantile(0.99),
+	}, nil
+}

@@ -69,6 +69,7 @@ type benchReport struct {
 	GitCommit   string            `json:"git_commit,omitempty"`
 	Experiments []benchEntry      `json:"experiments,omitempty"`
 	Throughput  []throughputEntry `json:"throughput,omitempty"`
+	Durability  []durabilityEntry `json:"durability,omitempty"`
 }
 
 // gitCommit reports the VCS revision stamped into the binary, if any
@@ -104,7 +105,37 @@ func main() {
 	benchKeys := flag.Int("keys", 1_000_000, "keys in the serving benchmark tree (with -threads)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /snapshot, /delta, /trace and /debug/pprof on this address during the serving benchmark (with -threads)")
 	slowOp := flag.Duration("slow-op", time.Millisecond, "slow-op span threshold for the serving benchmark's trace ring (with -debug-addr)")
+	storeMode := flag.String("store", "sim", "serving-benchmark page store: sim (memory) or file (durable OS-file store + WAL, with -threads)")
+	walBench := flag.Bool("walbench", false, "run the WAL group-commit sweep (commits/sec and fsyncs/commit vs batch size) instead of the experiments")
 	flag.Parse()
+
+	if *walBench {
+		fmt.Printf("# WAL group-commit sweep — %v per cell, real fsyncs on a real file\n", *duration)
+		entries, err := durabilitySweep(*duration)
+		if err != nil {
+			fatal(err)
+		}
+		if *benchJSON != "" {
+			report := benchReport{
+				Scale:      "durability",
+				CPUs:       runtime.NumCPU(),
+				GoMaxProcs: runtime.GOMAXPROCS(0),
+				GoVersion:  runtime.Version(),
+				GitCommit:  gitCommit(),
+				Durability: entries,
+			}
+			data, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			data = append(data, '\n')
+			if err := os.WriteFile(*benchJSON, data, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("# wrote %s\n", *benchJSON)
+		}
+		return
+	}
 
 	if *threads > 0 {
 		fmt.Printf("# fpB+-Tree wall-clock serving benchmark — %d key tree, %v per cell\n", *benchKeys, *duration)
@@ -121,7 +152,10 @@ func main() {
 			defer srv.Close()
 			fmt.Printf("# debug server on http://%s (/metrics /snapshot /delta /trace /debug/pprof)\n", srv.Addr())
 		}
-		entries, err := throughputSweep(*workloadName, *threads, *benchKeys, *duration, dbg)
+		if *storeMode != "sim" && *storeMode != "file" {
+			fatal(fmt.Errorf("unknown -store %q (want sim or file)", *storeMode))
+		}
+		entries, err := throughputSweep(*workloadName, *threads, *benchKeys, *duration, *storeMode == "file", dbg)
 		if err != nil {
 			fatal(err)
 		}

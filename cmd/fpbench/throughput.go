@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,7 +56,7 @@ type throughputEntry struct {
 // thread sweep (1, 2, ... up to threads, powers of two) plus the mixed
 // and scan workloads at full width. wl narrows the run to one workload
 // ("all" runs the standard sweep).
-func throughputSweep(wl string, threads, keys int, dur time.Duration, dbg *servingDebug) ([]throughputEntry, error) {
+func throughputSweep(wl string, threads, keys int, dur time.Duration, fileStore bool, dbg *servingDebug) ([]throughputEntry, error) {
 	type cell struct {
 		workload string
 		threads  int
@@ -83,7 +84,7 @@ func throughputSweep(wl string, threads, keys int, dur time.Duration, dbg *servi
 
 	var out []throughputEntry
 	for _, c := range cells {
-		e, err := runThroughput(c.workload, c.threads, keys, dur, dbg)
+		e, err := runThroughput(c.workload, c.threads, keys, dur, fileStore, dbg)
 		if err != nil {
 			return nil, err
 		}
@@ -95,13 +96,22 @@ func throughputSweep(wl string, threads, keys int, dur time.Duration, dbg *servi
 	return out, nil
 }
 
-// runThroughput measures one (workload, threads) cell on a fresh
-// memory-resident tree: `threads` goroutines issue operations for dur,
-// recording per-op wall latency into one shared histogram.
-func runThroughput(wl string, threads, keys int, dur time.Duration, dbg *servingDebug) (throughputEntry, error) {
+// runThroughput measures one (workload, threads) cell on a fresh tree
+// — memory-resident by default, or over the durable file store with
+// fileStore — `threads` goroutines issue operations for dur, recording
+// per-op wall latency into one shared histogram.
+func runThroughput(wl string, threads, keys int, dur time.Duration, fileStore bool, dbg *servingDebug) (throughputEntry, error) {
 	opts := []fpbtree.Option{
 		fpbtree.WithVariant(fpbtree.DiskFirst),
 		fpbtree.WithConcurrency(threads),
+	}
+	if fileStore {
+		dir, err := os.MkdirTemp("", "fpbench-store-*")
+		if err != nil {
+			return throughputEntry{}, err
+		}
+		defer os.RemoveAll(dir)
+		opts = append(opts, fpbtree.WithStorePath(dir))
 	}
 	if dbg != nil {
 		opts = append(opts,

@@ -9,7 +9,15 @@
 // Usage:
 //
 //	fpcheck [-rounds N] [-ops N] [-keys N] [-seed S] [-page BYTES]
-//	        [-dump-events N] [-chaos]
+//	        [-dump-events N] [-chaos] [-crash]
+//
+// With -crash, fpcheck runs the kill-and-replay crash-recovery
+// protocol: every variant runs a committed workload over the durable
+// page store + WAL, is killed without flushing, and is then re-crashed
+// at every log truncation point — each cut must recover to exactly the
+// newest durable point at or below it (see internal/treetest). -rounds
+// is the seed count per variant; -ops and -keys are ignored (the
+// protocol fixes its own workload).
 //
 // With -chaos, fpcheck instead runs the chaos-differential protocol:
 // every variant is built over the fault-injecting, checksummed storage
@@ -45,6 +53,7 @@ func main() {
 	page := flag.Int("page", 8<<10, "page size in bytes")
 	dumpEvents := flag.Int("dump-events", 32, "trace events to dump on failure")
 	chaos := flag.Bool("chaos", false, "run the chaos-differential protocol under fault injection")
+	crash := flag.Bool("crash", false, "run the kill-and-replay crash-recovery protocol over the durable store")
 	conc := flag.Int("conc", 0, "build chaos trees WithConcurrency(N): exercises the sharded latched pool (0 = simulation pool)")
 	flag.Parse()
 
@@ -54,6 +63,9 @@ func main() {
 	mode := "structural"
 	if *chaos {
 		mode = "chaos"
+	}
+	if *crash {
+		mode = "crash-recovery"
 	}
 	fmt.Printf("fpcheck: %s mode, %d rounds x %d ops, %dKB pages, seed %d\n",
 		mode, *rounds, *ops, *page>>10, *seed)
@@ -66,9 +78,12 @@ func main() {
 			s := *seed + int64(r)*7919
 			var tr *fpbtree.Tree
 			var err error
-			if *chaos {
+			switch {
+			case *crash:
+				err = crashOne(v, *page, s)
+			case *chaos:
 				tr, err = chaosOne(v, *page, *ops, *conc, s)
-			} else {
+			default:
 				tr, err = runOne(v, *page, *keys, *ops, s)
 			}
 			if err != nil {
@@ -85,6 +100,35 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("fpcheck: all runs passed")
+}
+
+// crashOne drives one variant through the kill-and-replay protocol: a
+// deterministic committed workload over the durable store, killed
+// without flushing, then re-crashed at every WAL truncation point and
+// checked for exact recovery to the newest durable point below each
+// cut. Physical fsyncs are elided — the protocol simulates power loss
+// by truncation, which fsync does not influence.
+func crashOne(v fpbtree.Variant, page int, seed int64) error {
+	scratch, err := os.MkdirTemp("", "fpcheck-crash-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(scratch)
+	open := func(dir string) (treetest.CrashTree, error) {
+		return fpbtree.New(
+			fpbtree.WithVariant(v), fpbtree.WithPageSize(page),
+			fpbtree.WithBufferPages(256), fpbtree.WithStorePath(dir),
+			fpbtree.WithStoreNoFsync(), fpbtree.WithCheckpointBytes(-1))
+	}
+	rep, err := treetest.CrashReplay(open, scratch, seed)
+	if err != nil {
+		return err
+	}
+	if rep.Replays == 0 || rep.Fallbacks == 0 {
+		return fmt.Errorf("protocol exercised too little: %v", rep)
+	}
+	fmt.Printf("     %-16s %v\n", v, rep)
+	return nil
 }
 
 // chaosOne drives one variant through the chaos-differential protocol

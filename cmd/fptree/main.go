@@ -15,6 +15,9 @@
 //
 //	fptree chaos [-variant V] [-page BYTES] [-ops N] [-seed S]
 //
+//	fptree open [-variant V] [-page BYTES] [-inserts N] [-checkpoint]
+//	       [-no-fsync] DIR
+//
 // The stats subcommand runs the same workload but reports the full
 // observability surface: the metrics-registry snapshot (buffer.*,
 // mem.*, disk.*, tree.* counters and op.* latency histograms — plus
@@ -28,6 +31,12 @@
 // windowed-rate /delta, Chrome-trace /trace with slow-op wall spans,
 // and /debug/pprof) on -addr until -duration elapses or the process
 // is interrupted.
+//
+// The open subcommand opens (or creates) a durable on-disk tree in DIR
+// — page file plus write-ahead log — reports what crash recovery found,
+// verifies the recovered contents, inserts and commits a batch, and
+// closes cleanly. Running it twice against the same directory is the
+// persistence round-trip smoke test.
 //
 // The chaos subcommand builds the tree over the fault-injecting,
 // checksummed storage stack and drives the chaos-differential protocol
@@ -169,6 +178,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "chaos" {
 		runChaos(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "open" {
+		runOpen(os.Args[2:])
 		return
 	}
 

@@ -1,0 +1,221 @@
+package fpbtree
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/filestore"
+	"repro/internal/idx"
+	"repro/internal/wal"
+)
+
+// ErrNotDurable is returned by the durability methods on a tree that
+// was not built WithStorePath.
+var ErrNotDurable = errors.New("fpbtree: tree is not durable (build WithStorePath)")
+
+// RecoveryInfo reports what opening a durable store found and redid.
+type RecoveryInfo struct {
+	// Tag is the recovered durable point — the tag passed to the
+	// Commit or Checkpoint that established it.
+	Tag uint64
+	// PagesReplayed and CommitsApplied count the redo work past the
+	// last checkpoint.
+	PagesReplayed, CommitsApplied int
+	// TailTruncated reports that the log ended in an incomplete or
+	// corrupt record past the last commit — the normal signature of a
+	// crash, not an error; the uncommitted tail was discarded.
+	TailTruncated bool
+	// Scavenge is the leaf-chain rebuild that reconstructed the tree's
+	// derived state from the recovered pages.
+	Scavenge ScavengeStats
+}
+
+// Durable reports whether the tree is backed by the durable page store
+// (built WithStorePath).
+func (t *Tree) Durable() bool { return t.durable != nil }
+
+// RecoveredTag returns the durable point the tree was rebuilt from at
+// open. ok is false for a fresh store (nothing to recover) and for
+// non-durable trees.
+func (t *Tree) RecoveredTag() (tag uint64, ok bool) {
+	if t.recovery == nil {
+		return 0, false
+	}
+	return t.recovery.Tag, true
+}
+
+// Recovery returns the full recovery report; ok as in RecoveredTag.
+func (t *Tree) Recovery() (RecoveryInfo, bool) {
+	if t.recovery == nil {
+		return RecoveryInfo{}, false
+	}
+	return *t.recovery, true
+}
+
+// WALBytes reports the active log segment's size (the auto-checkpoint
+// threshold input), or 0 for non-durable trees.
+func (t *Tree) WALBytes() int64 {
+	if t.durable == nil {
+		return 0
+	}
+	return t.durable.WALBytes()
+}
+
+// Commit establishes a durable point: every page written so far —
+// including pages still dirty in the buffer pool — is redo-logged, and
+// one group-committed fsync makes the state tagged tag recoverable. A
+// crash after Commit returns recovers to exactly this state; a crash
+// before loses at most the writes since the previous Commit.
+//
+// When the active log segment has grown past CheckpointBytes, Commit
+// escalates to a checkpoint (see Checkpoint) to bound recovery replay.
+//
+// Locking: whole-tree maintenance — in concurrent mode no operations
+// may be in flight.
+func (t *Tree) Commit(tag uint64) error {
+	if t.durable == nil {
+		return ErrNotDurable
+	}
+	t.lock()
+	defer t.unlock()
+	if err := t.pool.FlushAll(); err != nil {
+		return err
+	}
+	if err := t.durable.Commit(tag, t.metaBlob()); err != nil {
+		return err
+	}
+	t.lastTag = tag
+	if t.ckptBytes > 0 && t.durable.WALBytes() >= t.ckptBytes {
+		// The pool is already flushed and the commit above is the
+		// checkpoint's step 1 re-run; the extra commit record is cheap
+		// and keeps Checkpoint's crash-window reasoning in one place.
+		return t.durable.Checkpoint(tag, t.metaBlob())
+	}
+	return nil
+}
+
+// Checkpoint establishes a durable point like Commit and then advances
+// the page file to it, truncating the log: recovery from here replays
+// nothing. More expensive than Commit (every dirty page is written
+// back); call it at operational quiet points or rely on the automatic
+// CheckpointBytes escalation.
+//
+// Locking: whole-tree maintenance — in concurrent mode no operations
+// may be in flight.
+func (t *Tree) Checkpoint(tag uint64) error {
+	if t.durable == nil {
+		return ErrNotDurable
+	}
+	t.lock()
+	defer t.unlock()
+	if err := t.pool.FlushAll(); err != nil {
+		return err
+	}
+	if err := t.durable.Checkpoint(tag, t.metaBlob()); err != nil {
+		return err
+	}
+	t.lastTag = tag
+	return nil
+}
+
+// Close shuts a durable tree down cleanly: the current state — all of
+// it, including writes since the last Commit — is checkpointed under
+// the last committed tag, then the file handles are released. Reopening
+// recovers that state with nothing to replay. The tree must not be used
+// afterwards. On non-durable trees Close is a no-op.
+func (t *Tree) Close() error {
+	if t.durable == nil {
+		return nil
+	}
+	t.lock()
+	err := t.pool.FlushAll()
+	if err == nil {
+		err = t.durable.Checkpoint(t.lastTag, t.metaBlob())
+	}
+	t.unlock()
+	cerr := t.durable.Close()
+	t.durable = nil
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+// Kill drops the durable store's file handles without flushing
+// anything — the crash-shaped close the kill-and-replay harness uses.
+// Buffered and uncommitted state is lost exactly as in a real crash.
+// The tree must not be used afterwards.
+func (t *Tree) Kill() error {
+	if t.durable == nil {
+		return ErrNotDurable
+	}
+	err := t.durable.Close()
+	t.durable = nil
+	return err
+}
+
+// metaBlob snapshots the tree state every commit record carries: the
+// variant and page size (configuration guards), the root/leftmost-leaf
+// pointers, and the page allocator.
+func (t *Tree) metaBlob() []byte {
+	rec := t.index.(idx.Recoverable)
+	next, free := t.pool.AllocState()
+	return filestore.EncodeMeta(filestore.Meta{
+		Variant:  uint8(t.opts.Variant),
+		PageSize: uint32(t.durable.PageSize()),
+		Tree:     rec.DurableMeta(),
+		NextPID:  next,
+		FreePIDs: free,
+	})
+}
+
+// recoverFrom rebuilds the tree from the durable point wal.Recover
+// found: decode the commit metadata, validate it against this tree's
+// configuration, restore the allocator and the essential pointers, and
+// scavenge the leaf chain to reconstruct all derived state (the
+// scavenge abandons old page IDs rather than recycling them, so the
+// pre-scavenge pages on disk stay intact until the next Commit).
+func (t *Tree) recoverFrom(res wal.RecoveryResult) error {
+	rec, ok := t.index.(idx.Recoverable)
+	if !ok {
+		return fmt.Errorf("fpbtree: variant %s does not support durable recovery", t.opts.Variant)
+	}
+	if !res.HadState || len(res.Meta) == 0 {
+		// Fresh store (or the initial tag-0 checkpoint): nothing to
+		// restore, RecoveredTag reports ok=false.
+		return nil
+	}
+	m, err := filestore.DecodeMeta(res.Meta)
+	if err != nil {
+		return err
+	}
+	if m.Variant != uint8(t.opts.Variant) {
+		return fmt.Errorf("fpbtree: store holds variant %s, opened as %s",
+			Variant(m.Variant), t.opts.Variant)
+	}
+	if m.PageSize != uint32(t.durable.PageSize()) {
+		// Belt and braces: the page-file header already refuses a
+		// physical-size mismatch before this point.
+		return fmt.Errorf("fpbtree: store page size %d, opened with %d", m.PageSize, t.durable.PageSize())
+	}
+	t.pool.RestoreAllocState(m.NextPID, m.FreePIDs)
+	if err := rec.RestoreMeta(m.Tree); err != nil {
+		return err
+	}
+	info := RecoveryInfo{
+		Tag:            res.Tag,
+		PagesReplayed:  res.PagesReplayed,
+		CommitsApplied: res.CommitsApplied,
+		TailTruncated:  res.TailTruncated,
+	}
+	if m.Tree.RootPID != 0 {
+		stats, err := t.index.Scavenge()
+		if err != nil {
+			return err
+		}
+		info.Scavenge = stats
+	}
+	t.recovery = &info
+	t.lastTag = res.Tag
+	return nil
+}

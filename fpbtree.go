@@ -29,11 +29,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/disksim"
 	"repro/internal/fault"
+	"repro/internal/filestore"
 	"repro/internal/harness"
 	"repro/internal/idx"
 	"repro/internal/memsim"
 	"repro/internal/microindex"
 	"repro/internal/obs"
+	"repro/internal/wal"
 )
 
 // Key is a 4-byte index key.
@@ -78,6 +80,13 @@ var (
 	ErrPermanentIO   = buffer.ErrPermanentIO
 	ErrCorruptPage   = buffer.ErrCorruptPage
 	ErrPoolExhausted = buffer.ErrPoolExhausted
+	// ErrWALCorrupt marks a write-ahead-log record that failed framing or
+	// CRC validation. At the committed prefix it is fatal; at the tail it
+	// is the normal signature of a crash and recovery truncates there.
+	ErrWALCorrupt = buffer.ErrWALCorrupt
+	// ErrShortWrite marks a physical write that persisted fewer bytes
+	// than requested (disk full, yanked volume).
+	ErrShortWrite = buffer.ErrShortWrite
 )
 
 // Variant selects the index organization.
@@ -155,6 +164,31 @@ type Options struct {
 	// TraceEvents > 0 and Concurrency >= 1). 0 means the default
 	// (1 ms); negative disables slow-op spans.
 	SlowOpThreshold time.Duration
+	// StorePath, when non-empty, backs the tree with the durable page
+	// store rooted in that directory (an OS page file plus a write-ahead
+	// log): opening recovers any previous state via redo replay, Commit
+	// establishes durable points, and Close checkpoints. Incompatible
+	// with Disks (the durable store replaces the simulated array); the
+	// virtual I/O clock stays frozen at zero, as with the memory store.
+	StorePath string
+	// WALGroupSize and WALGroupDelay tune group commit: a commit fsync
+	// leader waits until WALGroupSize commits are pending or
+	// WALGroupDelay has elapsed, so concurrent committers coalesce onto
+	// one fsync. Zero values fsync immediately (waiters that arrive
+	// during an fsync still batch onto the next one).
+	WALGroupSize  int
+	WALGroupDelay time.Duration
+	// CheckpointBytes is the active-WAL-size threshold above which
+	// Commit escalates to a checkpoint (bounding recovery replay work
+	// and reclaiming log space). 0 means the default (4 MiB); negative
+	// disables automatic checkpoints.
+	CheckpointBytes int64
+	// StoreNoFsync elides physical fsyncs in the durable store while
+	// keeping all ordering and accounting. Crash-harness and benchmark
+	// knob: the kill-and-replay protocol simulates power loss by
+	// truncating the log, which fsync does not influence. Production
+	// opens leave it false.
+	StoreNoFsync bool
 }
 
 // Option mutates Options.
@@ -204,6 +238,29 @@ func WithChecksums() Option { return func(o *Options) { o.Checksums = true } }
 // at run time.
 func WithFaults(cfg FaultConfig) Option { return func(o *Options) { o.Faults = &cfg } }
 
+// WithStorePath backs the tree with the durable page store rooted in
+// dir (created if needed): a real OS page file plus a write-ahead log
+// with group commit. Opening an existing directory runs redo recovery
+// and rebuilds the tree at its last durable point — see RecoveredTag.
+// Pair with Commit/Checkpoint/Close; see DESIGN.md §12.
+func WithStorePath(dir string) Option { return func(o *Options) { o.StorePath = dir } }
+
+// WithGroupCommit tunes the WAL commit pipeline: an fsync leader waits
+// for size pending commits or delay, whichever first, before syncing
+// on behalf of every waiter.
+func WithGroupCommit(size int, delay time.Duration) Option {
+	return func(o *Options) { o.WALGroupSize, o.WALGroupDelay = size, delay }
+}
+
+// WithCheckpointBytes sets the active-WAL-size threshold above which
+// Commit escalates to a checkpoint (negative disables automatic
+// checkpoints; 0 restores the 4 MiB default).
+func WithCheckpointBytes(n int64) Option { return func(o *Options) { o.CheckpointBytes = n } }
+
+// WithStoreNoFsync elides physical fsyncs in the durable store (test
+// and benchmark knob; ordering and accounting are unchanged).
+func WithStoreNoFsync() Option { return func(o *Options) { o.StoreNoFsync = true } }
+
 // WithConcurrency enables the wall-clock serving mode sized for n
 // concurrent goroutines (n >= 1). Searches, scans, inserts, deletes,
 // and batched lookups from different goroutines all proceed in
@@ -224,6 +281,13 @@ type Tree struct {
 	array  *disksim.Array
 	faults *fault.Store // nil unless built WithFaults
 	opts   Options
+
+	// durable is the OS-file-backed store (nil unless built
+	// WithStorePath); recovery/lastTag/ckptBytes live in durable.go.
+	durable   *filestore.Durable
+	recovery  *RecoveryInfo
+	lastTag   uint64
+	ckptBytes int64
 
 	// mu serializes whole-tree maintenance (Bulkload, Scavenge,
 	// DropBufferPool) against itself in concurrent mode. It is NOT
@@ -287,6 +351,9 @@ func New(options ...Option) (*Tree, error) {
 	if o.BufferPages <= 0 {
 		return nil, fmt.Errorf("fpbtree: need a positive buffer pool size")
 	}
+	if o.StorePath != "" && o.Disks > 0 {
+		return nil, fmt.Errorf("fpbtree: StorePath and Disks are mutually exclusive (the durable store replaces the simulated array)")
+	}
 	integrity := o.Checksums || o.Faults != nil
 	physSize := o.PageSize
 	if integrity {
@@ -296,7 +363,19 @@ func New(options ...Option) (*Tree, error) {
 	}
 	var store buffer.Store
 	var array *disksim.Array
-	if o.Disks > 0 {
+	var durable *filestore.Durable
+	var walRes wal.RecoveryResult
+	if o.StorePath != "" {
+		var err error
+		durable, walRes, err = filestore.Open(filestore.Config{
+			Dir: o.StorePath, PageSize: physSize,
+			WAL: wal.Options{GroupSize: o.WALGroupSize, GroupDelay: o.WALGroupDelay, NoFsync: o.StoreNoFsync},
+		})
+		if err != nil {
+			return nil, err
+		}
+		store = durable
+	} else if o.Disks > 0 {
 		var err error
 		array, err = disksim.New(disksim.DefaultConfig(o.Disks, physSize))
 		if err != nil {
@@ -312,7 +391,14 @@ func New(options ...Option) (*Tree, error) {
 		store = faults
 	}
 	if integrity {
-		store = fault.NewChecksumStore(store)
+		if durable != nil {
+			// Durable stacks verify pages from their trailer alone: the
+			// stateful store's version/written maps cannot survive a
+			// restart, and lost-update detection is WAL replay's job here.
+			store = fault.NewStatelessChecksumStore(store)
+		} else {
+			store = fault.NewChecksumStore(store)
+		}
 	}
 	mm := memsim.NewDefault()
 	var pool *buffer.Pool
@@ -357,6 +443,9 @@ func New(options ...Option) (*Tree, error) {
 	if faults != nil {
 		faults.RegisterMetrics(ob.Reg)
 	}
+	if durable != nil {
+		durable.RegisterMetrics(ob.Reg)
+	}
 
 	jpa := !o.DisableJPA
 	var index idx.Index
@@ -388,7 +477,7 @@ func New(options ...Option) (*Tree, error) {
 	idx.RegisterMetrics(ob.Reg, index)
 	t := &Tree{
 		index: index, pool: pool, model: mm, array: array, faults: faults,
-		opts: o, ob: ob, concurrent: o.Concurrency >= 1,
+		durable: durable, opts: o, ob: ob, concurrent: o.Concurrency >= 1,
 	}
 	if t.concurrent && o.TraceEvents > 0 && o.SlowOpThreshold >= 0 {
 		thr := o.SlowOpThreshold
@@ -406,6 +495,16 @@ func New(options ...Option) (*Tree, error) {
 				cycles: ob.Reg.Histogram("op." + n + ".cycles"),
 				micros: ob.Reg.Histogram("op." + n + ".micros"),
 			}
+		}
+	}
+	if durable != nil {
+		t.ckptBytes = o.CheckpointBytes
+		if t.ckptBytes == 0 {
+			t.ckptBytes = 4 << 20
+		}
+		if err := t.recoverFrom(walRes); err != nil {
+			durable.Close()
+			return nil, err
 		}
 	}
 	return t, nil

@@ -20,11 +20,20 @@ import (
 //	ErrPoolExhausted — every frame is pinned; not an I/O failure, but
 //	                  typed so that callers can shed load and retry
 //	                  after unpinning.
+//	ErrWALCorrupt   — a write-ahead-log record failed CRC/framing
+//	                  validation. At the tail of the log this is the
+//	                  normal signature of a crash (recovery stops
+//	                  there); anywhere else it means media damage.
+//	ErrShortWrite   — the OS accepted fewer bytes than requested on a
+//	                  page-file or log write; the on-disk state of that
+//	                  page/record is undefined and must not be trusted.
 var (
 	ErrTransientIO   = errors.New("transient I/O error")
 	ErrPermanentIO   = errors.New("permanent I/O error")
 	ErrCorruptPage   = errors.New("page checksum mismatch")
 	ErrPoolExhausted = errors.New("buffer pool exhausted")
+	ErrWALCorrupt    = errors.New("WAL record corrupt")
+	ErrShortWrite    = errors.New("short write")
 )
 
 // PageError is an I/O-layer failure tied to one page. It wraps one of

@@ -355,6 +355,29 @@ func (p *Pool) MaxPageID() uint32 {
 	return p.nextPID - 1
 }
 
+// AllocState snapshots the page allocator — the next fresh PID and a
+// copy of the free list — so a durable store can persist it in commit
+// metadata and hand it back through RestoreAllocState after recovery.
+func (p *Pool) AllocState() (next uint32, free []uint32) {
+	p.allocMu.Lock()
+	defer p.allocMu.Unlock()
+	return p.nextPID, append([]uint32(nil), p.freePIDs...)
+}
+
+// RestoreAllocState rewinds the allocator to a snapshot taken by
+// AllocState. Recovery must call it before any post-restart allocation
+// (scavenge's bulkload) so new pages cannot collide with page IDs that
+// the replayed tree already occupies.
+func (p *Pool) RestoreAllocState(next uint32, free []uint32) {
+	p.allocMu.Lock()
+	defer p.allocMu.Unlock()
+	if next < 1 {
+		next = 1 // page 0 stays the nil page
+	}
+	p.nextPID = next
+	p.freePIDs = append(p.freePIDs[:0], free...)
+}
+
 // victimLocked selects a frame in sh via the CLOCK algorithm, evicting
 // its current occupant if necessary. Caller holds sh.mu.
 func (p *Pool) victimLocked(sh *poolShard) (int, error) {

@@ -1,0 +1,21 @@
+package core
+
+import "repro/internal/idx"
+
+// DurableMeta implements idx.Recoverable: the root triple plus the
+// leftmost-leaf page are the disk-first tree's only essential in-memory
+// state — the leaf chain and in-page node layout live on the pages.
+func (t *DiskFirst) DurableMeta() idx.DurableMeta {
+	pid, off, h := t.meta.Load()
+	return idx.DurableMeta{RootPID: pid, RootOff: off, Height: h, LeftPID: t.firstLeaf.Load()}
+}
+
+// RestoreMeta implements idx.Recoverable: republish the pointers a
+// recovery replay restored the pages for. Scavenge rebuilds the rest.
+func (t *DiskFirst) RestoreMeta(dm idx.DurableMeta) error {
+	t.meta.Store(dm.RootPID, dm.RootOff, dm.Height)
+	t.firstLeaf.Store(dm.LeftPID)
+	return nil
+}
+
+var _ idx.Recoverable = (*DiskFirst)(nil)

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"encoding/binary"
+	"fmt"
 	"hash/crc32"
 	"sync"
 
@@ -63,6 +64,13 @@ type ChecksumStore struct {
 	// written tracks which pages carry a trailer. It is in-memory state,
 	// standing in for the "formatted" metadata a real system keeps.
 	written map[uint32]bool
+	// stateless drops the version/written map checks on reads: pages
+	// are classified by their trailer alone (magic present → verify
+	// CRC + padding; absent → must be all zeros, i.e. a fresh extent).
+	// Durable stacks need this because the maps do not survive a
+	// restart — there, lost-update (stale-complete-page) detection is
+	// the WAL redo replay's job, not the trailer's. See DESIGN.md §12.
+	stateless bool
 }
 
 // NewChecksumStore wraps inner, reserving TrailerSize bytes of each
@@ -82,6 +90,16 @@ func NewChecksumStore(inner buffer.Store) *ChecksumStore {
 		version: make(map[uint32]uint64),
 		written: make(map[uint32]bool),
 	}
+}
+
+// NewStatelessChecksumStore wraps inner like NewChecksumStore but
+// verifies pages from their trailer alone, with no in-memory
+// expected-version or written-page maps — the variant a durable store
+// needs, since those maps cannot survive a restart while the pages do.
+func NewStatelessChecksumStore(inner buffer.Store) *ChecksumStore {
+	s := NewChecksumStore(inner)
+	s.stateless = true
+	return s
 }
 
 // PageSize implements buffer.Store: the logical size the pool sees.
@@ -128,16 +146,30 @@ func (s *ChecksumStore) ReadPage(pid uint32, dst []byte, now uint64) (uint64, er
 	if err != nil {
 		return done, err
 	}
-	if !s.written[pid] {
+	magic := binary.LittleEndian.Uint32(s.scratch[s.logical+4:])
+	if s.stateless {
+		if magic != trailerMagic {
+			// No trailer: only an all-zero page (a fresh extent) is
+			// acceptable — garbage that garbled the magic must not be
+			// silently served as an empty page.
+			for i, b := range s.scratch {
+				if b != 0 {
+					return done, &buffer.PageError{PID: pid, Op: "read",
+						Err: fmt.Errorf("unchecksummed page with nonzero byte at %d: %w", i, buffer.ErrCorruptPage)}
+				}
+			}
+			copy(dst, s.scratch[:s.logical])
+			return done, nil
+		}
+	} else if !s.written[pid] {
 		// Fresh extent: no trailer to verify, reads as zeros.
 		copy(dst, s.scratch[:s.logical])
 		return done, nil
 	}
 	want := binary.LittleEndian.Uint32(s.scratch[s.logical:])
-	magic := binary.LittleEndian.Uint32(s.scratch[s.logical+4:])
 	version := binary.LittleEndian.Uint64(s.scratch[s.logical+8:])
 	ok := magic == trailerMagic &&
-		version == s.version[pid] &&
+		(s.stateless || version == s.version[pid]) &&
 		crc32.Checksum(s.scratch[:s.logical], castagnoli) == want
 	for i := s.logical + 16; ok && i < len(s.scratch); i++ {
 		ok = s.scratch[i] == 0

@@ -1,0 +1,110 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/filestore"
+)
+
+// TestStatelessChecksumSurvivesReopen: the durable-stack variant
+// verifies pages from the trailer alone, so a second ChecksumStore —
+// with empty maps, standing in for a restarted process — accepts pages
+// the first one wrote, rejects a flipped bit, and refuses garbage
+// masquerading as a fresh extent.
+func TestStatelessChecksumSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	const phys = 512
+	fs, err := filestore.OpenFileStore(path, phys, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := NewStatelessChecksumStore(fs)
+	logical := cs.PageSize()
+	if logical != phys-TrailerSize {
+		t.Fatalf("logical size %d", logical)
+	}
+	page := bytes.Repeat([]byte{0x3C}, logical)
+	if _, err := cs.WritePage(5, page, 0); err != nil {
+		t.Fatal(err)
+	}
+	fs.Close()
+
+	// "Restart": fresh store, fresh checksum layer, no in-memory maps.
+	fs2, err := filestore.OpenFileStore(path, phys, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	cs2 := NewStatelessChecksumStore(fs2)
+	got := make([]byte, logical)
+	if _, err := cs2.ReadPage(5, got, 0); err != nil {
+		t.Fatalf("restart rejected a valid page: %v", err)
+	}
+	if !bytes.Equal(got, page) {
+		t.Fatal("restart read mismatch")
+	}
+	// Fresh extents still read as zeros.
+	if _, err := cs2.ReadPage(9, got, 0); err != nil {
+		t.Fatalf("fresh extent rejected: %v", err)
+	}
+
+	// Flip one data bit on the media: typed corruption.
+	raw := make([]byte, phys)
+	if !fs2.PeekPage(5, raw) {
+		t.Fatal("peek failed")
+	}
+	raw[17] ^= 0x04
+	if _, err := fs2.WritePage(5, raw, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs2.ReadPage(5, got, 0); !errors.Is(err, buffer.ErrCorruptPage) {
+		t.Fatalf("bit flip not detected statelessly: %v", err)
+	}
+
+	// Garbage that wiped the trailer magic must not read as an empty
+	// fresh page.
+	for i := range raw {
+		raw[i] = byte(i * 7)
+	}
+	if _, err := fs2.WritePage(6, raw, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs2.ReadPage(6, got, 0); !errors.Is(err, buffer.ErrCorruptPage) {
+		t.Fatalf("magic-less garbage served as fresh extent: %v", err)
+	}
+}
+
+// TestStatefulChecksumUnchanged: the default (stateful) store still
+// enforces the version map — a stale-but-valid page is rejected as a
+// lost update, which the stateless variant cannot and must not claim
+// to catch (WAL replay owns that job in durable stacks).
+func TestStatefulChecksumUnchanged(t *testing.T) {
+	inner := buffer.NewMemStore(512)
+	cs := NewChecksumStore(inner)
+	logical := cs.PageSize()
+	v1 := bytes.Repeat([]byte{1}, logical)
+	v2 := bytes.Repeat([]byte{2}, logical)
+	if _, err := cs.WritePage(1, v1, 0); err != nil {
+		t.Fatal(err)
+	}
+	stale := make([]byte, 512)
+	if !inner.PeekPage(1, stale) {
+		t.Fatal("peek")
+	}
+	if _, err := cs.WritePage(1, v2, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Put the old (complete, correctly checksummed) page back: the
+	// version check must reject it.
+	if _, err := inner.WritePage(1, stale, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, logical)
+	if _, err := cs.ReadPage(1, got, 0); !errors.Is(err, buffer.ErrCorruptPage) {
+		t.Fatalf("lost update not detected: %v", err)
+	}
+}

@@ -1,0 +1,224 @@
+package filestore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/buffer"
+	"repro/internal/obs"
+	"repro/internal/wal"
+)
+
+// Config configures a durable page store directory.
+type Config struct {
+	// Dir holds the page file (pages.db) and the WAL segments.
+	Dir string
+	// PageSize is the physical page size (including any checksum
+	// trailer riding above this layer).
+	PageSize int
+	// WAL tunes the commit pipeline (group commit knobs, the shared
+	// NoFsync harness switch).
+	WAL wal.Options
+}
+
+// Durable is the buffer.Store that enforces the WAL rule structurally:
+// WritePage never touches the page file. Instead it appends a redo
+// image to the log and keeps the page in an in-memory dirty table that
+// ReadPage consults first; the page file advances only inside
+// Checkpoint, after the log is fsynced. The page file therefore always
+// holds exactly the last checkpoint's state, and recovery is a pure
+// redo replay of the newer committed log records on top of it.
+//
+// Commit is the durability point: it logs a commit record carrying the
+// caller's opaque metadata (tree root, allocator state) and group-
+// commits the log. Pages evicted by the pool between commits land in
+// the log and the dirty table like any other write — an uncommitted
+// eviction is discarded by recovery along with the rest of the
+// uncommitted tail.
+type Durable struct {
+	mu    sync.Mutex
+	fs    *FileStore
+	log   *wal.Log
+	table map[uint32][]byte
+
+	replayedPages uint64 // pages applied by recovery at open
+}
+
+// Open opens or creates the durable store in cfg.Dir, running redo
+// recovery first: committed page images past the last checkpoint are
+// replayed into the page file, the file is synced, and the log is
+// restarted on a fresh checkpoint segment anchoring the recovered
+// durable point. The returned RecoveryResult carries that point's tag
+// and metadata blob for the caller to rebuild its tree from.
+func Open(cfg Config) (*Durable, wal.RecoveryResult, error) {
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, wal.RecoveryResult{}, err
+	}
+	fs, err := OpenFileStore(filepath.Join(cfg.Dir, "pages.db"), cfg.PageSize, cfg.WAL.NoFsync)
+	if err != nil {
+		return nil, wal.RecoveryResult{}, err
+	}
+	res, err := wal.Recover(cfg.Dir, func(pid uint32, img []byte) error {
+		if len(img) != cfg.PageSize {
+			return fmt.Errorf("filestore: WAL image for page %d is %d bytes, store uses %d",
+				pid, len(img), cfg.PageSize)
+		}
+		_, werr := fs.WritePage(pid, img, 0)
+		return werr
+	})
+	if err != nil {
+		fs.Close()
+		return nil, res, err
+	}
+	if res.PagesReplayed > 0 {
+		if err := fs.Sync(); err != nil {
+			fs.Close()
+			return nil, res, err
+		}
+	}
+	log, err := wal.Start(cfg.Dir, res, cfg.WAL)
+	if err != nil {
+		fs.Close()
+		return nil, res, err
+	}
+	d := &Durable{
+		fs:            fs,
+		log:           log,
+		table:         make(map[uint32][]byte),
+		replayedPages: uint64(res.PagesReplayed),
+	}
+	return d, res, nil
+}
+
+// PageSize implements buffer.Store.
+func (d *Durable) PageSize() int { return d.fs.PageSize() }
+
+// WritePage implements buffer.Store: redo-log the image, then park it
+// in the dirty table. The page file is deliberately not written.
+func (d *Durable) WritePage(pid uint32, src []byte, now uint64) (uint64, error) {
+	if _, err := d.log.AppendPage(pid, src[:d.fs.PageSize()]); err != nil {
+		return now, &buffer.PageError{PID: pid, Op: "write", Err: err}
+	}
+	d.mu.Lock()
+	buf := d.table[pid]
+	if buf == nil {
+		buf = make([]byte, d.fs.PageSize())
+		d.table[pid] = buf
+	}
+	copy(buf, src)
+	d.mu.Unlock()
+	return now, nil
+}
+
+// ReadPage implements buffer.Store: dirty table first, page file
+// otherwise.
+func (d *Durable) ReadPage(pid uint32, dst []byte, now uint64) (uint64, error) {
+	d.mu.Lock()
+	if buf, ok := d.table[pid]; ok {
+		copy(dst[:d.fs.PageSize()], buf)
+		d.mu.Unlock()
+		return now, nil
+	}
+	d.mu.Unlock()
+	return d.fs.ReadPage(pid, dst, now)
+}
+
+// PeekPage forwards the fault layer's media peek: the dirty table is
+// the page's current "media" until a checkpoint writes it back.
+func (d *Durable) PeekPage(pid uint32, dst []byte) bool {
+	d.mu.Lock()
+	if buf, ok := d.table[pid]; ok {
+		copy(dst[:d.fs.PageSize()], buf)
+		d.mu.Unlock()
+		return true
+	}
+	d.mu.Unlock()
+	return d.fs.PeekPage(pid, dst)
+}
+
+// Commit makes everything written so far durable: one commit record
+// carrying (tag, meta), then a group-commit fsync.
+func (d *Durable) Commit(tag uint64, meta []byte) error {
+	lsn, err := d.log.AppendCommit(tag, meta)
+	if err != nil {
+		return err
+	}
+	return d.log.Sync(lsn)
+}
+
+// Checkpoint advances the page file to the current committed state and
+// rotates the log. Ordering is the whole algorithm:
+//
+//  1. commit (tag, meta) and fsync the log — the state is now durable
+//     via redo, whatever happens below;
+//  2. write every dirty page to the page file and fsync it — the file
+//     now holds the checkpointed state;
+//  3. rotate: fsync a fresh segment whose leading checkpoint record
+//     anchors (tag, meta), keep the sealed segment as the fallback
+//     generation, delete older ones;
+//  4. clear the dirty table.
+//
+// A crash between any two steps recovers to (tag, meta): before the
+// rotation the old segment replays onto the (partially advanced) page
+// file — replay rewrites every page committed since the previous
+// checkpoint, so partial advancement is invisible — and after the
+// rotation the new checkpoint anchors directly.
+func (d *Durable) Checkpoint(tag uint64, meta []byte) error {
+	if err := d.Commit(tag, meta); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for pid, buf := range d.table {
+		if _, err := d.fs.WritePage(pid, buf, 0); err != nil {
+			return err
+		}
+	}
+	if err := d.fs.Sync(); err != nil {
+		return err
+	}
+	if err := d.log.Rotate(tag, meta); err != nil {
+		return err
+	}
+	for pid := range d.table {
+		delete(d.table, pid)
+	}
+	return nil
+}
+
+// DirtyPages reports the dirty-table population.
+func (d *Durable) DirtyPages() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.table)
+}
+
+// WALBytes reports the active log segment's size — the checkpoint
+// threshold input.
+func (d *Durable) WALBytes() int64 { return d.log.ActiveBytes() }
+
+// Log exposes the WAL (metrics registration, benchmarks).
+func (d *Durable) Log() *wal.Log { return d.log }
+
+// Close drops the file handles without flushing — the crash-shaped
+// close. Callers wanting a clean shutdown run Checkpoint first.
+func (d *Durable) Close() error {
+	lerr := d.log.Close()
+	ferr := d.fs.Close()
+	if lerr != nil {
+		return lerr
+	}
+	return ferr
+}
+
+// RegisterMetrics exposes the store, the log, and recovery counters.
+func (d *Durable) RegisterMetrics(reg *obs.Registry) {
+	d.fs.RegisterMetrics(reg)
+	d.log.RegisterMetrics(reg)
+	reg.Counter("filestore.recovery_pages_replayed", func() uint64 { return d.replayedPages })
+	reg.Gauge("filestore.dirty_pages", func() float64 { return float64(d.DirtyPages()) })
+}
+
+var _ buffer.Store = (*Durable)(nil)

@@ -1,0 +1,82 @@
+package filestore
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/idx"
+)
+
+// metaVersion versions the commit-metadata blob format.
+const metaVersion = 1
+
+// Meta is the tree state carried in every commit and checkpoint
+// record: the variant and physical page size (configuration guards —
+// reopening with a different setup must fail loudly, not reinterpret
+// pages), the essential tree pointers, and the page allocator.
+type Meta struct {
+	Variant  uint8
+	PageSize uint32
+	Tree     idx.DurableMeta
+	NextPID  uint32
+	FreePIDs []uint32
+}
+
+// EncodeMeta serializes m.
+func EncodeMeta(m Meta) []byte {
+	b := make([]byte, 0, 40+4*len(m.FreePIDs))
+	var w [8]byte
+	u32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(w[:4], v)
+		b = append(b, w[:4]...)
+	}
+	b = append(b, metaVersion, m.Variant)
+	u32(m.PageSize)
+	u32(m.Tree.RootPID)
+	u32(uint32(m.Tree.RootOff))
+	u32(uint32(m.Tree.Height))
+	u32(m.Tree.LeftPID)
+	u32(uint32(m.Tree.LeftOff))
+	u32(m.NextPID)
+	u32(uint32(len(m.FreePIDs)))
+	for _, pid := range m.FreePIDs {
+		u32(pid)
+	}
+	return b
+}
+
+// DecodeMeta deserializes a blob. The blob arrived through a
+// CRC-protected WAL record, so a malformed one means the log lied:
+// failures are typed ErrWALCorrupt.
+func DecodeMeta(b []byte) (Meta, error) {
+	var m Meta
+	const fixed = 2 + 8*4
+	if len(b) < fixed {
+		return m, fmt.Errorf("filestore: metadata blob too short (%d bytes): %w", len(b), buffer.ErrWALCorrupt)
+	}
+	if b[0] != metaVersion {
+		return m, fmt.Errorf("filestore: metadata version %d, want %d: %w", b[0], metaVersion, buffer.ErrWALCorrupt)
+	}
+	m.Variant = b[1]
+	u32 := func(off int) uint32 { return binary.LittleEndian.Uint32(b[2+4*off:]) }
+	m.PageSize = u32(0)
+	m.Tree.RootPID = u32(1)
+	m.Tree.RootOff = int(u32(2))
+	m.Tree.Height = int(u32(3))
+	m.Tree.LeftPID = u32(4)
+	m.Tree.LeftOff = int(u32(5))
+	m.NextPID = u32(6)
+	nfree := int(u32(7))
+	if len(b) != fixed+4*nfree {
+		return m, fmt.Errorf("filestore: metadata blob length %d does not match %d free pages: %w",
+			len(b), nfree, buffer.ErrWALCorrupt)
+	}
+	if nfree > 0 {
+		m.FreePIDs = make([]uint32, nfree)
+		for i := range m.FreePIDs {
+			m.FreePIDs[i] = binary.LittleEndian.Uint32(b[fixed+4*i:])
+		}
+	}
+	return m, nil
+}

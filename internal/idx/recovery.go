@@ -1,0 +1,29 @@
+package idx
+
+// DurableMeta is the portable essence of a tree: everything a variant
+// needs persisted to reattach to its pages after a restart. Each
+// disk-resident variant keeps exactly two pieces of essential state —
+// the root triple (TreeMeta) and the leftmost-leaf pointer — and every
+// other in-memory structure (space maps, jump-pointer arrays, counters)
+// is derivable from the pages themselves, which is what Scavenge
+// rebuilds during recovery.
+type DurableMeta struct {
+	RootPID uint32
+	RootOff int
+	Height  int
+	LeftPID uint32
+	LeftOff int
+}
+
+// Recoverable is implemented by variants that can run on a durable
+// store: DurableMeta snapshots the essential state for a commit record,
+// and RestoreMeta reattaches a freshly constructed (empty) tree to the
+// pages a recovery replay produced. RestoreMeta republishes the
+// pointers and rebuilds any in-memory registry its variant's Scavenge
+// walk depends on (cache-first re-reads on-page kind bytes, hence the
+// error return); the caller then runs Scavenge to rebuild everything
+// else.
+type Recoverable interface {
+	DurableMeta() DurableMeta
+	RestoreMeta(DurableMeta) error
+}

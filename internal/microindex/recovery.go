@@ -1,0 +1,20 @@
+package microindex
+
+import "repro/internal/idx"
+
+// DurableMeta implements idx.Recoverable: the root triple plus the
+// leftmost-leaf page are the tree's only essential in-memory state.
+func (t *Tree) DurableMeta() idx.DurableMeta {
+	pid, off, h := t.meta.Load()
+	return idx.DurableMeta{RootPID: pid, RootOff: off, Height: h, LeftPID: t.firstLeaf.Load()}
+}
+
+// RestoreMeta implements idx.Recoverable: republish the pointers a
+// recovery replay restored the pages for. Scavenge rebuilds the rest.
+func (t *Tree) RestoreMeta(dm idx.DurableMeta) error {
+	t.meta.Store(dm.RootPID, dm.RootOff, dm.Height)
+	t.firstLeaf.Store(dm.LeftPID)
+	return nil
+}
+
+var _ idx.Recoverable = (*Tree)(nil)

@@ -18,11 +18,18 @@ func promTestSnapshot() Snapshot {
 	reg.Counter("buffer.hits", func() uint64 { return 1200 })
 	reg.Counter("latch.shared_acquisitions", func() uint64 { return 98765 })
 	reg.Counter("fault.injected", func() uint64 { return 0 }) // must not export
+	reg.Counter("wal.fsyncs", func() uint64 { return 77 })
+	reg.Counter("filestore.bytes_written", func() uint64 { return 65536 })
 	reg.Gauge("buffer.resident_pages", func() float64 { return 42 })
 	reg.Gauge("disk.count", func() float64 { return 0 }) // gauges always export
+	reg.Gauge("wal.active_bytes", func() float64 { return 8192 })
 	h := reg.Histogram("op.search.wall_nanos")
 	for _, v := range []uint64{0, 1, 1, 2, 3, 900, 70000} {
 		h.Record(v)
+	}
+	g := reg.Histogram("wal.group_commit_size")
+	for _, v := range []uint64{1, 1, 2, 4, 8} {
+		g.Record(v)
 	}
 	snap := reg.Snapshot()
 	// An empty histogram cannot come out of Registry.Snapshot (it skips

@@ -1,0 +1,367 @@
+// Kill-and-replay crash harness: drive a durable tree through a
+// deterministic workload with periodic commits and checkpoints, kill it
+// without flushing, then re-crash it at EVERY write-ahead-log
+// truncation point — each record boundary in the final active segment,
+// plus mid-header and mid-payload cuts — and assert that every
+// truncated incarnation recovers to exactly the newest durable point at
+// or below the cut:
+//
+//   - RecoveredTag reports precisely that point's tag (ok=false only
+//     when the cut lands before the first durable point and no previous
+//     log generation exists);
+//   - a full scan matches the model snapshot taken at that point
+//     entry-for-entry, in ascending key order, with the workload's TID
+//     convention intact;
+//   - CheckInvariants passes and no buffer page stays pinned;
+//   - the recovered tree is live: it accepts a probe insert, commits
+//     it, and serves it back.
+//
+// The harness is a pure function over a CrashOpener so it can drive
+// both bare in-package variants and the fpbtree facade (fpcheck) —
+// treetest itself never imports the root package.
+package treetest
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/idx"
+	"repro/internal/wal"
+)
+
+// CrashTree is the durable-tree surface the harness drives. The fpbtree
+// facade satisfies it.
+type CrashTree interface {
+	Bulkload(entries []idx.Entry, fill float64) error
+	Insert(key idx.Key, tid idx.TupleID) error
+	Delete(key idx.Key) (bool, error)
+	Search(key idx.Key) (idx.TupleID, bool, error)
+	RangeScan(startKey, endKey idx.Key, fn func(idx.Key, idx.TupleID) bool) (int, error)
+	CheckInvariants() error
+	PinnedPages() int
+	DropBufferPool() error
+	Commit(tag uint64) error
+	Checkpoint(tag uint64) error
+	RecoveredTag() (uint64, bool)
+	Kill() error
+}
+
+// CrashOpener opens (or recovers) a durable tree rooted in dir. Every
+// invocation must use the same configuration — the harness reopens the
+// same directory many times.
+type CrashOpener func(dir string) (CrashTree, error)
+
+// CrashReport summarizes a kill-and-replay run.
+type CrashReport struct {
+	Points    int // durable points the workload established
+	Cuts      int // truncation points exercised
+	Replays   int // cuts that recovered from the active segment
+	Fallbacks int // cuts that fell back to the previous log generation
+	Fresh     int // cuts that recovered an empty store
+}
+
+func (r CrashReport) String() string {
+	return fmt.Sprintf("%d durable points; %d cuts (%d active-segment replays, %d generation fallbacks, %d fresh)",
+		r.Points, r.Cuts, r.Replays, r.Fallbacks, r.Fresh)
+}
+
+// crashPoint is one durable point: the log position right after its
+// commit record landed, and the tag that identifies its snapshot.
+type crashPoint struct {
+	seq uint64 // active segment at the time
+	off int64  // segment size right after the commit
+	tag uint64
+}
+
+const (
+	crashInitialKeys = 220
+	crashRounds      = 6
+	crashOpsPerRound = 48
+	crashMaxKey      = 1 << 16
+	crashProbeBase   = 1 << 20 // probe keys live far above the workload's
+)
+
+// CrashReplay runs the full kill-and-replay protocol in scratch (which
+// must be an empty directory the harness may fill and delete). A
+// non-nil error is always a contract violation — recovery landing on
+// the wrong state, a lost or resurrected entry, an untyped failure, a
+// pin leak, or a dead tree — never a mere artifact of the crash.
+func CrashReplay(open CrashOpener, scratch string, seed int64) (CrashReport, error) {
+	var rep CrashReport
+	workDir := filepath.Join(scratch, "work")
+	if err := os.MkdirAll(workDir, 0o755); err != nil {
+		return rep, err
+	}
+
+	// ---- Phase 1: deterministic workload, recording durable points.
+	tr, err := open(workDir)
+	if err != nil {
+		return rep, fmt.Errorf("initial open: %w", err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	model := make(map[uint32]uint32, crashInitialKeys)
+	snapshots := map[uint64]map[uint32]uint32{} // tag -> model at that point
+	var points []crashPoint
+
+	lastSeq := uint64(0)
+	record := func(tag uint64) error {
+		segs, err := wal.SegmentFiles(workDir)
+		if err != nil || len(segs) == 0 {
+			return fmt.Errorf("segment stat after tag %d: %w", tag, err)
+		}
+		active := segs[len(segs)-1]
+		points = append(points, crashPoint{seq: active.Seq, off: active.Size, tag: tag})
+		if lastSeq != 0 && active.Seq != lastSeq && len(segs) > 1 {
+			// The log rotated establishing this point (a Checkpoint): its
+			// pre-rotation commit record seals the previous generation, so
+			// the tag is durable there too — a cut tearing the new
+			// segment's leading checkpoint still recovers to it.
+			prev := segs[len(segs)-2]
+			points = append(points, crashPoint{seq: prev.Seq, off: prev.Size, tag: tag})
+		}
+		lastSeq = active.Seq
+		snap := make(map[uint32]uint32, len(model))
+		for k, v := range model {
+			snap[k] = v
+		}
+		snapshots[tag] = snap
+		rep.Points++
+		return nil
+	}
+
+	load := make([]idx.Entry, crashInitialKeys)
+	for i := range load {
+		k := uint32(i)*3 + 3
+		load[i] = idx.Entry{Key: k, TID: k + 7}
+		model[k] = k + 7
+	}
+	if err := tr.Bulkload(load, 0.8); err != nil {
+		return rep, fmt.Errorf("bulkload: %w", err)
+	}
+	tag := uint64(1)
+	if err := tr.Commit(tag); err != nil {
+		return rep, fmt.Errorf("commit %d: %w", tag, err)
+	}
+	if err := record(tag); err != nil {
+		return rep, err
+	}
+	for round := 1; round <= crashRounds; round++ {
+		for op := 0; op < crashOpsPerRound; op++ {
+			k := uint32(rng.Intn(crashMaxKey)) + 1
+			if rng.Intn(5) < 3 {
+				if _, dup := model[k]; dup {
+					continue
+				}
+				if err := tr.Insert(k, k+7); err != nil {
+					return rep, fmt.Errorf("round %d insert(%d): %w", round, k, err)
+				}
+				model[k] = k + 7
+			} else {
+				ok, err := tr.Delete(k)
+				if err != nil {
+					return rep, fmt.Errorf("round %d delete(%d): %w", round, k, err)
+				}
+				if _, had := model[k]; ok != had {
+					return rep, fmt.Errorf("round %d delete(%d) = %v, model %v", round, k, ok, had)
+				}
+				delete(model, k)
+			}
+		}
+		tag++
+		// Checkpoints early in the run, commits after: the final active
+		// segment then holds several commit generations to cut through.
+		if round%3 == 1 {
+			err = tr.Checkpoint(tag)
+		} else {
+			err = tr.Commit(tag)
+		}
+		if err != nil {
+			return rep, fmt.Errorf("durable point %d: %w", tag, err)
+		}
+		if err := record(tag); err != nil {
+			return rep, err
+		}
+	}
+	// Uncommitted tail: flushed to the log (and cut through below) but
+	// behind no commit, so no truncation may ever surface these.
+	for i := 0; i < 10; i++ {
+		k := uint32(crashMaxKey + 100 + i*2)
+		if err := tr.Insert(k, k+7); err != nil {
+			return rep, fmt.Errorf("tail insert: %w", err)
+		}
+	}
+	if err := tr.DropBufferPool(); err != nil {
+		return rep, fmt.Errorf("tail flush: %w", err)
+	}
+	if err := tr.Kill(); err != nil {
+		return rep, fmt.Errorf("kill: %w", err)
+	}
+
+	// ---- Phase 2: enumerate the active segment's truncation points.
+	segs, err := wal.SegmentFiles(workDir)
+	if err != nil || len(segs) == 0 {
+		return rep, fmt.Errorf("post-kill segment stat: %w", err)
+	}
+	active := segs[len(segs)-1]
+	raw, err := os.ReadFile(active.Path)
+	if err != nil {
+		return rep, err
+	}
+	cutSet := map[int64]bool{0: true, int64(len(raw)): true}
+	for off := 0; off < len(raw); {
+		_, n, derr := wal.DecodeRecord(raw[off:])
+		if derr == io.EOF {
+			break
+		}
+		if derr != nil {
+			return rep, fmt.Errorf("active segment damaged at rest (offset %d): %w", off, derr)
+		}
+		cutSet[int64(off)] = true
+		// Mid-record cuts: inside the header, and shy of the record's
+		// end (tearing the payload/CRC coverage).
+		cutSet[int64(off)+13] = true
+		cutSet[int64(off+n)-5] = true
+		off += n
+	}
+	cuts := make([]int64, 0, len(cutSet))
+	for c := range cutSet {
+		cuts = append(cuts, c)
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+
+	// ---- Phase 3: crash at every cut and verify the recovery contract.
+	for ci, cut := range cuts {
+		expected := uint64(0)
+		fallback := false
+		for _, p := range points {
+			if p.seq == active.Seq && p.off <= cut && p.tag > expected {
+				expected = p.tag
+			}
+		}
+		if expected == 0 {
+			// Nothing durable at or below the cut in the active segment:
+			// recovery must land on the previous generation's final state
+			// (the rotation checkpoint), or fresh if there is none.
+			for _, p := range points {
+				if p.seq < active.Seq && p.tag > expected {
+					expected = p.tag
+					fallback = true
+				}
+			}
+		}
+		if err := crashOneCut(open, scratch, active, raw, cut, ci, expected, snapshots[expected]); err != nil {
+			return rep, fmt.Errorf("cut %d/%d at offset %d (expect tag %d): %w",
+				ci+1, len(cuts), cut, expected, err)
+		}
+		rep.Cuts++
+		switch {
+		case expected == 0:
+			rep.Fresh++
+		case fallback:
+			rep.Fallbacks++
+		default:
+			rep.Replays++
+		}
+	}
+	return rep, nil
+}
+
+// crashOneCut clones the killed directory, truncates the active segment
+// at cut, reopens through the opener, and verifies the full recovery
+// contract against want (nil for an expected-fresh store).
+func crashOneCut(open CrashOpener, scratch string, active wal.Segment, activeRaw []byte,
+	cut int64, ci int, expectedTag uint64, want map[uint32]uint32) error {
+	cutDir := filepath.Join(scratch, fmt.Sprintf("cut%05d", ci))
+	if err := cloneStoreDir(filepath.Dir(active.Path), cutDir); err != nil {
+		return err
+	}
+	defer os.RemoveAll(cutDir)
+	if err := os.WriteFile(filepath.Join(cutDir, filepath.Base(active.Path)), activeRaw[:cut], 0o644); err != nil {
+		return err
+	}
+
+	tr, err := open(cutDir)
+	if err != nil {
+		return fmt.Errorf("recovery open: %w", err)
+	}
+	defer tr.Kill()
+	tag, ok := tr.RecoveredTag()
+	if ok != (expectedTag != 0) || (ok && tag != expectedTag) {
+		return fmt.Errorf("recovered tag %d ok=%v", tag, ok)
+	}
+
+	// Exact differential against the snapshot, in order, TIDs intact.
+	seen := 0
+	var prev uint32
+	var cbErr error
+	n, err := tr.RangeScan(0, 1<<31, func(k idx.Key, tid idx.TupleID) bool {
+		wantTID, live := want[k]
+		switch {
+		case !live:
+			cbErr = fmt.Errorf("scan surfaced key %d, not in the durable snapshot", k)
+		case tid != wantTID:
+			cbErr = fmt.Errorf("key %d recovered tid %d, want %d", k, tid, wantTID)
+		case seen > 0 && k <= prev:
+			cbErr = fmt.Errorf("scan order regressed at key %d", k)
+		}
+		prev, seen = k, seen+1
+		return cbErr == nil
+	})
+	if err != nil {
+		return fmt.Errorf("recovery scan: %w", err)
+	}
+	if cbErr != nil {
+		return cbErr
+	}
+	if n != len(want) {
+		return fmt.Errorf("recovered %d entries, snapshot has %d", n, len(want))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		return fmt.Errorf("invariants after recovery: %w", err)
+	}
+	if p := tr.PinnedPages(); p != 0 {
+		return fmt.Errorf("%d pages pinned after recovery", p)
+	}
+
+	// The recovered tree must be live, not merely readable.
+	probe := uint32(crashProbeBase + ci)
+	if err := tr.Insert(probe, probe+7); err != nil {
+		return fmt.Errorf("probe insert: %w", err)
+	}
+	if err := tr.Commit(expectedTag + 1000); err != nil {
+		return fmt.Errorf("probe commit: %w", err)
+	}
+	if tid, ok, err := tr.Search(probe); err != nil || !ok || tid != probe+7 {
+		return fmt.Errorf("probe search = (%d, %v, %v)", tid, ok, err)
+	}
+	return nil
+}
+
+// cloneStoreDir copies a killed store directory (page file + WAL
+// segments; no subdirectories) byte-for-byte.
+func cloneStoreDir(src, dst string) error {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

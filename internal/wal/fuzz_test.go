@@ -1,0 +1,61 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/buffer"
+)
+
+// FuzzWALDecode drives arbitrary bytes through the WAL record decoder
+// and the recovery-style scan loop. The contract mirrors
+// FuzzTriggerSchedule's: whatever the input — truncated tails, garbage,
+// bit-flipped frames, pathological length fields — the decoder must
+// never panic and never silently accept a damaged frame; every failure
+// is io.EOF (clean end) or a typed buffer.ErrWALCorrupt. Frames that do
+// decode must re-encode byte-identically (no normalization loss).
+func FuzzWALDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 256))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	var stream []byte
+	stream = AppendRecord(stream, Record{LSN: 1, Type: RecCheckpoint, Payload: encodePoint(0, nil)})
+	stream = AppendRecord(stream, Record{LSN: 2, Type: RecPage, PID: 5, Payload: bytes.Repeat([]byte{7}, 96)})
+	stream = AppendRecord(stream, Record{LSN: 3, Type: RecCommit, Payload: encodePoint(9, []byte("meta"))})
+	f.Add(stream)
+	f.Add(stream[:len(stream)-11]) // torn tail
+	flipped := append([]byte(nil), stream...)
+	flipped[40] ^= 0x20
+	f.Add(flipped)
+	hdr := append([]byte(nil), stream[:headerSize]...)
+	f.Add(hdr)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		off := 0
+		for {
+			rec, n, err := DecodeRecord(data[off:])
+			if err != nil {
+				if err != io.EOF && !errors.Is(err, buffer.ErrWALCorrupt) {
+					t.Fatalf("untyped decode error at %d: %v", off, err)
+				}
+				break
+			}
+			if n < headerSize {
+				t.Fatalf("decoder consumed %d < header size", n)
+			}
+			re := AppendRecord(nil, rec)
+			if !bytes.Equal(re, data[off:off+n]) {
+				t.Fatalf("re-encode mismatch at %d", off)
+			}
+			if rec.Type == RecCommit || rec.Type == RecCheckpoint {
+				if _, _, derr := decodePoint(rec.Payload); derr != nil &&
+					!errors.Is(derr, buffer.ErrWALCorrupt) {
+					t.Fatalf("untyped point error: %v", derr)
+				}
+			}
+			off += n
+		}
+	})
+}

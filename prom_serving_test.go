@@ -174,6 +174,39 @@ func TestMetricNameLint(t *testing.T) {
 
 	concCF := servingWorkout(t, WithVariant(CacheFirst))
 	check("serving cache-first", concCF.MetricsSnapshot())
+
+	// Durable mode registers the wal.* / filestore.* families; they must
+	// obey the same alphabet.
+	dur, err := New(
+		WithVariant(DiskFirst),
+		WithPageSize(1<<10),
+		WithBufferPages(256),
+		WithStorePath(t.TempDir()),
+		WithStoreNoFsync(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := make([]Entry, 200)
+	for i := range entries {
+		entries[i] = Entry{Key: Key(2*i + 1), TID: TupleID(2*i + 8)}
+	}
+	if err := dur.Bulkload(entries, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := dur.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	snap := dur.MetricsSnapshot()
+	for _, want := range []string{"wal.appends", "wal.fsyncs", "filestore.bytes_written"} {
+		if _, ok := snap.Counters[want]; !ok {
+			t.Errorf("durable tree snapshot missing counter %q", want)
+		}
+	}
+	check("durable", snap)
+	if err := dur.Close(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // TestSlowOpSpans: with tracing on and a zero-distance threshold,
