@@ -37,6 +37,14 @@ func (t *Tree) Durable() bool { return t.durable != nil }
 // RecoveredTag returns the durable point the tree was rebuilt from at
 // open. ok is false for a fresh store (nothing to recover) and for
 // non-durable trees.
+//
+// Caveat: a clean Close checkpoints the tree's full current state —
+// including writes made after the last Commit — under the last
+// committed tag, so after a clean shutdown the reported tag names a
+// superset of the state Commit(tag) made durable. Only after a crash
+// does tag identify exactly the Commit(tag) state. Callers that need
+// tags to be one-to-one with states should Commit (with a fresh tag)
+// immediately before Close.
 func (t *Tree) RecoveredTag() (tag uint64, ok bool) {
 	if t.recovery == nil {
 		return 0, false
@@ -71,25 +79,35 @@ func (t *Tree) WALBytes() int64 {
 // escalates to a checkpoint (see Checkpoint) to bound recovery replay.
 //
 // Locking: whole-tree maintenance — in concurrent mode no operations
-// may be in flight.
+// may be in flight, but concurrent Commit calls are allowed and are the
+// group-commit case: only the flush and the commit-record append run
+// under the tree lock; the fsync happens outside it, so simultaneous
+// committers coalesce onto one fsync (see WithGroupCommit).
 func (t *Tree) Commit(tag uint64) error {
 	if t.durable == nil {
 		return ErrNotDurable
 	}
 	t.lock()
-	defer t.unlock()
-	if err := t.pool.FlushAll(); err != nil {
+	err := t.pool.FlushAll()
+	var lsn uint64
+	if err == nil {
+		lsn, err = t.durable.AppendCommit(tag, t.metaBlob())
+	}
+	if err == nil {
+		t.lastTag = tag
+	}
+	t.unlock()
+	if err != nil {
 		return err
 	}
-	if err := t.durable.Commit(tag, t.metaBlob()); err != nil {
+	if err := t.durable.Sync(lsn); err != nil {
 		return err
 	}
-	t.lastTag = tag
 	if t.ckptBytes > 0 && t.durable.WALBytes() >= t.ckptBytes {
-		// The pool is already flushed and the commit above is the
-		// checkpoint's step 1 re-run; the extra commit record is cheap
-		// and keeps Checkpoint's crash-window reasoning in one place.
-		return t.durable.Checkpoint(tag, t.metaBlob())
+		// The pool is already flushed and Checkpoint's leading commit is
+		// this commit's re-run; the extra record is cheap and keeps
+		// Checkpoint's crash-window reasoning in one place.
+		return t.Checkpoint(tag)
 	}
 	return nil
 }
@@ -121,8 +139,10 @@ func (t *Tree) Checkpoint(tag uint64) error {
 // Close shuts a durable tree down cleanly: the current state — all of
 // it, including writes since the last Commit — is checkpointed under
 // the last committed tag, then the file handles are released. Reopening
-// recovers that state with nothing to replay. The tree must not be used
-// afterwards. On non-durable trees Close is a no-op.
+// recovers that state with nothing to replay; note the resulting tag
+// aliasing described on RecoveredTag (Commit with a fresh tag before
+// Close to avoid it). The tree must not be used afterwards. On
+// non-durable trees Close is a no-op.
 func (t *Tree) Close() error {
 	if t.durable == nil {
 		return nil

@@ -3,7 +3,10 @@ package fpbtree
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // durableTestOpts builds the standard small durable configuration the
@@ -215,6 +218,51 @@ func TestDurableAutoCheckpoint(t *testing.T) {
 	}
 	if info, _ := tr2.Recovery(); info.PagesReplayed != 0 {
 		t.Fatalf("checkpointed store still replayed %d pages", info.PagesReplayed)
+	}
+}
+
+// TestDurableGroupCommitCoalesces: concurrent Tree.Commit callers share
+// fsyncs. Only the flush and the commit-record append run under the
+// tree lock; the fsync runs outside it, so several commits can be
+// pending at once and the group-commit leader batches them (a lock held
+// across the sync would serialize commits and reduce the linger to pure
+// added latency).
+func TestDurableGroupCommitCoalesces(t *testing.T) {
+	dir := t.TempDir()
+	tr, err := New(durableTestOpts(dir, DiskOptimized,
+		WithConcurrency(4), WithGroupCommit(4, 2*time.Millisecond), WithCheckpointBytes(-1))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	for i := 1; i <= 100; i++ {
+		if err := tr.Insert(Key(i), TupleID(uint32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const workers, per = 4, 25
+	var tags atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := tr.Commit(tags.Add(1)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap := tr.MetricsSnapshot()
+	commits, fsyncs := snap.Counters["wal.commits"], snap.Counters["wal.fsyncs"]
+	if commits < workers*per {
+		t.Fatalf("only %d commits recorded", commits)
+	}
+	if fsyncs >= commits {
+		t.Fatalf("no coalescing: %d fsyncs for %d commits", fsyncs, commits)
 	}
 }
 

@@ -141,12 +141,26 @@ func (d *Durable) PeekPage(pid uint32, dst []byte) bool {
 // Commit makes everything written so far durable: one commit record
 // carrying (tag, meta), then a group-commit fsync.
 func (d *Durable) Commit(tag uint64, meta []byte) error {
-	lsn, err := d.log.AppendCommit(tag, meta)
+	lsn, err := d.AppendCommit(tag, meta)
 	if err != nil {
 		return err
 	}
-	return d.log.Sync(lsn)
+	return d.Sync(lsn)
 }
+
+// AppendCommit logs the commit record carrying (tag, meta) without
+// forcing it to disk; pair with Sync on the returned LSN. The split
+// exists so callers holding a coarse lock around the append (the
+// facade's tree lock) can release it before the fsync — concurrent
+// committers then coalesce onto one group-commit fsync, which a lock
+// held across Commit would forbid.
+func (d *Durable) AppendCommit(tag uint64, meta []byte) (uint64, error) {
+	return d.log.AppendCommit(tag, meta)
+}
+
+// Sync blocks until the log is durable at least through lsn (group
+// commit: concurrent callers share fsyncs).
+func (d *Durable) Sync(lsn uint64) error { return d.log.Sync(lsn) }
 
 // Checkpoint advances the page file to the current committed state and
 // rotates the log. Ordering is the whole algorithm:

@@ -11,10 +11,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync/atomic"
 
 	"repro/internal/buffer"
 	"repro/internal/obs"
+	"repro/internal/wal"
 )
 
 // fileMagic identifies a page file ("FPPF").
@@ -76,6 +78,21 @@ func OpenFileStore(path string, pageSize int, noFsync bool) (*FileStore, error) 
 		if _, err := f.WriteAt(hdr[:], 0); err != nil {
 			f.Close()
 			return nil, err
+		}
+		// Make the header and the file's directory entry durable now:
+		// a WAL checkpoint written later asserts the page file is
+		// consistent, which is hollow if a power loss can still unwind
+		// the file's creation (the entry lives in the directory's own
+		// blocks, which fsyncing the file does not touch).
+		if !noFsync {
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, err
+			}
+			if err := wal.SyncDir(filepath.Dir(path)); err != nil {
+				f.Close()
+				return nil, err
+			}
 		}
 	} else {
 		if _, err := f.ReadAt(hdr[:], 0); err != nil {

@@ -91,6 +91,7 @@ func Recover(dir string, apply func(pid uint32, img []byte) error) (RecoveryResu
 	var pending []img
 	off := 0
 	for {
+		leading := off == 0
 		rec, n, derr := DecodeRecord(data[off:])
 		if derr != nil {
 			if derr != io.EOF {
@@ -106,6 +107,15 @@ func Recover(dir string, apply func(pid uint32, img []byte) error) (RecoveryResu
 		case RecPage:
 			pending = append(pending, img{pid: rec.PID, buf: append([]byte(nil), rec.Payload...)})
 		case RecCommit, RecCheckpoint:
+			if rec.Type == RecCheckpoint && !leading {
+				// The format contract only ever places a checkpoint as a
+				// segment's first record (it implies page-file consistency
+				// no mid-segment record can promise). No writer produces
+				// one elsewhere, so treat it as framing corruption and
+				// stop at the last durable point rather than apply it.
+				res.TailTruncated = true
+				return res, nil
+			}
 			tag, meta, derr := decodePoint(rec.Payload)
 			if derr != nil {
 				res.TailTruncated = true

@@ -54,6 +54,13 @@ type Log struct {
 	commitsSynced uint64 // commit records covered by the last fsync
 
 	closed bool
+	// failed latches the first fsync failure permanently: on Linux a
+	// failed fsync may drop the dirty pages and clear the error state,
+	// so a retry can "succeed" without the data ever reaching disk (the
+	// PostgreSQL fsyncgate failure mode). Once set, every append, Sync,
+	// and Rotate fails with it until the store is reopened and recovered
+	// from what is actually durable.
+	failed error
 
 	appends   atomic.Uint64
 	commits   atomic.Uint64
@@ -67,6 +74,24 @@ type Log struct {
 
 // segmentName formats the file name for sequence seq.
 func segmentName(seq uint64) string { return fmt.Sprintf("wal-%08d.log", seq) }
+
+// SyncDir fsyncs a directory so that file creations and removals
+// inside it are durable: fsyncing a new file persists its contents but
+// not its directory entry, which lives in the directory's own blocks.
+// Exported for filestore, which has the same obligation after creating
+// its page file.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
 
 // Segment describes one on-disk log segment.
 type Segment struct {
@@ -144,8 +169,16 @@ func (l *Log) rotateLocked(tag uint64, meta []byte, keep, after uint64) error {
 			f.Close()
 			return err
 		}
+		// The segment's directory entry must be durable before the
+		// checkpoint it carries can be trusted — and before any older
+		// segment is unlinked below, or a power loss could leave the
+		// directory holding neither generation.
+		if err := SyncDir(l.dir); err != nil {
+			f.Close()
+			return err
+		}
 	}
-	l.fsyncs.Add(1)
+	l.fsyncs.Add(2) // segment contents + its directory entry
 	l.appends.Add(1)
 	l.bytes.Add(uint64(len(frame)))
 	if l.active != nil {
@@ -162,12 +195,24 @@ func (l *Log) rotateLocked(tag uint64, meta []byte, keep, after uint64) error {
 	if err != nil {
 		return err
 	}
+	removed := 0
 	for _, s := range segs {
 		if s.Seq != seq && s.Seq != keep {
 			if err := os.Remove(s.Path); err != nil {
 				return err
 			}
+			removed++
 		}
+	}
+	if removed > 0 {
+		// Make the unlinks durable too, so stale segments cannot
+		// resurrect after a power loss and shadow the live generations.
+		if !l.opts.NoFsync {
+			if err := SyncDir(l.dir); err != nil {
+				return err
+			}
+		}
+		l.fsyncs.Add(1)
 	}
 	l.rotations.Add(1)
 	return nil
@@ -190,6 +235,9 @@ func (l *Log) append(typ RecordType, pid uint32, payload []byte) (uint64, error)
 	defer l.mu.Unlock()
 	if l.closed {
 		return 0, fmt.Errorf("wal: log closed")
+	}
+	if l.failed != nil {
+		return 0, l.failed
 	}
 	l.lsn++
 	frame := AppendRecord(l.scratch[:0], Record{LSN: l.lsn, Type: typ, PID: pid, Payload: payload})
@@ -228,6 +276,11 @@ func (l *Log) Sync(lsn uint64) error {
 		if l.closed {
 			l.mu.Unlock()
 			return fmt.Errorf("wal: log closed")
+		}
+		if l.failed != nil {
+			err := l.failed
+			l.mu.Unlock()
+			return err
 		}
 		if l.syncedLSN >= lsn {
 			l.mu.Unlock()
@@ -274,6 +327,11 @@ func (l *Log) Sync(lsn uint64) error {
 			l.syncedLSN = target
 		}
 		l.commitsSynced = covered
+	} else if l.failed == nil {
+		// Do NOT leave the log retryable: the kernel may have dropped
+		// the dirty pages along with the error, so a second fsync on
+		// the same fd can report success for data that never landed.
+		l.failed = fmt.Errorf("wal: fsync failed, log disabled until reopen: %w", err)
 	}
 	l.syncing = false
 	l.cond.Broadcast()
@@ -304,15 +362,26 @@ func (l *Log) Rotate(tag uint64, meta []byte) error {
 	if l.closed {
 		return fmt.Errorf("wal: log closed")
 	}
+	if l.failed != nil {
+		return l.failed
+	}
 	if !l.opts.NoFsync {
 		if err := l.active.Sync(); err != nil {
-			return err
+			l.failed = fmt.Errorf("wal: fsync failed, log disabled until reopen: %w", err)
+			return l.failed
 		}
 	}
 	l.fsyncs.Add(1)
 	l.syncedLSN = l.lsn
 	l.commitsSynced = l.commitsTotal
-	return l.rotateLocked(tag, meta, l.seq, l.seq)
+	if err := l.rotateLocked(tag, meta, l.seq, l.seq); err != nil {
+		// A half-finished rotation leaves the active handle and the
+		// directory in an uncertain state; poison the log rather than
+		// let later appends write somewhere recovery will not look.
+		l.failed = fmt.Errorf("wal: rotation failed, log disabled until reopen: %w", err)
+		return l.failed
+	}
+	return nil
 }
 
 // ActiveBytes reports the size of the active segment — the input to

@@ -279,6 +279,85 @@ func TestGroupCommitCoalesces(t *testing.T) {
 	}
 }
 
+// TestFsyncFailureLatches: an fsync failure poisons the log — the
+// failed Sync's records are never reported durable, and every later
+// append, Sync, or Rotate fails until the store is reopened. Retrying
+// fsync on the same fd is forbidden because the kernel may have dropped
+// the dirty pages along with the error, making the retry "succeed" for
+// data that never reached disk.
+func TestFsyncFailureLatches(t *testing.T) {
+	dir := t.TempDir()
+	res, _ := Recover(dir, applyMap(map[uint32][]byte{}))
+	l, err := Start(dir, res, Options{}) // real fsyncs: the failure path is the point
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l.AppendCommit(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.active.Close() // fsync now fails (EBADF), standing in for EIO
+	if err := l.Sync(lsn); err == nil {
+		t.Fatal("Sync succeeded on a closed fd")
+	}
+	if _, err := l.AppendCommit(2, nil); err == nil {
+		t.Fatal("append allowed on a poisoned log")
+	}
+	if err := l.Sync(lsn); err == nil {
+		t.Fatal("Sync retry allowed on a poisoned log")
+	}
+	if err := l.SyncAll(); err == nil {
+		t.Fatal("SyncAll allowed on a poisoned log")
+	}
+	if err := l.Rotate(1, nil); err == nil {
+		t.Fatal("Rotate allowed on a poisoned log")
+	}
+}
+
+// TestMidSegmentCheckpointRejected: a checkpoint record anywhere but a
+// segment's head is outside the format contract (no writer produces
+// one); recovery must stop at the last durable point with the tail
+// flagged as damaged instead of adopting the forged durable point.
+func TestMidSegmentCheckpointRejected(t *testing.T) {
+	dir := t.TempDir()
+	res, _ := Recover(dir, applyMap(map[uint32][]byte{}))
+	l, err := Start(dir, res, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.AppendPage(1, []byte("good"))
+	l.AppendCommit(1, []byte("m1"))
+	l.Close()
+
+	// Hand-append a forged mid-segment checkpoint plus a commit that
+	// would advance the durable point if the scan kept going.
+	segs, _ := SegmentFiles(dir)
+	active := segs[len(segs)-1]
+	var forged []byte
+	forged = AppendRecord(forged, Record{LSN: 100, Type: RecCheckpoint, Payload: encodePoint(9, []byte("forged"))})
+	forged = AppendRecord(forged, Record{LSN: 101, Type: RecCommit, Payload: encodePoint(10, []byte("after"))})
+	f, err := os.OpenFile(active.Path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(forged); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	got := map[uint32][]byte{}
+	res2, err := Recover(dir, applyMap(got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Tag != 1 || string(res2.Meta) != "m1" {
+		t.Fatalf("forged checkpoint adopted: %+v", res2)
+	}
+	if !res2.TailTruncated {
+		t.Fatal("mid-segment checkpoint not flagged as corruption")
+	}
+}
+
 // TestShortWriteTyped: an append that cannot fully reach the file
 // surfaces ErrShortWrite.
 func TestShortWriteTyped(t *testing.T) {
