@@ -1,0 +1,63 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// inPageWidths is the leaf node width sweep: cache-line-sized nodes up
+// to a few lines, plus 0 for the variant's default width.
+var inPageWidths = []int{64, 128, 256, 512, 1024, 0}
+
+// inPageSweep runs the in-page search microbenchmark over every leaf
+// width and implementation. Implementations must agree: within one
+// width, every impl's probe-answer checksum has to match, so a kernel
+// that got faster by being wrong fails the sweep instead of winning it.
+func inPageSweep(iters int) ([]core.InPageBenchResult, error) {
+	out := make([]core.InPageBenchResult, 0, len(inPageWidths)*len(core.InPageSearchImpls()))
+	for _, w := range inPageWidths {
+		rs, err := core.BenchInPageSearch(w, iters)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rs[1:] {
+			if r.Checksum != rs[0].Checksum {
+				return nil, fmt.Errorf("in-page sweep: impl %q checksum %#x disagrees with %q checksum %#x at leaf width %d",
+					r.Impl, r.Checksum, rs[0].Impl, rs[0].Checksum, r.LeafBytes)
+			}
+		}
+		out = append(out, rs...)
+	}
+	return out, nil
+}
+
+// printInPage renders the sweep as one row per leaf width with a
+// column per implementation plus the swar-over-branchless speedup.
+func printInPage(entries []core.InPageBenchResult) {
+	impls := core.InPageSearchImpls()
+	fmt.Printf("%-12s %-10s", "leaf_bytes", "keys/node")
+	for _, impl := range impls {
+		fmt.Printf(" %12s", impl+" ns")
+	}
+	fmt.Printf(" %16s\n", "swar/branchless")
+	byWidth := map[int]map[string]core.InPageBenchResult{}
+	var widths []int
+	for _, e := range entries {
+		if byWidth[e.LeafBytes] == nil {
+			byWidth[e.LeafBytes] = map[string]core.InPageBenchResult{}
+			widths = append(widths, e.LeafBytes)
+		}
+		byWidth[e.LeafBytes][e.Impl] = e
+	}
+	for _, w := range widths {
+		row := byWidth[w]
+		any := row[impls[0]]
+		fmt.Printf("%-12d %-10d", w, any.Keys)
+		for _, impl := range impls {
+			fmt.Printf(" %12.2f", row[impl].NsPerOp)
+		}
+		speedup := row["branchless"].NsPerOp / row["swar"].NsPerOp
+		fmt.Printf(" %15.2fx\n", speedup)
+	}
+}

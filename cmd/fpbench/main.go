@@ -48,6 +48,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/obs/httpdbg"
@@ -61,15 +62,16 @@ type benchEntry struct {
 }
 
 type benchReport struct {
-	Scale       string            `json:"scale"`
-	Workers     int               `json:"workers"`
-	CPUs        int               `json:"cpus"`
-	GoMaxProcs  int               `json:"gomaxprocs"`
-	GoVersion   string            `json:"go_version"`
-	GitCommit   string            `json:"git_commit,omitempty"`
-	Experiments []benchEntry      `json:"experiments,omitempty"`
-	Throughput  []throughputEntry `json:"throughput,omitempty"`
-	Durability  []durabilityEntry `json:"durability,omitempty"`
+	Scale       string                   `json:"scale"`
+	Workers     int                      `json:"workers"`
+	CPUs        int                      `json:"cpus"`
+	GoMaxProcs  int                      `json:"gomaxprocs"`
+	GoVersion   string                   `json:"go_version"`
+	GitCommit   string                   `json:"git_commit,omitempty"`
+	Experiments []benchEntry             `json:"experiments,omitempty"`
+	Throughput  []throughputEntry        `json:"throughput,omitempty"`
+	Durability  []durabilityEntry        `json:"durability,omitempty"`
+	InPage      []core.InPageBenchResult `json:"inpage,omitempty"`
 }
 
 // gitCommit reports the VCS revision stamped into the binary, if any
@@ -107,7 +109,41 @@ func main() {
 	slowOp := flag.Duration("slow-op", time.Millisecond, "slow-op span threshold for the serving benchmark's trace ring (with -debug-addr)")
 	storeMode := flag.String("store", "sim", "serving-benchmark page store: sim (memory) or file (durable OS-file store + WAL, with -threads)")
 	walBench := flag.Bool("walbench", false, "run the WAL group-commit sweep (commits/sec and fsyncs/commit vs batch size) instead of the experiments")
+	inPage := flag.Bool("inpage", false, "run the in-page search microbenchmark (node widths x implementations) instead of the experiments")
 	flag.Parse()
+
+	if *inPage {
+		iters := map[string]int{"quick": 200_000, "default": 2_000_000, "paper": 8_000_000}[*scale]
+		if iters == 0 {
+			fatal(fmt.Errorf("unknown -scale %q (want quick, default, or paper)", *scale))
+		}
+		fmt.Printf("# in-page search microbenchmark — %d unpredictable probes per cell, wall-clock\n", iters)
+		entries, err := inPageSweep(iters)
+		if err != nil {
+			fatal(err)
+		}
+		printInPage(entries)
+		if *benchJSON != "" {
+			report := benchReport{
+				Scale:      "inpage",
+				CPUs:       runtime.NumCPU(),
+				GoMaxProcs: runtime.GOMAXPROCS(0),
+				GoVersion:  runtime.Version(),
+				GitCommit:  gitCommit(),
+				InPage:     entries,
+			}
+			data, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			data = append(data, '\n')
+			if err := os.WriteFile(*benchJSON, data, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("# wrote %s\n", *benchJSON)
+		}
+		return
+	}
 
 	if *walBench {
 		fmt.Printf("# WAL group-commit sweep — %v per cell, real fsyncs on a real file\n", *duration)

@@ -189,6 +189,16 @@ type Options struct {
 	// truncating the log, which fsync does not influence. Production
 	// opens leave it false.
 	StoreNoFsync bool
+	// GappedLeaves switches the fpB+-Tree variants to the gapped leaf
+	// layout (node layout v2, DESIGN.md §13): leaf in-page nodes keep
+	// interleaved empty slots so an insert shifts only the keys between
+	// the insertion point and the nearest gap instead of the whole
+	// suffix. Opt-in because it changes the search charge model (a
+	// data-parallel whole-node scan replaces the binary search), so
+	// simulated cycle tables differ from the paper defaults; the key
+	// 0xFFFFFFFF becomes reserved as the gap sentinel. Only DiskFirst
+	// and CacheFirst support it.
+	GappedLeaves bool
 }
 
 // Option mutates Options.
@@ -260,6 +270,12 @@ func WithCheckpointBytes(n int64) Option { return func(o *Options) { o.Checkpoin
 // WithStoreNoFsync elides physical fsyncs in the durable store (test
 // and benchmark knob; ordering and accounting are unchanged).
 func WithStoreNoFsync() Option { return func(o *Options) { o.StoreNoFsync = true } }
+
+// WithGappedLeaves switches the fpB+-Tree variants to the gapped leaf
+// layout (insert shifts stop at the nearest interleaved gap; see
+// Options.GappedLeaves for the trade-offs). DiskFirst and CacheFirst
+// only.
+func WithGappedLeaves() Option { return func(o *Options) { o.GappedLeaves = true } }
 
 // WithConcurrency enables the wall-clock serving mode sized for n
 // concurrent goroutines (n >= 1). Searches, scans, inserts, deletes,
@@ -353,6 +369,9 @@ func New(options ...Option) (*Tree, error) {
 	}
 	if o.StorePath != "" && o.Disks > 0 {
 		return nil, fmt.Errorf("fpbtree: StorePath and Disks are mutually exclusive (the durable store replaces the simulated array)")
+	}
+	if o.GappedLeaves && o.Variant != DiskFirst && o.Variant != CacheFirst {
+		return nil, fmt.Errorf("fpbtree: GappedLeaves requires an fpB+-Tree variant (DiskFirst or CacheFirst), not %s", o.Variant)
 	}
 	integrity := o.Checksums || o.Faults != nil
 	physSize := o.PageSize
@@ -454,12 +473,12 @@ func New(options ...Option) (*Tree, error) {
 	case DiskFirst:
 		index, err = core.NewDiskFirst(core.DiskFirstConfig{
 			Pool: pool, Model: mm, EnableJPA: jpa, PrefetchWindow: o.PrefetchWindow,
-			Trace: substrateTracer,
+			Trace: substrateTracer, GappedLeaves: o.GappedLeaves,
 		})
 	case CacheFirst:
 		index, err = core.NewCacheFirst(core.CacheFirstConfig{
 			Pool: pool, Model: mm, EnableJPA: jpa, PrefetchWindow: o.PrefetchWindow,
-			Trace: substrateTracer,
+			Trace: substrateTracer, GappedLeaves: o.GappedLeaves,
 		})
 	case DiskOptimized:
 		index, err = bptree.New(bptree.Config{

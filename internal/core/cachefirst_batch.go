@@ -126,8 +126,8 @@ func (t *CacheFirst) resolveLeaf(pg buffer.Page, at ptr, k idx.Key) (idx.TupleID
 		}
 		t.visitNode(cpg, cur.off)
 		slot, _ := t.searchNode(cpg, cur.off, k, true)
-		slot++
-		if slot < t.cCount(cpg.Data, cur.off) {
+		slot = t.cNextOccupied(cpg.Data, cur.off, slot+1)
+		if slot >= 0 {
 			t.mm.Access(cpg.Addr+uint64(t.cKeyPos(cur.off, slot)), 4)
 			if t.cKey(cpg.Data, cur.off, slot) == k {
 				t.mm.Access(cpg.Addr+uint64(t.cTidPos(cur.off, slot)), 4)

@@ -67,10 +67,16 @@ func (t *CacheFirst) Bulkload(entries []idx.Entry, fill float64) error {
 		}
 		off := t.allocSlot(pg.Data)
 		d := pg.Data
-		t.cSetCount(d, off, len(es))
-		for i, e := range es {
-			t.cSetKey(d, off, i, e.Key)
-			t.cSetTid(d, off, i, e.TID)
+		if t.gapped {
+			// Interleave the node's free slots with its entries (entry 0
+			// still lands on slot 0, so the min read below is unchanged).
+			t.spreadLeafLoad(d, off, es)
+		} else {
+			t.cSetCount(d, off, len(es))
+			for i, e := range es {
+				t.cSetKey(d, off, i, e.Key)
+				t.cSetTid(d, off, i, e.TID)
+			}
 		}
 		at := ptr{pg.ID, off}
 		if !prevLeaf.isNil() {

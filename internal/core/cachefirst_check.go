@@ -35,8 +35,7 @@ func (t *CacheFirst) CheckInvariants() error {
 		if err != nil {
 			return err
 		}
-		cnt := t.cCount(pg.Data, cur.off)
-		for j := 0; j < cnt; j++ {
+		for j := t.cNextOccupied(pg.Data, cur.off, 0); j >= 0; j = t.cNextOccupied(pg.Data, cur.off, j+1) {
 			k := t.cKey(pg.Data, cur.off, j)
 			if have && k < last {
 				t.pool.Unpin(pg, false)
@@ -203,19 +202,50 @@ func (t *CacheFirst) checkNode(at ptr, lvl int, lo, hi *idx.Key, st *cfCheckStat
 			return fmt.Errorf("cachefirst: nonleaf %v count %d out of range", at, cnt)
 		}
 	}
-	for j := 0; j < cnt; j++ {
-		k := t.cKey(d, at.off, j)
-		if j > 0 && k < t.cKey(d, at.off, j-1) {
-			release()
-			return fmt.Errorf("cachefirst: node %v unsorted at %d", at, j)
+	if lvl == 0 && t.gappedLeafPage(d) {
+		// Gapped leaf: count is occupancy; live keys must be sorted
+		// among themselves across the gaps.
+		occ := 0
+		var prev idx.Key
+		for j := 0; j < t.capL; j++ {
+			k := t.cKey(d, at.off, j)
+			if k == gapSentinel {
+				continue
+			}
+			if occ > 0 && k < prev {
+				release()
+				return fmt.Errorf("cachefirst: gapped leaf %v unsorted at %d", at, j)
+			}
+			occ++
+			prev = k
+			if lo != nil && k < *lo {
+				release()
+				return fmt.Errorf("cachefirst: node %v key %d below bound %d", at, k, *lo)
+			}
+			if hi != nil && k > *hi {
+				release()
+				return fmt.Errorf("cachefirst: node %v key %d above bound %d", at, k, *hi)
+			}
 		}
-		if lo != nil && k < *lo {
+		if occ != cnt {
 			release()
-			return fmt.Errorf("cachefirst: node %v key %d below bound %d", at, k, *lo)
+			return fmt.Errorf("cachefirst: gapped leaf %v occupancy %d != count %d", at, occ, cnt)
 		}
-		if hi != nil && k > *hi {
-			release()
-			return fmt.Errorf("cachefirst: node %v key %d above bound %d", at, k, *hi)
+	} else {
+		for j := 0; j < cnt; j++ {
+			k := t.cKey(d, at.off, j)
+			if j > 0 && k < t.cKey(d, at.off, j-1) {
+				release()
+				return fmt.Errorf("cachefirst: node %v unsorted at %d", at, j)
+			}
+			if lo != nil && k < *lo {
+				release()
+				return fmt.Errorf("cachefirst: node %v key %d below bound %d", at, k, *lo)
+			}
+			if hi != nil && k > *hi {
+				release()
+				return fmt.Errorf("cachefirst: node %v key %d above bound %d", at, k, *hi)
+			}
 		}
 	}
 	if lvl == 0 {

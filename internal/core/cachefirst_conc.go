@@ -109,8 +109,8 @@ func (t *CacheFirst) findFirstConc(k idx.Key) (buffer.Page, ptr, int, bool, erro
 			}
 			t.visitNode(pg, cur.off)
 			slot, _ := t.searchNode(pg, cur.off, k, true)
-			slot++
-			if slot < t.cCount(pg.Data, cur.off) {
+			slot = t.cNextOccupied(pg.Data, cur.off, slot+1)
+			if slot >= 0 {
 				t.mm.Access(pg.Addr+uint64(t.cKeyPos(cur.off, slot)), 4)
 				if t.cKey(pg.Data, cur.off, slot) == k {
 					return pg, cur, slot, true, nil
@@ -182,8 +182,8 @@ func (t *CacheFirst) deleteConc(k idx.Key) (bool, error) {
 		pg = npg
 		t.visitNode(pg, cur.off)
 		slot, _ := t.searchNode(pg, cur.off, k, true)
-		slot++
-		if slot < t.cCount(pg.Data, cur.off) {
+		slot = t.cNextOccupied(pg.Data, cur.off, slot+1)
+		if slot >= 0 {
 			t.mm.Access(pg.Addr+uint64(t.cKeyPos(cur.off, slot)), 4)
 			if t.cKey(pg.Data, cur.off, slot) == k {
 				t.deleteAt(pg, cur, slot)
@@ -251,9 +251,15 @@ func (t *CacheFirst) rangeScanConc(startKey, endKey idx.Key, fn func(idx.Key, id
 				i = slot + 1
 				first = false
 			}
-			cnt := t.cCount(d, cur.off)
+			gapped := t.gappedLeafPage(d)
+			cnt := t.cSlots(d, cur.off)
 			for ; i < cnt; i++ {
 				k := t.cKey(d, cur.off, i)
+				// Skip gap slots before the end-of-range check: the
+				// sentinel is the max key and would falsely terminate.
+				if gapped && k == gapSentinel {
+					continue
+				}
 				if k > endKey {
 					t.pool.Unpin(pg, false)
 					return count, nil
@@ -362,14 +368,18 @@ restart:
 				firstPage = false
 			}
 			d := pg.Data
+			gapped := t.gappedLeafPage(d)
 			for ; oi >= 0; oi-- {
 				off := offs[oi]
 				t.visitNode(pg, off)
 				if i < 0 {
-					i = t.cCount(d, off) - 1
+					i = t.cSlots(d, off) - 1
 				}
 				for ; i >= 0; i-- {
 					k := t.cKey(d, off, i)
+					if gapped && k == gapSentinel {
+						continue
+					}
 					if k < startKey {
 						t.pool.Unpin(pg, false)
 						return count, nil

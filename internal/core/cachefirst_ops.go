@@ -55,8 +55,8 @@ func (t *CacheFirst) findFirst(k idx.Key) (buffer.Page, ptr, int, bool, error) {
 		pg = npg
 		t.visitNode(pg, cur.off)
 		slot, _ := t.searchNode(pg, cur.off, k, true)
-		slot++
-		if slot < t.cCount(pg.Data, cur.off) {
+		slot = t.cNextOccupied(pg.Data, cur.off, slot+1)
+		if slot >= 0 {
 			t.mm.Access(pg.Addr+uint64(t.cKeyPos(cur.off, slot)), 4)
 			if t.cKey(pg.Data, cur.off, slot) == k {
 				return pg, cur, slot, true, nil
@@ -81,6 +81,9 @@ func (t *CacheFirst) findFirst(k idx.Key) (buffer.Page, ptr, int, bool, error) {
 // restarts from the root, since node addresses may have changed.
 func (t *CacheFirst) Insert(k idx.Key, tid idx.TupleID) error {
 	t.ops.Inserts.Add(1)
+	if t.gapped && k == gapSentinel {
+		return fmt.Errorf("core: key %#x is reserved as the gap sentinel under GappedLeaves", uint32(k))
+	}
 	if t.conc {
 		// Writers serialize with each other (never with readers) and
 		// take exclusive latches on every page they touch; see the
@@ -94,6 +97,11 @@ func (t *CacheFirst) Insert(k idx.Key, tid idx.TupleID) error {
 			return err
 		}
 		off := t.allocSlot(pg.Data)
+		if t.gapped {
+			// Slots are zero-filled and key 0 is valid: mark every slot
+			// of the fresh leaf node as a gap explicitly.
+			t.sentinelFillLeaf(pg.Data, off)
+		}
 		t.pool.Unpin(pg, true)
 		t.jpaAppend(pg.ID)
 		at := ptr{pg.ID, off}
@@ -227,7 +235,7 @@ func (t *CacheFirst) childFull(pg buffer.Page, child ptr, childLvl int) (bool, b
 	}
 	cap := t.capN
 	if childLvl == 0 {
-		cap = t.capL
+		cap = t.leafSplitAt()
 	}
 	return t.cCount(cpg.Data, child.off) >= cap, cpg, nil
 }
@@ -243,7 +251,7 @@ func (t *CacheFirst) maybeGrowRoot() error {
 	}
 	cap := t.capN
 	if height == 1 {
-		cap = t.capL
+		cap = t.leafSplitAt()
 	}
 	if t.cCount(pg.Data, root.off) < cap {
 		t.pool.Unpin(pg, false)
@@ -359,8 +367,20 @@ func (t *CacheFirst) splitChild(pg buffer.Page, parent ptr, slot int, cpg buffer
 	mid := cnt / 2
 	moved := cnt - mid
 	if childLvl == 0 {
-		copy(rd[t.cKeyPos(right.off, 0):t.cKeyPos(right.off, moved)], cd[t.cKeyPos(child.off, mid):t.cKeyPos(child.off, cnt)])
-		copy(rd[t.cTidPos(right.off, 0):t.cTidPos(right.off, moved)], cd[t.cTidPos(child.off, mid):t.cTidPos(child.off, cnt)])
+		if t.gappedLeafPage(cd) {
+			// Gapped leaves split early (at the occupancy threshold), so
+			// the live entries are collected across the gaps and each half
+			// is re-spread with fresh interleaved gaps.
+			es := make([]idx.Entry, 0, cnt)
+			for i := t.cNextOccupied(cd, child.off, 0); i >= 0; i = t.cNextOccupied(cd, child.off, i+1) {
+				es = append(es, idx.Entry{Key: t.cKey(cd, child.off, i), TID: t.cTid(cd, child.off, i)})
+			}
+			t.spreadLeafLoad(cd, child.off, es[:mid])
+			t.spreadLeafLoad(rd, right.off, es[mid:])
+		} else {
+			copy(rd[t.cKeyPos(right.off, 0):t.cKeyPos(right.off, moved)], cd[t.cKeyPos(child.off, mid):t.cKeyPos(child.off, cnt)])
+			copy(rd[t.cTidPos(right.off, 0):t.cTidPos(right.off, moved)], cd[t.cTidPos(child.off, mid):t.cTidPos(child.off, cnt)])
+		}
 		t.mm.CopyBetween(rpg.Addr+uint64(t.cKeyPos(right.off, 0)), cpg.Addr+uint64(t.cKeyPos(child.off, mid)), moved*4)
 		t.mm.CopyBetween(rpg.Addr+uint64(t.cTidPos(right.off, 0)), cpg.Addr+uint64(t.cTidPos(child.off, mid)), moved*4)
 		// Leaf sibling chain.
@@ -410,17 +430,105 @@ func (t *CacheFirst) installChild(pg buffer.Page, parent ptr, pos int, k idx.Key
 func (t *CacheFirst) leafInsert(pg buffer.Page, off int, k idx.Key, tid idx.TupleID) {
 	d := pg.Data
 	slot, _ := t.searchNode(pg, off, k, false)
+	if t.gappedLeafPage(d) {
+		t.gappedLeafInsertAt(pg, off, slot, k, tid)
+		return
+	}
 	pos := slot + 1
 	cnt := t.cCount(d, off)
-	if moved := cnt - pos; moved > 0 {
+	moved := cnt - pos
+	if moved > 0 {
 		copy(d[t.cKeyPos(off, pos+1):t.cKeyPos(off, cnt+1)], d[t.cKeyPos(off, pos):t.cKeyPos(off, cnt)])
 		copy(d[t.cTidPos(off, pos+1):t.cTidPos(off, cnt+1)], d[t.cTidPos(off, pos):t.cTidPos(off, cnt)])
 		t.mm.Copy(pg.Addr+uint64(t.cKeyPos(off, pos)), moved*4)
 		t.mm.Copy(pg.Addr+uint64(t.cTidPos(off, pos)), moved*4)
+	} else {
+		moved = 0
 	}
 	t.cSetKey(d, off, pos, k)
 	t.cSetTid(d, off, pos, tid)
 	t.cSetCount(d, off, cnt+1)
+	t.mm.Access(pg.Addr+uint64(t.cKeyPos(off, pos)), 4)
+	t.mm.Access(pg.Addr+uint64(t.cTidPos(off, pos)), 4)
+	t.recordShift(moved)
+}
+
+// gappedLeafInsertAt writes (k, tid) into gapped leaf node off, whose
+// predecessor for k sits at physical slot `slot` (-1 when no live key
+// qualifies). An adjacent gap absorbs the insert with zero key moves;
+// otherwise entries shift one position toward the nearest gap.
+func (t *CacheFirst) gappedLeafInsertAt(pg buffer.Page, off, slot int, k idx.Key, tid idx.TupleID) {
+	d := pg.Data
+	occ := t.cCount(d, off)
+	pos := slot + 1
+	if pos < t.capL && t.cKey(d, off, pos) == gapSentinel {
+		t.gapFills.Add(1)
+		t.recordShift(0)
+	} else {
+		gl, gr := -1, -1
+		for i := slot; i >= 0; i-- {
+			if t.cKey(d, off, i) == gapSentinel {
+				gl = i
+				break
+			}
+		}
+		for i := pos + 1; i < t.capL; i++ {
+			if t.cKey(d, off, i) == gapSentinel {
+				gr = i
+				break
+			}
+		}
+		var moved int
+		if gl >= 0 && (gr < 0 || slot-gl < gr-pos) {
+			moved = slot - gl
+		} else {
+			moved = gr - pos
+		}
+		if moved > t.capL/8 {
+			// The nearest gap is far: a one-slot shift chain would cost
+			// nearly as much as a dense insert and leave the cluster
+			// just as dense for the next one. Rebalance instead —
+			// respread every live entry (plus the new one) evenly so
+			// gaps return to the hot spot. Costs O(occ) once, then the
+			// following inserts in this region are O(1) again.
+			es := make([]idx.Entry, 0, occ+1)
+			placed := false
+			for i := t.cNextOccupied(d, off, 0); i >= 0; i = t.cNextOccupied(d, off, i+1) {
+				ek := t.cKey(d, off, i)
+				if !placed && ek > k {
+					es = append(es, idx.Entry{Key: k, TID: tid})
+					placed = true
+				}
+				es = append(es, idx.Entry{Key: ek, TID: t.cTid(d, off, i)})
+			}
+			if !placed {
+				es = append(es, idx.Entry{Key: k, TID: tid})
+			}
+			t.spreadLeafLoad(d, off, es)
+			t.mm.Copy(pg.Addr+uint64(t.cKeyPos(off, 0)), occ*4)
+			t.mm.Copy(pg.Addr+uint64(t.cTidPos(off, 0)), occ*4)
+			t.recordShift(occ)
+			return
+		}
+		if gl >= 0 && (gr < 0 || slot-gl < gr-pos) {
+			// Shift (gl+1 .. slot) left one slot; k lands on slot.
+			copy(d[t.cKeyPos(off, gl):t.cKeyPos(off, slot)], d[t.cKeyPos(off, gl+1):t.cKeyPos(off, slot+1)])
+			copy(d[t.cTidPos(off, gl):t.cTidPos(off, slot)], d[t.cTidPos(off, gl+1):t.cTidPos(off, slot+1)])
+			t.mm.Copy(pg.Addr+uint64(t.cKeyPos(off, gl)), moved*4)
+			t.mm.Copy(pg.Addr+uint64(t.cTidPos(off, gl)), moved*4)
+			pos = slot
+		} else {
+			// Shift (pos .. gr-1) right one slot; k lands on pos.
+			copy(d[t.cKeyPos(off, pos+1):t.cKeyPos(off, gr+1)], d[t.cKeyPos(off, pos):t.cKeyPos(off, gr)])
+			copy(d[t.cTidPos(off, pos+1):t.cTidPos(off, gr+1)], d[t.cTidPos(off, pos):t.cTidPos(off, gr)])
+			t.mm.Copy(pg.Addr+uint64(t.cKeyPos(off, pos)), moved*4)
+			t.mm.Copy(pg.Addr+uint64(t.cTidPos(off, pos)), moved*4)
+		}
+		t.recordShift(moved)
+	}
+	t.cSetKey(d, off, pos, k)
+	t.cSetTid(d, off, pos, tid)
+	t.cSetCount(d, off, occ+1)
 	t.mm.Access(pg.Addr+uint64(t.cKeyPos(off, pos)), 4)
 	t.mm.Access(pg.Addr+uint64(t.cTidPos(off, pos)), 4)
 }
@@ -477,7 +585,11 @@ func (t *CacheFirst) Delete(k idx.Key) (bool, error) {
 func (t *CacheFirst) deleteAt(pg buffer.Page, cur ptr, slot int) {
 	d := pg.Data
 	cnt := t.cCount(d, cur.off)
-	if moved := cnt - slot - 1; moved > 0 {
+	if t.gappedLeafPage(d) {
+		// Punch a gap in place of the removed entry: O(1), no shifting.
+		t.cSetKey(d, cur.off, slot, gapSentinel)
+		t.mm.Access(pg.Addr+uint64(t.cKeyPos(cur.off, slot)), 4)
+	} else if moved := cnt - slot - 1; moved > 0 {
 		copy(d[t.cKeyPos(cur.off, slot):t.cKeyPos(cur.off, cnt-1)], d[t.cKeyPos(cur.off, slot+1):t.cKeyPos(cur.off, cnt)])
 		copy(d[t.cTidPos(cur.off, slot):t.cTidPos(cur.off, cnt-1)], d[t.cTidPos(cur.off, slot+1):t.cTidPos(cur.off, cnt)])
 		t.mm.Copy(pg.Addr+uint64(t.cKeyPos(cur.off, slot)), moved*4)

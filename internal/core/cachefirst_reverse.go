@@ -96,9 +96,15 @@ func (t *CacheFirst) reverseScanPage(pg buffer.Page, startKey, endKey idx.Key, f
 			t.mm.Busy(memsim.CostNodeVisit)
 		}
 		if i < 0 {
-			i = t.cCount(d, off) - 1
+			i = t.cSlots(d, off) - 1
 		}
+		gapped := t.gappedLeafPage(d)
 		for ; i >= 0; i-- {
+			// Skip gap slots before any bound check: the sentinel is the
+			// max key and endKey may legitimately be that value.
+			if gapped && t.cKey(d, off, i) == gapSentinel {
+				continue
+			}
 			t.mm.Access(pg.Addr+uint64(t.cKeyPos(off, i)), 4)
 			k := t.cKey(d, off, i)
 			if k < startKey {

@@ -81,8 +81,14 @@ func (t *CacheFirst) RangeScan(startKey, endKey idx.Key, fn func(idx.Key, idx.Tu
 			i = slot + 1
 			first = false
 		}
-		cnt := t.cCount(d, cur.off)
+		gapped := t.gappedLeafPage(d)
+		cnt := t.cSlots(d, cur.off)
 		for ; i < cnt; i++ {
+			// Skip gap slots before the end-of-range check: the sentinel
+			// is the max key and would falsely terminate the scan.
+			if gapped && t.cKey(d, cur.off, i) == gapSentinel {
+				continue
+			}
 			t.mm.Access(pg.Addr+uint64(t.cKeyPos(cur.off, i)), 4)
 			k := t.cKey(d, cur.off, i)
 			if k > endKey {

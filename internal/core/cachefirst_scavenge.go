@@ -56,7 +56,27 @@ func (t *CacheFirst) Scavenge() (idx.ScavengeStats, error) {
 		}
 		cnt := t.cCount(page, cur.off)
 		bad := cnt > t.capL
-		if !bad {
+		if !bad && t.gapped {
+			// Gapped leaf: walk physical slots, skip gaps, and require
+			// the live-slot count to match the recorded occupancy.
+			occ := 0
+			for i := 0; i < t.capL; i++ {
+				k := t.cKey(page, cur.off, i)
+				if k == gapSentinel {
+					continue
+				}
+				if have && k < lastKey {
+					bad = true
+					break
+				}
+				lastKey, have = k, true
+				occ++
+				entries = append(entries, idx.Entry{Key: k, TID: t.cTid(page, cur.off, i)})
+			}
+			if occ != cnt {
+				bad = true
+			}
+		} else if !bad {
 			for i := 0; i < cnt; i++ {
 				k := t.cKey(page, cur.off, i)
 				if have && k < lastKey {

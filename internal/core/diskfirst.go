@@ -92,6 +92,12 @@ type DiskFirstConfig struct {
 	// behaviour the paper's design explicitly avoids; kept as an
 	// ablation).
 	NoOvershootProtection bool
+	// GappedLeaves keeps interleaved empty slots (marked with
+	// gapSentinel) in the in-page leaf nodes of leaf pages, so inserts
+	// shift O(gap distance) keys instead of half a node. Opt-in: the
+	// default dense layout keeps simulation output byte-identical.
+	// Gapped trees cannot store the sentinel key value itself.
+	GappedLeaves bool
 	// Trace, when non-nil, receives one event per in-page node visit.
 	Trace *obs.Tracer
 }
@@ -124,9 +130,16 @@ type DiskFirst struct {
 	jpa       bool
 	pfWindow  int
 	overshoot bool // ablation: prefetch past the end page
+	gapped    bool // leaf-page leaf nodes keep interleaved gap slots
 
 	tr  *obs.Tracer
 	ops idx.AtomicOpStats
+
+	// Node-layout metrics: keys displaced per leaf insert (recorded in
+	// both layouts, so the gapped win is measurable against dense) and
+	// inserts that landed in an adjacent gap with zero displacement.
+	shiftHist *obs.Histogram
+	gapFills  atomic.Uint64
 
 	batch idx.BatchScratch
 }
@@ -175,9 +188,17 @@ func NewDiskFirst(cfg DiskFirstConfig) (*DiskFirst, error) {
 		jpa:       cfg.EnableJPA,
 		pfWindow:  pf,
 		overshoot: cfg.NoOvershootProtection,
+		gapped:    cfg.GappedLeaves,
 		tr:        cfg.Trace,
 	}, nil
 }
+
+// GapFills reports inserts that filled an adjacent gap slot without
+// displacing any key (see idx.RegisterMetrics).
+func (t *DiskFirst) GapFills() uint64 { return t.gapFills.Load() }
+
+// AttachShiftHistogram wires the node.insert_shift_keys histogram.
+func (t *DiskFirst) AttachShiftHistogram(h *obs.Histogram) { t.shiftHist = h }
 
 // Name implements idx.Index.
 func (t *DiskFirst) Name() string { return "disk-first fpB+tree" }
@@ -374,4 +395,143 @@ func (t *DiskFirst) probe(pg buffer.Page, pos int) idx.Key {
 	t.mm.Busy(memsim.CostCompare)
 	t.mm.Other(memsim.CostComparePenalty)
 	return le.Uint32(pg.Data[pos:])
+}
+
+// replaySearchCharges re-issues the exact memory charges of the
+// branchless binary search after the SWAR scan has already computed its
+// final bound. Each step of that search goes right iff mid < finalLo
+// (lo only advances past probed keys <(=) k, hi only drops onto probed
+// keys that are not), so the probe sequence — and with it every
+// mm.Access/Busy/Other — is a pure function of (count, finalLo). In
+// wall-clock serving mode the model is frozen and the replay is
+// skipped outright.
+func (t *DiskFirst) replaySearchCharges(pg buffer.Page, off, cnt, finalLo int, leaf bool) {
+	if t.mm.Concurrent() {
+		return
+	}
+	lo, hi := 0, cnt
+	for lo < hi {
+		mid := (lo + hi) / 2
+		pos := t.nKeyPos(off, mid)
+		if leaf {
+			pos = t.lKeyPos(off, mid)
+		}
+		t.mm.Access(pg.Addr+uint64(pos), 4)
+		t.mm.Busy(memsim.CostCompare)
+		t.mm.Other(memsim.CostComparePenalty)
+		right := b2i(mid < finalLo)
+		lo += right * (mid + 1 - lo)
+		hi = mid + right*(hi-mid)
+	}
+}
+
+// chargeGappedScan is the charge model of a gapped-leaf SWAR search:
+// one access over the scanned key region, compare cost per word
+// scanned, and a single mispredict-penalty term. Gapped mode is opt-in
+// with no byte-identity requirement, so the model is defined here
+// rather than replayed from the binary search (see DESIGN.md §13).
+func (t *DiskFirst) chargeGappedScan(pg buffer.Page, base, slots int) {
+	if t.mm.Concurrent() {
+		return
+	}
+	t.mm.Access(pg.Addr+uint64(base), 4*slots)
+	t.mm.Busy(memsim.CostCompare * uint64((slots+1)/2))
+	t.mm.Other(memsim.CostComparePenalty)
+}
+
+// --- gapped-leaf layout helpers ---
+//
+// Gapped layout applies only to the in-page leaf nodes of LEAF pages:
+// nonleaf pages' in-page leaf nodes hold child page IDs and every
+// descent/JPA path assumes them dense. A gap slot carries gapSentinel
+// in its key and 0 in its pointer; the count field keeps the live
+// occupancy, and live keys are sorted among themselves, so the
+// physical iteration bound of a gapped node is capL, not its count.
+
+// gappedLeafPage reports whether page d's in-page leaf nodes use the
+// gapped layout.
+func (t *DiskFirst) gappedLeafPage(d []byte) bool {
+	return t.gapped && dfType(d) == dfPageLeaf
+}
+
+// lSlots is the physical iteration bound of leaf node off.
+func (t *DiskFirst) lSlots(d []byte, off int) int {
+	if t.gappedLeafPage(d) {
+		return t.capL
+	}
+	return t.lCount(d, off)
+}
+
+// lNextOccupied returns the first live physical slot >= i, or -1. In
+// the dense layout this is i itself when in range — structurally
+// identical to the `slot < count` guards it replaces, so dense-mode
+// call sites keep their exact charge sequences.
+func (t *DiskFirst) lNextOccupied(d []byte, off, i int) int {
+	if !t.gappedLeafPage(d) {
+		if i < t.lCount(d, off) {
+			return i
+		}
+		return -1
+	}
+	for ; i < t.capL; i++ {
+		if t.lKey(d, off, i) != gapSentinel {
+			return i
+		}
+	}
+	return -1
+}
+
+// lFirstOccupied returns the first live slot of leaf node off, or -1
+// when the node is empty.
+func (t *DiskFirst) lFirstOccupied(d []byte, off int) int {
+	if !t.gappedLeafPage(d) {
+		if t.lCount(d, off) > 0 {
+			return 0
+		}
+		return -1
+	}
+	return t.lNextOccupied(d, off, 0)
+}
+
+// sentinelFillLeaf marks every key slot of a freshly allocated gapped
+// leaf node as a gap (allocNode zero-fills, and key 0 is a valid key).
+func (t *DiskFirst) sentinelFillLeaf(d []byte, off int) {
+	for i := 0; i < t.capL; i++ {
+		t.lSetKey(d, off, i, gapSentinel)
+	}
+}
+
+// spreadLeafNode lays cnt entries into a gapped leaf node, entry j at
+// physical slot floor(j*capL/cnt), gaps everywhere else. Entry 0
+// always lands at slot 0, so a node's minimum key stays at a fixed
+// position. Uncharged, like buildInPage.
+func (t *DiskFirst) spreadLeafNode(d []byte, off int, entries []pair) {
+	t.sentinelFillLeaf(d, off)
+	cnt := len(entries)
+	for j := 0; j < cnt; j++ {
+		at := j * t.capL / cnt
+		t.lSetKey(d, off, at, entries[j].key)
+		t.lSetPtr(d, off, at, entries[j].ptr)
+	}
+	t.lSetCount(d, off, cnt)
+}
+
+// leafSplitAt is the occupancy at which an inserting leaf node splits.
+// Dense nodes split only when physically full; gapped nodes split at
+// two-thirds capacity, packed-memory-array style: past that density
+// the nearest gap is many slots away and every insert degenerates to a
+// dense-style long shift (or a rebalance), so gapped mode trades a
+// third of the slots to keep inserts O(gap distance).
+func (t *DiskFirst) leafSplitAt(gapped bool) int {
+	if gapped {
+		return t.capL - t.capL/3
+	}
+	return t.capL
+}
+
+// recordShift notes how many keys a leaf insert displaced.
+func (t *DiskFirst) recordShift(moved int) {
+	if t.shiftHist != nil {
+		t.shiftHist.Record(uint64(moved))
+	}
 }

@@ -123,8 +123,8 @@ func (t *DiskFirst) resolveLeaf(pg buffer.Page, k idx.Key) (idx.TupleID, bool, e
 			for off != 0 {
 				t.visitLeaf(cur, off)
 				slot, _ := t.searchLeafNode(cur, off, k, true)
-				slot++
-				if slot < t.lCount(cur.Data, off) {
+				slot = t.lNextOccupied(cur.Data, off, slot+1)
+				if slot >= 0 {
 					t.mm.Access(cur.Addr+uint64(t.lKeyPos(off, slot)), 4)
 					if t.lKey(cur.Data, off, slot) == k {
 						t.mm.Access(cur.Addr+uint64(t.lPtrPos(off, slot)), 4)

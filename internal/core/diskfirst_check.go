@@ -147,6 +147,34 @@ func (t *DiskFirst) checkInPage(d []byte, pid uint32, lo, hi *idx.Key) error {
 			if cnt > t.capL {
 				return fmt.Errorf("diskfirst: page %d leaf node %d overflows (%d > %d)", pid, off, cnt, t.capL)
 			}
+			if t.gappedLeafPage(d) {
+				// Gapped leaf: count is occupancy; live keys must be
+				// sorted among themselves across the gaps.
+				occ := 0
+				var prev idx.Key
+				for i := 0; i < t.capL; i++ {
+					k := t.lKey(d, off, i)
+					if k == gapSentinel {
+						continue
+					}
+					if occ > 0 && k < prev {
+						return fmt.Errorf("diskfirst: page %d gapped leaf node %d unsorted", pid, off)
+					}
+					occ++
+					prev = k
+					if lo != nil && k < *lo {
+						return fmt.Errorf("diskfirst: page %d key %d below bound %d", pid, k, *lo)
+					}
+					if hi != nil && k > *hi {
+						return fmt.Errorf("diskfirst: page %d key %d above bound %d", pid, k, *hi)
+					}
+				}
+				if occ != cnt {
+					return fmt.Errorf("diskfirst: page %d gapped leaf node %d occupancy %d != count %d", pid, off, occ, cnt)
+				}
+				leafOrder = append(leafOrder, off)
+				return nil
+			}
 			for i := 0; i < cnt; i++ {
 				k := t.lKey(d, off, i)
 				if i > 0 && k < t.lKey(d, off, i-1) {
@@ -199,9 +227,8 @@ func (t *DiskFirst) checkInPage(d []byte, pid uint32, lo, hi *idx.Key) error {
 	have := false
 	total := 0
 	for _, off := range leafOrder {
-		cnt := t.lCount(d, off)
-		total += cnt
-		for j := 0; j < cnt; j++ {
+		total += t.lCount(d, off)
+		for j := t.lNextOccupied(d, off, 0); j >= 0; j = t.lNextOccupied(d, off, j+1) {
 			k := t.lKey(d, off, j)
 			if have && k < last {
 				return fmt.Errorf("diskfirst: page %d keys regress across in-page chain", pid)

@@ -66,11 +66,19 @@ func (t *DiskFirst) buildInPage(d []byte, entries []pair, spread bool) error {
 		if off == 0 {
 			return fmt.Errorf("core: page overflow placing in-page leaf %d/%d", i, nLeaves)
 		}
-		t.lSetCount(d, off, cnt)
-		for j := 0; j < cnt; j++ {
-			t.lSetKey(d, off, j, entries[pos].key)
-			t.lSetPtr(d, off, j, entries[pos].ptr)
-			pos++
+		if t.gappedLeafPage(d) {
+			// Gapped layout: interleave the node's free slots with its
+			// entries instead of packing them at the tail (entry 0 still
+			// lands on slot 0, so the min read below is unchanged).
+			t.spreadLeafNode(d, off, entries[pos:pos+cnt])
+			pos += cnt
+		} else {
+			t.lSetCount(d, off, cnt)
+			for j := 0; j < cnt; j++ {
+				t.lSetKey(d, off, j, entries[pos].key)
+				t.lSetPtr(d, off, j, entries[pos].ptr)
+				pos++
+			}
 		}
 		if len(leafOffs) > 0 {
 			t.lSetNext(d, leafOffs[len(leafOffs)-1], off)
@@ -126,8 +134,7 @@ func (t *DiskFirst) buildInPage(d []byte, entries []pair, spread bool) error {
 func (t *DiskFirst) collectEntries(d []byte) []pair {
 	out := make([]pair, 0, dfEntries(d))
 	for off := dfFirstLeaf(d); off != 0; off = t.lNext(d, off) {
-		cnt := t.lCount(d, off)
-		for i := 0; i < cnt; i++ {
+		for i := t.lNextOccupied(d, off, 0); i >= 0; i = t.lNextOccupied(d, off, i+1) {
 			out = append(out, pair{t.lKey(d, off, i), t.lPtr(d, off, i)})
 		}
 	}
@@ -172,12 +179,40 @@ func b2i(b bool) int {
 	return 0
 }
 
-// searchNonleaf binary searches a nonleaf node for the largest slot
-// with key <= k (lt: < k); -1 if none. The loop is branchless: the
-// go-right decision narrows [lo, hi) by arithmetic select, with the
-// exact probe sequence of the branchy form (memsim charging per probe
-// is unchanged, so simulation outputs stay byte-identical).
+// searchNonleaf finds the largest slot of a nonleaf node with key <= k
+// (lt: < k); -1 if none. The answer comes from the hybrid data-parallel
+// scan (binary narrowing to a window, SWAR lane compares inside it, see
+// swar.go); the branchless binary search's exact probe sequence is then
+// replayed for the memory model, so simulation outputs stay
+// byte-identical.
 func (t *DiskFirst) searchNonleaf(pg buffer.Page, off int, k idx.Key, lt bool) int {
+	cnt := t.nCount(pg.Data, off)
+	base := t.nKeyPos(off, 0)
+	var lo int
+	if cnt <= swarWindow {
+		// Window-sized node: straight to the lane scan, skipping the
+		// hybrid's call frame (see searchLeafNode).
+		cLT, cGT := swarCountWords(pg.Data[base:], cnt>>1, swarBcast(k))
+		if cnt&1 != 0 {
+			last := idx.Key(le.Uint32(pg.Data[base+4*(cnt-1):]))
+			cLT += b2i(last < k)
+			cGT += b2i(last > k)
+		}
+		lo = swarBound(cnt, cLT, cGT, lt)
+	} else {
+		lo = swarScanSorted(pg.Data, base, cnt, k, lt)
+	}
+	// Checked here as well as inside the replay: in wall-clock mode
+	// this saves the call entirely, and searches are the hot path.
+	if !t.mm.Concurrent() {
+		t.replaySearchCharges(pg, off, cnt, lo, false)
+	}
+	return lo - 1
+}
+
+// searchNonleafBranchless is the pre-SWAR branchless binary search,
+// kept as the comparison baseline for benchmarks and the fuzz oracle.
+func (t *DiskFirst) searchNonleafBranchless(pg buffer.Page, off int, k idx.Key, lt bool) int {
 	lo, hi := 0, t.nCount(pg.Data, off)
 	ge := b2i(!lt) // equal keys send the descent right unless strictly-less
 	for lo < hi {
@@ -190,11 +225,53 @@ func (t *DiskFirst) searchNonleaf(pg buffer.Page, off int, k idx.Key, lt bool) i
 	return lo - 1
 }
 
-// searchLeafNode binary searches an in-page leaf node; returns the
-// largest slot with key <= k (lt: < k) and whether it equals k.
-// Branchless, same probe sequence as the branchy form (see
-// searchNonleaf).
+// searchLeafNode finds the largest slot of an in-page leaf node with
+// key <= k (lt: < k) and whether that slot's key equals k (reported
+// for <= searches only, matching the binary search it replaced). Dense
+// nodes answer via the SWAR count scan with the binary-search charge
+// replay; gapped leaf nodes (leaf pages under WithGappedLeaves) answer
+// via the sentinel-skipping positional scan, whose result is the
+// highest live physical slot satisfying the bound — the same
+// predecessor contract, now over a sparse array.
 func (t *DiskFirst) searchLeafNode(pg buffer.Page, off int, k idx.Key, lt bool) (int, bool) {
+	d := pg.Data
+	if t.gappedLeafPage(d) {
+		slot, anyEq := swarScanGapped(d, t.lKeyPos(off, 0), t.capL, k, lt)
+		t.chargeGappedScan(pg, t.lKeyPos(off, 0), t.capL)
+		return slot, !lt && anyEq
+	}
+	cnt := t.lCount(d, off)
+	base := t.lKeyPos(off, 0)
+	var lo int
+	if cnt <= swarWindow {
+		// Window-sized node: one straight-line scan, no hybrid frame.
+		// Duplicates swarScanSorted's no-narrowing arm because the
+		// call itself costs ~5% of a cache-line-node search.
+		cLT, cGT := swarCountWords(d[base:], cnt>>1, swarBcast(k))
+		if cnt&1 != 0 {
+			last := idx.Key(le.Uint32(d[base+4*(cnt-1):]))
+			cLT += b2i(last < k)
+			cGT += b2i(last > k)
+		}
+		lo = swarBound(cnt, cLT, cGT, lt)
+	} else {
+		lo = swarScanSorted(d, base, cnt, k, lt)
+	}
+	// On a sorted node the exact-match bit is just "the predecessor
+	// equals k": one load instead of a second counting pass.
+	exact := !lt && lo > 0 && idx.Key(le.Uint32(d[base+4*(lo-1):])) == k
+	// Checked here as well as inside the replay: in wall-clock mode
+	// this saves the call entirely, and searches are the hot path.
+	if !t.mm.Concurrent() {
+		t.replaySearchCharges(pg, off, cnt, lo, true)
+	}
+	return lo - 1, exact
+}
+
+// searchLeafNodeBranchless is the pre-SWAR branchless binary search
+// over a dense leaf node, kept as the comparison baseline for
+// benchmarks and the fuzz oracle.
+func (t *DiskFirst) searchLeafNodeBranchless(pg buffer.Page, off int, k idx.Key, lt bool) (int, bool) {
 	lo, hi := 0, t.lCount(pg.Data, off)
 	ge := b2i(!lt)
 	exact := 0
@@ -225,6 +302,94 @@ func (t *DiskFirst) leafInsertAt(pg buffer.Page, off, pos int, k idx.Key, p uint
 	t.lSetKey(d, off, pos, k)
 	t.lSetPtr(d, off, pos, p)
 	t.lSetCount(d, off, cnt+1)
+	t.mm.Access(pg.Addr+uint64(t.lKeyPos(off, pos)), 4)
+	t.mm.Access(pg.Addr+uint64(t.lPtrPos(off, pos)), 4)
+	// Nonleaf pages route child-pointer installs through this same
+	// helper; the shift histogram tracks only data-leaf inserts.
+	if dfType(d) == dfPageLeaf {
+		t.recordShift(cnt - pos)
+	}
+}
+
+// gappedLeafInsertAt writes (k, p) into gapped leaf node off, whose
+// predecessor for k sits at physical slot `slot` (-1 when no live key
+// qualifies). If the next slot is a gap the insert fills it with zero
+// key movement; otherwise entries shift one position toward the
+// nearest gap (left or right), which is the whole point of the gapped
+// layout — O(distance-to-gap) moves instead of O(node tail).
+func (t *DiskFirst) gappedLeafInsertAt(pg buffer.Page, off, slot int, k idx.Key, p uint32) {
+	d := pg.Data
+	occ := t.lCount(d, off)
+	pos := slot + 1
+	if pos < t.capL && t.lKey(d, off, pos) == gapSentinel {
+		t.gapFills.Add(1)
+		t.recordShift(0)
+	} else {
+		// Find the nearest gap on each side of the insertion point.
+		gl, gr := -1, -1
+		for i := slot; i >= 0; i-- {
+			if t.lKey(d, off, i) == gapSentinel {
+				gl = i
+				break
+			}
+		}
+		for i := pos + 1; i < t.capL; i++ {
+			if t.lKey(d, off, i) == gapSentinel {
+				gr = i
+				break
+			}
+		}
+		var moved int
+		if gl >= 0 && (gr < 0 || slot-gl < gr-pos) {
+			moved = slot - gl
+		} else {
+			moved = gr - pos
+		}
+		if moved > t.capL/8 {
+			// The nearest gap is far: a one-slot shift chain would cost
+			// nearly as much as a dense insert and leave the cluster
+			// just as dense for the next one. Rebalance instead —
+			// respread every live entry (plus the new one) evenly so
+			// gaps return to the hot spot. Costs O(occ) once, then the
+			// following inserts in this region are O(1) again.
+			es := make([]pair, 0, occ+1)
+			placed := false
+			for i := t.lNextOccupied(d, off, 0); i >= 0; i = t.lNextOccupied(d, off, i+1) {
+				ek := t.lKey(d, off, i)
+				if !placed && ek > k {
+					es = append(es, pair{k, p})
+					placed = true
+				}
+				es = append(es, pair{ek, t.lPtr(d, off, i)})
+			}
+			if !placed {
+				es = append(es, pair{k, p})
+			}
+			t.spreadLeafNode(d, off, es)
+			t.mm.Copy(pg.Addr+uint64(t.lKeyPos(off, 0)), occ*4)
+			t.mm.Copy(pg.Addr+uint64(t.lPtrPos(off, 0)), occ*4)
+			t.recordShift(occ)
+			return
+		}
+		if gl >= 0 && (gr < 0 || slot-gl < gr-pos) {
+			// Shift (gl+1 .. slot) left one slot; k lands on slot.
+			copy(d[t.lKeyPos(off, gl):t.lKeyPos(off, slot)], d[t.lKeyPos(off, gl+1):t.lKeyPos(off, slot+1)])
+			copy(d[t.lPtrPos(off, gl):t.lPtrPos(off, slot)], d[t.lPtrPos(off, gl+1):t.lPtrPos(off, slot+1)])
+			t.mm.Copy(pg.Addr+uint64(t.lKeyPos(off, gl)), moved*4)
+			t.mm.Copy(pg.Addr+uint64(t.lPtrPos(off, gl)), moved*4)
+			pos = slot
+		} else {
+			// Shift (pos .. gr-1) right one slot; k lands on pos.
+			copy(d[t.lKeyPos(off, pos+1):t.lKeyPos(off, gr+1)], d[t.lKeyPos(off, pos):t.lKeyPos(off, gr)])
+			copy(d[t.lPtrPos(off, pos+1):t.lPtrPos(off, gr+1)], d[t.lPtrPos(off, pos):t.lPtrPos(off, gr)])
+			t.mm.Copy(pg.Addr+uint64(t.lKeyPos(off, pos)), moved*4)
+			t.mm.Copy(pg.Addr+uint64(t.lPtrPos(off, pos)), moved*4)
+		}
+		t.recordShift(moved)
+	}
+	t.lSetKey(d, off, pos, k)
+	t.lSetPtr(d, off, pos, p)
+	t.lSetCount(d, off, occ+1)
 	t.mm.Access(pg.Addr+uint64(t.lKeyPos(off, pos)), 4)
 	t.mm.Access(pg.Addr+uint64(t.lPtrPos(off, pos)), 4)
 }
@@ -262,8 +427,13 @@ func (t *DiskFirst) inPageInsert(pg buffer.Page, k idx.Key, p uint32) (ok bool) 
 		}
 	}
 
-	if t.lCount(d, leafOff) < t.capL {
-		t.leafInsertAt(pg, leafOff, slot+1, k, p)
+	gapped := t.gappedLeafPage(d)
+	if t.lCount(d, leafOff) < t.leafSplitAt(gapped) {
+		if gapped {
+			t.gappedLeafInsertAt(pg, leafOff, slot, k, p)
+		} else {
+			t.leafInsertAt(pg, leafOff, slot+1, k, p)
+		}
 		dfSetEntries(d, dfEntries(d)+1)
 		return true
 	}
@@ -292,27 +462,49 @@ func (t *DiskFirst) inPageInsert(pg buffer.Page, k idx.Key, p uint32) (ok bool) 
 		return false
 	}
 
-	// Split the leaf node.
+	// Split the leaf node. Gapped leaves split early (at the occupancy
+	// threshold, before the gaps run dry), so the live entries are
+	// collected across the gaps and each half is re-spread with fresh
+	// interleaved gaps.
 	newLeaf := t.allocNode(d, true)
 	cnt := t.lCount(d, leafOff)
 	mid := cnt / 2
 	moved := cnt - mid
-	copy(d[t.lKeyPos(newLeaf, 0):t.lKeyPos(newLeaf, moved)], d[t.lKeyPos(leafOff, mid):t.lKeyPos(leafOff, cnt)])
-	copy(d[t.lPtrPos(newLeaf, 0):t.lPtrPos(newLeaf, moved)], d[t.lPtrPos(leafOff, mid):t.lPtrPos(leafOff, cnt)])
+	var sep idx.Key
+	if gapped {
+		es := make([]pair, 0, cnt)
+		for i := t.lNextOccupied(d, leafOff, 0); i >= 0; i = t.lNextOccupied(d, leafOff, i+1) {
+			es = append(es, pair{t.lKey(d, leafOff, i), t.lPtr(d, leafOff, i)})
+		}
+		t.spreadLeafNode(d, leafOff, es[:mid])
+		t.spreadLeafNode(d, newLeaf, es[mid:])
+		sep = es[mid].key
+	} else {
+		copy(d[t.lKeyPos(newLeaf, 0):t.lKeyPos(newLeaf, moved)], d[t.lKeyPos(leafOff, mid):t.lKeyPos(leafOff, cnt)])
+		copy(d[t.lPtrPos(newLeaf, 0):t.lPtrPos(newLeaf, moved)], d[t.lPtrPos(leafOff, mid):t.lPtrPos(leafOff, cnt)])
+		t.lSetCount(d, newLeaf, moved)
+		t.lSetCount(d, leafOff, mid)
+		sep = t.lKey(d, newLeaf, 0)
+	}
 	t.mm.CopyBetween(pg.Addr+uint64(t.lKeyPos(newLeaf, 0)), pg.Addr+uint64(t.lKeyPos(leafOff, mid)), moved*4)
 	t.mm.CopyBetween(pg.Addr+uint64(t.lPtrPos(newLeaf, 0)), pg.Addr+uint64(t.lPtrPos(leafOff, mid)), moved*4)
-	t.lSetCount(d, newLeaf, moved)
-	t.lSetCount(d, leafOff, mid)
 	t.lSetNext(d, newLeaf, t.lNext(d, leafOff))
 	t.lSetNext(d, leafOff, newLeaf)
-	sep := t.lKey(d, newLeaf, 0)
 
 	if k >= sep {
 		s, _ := t.searchLeafNode(pg, newLeaf, k, false)
-		t.leafInsertAt(pg, newLeaf, s+1, k, p)
+		if gapped {
+			t.gappedLeafInsertAt(pg, newLeaf, s, k, p)
+		} else {
+			t.leafInsertAt(pg, newLeaf, s+1, k, p)
+		}
 	} else {
 		s, _ := t.searchLeafNode(pg, leafOff, k, false)
-		t.leafInsertAt(pg, leafOff, s+1, k, p)
+		if gapped {
+			t.gappedLeafInsertAt(pg, leafOff, s, k, p)
+		} else {
+			t.leafInsertAt(pg, leafOff, s+1, k, p)
+		}
 	}
 	dfSetEntries(d, dfEntries(d)+1)
 
@@ -403,7 +595,11 @@ func (t *DiskFirst) inPageDelete(pg buffer.Page, k idx.Key) bool {
 		return false
 	}
 	cnt := t.lCount(d, leafOff)
-	if moved := cnt - slot - 1; moved > 0 {
+	if t.gappedLeafPage(d) {
+		// Punch a gap: O(1), no shifting.
+		t.lSetKey(d, leafOff, slot, gapSentinel)
+		t.mm.Access(pg.Addr+uint64(t.lKeyPos(leafOff, slot)), 4)
+	} else if moved := cnt - slot - 1; moved > 0 {
 		copy(d[t.lKeyPos(leafOff, slot):t.lKeyPos(leafOff, cnt-1)], d[t.lKeyPos(leafOff, slot+1):t.lKeyPos(leafOff, cnt)])
 		copy(d[t.lPtrPos(leafOff, slot):t.lPtrPos(leafOff, cnt-1)], d[t.lPtrPos(leafOff, slot+1):t.lPtrPos(leafOff, cnt)])
 		t.mm.Copy(pg.Addr+uint64(t.lKeyPos(leafOff, slot)), moved*4)

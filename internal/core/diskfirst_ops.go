@@ -196,8 +196,8 @@ func (t *DiskFirst) findFirst(k idx.Key, excl bool) (buffer.Page, int, int, bool
 		for off != 0 {
 			t.visitLeaf(pg, off)
 			slot, _ := t.searchLeafNode(pg, off, k, true)
-			slot++
-			if slot < t.lCount(pg.Data, off) {
+			slot = t.lNextOccupied(pg.Data, off, slot+1)
+			if slot >= 0 {
 				t.mm.Access(pg.Addr+uint64(t.lKeyPos(off, slot)), 4)
 				if t.lKey(pg.Data, off, slot) == k {
 					return pg, off, slot, true, nil
@@ -219,6 +219,9 @@ func (t *DiskFirst) findFirst(k idx.Key, excl bool) (buffer.Page, int, int, bool
 // is unchanged.
 func (t *DiskFirst) Insert(k idx.Key, tid idx.TupleID) error {
 	t.ops.Inserts.Add(1)
+	if t.gapped && k == gapSentinel {
+		return fmt.Errorf("core: key %#x is reserved as the gap sentinel under GappedLeaves", uint32(k))
+	}
 	if t.conc {
 		return t.insertConc(k, tid)
 	}
@@ -270,8 +273,8 @@ func (t *DiskFirst) Insert(k idx.Key, tid idx.TupleID) error {
 // pageMinKey reads the first entry key of a page (its min separator).
 func (t *DiskFirst) pageMinKey(d []byte) idx.Key {
 	for off := dfFirstLeaf(d); off != 0; off = t.lNext(d, off) {
-		if t.lCount(d, off) > 0 {
-			return t.lKey(d, off, 0)
+		if i := t.lFirstOccupied(d, off); i >= 0 {
+			return t.lKey(d, off, i)
 		}
 	}
 	return 0
@@ -305,9 +308,18 @@ func (t *DiskFirst) insertInto(pid uint32, lvl int, k idx.Key, p uint32) (bool, 
 
 	// No in-page space. §3.1.2: if the page still has plenty of free
 	// entry slots (more than one empty slot per in-page leaf node),
-	// reorganize the in-page tree; otherwise split the page.
+	// reorganize the in-page tree; otherwise split the page. Gapped leaf
+	// pages split earlier: a rebuild must leave every node strictly
+	// under the early-split occupancy threshold or the retried insert
+	// would immediately demand another split.
 	n := dfEntries(pg.Data)
-	if n < t.fanout-t.leafNodes {
+	limit := t.fanout - t.leafNodes
+	if t.gappedLeafPage(pg.Data) {
+		if gl := (t.leafSplitAt(true) - 1) * t.leafNodes; gl < limit {
+			limit = gl
+		}
+	}
+	if n < limit {
 		if err := t.reorganizePage(pg); err != nil {
 			t.pool.Unpin(pg, true)
 			return false, 0, 0, err
@@ -466,7 +478,11 @@ func (t *DiskFirst) Delete(k idx.Key) (bool, error) {
 	}
 	d := pg.Data
 	cnt := t.lCount(d, off)
-	if moved := cnt - slot - 1; moved > 0 {
+	if t.gappedLeafPage(d) {
+		// Punch a gap in place of the removed entry: O(1), no shifting.
+		t.lSetKey(d, off, slot, gapSentinel)
+		t.mm.Access(pg.Addr+uint64(t.lKeyPos(off, slot)), 4)
+	} else if moved := cnt - slot - 1; moved > 0 {
 		copy(d[t.lKeyPos(off, slot):t.lKeyPos(off, cnt-1)], d[t.lKeyPos(off, slot+1):t.lKeyPos(off, cnt)])
 		copy(d[t.lPtrPos(off, slot):t.lPtrPos(off, cnt-1)], d[t.lPtrPos(off, slot+1):t.lPtrPos(off, cnt)])
 		t.mm.Copy(pg.Addr+uint64(t.lKeyPos(off, slot)), moved*4)

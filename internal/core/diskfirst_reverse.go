@@ -84,9 +84,15 @@ func (t *DiskFirst) RangeScanReverse(startKey, endKey idx.Key, fn func(idx.Key, 
 				t.mm.Busy(memsim.CostNodeVisit)
 			}
 			if i < 0 {
-				i = t.lCount(d, off) - 1
+				i = t.lSlots(d, off) - 1
 			}
+			gapped := t.gappedLeafPage(d)
 			for ; i >= 0; i-- {
+				// Skip gap slots before any bound check: the sentinel is
+				// the max key and endKey may legitimately be that value.
+				if gapped && t.lKey(d, off, i) == gapSentinel {
+					continue
+				}
 				t.mm.Access(pg.Addr+uint64(t.lKeyPos(off, i)), 4)
 				k := t.lKey(d, off, i)
 				if k < startKey {

@@ -79,8 +79,15 @@ func (t *DiskFirst) RangeScan(startKey, endKey idx.Key, fn func(idx.Key, idx.Tup
 				t.mm.Access(pg.Addr+uint64(nodeBase(off)), dfLeafHdr)
 				t.mm.Busy(memsim.CostNodeVisit)
 			}
-			cnt := t.lCount(d, off)
+			gapped := t.gappedLeafPage(d)
+			cnt := t.lSlots(d, off)
 			for ; i < cnt; i++ {
+				// Gap slots hold the sentinel (the max key); skip them
+				// before the end-of-range check or they would falsely
+				// terminate the scan.
+				if gapped && t.lKey(d, off, i) == gapSentinel {
+					continue
+				}
 				t.mm.Access(pg.Addr+uint64(t.lKeyPos(off, i)), 4)
 				k := t.lKey(d, off, i)
 				if k > endKey {

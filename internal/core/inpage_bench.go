@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/idx"
+	"repro/internal/memsim"
+)
+
+// In-page search microbenchmark backing `fpbench -inpage`: one leaf
+// node, the three search implementations (the original branchy binary
+// search, the branchless binary search, and the data-parallel SWAR
+// scan), unpredictable probe keys. The tests reuse the same kernels so
+// the numbers in BENCH_inpage.json describe exactly the code the tree
+// runs.
+
+// searchLeafNodeReference is the original branchy binary search, kept
+// as the semantic baseline for tests and benchmarks.
+func (t *DiskFirst) searchLeafNodeReference(pg buffer.Page, off int, k idx.Key, lt bool) (int, bool) {
+	lo, hi := 0, t.lCount(pg.Data, off)
+	exact := false
+	for lo < hi {
+		mid := (lo + hi) / 2
+		mk := t.probe(pg, t.lKeyPos(off, mid))
+		if mk < k || (!lt && mk == k) {
+			lo = mid + 1
+			if mk == k {
+				exact = true
+			}
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1, exact
+}
+
+// leafSearchImpl maps an implementation name to its leaf-search kernel.
+func (t *DiskFirst) leafSearchImpl(impl string) func(buffer.Page, int, idx.Key, bool) (int, bool) {
+	switch impl {
+	case "swar":
+		return t.searchLeafNode
+	case "branchless":
+		return t.searchLeafNodeBranchless
+	case "reference":
+		return t.searchLeafNodeReference
+	}
+	return nil
+}
+
+// InPageSearchImpls lists the benchmarkable implementations, slowest
+// first.
+func InPageSearchImpls() []string { return []string{"reference", "branchless", "swar"} }
+
+// InPageBenchResult is one cell of the in-page search sweep.
+type InPageBenchResult struct {
+	Impl      string  `json:"impl"`
+	LeafBytes int     `json:"leaf_bytes"`
+	Keys      int     `json:"keys_per_node"`
+	Iters     int     `json:"iters"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	// Checksum folds every returned slot; equal checksums across
+	// implementations of one width double as a correctness smoke.
+	Checksum uint64 `json:"checksum"`
+}
+
+// BenchInPageSearch times every implementation over one full leaf
+// node of the given width (0 means the default sizing for a 16 KB
+// page), driving each with LCG-generated keys from the node's own
+// range so the branch predictor sees production-like unpredictable
+// probes. The memory simulator is frozen, so this measures real
+// wall-clock per search. All implementations run against the same
+// tree, and their measurement chunks are interleaved round-robin so
+// ambient slowness (scheduler, frequency shifts) lands on every
+// implementation alike instead of skewing one cell's ratio; each
+// implementation reports its fastest chunk. The checksum covers every
+// probe of every chunk, and identical probe streams make equal
+// checksums across implementations a correctness smoke.
+func BenchInPageSearch(leafBytes, iters int) ([]InPageBenchResult, error) {
+	const pageSize = 16 << 10
+	mm := memsim.NewDefault()
+	pool := buffer.NewPool(buffer.NewMemStore(pageSize), 256)
+	pool.AttachModel(mm)
+	tr, err := NewDiskFirst(DiskFirstConfig{Pool: pool, Model: mm, NonleafBytes: leafBytes, LeafBytes: leafBytes})
+	if err != nil {
+		return nil, err
+	}
+	// A single-page tree with every in-page leaf node filled to
+	// capacity: the bulkload balances entries across the page's leaf
+	// nodes, so only a page-filling load leaves the probed node full.
+	n := tr.Fanout()
+	entries := make([]idx.Entry, n)
+	for i := range entries {
+		entries[i] = idx.Entry{Key: idx.Key(2 * i), TID: idx.TupleID(2*i + 7)}
+	}
+	if err := tr.Bulkload(entries, 1.0); err != nil {
+		return nil, err
+	}
+	mm.SetConcurrent(true)
+	rootPID, height := tr.rootHeight()
+	if height != 1 {
+		return nil, fmt.Errorf("core: in-page bench tree has %d page levels, want 1", height)
+	}
+	pg, err := pool.Get(rootPID)
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Unpin(pg, false)
+	off := dfFirstLeaf(pg.Data)
+	cnt := tr.lCount(pg.Data, off)
+	span := uint32(tr.lKey(pg.Data, off, cnt-1)) + 2
+
+	type lane struct {
+		search func(buffer.Page, int, idx.Key, bool) (int, bool)
+		lcg    uint32
+		sink   uint64
+		best   time.Duration
+	}
+	impls := InPageSearchImpls()
+	lanes := make([]*lane, len(impls))
+	for i, impl := range impls {
+		lanes[i] = &lane{search: tr.leafSearchImpl(impl), lcg: 12345, best: 1<<63 - 1}
+		if lanes[i].search == nil {
+			return nil, fmt.Errorf("core: unknown in-page search impl %q", impl)
+		}
+	}
+	run := func(ln *lane, iters int) time.Duration {
+		search, lcg, sink := ln.search, ln.lcg, ln.sink
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			lcg = lcg*1664525 + 1013904223
+			// Multiply-shift range reduction: cheaper than a modulo,
+			// so less fixed per-probe cost diluting the impl deltas.
+			s, _ := search(pg, off, idx.Key((uint64(lcg)*uint64(span))>>32), false)
+			sink += uint64(uint32(s))
+		}
+		ln.lcg, ln.sink = lcg, sink
+		return time.Since(start)
+	}
+	// Micro-chunks, far shorter than a scheduler quantum (~100 µs of
+	// probes against 1–10 ms quanta), so on a contended host many
+	// chunks run preemption-free; the per-impl minimum over thousands
+	// of round-robin draws is then a clean quiet-window estimate even
+	// when the mean is polluted.
+	const chunkIters = 4096
+	rounds := iters / chunkIters
+	if rounds < 1 {
+		rounds = 1
+	}
+	for _, ln := range lanes {
+		run(ln, iters/10) // warm up caches and the predictor
+		ln.lcg, ln.sink = 12345, 0
+	}
+	for r := 0; r < rounds; r++ {
+		for _, ln := range lanes {
+			if d := run(ln, chunkIters); d < ln.best {
+				ln.best = d
+			}
+		}
+	}
+	out := make([]InPageBenchResult, len(impls))
+	for i, ln := range lanes {
+		out[i] = InPageBenchResult{
+			Impl: impls[i], LeafBytes: leafBytes, Keys: cnt, Iters: rounds * chunkIters,
+			NsPerOp:  float64(ln.best.Nanoseconds()) / float64(chunkIters),
+			Checksum: ln.sink,
+		}
+	}
+	return out, nil
+}

@@ -28,23 +28,8 @@ func (t *DiskFirst) refSearchNonleaf(pg buffer.Page, off int, k idx.Key, lt bool
 	return lo - 1
 }
 
-func (t *DiskFirst) refSearchLeafNode(pg buffer.Page, off int, k idx.Key, lt bool) (int, bool) {
-	lo, hi := 0, t.lCount(pg.Data, off)
-	exact := false
-	for lo < hi {
-		mid := (lo + hi) / 2
-		mk := t.probe(pg, t.lKeyPos(off, mid))
-		if mk < k || (!lt && mk == k) {
-			lo = mid + 1
-			if mk == k {
-				exact = true
-			}
-		} else {
-			hi = mid
-		}
-	}
-	return lo - 1, exact
-}
+// The disk-first leaf reference lives in inpage_bench.go
+// (searchLeafNodeReference) so the benchmark binary can use it too.
 
 func (t *CacheFirst) refSearchNode(pg buffer.Page, off int, k idx.Key, lt bool) (int, bool) {
 	lo, hi := 0, t.cCount(pg.Data, off)
@@ -141,9 +126,15 @@ func TestBranchlessSearchEquivalenceDiskFirst(t *testing.T) {
 					if got != want {
 						t.Fatalf("searchNonleaf(off=%d, k=%d, lt=%v) = %d, want %d", off, k, lt, got, want)
 					}
+					if bl := tr.searchNonleafBranchless(pg, off, k, lt); bl != want {
+						t.Fatalf("searchNonleafBranchless(off=%d, k=%d, lt=%v) = %d, want %d", off, k, lt, bl, want)
+					}
 					checkSameCharge(t, env.Model,
 						func() { tr.searchNonleaf(pg, off, k, lt) },
 						func() { tr.refSearchNonleaf(pg, off, k, lt) })
+					checkSameCharge(t, env.Model,
+						func() { tr.searchNonleaf(pg, off, k, lt) },
+						func() { tr.searchNonleafBranchless(pg, off, k, lt) })
 				}
 			}
 			checked++
@@ -164,11 +155,18 @@ func TestBranchlessSearchEquivalenceDiskFirst(t *testing.T) {
 		for _, k := range probeKeys(nodeKeys) {
 			for _, lt := range []bool{false, true} {
 				got, gotEx := tr.searchLeafNode(pg, off, k, lt)
-				want, wantEx := tr.refSearchLeafNode(pg, off, k, lt)
+				want, wantEx := tr.searchLeafNodeReference(pg, off, k, lt)
 				if got != want || gotEx != wantEx {
 					t.Fatalf("searchLeafNode(off=%d, k=%d, lt=%v) = (%d,%v), want (%d,%v)",
 						off, k, lt, got, gotEx, want, wantEx)
 				}
+				if bl, blEx := tr.searchLeafNodeBranchless(pg, off, k, lt); bl != want || blEx != wantEx {
+					t.Fatalf("searchLeafNodeBranchless(off=%d, k=%d, lt=%v) = (%d,%v), want (%d,%v)",
+						off, k, lt, bl, blEx, want, wantEx)
+				}
+				checkSameCharge(t, env.Model,
+					func() { tr.searchLeafNode(pg, off, k, lt) },
+					func() { tr.searchLeafNodeBranchless(pg, off, k, lt) })
 			}
 		}
 		leaves++
@@ -215,9 +213,16 @@ func TestBranchlessSearchEquivalenceCacheFirst(t *testing.T) {
 					t.Fatalf("searchNode(%v, k=%d, lt=%v) = (%d,%v), want (%d,%v)",
 						at, k, lt, got, gotEx, want, wantEx)
 				}
+				if bl, blEx := tr.searchNodeBranchless(pg, at.off, k, lt); bl != want || blEx != wantEx {
+					t.Fatalf("searchNodeBranchless(%v, k=%d, lt=%v) = (%d,%v), want (%d,%v)",
+						at, k, lt, bl, blEx, want, wantEx)
+				}
 				checkSameCharge(t, env.Model,
 					func() { tr.searchNode(pg, at.off, k, lt) },
 					func() { tr.refSearchNode(pg, at.off, k, lt) })
+				checkSameCharge(t, env.Model,
+					func() { tr.searchNode(pg, at.off, k, lt) },
+					func() { tr.searchNodeBranchless(pg, at.off, k, lt) })
 			}
 		}
 		if lvl > 1 {
@@ -230,11 +235,12 @@ func TestBranchlessSearchEquivalenceCacheFirst(t *testing.T) {
 	walk(croot, cheight)
 }
 
-// The wall-clock benchmark pair: with the simulator frozen (the serving
-// mode), the probe is a plain load and the select-vs-branch difference
-// is visible. Run with -bench BenchmarkInPageLeafSearch to see the
-// delta.
-func benchLeafSearch(b *testing.B, branchless bool) {
+// The wall-clock benchmark trio: with the simulator frozen (the
+// serving mode), the probe is a plain load and the
+// branchy-vs-branchless-vs-SWAR difference is visible. Run with
+// -bench BenchmarkInPageLeafSearch to see the deltas; cmd/fpbench
+// -inpage sweeps the same kernels across node widths.
+func benchLeafSearch(b *testing.B, impl string) {
 	env := treetest.NewEnv(16<<10, 4096)
 	tr, err := NewDiskFirst(DiskFirstConfig{Pool: env.Pool, Model: env.Model})
 	if err != nil {
@@ -261,22 +267,19 @@ func benchLeafSearch(b *testing.B, branchless bool) {
 	// what random point lookups deny it in production.
 	cnt := tr.lCount(pg.Data, off)
 	span := uint32(tr.lKey(pg.Data, off, cnt-1)) + 2
+	search := tr.leafSearchImpl(impl)
 	x := uint32(12345)
 	b.ResetTimer()
 	var sink int
 	for i := 0; i < b.N; i++ {
 		x = x*1664525 + 1013904223
 		k := idx.Key(x % span)
-		if branchless {
-			s, _ := tr.searchLeafNode(pg, off, k, false)
-			sink += s
-		} else {
-			s, _ := tr.refSearchLeafNode(pg, off, k, false)
-			sink += s
-		}
+		s, _ := search(pg, off, k, false)
+		sink += s
 	}
 	_ = sink
 }
 
-func BenchmarkInPageLeafSearchBranchless(b *testing.B) { benchLeafSearch(b, true) }
-func BenchmarkInPageLeafSearchBranchy(b *testing.B)    { benchLeafSearch(b, false) }
+func BenchmarkInPageLeafSearchSWAR(b *testing.B)       { benchLeafSearch(b, "swar") }
+func BenchmarkInPageLeafSearchBranchless(b *testing.B) { benchLeafSearch(b, "branchless") }
+func BenchmarkInPageLeafSearchBranchy(b *testing.B)    { benchLeafSearch(b, "reference") }

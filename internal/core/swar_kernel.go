@@ -1,0 +1,27 @@
+//go:build !amd64.v3
+
+package core
+
+// swarCountWords is the portable scan kernel: count lanes < kk and
+// lanes > kk over `words` uint64 loads from p. Each load carries two
+// key lanes; the lanes are compared branch-free (the comparisons lower
+// to SETcc, never to data-dependent jumps) and the below/above
+// counters accumulate independently, so the only loop-carried
+// dependency is the counter adds. This beats the classic
+// mask-and-popcount SWAR reduction on current cores — assembling the
+// lane masks costs more ALU ops per word than four flag-setting
+// compares — while keeping the same two-keys-per-load layout.
+func swarCountWords(p []byte, words int, kk uint64) (cLT, cGT int) {
+	if words <= 0 {
+		return 0, 0
+	}
+	k := uint32(kk)
+	p = p[:8*words] // one bounds check for the whole scan
+	for w := 0; w+8 <= len(p); w += 8 {
+		x := le.Uint64(p[w:])
+		lo, hi := uint32(x), uint32(x>>32)
+		cLT += b2i(lo < k) + b2i(hi < k)
+		cGT += b2i(lo > k) + b2i(hi > k)
+	}
+	return cLT, cGT
+}

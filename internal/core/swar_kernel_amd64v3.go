@@ -1,0 +1,36 @@
+//go:build amd64.v3
+
+package core
+
+// swarCountWords is the GOAMD64=v3 scan kernel: the same branch-free
+// two-keys-per-load lane compare as the portable kernel, unrolled four
+// words wide with split accumulators so the wider v3 cores keep four
+// independent compare chains in flight per iteration; the tail reuses
+// the single-word step.
+func swarCountWords(p []byte, words int, kk uint64) (cLT, cGT int) {
+	if words <= 0 {
+		return 0, 0
+	}
+	k := uint32(kk)
+	p = p[:8*words] // one bounds check for the whole scan
+	w := 0
+	var lt0, lt1, gt0, gt1 int
+	for ; w+32 <= len(p); w += 32 {
+		x0 := le.Uint64(p[w:])
+		x1 := le.Uint64(p[w+8:])
+		x2 := le.Uint64(p[w+16:])
+		x3 := le.Uint64(p[w+24:])
+		lt0 += b2i(uint32(x0) < k) + b2i(uint32(x0>>32) < k) + b2i(uint32(x1) < k) + b2i(uint32(x1>>32) < k)
+		lt1 += b2i(uint32(x2) < k) + b2i(uint32(x2>>32) < k) + b2i(uint32(x3) < k) + b2i(uint32(x3>>32) < k)
+		gt0 += b2i(uint32(x0) > k) + b2i(uint32(x0>>32) > k) + b2i(uint32(x1) > k) + b2i(uint32(x1>>32) > k)
+		gt1 += b2i(uint32(x2) > k) + b2i(uint32(x2>>32) > k) + b2i(uint32(x3) > k) + b2i(uint32(x3>>32) > k)
+	}
+	cLT, cGT = lt0+lt1, gt0+gt1
+	for ; w+8 <= len(p); w += 8 {
+		x := le.Uint64(p[w:])
+		lo, hi := uint32(x), uint32(x>>32)
+		cLT += b2i(lo < k) + b2i(hi < k)
+		cGT += b2i(lo > k) + b2i(hi > k)
+	}
+	return cLT, cGT
+}

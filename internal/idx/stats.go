@@ -127,4 +127,13 @@ func RegisterMetrics(reg *obs.Registry, ix Index) {
 	if er, ok := ix.(interface{ EpochRestarts() uint64 }); ok {
 		reg.Counter("latch.epoch_restarts", er.EpochRestarts)
 	}
+	// Variants with gapped-capable leaves report how far each insert had
+	// to shift keys (the node.* family measures in-node data movement)
+	// and how often an insert landed in an adjacent gap for free.
+	if gf, ok := ix.(interface{ GapFills() uint64 }); ok {
+		reg.Counter("node.gap_fill", gf.GapFills)
+	}
+	if sh, ok := ix.(interface{ AttachShiftHistogram(*obs.Histogram) }); ok {
+		sh.AttachShiftHistogram(reg.Histogram("node.insert_shift_keys"))
+	}
 }

@@ -19,6 +19,7 @@ func promTestSnapshot() Snapshot {
 	reg.Counter("latch.shared_acquisitions", func() uint64 { return 98765 })
 	reg.Counter("fault.injected", func() uint64 { return 0 }) // must not export
 	reg.Counter("wal.fsyncs", func() uint64 { return 77 })
+	reg.Counter("node.gap_fill", func() uint64 { return 31 })
 	reg.Counter("filestore.bytes_written", func() uint64 { return 65536 })
 	reg.Gauge("buffer.resident_pages", func() float64 { return 42 })
 	reg.Gauge("disk.count", func() float64 { return 0 }) // gauges always export
@@ -30,6 +31,10 @@ func promTestSnapshot() Snapshot {
 	g := reg.Histogram("wal.group_commit_size")
 	for _, v := range []uint64{1, 1, 2, 4, 8} {
 		g.Record(v)
+	}
+	sh := reg.Histogram("node.insert_shift_keys")
+	for _, v := range []uint64{0, 0, 0, 1, 2, 17} {
+		sh.Record(v)
 	}
 	snap := reg.Snapshot()
 	// An empty histogram cannot come out of Registry.Snapshot (it skips
