@@ -62,16 +62,21 @@ type benchEntry struct {
 }
 
 type benchReport struct {
-	Scale       string                   `json:"scale"`
-	Workers     int                      `json:"workers"`
-	CPUs        int                      `json:"cpus"`
-	GoMaxProcs  int                      `json:"gomaxprocs"`
-	GoVersion   string                   `json:"go_version"`
-	GitCommit   string                   `json:"git_commit,omitempty"`
-	Experiments []benchEntry             `json:"experiments,omitempty"`
-	Throughput  []throughputEntry        `json:"throughput,omitempty"`
-	Durability  []durabilityEntry        `json:"durability,omitempty"`
-	InPage      []core.InPageBenchResult `json:"inpage,omitempty"`
+	Scale       string       `json:"scale"`
+	Workers     int          `json:"workers"`
+	CPUs        int          `json:"cpus"`
+	GoMaxProcs  int          `json:"gomaxprocs"`
+	GoVersion   string       `json:"go_version"`
+	GitCommit   string       `json:"git_commit,omitempty"`
+	Experiments []benchEntry `json:"experiments,omitempty"`
+	// Degraded marks a throughput report recorded without real
+	// parallelism (GOMAXPROCS or CPU count of 1): the thread sweep then
+	// measures scheduler interleaving, not scalability, and must not be
+	// compared against multi-core recordings.
+	Degraded   bool                     `json:"degraded,omitempty"`
+	Throughput []throughputEntry        `json:"throughput,omitempty"`
+	Durability []durabilityEntry        `json:"durability,omitempty"`
+	InPage     []core.InPageBenchResult `json:"inpage,omitempty"`
 }
 
 // gitCommit reports the VCS revision stamped into the binary, if any
@@ -108,6 +113,7 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /snapshot, /delta, /trace and /debug/pprof on this address during the serving benchmark (with -threads)")
 	slowOp := flag.Duration("slow-op", time.Millisecond, "slow-op span threshold for the serving benchmark's trace ring (with -debug-addr)")
 	storeMode := flag.String("store", "sim", "serving-benchmark page store: sim (memory) or file (durable OS-file store + WAL, with -threads)")
+	readsMode := flag.String("reads", "optimistic", "serving-benchmark point-lookup protocol: optimistic, pessimistic, or both (with -threads)")
 	walBench := flag.Bool("walbench", false, "run the WAL group-commit sweep (commits/sec and fsyncs/commit vs batch size) instead of the experiments")
 	inPage := flag.Bool("inpage", false, "run the in-page search microbenchmark (node widths x implementations) instead of the experiments")
 	flag.Parse()
@@ -175,6 +181,15 @@ func main() {
 
 	if *threads > 0 {
 		fmt.Printf("# fpB+-Tree wall-clock serving benchmark — %d key tree, %v per cell\n", *benchKeys, *duration)
+		degraded := runtime.GOMAXPROCS(0) == 1 || runtime.NumCPU() == 1
+		if degraded {
+			fmt.Fprintf(os.Stderr,
+				"#\n# WARNING: GOMAXPROCS=%d on %d CPU(s) — the thread sweep cannot exercise\n"+
+					"# real parallelism. Throughput numbers measure goroutine interleaving on a\n"+
+					"# single core, NOT scalability; the report is stamped \"degraded\": true.\n"+
+					"# Re-record on a multi-core runner before comparing protocols.\n#\n",
+				runtime.GOMAXPROCS(0), runtime.NumCPU())
+		}
 		var dbg *servingDebug
 		if *debugAddr != "" {
 			dbg = &servingDebug{traceEvents: 1 << 14, slowOp: *slowOp}
@@ -191,7 +206,7 @@ func main() {
 		if *storeMode != "sim" && *storeMode != "file" {
 			fatal(fmt.Errorf("unknown -store %q (want sim or file)", *storeMode))
 		}
-		entries, err := throughputSweep(*workloadName, *threads, *benchKeys, *duration, *storeMode == "file", dbg)
+		entries, err := throughputSweep(*workloadName, *readsMode, *threads, *benchKeys, *duration, *storeMode == "file", dbg)
 		if err != nil {
 			fatal(err)
 		}
@@ -202,6 +217,7 @@ func main() {
 				GoMaxProcs: runtime.GOMAXPROCS(0),
 				GoVersion:  runtime.Version(),
 				GitCommit:  gitCommit(),
+				Degraded:   degraded,
 				Throughput: entries,
 			}
 			data, err := json.MarshalIndent(report, "", "  ")

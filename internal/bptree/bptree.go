@@ -62,6 +62,11 @@ type Config struct {
 	// PrefetchWindow is how many leaf pages a JPA range scan keeps in
 	// flight; 0 means a default of 16.
 	PrefetchWindow int
+	// OptimisticReads lets point lookups descend latch-free, validating
+	// per-page latch versions instead of holding shared latches
+	// (DESIGN.md §11.6). Effective only on a latched pool in a build
+	// without the race detector; ignored otherwise.
+	OptimisticReads bool
 	// Trace, when non-nil, receives one event per page visit.
 	Trace *obs.Tracer
 }
@@ -85,7 +90,10 @@ type Tree struct {
 	// descend with exclusive latch crabbing (see insertConc) and page
 	// mutations take exclusive pins. In the default sequential mode
 	// every latch call is a no-op and the code paths are identical.
-	conc   bool
+	conc bool
+	// opt enables the optimistic (version-validated, latch-free) read
+	// descent; requires conc and a non-race build (pool.OptSupported).
+	opt    bool
 	growMu sync.Mutex // serializes first-root creation in conc mode
 
 	jpa      bool
@@ -116,6 +124,7 @@ func New(cfg Config) (*Tree, error) {
 		pageSize: ps,
 		cap:      (ps - headerSize) / (idx.KeySize + idx.PageIDSize),
 		conc:     cfg.Pool.Latches() != nil,
+		opt:      cfg.OptimisticReads && cfg.Pool.OptSupported(),
 		jpa:      cfg.EnableJPA,
 		pfWindow: w,
 		tr:       cfg.Trace,

@@ -1,10 +1,9 @@
 package bptree
 
 import (
-	"runtime"
-
 	"repro/internal/buffer"
 	"repro/internal/idx"
+	"repro/internal/latch"
 )
 
 // Concurrent insertion: pessimistic exclusive-latch crabbing.
@@ -32,6 +31,7 @@ type heldPage struct {
 // restarts only when the root it latched is no longer the root (a
 // concurrent root grow won the race).
 func (t *Tree) insertConc(k idx.Key, tid idx.TupleID) error {
+	var bo latch.Backoff
 	for {
 		root, height := t.rootHeight()
 		if root == 0 {
@@ -44,7 +44,7 @@ func (t *Tree) insertConc(k idx.Key, tid idx.TupleID) error {
 		if err != nil || ok {
 			return err
 		}
-		runtime.Gosched()
+		bo.Pause()
 	}
 }
 

@@ -157,6 +157,9 @@ func (t *Tree) freeAll() error {
 // lower bounds).
 func (t *Tree) Search(k idx.Key) (idx.TupleID, bool, error) {
 	t.ops.Searches.Add(1)
+	if tid, found, handled := t.searchOpt(k); handled {
+		return tid, found, nil
+	}
 	pg, slot, found, err := t.findFirst(k, false)
 	if err != nil || !found {
 		return 0, false, err

@@ -1,0 +1,107 @@
+package buffer
+
+// Optimistic (latch-free, pin-free) page reads for the concurrent
+// serving mode. ReadOpt hands out an unpinned view of a resident page
+// together with a validation token; the caller reads page bytes with
+// no stores, then calls ValidateOpt before trusting anything derived
+// from them. The protocol (DESIGN.md §11.6) is sound because every
+// mutation of a valid frame's bytes requires the page's exclusive
+// latch (version bump) and every frame recycle bumps the frame epoch,
+// so "both snapshots unchanged" implies the bytes were stable for the
+// whole window:
+//
+//  1. resolve pid to a frame (fast slot, or a brief shard-mutex table
+//     lookup on a fast miss — no pin, no latch either way)
+//  2. snapshot the frame state word; require valid, no in-flight
+//     prefetch, and f.pid == pid
+//  3. sample the latch version; require no exclusive holder
+//  4. caller reads bytes (plain loads only)
+//  5. ValidateOpt: latch version unchanged AND frame epoch/valid bits
+//     unchanged — else the caller discards everything and restarts
+//
+// Under the race detector the optimistic path is disabled wholesale
+// (optReadsSupported = false): a seqlock read races with writer plain
+// stores by construction, and the detector flags the access pattern
+// regardless of validation. Race-enabled builds therefore exercise the
+// same call sites through the latched fallback path.
+
+// OptPage is an optimistic view of a resident page: a data alias plus
+// the validation token. It holds no pin and no latch; the bytes may be
+// concurrently overwritten at any time and must not be trusted (or
+// used to index beyond bounds checks) until ValidateOpt returns true.
+type OptPage struct {
+	ID   uint32
+	Data []byte
+
+	f *frame
+	// fst is the frame state snapshot with the pin field masked out
+	// (other readers' pins are fine; an epoch bump or valid-bit clear
+	// is not).
+	fst uint64
+	// ver is the page's latch version at snapshot time.
+	ver uint64
+}
+
+// Valid reports whether pg refers to a resolved page (the zero OptPage
+// does not).
+func (pg OptPage) Valid() bool { return pg.ID != 0 }
+
+// OptSupported reports whether this pool can serve optimistic reads:
+// it must be a latched (concurrent) pool and the build must not have
+// the race detector enabled.
+func (p *Pool) OptSupported() bool { return p.latches != nil && !raceEnabled }
+
+// ReadOpt resolves pid to an optimistic page view. ok=false means the
+// page is not resident, is mid-refill, or is exclusively latched — the
+// caller should fall back to a latched Get (which pays the I/O and the
+// latch anyway). No pin or latch is taken on success; pair every use
+// of the returned Data with a ValidateOpt check.
+func (p *Pool) ReadOpt(pid uint32) (OptPage, bool) {
+	if pid == 0 || !p.OptSupported() {
+		return OptPage{}, false
+	}
+	sh := p.shardFor(pid)
+	var i int
+	if packed := sh.fast[pid&(fastSize-1)].Load(); packed != 0 && uint32(packed>>32) == pid {
+		i = int(packed&framePinMask) - 1
+		if i < 0 || i >= len(sh.frames) {
+			return OptPage{}, false
+		}
+	} else {
+		// Fast-slot miss: translate through the shard table. This takes
+		// the shard mutex briefly but still pins and latches nothing,
+		// and it repopulates the fast slot so the page's next optimistic
+		// read is store-free.
+		sh.mu.Lock()
+		idx, ok := sh.table[pid]
+		if ok {
+			sh.fast[pid&(fastSize-1)].Store(packFast(pid, idx))
+		}
+		sh.mu.Unlock()
+		if !ok {
+			return OptPage{}, false
+		}
+		i = idx
+	}
+	f := &sh.frames[i]
+	st := f.state.Load()
+	if st&frameValidBit == 0 || f.readyAt.Load() != 0 || f.pid.Load() != pid {
+		return OptPage{}, false
+	}
+	ver, ok := p.latches.ReadVersion(pid)
+	if !ok {
+		return OptPage{}, false
+	}
+	return OptPage{ID: pid, Data: f.data, f: f, fst: st &^ framePinMask, ver: ver}, true
+}
+
+// ValidateOpt reports whether every byte read from pg.Data since
+// ReadOpt was untouched: the page's latch version is unchanged (no
+// exclusive acquire, so no in-place writes and no eviction handshake)
+// and the frame's epoch/valid bits are unchanged (the frame was not
+// recycled for another page — which matters when the eviction or
+// FreePage version bump landed before ReadOpt sampled the version).
+// On false the caller must discard all derived state and restart.
+func (p *Pool) ValidateOpt(pg OptPage) bool {
+	return p.latches.Validate(pg.ID, pg.ver) && pg.f.state.Load()&^framePinMask == pg.fst
+}

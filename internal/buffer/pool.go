@@ -915,6 +915,12 @@ func (p *Pool) FreePage(pid uint32) error {
 		sh.fast[pid&(fastSize-1)].CompareAndSwap(packFast(pid, i), 0)
 		f.dirty = false
 		f.readyAt.Store(0)
+		if p.latches != nil {
+			// The pid may be reallocated and refilled into any frame;
+			// bump its version so an optimistic reader that sampled the
+			// old incarnation can never validate (DESIGN.md §11.6).
+			p.latches.Invalidate(pid)
+		}
 	}
 	sh.mu.Unlock()
 	p.allocMu.Lock()
@@ -997,6 +1003,9 @@ func (p *Pool) invalidateAll(discard bool) {
 				f.dirty = false
 			}
 			f.readyAt.Store(0)
+			if p.latches != nil {
+				p.latches.Invalidate(pid)
+			}
 		}
 		sh.mu.Unlock()
 	}

@@ -1,0 +1,7 @@
+//go:build race
+
+package buffer
+
+// raceEnabled reports whether the build carries the race detector; see
+// opt.go for why optimistic reads are disabled when it does.
+const raceEnabled = true

@@ -2,13 +2,13 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/buffer"
 	"repro/internal/idx"
 	"repro/internal/jparray"
+	"repro/internal/latch"
 	"repro/internal/memsim"
 	"repro/internal/obs"
 	"repro/internal/sizing"
@@ -85,6 +85,11 @@ type CacheFirstConfig struct {
 	// byte-comparable with the dense default. Gapped trees cannot store
 	// the maximum key value (it is the gap sentinel).
 	GappedLeaves bool
+	// OptimisticReads lets point lookups descend latch-free, validating
+	// per-page latch versions (on top of the relocation epoch) instead
+	// of holding shared latches (DESIGN.md §11.6). Effective only on a
+	// latched pool in a build without the race detector.
+	OptimisticReads bool
 	// Trace, when non-nil, receives one event per node visit.
 	Trace *obs.Tracer
 }
@@ -134,7 +139,10 @@ type CacheFirst struct {
 	// parallel, holding one shared page latch at a time and validating
 	// the relocation epoch at every page transition (stale → restart).
 	// See DESIGN.md §11.
-	conc    bool
+	conc bool
+	// opt enables the optimistic (version-validated, latch-free) read
+	// descent; requires conc and a non-race build (pool.OptSupported).
+	opt     bool
 	wMu     sync.Mutex    // serializes writers (Insert/Delete) with each other
 	pagesMu sync.Mutex    // guards the pages map (space map)
 	jpaMu   sync.RWMutex  // guards the (not thread-safe) jump-pointer array
@@ -190,6 +198,7 @@ func NewCacheFirst(cfg CacheFirstConfig) (*CacheFirst, error) {
 		gapped:      cfg.GappedLeaves,
 		tr:          cfg.Trace,
 		conc:        cfg.Pool.Latches() != nil,
+		opt:         cfg.OptimisticReads && cfg.Pool.OptSupported(),
 	}, nil
 }
 
@@ -237,11 +246,13 @@ func (t *CacheFirst) relocEnd() {
 	}
 }
 
-// epochRestart counts one stale-epoch restart and yields so the
-// relocating writer can finish.
-func (t *CacheFirst) epochRestart() {
+// epochRestart counts one stale-epoch restart and backs off (bounded
+// exponential: spin first, then yield) so the relocating writer can
+// finish without the restarting reader burning a full core. b carries
+// the restart loop's backoff state (one per operation).
+func (t *CacheFirst) epochRestart(b *latch.Backoff) {
 	t.restarts.Add(1)
-	runtime.Gosched()
+	b.Pause()
 }
 
 // EpochRestarts reports how many reader operations restarted from the
@@ -249,15 +260,17 @@ func (t *CacheFirst) epochRestart() {
 // mode). Registered as latch.epoch_restarts by idx.RegisterMetrics.
 func (t *CacheFirst) EpochRestarts() uint64 { return t.restarts.Load() }
 
-// relocEpoch spins until no relocation is in flight and returns the
-// (even) epoch a reader should validate against.
+// relocEpoch waits (bounded exponential backoff) until no relocation
+// is in flight and returns the (even) epoch a reader should validate
+// against.
 func (t *CacheFirst) relocEpoch() uint64 {
+	var b latch.Backoff
 	for {
 		e := t.reloc.Load()
 		if e&1 == 0 {
 			return e
 		}
-		runtime.Gosched()
+		b.Pause()
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/buffer"
 	"repro/internal/idx"
+	"repro/internal/latch"
 )
 
 // Concurrent read protocol for the cache-first tree.
@@ -81,6 +82,7 @@ func (t *CacheFirst) descendConc(k idx.Key, lt bool, e uint64) (buffer.Page, ptr
 // then walk the forward leaf-node chain for the first entry == k,
 // restarting from the root whenever the relocation epoch moves.
 func (t *CacheFirst) findFirstConc(k idx.Key) (buffer.Page, ptr, int, bool, error) {
+	var bo latch.Backoff
 	for {
 		e := t.relocEpoch()
 		pg, cur, ok, err := t.descendConc(k, true, e)
@@ -88,7 +90,7 @@ func (t *CacheFirst) findFirstConc(k idx.Key) (buffer.Page, ptr, int, bool, erro
 			return buffer.Page{}, nilPtr, 0, false, err
 		}
 		if !ok {
-			t.epochRestart()
+			t.epochRestart(&bo)
 			continue
 		}
 		if cur.isNil() {
@@ -121,7 +123,7 @@ func (t *CacheFirst) findFirstConc(k idx.Key) (buffer.Page, ptr, int, bool, erro
 			cur = t.cNextLeaf(pg.Data, cur.off)
 		}
 		if stale {
-			t.epochRestart()
+			t.epochRestart(&bo)
 			continue
 		}
 		if pg.Valid() {
@@ -214,6 +216,7 @@ func (t *CacheFirst) rangeScanConc(startKey, endKey idx.Key, fn func(idx.Key, id
 	strict := false    // true: deliver keys > resume; false: >= resume
 	var last idx.Key
 	delivered := false
+	var bo latch.Backoff
 	for {
 		e := t.relocEpoch()
 		pg, cur, ok, err := t.descendConc(resume, !strict, e)
@@ -221,7 +224,7 @@ func (t *CacheFirst) rangeScanConc(startKey, endKey idx.Key, fn func(idx.Key, id
 			return count, err
 		}
 		if !ok {
-			t.epochRestart()
+			t.epochRestart(&bo)
 			continue
 		}
 		if cur.isNil() {
@@ -281,7 +284,7 @@ func (t *CacheFirst) rangeScanConc(startKey, endKey idx.Key, fn func(idx.Key, id
 			if delivered {
 				resume, strict = last, true
 			}
-			t.epochRestart()
+			t.epochRestart(&bo)
 			continue
 		}
 		if pg.Valid() {
@@ -306,6 +309,7 @@ func (t *CacheFirst) rangeScanReverseConc(startKey, endKey idx.Key, fn func(idx.
 	strict := false // true: deliver keys < hi; false: <= hi
 	var last idx.Key
 	delivered := false
+	var bo latch.Backoff
 restart:
 	for {
 		e := t.relocEpoch()
@@ -314,7 +318,7 @@ restart:
 			return count, err
 		}
 		if !ok {
-			t.epochRestart()
+			t.epochRestart(&bo)
 			continue
 		}
 		if endAt.isNil() {
@@ -345,7 +349,7 @@ restart:
 				if delivered {
 					hi, strict = last, true
 				}
-				t.epochRestart()
+				t.epochRestart(&bo)
 				continue restart
 			}
 			offs, err := t.leafNodesInChainOrder(pg)

@@ -15,6 +15,9 @@ import (
 // duplicates.
 func (t *CacheFirst) Search(k idx.Key) (idx.TupleID, bool, error) {
 	t.ops.Searches.Add(1)
+	if tid, found, handled := t.searchOpt(k); handled {
+		return tid, found, nil
+	}
 	pg, at, slot, found, err := t.findFirst(k)
 	if err != nil || !found {
 		return 0, false, err

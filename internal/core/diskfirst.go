@@ -98,6 +98,11 @@ type DiskFirstConfig struct {
 	// default dense layout keeps simulation output byte-identical.
 	// Gapped trees cannot store the sentinel key value itself.
 	GappedLeaves bool
+	// OptimisticReads lets point lookups descend latch-free, validating
+	// per-page latch versions instead of holding shared latches
+	// (DESIGN.md §11.6). Effective only on a latched pool in a build
+	// without the race detector; ignored otherwise.
+	OptimisticReads bool
 	// Trace, when non-nil, receives one event per in-page node visit.
 	Trace *obs.Tracer
 }
@@ -124,7 +129,10 @@ type DiskFirst struct {
 	// conc is set when the pool carries a latch table: writers descend
 	// with exclusive latch crabbing (insertConc) and page mutations
 	// take exclusive pins; sequentially every latch call is a no-op.
-	conc   bool
+	conc bool
+	// opt enables the optimistic (version-validated, latch-free) read
+	// descent; requires conc and a non-race build (pool.OptSupported).
+	opt    bool
 	growMu sync.Mutex // serializes first-root creation in conc mode
 
 	jpa       bool
@@ -185,6 +193,7 @@ func NewDiskFirst(cfg DiskFirstConfig) (*DiskFirst, error) {
 		fanout:    leaves * sizing.DiskFirstLeafCap(x),
 		leafNodes: leaves,
 		conc:      cfg.Pool.Latches() != nil,
+		opt:       cfg.OptimisticReads && cfg.Pool.OptSupported(),
 		jpa:       cfg.EnableJPA,
 		pfWindow:  pf,
 		overshoot: cfg.NoOvershootProtection,

@@ -2,10 +2,10 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 
 	"repro/internal/buffer"
 	"repro/internal/idx"
+	"repro/internal/latch"
 )
 
 // Concurrent insertion for the disk-first fpB+-Tree: pessimistic
@@ -24,12 +24,21 @@ type dfHeld struct {
 
 // pageSafe reports whether an insert into this page can never split it.
 func (t *DiskFirst) pageSafe(d []byte) bool {
+	if t.gappedLeafPage(d) {
+		// Gapped leaf nodes refuse direct inserts at the two-thirds
+		// split threshold, so the dense bound overstates what this page
+		// can absorb: a reorganize spreads the entries evenly over the
+		// canonical leaf nodes, and the follow-up insert is guaranteed
+		// only while every rebuilt node stays below that threshold.
+		return dfEntries(d) < t.leafNodes*(t.leafSplitAt(true)-1)
+	}
 	return dfEntries(d) < t.fanout-t.leafNodes
 }
 
 // insertConc is Insert under the per-page latch protocol. An attempt
 // restarts only when the root it latched is no longer the root.
 func (t *DiskFirst) insertConc(k idx.Key, tid idx.TupleID) error {
+	var bo latch.Backoff
 	for {
 		root, height := t.rootHeight()
 		if root == 0 {
@@ -42,7 +51,7 @@ func (t *DiskFirst) insertConc(k idx.Key, tid idx.TupleID) error {
 		if err != nil || ok {
 			return err
 		}
-		runtime.Gosched()
+		bo.Pause()
 	}
 }
 

@@ -141,6 +141,9 @@ func (t *DiskFirst) freeAll() error {
 // matches survive deletions among duplicates.
 func (t *DiskFirst) Search(k idx.Key) (idx.TupleID, bool, error) {
 	t.ops.Searches.Add(1)
+	if tid, found, handled := t.searchOpt(k); handled {
+		return tid, found, nil
+	}
 	pg, off, slot, found, err := t.findFirst(k, false)
 	if err != nil || !found {
 		return 0, false, err

@@ -1,0 +1,155 @@
+package core
+
+// Optimistic (latch-free) point-lookup descent for the disk-first
+// variant, per DESIGN.md §11.6. The descent takes no latches and no
+// pins: each page is resolved with buffer.ReadOpt, searched with plain
+// loads (charges are frozen no-ops in serving mode, and the in-page
+// node-visit stats are deliberately skipped — they would be the only
+// atomic stores left on the path), and everything derived from its
+// bytes — the child page ID, the in-page next-node offset, the
+// page-level next pointer, the tuple ID — is re-validated with
+// buffer.ValidateOpt before it is trusted or followed. Any validation
+// failure, write-locked observation, or non-resident page restarts the
+// whole descent from the (atomic) root triple; after optMaxRestarts
+// restarts the reader falls back to the shared-latch path so writer
+// storms cannot livelock it.
+
+import (
+	"repro/internal/buffer"
+	"repro/internal/idx"
+	"repro/internal/latch"
+)
+
+// optMaxRestarts bounds how many times an optimistic descent restarts
+// before falling back to the latched path (shared by all variants).
+const optMaxRestarts = 8
+
+// searchOpt runs the optimistic point lookup. handled=false means the
+// optimistic path is unavailable or gave up (restart budget exhausted)
+// and the caller must run the latched descent.
+func (t *DiskFirst) searchOpt(k idx.Key) (tid idx.TupleID, found, handled bool) {
+	if !t.opt || !t.mm.Concurrent() {
+		return 0, false, false
+	}
+	lt := t.pool.Latches()
+	var b latch.Backoff
+	for attempt := 0; attempt <= optMaxRestarts; attempt++ {
+		if attempt > 0 {
+			lt.OptRestart()
+			b.Pause()
+		}
+		tid, found, ok := t.searchOptAttempt(k)
+		if ok {
+			return tid, found, true
+		}
+	}
+	lt.OptFallback()
+	return 0, false, false
+}
+
+// searchOptAttempt is one latch-free descent attempt. ok=false means
+// the attempt observed interference (or a non-resident page) and must
+// be retried or abandoned; the results are only meaningful when ok.
+func (t *DiskFirst) searchOptAttempt(k idx.Key) (tid idx.TupleID, found, ok bool) {
+	// A torn read can yield wild in-page offsets before validation gets
+	// to reject them; convert the resulting bounds panic into a restart.
+	defer func() {
+		if recover() != nil {
+			tid, found, ok = 0, false, false
+		}
+	}()
+	root, height := t.rootHeight()
+	if root == 0 {
+		return 0, false, true
+	}
+	pid := root
+	for lvl := height - 1; lvl > 0; lvl-- {
+		pg, okr := t.pool.ReadOpt(pid)
+		if !okr {
+			return 0, false, false
+		}
+		child := t.inPageChildForOpt(pg.Data, k, true)
+		// Validate before following child: an unvalidated pointer may
+		// come from a torn read or a mid-restructure page image.
+		if !t.pool.ValidateOpt(pg) || child == 0 {
+			return 0, false, false
+		}
+		pid = child
+	}
+	first := true
+	for pid != 0 {
+		pg, okr := t.pool.ReadOpt(pid)
+		if !okr {
+			return 0, false, false
+		}
+		d := pg.Data
+		if dfEntries(d) == 0 {
+			// Lazy deletion can leave empty pages; hop them, validating
+			// the next pointer before it is followed.
+			next := dfNextPage(d)
+			if !t.pool.ValidateOpt(pg) {
+				return 0, false, false
+			}
+			pid = next
+			first = false
+			continue
+		}
+		var off int
+		if first {
+			off = t.descendInPageOpt(d, k, true)
+			first = false
+		} else {
+			off = dfFirstLeaf(d)
+		}
+		// The in-page hop count is bounded by the page's line count: a
+		// torn next-offset chain could otherwise cycle, and unlike a
+		// wild offset a cycle never faults into the recover above.
+		for hops := 0; off != 0 && hops < t.pageLines; hops++ {
+			slot, _ := t.searchLeafNode(buffer.Page{Data: d}, off, k, true)
+			slot = t.lNextOccupied(d, off, slot+1)
+			if slot >= 0 {
+				key := t.lKey(d, off, slot)
+				tid := t.lPtr(d, off, slot)
+				if !t.pool.ValidateOpt(pg) {
+					return 0, false, false
+				}
+				return tid, key == k, true
+			}
+			off = t.lNext(d, off)
+		}
+		next := dfNextPage(d)
+		if !t.pool.ValidateOpt(pg) {
+			return 0, false, false
+		}
+		pid = next
+	}
+	return 0, false, true
+}
+
+// descendInPageOpt is descendInPage minus the node-visit charges and
+// stats: the charge entry points are frozen no-ops in serving mode and
+// the NodeVisits counter would be an atomic store on the latch-free
+// path. The data passed in is an unvalidated optimistic snapshot.
+func (t *DiskFirst) descendInPageOpt(d []byte, k idx.Key, lt bool) int {
+	pg := buffer.Page{Data: d}
+	off := dfRoot(d)
+	for lvl := dfInLevels(d); lvl > 1; lvl-- {
+		slot := t.searchNonleaf(pg, off, k, lt)
+		if slot < 0 {
+			slot = 0
+		}
+		off = t.nChild(d, off, slot)
+	}
+	return off
+}
+
+// inPageChildForOpt is inPageChildFor over an unvalidated optimistic
+// snapshot (no charges, no visit stats).
+func (t *DiskFirst) inPageChildForOpt(d []byte, k idx.Key, lt bool) uint32 {
+	off := t.descendInPageOpt(d, k, lt)
+	slot, _ := t.searchLeafNode(buffer.Page{Data: d}, off, k, lt)
+	if slot < 0 {
+		slot = 0
+	}
+	return t.lPtr(d, off, slot)
+}

@@ -56,6 +56,11 @@ type Config struct {
 	// SubarrayBytes overrides the Table 2 sub-array size (0 = use the
 	// sizing package's selection for the page size).
 	SubarrayBytes int
+	// OptimisticReads lets point lookups descend latch-free, validating
+	// per-page latch versions instead of holding shared latches
+	// (DESIGN.md §11.6). Effective only on a latched pool in a build
+	// without the race detector; ignored otherwise.
+	OptimisticReads bool
 	// Trace, when non-nil, receives one event per page visit.
 	Trace *obs.Tracer
 }
@@ -87,7 +92,10 @@ type Tree struct {
 	// mutations take exclusive pins; readers couple shared latches. In
 	// the default sequential mode every latch call is a no-op and the
 	// code paths are identical.
-	conc   bool
+	conc bool
+	// opt enables the optimistic (version-validated, latch-free) read
+	// descent; requires conc and a non-race build (pool.OptSupported).
+	opt    bool
 	growMu sync.Mutex // serializes first-root creation in conc mode
 
 	tr  *obs.Tracer
@@ -131,6 +139,7 @@ func New(cfg Config) (*Tree, error) {
 		ptrBase:    headerSize + microBytes + 4*cap,
 		subLines:   sub / memsim.LineSize,
 		conc:       cfg.Pool.Latches() != nil,
+		opt:        cfg.OptimisticReads && cfg.Pool.OptSupported(),
 		tr:         cfg.Trace,
 	}
 	return t, nil

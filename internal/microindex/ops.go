@@ -154,6 +154,9 @@ func (t *Tree) freeAll() error {
 // walk over the duplicate run (see bptree.Search for the rationale).
 func (t *Tree) Search(k idx.Key) (idx.TupleID, bool, error) {
 	t.ops.Searches.Add(1)
+	if tid, found, handled := t.searchOpt(k); handled {
+		return tid, found, nil
+	}
 	pg, slot, found, err := t.findFirst(k, false)
 	if err != nil || !found {
 		return 0, false, err

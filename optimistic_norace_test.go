@@ -1,0 +1,204 @@
+//go:build !race
+
+// These tests assert properties of the optimistic read path that only
+// hold when it is actually enabled; under the race detector it turns
+// itself off (seqlock-style reads are intentional data races), so the
+// whole file is compiled out there. The -race counterpart is the
+// conformance matrix in optimistic_test.go.
+
+package fpbtree
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestOptimisticReadOnlyLatchFree is the acceptance check for the
+// latch-free claim: a read-only search phase in the default serving
+// mode must take zero shared latches and zero locked pool gets beyond
+// the bulkload/warmup baseline, while the same phase under
+// WithPessimisticReads takes at least one shared latch per search.
+func TestOptimisticReadOnlyLatchFree(t *testing.T) {
+	const keys = 3000
+	const searchesPerReader = 4000
+	const readers = 4
+	for _, v := range []Variant{DiskFirst, CacheFirst, DiskOptimized, MicroIndex} {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			run := func(pess bool) (sharedDelta, lockedDelta, fallbacks uint64) {
+				opts := []Option{
+					WithVariant(v),
+					WithConcurrency(readers),
+					WithPageSize(4 << 10),
+					WithBufferPages(1024),
+				}
+				if pess {
+					opts = append(opts, WithPessimisticReads())
+				}
+				tr, err := New(opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				entries := make([]Entry, keys)
+				for i := range entries {
+					k := Key(2*i + 1)
+					entries[i] = Entry{Key: k, TID: TupleID(k + 7)}
+				}
+				if err := tr.Bulkload(entries, 0.9); err != nil {
+					t.Fatal(err)
+				}
+				// Warm the pool so the measured phase has no misses
+				// (a miss legitimately takes the shard lock).
+				if _, err := tr.RangeScan(0, ^Key(0), nil); err != nil {
+					t.Fatal(err)
+				}
+				base := tr.MetricsSnapshot()
+
+				var wg sync.WaitGroup
+				errs := make(chan error, readers)
+				for w := 0; w < readers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						x := uint32(99*w + 7)
+						for n := 0; n < searchesPerReader; n++ {
+							x = x*1664525 + 1013904223
+							k := Key(x%keys)*2 + 1
+							tid, ok, err := tr.Search(k)
+							if err != nil {
+								errs <- err
+								return
+							}
+							if !ok || tid != TupleID(k+7) {
+								errs <- fmt.Errorf("Search(%d) = (%d,%v), want (%d,true)", k, tid, ok, k+7)
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					t.Fatal(err)
+				}
+				snap := tr.MetricsSnapshot()
+				return snap.Counters["latch.shared_acquisitions"] - base.Counters["latch.shared_acquisitions"],
+					snap.Counters["pool.shard.locked_gets"] - base.Counters["pool.shard.locked_gets"],
+					snap.Counters["latch.opt_fallbacks"] - base.Counters["latch.opt_fallbacks"]
+			}
+
+			shared, locked, fallbacks := run(false)
+			if shared != 0 {
+				t.Errorf("optimistic read-only phase took %d shared latches, want 0", shared)
+			}
+			if locked != 0 {
+				t.Errorf("optimistic read-only phase took %d locked pool gets, want 0", locked)
+			}
+			if fallbacks != 0 {
+				t.Errorf("optimistic read-only phase fell back %d times with no writers", fallbacks)
+			}
+			shared, _, _ = run(true)
+			if want := uint64(readers * searchesPerReader); shared < want {
+				t.Errorf("pessimistic read-only phase took %d shared latches, want >= %d", shared, want)
+			}
+		})
+	}
+}
+
+// TestOptimisticSplitStormBounded drives a split storm (a writer
+// inserting a dense ascending run) against optimistic readers on every
+// variant: every read must stay correct despite concurrent in-page
+// reorganization and page splits, and the restart machinery must stay
+// bounded — no search spins more than the restart budget before
+// falling back (the counters prove the bound: restarts never exceed
+// budget × attempts-with-restarts, and the test terminating at all is
+// the liveness half). This is the regression test for torn leaf-chain
+// reads and for unbounded restart loops.
+func TestOptimisticSplitStormBounded(t *testing.T) {
+	const (
+		oddKeys  = 2000
+		inserts  = 6000
+		searches = 8000
+	)
+	for _, v := range []Variant{DiskFirst, CacheFirst, DiskOptimized, MicroIndex} {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			tr, err := New(
+				WithVariant(v),
+				WithConcurrency(3),
+				WithPageSize(4<<10),
+				WithBufferPages(1024),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			entries := make([]Entry, oddKeys)
+			for i := range entries {
+				k := Key(2*i + 1)
+				entries[i] = Entry{Key: k, TID: TupleID(k + 7)}
+			}
+			// Bulkload full pages so the insert run splits constantly.
+			if err := tr.Bulkload(entries, 1.0); err != nil {
+				t.Fatal(err)
+			}
+
+			var wg sync.WaitGroup
+			errs := make(chan error, 3)
+			for w := 0; w < 2; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					x := uint32(77*w + 13)
+					for n := 0; n < searches; n++ {
+						x = x*1664525 + 1013904223
+						k := Key(x%oddKeys)*2 + 1
+						tid, ok, err := tr.Search(k)
+						if err != nil {
+							errs <- err
+							return
+						}
+						if !ok || tid != TupleID(k+7) {
+							errs <- fmt.Errorf("Search(%d) = (%d,%v) mid-storm, want (%d,true)", k, tid, ok, k+7)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for n := 0; n < inserts; n++ {
+					k := Key(2*oddKeys + 2 + 2*n) // dense even run above the bulk range
+					if err := tr.Insert(k, TupleID(k+7)); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+
+			if n := tr.PinnedPages(); n != 0 {
+				t.Fatalf("%d pinned pages leaked", n)
+			}
+			snap := tr.MetricsSnapshot()
+			restarts := snap.Counters["latch.opt_restarts"]
+			fallbacks := snap.Counters["latch.opt_fallbacks"]
+			// The restart budget is 8 per lookup: across 2×searches
+			// lookups the counter can never exceed budget × lookups,
+			// and each fallback accounts for a full budget of restarts.
+			totalLookups := uint64(2 * searches)
+			if restarts > 8*totalLookups {
+				t.Errorf("opt_restarts = %d exceeds the 8-per-lookup budget over %d lookups", restarts, totalLookups)
+			}
+			if fallbacks > totalLookups {
+				t.Errorf("opt_fallbacks = %d exceeds lookup count %d", fallbacks, totalLookups)
+			}
+			t.Logf("%s: %d opt restarts, %d fallbacks over %d lookups under split storm", v, restarts, fallbacks, totalLookups)
+		})
+	}
+}
